@@ -1,0 +1,41 @@
+"""Ablation: L1I capacity vs the two ISAs' instruction footprints.
+
+Recreates the paper's LULESH observation (Figure 8 discussion): once the
+instruction cache is smaller than the machine-code footprint, GCN3 fetch
+misses take off while the 8 B/instruction IL approximation still fits.
+"""
+
+from conftest import one_shot
+from repro.common.config import CacheConfig, paper_config
+from repro.harness.runner import run_workload
+
+
+def test_ablation_l1i_capacity(benchmark, show):
+    sizes = [8192, 2048, 1024]
+
+    def sweep():
+        rows = []
+        for size in sizes:
+            config = paper_config().scaled(
+                l1i=CacheConfig(size_bytes=size, associativity=8,
+                                hit_latency=4))
+            row = [f"{size} B"]
+            for isa in ("hsail", "gcn3"):
+                run = run_workload("lulesh", isa, scale=0.5, config=config,
+                                   seed=7)
+                assert run.verified
+                row += [int(run.stat("ifetch_misses")), run.cycles]
+            rows.append(row)
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    show("Ablation: L1I capacity sweep over LULESH",
+         ["L1I", "HSAIL misses", "HSAIL cycles", "GCN3 misses", "GCN3 cycles"],
+         rows)
+    # At the smallest cache, the machine-ISA footprint thrashes harder.
+    small = rows[-1]
+    big = rows[0]
+    gcn3_growth = small[3] / max(1, big[3])
+    hsail_growth = small[1] / max(1, big[1])
+    assert gcn3_growth > 1.2
+    assert small[3] > small[1]  # GCN3 misses exceed HSAIL's when starved

@@ -1,0 +1,35 @@
+"""Ablation: VRF bank count vs port conflicts.
+
+Doubling the banks should cut conflicts for both ISAs; the HSAIL/GCN3
+*relationship* is the paper's claim, the absolute sensitivity is the
+model's.
+"""
+
+from dataclasses import replace
+
+from conftest import one_shot
+from repro.common.config import paper_config
+from repro.harness.runner import run_workload
+
+
+def test_ablation_vrf_banks(benchmark, show):
+    def sweep():
+        rows = []
+        for banks in (2, 4, 8):
+            config = paper_config()
+            config = config.scaled(cu=replace(config.cu, vrf_banks=banks))
+            row = [banks]
+            for isa in ("hsail", "gcn3"):
+                run = run_workload("arraybw", isa, scale=0.5, config=config)
+                assert run.verified
+                row.append(int(run.stat("vrf_bank_conflicts")))
+            rows.append(row)
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    show("Ablation: VRF banks vs conflicts (Array BW)",
+         ["Banks", "HSAIL conflicts", "GCN3 conflicts"], rows)
+    # More banks -> fewer conflicts, monotonically, for both ISAs.
+    for col in (1, 2):
+        values = [r[col] for r in rows]
+        assert values[0] >= values[1] >= values[2]

@@ -1,0 +1,16 @@
+"""Figure 1: geomean summary of dissimilar and similar statistics."""
+
+from conftest import one_shot
+from repro.harness.figures import figure01_summary
+
+
+def test_fig01_summary(benchmark, suite, show):
+    title, headers, rows = one_shot(benchmark, lambda: figure01_summary(suite))
+    show(title, headers, rows)
+    values = dict(zip((r[0] for r in rows), (r[1] for r in rows)))
+    # Paper Figure 1 directions: dissimilar stats diverge, similar match.
+    assert values["dynamic instructions (GCN3/HSAIL)"] > 1.4
+    assert values["reuse distance (GCN3/HSAIL)"] > 1.5
+    assert values["IB flushes (HSAIL/GCN3)"] > 1.2
+    assert 0.9 < values["SIMD utilization (HSAIL/GCN3)"] < 1.1
+    assert values["data footprint (HSAIL/GCN3)"] >= 1.0

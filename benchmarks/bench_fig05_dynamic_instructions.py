@@ -1,0 +1,15 @@
+"""Figure 5: dynamic instruction count and breakdown (GCN3 vs HSAIL)."""
+
+from conftest import one_shot
+from repro.harness.figures import figure05_dynamic_instructions
+
+
+def test_fig05_dynamic_instructions(benchmark, suite, show):
+    title, headers, rows = one_shot(
+        benchmark, lambda: figure05_dynamic_instructions(suite))
+    show(title, headers, rows)
+    ratios = {r[0]: r[3] for r in rows if r[0] != "GEOMEAN"}
+    # GCN3 executes 1.5x-3x more instructions; FFT is the exception.
+    assert all(v > 1.0 for v in ratios.values())
+    assert 1.4 < rows[-1][3] < 3.0  # geomean
+    assert ratios["FFT"] <= sorted(ratios.values())[1]

@@ -1,0 +1,22 @@
+"""Figure 6: VRF bank conflicts.
+
+Paper claim: GCN3 sees ~1/3 the conflicts because scalar operands bypass
+the VRF and the finalizer spaces dependent instructions.  Our model
+reproduces the direction for the control-flow/streaming workloads; the
+f64-division-heavy workloads (CoMD, LULESH) invert it because the
+Newton-Raphson expansion's vector operand traffic dominates -- see
+EXPERIMENTS.md for the analysis.
+"""
+
+from conftest import one_shot
+from repro.harness.figures import figure06_vrf_bank_conflicts
+
+
+def test_fig06_vrf_bank_conflicts(benchmark, suite, show):
+    title, headers, rows = one_shot(
+        benchmark, lambda: figure06_vrf_bank_conflicts(suite))
+    show(title, headers, rows)
+    ratios = {r[0]: r[3] for r in rows if r[0] != "GEOMEAN"}
+    # Direction holds for the non-divide workloads.
+    assert ratios["Array BW"] >= 1.0
+    assert sum(1 for v in ratios.values() if v >= 0.9) >= 5

@@ -1,0 +1,14 @@
+"""Figure 7: median vector-register reuse distance (GCN3 ~2x HSAIL)."""
+
+from conftest import one_shot
+from repro.harness.figures import figure07_reuse_distance
+
+
+def test_fig07_reuse_distance(benchmark, suite, show):
+    title, headers, rows = one_shot(
+        benchmark, lambda: figure07_reuse_distance(suite))
+    show(title, headers, rows)
+    geomean = rows[-1][3]
+    assert geomean > 1.5
+    ratios = {r[0]: r[3] for r in rows if r[0] != "GEOMEAN"}
+    assert all(v >= 1.0 for v in ratios.values())

@@ -1,0 +1,15 @@
+"""Figure 9: instruction buffer flushes (GCN3 needs far fewer)."""
+
+from conftest import one_shot
+from repro.harness.figures import figure09_ib_flushes
+
+
+def test_fig09_ib_flushes(benchmark, suite, show):
+    title, headers, rows = one_shot(benchmark, lambda: figure09_ib_flushes(suite))
+    show(title, headers, rows)
+    ratios = {r[0]: r[3] for r in rows if r[0] != "GEOMEAN"}
+    assert all(v <= 1.05 for v in ratios.values() if v)
+    # predicated workloads flush in neither ISA
+    assert ratios["HPGMG"] == 0 or ratios["HPGMG"] <= 1.0
+    # divergent workloads flush far less under GCN3
+    assert ratios["CoMD"] < 0.6

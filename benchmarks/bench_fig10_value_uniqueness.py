@@ -1,0 +1,15 @@
+"""Figure 10: uniqueness of VRF lane values (read and write probes)."""
+
+from conftest import one_shot
+from repro.harness.figures import figure10_value_uniqueness
+
+
+def test_fig10_value_uniqueness(benchmark, suite, show):
+    title, headers, rows = one_shot(
+        benchmark, lambda: figure10_value_uniqueness(suite))
+    show(title, headers, rows)
+    # The paper's point: the ISA alone changes observed uniqueness, in
+    # BOTH directions across workloads.
+    diffs = [r[2] - r[1] for r in rows]
+    assert any(d > 1.0 for d in diffs)    # GCN3 more unique somewhere
+    assert any(d < -1.0 for d in diffs)   # and less unique elsewhere

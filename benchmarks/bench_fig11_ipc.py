@@ -1,0 +1,10 @@
+"""Figure 11: IPC normalized to HSAIL (GCN3 generally higher)."""
+
+from conftest import one_shot
+from repro.harness.figures import figure11_ipc
+
+
+def test_fig11_ipc(benchmark, suite, show):
+    title, headers, rows = one_shot(benchmark, lambda: figure11_ipc(suite))
+    show(title, headers, rows)
+    assert rows[-1][3] > 1.3  # geomean

@@ -1,0 +1,19 @@
+"""Figure 12: runtime normalized (HSAIL error goes both ways).
+
+Paper: Array BW runs 1.6x longer under HSAIL while LULESH runs 1.85x
+longer under GCN3 -- the sign of the IL's runtime error is workload
+dependent, so no fudge factor can correct it.
+"""
+
+from conftest import one_shot
+from repro.harness.figures import figure12_runtime
+
+
+def test_fig12_runtime(benchmark, suite, show):
+    title, headers, rows = one_shot(benchmark, lambda: figure12_runtime(suite))
+    show(title, headers, rows)
+    ratios = {r[0]: r[3] for r in rows if r[0] != "GEOMEAN"}
+    assert ratios["Array BW"] > 1.0     # HSAIL slower
+    assert ratios["LULESH"] < 1.0       # GCN3 slower
+    assert any(v > 1.05 for v in ratios.values())
+    assert any(v < 0.95 for v in ratios.values())

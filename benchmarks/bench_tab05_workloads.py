@@ -1,0 +1,22 @@
+"""Table 5: the evaluated workloads and their kernel inventory."""
+
+from conftest import one_shot, BENCH_SCALE
+from repro.workloads import all_workloads
+
+
+def test_tab05_workloads(benchmark, show):
+    workloads = one_shot(benchmark, lambda: all_workloads(scale=BENCH_SCALE))
+    rows = []
+    for wl in workloads:
+        duals = wl.kernels()
+        rows.append([
+            wl.name,
+            wl.description,
+            len(duals),
+            sum(d.hsail.static_instructions for d in duals.values()),
+            sum(d.gcn3.static_instructions for d in duals.values()),
+        ])
+    show("Table 5: evaluated workloads",
+         ["Workload", "Description", "Kernels", "HSAIL instrs", "GCN3 instrs"],
+         rows)
+    assert len(rows) == 10

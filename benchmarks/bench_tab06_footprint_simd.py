@@ -1,0 +1,17 @@
+"""Table 6: data footprint and SIMD utilization (the 'similar' stats)."""
+
+from conftest import one_shot
+from repro.harness.figures import table06_footprint_and_simd
+
+
+def test_tab06_footprint_simd(benchmark, suite, show):
+    title, headers, rows = one_shot(
+        benchmark, lambda: table06_footprint_and_simd(suite))
+    show(title, headers, rows)
+    for row in rows:
+        name, _h, _g, ratio, h_simd, g_simd = row
+        if name in ("FFT", "LULESH"):
+            assert ratio > 1.05, name      # per-launch segment inflation
+        else:
+            assert abs(ratio - 1.0) < 0.02, name
+        assert abs(h_simd - g_simd) < 12.0, name

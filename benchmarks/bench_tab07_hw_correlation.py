@@ -1,0 +1,19 @@
+"""Table 7: hardware correlation and mean absolute runtime error.
+
+Hardware is a deterministic synthetic proxy (no GPU in this environment;
+see DESIGN.md section 3); the claim preserved is that IL simulation adds
+error on top of the machine-ISA model's error while correlation stays
+high for both.
+"""
+
+from conftest import one_shot
+from repro.harness.hardware_model import correlate, table07_rows
+
+
+def test_tab07_hw_correlation(benchmark, suite, show):
+    title, headers, rows = one_shot(benchmark, lambda: table07_rows(suite))
+    show(title, headers, rows)
+    report = correlate(suite)
+    assert report.correlation["hsail"] > 0.9
+    assert report.correlation["gcn3"] > 0.9
+    assert report.mean_abs_error["hsail"] > report.mean_abs_error["gcn3"]

@@ -1,0 +1,46 @@
+"""Benchmark fixtures.
+
+The full (workload x ISA) simulation matrix runs once per pytest session
+under the paper's Table 4 configuration and is shared by every benchmark;
+each bench then regenerates its figure/table from the cached results and
+prints the paper-shaped rows.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload problem-size scale (default 0.5; use
+  1.0 for the EXPERIMENTS.md numbers, smaller for smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.common.config import paper_config
+from repro.common.tables import render_table
+from repro.harness.runner import run_suite
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full simulation matrix under the paper configuration."""
+    return run_suite(scale=BENCH_SCALE, config=paper_config())
+
+
+@pytest.fixture()
+def show():
+    """Print one figure's table under the benchmark output."""
+
+    def _show(title, headers, rows):
+        print()
+        print(render_table(headers, rows, title))
+
+    return _show
+
+
+def one_shot(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Ablation: instruction-footprint sensitivity to the L1I size.
+
+The paper's LULESH observation (§V.C): its GCN3 footprint exceeds the L1
+instruction cache, multiplying fetch misses and runtime, while the HSAIL
+approximation (8 bytes/instruction) stays resident.  At this repository's
+scaled problem sizes both footprints fit the default 32 kB L1I, so this
+example recreates the effect by sweeping the I-cache down until the GCN3
+code thrashes first — the machine-ISA footprint crosses the capacity wall
+at a cache size where the IL footprint still fits.
+
+Run:  python examples/cache_sweep.py
+"""
+
+from repro.common.config import CacheConfig, paper_config
+from repro.common.tables import render_table
+from repro.harness.runner import run_workload
+
+
+def sweep_l1i(workload: str, sizes_bytes):
+    rows = []
+    for size in sizes_bytes:
+        config = paper_config().scaled(
+            l1i=CacheConfig(size_bytes=size, associativity=8, hit_latency=4)
+        )
+        row = [f"{size // 1024} kB" if size >= 1024 else f"{size} B"]
+        for isa in ("hsail", "gcn3"):
+            run = run_workload(workload, isa, scale=0.5, config=config)
+            assert run.verified
+            row += [int(run.stat("ifetch_misses")), run.cycles]
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    workload = "lulesh"
+    fp = {}
+    for isa in ("hsail", "gcn3"):
+        run = run_workload(workload, isa, scale=0.5, config=paper_config())
+        fp[isa] = run.instr_footprint_bytes
+    print(f"{workload} instruction footprints: "
+          f"HSAIL {fp['hsail']} B (8 B/instr approximation), "
+          f"GCN3 {fp['gcn3']} B (real encoding)\n")
+
+    sizes = [8192, 4096, 2048, 1024]
+    rows = sweep_l1i(workload, sizes)
+    print(render_table(
+        ["L1I size", "HSAIL L1I misses", "HSAIL cycles",
+         "GCN3 L1I misses", "GCN3 cycles"],
+        rows,
+        title=f"L1I capacity sweep over {workload} "
+              "(per-cluster instruction cache)",
+    ))
+    print()
+    print("Reading the table: as the I-cache shrinks past the GCN3 code")
+    print("size, machine-ISA fetch misses take off while the compact IL")
+    print("approximation still fits -- the capacity interaction an")
+    print("IL-level model cannot see (paper Figure 8 / LULESH).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""The paper's Figure 3, reproduced end to end.
+
+Builds the if-else-if kernel from Figure 3(a), shows the HSAIL CFG with
+its reconvergence points and the GCN3 predicated layout, then executes
+both with a wavefront whose lanes take all three paths and reports the
+instruction-buffer flushes: the HSAIL reconvergence stack jumps, GCN3's
+EXEC-mask layout does not.
+
+Run:  python examples/divergence_study.py
+"""
+
+import numpy as np
+
+from repro.common.config import small_config
+from repro.core import compile_dual
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+from repro.runtime.process import GpuProcess
+from repro.timing.gpu import Gpu
+
+
+def build_figure3():
+    """Figure 3(a):  if (cond1) *out = 84; else if (cond2) *out = 90;
+    else *out = 84;  (one work-item per element)."""
+    kb = KernelBuilder(
+        "figure3", [("x", DType.U64), ("out", DType.U64),
+                    ("t1", DType.U32), ("t2", DType.U32)],
+    )
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    x = kb.load(Segment.GLOBAL, kb.kernarg("x") + off, DType.U32)
+    result = kb.var(DType.U32, 0)
+    with kb.If(kb.lt(x, kb.kernarg("t1"))) as outer:
+        kb.assign(result, 84)
+        with outer.Else():
+            with kb.If(kb.lt(x, kb.kernarg("t2"))) as inner:
+                kb.assign(result, 90)
+                with inner.Else():
+                    kb.assign(result, 84)
+    kb.store(Segment.GLOBAL, kb.kernarg("out") + off, result)
+    return kb.finish()
+
+
+def run(dual, isa, x_values):
+    proc = GpuProcess(isa)
+    x_d = proc.upload(x_values)
+    out = proc.alloc_buffer(4 * len(x_values))
+    proc.dispatch(dual.for_isa(isa), grid=len(x_values), wg=64,
+                  kernargs=[x_d, out, 10, 20])
+    gpu = Gpu(small_config(1), proc)
+    stats = gpu.run_all()[0]
+    return proc.download(out, np.uint32, len(x_values)), stats
+
+
+def main() -> None:
+    dual = compile_dual(build_figure3())
+
+    print("HSAIL (Figure 3b): SIMT instructions; the simulator derives")
+    print("reconvergence PCs from immediate post-dominators:")
+    print(dual.hsail.pretty())
+    print(f"  reconvergence table (branch pc -> RPC): {dual.hsail.rpc_table}")
+    print()
+    print("GCN3 (Figure 3c): serial layout, EXEC-mask predication, branch")
+    print("instructions only to bypass fully inactive paths:")
+    print(dual.gcn3.pretty())
+    print()
+
+    # One wavefront, all three paths populated (like the figure).
+    x = np.zeros(64, dtype=np.uint32)
+    x[0:20] = 5     # path A (x < t1)         -> 84
+    x[20:44] = 15   # path B (t1 <= x < t2)   -> 90
+    x[44:64] = 99   # path C (x >= t2)        -> 84
+    expected = np.where(x < 10, 84, np.where(x < 20, 90, 84))
+
+    print("executing with one fully divergent wavefront "
+          "(20/24/20 lanes per path):")
+    for isa in ("hsail", "gcn3"):
+        out, stats = run(dual, isa, x)
+        assert np.array_equal(out, expected.astype(np.uint32))
+        print(f"  {isa.upper():5s}: IB flushes = "
+              f"{int(stats.snapshot().get('ib_flushes', 0))}, "
+              f"dynamic instructions = {stats.dynamic_instructions}, "
+              f"cycles = {stats.cycles}")
+    print()
+    print("and with a uniform wavefront (every lane takes path A, so the")
+    print("GCN3 bypass branches over the dead paths ARE taken):")
+    for isa in ("hsail", "gcn3"):
+        out, stats = run(dual, isa, np.full(64, 5, dtype=np.uint32))
+        print(f"  {isa.upper():5s}: IB flushes = "
+              f"{int(stats.snapshot().get('ib_flushes', 0))}")
+
+
+if __name__ == "__main__":
+    main()

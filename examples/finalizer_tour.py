@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""A guided tour of the finalizer: what gets lost at the IL level.
+
+Regenerates the paper's Tables 1-3 from this repository's own compiler
+pipeline, then walks through the other lowering decisions the evaluation
+section measures: scalarization, VOP2 operand legalization, waitcnt
+insertion, and private-segment address materialization.
+
+Run:  python examples/finalizer_tour.py
+"""
+
+from repro.core import compile_dual
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def show(title, dual, note=""):
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+    if note:
+        print(note)
+    print(f"\nHSAIL ({dual.hsail.static_instructions} instructions):")
+    for instr in dual.hsail.instrs:
+        print(f"    {instr!r}")
+    print(f"\nGCN3 ({dual.gcn3.static_instructions} instructions, "
+          f"{dual.expansion_ratio:.2f}x):")
+    print(dual.gcn3.pretty())
+
+
+def table1():
+    kb = KernelBuilder("workitem_id", [("out", DType.U64)])
+    tid = kb.wi_abs_id()
+    kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4,
+             tid)
+    show(
+        "Table 1 -- obtaining the absolute work-item id",
+        compile_dual(kb.finish()),
+        "HSAIL: one instruction.  GCN3: the ABI sequence -- s_load the\n"
+        "packed workgroup sizes from the AQL packet (s[4:5] + 0x4), wait,\n"
+        "s_bfe the 16-bit X size, s_mul by the workgroup id in s8, and\n"
+        "v_add the in-workgroup id from v0.",
+    )
+
+
+def table2():
+    kb = KernelBuilder("kernarg_access", [("arg1", DType.U64)])
+    v = kb.load(Segment.GLOBAL, kb.kernarg("arg1"), DType.U32)
+    kb.store(Segment.GLOBAL, kb.kernarg("arg1") + 64, v)
+    show(
+        "Table 2 -- kernarg address calculation",
+        compile_dual(kb.finish()),
+        "HSAIL ld_kernarg is serviced from simulator state.  GCN3 moves\n"
+        "the kernarg base (s[6:7], set by the ABI) into VGPRs for the\n"
+        "FLAT load -- the value redundancy HSAIL never sees.",
+    )
+
+
+def table3():
+    kb = KernelBuilder("fp64_division", [("p", DType.U64)])
+    a = kb.load(Segment.GLOBAL, kb.kernarg("p"), DType.F64)
+    b = kb.load(Segment.GLOBAL, kb.kernarg("p") + 8, DType.F64)
+    kb.store(Segment.GLOBAL, kb.kernarg("p") + 16, a / b)
+    show(
+        "Table 3 -- 64-bit floating point division",
+        compile_dual(kb.finish()),
+        "HSAIL: a single div.  GCN3: the Newton-Raphson sequence\n"
+        "(v_div_scale x2, v_rcp, fma refinement, v_div_fmas,\n"
+        "v_div_fixup) -- plus the register pressure of four live f64\n"
+        "temporaries, which 'can only be simulated using the GCN3 code'.",
+    )
+
+
+def scalarization():
+    kb = KernelBuilder("scalarization", [("p", DType.U64), ("n", DType.U32)])
+    tid = kb.wi_abs_id()
+    bound = (kb.kernarg("n") + 7) & 0xFFFFFFF8   # uniform integer math
+    with kb.If(kb.lt(tid, bound)):               # divergent use
+        kb.store(Segment.GLOBAL,
+                 kb.kernarg("p") + kb.cvt(tid, DType.U64) * 4, tid)
+    show(
+        "Scalarization -- uniform work on the scalar pipeline",
+        compile_dual(kb.finish()),
+        "The bound computation is uniform across the wavefront: the\n"
+        "finalizer assigns it to SGPRs and the scalar ALU (s_add/s_and),\n"
+        "resources that simply do not exist at the HSAIL level.",
+    )
+
+
+def dependencies():
+    kb = KernelBuilder("waitcnt", [("p", DType.U64), ("q", DType.U64)])
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    a = kb.load(Segment.GLOBAL, kb.kernarg("p") + off, DType.F32)
+    b = kb.load(Segment.GLOBAL, kb.kernarg("q") + off, DType.F32)
+    kb.store(Segment.GLOBAL, kb.kernarg("p") + off, a * b)
+    show(
+        "Dependency management -- s_waitcnt instead of a scoreboard",
+        compile_dual(kb.finish()),
+        "GCN3 has no hardware scoreboard: the finalizer inserts s_waitcnt\n"
+        "before the first use of each outstanding load (note the vmcnt\n"
+        "values allowing younger loads to stay in flight).  The HSAIL\n"
+        "simulator must model a scoreboard that real hardware lacks.",
+    )
+
+
+def private_segment():
+    kb = KernelBuilder("private_segment", [("out", DType.U64)])
+    scratch = kb.private_scratch(8)
+    tid = kb.wi_abs_id()
+    kb.store(Segment.PRIVATE, scratch, tid * 3)
+    v = kb.load(Segment.PRIVATE, scratch, DType.U32)
+    kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4, v)
+    show(
+        "Private segment -- address materialization from the descriptor",
+        compile_dual(kb.finish()),
+        "HSAIL's ld_private/st_private imply a per-work-item base the\n"
+        "simulator maintains.  GCN3 computes it: descriptor base (s[0:1])\n"
+        "+ work-item id * stride (s2), then FLAT accesses -- the 'several\n"
+        "offsets and stride sizes' of paper section III.A.2.",
+    )
+
+
+if __name__ == "__main__":
+    table1()
+    table2()
+    table3()
+    scalarization()
+    dependencies()
+    private_segment()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Histogram with global atomics — an extension beyond the paper's suite.
+
+The paper's ten workloads avoid atomics; this example exercises the
+framework's atomic extension (`kb.atomic_add` -> HSAIL ``atomic_add`` ->
+GCN3 ``flat_atomic_add``) and shows that even a contention-heavy kernel
+keeps the dual-ISA contract: bit-identical memory results, different
+microarchitectural picture.
+
+Run:  python examples/histogram.py
+"""
+
+import numpy as np
+
+from repro.common.config import paper_config
+from repro.common.tables import render_table
+from repro.core import compile_dual
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+from repro.runtime.process import GpuProcess
+from repro.timing.gpu import Gpu
+
+BINS = 16
+N = 4096
+
+
+def build_histogram():
+    kb = KernelBuilder("histogram", [("x", DType.U64), ("counts", DType.U64)])
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    value = kb.load(Segment.GLOBAL, kb.kernarg("x") + off, DType.U32)
+    bin_idx = value & (BINS - 1)
+    slot = kb.kernarg("counts") + kb.cvt(bin_idx, DType.U64) * 4
+    kb.atomic_add(Segment.GLOBAL, slot, 1)
+    return kb.finish()
+
+
+def main() -> None:
+    dual = compile_dual(build_histogram())
+    print("GCN3 lowering of the atomic kernel:")
+    print(dual.gcn3.pretty())
+    print()
+
+    rng = np.random.default_rng(3)
+    # Skewed data: bin contention differs wildly across bins.
+    data = (rng.zipf(1.3, N) % 2**16).astype(np.uint32)
+    expected = np.bincount(data % BINS, minlength=BINS).astype(np.uint32)
+
+    rows = []
+    for isa in ("hsail", "gcn3"):
+        proc = GpuProcess(isa)
+        x = proc.upload(data)
+        counts = proc.upload(np.zeros(BINS, dtype=np.uint32))
+        proc.dispatch(dual.for_isa(isa), grid=N, wg=256,
+                      kernargs=[x, counts])
+        stats = Gpu(paper_config(), proc).run_all()[0]
+        got = proc.download(counts, np.uint32, BINS)
+        assert np.array_equal(got, expected), isa
+        rows.append([isa.upper(), stats.cycles, stats.dynamic_instructions,
+                     round(stats.ipc, 2)])
+
+    print(render_table(["ISA", "cycles", "dyn instrs", "IPC"], rows,
+                       title=f"{N} atomic increments into {BINS} bins"))
+    print(f"\nhistogram verified against numpy under both ISAs: {expected.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

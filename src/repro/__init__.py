@@ -1,0 +1,11 @@
+"""repro: dual-ISA GPU simulation reproducing "Lost in Abstraction" (HPCA 2018).
+
+Public entry points:
+
+* :func:`repro.core.compile_dual` — DSL kernel -> HSAIL + GCN3.
+* :class:`repro.runtime.GpuProcess` — stage memory and dispatches.
+* :class:`repro.timing.Gpu` — the shared cycle-level machine model.
+* :func:`repro.harness.run_suite` — the paper's full evaluation matrix.
+"""
+
+__version__ = "1.0.0"

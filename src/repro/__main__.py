@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+list
+    Show the workload registry (the paper's Table 5).
+run --workload W [--isa hsail|gcn3|both] [--scale S] [--cus N]
+    Simulate one workload and print its statistics.
+figures [--scale S] [--only figNN,...] [--output FILE]
+    Regenerate the paper's evaluation figures/tables.
+disasm --workload W [--kernel K] [--isa hsail|gcn3|both]
+    Print kernel listings (both abstraction levels by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .common.config import paper_config, small_config
+from .common.tables import render_table
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .workloads import all_workloads
+
+    rows = []
+    for wl in all_workloads():
+        duals = wl.kernels()
+        rows.append([wl.name, wl.description, len(duals)])
+    print(render_table(["Workload", "Description", "Kernels"], rows,
+                       title="Workloads (paper Table 5)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .harness.runner import run_workload
+
+    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    isas = ["hsail", "gcn3"] if args.isa == "both" else [args.isa]
+    rows = []
+    for isa in isas:
+        run = run_workload(args.workload, isa, scale=args.scale, config=config)
+        snap = run.total.snapshot()
+        rows.append([
+            isa.upper(),
+            "yes" if run.verified else "NO",
+            run.cycles,
+            run.dynamic_instructions,
+            round(run.total.ipc, 3),
+            int(snap.get("ib_flushes", 0)),
+            int(snap.get("vrf_bank_conflicts", 0)),
+            round(100 * snap.get("simd_utilization", 0.0), 1),
+            run.data_footprint_bytes,
+            run.instr_footprint_bytes,
+            f"{run.wall_seconds:.1f}s",
+        ])
+    print(render_table(
+        ["ISA", "verified", "cycles", "dyn instrs", "IPC", "IB flushes",
+         "VRF conflicts", "SIMD%", "data B", "code B", "wall"],
+        rows,
+        title=f"{args.workload} @ scale {args.scale}, {args.cus} CUs",
+    ))
+    return 0 if all(r[1] == "yes" for r in rows) else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .harness.report import write_report
+    from .harness.runner import run_suite
+
+    keys = args.only.split(",") if args.only else None
+    results = run_suite(scale=args.scale, config=paper_config())
+    if args.json:
+        text = results.to_json()
+        if args.output:
+            with open(args.output, "w") as f:
+                f.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+    elif args.output:
+        with open(args.output, "w") as f:
+            write_report(results, f, keys)
+        print(f"wrote {args.output}")
+    else:
+        write_report(results, sys.stdout, keys)
+    return 0 if results.all_verified() else 1
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from .workloads import create
+
+    workload = create(args.workload, scale=args.scale)
+    duals = workload.kernels()
+    names = [args.kernel] if args.kernel else sorted(duals)
+    for name in names:
+        if name not in duals:
+            print(f"no kernel {name!r}; available: {sorted(duals)}",
+                  file=sys.stderr)
+            return 2
+        dual = duals[name]
+        if args.isa in ("hsail", "both"):
+            print(dual.hsail.pretty())
+            print()
+        if args.isa in ("gcn3", "both"):
+            print(dual.gcn3.pretty())
+            print()
+        print(f"expansion: {dual.expansion_ratio:.2f}x | "
+              f"HSAIL {dual.hsail.code_bytes} B (8 B/instr) | "
+              f"GCN3 {dual.gcn3.code_bytes} B encoded")
+        print()
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .harness.diffing import diff_files
+
+    deltas = diff_files(args.before, args.after)
+    if not deltas:
+        print("no meaningful differences")
+        return 0
+    for delta in deltas:
+        print(delta.render())
+    return 1
+
+
+def _cmd_per_kernel(args: argparse.Namespace) -> int:
+    from .harness.runner import run_workload
+
+    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    runs = {isa: run_workload(args.workload, isa, scale=args.scale,
+                              config=config)
+            for isa in ("hsail", "gcn3")}
+    hs = runs["hsail"].per_kernel_totals()
+    g3 = runs["gcn3"].per_kernel_totals()
+    rows = []
+    for name in sorted(hs):
+        h, g = hs[name], g3[name]
+        rows.append([
+            name,
+            h.dynamic_instructions, g.dynamic_instructions,
+            round(g.dynamic_instructions / max(1, h.dynamic_instructions), 2),
+            h.cycles, g.cycles,
+            round(h.cycles / max(1, g.cycles), 2),
+        ])
+    print(render_table(
+        ["Kernel", "HSAIL dyn", "GCN3 dyn", "expand",
+         "HSAIL cyc", "GCN3 cyc", "HSAIL/GCN3"],
+        rows, title=f"{args.workload}: per-kernel statistics"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dual-ISA GPU simulation ('Lost in Abstraction', HPCA'18)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the workload registry")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("--workload", "-w", required=True)
+    run_p.add_argument("--isa", "-i", choices=["hsail", "gcn3", "both"],
+                       default="both")
+    run_p.add_argument("--scale", "-s", type=float, default=0.5)
+    run_p.add_argument("--cus", type=int, default=8)
+
+    fig_p = sub.add_parser("figures", help="regenerate the evaluation")
+    fig_p.add_argument("--scale", "-s", type=float, default=0.5)
+    fig_p.add_argument("--only", help="comma-separated keys, e.g. fig05,fig09")
+    fig_p.add_argument("--output", "-o", help="write to a file")
+    fig_p.add_argument("--json", action="store_true",
+                       help="emit the raw result matrix as JSON")
+
+    diff_p = sub.add_parser("diff", help="compare two --json exports")
+    diff_p.add_argument("before")
+    diff_p.add_argument("after")
+
+    pk_p = sub.add_parser("per-kernel", help="per-kernel dual-ISA stats")
+    pk_p.add_argument("--workload", "-w", required=True)
+    pk_p.add_argument("--scale", "-s", type=float, default=0.5)
+    pk_p.add_argument("--cus", type=int, default=8)
+
+    dis_p = sub.add_parser("disasm", help="print kernel listings")
+    dis_p.add_argument("--workload", "-w", required=True)
+    dis_p.add_argument("--kernel", "-k")
+    dis_p.add_argument("--isa", "-i", choices=["hsail", "gcn3", "both"],
+                       default="both")
+    dis_p.add_argument("--scale", "-s", type=float, default=0.25)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "figures": _cmd_figures,
+        "disasm": _cmd_disasm,
+        "diff": _cmd_diff,
+        "per-kernel": _cmd_per_kernel,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

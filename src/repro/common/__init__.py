@@ -1,0 +1,22 @@
+"""Shared substrate: bit utilities, configuration, events, statistics."""
+
+from .categories import CATEGORY_ORDER, InstrCategory
+from .config import CacheConfig, CuConfig, DramConfig, GpuConfig, paper_config, small_config
+from .events import EventQueue
+from .stats import Distribution, RatioProbe, StatSet, merge_all
+
+__all__ = [
+    "CATEGORY_ORDER",
+    "InstrCategory",
+    "CacheConfig",
+    "CuConfig",
+    "DramConfig",
+    "GpuConfig",
+    "paper_config",
+    "small_config",
+    "EventQueue",
+    "Distribution",
+    "RatioProbe",
+    "StatSet",
+    "merge_all",
+]

@@ -1,0 +1,119 @@
+"""Bit-manipulation helpers shared by encoders, semantics, and the ABI.
+
+All helpers operate on plain Python integers interpreted as fixed-width
+two's-complement values.  The GCN3 encoder and both functional models use
+these to stay byte-exact without pulling numpy into scalar paths.
+"""
+
+from __future__ import annotations
+
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def mask(width: int) -> int:
+    """Return a mask with the low ``width`` bits set."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Extract bits ``hi:lo`` (inclusive) of ``value``."""
+    if hi < lo:
+        raise ValueError(f"bad bit range [{hi}:{lo}]")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def insert_bits(value: int, field: int, hi: int, lo: int) -> int:
+    """Return ``value`` with bits ``hi:lo`` replaced by ``field``."""
+    if hi < lo:
+        raise ValueError(f"bad bit range [{hi}:{lo}]")
+    width = hi - lo + 1
+    if field & ~mask(width):
+        raise ValueError(f"field {field:#x} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << lo)
+    return cleared | (field << lo)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the low ``width`` bits of ``value`` to a Python int."""
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Wrap a possibly-negative int to its unsigned ``width``-bit pattern."""
+    return value & mask(width)
+
+
+def bit_field_extract(value: int, offset: int, width: int, signed: bool = False) -> int:
+    """GCN3 ``s_bfe`` semantics: extract ``width`` bits starting at ``offset``.
+
+    The hardware encodes (offset, width) as a single operand with offset in
+    bits [4:0] and width in bits [22:16]; callers pass them pre-split.
+    A zero width yields zero, matching the ISA manual.
+    """
+    if width == 0:
+        return 0
+    raw = (value >> offset) & mask(width)
+    if signed:
+        return sign_extend(raw, width)
+    return raw
+
+
+def pack_bfe_operand(offset: int, width: int) -> int:
+    """Pack an (offset, width) pair into the s_bfe immediate encoding."""
+    return (offset & 0x1F) | ((width & 0x7F) << 16)
+
+
+def unpack_bfe_operand(operand: int) -> "tuple[int, int]":
+    """Split an s_bfe immediate into (offset, width)."""
+    return operand & 0x1F, (operand >> 16) & 0x7F
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when ``value`` is a multiple of power-of-two ``alignment``."""
+    return align_down(value, alignment) == value
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of a power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def popcount64(value: int) -> int:
+    """Population count of a 64-bit value (e.g. an EXEC mask)."""
+    return bin(value & MASK64).count("1")
+
+
+def lane_mask(active_lanes: "list[int] | tuple[int, ...]") -> int:
+    """Build a 64-bit execution mask from a list of active lane indices."""
+    out = 0
+    for lane in active_lanes:
+        if not 0 <= lane < 64:
+            raise ValueError(f"lane {lane} out of range")
+        out |= 1 << lane
+    return out
+
+
+def mask_lanes(execmask: int) -> "list[int]":
+    """Inverse of :func:`lane_mask`: active lane indices of a 64-bit mask."""
+    return [i for i in range(64) if (execmask >> i) & 1]

@@ -1,0 +1,38 @@
+"""Instruction categories shared by both ISAs and the timing model.
+
+These are the classes the paper's Figure 5 breaks dynamic instructions
+into.  HSAIL has no scalar pipeline, so HSAIL instructions never carry the
+SALU/SMEM categories; the finalizer introduces them.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class InstrCategory(str, Enum):
+    """Execution-resource class of an instruction."""
+
+    VALU = "valu"        # vector ALU (SIMD units)
+    SALU = "salu"        # scalar ALU (GCN3 scalar unit)
+    VMEM = "vmem"        # vector (per-lane) memory: flat/global/private
+    SMEM = "smem"        # scalar memory (s_load via scalar cache)
+    LDS = "lds"          # local data share
+    BRANCH = "branch"    # control flow
+    MISC = "misc"        # nop, barrier, waitcnt, endpgm
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstrCategory.VMEM, InstrCategory.SMEM, InstrCategory.LDS)
+
+
+#: Order used when printing Figure-5-style breakdowns.
+CATEGORY_ORDER = (
+    InstrCategory.VALU,
+    InstrCategory.SALU,
+    InstrCategory.VMEM,
+    InstrCategory.SMEM,
+    InstrCategory.LDS,
+    InstrCategory.BRANCH,
+    InstrCategory.MISC,
+)

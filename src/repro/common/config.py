@@ -1,0 +1,136 @@
+"""Simulation configuration (the paper's Table 4).
+
+The default :class:`GpuConfig` mirrors the configuration the paper simulates:
+8 compute units at 800 MHz, 4 SIMD units each, 40 wavefront slots of 64
+lanes, a 2,048-entry vector register file and an 800-entry scalar register
+file per CU, a 16 kB fully-associative write-through L1 data cache per CU,
+a 32 kB 8-way L1 instruction cache and 512 kB 16-way L2 shared per 4-CU
+cluster, and a 32-channel DDR3-style DRAM model at 500 MHz.
+
+Tests use :func:`small_config` (2 CUs) where the full machine is overkill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 16  # 0 means fully associative
+    hit_latency: int = 4
+    write_through: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % self.line_bytes:
+            raise ConfigError(f"cache size {self.size_bytes} not a multiple of line {self.line_bytes}")
+        n_lines = self.size_bytes // self.line_bytes
+        assoc = self.associativity or n_lines
+        if n_lines % assoc:
+            raise ConfigError(f"{n_lines} lines not divisible by associativity {assoc}")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        assoc = self.associativity or self.num_lines
+        return self.num_lines // assoc
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """A simple channel-parallel DDR3-style DRAM model."""
+
+    channels: int = 32
+    clock_mhz: int = 500
+    base_latency_cycles: int = 160     # in GPU cycles, row activation + CAS
+    cycles_per_burst: int = 4          # channel occupancy per 64B line
+
+
+@dataclass(frozen=True)
+class CuConfig:
+    """One compute unit (paper Figure 2, Table 4)."""
+
+    num_simds: int = 4
+    simd_width: int = 16
+    wavefront_size: int = 64
+    max_wavefronts: int = 40           # WF slots per CU, oldest-job-first
+    vrf_entries: int = 2048            # 32-bit vector registers per CU pool
+    srf_entries: int = 800             # 32-bit scalar registers per CU pool
+    vrf_banks: int = 4                 # banks per SIMD's VRF slice
+    srf_banks: int = 2
+    lds_bytes: int = 64 * 1024
+    ib_entries: int = 12               # per-WF instruction buffer slots
+    fetch_width_bytes: int = 32        # bytes fetched from L1I per access
+    valu_issue_cycles: int = 4         # 64 lanes over 16-lane SIMD
+    salu_latency: int = 1
+    lds_latency: int = 24
+    max_outstanding_vmem: int = 16
+
+    def __post_init__(self) -> None:
+        if self.wavefront_size % self.simd_width:
+            raise ConfigError("wavefront size must be a multiple of the SIMD width")
+        if self.max_wavefronts % self.num_simds:
+            raise ConfigError("WF slots must divide evenly across SIMD units")
+
+    @property
+    def wavefronts_per_simd(self) -> int:
+        return self.max_wavefronts // self.num_simds
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Whole-GPU configuration (Table 4)."""
+
+    num_cus: int = 8
+    cus_per_cluster: int = 4           # share L1I, scalar cache, and L2
+    clock_mhz: int = 800
+    cu: CuConfig = field(default_factory=CuConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=16 * 1024, associativity=0, hit_latency=8)
+    )
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, associativity=8, hit_latency=4)
+    )
+    scalar_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=16 * 1024, associativity=8, hit_latency=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=512 * 1024, associativity=16, hit_latency=32)
+    )
+    dram: DramConfig = field(default_factory=DramConfig)
+    deadlock_cycles: int = 4_000_000   # abort if no retirement for this long
+
+    def __post_init__(self) -> None:
+        if self.num_cus <= 0:
+            raise ConfigError("need at least one CU")
+        if self.num_cus % self.cus_per_cluster and self.num_cus > self.cus_per_cluster:
+            raise ConfigError("CU count must be a multiple of the cluster size")
+
+    @property
+    def num_clusters(self) -> int:
+        return max(1, self.num_cus // self.cus_per_cluster)
+
+    def scaled(self, **overrides: object) -> "GpuConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def paper_config() -> GpuConfig:
+    """The configuration from Table 4 of the paper."""
+    return GpuConfig()
+
+
+def small_config(num_cus: int = 2) -> GpuConfig:
+    """A reduced configuration for unit tests: fewer CUs, same per-CU shape."""
+    if num_cus < 1:
+        raise ConfigError("need at least one CU")
+    return GpuConfig(num_cus=num_cus, cus_per_cluster=min(num_cus, 4))

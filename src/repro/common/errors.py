@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro framework.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch
+framework failures without swallowing genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent simulation configuration."""
+
+
+class KernelBuildError(ReproError):
+    """The kernel DSL was used incorrectly (type errors, malformed CFG)."""
+
+
+class CodegenError(ReproError):
+    """HSAIL code generation failed."""
+
+
+class FinalizerError(ReproError):
+    """HSAIL -> GCN3 finalization failed."""
+
+
+class RegisterAllocationError(FinalizerError):
+    """Register demand exceeded the architectural budget and could not spill."""
+
+
+class EncodingError(ReproError):
+    """Instruction could not be encoded or decoded."""
+
+
+class ExecutionError(ReproError):
+    """Functional execution fault (bad opcode, misaligned access, ...)."""
+
+
+class MemoryError_(ReproError):
+    """Simulated-memory fault (unmapped address, overlapping allocation)."""
+
+
+class RuntimeStackError(ReproError):
+    """ROCm-like runtime misuse (bad packet, double free, queue overflow)."""
+
+
+class TimingError(ReproError):
+    """Timing-model invariant violation (deadlock, resource misuse)."""
+
+
+class DeadlockError(TimingError):
+    """The GPU made no forward progress for an implausible interval."""

@@ -1,0 +1,85 @@
+"""Deterministic discrete-event queue used by the timing model.
+
+The CU pipelines are cycle-driven, but long-latency structures (caches,
+DRAM, barriers) schedule completion events here.  When every wavefront on
+the machine is provably blocked, the top-level clock fast-forwards to the
+next event time instead of burning empty cycles — this is what makes a
+cycle-level model tractable in Python.
+
+Determinism: ties are broken by insertion order, never by callback
+identity, so two runs of the same workload produce identical cycle counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from .errors import TimingError
+
+EventCallback = Callable[[], None]
+
+
+class EventQueue:
+    """A monotonic, deterministic event queue keyed by cycle."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, EventCallback]] = []
+        self._seq = 0
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated cycle."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: int, callback: EventCallback) -> None:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise TimingError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, cycle: int, callback: EventCallback) -> None:
+        """Schedule ``callback`` at an absolute cycle."""
+        if cycle < self._now:
+            raise TimingError(f"cannot schedule at {cycle}, now is {self._now}")
+        heapq.heappush(self._heap, (cycle, self._seq, callback))
+        self._seq += 1
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def advance_to(self, cycle: int) -> None:
+        """Move the clock to ``cycle``, firing every event due on the way.
+
+        Events scheduled *during* processing at or before ``cycle`` also
+        fire, in deterministic order.
+        """
+        if cycle < self._now:
+            raise TimingError(f"clock cannot run backwards ({cycle} < {self._now})")
+        while self._heap and self._heap[0][0] <= cycle:
+            when, _seq, callback = heapq.heappop(self._heap)
+            self._now = when
+            callback()
+        self._now = cycle
+
+    def tick(self) -> None:
+        """Advance the clock by exactly one cycle."""
+        self.advance_to(self._now + 1)
+
+    def fast_forward(self) -> bool:
+        """Jump straight to the next pending event.
+
+        Returns False when no events are pending (the caller must decide
+        whether that means completion or deadlock).
+        """
+        nxt = self.next_event_cycle()
+        if nxt is None:
+            return False
+        self.advance_to(nxt)
+        return True

@@ -1,0 +1,69 @@
+"""Lane-mask and per-lane memory helpers shared by both functional models."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .errors import ExecutionError
+
+WF_SIZE = 64
+FULL_MASK = (1 << WF_SIZE) - 1
+
+_LANES_U64 = np.arange(WF_SIZE, dtype=np.uint64)
+
+
+def mask_to_bool(bits: int) -> np.ndarray:
+    """64-bit execution mask -> bool[64]."""
+    return (((np.uint64(bits & FULL_MASK)) >> _LANES_U64) & np.uint64(1)).astype(bool)
+
+
+def bool_to_mask(mask: np.ndarray) -> int:
+    """bool[64] -> 64-bit execution mask."""
+    bits = 0
+    for lane in np.flatnonzero(mask):
+        bits |= 1 << int(lane)
+    return bits
+
+
+def touched_lines(addrs: np.ndarray, mask: np.ndarray, size: int) -> List[int]:
+    """Unique 64-byte line addresses covered by the active lanes."""
+    active = addrs[mask]
+    if active.size == 0:
+        return []
+    lines = set((active >> np.uint64(6)).tolist())
+    if size > 4:
+        lines.update(((active + np.uint64(size - 1)) >> np.uint64(6)).tolist())
+    return sorted(lines)
+
+
+def lds_gather_u32(lds: np.ndarray, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Per-lane 32-bit reads from an LDS byte array."""
+    out = np.zeros(WF_SIZE, dtype=np.uint32)
+    idx = addrs[mask].astype(np.int64)
+    if idx.size == 0:
+        return out
+    if idx.min() < 0 or idx.max() + 4 > lds.size:
+        raise ExecutionError("LDS access out of bounds")
+    out[mask] = (
+        lds[idx].astype(np.uint32)
+        | (lds[idx + 1].astype(np.uint32) << 8)
+        | (lds[idx + 2].astype(np.uint32) << 16)
+        | (lds[idx + 3].astype(np.uint32) << 24)
+    )
+    return out
+
+
+def lds_scatter_u32(lds: np.ndarray, addrs: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+    """Per-lane 32-bit writes to an LDS byte array."""
+    idx = addrs[mask].astype(np.int64)
+    if idx.size == 0:
+        return
+    if idx.min() < 0 or idx.max() + 4 > lds.size:
+        raise ExecutionError("LDS access out of bounds")
+    vals = values[mask].astype(np.uint32)
+    lds[idx] = (vals & 0xFF).astype(np.uint8)
+    lds[idx + 1] = ((vals >> 8) & 0xFF).astype(np.uint8)
+    lds[idx + 2] = ((vals >> 16) & 0xFF).astype(np.uint8)
+    lds[idx + 3] = ((vals >> 24) & 0xFF).astype(np.uint8)

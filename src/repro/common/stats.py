@@ -1,0 +1,174 @@
+"""Statistics containers for simulation runs.
+
+A :class:`StatSet` is a flat registry of named counters plus a few typed
+sub-structures (distributions for medians, ratio probes for uniqueness).
+Kernel launches each get their own StatSet; the harness merges them into a
+per-workload aggregate with :meth:`StatSet.merge`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+from .categories import CATEGORY_ORDER, InstrCategory
+
+
+class Distribution:
+    """A sample accumulator supporting count/mean/median/percentiles.
+
+    Samples are bucketed exactly (value -> count) because reuse distances
+    and similar metrics repeat heavily; this keeps memory bounded without
+    losing the median.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._buckets[int(value)] += count
+        self._count += count
+        self._total += int(value) * count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Inclusive-rank percentile over the bucketed samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} out of range")
+        if not self._count:
+            return 0.0
+        target = max(1, round(p / 100.0 * self._count))
+        seen = 0
+        for value in sorted(self._buckets):
+            seen += self._buckets[value]
+            if seen >= target:
+                return float(value)
+        return float(max(self._buckets))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def merge(self, other: "Distribution") -> None:
+        for value, count in other._buckets.items():
+            self._buckets[value] += count
+        self._count += other._count
+        self._total += other._total
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._buckets)
+
+
+class RatioProbe:
+    """Accumulates numerator/denominator pairs (e.g. unique lanes / lanes)."""
+
+    def __init__(self) -> None:
+        self.numerator = 0
+        self.denominator = 0
+
+    def add(self, numerator: int, denominator: int) -> None:
+        if denominator < 0 or numerator < 0:
+            raise ValueError("ratio components must be non-negative")
+        self.numerator += numerator
+        self.denominator += denominator
+
+    @property
+    def value(self) -> float:
+        return self.numerator / self.denominator if self.denominator else 0.0
+
+    def merge(self, other: "RatioProbe") -> None:
+        self.numerator += other.numerator
+        self.denominator += other.denominator
+
+
+@dataclass
+class StatSet:
+    """All statistics collected for one kernel launch (or an aggregate)."""
+
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    instructions_by_category: Dict[InstrCategory, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    reuse_distance: Distribution = field(default_factory=Distribution)
+    read_uniqueness: RatioProbe = field(default_factory=RatioProbe)
+    write_uniqueness: RatioProbe = field(default_factory=RatioProbe)
+    simd_utilization: RatioProbe = field(default_factory=RatioProbe)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def record_instruction(self, category: InstrCategory, count: int = 1) -> None:
+        self.instructions_by_category[category] += count
+        self.counters["dynamic_instructions"] += count
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return self.counters.get("dynamic_instructions", 0)
+
+    @property
+    def cycles(self) -> int:
+        return self.counters.get("cycles", 0)
+
+    @property
+    def ipc(self) -> float:
+        return self.dynamic_instructions / self.cycles if self.cycles else 0.0
+
+    def category_breakdown(self) -> "List[tuple[InstrCategory, int]]":
+        """Categories in canonical (Figure 5) order, zeros included."""
+        return [(cat, self.instructions_by_category.get(cat, 0)) for cat in CATEGORY_ORDER]
+
+    def merge(self, other: "StatSet") -> None:
+        """Fold another StatSet into this one (counters add, probes merge)."""
+        for name, value in other.counters.items():
+            if name == "cycles":
+                # Kernel launches on the same GPU overlap is not modeled;
+                # aggregate runtime is the sum of per-launch cycles.
+                self.counters[name] += value
+            else:
+                self.counters[name] += value
+        for cat, count in other.instructions_by_category.items():
+            self.instructions_by_category[cat] += count
+        self.reuse_distance.merge(other.reuse_distance)
+        self.read_uniqueness.merge(other.read_uniqueness)
+        self.write_uniqueness.merge(other.write_uniqueness)
+        self.simd_utilization.merge(other.simd_utilization)
+
+    def snapshot(self) -> Mapping[str, float]:
+        """A flat, JSON-friendly view used by the harness cache."""
+        out: Dict[str, float] = dict(self.counters)
+        for cat, count in self.instructions_by_category.items():
+            out[f"instr_{cat.value}"] = count
+        out["reuse_distance_median"] = self.reuse_distance.median
+        out["reuse_distance_mean"] = self.reuse_distance.mean
+        out["read_uniqueness"] = self.read_uniqueness.value
+        out["write_uniqueness"] = self.write_uniqueness.value
+        out["simd_utilization"] = self.simd_utilization.value
+        out["ipc"] = self.ipc
+        return out
+
+
+def merge_all(stat_sets: Iterable[StatSet]) -> StatSet:
+    """Merge an iterable of StatSets into a fresh aggregate."""
+    total = StatSet()
+    for stats in stat_sets:
+        total.merge(stats)
+    return total

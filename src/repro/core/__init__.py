@@ -1,0 +1,13 @@
+"""Core public API: dual-ISA kernel compilation and execution.
+
+The paper's central artifact is the ability to run the *same* kernel
+source through both instruction-set abstractions on the same machine
+model.  :func:`compile_dual` produces the HSAIL and GCN3 forms of a
+kernel; :mod:`repro.core.funcsim` executes either functionally; the
+timing model in :mod:`repro.timing` executes either cycle by cycle.
+"""
+
+from .api import DualKernel, compile_dual
+from .funcsim import run_dispatch_functional
+
+__all__ = ["DualKernel", "compile_dual", "run_dispatch_functional"]

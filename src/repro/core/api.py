@@ -1,0 +1,47 @@
+"""Compilation convenience API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..finalizer.finalize import FinalizeOptions, finalize
+from ..gcn3.isa import Gcn3Kernel
+from ..hsail.codegen import compile_hsail
+from ..hsail.isa import HsailKernel
+from ..kernels.ir import KernelIR
+
+
+@dataclass
+class DualKernel:
+    """The same kernel in both instruction-set abstractions."""
+
+    ir: KernelIR
+    hsail: HsailKernel
+    gcn3: Gcn3Kernel
+
+    @property
+    def name(self) -> str:
+        return self.ir.name
+
+    def for_isa(self, isa: str) -> "HsailKernel | Gcn3Kernel":
+        if isa == "hsail":
+            return self.hsail
+        if isa == "gcn3":
+            return self.gcn3
+        raise ValueError(f"unknown ISA {isa!r}")
+
+    @property
+    def expansion_ratio(self) -> float:
+        """Static GCN3/HSAIL instruction-count ratio (paper Figure 5 is the
+        dynamic analogue)."""
+        return self.gcn3.static_instructions / max(1, self.hsail.static_instructions)
+
+
+def compile_dual(ir: KernelIR,
+                 options: Optional[FinalizeOptions] = None) -> DualKernel:
+    """Compile kernel IR through the full two-phase flow:
+    frontend -> HSAIL (BRIG-ready) -> finalizer -> GCN3."""
+    hsail = compile_hsail(ir)
+    gcn3 = finalize(hsail, options)
+    return DualKernel(ir=ir, hsail=hsail, gcn3=gcn3)

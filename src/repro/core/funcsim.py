@@ -1,0 +1,83 @@
+"""Functional (timing-free) execution of dispatches.
+
+Used by workload verification tests and as the reference the timing model
+must agree with: both ISAs of the same kernel must produce identical
+memory results.  Workgroups run one after another; wavefronts within a
+workgroup interleave at barrier granularity (round-robin stepping), which
+is sufficient because the kernel IR has no data races between wavefronts
+except through barriers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from ..common.errors import DeadlockError
+from ..gcn3.semantics import Gcn3Executor, Gcn3WfState
+from ..hsail.semantics import HsailExecutor, HsailWfState
+from ..runtime.process import Dispatch, GpuProcess
+
+_DEFAULT_STEP_LIMIT = 5_000_000
+
+
+def run_dispatch_functional(
+    process: GpuProcess,
+    dispatch: Dispatch,
+    step_limit: int = _DEFAULT_STEP_LIMIT,
+) -> int:
+    """Run one dispatch to completion; returns dynamic instruction count."""
+    is_gcn3 = dispatch.is_gcn3
+    executed = 0
+    num_wgs = dispatch.num_workgroups
+
+    for wg in range(num_wgs):
+        wfs_per_wg = dispatch.wavefronts_in_wg(wg)
+        lds = np.zeros(max(dispatch.kernel.group_bytes, 4), dtype=np.uint8)
+        if is_gcn3:
+            executor: "Union[Gcn3Executor, HsailExecutor]" = Gcn3Executor(process.memory, lds)
+        else:
+            executor = HsailExecutor(process.memory, lds)
+        wavefronts = []
+        wg_id = dispatch.workgroup_id(wg)
+        for wf_index in range(wfs_per_wg):
+            ctx = dispatch.make_context(wg_id, wf_index, lds_base_offset=0)
+            state = Gcn3WfState(dispatch.kernel, ctx) if is_gcn3 \
+                else HsailWfState(dispatch.kernel, ctx)
+            wavefronts.append(state)
+        executed += _run_workgroup(executor, wavefronts, step_limit)
+    dispatch.signal.decrement()
+    return executed
+
+
+def _run_workgroup(executor, wavefronts: List[object], step_limit: int) -> int:
+    executed = 0
+    at_barrier = [False] * len(wavefronts)
+    steps = 0
+    while True:
+        progressed = False
+        for i, wf in enumerate(wavefronts):
+            if wf.done or at_barrier[i]:
+                continue
+            # Run this wavefront until it blocks (barrier) or finishes.
+            while not wf.done:
+                if isinstance(executor, HsailExecutor):
+                    executor.check_reconvergence(wf)
+                result = executor.execute(wf)
+                executed += 1
+                steps += 1
+                if steps > step_limit:
+                    raise DeadlockError("functional execution exceeded step limit")
+                if result.is_barrier:
+                    at_barrier[i] = True
+                    break
+            progressed = True
+        if all(wf.done for wf in wavefronts):
+            return executed
+        if all(wf.done or at_barrier[i] for i, wf in enumerate(wavefronts)):
+            # Barrier release: every live wavefront arrived.
+            at_barrier = [False] * len(wavefronts)
+            continue
+        if not progressed:
+            raise DeadlockError("workgroup made no progress (barrier mismatch?)")

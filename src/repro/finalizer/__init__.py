@@ -1,0 +1,5 @@
+"""The finalizer: HSAIL -> GCN3 machine code generation."""
+
+from .finalize import finalize
+
+__all__ = ["finalize"]

@@ -1,0 +1,76 @@
+"""Floating-point division expansion (the paper's Table 3).
+
+HSAIL performs division with a single ``div`` instruction.  GCN3 has no
+divide: the finalizer emits a Newton–Raphson sequence built from
+``v_div_scale``, ``v_rcp``, ``v_fma``, ``v_div_fmas`` and ``v_div_fixup``.
+Besides the extra dynamic instructions, the sequence's real cost is
+*register pressure*: the f64 expansion keeps four live 64-bit temporaries,
+which the paper notes "can only be simulated using the GCN3 code".
+"""
+
+from __future__ import annotations
+
+from ..gcn3.isa import SImm
+from .context import FinalizeContext, GOperand
+
+_ONE_F64 = SImm(pattern=0x3FF0000000000000, float_kind="f64")
+_ONE_F32 = SImm(pattern=0x3F800000, float_kind="f32")
+
+
+def expand_fdiv_f64(
+    ctx: FinalizeContext,
+    dest: GOperand,
+    num: GOperand,
+    den: GOperand,
+) -> None:
+    """Emit the 12-instruction f64 divide sequence (Table 3)."""
+    scaled_den = ctx.new_v(2)
+    scaled_num = ctx.new_v(2)
+    recip = ctx.new_v(2)
+    err = ctx.new_v(2)
+    quot = ctx.new_v(2)
+
+    # Scale denominator and numerator into the range the iteration needs.
+    ctx.emit("v_div_scale_f64", scaled_den, (den, den, num))
+    ctx.emit("v_div_scale_f64", scaled_num, (num, den, num))
+    # Initial reciprocal estimate: 1/D.
+    ctx.emit("v_rcp_f64", recip, (scaled_den,))
+    # Two Newton-Raphson refinement steps: r = r * (2 - D*r), expressed as
+    # e = fma(-D, r, 1); r = fma(r, e, r).
+    ctx.emit("v_fma_f64", err, (scaled_den, recip, _ONE_F64), neg=(True, False, False))
+    ctx.emit("v_fma_f64", recip, (recip, err, recip))
+    ctx.emit("v_fma_f64", err, (scaled_den, recip, _ONE_F64), neg=(True, False, False))
+    ctx.emit("v_fma_f64", recip, (recip, err, recip))
+    # Quotient estimate and residual error.
+    ctx.emit("v_mul_f64", quot, (scaled_num, recip))
+    ctx.emit("v_fma_f64", scaled_den, (scaled_den, quot, scaled_num), neg=(True, False, False))
+    # Final fused steps handle the scaling undo and special values.
+    ctx.emit("v_div_fmas_f64", quot, (scaled_den, recip, quot))
+    ctx.emit("v_div_fixup_f64", dest, (quot, den, num))
+
+
+def expand_fdiv_f32(
+    ctx: FinalizeContext,
+    dest: GOperand,
+    num: GOperand,
+    den: GOperand,
+) -> None:
+    """Emit the shorter f32 divide sequence (one refinement step)."""
+    scaled_den = ctx.new_v(1)
+    scaled_num = ctx.new_v(1)
+    recip = ctx.new_v(1)
+    err = ctx.new_v(1)
+    quot = ctx.new_v(1)
+
+    ctx.emit("v_div_scale_f32", scaled_den, (den, den, num))
+    ctx.emit("v_div_scale_f32", scaled_num, (num, den, num))
+    ctx.emit("v_rcp_f32", recip, (scaled_den,))
+    ctx.emit("v_fma_f32", err, (scaled_den, recip, _ONE_F32), neg=(True, False, False))
+    ctx.emit("v_fma_f32", recip, (recip, err, recip))
+    ctx.emit("v_mul_f32", quot, (scaled_num, recip))
+    ctx.emit("v_fma_f32", scaled_den, (scaled_den, quot, scaled_num), neg=(True, False, False))
+    ctx.emit("v_div_fmas_f32", quot, (scaled_den, recip, quot))
+    ctx.emit("v_div_fixup_f32", dest, (quot, den, num))
+
+
+__all__ = ["expand_fdiv_f64", "expand_fdiv_f32"]

@@ -1,0 +1,81 @@
+"""The finalizer driver: HSAIL kernel -> GCN3 machine kernel.
+
+Pipeline (mirrors AMD's offline finalizer ``amdhsafin`` at the level the
+paper describes):
+
+1. uniformity (scalarization) analysis,
+2. instruction selection + ABI lowering + predication (region walk),
+3. independent-instruction scheduling, s_nop and s_waitcnt insertion,
+4. SGPR/VGPR linear-scan allocation with scratch spilling,
+5. encoding layout (variable-length byte offsets for fetch modeling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.bits import align_up
+from ..gcn3.isa import Gcn3Kernel
+from ..hsail.isa import HsailKernel
+from . import schedule
+from .context import FinalizeContext
+from .lowering import Lowerer
+from .predication import RegionLowerer
+from .regalloc import allocate, resolve_labels
+from .uniformity import analyze
+
+
+@dataclass(frozen=True)
+class FinalizeOptions:
+    """Finalizer pass toggles (for ablation studies).
+
+    ``independent_scheduling`` is the paper's §III.B.2 mechanism behind
+    the register reuse-distance gap (Figure 7); ``nop_padding`` pads
+    unavoidable long-latency dependences.  Disabling either produces a
+    correct but de-optimized binary.
+    """
+
+    independent_scheduling: bool = True
+    nop_padding: bool = True
+
+
+def finalize(kernel: HsailKernel,
+             options: Optional[FinalizeOptions] = None) -> Gcn3Kernel:
+    """Finalize an HSAIL kernel to GCN3 machine code."""
+    options = options or FinalizeOptions()
+    uniformity = analyze(kernel)
+    ctx = FinalizeContext(kernel, uniformity)
+    lowerer = Lowerer(ctx)
+    RegionLowerer(ctx, lowerer).run()
+
+    instrs = schedule.run_all(
+        ctx.instrs,
+        independent_scheduling=options.independent_scheduling,
+        nop_padding=options.nop_padding,
+    )
+
+    # Regalloc spill scratch lands after the DSL-visible private and spill
+    # areas within each work-item's private frame.
+    scratch_area_base = align_up(kernel.private_bytes + kernel.spill_bytes, 4) \
+        if (kernel.private_bytes + kernel.spill_bytes) else 0
+    instrs, sgprs_used, vgprs_used, scratch_bytes = allocate(
+        instrs, ctx._next_virtual_v, scratch_area_base, abi_dims=lowerer.dims
+    )
+    resolve_labels(instrs)
+
+    gcn3 = Gcn3Kernel(
+        name=kernel.name,
+        instrs=instrs,
+        sgprs_used=sgprs_used,
+        vgprs_used=vgprs_used,
+        params=list(kernel.params),
+        kernarg_bytes=kernel.kernarg_bytes,
+        group_bytes=kernel.group_bytes,
+        private_bytes=kernel.private_bytes,
+        spill_bytes=kernel.spill_bytes,
+        scratch_bytes=scratch_bytes,
+        abi_dims=lowerer.dims,
+    )
+    gcn3.compute_layout()
+    return gcn3

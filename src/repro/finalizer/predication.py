@@ -1,0 +1,162 @@
+"""Control-flow lowering: EXEC-mask predication and scalar branches.
+
+The paper's Figure 3(c): the finalizer lays out basic blocks serially and
+manipulates the EXEC mask instead of jumping, emitting branch instructions
+*only to bypass completely inactive paths* (``s_cbranch_execz``).  Uniform
+conditions (detected by the uniformity analysis) become scalar
+``s_cmp``/``s_cbranch_scc`` branches.
+
+Divergent if/else::
+
+    s_and_saveexec_b64 save, mask      ; exec &= cond, save old exec
+    [s_xor_b64 elsemask, save, exec]   ; lanes that want the else path
+    s_cbranch_execz  ELSE-or-MERGE     ; bypass when nobody enters
+      <then>
+  ELSE:
+    s_mov_b64 exec, elsemask
+    s_cbranch_execz  MERGE
+      <else>
+  MERGE:
+    s_mov_b64 exec, save
+
+Divergent do-while loop::
+
+    s_mov_b64 save, exec
+  HEADER:
+      <body>                            ; computes the continue mask
+    s_and_b64 exec, exec, mask          ; drop finished lanes
+    s_cbranch_execnz HEADER
+    s_mov_b64 exec, save
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.errors import FinalizerError
+from ..gcn3.isa import EXEC, SImm
+from ..hsail.isa import CodeIf, CodeLoop, CodeRegion, CodeSpan, HReg
+from .context import FinalizeContext
+from .lowering import Lowerer
+
+
+def _region_has_instructions(elems: List[CodeRegion]) -> bool:
+    for e in elems:
+        if isinstance(e, CodeSpan):
+            if e.end > e.start:
+                return True
+        else:
+            return True
+    return False
+
+
+class RegionLowerer:
+    """Drives the region-tree walk, delegating straight-line code to
+    :class:`Lowerer` and emitting control-flow patterns itself."""
+
+    def __init__(self, ctx: FinalizeContext, lowerer: Lowerer) -> None:
+        self.ctx = ctx
+        self.lowerer = lowerer
+        self.instrs = ctx.kernel.virtual_instrs
+
+    def run(self) -> None:
+        self.lowerer.emit_preamble()
+        self._walk(self.ctx.kernel.regions)
+
+    # ------------------------------------------------------------------
+
+    def _walk(self, elems: List[CodeRegion]) -> None:
+        for elem in elems:
+            if isinstance(elem, CodeSpan):
+                self._lower_span(elem)
+            elif isinstance(elem, CodeIf):
+                self._lower_if(elem)
+            elif isinstance(elem, CodeLoop):
+                self._lower_loop(elem)
+            else:
+                raise FinalizerError(f"unknown region element {elem!r}")
+
+    def _lower_span(self, span: CodeSpan) -> None:
+        for i in range(span.start, span.end):
+            instr = self.instrs[i]
+            if instr.opcode in ("br", "cbr"):
+                continue  # structural; regions carry the control flow
+            self.lowerer.lower(instr)
+
+    def _cond_mask(self, cbr_index: int):
+        cond = self.instrs[cbr_index].srcs[0]
+        if not isinstance(cond, HReg):
+            raise FinalizerError("branch condition must be a register")
+        return self.ctx.map_operand(cond)
+
+    # -- if/else ---------------------------------------------------------
+
+    def _lower_if(self, region: CodeIf) -> None:
+        ctx = self.ctx
+        divergent = ctx.uniformity.divergent_branch.get(region.cbr_index, False)
+        has_else = _region_has_instructions(region.else_elems)
+        if divergent:
+            self._divergent_if(region, has_else)
+        else:
+            self._uniform_if(region, has_else)
+
+    def _divergent_if(self, region: CodeIf, has_else: bool) -> None:
+        ctx = self.ctx
+        mask = self._cond_mask(region.cbr_index)
+        save = ctx.new_s(2)
+        ctx.emit("s_and_saveexec_b64", save, (mask,))
+        else_mask = None
+        if has_else:
+            else_mask = ctx.new_s(2)
+            ctx.emit("s_xor_b64", else_mask, (save, EXEC))
+        merge_label = ctx.new_label("MERGE")
+        else_label = ctx.new_label("ELSE") if has_else else None
+        bypass_target = else_label if has_else else merge_label
+        ctx.emit("s_cbranch_execz", None, (), target_label=bypass_target)
+        self._walk(region.then_elems)
+        if has_else:
+            ctx.place_label(else_label)  # type: ignore[arg-type]
+            ctx.emit("s_mov_b64", EXEC, (else_mask,))
+            ctx.emit("s_cbranch_execz", None, (), target_label=merge_label)
+            self._walk(region.else_elems)
+        ctx.place_label(merge_label)
+        ctx.emit("s_mov_b64", EXEC, (save,))
+
+    def _uniform_if(self, region: CodeIf, has_else: bool) -> None:
+        ctx = self.ctx
+        pred = self._cond_mask(region.cbr_index)
+        merge_label = ctx.new_label("MERGE")
+        else_label = ctx.new_label("ELSE") if has_else else None
+        ctx.emit("s_cmp_lg_u32", None, (pred, SImm(0)))
+        ctx.emit(
+            "s_cbranch_scc0", None, (),
+            target_label=else_label if has_else else merge_label,
+        )
+        self._walk(region.then_elems)
+        if has_else:
+            ctx.emit("s_branch", None, (), target_label=merge_label)
+            ctx.place_label(else_label)  # type: ignore[arg-type]
+            self._walk(region.else_elems)
+        ctx.place_label(merge_label)
+
+    # -- do-while loops -----------------------------------------------------
+
+    def _lower_loop(self, region: CodeLoop) -> None:
+        ctx = self.ctx
+        divergent = ctx.uniformity.divergent_branch.get(region.cbr_index, False)
+        header = ctx.new_label("LOOP")
+        if divergent:
+            save = ctx.new_s(2)
+            ctx.emit("s_mov_b64", save, (EXEC,))
+            ctx.place_label(header)
+            self._walk(region.body_elems)
+            mask = self._cond_mask(region.cbr_index)
+            ctx.emit("s_and_b64", EXEC, (EXEC, mask))
+            ctx.emit("s_cbranch_execnz", None, (), target_label=header)
+            ctx.emit("s_mov_b64", EXEC, (save,))
+        else:
+            ctx.place_label(header)
+            self._walk(region.body_elems)
+            pred = self._cond_mask(region.cbr_index)
+            ctx.emit("s_cmp_lg_u32", None, (pred, SImm(0)))
+            ctx.emit("s_cbranch_scc1", None, (), target_label=header)

@@ -1,0 +1,261 @@
+"""GCN3 register allocation: SGPRs and VGPRs, with scratch spilling.
+
+Two independent linear-scan passes run over the virtual code: one for the
+scalar file (budget 102, ABI registers s0-s8 reserved) and one for the
+vector file (budget 256, v0 reserved).  When vector demand exceeds the
+budget the allocator spills whole virtual registers to per-work-item
+scratch using compact ``scratch_*`` ops and retries — the mechanism that
+lets kernels like the paper's FFT/LULESH run with bounded VGPR counts.
+Scalar spilling is not supported (102 SGPRs suffice for generated code).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..common.errors import FinalizerError, RegisterAllocationError
+from ..gcn3 import abi
+from ..gcn3.isa import MAX_SGPRS, MAX_VGPRS, Gcn3Instr, SReg, VReg
+from ..kernels.regalloc import allocate_registers
+
+#: VGPRs reserved while spilling is active (reload staging temps would be
+#: needed by a pathological 3-operand all-spilled instruction).
+_SPILL_RETRY_LIMIT = 6
+
+
+def resolve_labels(instrs: List[Gcn3Instr]) -> None:
+    """Bind symbolic branch targets to instruction indices."""
+    position: Dict[str, int] = {}
+    for i, instr in enumerate(instrs):
+        for name in instr.attrs.get("labels", ()):  # type: ignore[union-attr]
+            position[name] = i
+    for instr in instrs:
+        label = instr.attrs.get("target_label")
+        if label is not None:
+            if label not in position:
+                raise FinalizerError(f"branch to unbound label {label}")
+            instr.attrs["target"] = position[label]
+
+
+def _succs(instrs: List[Gcn3Instr]) -> List[List[int]]:
+    out: List[List[int]] = []
+    n = len(instrs)
+    for i, instr in enumerate(instrs):
+        if instr.opcode == "s_endpgm":
+            out.append([])
+        elif instr.is_branch and instr.target is not None:
+            if instr.is_conditional and i + 1 < n:
+                out.append(sorted({i + 1, instr.target}))
+            else:
+                out.append([instr.target])
+        else:
+            out.append([i + 1] if i + 1 < n else [])
+    return out
+
+
+def _collect(
+    instrs: List[Gcn3Instr], cls: type
+) -> Tuple[List[List[int]], List[List[int]], Dict[int, int]]:
+    """uses/defs of virtual registers of one class, plus their widths."""
+    uses: List[List[int]] = []
+    defs: List[List[int]] = []
+    width: Dict[int, int] = {}
+
+    def virt_ids(ops: List[object]) -> List[int]:
+        ids = []
+        for op in ops:
+            if isinstance(op, cls) and op.virtual:  # type: ignore[arg-type]
+                ids.append(op.index)
+                width[op.index] = max(width.get(op.index, 1), op.count)
+        return ids
+
+    for instr in instrs:
+        u = virt_ids(list(instr.srcs))
+        d = virt_ids([instr.dest] if instr.dest is not None else [])
+        # Partial (lo/hi) pair writes are plain defs: the conservative
+        # min-def..max-use interval already keeps the whole pair alive
+        # between its half-writes and its uses.  (Counting them as uses
+        # would create phantom use-before-def liveness reaching back to
+        # the kernel entry, exploding register pressure.)
+        uses.append(u)
+        defs.append(d)
+    return uses, defs, width
+
+
+def _rewrite_operand(op: object, slot_of: Dict[int, int], cls: type) -> object:
+    if isinstance(op, cls) and getattr(op, "virtual", False):
+        base = slot_of.get(op.index)
+        if base is None:
+            raise RegisterAllocationError(f"virtual register {op!r} was never allocated")
+        if op.part >= 0:
+            return cls(index=base + op.part)  # type: ignore[call-arg]
+        return cls(index=base, count=op.count)  # type: ignore[call-arg]
+    return op
+
+
+def _apply_assignment(instrs: List[Gcn3Instr], slot_of: Dict[int, int], cls: type) -> None:
+    for instr in instrs:
+        if instr.dest is not None:
+            instr.dest = _rewrite_operand(instr.dest, slot_of, cls)  # type: ignore[assignment]
+        instr.srcs = tuple(_rewrite_operand(s, slot_of, cls) for s in instr.srcs)
+
+
+def _spill_rewrite(
+    instrs: List[Gcn3Instr],
+    spilled: Set[int],
+    widths: Dict[int, int],
+    scratch_area_base: int,
+    next_virtual: int,
+    slot_offsets: Dict[int, int],
+    scratch_cursor: int,
+) -> Tuple[List[Gcn3Instr], int, int]:
+    """Replace accesses to spilled vector registers with scratch traffic."""
+    for vid in sorted(spilled):
+        if vid not in slot_offsets:
+            slot_offsets[vid] = scratch_cursor
+            scratch_cursor += 4 * widths.get(vid, 1)
+
+    out: List[Gcn3Instr] = []
+    for instr in instrs:
+        pre: List[Gcn3Instr] = []
+        post: List[Gcn3Instr] = []
+        replacements: Dict[int, VReg] = {}
+
+        def temp_for(op: VReg) -> VReg:
+            nonlocal next_virtual
+            if op.index not in replacements:
+                replacements[op.index] = VReg(
+                    index=next_virtual, count=widths.get(op.index, 1), virtual=True
+                )
+                next_virtual += 1
+            t = replacements[op.index]
+            if op.part >= 0:
+                return VReg(index=t.index, count=t.count, virtual=True, part=op.part)
+            return t
+
+        new_srcs = []
+        for op in instr.srcs:
+            if isinstance(op, VReg) and op.virtual and op.index in slot_offsets:
+                vid = op.index
+                t = temp_for(op)
+                width = widths.get(vid, 1)
+                load_op = "scratch_load_dwordx2" if width == 2 else "scratch_load_dword"
+                pre.append(
+                    Gcn3Instr(
+                        opcode=load_op,
+                        dest=VReg(index=t.index, count=width, virtual=True),
+                        attrs={"offset": scratch_area_base + slot_offsets[vid]},
+                    )
+                )
+                pre.append(Gcn3Instr(opcode="s_waitcnt", attrs={"vmcnt": 0}))
+                new_srcs.append(t)
+            else:
+                new_srcs.append(op)
+        instr.srcs = tuple(new_srcs)
+
+        if (
+            instr.dest is not None
+            and isinstance(instr.dest, VReg)
+            and instr.dest.virtual
+            and instr.dest.index in slot_offsets
+        ):
+            vid = instr.dest.index
+            width = widths.get(vid, 1)
+            # A partial (lo/hi) write must merge with the spilled value:
+            # reload the full register first unless a source already did.
+            needs_reload = instr.dest.part >= 0 and vid not in replacements
+            t = temp_for(instr.dest)
+            if needs_reload:
+                load_op = "scratch_load_dwordx2" if width == 2 else "scratch_load_dword"
+                pre.append(
+                    Gcn3Instr(
+                        opcode=load_op,
+                        dest=VReg(index=t.index, count=width, virtual=True),
+                        attrs={"offset": scratch_area_base + slot_offsets[vid]},
+                    )
+                )
+                pre.append(Gcn3Instr(opcode="s_waitcnt", attrs={"vmcnt": 0}))
+            store_op = "scratch_store_dwordx2" if width == 2 else "scratch_store_dword"
+            instr.dest = t
+            post.append(
+                Gcn3Instr(
+                    opcode=store_op,
+                    srcs=(VReg(index=t.index, count=width, virtual=True),),
+                    attrs={"offset": scratch_area_base + slot_offsets[vid]},
+                )
+            )
+
+        # Labels must stay on the first instruction of the group.
+        if pre and instr.attrs.get("labels"):
+            pre[0].attrs["labels"] = instr.attrs.pop("labels")
+        out.extend(pre)
+        out.append(instr)
+        out.extend(post)
+    return out, next_virtual, scratch_cursor
+
+
+def allocate(
+    instrs: List[Gcn3Instr],
+    next_virtual_v: int,
+    scratch_area_base: int,
+    abi_dims: int = 1,
+) -> Tuple[List[Gcn3Instr], int, int, int]:
+    """Allocate both register files.
+
+    ``abi_dims`` extends the reserved ABI registers (v1/v2, s9/s10) for
+    kernels using multi-dimensional work-item ids.
+    Returns (instrs, sgprs_used, vgprs_used, scratch_bytes).
+    """
+    # --- vector file, with spilling ---
+    slot_offsets: Dict[int, int] = {}
+    scratch_cursor = 0
+    spill_temps: Set[int] = set()
+    for attempt in range(_SPILL_RETRY_LIMIT):
+        resolve_labels(instrs)
+        succs = _succs(instrs)
+        uses, defs, widths = _collect(instrs, VReg)
+        result = allocate_registers(
+            num_vregs=next_virtual_v,
+            uses=uses,
+            defs=defs,
+            succs=succs,
+            width_of=lambda v: widths.get(v, 1),
+            budget=MAX_VGPRS,
+            reserved=set(range(abi.first_free_vgpr(abi_dims))),
+            no_spill=spill_temps,
+        )
+        if not result.spilled:
+            _apply_assignment(instrs, result.slot_of, VReg)
+            vgprs_used = result.slots_used
+            break
+        first_temp = next_virtual_v
+        instrs, next_virtual_v, scratch_cursor = _spill_rewrite(
+            instrs, set(result.spilled), widths, scratch_area_base,
+            next_virtual_v, slot_offsets, scratch_cursor,
+        )
+        spill_temps.update(range(first_temp, next_virtual_v))
+    else:
+        raise RegisterAllocationError("vector register allocation did not converge")
+
+    # --- scalar file (no spilling) ---
+    resolve_labels(instrs)
+    succs = _succs(instrs)
+    uses, defs, widths = _collect(instrs, SReg)
+    max_vs = max([op for row in (uses + defs) for op in row], default=-1) + 1
+    result = allocate_registers(
+        num_vregs=max_vs,
+        uses=uses,
+        defs=defs,
+        succs=succs,
+        width_of=lambda v: widths.get(v, 1),
+        budget=MAX_SGPRS,
+        reserved=set(range(abi.first_free_sgpr(abi_dims))),
+    )
+    if result.spilled:
+        raise RegisterAllocationError(
+            f"scalar register demand exceeds {MAX_SGPRS} SGPRs"
+        )
+    _apply_assignment(instrs, result.slot_of, SReg)
+    sgprs_used = result.slots_used
+
+    return instrs, sgprs_used, vgprs_used, scratch_cursor

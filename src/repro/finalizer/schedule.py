@@ -1,0 +1,282 @@
+"""Finalizer scheduling: dependency management in software (paper §III.B.2).
+
+GCN3 has no hardware scoreboard.  The finalizer is responsible for:
+
+* **Independent-instruction scheduling** — within straight-line windows,
+  reorder independent instructions between a definition and its first use
+  so the pipeline never sees back-to-back dependent operations.  This is
+  the pass responsible for the longer vector-register reuse distances the
+  paper measures (Figure 7).
+* **``s_nop`` insertion** — when no independent instruction is available
+  after a long-latency VALU producer (transcendental / f64), pad with a
+  NOP for deterministic latency.
+* **``s_waitcnt`` insertion** — memory has non-deterministic latency, so
+  before the first use of an outstanding load's destination the finalizer
+  inserts ``s_waitcnt`` with the number of memory operations allowed to
+  remain in flight (0 = drain).  FLAT/scratch traffic counts against
+  ``vmcnt``; scalar loads and LDS against ``lgkmcnt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..gcn3.isa import Gcn3Instr, SReg, SpecialReg, VReg
+
+RegKey = Tuple[str, ...]
+
+#: Transcendental/quarter-rate ops whose results are not forwarded; a
+#: dependent consumer in the very next slot needs an s_nop when the
+#: scheduler finds nothing independent to hoist.
+_LONG_LATENCY_PREFIXES = ("v_rcp", "v_sqrt", "v_div_scale")
+
+_VM_OPS_PREFIXES = ("flat_", "scratch_")
+_LGKM_OPS_PREFIXES = ("s_load", "ds_")
+
+
+def _operand_keys(op: object) -> List[RegKey]:
+    if isinstance(op, VReg):
+        if op.virtual:
+            return [("v", "virt", str(op.index))]
+        return [("v", "p", str(op.index + k)) for k in range(op.count)]
+    if isinstance(op, SReg):
+        if op.virtual:
+            return [("s", "virt", str(op.index))]
+        return [("s", "p", str(op.index + k)) for k in range(op.count)]
+    if isinstance(op, SpecialReg):
+        return [("x", op.name)]
+    return []
+
+
+def instr_reads(instr: Gcn3Instr) -> Set[RegKey]:
+    keys: Set[RegKey] = set()
+    for s in instr.srcs:
+        keys.update(_operand_keys(s))
+    if instr.info.reads_vcc:
+        keys.add(("x", "vcc"))
+    if instr.info.reads_scc:
+        keys.add(("x", "scc"))
+    if instr.opcode.startswith(("v_", "flat_", "scratch_", "ds_")):
+        keys.add(("x", "exec"))
+    if instr.opcode == "s_and_saveexec_b64" or instr.opcode == "s_or_saveexec_b64":
+        keys.add(("x", "exec"))
+    return keys
+
+
+def instr_writes(instr: Gcn3Instr) -> Set[RegKey]:
+    keys: Set[RegKey] = set()
+    if instr.dest is not None:
+        keys.update(_operand_keys(instr.dest))
+    if instr.info.writes_vcc:
+        keys.add(("x", "vcc"))
+    if instr.info.writes_scc:
+        keys.add(("x", "scc"))
+    if instr.info.writes_exec:
+        keys.add(("x", "exec"))
+    return keys
+
+
+def _is_memory(instr: Gcn3Instr) -> bool:
+    return instr.opcode.startswith(_VM_OPS_PREFIXES + _LGKM_OPS_PREFIXES)
+
+
+def _is_window_boundary(instr: Gcn3Instr) -> bool:
+    if instr.is_branch:
+        return True
+    if instr.opcode in ("s_barrier", "s_waitcnt", "s_endpgm", "s_nop"):
+        return True
+    if ("x", "exec") in instr_writes(instr):
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: list scheduling inside windows
+# ---------------------------------------------------------------------------
+
+
+#: Reordering horizon.  Real finalizers schedule with register-pressure
+#: heuristics; bounding the window keeps live ranges from exploding in
+#: long straight-line kernels while still separating dependent pairs.
+_WINDOW_CAP = 24
+
+
+def _schedule_window(window: List[Gcn3Instr]) -> List[Gcn3Instr]:
+    # A window closed by a boundary instruction (branch, barrier, endpgm,
+    # EXEC write) must keep that instruction last.
+    if window and _is_window_boundary(window[-1]):
+        return _schedule_window(window[:-1]) + [window[-1]]
+    if len(window) > _WINDOW_CAP:
+        out: List[Gcn3Instr] = []
+        for i in range(0, len(window), _WINDOW_CAP):
+            out.extend(_schedule_window(window[i:i + _WINDOW_CAP]))
+        return out
+    n = len(window)
+    if n <= 2:
+        return window
+    reads = [instr_reads(i) for i in window]
+    writes = [instr_writes(i) for i in window]
+    is_mem = [_is_memory(i) for i in window]
+
+    deps: List[Set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i):
+            if (
+                reads[i] & writes[j]
+                or writes[i] & reads[j]
+                or writes[i] & writes[j]
+            ):
+                deps[i].add(j)
+
+    scheduled: List[int] = []
+    done: Set[int] = set()
+    next_mem = 0
+    mem_order = [k for k in range(n) if is_mem[k]]
+
+    while len(scheduled) < n:
+        ready: List[int] = []
+        for i in range(n):
+            if i in done or not deps[i] <= done:
+                continue
+            if is_mem[i]:
+                if next_mem < len(mem_order) and mem_order[next_mem] == i:
+                    ready.append(i)
+            else:
+                ready.append(i)
+        last = scheduled[-1] if scheduled else None
+        choice: Optional[int] = None
+        if last is not None:
+            for i in ready:
+                if last not in deps[i]:
+                    choice = i
+                    break
+        if choice is None:
+            choice = ready[0]
+        scheduled.append(choice)
+        done.add(choice)
+        if is_mem[choice]:
+            next_mem += 1
+    return [window[i] for i in scheduled]
+
+
+def schedule_independent(instrs: List[Gcn3Instr]) -> List[Gcn3Instr]:
+    """Reorder independent instructions inside straight-line windows."""
+    out: List[Gcn3Instr] = []
+    window: List[Gcn3Instr] = []
+    for instr in instrs:
+        if instr.attrs.get("labels"):
+            out.extend(_schedule_window(window))
+            window = []
+        window.append(instr)
+        if _is_window_boundary(instr):
+            out.extend(_schedule_window(window))
+            window = []
+    out.extend(_schedule_window(window))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: s_nop padding after long-latency producers
+# ---------------------------------------------------------------------------
+
+
+def insert_nops(instrs: List[Gcn3Instr]) -> List[Gcn3Instr]:
+    """Pad back-to-back long-latency VALU dependences with ``s_nop``."""
+    out: List[Gcn3Instr] = []
+    for instr in instrs:
+        if out:
+            prev = out[-1]
+            if prev.opcode.startswith(_LONG_LATENCY_PREFIXES):
+                if instr_writes(prev) & (instr_reads(instr) | instr_writes(instr)):
+                    out.append(Gcn3Instr(opcode="s_nop", attrs={"simm": 0}))
+        out.append(instr)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: s_waitcnt insertion
+# ---------------------------------------------------------------------------
+
+
+def insert_waitcnts(instrs: List[Gcn3Instr]) -> List[Gcn3Instr]:
+    """Insert waits before uses of outstanding memory results.
+
+    The walk is linear; pending queues persist across labels/branches,
+    which is timing-conservative in the same way real finalizers are.
+    """
+    out: List[Gcn3Instr] = []
+    vm_pending: List[FrozenSet[RegKey]] = []   # oldest first
+    lgkm_pending: List[FrozenSet[RegKey]] = []
+
+    def need_vm(touch: Set[RegKey]) -> Optional[int]:
+        for pos, dests in enumerate(vm_pending):
+            if dests & touch:
+                return len(vm_pending) - pos - 1
+        return None
+
+    def need_lgkm(touch: Set[RegKey]) -> Optional[int]:
+        for dests in lgkm_pending:
+            if dests & touch:
+                return 0  # lgkm completion is unordered: drain
+        return None
+
+    for instr in instrs:
+        if instr.opcode == "s_waitcnt":
+            vmcnt = instr.attrs.get("vmcnt")
+            lgkmcnt = instr.attrs.get("lgkmcnt")
+            if vmcnt is not None:
+                del vm_pending[: max(0, len(vm_pending) - int(vmcnt))]  # type: ignore[arg-type]
+            if lgkmcnt is not None:
+                del lgkm_pending[: max(0, len(lgkm_pending) - int(lgkmcnt))]  # type: ignore[arg-type]
+            out.append(instr)
+            continue
+
+        touch = instr_reads(instr) | instr_writes(instr)
+        vm_n = need_vm(touch)
+        lgkm_n = need_lgkm(touch)
+        if instr.opcode == "s_endpgm" and (vm_pending or lgkm_pending):
+            vm_n, lgkm_n = 0, 0
+        if vm_n is not None or lgkm_n is not None:
+            attrs: Dict[str, object] = {}
+            if vm_n is not None:
+                # The encoding's vmcnt field saturates at 15 (= no wait),
+                # so the largest expressible real wait is 14.
+                vm_n = min(vm_n, 14)
+                attrs["vmcnt"] = vm_n
+                del vm_pending[: len(vm_pending) - vm_n]
+            if lgkm_n is not None:
+                attrs["lgkmcnt"] = lgkm_n
+                del lgkm_pending[: len(lgkm_pending) - lgkm_n]
+            wait = Gcn3Instr(opcode="s_waitcnt", attrs=attrs)
+            # The wait must be reachable from the same paths as the use:
+            # move any labels from the use onto the wait.
+            labels = instr.attrs.pop("labels", None)
+            if labels:
+                wait.attrs["labels"] = labels
+            out.append(wait)
+        out.append(instr)
+
+        if instr.opcode.startswith(_VM_OPS_PREFIXES):
+            vm_pending.append(frozenset(_operand_keys(instr.dest) if instr.dest else []))
+        elif instr.opcode.startswith(_LGKM_OPS_PREFIXES):
+            lgkm_pending.append(frozenset(_operand_keys(instr.dest) if instr.dest else []))
+
+    return out
+
+
+def run_all(
+    instrs: List[Gcn3Instr],
+    independent_scheduling: bool = True,
+    nop_padding: bool = True,
+) -> List[Gcn3Instr]:
+    """The full scheduling pipeline in finalizer order.
+
+    The two optimization passes can be disabled for ablation studies;
+    waitcnt insertion is correctness-bearing and always runs.
+    """
+    if independent_scheduling:
+        instrs = schedule_independent(instrs)
+    if nop_padding:
+        instrs = insert_nops(instrs)
+    instrs = insert_waitcnts(instrs)
+    return instrs

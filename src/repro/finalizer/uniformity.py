@@ -1,0 +1,165 @@
+"""Uniformity (scalarization) analysis over HSAIL virtual registers.
+
+The finalizer decides which values are *uniform* — identical across all
+work-items of a wavefront — and may therefore live in scalar registers
+and execute on the GCN3 scalar pipeline.  HSAIL has no such distinction:
+every value occupies the VRF (paper §V.B).
+
+Divergence seeds:
+
+* work-item id queries (``workitemabsid`` and friends),
+* vector loads: ``ld_global``/``ld_readonly`` (values differ per lane),
+  ``ld_group``/``ld_private``/``ld_spill`` (per-work-item addressing),
+* pointer-typed kernarg loads — per the ABI these are lowered through the
+  FLAT (vector) path (paper Table 2), so their results are vector values;
+  32-bit kernargs are fetched with ``s_load`` and stay uniform,
+* any definition under divergent control flow (lane-dependent paths).
+
+Divergence propagates through operands to a fixpoint.  Branches whose
+condition is divergent are handled by EXEC-mask predication; uniform
+branches become scalar branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..hsail.isa import CodeIf, CodeLoop, CodeRegion, CodeSpan, HReg, HsailInstr, HsailKernel
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+
+_ID_OPS = frozenset({"workitemabsid", "workitemid", "workitemflatabsid"})
+_PER_LANE_SEGMENTS = frozenset(
+    {Segment.GLOBAL, Segment.READONLY, Segment.GROUP, Segment.PRIVATE, Segment.SPILL}
+)
+
+
+def imm_pow2_shift(operand: object) -> "int | None":
+    """Shift amount when ``operand`` is an immediate power of two, else None."""
+    from ..hsail.isa import Imm
+
+    if isinstance(operand, Imm):
+        v = operand.pattern
+        if v > 0 and v & (v - 1) == 0:
+            return v.bit_length() - 1
+    return None
+
+
+@dataclass
+class UniformityInfo:
+    """Result of the analysis."""
+
+    divergent: Set[int] = field(default_factory=set)
+    #: cbr instruction index -> is the branch divergent?
+    divergent_branch: Dict[int, bool] = field(default_factory=dict)
+    #: number of definitions per virtual register id
+    def_count: Dict[int, int] = field(default_factory=dict)
+
+    def is_divergent(self, vid: int) -> bool:
+        return vid in self.divergent
+
+
+def _branch_conditions(regions: List[CodeRegion]) -> List[Tuple[int, List[int]]]:
+    """(cbr_index, member instruction indices) per structured region."""
+    out: List[Tuple[int, List[int]]] = []
+
+    def members(elems: List[CodeRegion]) -> List[int]:
+        acc: List[int] = []
+        for e in elems:
+            if isinstance(e, CodeSpan):
+                acc.extend(range(e.start, e.end))
+            elif isinstance(e, CodeIf):
+                acc.extend(members(e.then_elems))
+                acc.extend(members(e.else_elems))
+            elif isinstance(e, CodeLoop):
+                acc.extend(members(e.body_elems))
+        return acc
+
+    def walk(elems: List[CodeRegion]) -> None:
+        for e in elems:
+            if isinstance(e, CodeIf):
+                out.append((e.cbr_index, members(e.then_elems) + members(e.else_elems)))
+                walk(e.then_elems)
+                walk(e.else_elems)
+            elif isinstance(e, CodeLoop):
+                out.append((e.cbr_index, members(e.body_elems)))
+                walk(e.body_elems)
+
+    walk(regions)
+    return out
+
+
+def analyze(kernel: HsailKernel) -> UniformityInfo:
+    """Run the fixpoint analysis on a compiled HSAIL kernel."""
+    instrs = kernel.virtual_instrs
+    info = UniformityInfo()
+
+    for instr in instrs:
+        if instr.dest is not None:
+            info.def_count[instr.dest.index] = info.def_count.get(instr.dest.index, 0) + 1
+
+    def seed_divergent(instr: HsailInstr) -> bool:
+        if instr.dest is None:
+            return False
+        if instr.opcode in _ID_OPS:
+            return True
+        if instr.opcode == "atomic_add":
+            return True  # returned old values differ per lane
+        if instr.opcode == "ld":
+            if instr.segment in _PER_LANE_SEGMENTS:
+                return True
+            if instr.segment == Segment.KERNARG:
+                # Only 32-bit integer args stay scalar (s_load); pointers
+                # and floats go through the FLAT path (Table 2).
+                return instr.dtype not in (DType.U32, DType.S32)
+        # No scalar-unit implementation exists for these; the finalizer
+        # computes them on the VALU, so their results live in VGPRs.
+        if instr.dtype.is_float and instr.opcode not in ("ld", "st"):
+            return True
+        if instr.opcode == "mulhi":
+            return True
+        if instr.opcode == "cmp" and instr.dtype in (DType.U64, DType.F32, DType.F64):
+            return True
+        if instr.opcode == "mul" and instr.dtype == DType.U64:
+            # Power-of-two multiplies strength-reduce to s_lshl_b64 and may
+            # stay scalar; general 64-bit multiplies expand on the VALU.
+            return imm_pow2_shift(instr.srcs[1]) is None
+        return False
+
+    divergent = info.divergent
+    for instr in instrs:
+        if seed_divergent(instr):
+            divergent.add(instr.dest.index)  # type: ignore[union-attr]
+
+    region_conditions = _branch_conditions(kernel.regions)
+
+    changed = True
+    while changed:
+        changed = False
+        # Control-flow induced divergence.
+        for cbr_index, member_instrs in region_conditions:
+            cond = instrs[cbr_index].srcs[0]
+            if not isinstance(cond, HReg) or cond.index not in divergent:
+                continue
+            for mi in member_instrs:
+                dest = instrs[mi].dest
+                if dest is not None and dest.index not in divergent:
+                    divergent.add(dest.index)
+                    changed = True
+        # Data-flow propagation.
+        for instr in instrs:
+            if instr.dest is None or instr.dest.index in divergent:
+                continue
+            for src in instr.srcs:
+                if isinstance(src, HReg) and src.index in divergent:
+                    divergent.add(instr.dest.index)
+                    changed = True
+                    break
+
+    for cbr_index, _members in region_conditions:
+        cond = instrs[cbr_index].srcs[0]
+        info.divergent_branch[cbr_index] = (
+            isinstance(cond, HReg) and cond.index in divergent
+        )
+    return info

@@ -1,0 +1,5 @@
+"""GCN3-like machine ISA: instruction set, encoding, ABI, semantics."""
+
+from .isa import Gcn3Instr, Gcn3Kernel, MAX_SGPRS, MAX_VGPRS
+
+__all__ = ["Gcn3Instr", "Gcn3Kernel", "MAX_SGPRS", "MAX_VGPRS"]

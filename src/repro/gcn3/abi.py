@@ -1,0 +1,101 @@
+"""The GCN3 kernel ABI: descriptor and initial register state.
+
+This is the machinery HSAIL lacks (paper §III.A).  The ABI dictates which
+registers the command processor initializes before a wavefront starts:
+
+====================  =====================================================
+``s[0:3]``            private ("scratch") segment descriptor: 64-bit base
+                      address, per-work-item stride, total size
+``s[4:5]``            dispatch (AQL) packet address
+``s[6:7]``            kernarg segment base address
+``s8``                workgroup id X  (Y/Z via the dispatch packet)
+``v0``                work-item id within the workgroup (flattened)
+====================  =====================================================
+
+GCN3 instructions know the semantics of each initialized register; e.g.
+Table 1 of the paper obtains the global work-item id by ``s_load``-ing the
+workgroup size from the packet at ``s[4:5]``, multiplying by ``s8`` and
+adding ``v0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..common.exec_types import DispatchContext
+
+# Fixed SGPR assignments (indices into the wavefront SGPR file).
+SGPR_PRIVATE_DESC = 0      # s[0:3]
+SGPR_DISPATCH_PTR = 4      # s[4:5]
+SGPR_KERNARG_PTR = 6       # s[6:7]
+SGPR_WORKGROUP_ID_X = 8
+SGPR_WORKGROUP_ID_Y = 9    # initialized only when the kernel uses dim >= 1
+SGPR_WORKGROUP_ID_Z = 10   # initialized only when the kernel uses dim >= 2
+#: First SGPR available to the register allocator (1-D kernels; kernels
+#: using higher dimensions reserve s9/s10 as well).
+FIRST_FREE_SGPR = 9
+#: v0 holds the in-workgroup work-item X id; v1/v2 hold Y/Z when enabled.
+FIRST_FREE_VGPR = 1
+
+
+def first_free_sgpr(dims: int) -> int:
+    """First allocatable SGPR for a kernel using ``dims`` grid dimensions."""
+    return FIRST_FREE_SGPR + max(0, dims - 1)
+
+
+def first_free_vgpr(dims: int) -> int:
+    """First allocatable VGPR for a kernel using ``dims`` grid dimensions."""
+    return max(FIRST_FREE_VGPR, dims)
+
+
+@dataclass
+class KernelDescriptor:
+    """Metadata the loader/CP reads before dispatch (amd_kernel_code_t-ish)."""
+
+    kernarg_segment_byte_size: int = 0
+    group_segment_byte_size: int = 0
+    private_segment_byte_size: int = 0  # per work-item, all scratch areas
+    wavefront_sgpr_count: int = FIRST_FREE_SGPR
+    workitem_vgpr_count: int = FIRST_FREE_VGPR
+    #: Byte offsets of the sub-areas within each work-item's private frame.
+    frame_offsets: Dict[str, int] = field(default_factory=dict)
+
+
+def initialize_wavefront_registers(
+    sgpr: np.ndarray,
+    vgpr: np.ndarray,
+    ctx: DispatchContext,
+    dims: int = 1,
+) -> None:
+    """Apply the ABI's initial register state for one wavefront.
+
+    ``sgpr`` is a uint32 array (the WF's scalar registers), ``vgpr`` a
+    uint32 array of shape [vgprs, wavefront_size].  ``dims`` is the
+    kernel descriptor's enabled work-item-id dimension count: v0 always
+    holds the X id; v1/v2 and s9/s10 are initialized only when enabled.
+    """
+    def store64(base: int, value: int) -> None:
+        sgpr[base] = value & 0xFFFFFFFF
+        sgpr[base + 1] = (value >> 32) & 0xFFFFFFFF
+
+    store64(SGPR_PRIVATE_DESC, ctx.private_base)
+    sgpr[SGPR_PRIVATE_DESC + 2] = ctx.private_stride
+    sgpr[SGPR_PRIVATE_DESC + 3] = 0  # size field, unused by generated code
+    store64(SGPR_DISPATCH_PTR, ctx.aql_packet_addr)
+    store64(SGPR_KERNARG_PTR, ctx.kernarg_base)
+    sgpr[SGPR_WORKGROUP_ID_X] = ctx.wg_id[0]
+    if dims >= 2:
+        sgpr[SGPR_WORKGROUP_ID_Y] = ctx.wg_id[1]
+    if dims >= 3:
+        sgpr[SGPR_WORKGROUP_ID_Z] = ctx.wg_id[2]
+
+    lx, ly, lz = ctx.local_ids()
+    n = ctx.wavefront_size
+    vgpr[0, :n] = lx[:n]
+    if dims >= 2:
+        vgpr[1, :n] = ly[:n]
+    if dims >= 3:
+        vgpr[2, :n] = lz[:n]

@@ -1,0 +1,460 @@
+"""GCN3 variable-length instruction encoding.
+
+Instructions encode to 32-bit or 64-bit words plus optional 32-bit
+literal dwords, using GCN-style source-operand codes:
+
+=============  =======================================
+0-101          SGPR0-SGPR101
+106            VCC
+126            EXEC
+128-192        inline integer constants 0..64
+193-208        inline integer constants -1..-16
+240-247        inline float constants (+-0.5, 1, 2, 4)
+255            literal follows the instruction
+256-511        VGPR0-VGPR255
+=============  =======================================
+
+Field layouts follow the real ISA's shapes (SOP1/SOPC/SOPP share the
+``0b101111_1xx`` prefix space, VOP1/VOP2 are 32-bit with a 9-bit src0,
+VOP3/SMEM/FLAT/DS are 64-bit); opcode-id tables are derived from this
+module rather than the AMD manual, but per-format sizes are faithful —
+which is what instruction fetch and the paper's Figure 8 measure.
+``decode_kernel(encode_kernel(k))`` reconstructs every instruction's
+opcode, operands, and attributes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import EncodingError
+from .isa import (
+    EXEC,
+    OPCODES,
+    Gcn3Instr,
+    Gcn3Kernel,
+    SImm,
+    SReg,
+    SpecialReg,
+    VCC,
+    VReg,
+    imm_is_inline,
+)
+
+#: Deterministic opcode ids per format.
+_OPCODE_ID: Dict[str, Dict[str, int]] = {}
+_ID_OPCODE: Dict[str, Dict[int, str]] = {}
+for _name, _info in sorted(OPCODES.items()):
+    _table = _OPCODE_ID.setdefault(_info.fmt, {})
+    _rev = _ID_OPCODE.setdefault(_info.fmt, {})
+    _oid = len(_table)
+    _table[_name] = _oid
+    _rev[_oid] = _name
+
+_INLINE_F32 = {
+    0x00000000: 240, 0x3F000000: 241, 0xBF000000: 242, 0x3F800000: 243,
+    0xBF800000: 244, 0x40000000: 245, 0xC0000000: 246, 0x40800000: 247,
+}
+_INLINE_F64 = {
+    0x0000000000000000: 240, 0x3FE0000000000000: 241, 0xBFE0000000000000: 242,
+    0x3FF0000000000000: 243, 0xBFF0000000000000: 244, 0x4000000000000000: 245,
+    0xC000000000000000: 246, 0x4010000000000000: 247,
+}
+_CODE_F32 = {v: k for k, v in _INLINE_F32.items()}
+_CODE_F64 = {v: k for k, v in _INLINE_F64.items()}
+
+
+# ---------------------------------------------------------------------------
+# Operand width metadata (needed to reconstruct register pair operands)
+# ---------------------------------------------------------------------------
+
+
+def operand_widths(opcode: str) -> Tuple[int, List[int]]:
+    """(dest register count, per-source register counts) for ``opcode``.
+
+    Immediates and special registers ignore the width; register operands
+    use it to rebuild ``count`` on decode.
+    """
+    table: Dict[str, Tuple[int, List[int]]] = {
+        "s_mov_b64": (2, [2]), "s_not_b64": (2, [2]),
+        "s_and_b64": (2, [2, 2]), "s_or_b64": (2, [2, 2]),
+        "s_xor_b64": (2, [2, 2]), "s_andn2_b64": (2, [2, 2]),
+        "s_cselect_b64": (2, [2, 2]),
+        "s_lshl_b64": (2, [2, 1]), "s_lshr_b64": (2, [2, 1]),
+        "s_and_saveexec_b64": (2, [2]), "s_or_saveexec_b64": (2, [2]),
+        "s_load_dword": (1, [2]), "s_load_dwordx2": (2, [2]),
+        "s_load_dwordx4": (4, [2]),
+        "v_cndmask_b32": (1, [1, 1, 2]),
+        "v_lshlrev_b64": (2, [1, 2]), "v_lshrrev_b64": (2, [1, 2]),
+        "v_ashrrev_i64": (2, [1, 2]),
+        "v_readfirstlane_b32": (1, [1]),
+        "v_cvt_f64_f32": (2, [1]), "v_cvt_f32_f64": (1, [2]),
+        "v_cvt_f64_u32": (2, [1]), "v_cvt_f64_i32": (2, [1]),
+        "v_cvt_u32_f64": (1, [2]), "v_cvt_i32_f64": (1, [2]),
+        "flat_load_dword": (1, [2]), "flat_load_dwordx2": (2, [2]),
+        "flat_store_dword": (0, [2, 1]), "flat_store_dwordx2": (0, [2, 2]),
+        "flat_atomic_add": (1, [2, 1]),
+        "scratch_load_dword": (1, []), "scratch_load_dwordx2": (2, []),
+        "scratch_store_dword": (0, [1]), "scratch_store_dwordx2": (0, [2]),
+        "ds_read_b32": (1, [1]), "ds_read_b64": (2, [1]),
+        "ds_write_b32": (0, [1, 1]), "ds_write_b64": (0, [1, 2]),
+    }
+    if opcode in table:
+        return table[opcode]
+    if opcode.startswith("v_cmp_"):
+        ty = opcode.rsplit("_", 1)[1]
+        width = 2 if ty in ("u64", "f64") else 1
+        return 2, [width, width]
+    if opcode.startswith("v_div_fmas") or opcode.startswith("v_div_fixup") \
+            or opcode.startswith("v_div_scale"):
+        width = 2 if opcode.endswith("f64") else 1
+        return width, [width, width, width]
+    if opcode.endswith("_f64"):
+        width = 2
+        nsrc = 3 if "fma" in opcode else (1 if opcode.startswith(("v_rcp", "v_sqrt")) else 2)
+        return width, [width] * nsrc
+    return 1, [1, 1, 1]
+
+
+def _float_kind(opcode: str) -> Optional[str]:
+    if opcode.endswith("_f64") or opcode.endswith("f64"):
+        return "f64"
+    if opcode.endswith("_f32"):
+        return "f32"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Operand codes
+# ---------------------------------------------------------------------------
+
+
+def encode_operand(op: object) -> Tuple[int, Optional[int]]:
+    """Return (source code, literal dword or None)."""
+    if isinstance(op, VReg):
+        if not 0 <= op.index < 256:
+            raise EncodingError(f"VGPR index {op.index} out of range")
+        return 256 + op.index, None
+    if isinstance(op, SReg):
+        if not 0 <= op.index < 102:
+            raise EncodingError(f"SGPR index {op.index} out of range")
+        return op.index, None
+    if isinstance(op, SpecialReg):
+        if op.name == "vcc":
+            return 106, None
+        if op.name == "exec":
+            return 126, None
+        raise EncodingError(f"cannot encode special register {op.name}")
+    if isinstance(op, SImm):
+        if imm_is_inline(op):
+            if op.float_kind == "f32":
+                return _INLINE_F32[op.pattern], None
+            if op.float_kind == "f64":
+                return _INLINE_F64[op.pattern], None
+            value = op.pattern
+            if value >= (1 << 63):
+                value -= 1 << 64
+            if 0 <= value <= 64:
+                return 128 + value, None
+            return 192 + (-value), None
+        if op.float_kind == "f64":
+            # f64 literals carry the high dword (hardware convention).
+            return 255, (op.pattern >> 32) & 0xFFFFFFFF
+        return 255, op.pattern & 0xFFFFFFFF
+    raise EncodingError(f"cannot encode operand {op!r}")
+
+
+def decode_operand(code: int, literal: Optional[int], float_kind: Optional[str],
+                   count: int) -> object:
+    """Inverse of :func:`encode_operand`; ``count`` rebuilds pairs."""
+    if 256 <= code < 512:
+        return VReg(index=code - 256, count=count)
+    if 0 <= code < 102:
+        return SReg(index=code, count=count)
+    if code == 106:
+        return VCC
+    if code == 126:
+        return EXEC
+    if 128 <= code <= 192:
+        return SImm(pattern=code - 128)
+    if 193 <= code <= 208:
+        value = -(code - 192)
+        return SImm(pattern=value & 0xFFFFFFFFFFFFFFFF)
+    if 240 <= code <= 247:
+        if float_kind == "f64":
+            return SImm(pattern=_CODE_F64[code], float_kind="f64")
+        return SImm(pattern=_CODE_F32[code], float_kind="f32")
+    if code == 255:
+        if literal is None:
+            raise EncodingError("literal operand without literal dword")
+        if float_kind == "f64":
+            return SImm(pattern=literal << 32, float_kind="f64")
+        return SImm(pattern=literal, float_kind=float_kind)
+    raise EncodingError(f"unknown operand code {code}")
+
+
+# ---------------------------------------------------------------------------
+# Instruction encode
+# ---------------------------------------------------------------------------
+
+_SOP_PREFIX = 0b10 << 30
+_SOP1_TAG = 0b101111101 << 23
+_SOPC_TAG = 0b101111110 << 23
+_SOPP_TAG = 0b101111111 << 23
+_VOP1_TAG = 0b0111111 << 25
+_VOP2_PREFIX = 0  # bit 31 clear, bits [30:25] below 0b111110
+_TAG64 = {"SMEM": 0xC0, "VOP3": 0xD4, "FLAT": 0xDC, "DS": 0xD8, "SCRATCH": 0xDE}
+_TAG64_FMT = {v: k for k, v in _TAG64.items()}
+
+
+def _sopp_simm16(instr: Gcn3Instr, pc: int, kernel: Gcn3Kernel) -> int:
+    if instr.is_branch:
+        target = instr.target
+        if target is None:
+            raise EncodingError(f"{instr.opcode} without resolved target")
+        target_pc = kernel.pc_of_index[target]
+        delta = (target_pc - (pc + 4)) // 4
+        return delta & 0xFFFF
+    if instr.opcode == "s_waitcnt":
+        vm = instr.attrs.get("vmcnt")
+        lgkm = instr.attrs.get("lgkmcnt")
+        value = 0xF if vm is None else int(vm) & 0xF
+        value |= (0x1F if lgkm is None else int(lgkm) & 0x1F) << 8
+        return value
+    if instr.opcode == "s_nop":
+        return int(instr.attrs.get("simm", 0)) & 0xFFFF
+    return 0
+
+
+def encode_instruction(instr: Gcn3Instr, pc: int, kernel: Gcn3Kernel) -> bytes:
+    fmt = instr.fmt
+    op_id = _OPCODE_ID[fmt][instr.opcode]
+    codes: List[int] = []
+    literals: List[int] = []
+    for src in instr.srcs:
+        code, literal = encode_operand(src)
+        codes.append(code)
+        if literal is not None:
+            literals.append(literal)
+    while len(codes) < 3:
+        codes.append(0)
+    dest_code = 0
+    if instr.dest is not None:
+        dest_code, lit = encode_operand(instr.dest)
+        if lit is not None:
+            raise EncodingError("destination cannot be a literal")
+
+    if fmt == "SOPP":
+        word0 = _SOPP_TAG | (op_id << 16) | _sopp_simm16(instr, pc, kernel)
+        raw = struct.pack("<I", word0)
+    elif fmt == "SOP1":
+        word0 = _SOP1_TAG | ((dest_code & 0x7F) << 16) | (op_id << 8) | (codes[0] & 0xFF)
+        raw = struct.pack("<I", word0)
+    elif fmt == "SOPC":
+        word0 = _SOPC_TAG | (op_id << 16) | ((codes[1] & 0xFF) << 8) | (codes[0] & 0xFF)
+        raw = struct.pack("<I", word0)
+    elif fmt == "SOP2":
+        word0 = (_SOP_PREFIX | (op_id << 23) | ((dest_code & 0x7F) << 16)
+                 | ((codes[1] & 0xFF) << 8) | (codes[0] & 0xFF))
+        raw = struct.pack("<I", word0)
+    elif fmt == "VOP1":
+        word0 = _VOP1_TAG | ((dest_code & 0x1FF) << 16) | (op_id << 9) | (codes[0] & 0x1FF)
+        raw = struct.pack("<I", word0)
+    elif fmt == "VOP2":
+        vdst = dest_code - 256
+        vsrc1 = codes[1] - 256
+        if vdst < 0 or vsrc1 < 0:
+            raise EncodingError(
+                f"VOP2 {instr.opcode} needs VGPR vdst/vsrc1 "
+                f"(got {instr.dest!r}, {instr.srcs!r})"
+            )
+        word0 = (op_id << 25) | ((vdst & 0xFF) << 17) | ((vsrc1 & 0xFF) << 9) \
+            | (codes[0] & 0x1FF)
+        raw = struct.pack("<I", word0)
+    else:
+        tag = _TAG64[fmt]
+        neg = instr.attrs.get("neg") or ()
+        neg_bits = sum(1 << i for i, n in enumerate(neg) if n)
+        word0 = (tag << 24) | (op_id << 13) | ((neg_bits & 0x7) << 10) | (dest_code & 0x3FF)
+        if fmt in ("SMEM", "DS", "SCRATCH"):
+            offset = int(instr.attrs.get("offset", 0))
+            word1 = ((codes[0] & 0x1FF) | ((codes[1] & 0x1FF) << 9)
+                     | ((offset & 0x3FFF) << 18))
+        else:
+            word1 = ((codes[0] & 0x1FF) | ((codes[1] & 0x1FF) << 9)
+                     | ((codes[2] & 0x1FF) << 18))
+        raw = struct.pack("<II", word0, word1)
+
+    for lit in literals:
+        raw += struct.pack("<I", lit)
+    if len(raw) != instr.size_bytes:
+        raise EncodingError(
+            f"{instr.opcode} encoded to {len(raw)}B, expected {instr.size_bytes}B"
+        )
+    return raw
+
+
+def encode_kernel(kernel: Gcn3Kernel) -> bytes:
+    """Encode the whole kernel; length equals ``kernel.code_bytes``."""
+    if not kernel.pc_of_index:
+        kernel.compute_layout()
+    out = bytearray()
+    for i, instr in enumerate(kernel.instrs):
+        out += encode_instruction(instr, kernel.pc_of_index[i], kernel)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Decode
+# ---------------------------------------------------------------------------
+
+
+def _decode_one(raw: bytes, pc: int) -> Tuple[str, Dict[str, object], List[int], int, int]:
+    """Return (opcode, fields, src codes, dest code, consumed base bytes)."""
+    (word0,) = struct.unpack_from("<I", raw, 0)
+    top9 = word0 >> 23
+    if top9 == 0b101111101:
+        op = _ID_OPCODE["SOP1"][(word0 >> 8) & 0xFF]
+        return op, {}, [word0 & 0xFF], (word0 >> 16) & 0x7F, 4
+    if top9 == 0b101111110:
+        op = _ID_OPCODE["SOPC"][(word0 >> 16) & 0x7F]
+        return op, {}, [word0 & 0xFF, (word0 >> 8) & 0xFF], 0, 4
+    if top9 == 0b101111111:
+        op = _ID_OPCODE["SOPP"][(word0 >> 16) & 0x7F]
+        return op, {"simm16": word0 & 0xFFFF, "pc": pc}, [], 0, 4
+    if (word0 >> 30) == 0b10:
+        op = _ID_OPCODE["SOP2"][(word0 >> 23) & 0x7F]
+        return op, {}, [word0 & 0xFF, (word0 >> 8) & 0xFF], (word0 >> 16) & 0x7F, 4
+    if (word0 >> 25) == 0b0111111:
+        op = _ID_OPCODE["VOP1"][(word0 >> 9) & 0x7F]
+        return op, {}, [word0 & 0x1FF], (word0 >> 16) & 0x1FF, 4
+    if (word0 >> 31) == 0:
+        op = _ID_OPCODE["VOP2"][(word0 >> 25) & 0x3F]
+        return op, {}, [word0 & 0x1FF, 256 + ((word0 >> 9) & 0xFF)], \
+            256 + ((word0 >> 17) & 0xFF), 4
+    tag = word0 >> 24
+    fmt = _TAG64_FMT.get(tag)
+    if fmt is None:
+        raise EncodingError(f"unknown instruction word {word0:#010x}")
+    (word1,) = struct.unpack_from("<I", raw, 4)
+    op = _ID_OPCODE[fmt][(word0 >> 13) & 0x7FF]
+    fields: Dict[str, object] = {
+        "neg_bits": (word0 >> 10) & 0x7,
+    }
+    if fmt in ("SMEM", "DS", "SCRATCH"):
+        fields["offset"] = (word1 >> 18) & 0x3FFF
+        srcs = [word1 & 0x1FF, (word1 >> 9) & 0x1FF]
+    else:
+        srcs = [word1 & 0x1FF, (word1 >> 9) & 0x1FF, (word1 >> 18) & 0x1FF]
+    return op, fields, srcs, word0 & 0x3FF, 8
+
+
+def decode_kernel(image: bytes, kernel_name: str = "decoded") -> List[Gcn3Instr]:
+    """Decode a code image back into instructions.
+
+    Branch targets are resolved back to instruction indices; operand
+    widths are reconstructed from :func:`operand_widths`.
+    """
+    instrs: List[Gcn3Instr] = []
+    pcs: List[int] = []
+    pc = 0
+    pending_branches: List[Tuple[int, int]] = []  # (instr idx, target pc)
+    while pc < len(image):
+        op, fields, src_codes, dest_code, base = _decode_one(image[pc:pc + 8], pc)
+        info = OPCODES[op]
+        dest_count, src_counts = operand_widths(op)
+        fkind = _float_kind(op)
+
+        lit_offset = pc + base
+        literals: List[int] = []
+
+        def take_literal() -> int:
+            (value,) = struct.unpack_from("<I", image, lit_offset + 4 * len(literals))
+            literals.append(value)
+            return value
+
+        nsrc = _real_src_count(op, src_codes)
+        srcs: List[object] = []
+        for i in range(nsrc):
+            code = src_codes[i]
+            literal = take_literal() if code == 255 else None
+            width = src_counts[i] if i < len(src_counts) else 1
+            srcs.append(decode_operand(code, literal, fkind, width))
+        dest: Optional[object] = None
+        if _has_dest(op):
+            dest = decode_operand(dest_code, None, None, max(1, dest_count))
+
+        attrs: Dict[str, object] = {}
+        if "offset" in fields:
+            attrs["offset"] = fields["offset"]
+        neg_bits = int(fields.get("neg_bits", 0) or 0)
+        if neg_bits:
+            attrs["neg"] = tuple(bool(neg_bits >> i & 1) for i in range(3))
+        instr = Gcn3Instr(opcode=op, dest=dest, srcs=tuple(srcs), attrs=attrs)
+        if op == "s_waitcnt":
+            simm = int(fields["simm16"])  # type: ignore[index]
+            if simm & 0xF != 0xF:
+                instr.attrs["vmcnt"] = simm & 0xF
+            if (simm >> 8) & 0x1F != 0x1F:
+                instr.attrs["lgkmcnt"] = (simm >> 8) & 0x1F
+        elif op == "s_nop":
+            instr.attrs["simm"] = int(fields["simm16"])  # type: ignore[index]
+        elif instr.is_branch:
+            simm = int(fields["simm16"])  # type: ignore[index]
+            if simm >= 1 << 15:
+                simm -= 1 << 16
+            pending_branches.append((len(instrs), pc + 4 + 4 * simm))
+        instrs.append(instr)
+        pcs.append(pc)
+        pc += base + 4 * len(literals)
+
+    pc_to_index = {p: i for i, p in enumerate(pcs)}
+    for idx, target_pc in pending_branches:
+        if target_pc not in pc_to_index:
+            raise EncodingError(f"branch to mid-instruction pc {target_pc:#x}")
+        instrs[idx].attrs["target"] = pc_to_index[target_pc]
+    _ = kernel_name
+    return instrs
+
+
+def _real_src_count(op: str, src_codes: List[int]) -> int:
+    _dest, src_counts = operand_widths(op)
+    explicit = {
+        "s_mov_b32": 1, "s_mov_b64": 1, "s_not_b32": 1, "s_not_b64": 1,
+        "s_brev_b32": 1, "s_and_saveexec_b64": 1, "s_or_saveexec_b64": 1,
+        "v_mov_b32": 1, "v_not_b32": 1, "s_load_dword": 1,
+        "s_load_dwordx2": 1, "s_load_dwordx4": 1,
+        "flat_load_dword": 1, "flat_load_dwordx2": 1,
+        "scratch_load_dword": 0, "scratch_load_dwordx2": 0,
+        "scratch_store_dword": 1, "scratch_store_dwordx2": 1,
+        "ds_read_b32": 1, "ds_read_b64": 1,
+        "s_waitcnt": 0, "s_nop": 0, "s_barrier": 0, "s_endpgm": 0,
+        "s_branch": 0, "s_cbranch_scc0": 0, "s_cbranch_scc1": 0,
+        "s_cbranch_vccz": 0, "s_cbranch_vccnz": 0,
+        "s_cbranch_execz": 0, "s_cbranch_execnz": 0,
+    }
+    if op in explicit:
+        return explicit[op]
+    if op.startswith("v_rcp") or op.startswith("v_sqrt") or op.startswith("v_cvt") \
+            or op == "v_readfirstlane_b32":
+        return 1
+    if op.startswith(("v_fma", "v_div_scale", "v_div_fmas", "v_div_fixup",
+                      "v_cndmask", "v_mad", "v_bfe")):
+        return 3
+    _ = src_codes
+    return 2
+
+
+def _has_dest(op: str) -> bool:
+    no_dest = {
+        "s_waitcnt", "s_nop", "s_barrier", "s_endpgm", "s_branch",
+        "s_cbranch_scc0", "s_cbranch_scc1", "s_cbranch_vccz",
+        "s_cbranch_vccnz", "s_cbranch_execz", "s_cbranch_execnz",
+        "flat_store_dword", "flat_store_dwordx2",
+        "scratch_store_dword", "scratch_store_dwordx2",
+        "ds_write_b32", "ds_write_b64",
+    }
+    if op in no_dest or op.startswith("s_cmp_"):
+        return False
+    return True

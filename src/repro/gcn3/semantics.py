@@ -1,0 +1,685 @@
+"""GCN3 functional semantics at wavefront granularity.
+
+Unlike HSAIL, the execution mask (EXEC), the carry mask (VCC) and the
+scalar condition code (SCC) are architectural state manipulated directly
+by instructions; there is no simulator-side reconvergence stack.  Scalar
+instructions execute once per wavefront; vector instructions execute the
+active lanes of EXEC.
+
+Functional simplifications (documented in DESIGN.md): the
+``v_div_scale``/``v_div_fmas``/``v_div_fixup`` trio consumes and produces
+the architecturally-correct registers, but the final ``v_div_fixup``
+computes an exactly-rounded quotient rather than emulating the hardware's
+fixup tables bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..common.bits import unpack_bfe_operand
+from ..common.errors import ExecutionError
+from ..common.exec_types import DispatchContext, ExecResult, MemKind
+from ..common.lanes import (
+    FULL_MASK,
+    WF_SIZE,
+    bool_to_mask,
+    lds_gather_u32,
+    lds_scatter_u32,
+    mask_to_bool,
+    touched_lines,
+)
+from ..runtime.memory import SimulatedMemory
+from . import abi
+from .isa import EXEC, Gcn3Instr, Gcn3Kernel, SImm, SReg, SpecialReg, VCC, VReg
+
+_LANES32 = np.arange(WF_SIZE, dtype=np.uint32)
+
+
+@dataclass
+class Gcn3WfState:
+    """Architectural state of one GCN3 wavefront."""
+
+    kernel: Gcn3Kernel
+    ctx: DispatchContext
+    vgpr: np.ndarray = field(default=None)  # type: ignore[assignment]
+    sgpr: np.ndarray = field(default=None)  # type: ignore[assignment]
+    exec_mask: int = FULL_MASK
+    vcc: int = 0
+    scc: int = 0
+    pc: int = 0  # instruction index
+    done: bool = False
+
+    def __post_init__(self) -> None:
+        dims = getattr(self.kernel, "abi_dims", 1)
+        if self.vgpr is None:
+            rows = max(abi.first_free_vgpr(dims) + 1, self.kernel.vgprs_used)
+            self.vgpr = np.zeros((rows, WF_SIZE), dtype=np.uint32)
+        if self.sgpr is None:
+            self.sgpr = np.zeros(
+                max(abi.first_free_sgpr(dims), self.kernel.sgprs_used) + 2,
+                dtype=np.uint32,
+            )
+        self.exec_mask = self.ctx.active_mask_bits()
+        abi.initialize_wavefront_registers(self.sgpr, self.vgpr, self.ctx, dims)
+
+    # -- scalar operand access ----------------------------------------------
+
+    def read_s32(self, op: object) -> int:
+        if isinstance(op, SReg):
+            return int(self.sgpr[op.index])
+        if isinstance(op, SImm):
+            return op.pattern & 0xFFFFFFFF
+        if isinstance(op, SpecialReg):
+            if op.name == "vcc":
+                return self.vcc & 0xFFFFFFFF
+            if op.name == "exec":
+                return self.exec_mask & 0xFFFFFFFF
+            if op.name == "scc":
+                return self.scc
+        raise ExecutionError(f"cannot read scalar operand {op!r}")
+
+    def read_s64(self, op: object) -> int:
+        if isinstance(op, SReg):
+            return int(self.sgpr[op.index]) | (int(self.sgpr[op.index + 1]) << 32)
+        if isinstance(op, SImm):
+            return op.pattern & 0xFFFFFFFFFFFFFFFF
+        if isinstance(op, SpecialReg):
+            if op.name == "vcc":
+                return self.vcc
+            if op.name == "exec":
+                return self.exec_mask
+        raise ExecutionError(f"cannot read 64-bit scalar operand {op!r}")
+
+    def write_s32(self, op: object, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if isinstance(op, SReg):
+            self.sgpr[op.index] = value
+            return
+        if isinstance(op, SpecialReg) and op.name == "vcc":
+            self.vcc = (self.vcc & ~0xFFFFFFFF) | value
+            return
+        raise ExecutionError(f"cannot write scalar operand {op!r}")
+
+    def write_s64(self, op: object, value: int) -> None:
+        value &= 0xFFFFFFFFFFFFFFFF
+        if isinstance(op, SReg):
+            self.sgpr[op.index] = value & 0xFFFFFFFF
+            self.sgpr[op.index + 1] = value >> 32
+            return
+        if isinstance(op, SpecialReg):
+            if op.name == "exec":
+                self.exec_mask = value
+                return
+            if op.name == "vcc":
+                self.vcc = value
+                return
+        raise ExecutionError(f"cannot write 64-bit scalar operand {op!r}")
+
+    # -- vector operand access ------------------------------------------------
+
+    def read_v32(self, op: object) -> np.ndarray:
+        if isinstance(op, VReg):
+            return self.vgpr[op.index]
+        return np.full(WF_SIZE, np.uint32(self.read_s32(op)), dtype=np.uint32)
+
+    def read_v64(self, op: object) -> np.ndarray:
+        if isinstance(op, VReg):
+            lo = self.vgpr[op.index].astype(np.uint64)
+            hi = self.vgpr[op.index + 1].astype(np.uint64)
+            return lo | (hi << np.uint64(32))
+        return np.full(WF_SIZE, np.uint64(self.read_s64(op)), dtype=np.uint64)
+
+    def write_v32(self, op: VReg, values: np.ndarray, mask: np.ndarray) -> None:
+        raw = np.ascontiguousarray(values).view(np.uint32).reshape(-1)
+        self.vgpr[op.index][mask] = raw[mask]
+
+    def write_v64(self, op: VReg, values: np.ndarray, mask: np.ndarray) -> None:
+        raw = np.ascontiguousarray(values).view(np.uint64).reshape(-1)
+        lo = (raw & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        hi = (raw >> np.uint64(32)).astype(np.uint32)
+        self.vgpr[op.index][mask] = lo[mask]
+        self.vgpr[op.index + 1][mask] = hi[mask]
+
+    def mask_operand(self, op: object) -> np.ndarray:
+        """A 64-bit mask operand (VCC or an SGPR pair) as bool lanes."""
+        return mask_to_bool(self.read_s64(op))
+
+    def exec_bool(self) -> np.ndarray:
+        """EXEC as bool lanes, cached per mask value (the hot path)."""
+        cached = getattr(self, "_exec_cache", None)
+        if cached is not None and cached[0] == self.exec_mask:
+            return cached[1]
+        arr = mask_to_bool(self.exec_mask)
+        self._exec_cache = (self.exec_mask, arr)
+        return arr
+
+
+class Gcn3Executor:
+    """Executes GCN3 instructions for wavefronts of one dispatch."""
+
+    def __init__(self, memory: SimulatedMemory, lds: Optional[np.ndarray] = None) -> None:
+        self.memory = memory
+        self.lds = lds if lds is not None else np.zeros(64 * 1024, dtype=np.uint8)
+
+    # -- entry -------------------------------------------------------------
+
+    def execute(self, wf: Gcn3WfState) -> ExecResult:
+        instr = wf.kernel.instrs[wf.pc]
+        opcode = instr.opcode
+        mask = wf.exec_bool()
+        result = ExecResult(active_lanes=int(mask.sum()))
+
+        if opcode.startswith("s_cbranch") or opcode == "s_branch":
+            self._branch(wf, instr, result)
+            return result
+        if opcode == "s_endpgm":
+            wf.done = True
+            result.ends_wavefront = True
+            wf.pc += 1
+            return result
+        if opcode == "s_barrier":
+            result.is_barrier = True
+            wf.pc += 1
+            return result
+        if opcode == "s_waitcnt":
+            result.waitcnt = (
+                instr.attrs.get("vmcnt"),
+                instr.attrs.get("lgkmcnt"),
+            )  # type: ignore[assignment]
+            wf.pc += 1
+            return result
+        if opcode == "s_nop":
+            wf.pc += 1
+            return result
+        if opcode.startswith("s_load"):
+            self._smem(wf, instr, result)
+        elif opcode.startswith("s_"):
+            self._salu(wf, instr)
+        elif opcode.startswith("flat_") or opcode.startswith("scratch_"):
+            self._vmem(wf, instr, mask, result)
+        elif opcode.startswith("ds_"):
+            self._ds(wf, instr, mask, result)
+        elif opcode.startswith("v_"):
+            self._valu(wf, instr, mask)
+        else:
+            raise ExecutionError(f"cannot execute {opcode!r}")
+        wf.pc += 1
+        return result
+
+    # -- scalar ALU ----------------------------------------------------------
+
+    def _salu(self, wf: Gcn3WfState, instr: Gcn3Instr) -> None:
+        op = instr.opcode
+        d = instr.dest
+        if op == "s_mov_b32":
+            wf.write_s32(d, wf.read_s32(instr.srcs[0]))
+            return
+        if op == "s_mov_b64":
+            wf.write_s64(d, wf.read_s64(instr.srcs[0]))
+            return
+        if op == "s_not_b32":
+            a = wf.read_s32(instr.srcs[0])
+            wf.write_s32(d, ~a & 0xFFFFFFFF)
+            wf.scc = int((~a & 0xFFFFFFFF) != 0)
+            return
+        if op == "s_not_b64":
+            a = wf.read_s64(instr.srcs[0])
+            wf.write_s64(d, ~a & 0xFFFFFFFFFFFFFFFF)
+            wf.scc = int((~a & 0xFFFFFFFFFFFFFFFF) != 0)
+            return
+        if op == "s_brev_b32":
+            a = wf.read_s32(instr.srcs[0])
+            wf.write_s32(d, int(f"{a:032b}"[::-1], 2))
+            return
+        if op in ("s_and_saveexec_b64", "s_or_saveexec_b64"):
+            old = wf.exec_mask
+            src = wf.read_s64(instr.srcs[0])
+            wf.write_s64(d, old)
+            wf.exec_mask = (old & src) if op.startswith("s_and") else (old | src)
+            wf.scc = int(wf.exec_mask != 0)
+            return
+        if op in ("s_add_u32", "s_sub_u32", "s_addc_u32", "s_subb_u32"):
+            a = wf.read_s32(instr.srcs[0])
+            b = wf.read_s32(instr.srcs[1])
+            carry_in = wf.scc if op in ("s_addc_u32", "s_subb_u32") else 0
+            if op in ("s_add_u32", "s_addc_u32"):
+                total = a + b + carry_in
+                wf.scc = int(total > 0xFFFFFFFF)
+            else:
+                total = a - b - carry_in
+                wf.scc = int(total < 0)
+            wf.write_s32(d, total & 0xFFFFFFFF)
+            return
+        if op == "s_mul_i32":
+            a = _s32(wf.read_s32(instr.srcs[0]))
+            b = _s32(wf.read_s32(instr.srcs[1]))
+            wf.write_s32(d, (a * b) & 0xFFFFFFFF)
+            return
+        if op in ("s_and_b32", "s_or_b32", "s_xor_b32"):
+            a = wf.read_s32(instr.srcs[0])
+            b = wf.read_s32(instr.srcs[1])
+            if op == "s_and_b32":
+                value = a & b
+            elif op == "s_or_b32":
+                value = a | b
+            else:
+                value = a ^ b
+            wf.write_s32(d, value)
+            wf.scc = int(value != 0)
+            return
+        if op in ("s_and_b64", "s_or_b64", "s_xor_b64", "s_andn2_b64"):
+            a = wf.read_s64(instr.srcs[0])
+            b = wf.read_s64(instr.srcs[1])
+            if op == "s_and_b64":
+                value = a & b
+            elif op == "s_or_b64":
+                value = a | b
+            elif op == "s_xor_b64":
+                value = a ^ b
+            else:
+                value = a & ~b & 0xFFFFFFFFFFFFFFFF
+            wf.write_s64(d, value)
+            wf.scc = int(value != 0)
+            return
+        if op in ("s_lshl_b32", "s_lshr_b32", "s_ashr_i32"):
+            a = wf.read_s32(instr.srcs[0])
+            amt = wf.read_s32(instr.srcs[1]) & 31
+            if op == "s_lshl_b32":
+                value = (a << amt) & 0xFFFFFFFF
+            elif op == "s_lshr_b32":
+                value = a >> amt
+            else:
+                value = (_s32(a) >> amt) & 0xFFFFFFFF
+            wf.write_s32(d, value)
+            wf.scc = int(value != 0)
+            return
+        if op in ("s_lshl_b64", "s_lshr_b64"):
+            a = wf.read_s64(instr.srcs[0])
+            amt = wf.read_s32(instr.srcs[1]) & 63
+            value = (a << amt) & 0xFFFFFFFFFFFFFFFF if op == "s_lshl_b64" else a >> amt
+            wf.write_s64(d, value)
+            wf.scc = int(value != 0)
+            return
+        if op in ("s_min_u32", "s_max_u32", "s_min_i32", "s_max_i32"):
+            a = wf.read_s32(instr.srcs[0])
+            b = wf.read_s32(instr.srcs[1])
+            if op.endswith("i32"):
+                a, b = _s32(a), _s32(b)
+            value = min(a, b) if "min" in op else max(a, b)
+            wf.scc = int(value == a)  # SCC = "first operand selected"
+            wf.write_s32(d, value & 0xFFFFFFFF)
+            return
+        if op == "s_bfe_u32":
+            a = wf.read_s32(instr.srcs[0])
+            offset, width = unpack_bfe_operand(wf.read_s32(instr.srcs[1]))
+            value = (a >> offset) & ((1 << width) - 1) if width else 0
+            wf.write_s32(d, value)
+            wf.scc = int(value != 0)
+            return
+        if op in ("s_cselect_b32", "s_cselect_b64"):
+            pick = instr.srcs[0] if wf.scc else instr.srcs[1]
+            if op.endswith("b64"):
+                wf.write_s64(d, wf.read_s64(pick))
+            else:
+                wf.write_s32(d, wf.read_s32(pick))
+            return
+        if op.startswith("s_cmp_"):
+            self._s_cmp(wf, instr)
+            return
+        raise ExecutionError(f"unhandled SALU op {op!r}")
+
+    def _s_cmp(self, wf: Gcn3WfState, instr: Gcn3Instr) -> None:
+        _, _, cond, ty = instr.opcode.split("_")
+        a = wf.read_s32(instr.srcs[0])
+        b = wf.read_s32(instr.srcs[1])
+        if ty == "i32":
+            a, b = _s32(a), _s32(b)
+        table = {
+            "eq": a == b, "lg": a != b, "lt": a < b,
+            "le": a <= b, "gt": a > b, "ge": a >= b,
+        }
+        wf.scc = int(table[cond])
+
+    # -- vector ALU -----------------------------------------------------------
+
+    def _valu(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
+        op = instr.opcode
+        if op.startswith("v_cmp_"):
+            self._v_cmp(wf, instr, mask)
+            return
+        if op == "v_cndmask_b32":
+            f_v = wf.read_v32(instr.srcs[0])
+            t_v = wf.read_v32(instr.srcs[1])
+            sel = wf.mask_operand(instr.srcs[2]) if len(instr.srcs) > 2 \
+                else mask_to_bool(wf.vcc)
+            wf.write_v32(instr.dest, np.where(sel, t_v, f_v), mask)  # type: ignore[arg-type]
+            return
+        if op == "v_readfirstlane_b32":
+            src = wf.read_v32(instr.srcs[0])
+            lanes = np.flatnonzero(mask)
+            lane = int(lanes[0]) if lanes.size else 0
+            wf.write_s32(instr.dest, int(src[lane]))
+            return
+        if op in ("v_add_u32", "v_sub_u32", "v_subrev_u32", "v_addc_u32", "v_subb_u32"):
+            self._v_add(wf, instr, mask)
+            return
+        if op == "v_mov_b32":
+            wf.write_v32(instr.dest, wf.read_v32(instr.srcs[0]), mask)  # type: ignore[arg-type]
+            return
+        if op == "v_not_b32":
+            wf.write_v32(instr.dest, ~wf.read_v32(instr.srcs[0]), mask)  # type: ignore[arg-type]
+            return
+        if op in ("v_and_b32", "v_or_b32", "v_xor_b32"):
+            a = wf.read_v32(instr.srcs[0])
+            b = wf.read_v32(instr.srcs[1])
+            if op == "v_and_b32":
+                value = a & b
+            elif op == "v_or_b32":
+                value = a | b
+            else:
+                value = a ^ b
+            wf.write_v32(instr.dest, value, mask)  # type: ignore[arg-type]
+            return
+        if op in ("v_lshlrev_b32", "v_lshrrev_b32", "v_ashrrev_i32"):
+            amt = wf.read_v32(instr.srcs[0]) & np.uint32(31)
+            a = wf.read_v32(instr.srcs[1])
+            if op == "v_lshlrev_b32":
+                value = a << amt
+            elif op == "v_lshrrev_b32":
+                value = a >> amt
+            else:
+                value = (a.view(np.int32) >> amt.astype(np.int32)).view(np.uint32)
+            wf.write_v32(instr.dest, value.astype(np.uint32), mask)  # type: ignore[arg-type]
+            return
+        if op in ("v_lshlrev_b64", "v_lshrrev_b64", "v_ashrrev_i64"):
+            amt = (wf.read_v32(instr.srcs[0]) & np.uint32(63)).astype(np.uint64)
+            a = wf.read_v64(instr.srcs[1])
+            if op == "v_lshlrev_b64":
+                value = a << amt
+            elif op == "v_lshrrev_b64":
+                value = a >> amt
+            else:
+                value = (a.view(np.int64) >> amt.astype(np.int64)).view(np.uint64)
+            wf.write_v64(instr.dest, value.astype(np.uint64), mask)  # type: ignore[arg-type]
+            return
+        if op in ("v_mul_lo_u32", "v_mul_hi_u32", "v_mul_hi_i32"):
+            a = wf.read_v32(instr.srcs[0])
+            b = wf.read_v32(instr.srcs[1])
+            if op == "v_mul_hi_i32":
+                wide = a.view(np.int32).astype(np.int64) * b.view(np.int32).astype(np.int64)
+                value = (wide >> 32).astype(np.int32).view(np.uint32)
+            else:
+                wide = a.astype(np.uint64) * b.astype(np.uint64)
+                value = (wide & np.uint64(0xFFFFFFFF)).astype(np.uint32) \
+                    if op == "v_mul_lo_u32" else (wide >> np.uint64(32)).astype(np.uint32)
+            wf.write_v32(instr.dest, value, mask)  # type: ignore[arg-type]
+            return
+        if op == "v_mad_u32_u24":
+            a = wf.read_v32(instr.srcs[0]) & np.uint32(0xFFFFFF)
+            b = wf.read_v32(instr.srcs[1]) & np.uint32(0xFFFFFF)
+            c = wf.read_v32(instr.srcs[2])
+            wf.write_v32(instr.dest, a * b + c, mask)  # type: ignore[arg-type]
+            return
+        if op == "v_bfe_u32":
+            a = wf.read_v32(instr.srcs[0])
+            offset = wf.read_v32(instr.srcs[1]) & np.uint32(31)
+            width = wf.read_v32(instr.srcs[2]) & np.uint32(31)
+            value = (a >> offset) & ((np.uint32(1) << width) - np.uint32(1))
+            wf.write_v32(instr.dest, value, mask)  # type: ignore[arg-type]
+            return
+        if op in ("v_min_u32", "v_max_u32", "v_min_i32", "v_max_i32"):
+            a = wf.read_v32(instr.srcs[0])
+            b = wf.read_v32(instr.srcs[1])
+            if op.endswith("i32"):
+                a = a.view(np.int32)
+                b = b.view(np.int32)
+            value = np.minimum(a, b) if "min" in op else np.maximum(a, b)
+            wf.write_v32(instr.dest, value.view(np.uint32) if op.endswith("i32") else value, mask)  # type: ignore[arg-type]
+            return
+        if op.startswith("v_cvt_"):
+            self._v_cvt(wf, instr, mask)
+            return
+        if op.endswith("_f32") or op.endswith("_f64"):
+            self._v_float(wf, instr, mask)
+            return
+        raise ExecutionError(f"unhandled VALU op {op!r}")
+
+    def _v_add(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
+        op = instr.opcode
+        a = wf.read_v32(instr.srcs[0]).astype(np.uint64)
+        b = wf.read_v32(instr.srcs[1]).astype(np.uint64)
+        if op == "v_subrev_u32":
+            a, b = b, a
+        carry_in = np.zeros(WF_SIZE, dtype=np.uint64)
+        if op in ("v_addc_u32", "v_subb_u32"):
+            carry_in = mask_to_bool(wf.vcc).astype(np.uint64)
+        if op in ("v_add_u32", "v_addc_u32"):
+            total = a + b + carry_in
+            carry = total > np.uint64(0xFFFFFFFF)
+        else:
+            total = a - b - carry_in
+            carry = a < (b + carry_in)  # borrow
+        wf.write_v32(instr.dest, (total & np.uint64(0xFFFFFFFF)).astype(np.uint32), mask)  # type: ignore[arg-type]
+        carry_bits = bool_to_mask(carry & mask)
+        wf.vcc = (wf.vcc & ~wf.exec_mask) | carry_bits
+
+    def _v_cmp(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
+        _, _, cond, ty = instr.opcode.split("_")
+        if ty in ("u64",):
+            a = wf.read_v64(instr.srcs[0])
+            b = wf.read_v64(instr.srcs[1])
+        elif ty == "f64":
+            a = wf.read_v64(instr.srcs[0]).view(np.float64)
+            b = wf.read_v64(instr.srcs[1]).view(np.float64)
+        elif ty == "f32":
+            a = wf.read_v32(instr.srcs[0]).view(np.float32)
+            b = wf.read_v32(instr.srcs[1]).view(np.float32)
+        elif ty == "i32":
+            a = wf.read_v32(instr.srcs[0]).view(np.int32)
+            b = wf.read_v32(instr.srcs[1]).view(np.int32)
+        else:
+            a = wf.read_v32(instr.srcs[0])
+            b = wf.read_v32(instr.srcs[1])
+        table = {
+            "eq": a == b, "ne": a != b, "lt": a < b,
+            "le": a <= b, "gt": a > b, "ge": a >= b,
+        }
+        bits = bool_to_mask(table[cond] & mask)
+        dest = instr.dest if instr.dest is not None else VCC
+        wf.write_s64(dest, bits)
+
+    def _v_cvt(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
+        op = instr.opcode  # v_cvt_<dst>_<src>
+        _, _, dst, src = op.split("_")
+        readers = {
+            "u32": lambda o: wf.read_v32(o),
+            "i32": lambda o: wf.read_v32(o).view(np.int32),
+            "f32": lambda o: wf.read_v32(o).view(np.float32),
+            "f64": lambda o: wf.read_v64(o).view(np.float64),
+        }
+        a = readers[src](instr.srcs[0])
+        np_dst = {"u32": np.uint32, "i32": np.int32, "f32": np.float32, "f64": np.float64}[dst]
+        with np.errstate(all="ignore"):
+            values = a.astype(np_dst)
+        if dst in ("u32", "i32", "f32"):
+            wf.write_v32(instr.dest, values.view(np.uint32), mask)  # type: ignore[arg-type]
+        else:
+            wf.write_v64(instr.dest, values.view(np.uint64), mask)  # type: ignore[arg-type]
+
+    def _v_float(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
+        op = instr.opcode
+        wide = op.endswith("_f64")
+        read = (lambda o: wf.read_v64(o).view(np.float64)) if wide \
+            else (lambda o: wf.read_v32(o).view(np.float32))
+
+        def src(i: int) -> np.ndarray:
+            values = read(instr.srcs[i])
+            neg = instr.attrs.get("neg")
+            if neg and i < len(neg) and neg[i]:  # type: ignore[arg-type]
+                return -values
+            return values
+
+        with np.errstate(all="ignore"):
+            if "add" in op:
+                values = src(0) + src(1)
+            elif "sub" in op:
+                values = src(0) - src(1)
+            elif "mul" in op and "div" not in op:
+                values = src(0) * src(1)
+            elif "min" in op:
+                values = np.minimum(src(0), src(1))
+            elif "max" in op:
+                values = np.maximum(src(0), src(1))
+            elif "fma" in op and "div" not in op:
+                values = src(0) * src(1) + src(2)
+            elif "rcp" in op:
+                one = np.float64(1.0) if wide else np.float32(1.0)
+                values = one / src(0)
+            elif "sqrt" in op:
+                values = np.sqrt(src(0))
+            elif "div_scale" in op:
+                # Functional simplification: no scaling; VCC cleared.
+                values = src(0)
+                wf.vcc = 0
+            elif "div_fmas" in op:
+                values = src(0) * src(1) + src(2)
+            elif "div_fixup" in op:
+                # quotient fixup: exact num/den (srcs are q, den, num).
+                values = src(2) / src(1)
+            else:
+                raise ExecutionError(f"unhandled float op {op!r}")
+        if wide:
+            wf.write_v64(instr.dest, values.view(np.uint64), mask)  # type: ignore[arg-type]
+        else:
+            wf.write_v32(instr.dest, values.astype(np.float32).view(np.uint32), mask)  # type: ignore[arg-type]
+
+    # -- memory -----------------------------------------------------------------
+
+    def _smem(self, wf: Gcn3WfState, instr: Gcn3Instr, result: ExecResult) -> None:
+        base = wf.read_s64(instr.srcs[0])
+        offset = int(instr.attrs.get("offset", 0))
+        addr = base + offset
+        count = {"s_load_dword": 1, "s_load_dwordx2": 2, "s_load_dwordx4": 4}[instr.opcode]
+        dest = instr.dest
+        assert isinstance(dest, SReg)
+        for i in range(count):
+            wf.sgpr[dest.index + i] = self.memory.load_scalar(addr + 4 * i, 4) & 0xFFFFFFFF
+        result.mem_kind = MemKind.SCALAR_LOAD
+        result.mem_lines = sorted({(addr + 4 * i) >> 6 for i in range(count)})
+
+    def _vmem(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray, result: ExecResult) -> None:
+        op = instr.opcode
+        if op == "flat_atomic_add":
+            self._flat_atomic_add(wf, instr, mask, result)
+            return
+        wide = op.endswith("x2")
+        is_store = "store" in op
+        if op.startswith("scratch_"):
+            lanes = np.arange(WF_SIZE, dtype=np.uint64)
+            flat_ids = np.uint64(wf.ctx.workitem_base()) + lanes
+            addrs = (
+                np.uint64(wf.ctx.private_base)
+                + flat_ids * np.uint64(wf.ctx.private_stride)
+                + np.uint64(int(instr.attrs.get("offset", 0)))
+            )
+        else:
+            addr_op = instr.srcs[0]
+            addrs = wf.read_v64(addr_op)
+        if is_store:
+            data_op = instr.srcs[0] if op.startswith("scratch_") else instr.srcs[1]
+            if wide:
+                raw = wf.read_v64(data_op)
+                self.memory.scatter_u32(addrs, (raw & np.uint64(0xFFFFFFFF)).astype(np.uint32), mask)
+                self.memory.scatter_u32(addrs + np.uint64(4), (raw >> np.uint64(32)).astype(np.uint32), mask)
+            else:
+                self.memory.scatter_u32(addrs, wf.read_v32(data_op), mask)
+            result.mem_kind = MemKind.GLOBAL_STORE
+        else:
+            lo = self.memory.gather_u32(addrs, mask)
+            if wide:
+                hi = self.memory.gather_u32(addrs + np.uint64(4), mask)
+                values = lo.astype(np.uint64) | (hi.astype(np.uint64) << np.uint64(32))
+                wf.write_v64(instr.dest, values, mask)  # type: ignore[arg-type]
+            else:
+                wf.write_v32(instr.dest, lo, mask)  # type: ignore[arg-type]
+            result.mem_kind = MemKind.GLOBAL_LOAD
+        result.mem_lines = touched_lines(addrs, mask, 8 if wide else 4)
+
+    def _flat_atomic_add(self, wf: Gcn3WfState, instr: Gcn3Instr,
+                         mask: np.ndarray, result: ExecResult) -> None:
+        """Atomic add; lanes serialize in ascending order (matching the
+        HSAIL model so cross-ISA results are bit-identical)."""
+        addrs = wf.read_v64(instr.srcs[0])
+        values = wf.read_v32(instr.srcs[1])
+        old = np.zeros(WF_SIZE, dtype=np.uint32)
+        for lane in np.flatnonzero(mask):
+            addr = int(addrs[lane])
+            prev = self.memory.load_scalar(addr, 4)
+            self.memory.store_scalar(addr, (prev + int(values[lane])) & 0xFFFFFFFF, 4)
+            old[lane] = prev
+        if instr.dest is not None:
+            wf.write_v32(instr.dest, old, mask)  # type: ignore[arg-type]
+        result.mem_kind = MemKind.GLOBAL_STORE
+        result.mem_lines = touched_lines(addrs, mask, 4)
+
+    def _ds(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray, result: ExecResult) -> None:
+        op = instr.opcode
+        wide = op.endswith("b64")
+        offs = wf.read_v32(instr.srcs[0]).astype(np.uint64) \
+            + np.uint64(wf.ctx.lds_base_offset) \
+            + np.uint64(int(instr.attrs.get("offset", 0)))
+        if "write" in op:
+            data_op = instr.srcs[1]
+            if wide:
+                raw = wf.read_v64(data_op)
+                lds_scatter_u32(self.lds, offs, (raw & np.uint64(0xFFFFFFFF)).astype(np.uint32), mask)
+                lds_scatter_u32(self.lds, offs + np.uint64(4), (raw >> np.uint64(32)).astype(np.uint32), mask)
+            else:
+                lds_scatter_u32(self.lds, offs, wf.read_v32(data_op), mask)
+        else:
+            lo = lds_gather_u32(self.lds, offs, mask)
+            if wide:
+                hi = lds_gather_u32(self.lds, offs + np.uint64(4), mask)
+                values = lo.astype(np.uint64) | (hi.astype(np.uint64) << np.uint64(32))
+                wf.write_v64(instr.dest, values, mask)  # type: ignore[arg-type]
+            else:
+                wf.write_v32(instr.dest, lo, mask)  # type: ignore[arg-type]
+        result.mem_kind = MemKind.LDS_ACCESS
+        result.mem_lines = touched_lines(offs, mask, 8 if wide else 4)
+
+    # -- control flow --------------------------------------------------------------
+
+    def _branch(self, wf: Gcn3WfState, instr: Gcn3Instr, result: ExecResult) -> None:
+        op = instr.opcode
+        target = instr.target
+        if target is None:
+            raise ExecutionError(f"{op} without target")
+        taken = True
+        if op == "s_cbranch_scc0":
+            taken = wf.scc == 0
+        elif op == "s_cbranch_scc1":
+            taken = wf.scc == 1
+        elif op == "s_cbranch_vccz":
+            taken = wf.vcc == 0
+        elif op == "s_cbranch_vccnz":
+            taken = wf.vcc != 0
+        elif op == "s_cbranch_execz":
+            taken = wf.exec_mask == 0
+        elif op == "s_cbranch_execnz":
+            taken = wf.exec_mask != 0
+        if taken:
+            wf.pc = target
+            result.branch_taken = True
+            result.next_pc = target
+        else:
+            wf.pc += 1
+            result.branch_taken = False
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value

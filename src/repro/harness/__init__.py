@@ -1,0 +1,16 @@
+"""Experiment harness: suite runner, figure generators, hardware proxy."""
+
+from .figures import ALL_FIGURES
+from .hardware_model import correlate, hardware_cycles, table07_rows
+from .runner import SuiteResults, WorkloadRun, run_suite, run_workload
+
+__all__ = [
+    "ALL_FIGURES",
+    "correlate",
+    "hardware_cycles",
+    "table07_rows",
+    "SuiteResults",
+    "WorkloadRun",
+    "run_suite",
+    "run_workload",
+]

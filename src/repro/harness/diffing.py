@@ -1,0 +1,100 @@
+"""Suite-result diffing: compare two JSON result exports.
+
+Development aid: ``python -m repro diff before.json after.json`` flags
+statistically meaningful movements between two runs (e.g. before/after a
+model change), so silent regressions in cycles, flush counts, or footprints
+show up immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Statistics compared per (workload, isa), with relative-change thresholds.
+WATCHED_STATS = {
+    "cycles": 0.02,
+    "dynamic_instructions": 0.0,       # any change is notable
+    "ib_flushes": 0.0,
+    "vrf_bank_conflicts": 0.05,
+    "simd_utilization": 0.01,
+}
+WATCHED_FIELDS = {
+    "data_footprint_bytes": 0.0,
+    "instr_footprint_bytes": 0.0,
+    "static_instructions": 0.0,
+}
+
+
+@dataclass
+class Delta:
+    """One meaningful change between two runs."""
+
+    workload: str
+    isa: str
+    stat: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return (self.after - self.before) / self.before
+
+    def render(self) -> str:
+        return (f"{self.workload}/{self.isa} {self.stat}: "
+                f"{self.before:g} -> {self.after:g} "
+                f"({self.relative:+.1%})")
+
+
+def _index(payload: dict) -> Dict[Tuple[str, str], dict]:
+    return {(r["workload"], r["isa"]): r for r in payload["runs"]}
+
+
+def diff_payloads(before: dict, after: dict) -> List[Delta]:
+    """All watched changes between two parsed JSON exports."""
+    a_runs = _index(before)
+    b_runs = _index(after)
+    deltas: List[Delta] = []
+    for key in sorted(set(a_runs) & set(b_runs)):
+        workload, isa = key
+        a, b = a_runs[key], b_runs[key]
+        if a.get("verified") != b.get("verified"):
+            deltas.append(Delta(workload, isa, "verified",
+                                float(a.get("verified", 0)),
+                                float(b.get("verified", 0))))
+        for stat, threshold in WATCHED_STATS.items():
+            av = float(a["stats"].get(stat, 0.0))
+            bv = float(b["stats"].get(stat, 0.0))
+            if _moved(av, bv, threshold):
+                deltas.append(Delta(workload, isa, stat, av, bv))
+        for field, threshold in WATCHED_FIELDS.items():
+            av = float(a.get(field, 0.0))
+            bv = float(b.get(field, 0.0))
+            if _moved(av, bv, threshold):
+                deltas.append(Delta(workload, isa, field, av, bv))
+    only_before = sorted(set(a_runs) - set(b_runs))
+    only_after = sorted(set(b_runs) - set(a_runs))
+    for workload, isa in only_before:
+        deltas.append(Delta(workload, isa, "run-removed", 1, 0))
+    for workload, isa in only_after:
+        deltas.append(Delta(workload, isa, "run-added", 0, 1))
+    return deltas
+
+
+def _moved(before: float, after: float, threshold: float) -> bool:
+    if before == after:
+        return False
+    if before == 0:
+        return True
+    return abs(after - before) / abs(before) > threshold
+
+
+def diff_files(path_before: str, path_after: str) -> List[Delta]:
+    with open(path_before) as f:
+        before = json.load(f)
+    with open(path_after) as f:
+        after = json.load(f)
+    return diff_payloads(before, after)

@@ -1,0 +1,239 @@
+"""Per-figure/table row generators (the paper's evaluation section).
+
+Every function takes a :class:`SuiteResults` and returns
+``(title, headers, rows)`` ready for :func:`repro.common.tables.render_table`.
+Normalizations follow the paper: per-workload GCN3 values normalized to
+HSAIL where the figure is "normalized to HSAIL".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..common.categories import CATEGORY_ORDER
+from ..common.tables import geomean
+from .runner import SuiteResults
+
+#: registry-name -> paper display name, in the paper's plot order.
+DISPLAY = {
+    "arraybw": "Array BW",
+    "bitonic": "Bitonic Sort",
+    "comd": "CoMD",
+    "fft": "FFT",
+    "hpgmg": "HPGMG",
+    "lulesh": "LULESH",
+    "md": "MD",
+    "snap": "SNAP",
+    "spmv": "SpMV",
+    "xsbench": "XSBench",
+}
+
+FigureData = Tuple[str, List[str], List[List[object]]]
+
+
+def _ordered(results: SuiteResults) -> List[str]:
+    return [w for w in DISPLAY if w in results.workloads] + [
+        w for w in results.workloads if w not in DISPLAY
+    ]
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den else 0.0
+
+
+def figure05_dynamic_instructions(results: SuiteResults) -> FigureData:
+    """Dynamic instruction count and breakdown, GCN3 normalized to HSAIL."""
+    headers = ["Workload", "HSAIL dyn", "GCN3 dyn", "GCN3/HSAIL"]
+    for cat in CATEGORY_ORDER:
+        headers.append(f"G3 {cat.value}%")
+    rows: List[List[object]] = []
+    ratios = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        ratio = _ratio(g3.dynamic_instructions, hs.dynamic_instructions)
+        ratios.append(ratio)
+        row: List[object] = [DISPLAY.get(w, w), hs.dynamic_instructions,
+                             g3.dynamic_instructions, ratio]
+        total = max(1, g3.dynamic_instructions)
+        for cat in CATEGORY_ORDER:
+            row.append(100.0 * g3.total.instructions_by_category.get(cat, 0) / total)
+        rows.append(row)
+    rows.append(["GEOMEAN", "", "", geomean(ratios)] + [""] * len(CATEGORY_ORDER))
+    return ("Figure 5: dynamic instructions (GCN3 normalized to HSAIL)",
+            headers, rows)
+
+
+def figure06_vrf_bank_conflicts(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL conflicts", "GCN3 conflicts", "HSAIL/GCN3"]
+    rows: List[List[object]] = []
+    ratios = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        h = hs.stat("vrf_bank_conflicts")
+        g = g3.stat("vrf_bank_conflicts")
+        ratio = _ratio(h, g)
+        ratios.append(ratio)
+        rows.append([DISPLAY.get(w, w), int(h), int(g), ratio])
+    rows.append(["GEOMEAN", "", "", geomean(ratios)])
+    return ("Figure 6: VRF bank conflicts", headers, rows)
+
+
+def figure07_reuse_distance(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL median", "GCN3 median", "GCN3/HSAIL"]
+    rows: List[List[object]] = []
+    ratios = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        h = hs.total.reuse_distance.median
+        g = g3.total.reuse_distance.median
+        ratio = _ratio(g, h)
+        ratios.append(ratio)
+        rows.append([DISPLAY.get(w, w), h, g, ratio])
+    rows.append(["GEOMEAN", "", "", geomean(ratios)])
+    return ("Figure 7: median vector register reuse distance", headers, rows)
+
+
+def figure08_instruction_footprint(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL bytes", "GCN3 bytes", "GCN3/HSAIL",
+               "GCN3 L1I misses", "HSAIL L1I misses"]
+    rows: List[List[object]] = []
+    ratios = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        ratio = _ratio(g3.instr_footprint_bytes, hs.instr_footprint_bytes)
+        ratios.append(ratio)
+        rows.append([
+            DISPLAY.get(w, w),
+            hs.instr_footprint_bytes,
+            g3.instr_footprint_bytes,
+            ratio,
+            int(g3.stat("ifetch_misses")),
+            int(hs.stat("ifetch_misses")),
+        ])
+    rows.append(["GEOMEAN", "", "", geomean(ratios), "", ""])
+    return ("Figure 8: static instruction footprint", headers, rows)
+
+
+def figure09_ib_flushes(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL flushes", "GCN3 flushes", "GCN3/HSAIL"]
+    rows: List[List[object]] = []
+    ratios = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        h = hs.stat("ib_flushes")
+        g = g3.stat("ib_flushes")
+        ratio = _ratio(g, h) if h else 0.0
+        if h:
+            ratios.append(ratio)
+        rows.append([DISPLAY.get(w, w), int(h), int(g), ratio])
+    rows.append(["GEOMEAN", "", "", geomean(ratios)])
+    return ("Figure 9: instruction buffer flushes", headers, rows)
+
+
+def figure10_value_uniqueness(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL read%", "GCN3 read%", "HSAIL write%",
+               "GCN3 write%"]
+    rows: List[List[object]] = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        rows.append([
+            DISPLAY.get(w, w),
+            100.0 * hs.total.read_uniqueness.value,
+            100.0 * g3.total.read_uniqueness.value,
+            100.0 * hs.total.write_uniqueness.value,
+            100.0 * g3.total.write_uniqueness.value,
+        ])
+    return ("Figure 10: uniqueness of VRF lane values", headers, rows)
+
+
+def figure11_ipc(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL IPC", "GCN3 IPC", "GCN3/HSAIL"]
+    rows: List[List[object]] = []
+    ratios = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        ratio = _ratio(g3.total.ipc, hs.total.ipc)
+        ratios.append(ratio)
+        rows.append([DISPLAY.get(w, w), hs.total.ipc, g3.total.ipc, ratio])
+    rows.append(["GEOMEAN", "", "", geomean(ratios)])
+    return ("Figure 11: IPC (normalized to HSAIL)", headers, rows)
+
+
+def figure12_runtime(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL cycles", "GCN3 cycles", "HSAIL/GCN3"]
+    rows: List[List[object]] = []
+    ratios = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        ratio = _ratio(hs.cycles, g3.cycles)
+        ratios.append(ratio)
+        rows.append([DISPLAY.get(w, w), hs.cycles, g3.cycles, ratio])
+    rows.append(["GEOMEAN", "", "", geomean(ratios)])
+    return ("Figure 12: runtime in GPU cycles (HSAIL relative to GCN3)",
+            headers, rows)
+
+
+def table06_footprint_and_simd(results: SuiteResults) -> FigureData:
+    headers = ["Workload", "HSAIL data", "GCN3 data", "HSAIL/GCN3",
+               "HSAIL SIMD%", "GCN3 SIMD%"]
+    rows: List[List[object]] = []
+    for w in _ordered(results):
+        hs, g3 = results.pair(w)
+        rows.append([
+            DISPLAY.get(w, w),
+            hs.data_footprint_bytes,
+            g3.data_footprint_bytes,
+            _ratio(hs.data_footprint_bytes, g3.data_footprint_bytes),
+            100.0 * hs.total.simd_utilization.value,
+            100.0 * g3.total.simd_utilization.value,
+        ])
+    return ("Table 6: data footprint and SIMD utilization", headers, rows)
+
+
+def figure01_summary(results: SuiteResults) -> FigureData:
+    """Geomean summary of dissimilar and similar statistics (Figure 1)."""
+    stats: Dict[str, List[float]] = {
+        "dynamic instructions (GCN3/HSAIL)": [],
+        "GPU cycles (HSAIL/GCN3)": [],
+        "VRF bank conflicts (HSAIL/GCN3)": [],
+        "IB flushes (HSAIL/GCN3)": [],
+        "instruction footprint (GCN3/HSAIL)": [],
+        "reuse distance (GCN3/HSAIL)": [],
+        "SIMD utilization (HSAIL/GCN3)": [],
+        "data footprint (HSAIL/GCN3)": [],
+    }
+    for w in results.workloads:
+        hs, g3 = results.pair(w)
+        stats["dynamic instructions (GCN3/HSAIL)"].append(
+            _ratio(g3.dynamic_instructions, hs.dynamic_instructions))
+        stats["GPU cycles (HSAIL/GCN3)"].append(_ratio(hs.cycles, g3.cycles))
+        stats["VRF bank conflicts (HSAIL/GCN3)"].append(
+            _ratio(hs.stat("vrf_bank_conflicts"), g3.stat("vrf_bank_conflicts")))
+        if hs.stat("ib_flushes") and g3.stat("ib_flushes"):
+            stats["IB flushes (HSAIL/GCN3)"].append(
+                _ratio(hs.stat("ib_flushes"), g3.stat("ib_flushes")))
+        stats["instruction footprint (GCN3/HSAIL)"].append(
+            _ratio(g3.instr_footprint_bytes, hs.instr_footprint_bytes))
+        stats["reuse distance (GCN3/HSAIL)"].append(
+            _ratio(g3.total.reuse_distance.median, hs.total.reuse_distance.median))
+        stats["SIMD utilization (HSAIL/GCN3)"].append(
+            _ratio(hs.total.simd_utilization.value, g3.total.simd_utilization.value))
+        stats["data footprint (HSAIL/GCN3)"].append(
+            _ratio(hs.data_footprint_bytes, g3.data_footprint_bytes))
+    rows = [[name, geomean(vals)] for name, vals in stats.items()]
+    return ("Figure 1: geomean of dissimilar and similar statistics",
+            ["Statistic", "Geomean ratio"], rows)
+
+
+ALL_FIGURES = {
+    "fig01": figure01_summary,
+    "fig05": figure05_dynamic_instructions,
+    "fig06": figure06_vrf_bank_conflicts,
+    "fig07": figure07_reuse_distance,
+    "fig08": figure08_instruction_footprint,
+    "fig09": figure09_ib_flushes,
+    "fig10": figure10_value_uniqueness,
+    "fig11": figure11_ipc,
+    "fig12": figure12_runtime,
+    "tab06": table06_footprint_and_simd,
+}

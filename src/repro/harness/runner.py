@@ -1,0 +1,175 @@
+"""Experiment runner: execute (workload x ISA) pairs and collect results.
+
+One :class:`WorkloadRun` captures everything the paper's figures need for
+one workload under one ISA: aggregate and per-dispatch statistics, the
+static instruction footprint, the device data footprint, and functional
+verification.  :func:`run_suite` runs the full matrix once and caches it
+in-process so every benchmark can share the same simulation outputs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import GpuConfig, paper_config
+from ..common.stats import StatSet, merge_all
+from ..runtime.process import GpuProcess
+from ..timing.gpu import Gpu
+from ..workloads import all_workloads, create
+
+ISAS = ("hsail", "gcn3")
+
+
+@dataclass
+class WorkloadRun:
+    """Results of one workload under one ISA."""
+
+    workload: str
+    isa: str
+    verified: bool
+    total: StatSet
+    per_dispatch: List[StatSet]
+    #: kernel name of each dispatch, index-aligned with ``per_dispatch``
+    dispatch_kernel_names: List[str]
+    data_footprint_bytes: int
+    instr_footprint_bytes: int
+    static_instructions: int
+    kernel_code_bytes: Dict[str, int]
+    wall_seconds: float
+
+    @property
+    def cycles(self) -> int:
+        return self.total.cycles
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return self.total.dynamic_instructions
+
+    def stat(self, name: str) -> float:
+        return float(self.total.snapshot().get(name, 0.0))
+
+    def per_kernel_totals(self) -> "Dict[str, StatSet]":
+        """Per-dispatch statistics aggregated by kernel name (the paper's
+        per-kernel view of multi-kernel workloads like LULESH)."""
+        out: Dict[str, StatSet] = {}
+        for name, stats in zip(self.dispatch_kernel_names, self.per_dispatch):
+            out.setdefault(name, StatSet()).merge(stats)
+        return out
+
+    def to_dict(self) -> "Dict[str, object]":
+        """A JSON-friendly summary of this run."""
+        return {
+            "workload": self.workload,
+            "isa": self.isa,
+            "verified": self.verified,
+            "stats": dict(self.total.snapshot()),
+            "data_footprint_bytes": self.data_footprint_bytes,
+            "instr_footprint_bytes": self.instr_footprint_bytes,
+            "static_instructions": self.static_instructions,
+            "kernel_code_bytes": dict(self.kernel_code_bytes),
+            "dispatches": len(self.per_dispatch),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+@dataclass
+class SuiteResults:
+    """The full (workload x ISA) result matrix."""
+
+    scale: float
+    runs: Dict[Tuple[str, str], WorkloadRun] = field(default_factory=dict)
+
+    def get(self, workload: str, isa: str) -> WorkloadRun:
+        return self.runs[(workload, isa)]
+
+    def pair(self, workload: str) -> Tuple[WorkloadRun, WorkloadRun]:
+        """(hsail, gcn3) runs for one workload."""
+        return self.get(workload, "hsail"), self.get(workload, "gcn3")
+
+    @property
+    def workloads(self) -> List[str]:
+        return sorted({w for (w, _isa) in self.runs})
+
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.runs.values())
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the whole matrix (for downstream analysis tools)."""
+        import json
+
+        payload = {
+            "scale": self.scale,
+            "runs": [run.to_dict() for _key, run in sorted(self.runs.items())],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def run_workload(
+    name: str,
+    isa: str,
+    scale: float = 1.0,
+    config: Optional[GpuConfig] = None,
+    seed: int = 7,
+) -> WorkloadRun:
+    """Simulate one workload under one ISA and collect all statistics."""
+    config = config or paper_config()
+    workload = create(name, scale=scale, seed=seed)
+    process = GpuProcess(isa, memory_capacity=1 << 25)
+    start = time.time()
+    workload.stage(process, isa)
+    gpu = Gpu(config, process)
+    per_dispatch = gpu.run_all()
+    verified = workload.verify(process)
+    wall = time.time() - start
+
+    total = merge_all(per_dispatch)
+    kernel_bytes = {}
+    static_instrs = 0
+    for kname, dual in workload.kernels().items():
+        kernel = dual.for_isa(isa)
+        kernel_bytes[kname] = kernel.code_bytes
+        static_instrs += kernel.static_instructions
+    return WorkloadRun(
+        workload=name,
+        isa=isa,
+        verified=verified,
+        total=total,
+        per_dispatch=per_dispatch,
+        dispatch_kernel_names=[d.kernel.name for d in process.dispatches],
+        data_footprint_bytes=process.data_footprint_bytes,
+        instr_footprint_bytes=sum(kernel_bytes.values()),
+        static_instructions=static_instrs,
+        kernel_code_bytes=kernel_bytes,
+        wall_seconds=wall,
+    )
+
+
+_SUITE_CACHE: Dict[Tuple[float, int, Tuple[str, ...]], SuiteResults] = {}
+
+
+def run_suite(
+    scale: float = 1.0,
+    config: Optional[GpuConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    use_cache: bool = True,
+) -> SuiteResults:
+    """Run every workload under both ISAs (cached per process)."""
+    config = config or paper_config()
+    names: Tuple[str, ...] = tuple(
+        workloads if workloads is not None else [w.name for w in all_workloads()]
+    )
+    key = (scale, seed, names)
+    if use_cache and key in _SUITE_CACHE:
+        return _SUITE_CACHE[key]
+    results = SuiteResults(scale=scale)
+    for name in names:
+        for isa in ISAS:
+            results.runs[(name, isa)] = run_workload(
+                name, isa, scale=scale, config=config, seed=seed
+            )
+    if use_cache:
+        _SUITE_CACHE[key] = results
+    return results

@@ -1,0 +1,6 @@
+"""HSAIL-like intermediate language: ISA, BRIG encoding, codegen, semantics."""
+
+from .codegen import compile_hsail
+from .isa import HsailInstr, HsailKernel
+
+__all__ = ["compile_hsail", "HsailInstr", "HsailKernel"]

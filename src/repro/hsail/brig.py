@@ -1,0 +1,323 @@
+"""BRIG-like binary serialization of HSAIL kernels.
+
+Real HSAIL ships inside ELF as BRIG: verbose, self-describing data
+structures organized into *data* (strings), *code* (instruction entries),
+and *operand* sections, designed for finalizer software rather than a
+hardware decoder (paper §III.C.3).  This module reproduces that shape:
+
+* a string/data section with deduplicated entries,
+* variable-length instruction records (tens of bytes each — compare the
+  4-8 byte GCN3 encodings) referencing operand records,
+* kernel metadata (params, segment sizes, register usage),
+* the structured-control-flow annotation block the finalizer consumes,
+* both the register-allocated stream and the compiler's virtual-register
+  stream (standing in for the SSA a real finalizer would reconstruct).
+
+``decode(encode(k))`` rebuilds a kernel that executes and finalizes
+identically; the reconvergence table is recomputed from the decoded code.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..common.errors import EncodingError
+from ..kernels.cfg import reconvergence_table
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from .isa import (
+    KNOWN_OPCODES,
+    CodeIf,
+    CodeLoop,
+    CodeRegion,
+    CodeSpan,
+    HReg,
+    HsailInstr,
+    HsailKernel,
+    Imm,
+)
+
+MAGIC = b"BRIG"
+VERSION = 2
+
+_OPCODE_LIST = sorted(KNOWN_OPCODES)
+_OPCODE_ID = {name: i for i, name in enumerate(_OPCODE_LIST)}
+_DTYPE_LIST = list(DType)
+_DTYPE_ID = {d: i for i, d in enumerate(_DTYPE_LIST)}
+_SEGMENT_LIST = [None] + list(Segment)
+_SEGMENT_ID = {s: i for i, s in enumerate(_SEGMENT_LIST)}
+_CMP_LIST = ["eq", "ne", "lt", "le", "gt", "ge"]
+_CMP_ID = {c: i for i, c in enumerate(_CMP_LIST)}
+
+
+class _DataSection:
+    """Deduplicated string table ('hsa_data' in real BRIG)."""
+
+    def __init__(self) -> None:
+        self._blob = bytearray()
+        self._offsets: Dict[bytes, int] = {}
+
+    def add(self, text: str) -> int:
+        raw = text.encode("utf-8")
+        if raw in self._offsets:
+            return self._offsets[raw]
+        offset = len(self._blob)
+        self._blob += struct.pack("<H", len(raw)) + raw
+        self._offsets[raw] = offset
+        return offset
+
+    def blob(self) -> bytes:
+        return bytes(self._blob)
+
+    @staticmethod
+    def read(blob: bytes, offset: int) -> str:
+        (length,) = struct.unpack_from("<H", blob, offset)
+        return blob[offset + 2 : offset + 2 + length].decode("utf-8")
+
+
+def _pack_operand(op: Union[HReg, Imm]) -> bytes:
+    if isinstance(op, HReg):
+        kind = 0 if op.kind == "s" else 1
+        return struct.pack("<BBBI", 0, kind, 1 if op.virtual else 0, op.index)
+    return struct.pack("<BBQ", 1, _DTYPE_ID[op.dtype], op.pattern)
+
+
+def _unpack_operand(blob: bytes, pos: int) -> Tuple[Union[HReg, Imm], int]:
+    tag = blob[pos]
+    if tag == 0:
+        _t, kind, virtual, index = struct.unpack_from("<BBBI", blob, pos)
+        return HReg(kind="s" if kind == 0 else "d", index=index,
+                    virtual=bool(virtual)), pos + 7
+    _t, dtype_id, pattern = struct.unpack_from("<BBQ", blob, pos)
+    return Imm(pattern=pattern, dtype=_DTYPE_LIST[dtype_id]), pos + 10
+
+
+def _pack_instr(instr: HsailInstr, data: _DataSection) -> bytes:
+    flags = 0
+    if instr.dest is not None:
+        flags |= 1
+    if instr.invert:
+        flags |= 2
+    target = instr.target if instr.target is not None else -1
+    cmp_id = _CMP_ID.get(str(instr.attrs.get("cmp", "")), 255)
+    dim = int(instr.attrs.get("dim", 0))
+    src_dtype = instr.attrs.get("src_dtype")
+    src_dtype_id = _DTYPE_ID[src_dtype] if src_dtype is not None else 255
+    param = instr.attrs.get("param")
+    param_ref = data.add(str(param)) if param is not None else 0xFFFFFFFF
+
+    body = struct.pack(
+        "<BBBBiBBBI",
+        _OPCODE_ID[instr.opcode],
+        _DTYPE_ID[instr.dtype],
+        _SEGMENT_ID[instr.segment],
+        flags,
+        target,
+        cmp_id,
+        dim,
+        src_dtype_id,
+        param_ref,
+    )
+    if instr.dest is not None:
+        body += _pack_operand(instr.dest)
+    body += struct.pack("<B", len(instr.srcs))
+    for src in instr.srcs:
+        body += _pack_operand(src)
+    return struct.pack("<H", len(body)) + body
+
+
+def _unpack_instr(blob: bytes, pos: int, data_blob: bytes) -> Tuple[HsailInstr, int]:
+    (size,) = struct.unpack_from("<H", blob, pos)
+    pos += 2
+    end = pos + size
+    (op_id, dtype_id, seg_id, flags, target, cmp_id, dim, src_dtype_id,
+     param_ref) = struct.unpack_from("<BBBBiBBBI", blob, pos)
+    pos += struct.calcsize("<BBBBiBBBI")
+    dest: Optional[HReg] = None
+    if flags & 1:
+        operand, pos = _unpack_operand(blob, pos)
+        if not isinstance(operand, HReg):
+            raise EncodingError("instruction destination must be a register")
+        dest = operand
+    (nsrc,) = struct.unpack_from("<B", blob, pos)
+    pos += 1
+    srcs: List[Union[HReg, Imm]] = []
+    for _ in range(nsrc):
+        operand, pos = _unpack_operand(blob, pos)
+        srcs.append(operand)
+    if pos != end:
+        raise EncodingError("instruction entry size mismatch")
+
+    attrs: Dict[str, object] = {}
+    if target >= 0:
+        attrs["target"] = target
+    if flags & 2:
+        attrs["invert"] = True
+    if cmp_id != 255:
+        attrs["cmp"] = _CMP_LIST[cmp_id]
+    if dim:
+        attrs["dim"] = dim
+    if src_dtype_id != 255:
+        attrs["src_dtype"] = _DTYPE_LIST[src_dtype_id]
+    if param_ref != 0xFFFFFFFF:
+        attrs["param"] = _DataSection.read(data_blob, param_ref)
+    return HsailInstr(
+        opcode=_OPCODE_LIST[op_id],
+        dtype=_DTYPE_LIST[dtype_id],
+        dest=dest,
+        srcs=tuple(srcs),
+        segment=_SEGMENT_LIST[seg_id],
+        attrs=attrs,
+    ), end
+
+
+def _pack_regions(elems: List[CodeRegion]) -> bytes:
+    out = bytearray(struct.pack("<H", len(elems)))
+    for elem in elems:
+        if isinstance(elem, CodeSpan):
+            out += struct.pack("<BII", 0, elem.start, elem.end)
+        elif isinstance(elem, CodeIf):
+            out += struct.pack("<BI", 1, elem.cbr_index)
+            out += _pack_regions(elem.then_elems)
+            out += _pack_regions(elem.else_elems)
+        elif isinstance(elem, CodeLoop):
+            out += struct.pack("<BI", 2, elem.cbr_index)
+            out += _pack_regions(elem.body_elems)
+        else:
+            raise EncodingError(f"unknown region {elem!r}")
+    return bytes(out)
+
+
+def _unpack_regions(blob: bytes, pos: int) -> Tuple[List[CodeRegion], int]:
+    (count,) = struct.unpack_from("<H", blob, pos)
+    pos += 2
+    out: List[CodeRegion] = []
+    for _ in range(count):
+        tag = blob[pos]
+        pos += 1
+        if tag == 0:
+            start, end = struct.unpack_from("<II", blob, pos)
+            pos += 8
+            out.append(CodeSpan(start=start, end=end))
+        elif tag == 1:
+            (cbr,) = struct.unpack_from("<I", blob, pos)
+            pos += 4
+            then_elems, pos = _unpack_regions(blob, pos)
+            else_elems, pos = _unpack_regions(blob, pos)
+            out.append(CodeIf(cbr_index=cbr, then_elems=then_elems,
+                              else_elems=else_elems))
+        elif tag == 2:
+            (cbr,) = struct.unpack_from("<I", blob, pos)
+            pos += 4
+            body, pos = _unpack_regions(blob, pos)
+            out.append(CodeLoop(body_elems=body, cbr_index=cbr))
+        else:
+            raise EncodingError(f"bad region tag {tag}")
+    return out, pos
+
+
+def encode_brig(kernel: HsailKernel) -> bytes:
+    """Serialize a compiled HSAIL kernel into a BRIG-like module."""
+    data = _DataSection()
+    name_ref = data.add(kernel.name)
+
+    code = bytearray()
+    for instr in kernel.instrs:
+        code += _pack_instr(instr, data)
+    virt = bytearray()
+    for instr in kernel.virtual_instrs:
+        virt += _pack_instr(instr, data)
+
+    params = bytearray(struct.pack("<H", len(kernel.params)))
+    for pname, dtype, offset in kernel.params:
+        params += struct.pack("<IBI", data.add(pname), _DTYPE_ID[dtype], offset)
+
+    regions = _pack_regions(kernel.regions)
+    meta = struct.pack(
+        "<IIIIIIII",
+        name_ref,
+        kernel.kernarg_bytes,
+        kernel.group_bytes,
+        kernel.private_bytes,
+        kernel.spill_bytes,
+        kernel.reg_slots_used,
+        kernel.num_vregs,
+        len(kernel.instrs),
+    )
+
+    sections = [data.blob(), bytes(code), bytes(virt), bytes(params),
+                regions, meta]
+    header = MAGIC + struct.pack("<HH", VERSION, len(sections))
+    for section in sections:
+        header += struct.pack("<I", len(section))
+    return header + b"".join(sections)
+
+
+def decode_brig(blob: bytes) -> HsailKernel:
+    """Inverse of :func:`encode_brig`."""
+    if blob[:4] != MAGIC:
+        raise EncodingError("not a BRIG module")
+    version, nsections = struct.unpack_from("<HH", blob, 4)
+    if version != VERSION:
+        raise EncodingError(f"unsupported BRIG version {version}")
+    pos = 8
+    sizes = []
+    for _ in range(nsections):
+        (size,) = struct.unpack_from("<I", blob, pos)
+        sizes.append(size)
+        pos += 4
+    sections = []
+    for size in sizes:
+        sections.append(blob[pos : pos + size])
+        pos += size
+    data_blob, code_blob, virt_blob, params_blob, regions_blob, meta = sections
+
+    (name_ref, kernarg_bytes, group_bytes, private_bytes, spill_bytes,
+     reg_slots, num_vregs, n_instrs) = struct.unpack("<IIIIIIII", meta)
+
+    def read_stream(stream: bytes) -> List[HsailInstr]:
+        out: List[HsailInstr] = []
+        p = 0
+        while p < len(stream):
+            instr, p = _unpack_instr(stream, p, data_blob)
+            out.append(instr)
+        return out
+
+    instrs = read_stream(code_blob)
+    virtual_instrs = read_stream(virt_blob)
+    if len(instrs) != n_instrs:
+        raise EncodingError("code section count mismatch")
+
+    (nparams,) = struct.unpack_from("<H", params_blob, 0)
+    p = 2
+    params: List[Tuple[str, DType, int]] = []
+    for _ in range(nparams):
+        ref, dtype_id, offset = struct.unpack_from("<IBI", params_blob, p)
+        p += 9
+        params.append((_DataSection.read(data_blob, ref), _DTYPE_LIST[dtype_id], offset))
+
+    regions, _ = _unpack_regions(regions_blob, 0)
+
+    branch_targets = {
+        i: instr.target for i, instr in enumerate(instrs)
+        if instr.is_branch and instr.target is not None
+    }
+    conditional = {i: instrs[i].is_conditional for i in branch_targets}
+    returns = [i for i, instr in enumerate(instrs) if instr.opcode == "ret"]
+    rpc = reconvergence_table(len(instrs), branch_targets, conditional, returns)
+
+    return HsailKernel(
+        name=_DataSection.read(data_blob, name_ref),
+        instrs=instrs,
+        params=params,
+        kernarg_bytes=kernarg_bytes,
+        group_bytes=group_bytes,
+        private_bytes=private_bytes,
+        spill_bytes=spill_bytes,
+        reg_slots_used=reg_slots,
+        rpc_table=rpc,
+        regions=regions,
+        num_vregs=num_vregs,
+        virtual_instrs=virtual_instrs,
+    )

@@ -1,0 +1,373 @@
+"""Kernel IR -> HSAIL code generation (the high-level compiler's backend).
+
+The translation is nearly 1:1 — that is the point of the IL: one ``div``,
+one ``workitemabsid``, segment-typed loads with implicit bases.  Constants
+fold into immediate operands.  After emission, virtual registers are
+assigned to the work-item's 32-bit register slot space (up to 2,048 slots;
+64-bit values take an aligned pair), and the reconvergence-PC table the
+SIMT simulator needs is computed from immediate post-dominators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..common.errors import CodegenError, RegisterAllocationError
+from ..kernels.cfg import reconvergence_table
+from ..kernels.ir import BlockElem, HirOp, IfElem, KernelIR, LoopElem, RegionElem, Value
+from ..kernels.regalloc import allocate_registers, succs_from_instrs
+from ..kernels.types import DType, encode_imm
+from ..runtime.memory import Segment
+from .isa import (
+    HSAIL_MAX_REG_SLOTS,
+    CodeIf,
+    CodeLoop,
+    CodeRegion,
+    CodeSpan,
+    HReg,
+    HsailInstr,
+    HsailKernel,
+    Imm,
+)
+
+_DISPATCH_OPCODE = {
+    "wi_abs_id": "workitemabsid",
+    "wi_id": "workitemid",
+    "wi_flat_abs_id": "workitemflatabsid",
+    "wg_id": "workgroupid",
+    "wg_size": "workgroupsize",
+    "grid_size": "gridsize",
+}
+
+_PASSTHROUGH_OPS = frozenset(
+    {"add", "sub", "mul", "mulhi", "div", "min", "max", "and", "or", "xor",
+     "shl", "shr", "neg", "not", "abs", "rcp", "sqrt", "mad", "fma", "cmov",
+     "mov"}
+)
+
+
+class _Emitter:
+    def __init__(self, kernel: KernelIR) -> None:
+        self.kernel = kernel
+        self.instrs: List[HsailInstr] = []
+        self.const_of: Dict[int, Imm] = {}
+        self.block_start: Dict[int, int] = {}
+
+    def vreg(self, value: Value) -> HReg:
+        kind = "d" if value.dtype.is_wide else "s"
+        return HReg(kind=kind, index=value.vid, virtual=True)
+
+    def operand(self, value: Value) -> Union[HReg, Imm]:
+        imm = self.const_of.get(value.vid)
+        return imm if imm is not None else self.vreg(value)
+
+    def emit(self, instr: HsailInstr) -> None:
+        self.instrs.append(instr)
+
+    def translate_op(self, op: HirOp) -> None:
+        opcode = op.opcode
+        if opcode == "const":
+            assert op.result is not None
+            pattern = encode_imm(op.result.dtype, op.attrs["value"])  # type: ignore[arg-type]
+            self.const_of[op.result.vid] = Imm(pattern=pattern, dtype=op.result.dtype)
+            return
+        if opcode in _PASSTHROUGH_OPS:
+            assert op.result is not None
+            self.emit(
+                HsailInstr(
+                    opcode=opcode,
+                    dtype=op.result.dtype,
+                    dest=self.vreg(op.result),
+                    srcs=tuple(self.operand(a) for a in op.args),
+                )
+            )
+            return
+        if opcode == "cvt":
+            assert op.result is not None
+            self.emit(
+                HsailInstr(
+                    opcode="cvt",
+                    dtype=op.result.dtype,
+                    dest=self.vreg(op.result),
+                    srcs=(self.operand(op.args[0]),),
+                    attrs={"src_dtype": op.attrs["src_dtype"]},
+                )
+            )
+            return
+        if opcode == "cmp":
+            assert op.result is not None
+            self.emit(
+                HsailInstr(
+                    opcode="cmp",
+                    dtype=op.attrs["cmp_dtype"],  # type: ignore[arg-type]
+                    dest=self.vreg(op.result),
+                    srcs=tuple(self.operand(a) for a in op.args),
+                    attrs={"cmp": op.attrs["cmp"]},
+                )
+            )
+            return
+        if opcode == "kernarg":
+            assert op.result is not None
+            param = self.kernel.param(str(op.attrs["name"]))
+            self.emit(
+                HsailInstr(
+                    opcode="ld",
+                    dtype=op.result.dtype,
+                    dest=self.vreg(op.result),
+                    srcs=(Imm(pattern=param.offset, dtype=DType.U32),),
+                    segment=Segment.KERNARG,
+                    attrs={"param": param.name},
+                )
+            )
+            return
+        if opcode in _DISPATCH_OPCODE:
+            assert op.result is not None
+            self.emit(
+                HsailInstr(
+                    opcode=_DISPATCH_OPCODE[opcode],
+                    dtype=DType.U32,
+                    dest=self.vreg(op.result),
+                    srcs=(),
+                    attrs={"dim": op.attrs.get("dim", 0)},
+                )
+            )
+            return
+        if opcode == "ld":
+            assert op.result is not None
+            self.emit(
+                HsailInstr(
+                    opcode="ld",
+                    dtype=op.result.dtype,
+                    dest=self.vreg(op.result),
+                    srcs=(self.operand(op.args[0]),),
+                    segment=op.attrs["segment"],  # type: ignore[arg-type]
+                )
+            )
+            return
+        if opcode == "atomic_add":
+            assert op.result is not None
+            self.emit(
+                HsailInstr(
+                    opcode="atomic_add",
+                    dtype=op.result.dtype,
+                    dest=self.vreg(op.result),
+                    srcs=tuple(self.operand(a) for a in op.args),
+                    segment=op.attrs["segment"],  # type: ignore[arg-type]
+                )
+            )
+            return
+        if opcode == "st":
+            addr, value = op.args
+            self.emit(
+                HsailInstr(
+                    opcode="st",
+                    dtype=value.dtype,
+                    srcs=(self.operand(addr), self.operand(value)),
+                    segment=op.attrs["segment"],  # type: ignore[arg-type]
+                )
+            )
+            return
+        if opcode == "barrier":
+            self.emit(HsailInstr(opcode="barrier", dtype=DType.U32))
+            return
+        if opcode == "ret":
+            self.emit(HsailInstr(opcode="ret", dtype=DType.U32))
+            return
+        if opcode == "br":
+            self.emit(
+                HsailInstr(
+                    opcode="br",
+                    dtype=DType.U32,
+                    attrs={"target_block": op.attrs["target"]},
+                )
+            )
+            return
+        if opcode == "cbr":
+            self.emit(
+                HsailInstr(
+                    opcode="cbr",
+                    dtype=DType.B1,
+                    srcs=(self.operand(op.args[0]),),
+                    attrs={
+                        "target_block": op.attrs["target"],
+                        "invert": bool(op.attrs.get("invert", False)),
+                    },
+                )
+            )
+            return
+        raise CodegenError(f"cannot translate IR opcode {opcode!r}")
+
+
+def _resolve_block_starts(emitter: _Emitter, num_blocks: int) -> Dict[int, int]:
+    """Start instruction index per block; empty blocks forward to the next."""
+    starts = emitter.block_start
+    resolved: Dict[int, int] = {}
+    nxt = len(emitter.instrs) - 1
+    for bid in range(num_blocks - 1, -1, -1):
+        if bid in starts:
+            nxt = starts[bid]
+        resolved[bid] = nxt
+    return resolved
+
+
+def _convert_regions(
+    elems: List[RegionElem],
+    resolved: Dict[int, int],
+    num_blocks: int,
+    num_instrs: int,
+    instrs: List[HsailInstr],
+) -> List[CodeRegion]:
+    """Map the frontend region tree into instruction-index space."""
+
+    def block_span(bid: int) -> CodeSpan:
+        start = resolved[bid]
+        end = resolved[bid + 1] if bid + 1 < num_blocks else num_instrs
+        return CodeSpan(start=start, end=end)
+
+    def first_index(sub: List[RegionElem]) -> int:
+        head = sub[0]
+        if not isinstance(head, BlockElem):
+            raise CodegenError("region does not start with a block")
+        return resolved[head.bid]
+
+    out: List[CodeRegion] = []
+    for elem in elems:
+        if isinstance(elem, BlockElem):
+            out.append(block_span(elem.bid))
+        elif isinstance(elem, IfElem):
+            cbr_index = first_index(elem.then_elems) - 1
+            if instrs[cbr_index].opcode != "cbr":
+                raise CodegenError("if-region guard is not a cbr")
+            out.append(
+                CodeIf(
+                    cbr_index=cbr_index,
+                    then_elems=_convert_regions(elem.then_elems, resolved, num_blocks, num_instrs, instrs),
+                    else_elems=_convert_regions(elem.else_elems, resolved, num_blocks, num_instrs, instrs),
+                )
+            )
+        elif isinstance(elem, LoopElem):
+            body = _convert_regions(elem.body_elems, resolved, num_blocks, num_instrs, instrs)
+            last = body[-1]
+            if not isinstance(last, CodeSpan):
+                raise CodegenError("loop body does not end in a block")
+            cbr_index = last.end - 1
+            if instrs[cbr_index].opcode != "cbr":
+                raise CodegenError("loop backedge is not a cbr")
+            out.append(CodeLoop(body_elems=body, cbr_index=cbr_index))
+        else:
+            raise CodegenError(f"unknown region element {elem!r}")
+    return out
+
+
+def _patch_branches(emitter: _Emitter, resolved: Dict[int, int]) -> None:
+    """Resolve block-id branch targets to instruction indices."""
+    for instr in emitter.instrs:
+        if "target_block" in instr.attrs:
+            tb = int(instr.attrs.pop("target_block"))  # type: ignore[arg-type]
+            target = resolved.get(tb)
+            if target is None:
+                raise CodegenError(f"branch to unknown block {tb}")
+            instr.attrs["target"] = target
+
+
+def _allocate(instrs: List[HsailInstr], num_vregs: int, widths: Dict[int, int]) -> int:
+    uses: List[List[int]] = []
+    defs: List[List[int]] = []
+    for instr in instrs:
+        uses.append([r.index for r in instr.reg_reads() if r.virtual])
+        defs.append([r.index for r in instr.reg_writes() if r.virtual])
+
+    def branch_of(i: int) -> "Optional[Tuple[int, bool]]":
+        instr = instrs[i]
+        if instr.is_branch and instr.target is not None:
+            return instr.target, instr.is_conditional
+        return None
+
+    succs = succs_from_instrs(len(instrs), branch_of, lambda i: instrs[i].opcode == "ret")
+    result = allocate_registers(
+        num_vregs=num_vregs,
+        uses=uses,
+        defs=defs,
+        succs=succs,
+        width_of=lambda v: widths.get(v, 1),
+        budget=HSAIL_MAX_REG_SLOTS,
+    )
+    if result.spilled:
+        raise RegisterAllocationError(
+            f"HSAIL register demand exceeds {HSAIL_MAX_REG_SLOTS} slots "
+            f"({len(result.spilled)} values spilled)"
+        )
+
+    def physical(reg: HReg) -> HReg:
+        if not reg.virtual:
+            return reg
+        return HReg(kind=reg.kind, index=result.slot_of[reg.index], virtual=False)
+
+    for instr in instrs:
+        if instr.dest is not None:
+            instr.dest = physical(instr.dest)
+        instr.srcs = tuple(physical(s) if isinstance(s, HReg) else s for s in instr.srcs)
+    return result.slots_used
+
+
+def compile_hsail(kernel: KernelIR) -> HsailKernel:
+    """Compile a kernel IR into an allocated, analyzable HSAIL kernel."""
+    kernel.validate()
+    emitter = _Emitter(kernel)
+    widths: Dict[int, int] = {}
+    for bb in kernel.blocks:
+        emitter.block_start.setdefault(bb.bid, len(emitter.instrs))
+        start_before = len(emitter.instrs)
+        for op in bb.ops:
+            if op.result is not None:
+                widths[op.result.vid] = op.result.dtype.reg_slots
+            emitter.translate_op(op)
+        if len(emitter.instrs) == start_before:
+            # Block emitted nothing (all consts); forget the start so the
+            # patcher forwards branches to the next real instruction.
+            del emitter.block_start[bb.bid]
+
+    resolved = _resolve_block_starts(emitter, len(kernel.blocks))
+    _patch_branches(emitter, resolved)
+    instrs = emitter.instrs
+    if not instrs or instrs[-1].opcode != "ret":
+        raise CodegenError(f"kernel {kernel.name} missing ret")
+    regions = _convert_regions(
+        kernel.regions, resolved, len(kernel.blocks), len(instrs), instrs
+    )
+
+    virtual_instrs = [
+        HsailInstr(
+            opcode=i.opcode,
+            dtype=i.dtype,
+            dest=i.dest,
+            srcs=i.srcs,
+            segment=i.segment,
+            attrs=dict(i.attrs),
+        )
+        for i in instrs
+    ]
+    slots_used = _allocate(instrs, kernel.num_values, widths)
+
+    branch_targets = {
+        i: instr.target for i, instr in enumerate(instrs)
+        if instr.is_branch and instr.target is not None
+    }
+    conditional = {i: instrs[i].is_conditional for i in branch_targets}
+    returns = [i for i, instr in enumerate(instrs) if instr.opcode == "ret"]
+    rpc = reconvergence_table(len(instrs), branch_targets, conditional, returns)
+
+    return HsailKernel(
+        name=kernel.name,
+        instrs=instrs,
+        params=[(p.name, p.dtype, p.offset) for p in kernel.params],
+        kernarg_bytes=kernel.kernarg_bytes,
+        group_bytes=kernel.group_bytes,
+        private_bytes=kernel.private_bytes,
+        spill_bytes=kernel.spill_bytes,
+        reg_slots_used=slots_used,
+        rpc_table=rpc,
+        regions=regions,
+        num_vregs=kernel.num_values,
+        virtual_instrs=virtual_instrs,
+    )

@@ -1,0 +1,260 @@
+"""HSAIL-like intermediate-language instruction set.
+
+Modeled on the HSA Foundation's HSAIL virtual ISA as the paper uses it:
+
+* SIMT semantics — each instruction describes one work-item's behaviour;
+  the simulator executes a wavefront of 64 work-items under a
+  reconvergence-stack mask.
+* Register-allocated onto up to 2,048 32-bit registers per work-item, all
+  of which live in the VRF (there is no scalar register file).
+* Segment-typed memory instructions (``ld_kernarg``, ``ld_private``, ...)
+  whose base addresses are implicit simulator state, not registers.
+* No ABI: dispatch values (work-item ids, sizes) are single instructions.
+* Rich single instructions (``div_f64``) that machine ISAs expand.
+
+Instructions are represented as objects (the BRIG encoding in
+:mod:`repro.hsail.brig` round-trips them); for footprint accounting each
+instruction is charged 8 bytes, the gem5 approximation described in
+§III.C.3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..common.categories import InstrCategory
+from ..common.errors import CodegenError
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+
+#: Bytes charged per HSAIL instruction for footprint purposes (gem5's
+#: fixed-length 64-bit handle approximation).
+HSAIL_INSTR_BYTES = 8
+
+#: Architectural limit: 2,048 32-bit registers per work-item.
+HSAIL_MAX_REG_SLOTS = 2048
+
+
+@dataclass(frozen=True)
+class HReg:
+    """An HSAIL register.
+
+    ``kind`` is ``'s'`` (32-bit) or ``'d'`` (64-bit).  Before allocation
+    ``index`` is a virtual id (``virtual=True``); after allocation it is a
+    base *slot* in the work-item's 32-bit register slot space ('d'
+    registers occupy slots index and index+1).
+    """
+
+    kind: str
+    index: int
+    virtual: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("s", "d"):
+            raise CodegenError(f"bad register kind {self.kind!r}")
+
+    @property
+    def slots(self) -> int:
+        return 2 if self.kind == "d" else 1
+
+    def __repr__(self) -> str:
+        prefix = "%v" if self.virtual else f"${self.kind}"
+        if not self.virtual and self.kind == "d":
+            return f"$d[{self.index}:{self.index + 1}]"
+        return f"{prefix}{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand carrying its raw bit pattern."""
+
+    pattern: int
+    dtype: DType
+
+    def __repr__(self) -> str:
+        return f"#{self.pattern:#x}:{self.dtype.value}"
+
+
+Operand = Union[HReg, Imm]
+
+_ALU_OPS = frozenset(
+    {"add", "sub", "mul", "mulhi", "div", "min", "max", "and", "or", "xor",
+     "shl", "shr", "neg", "not", "abs", "rcp", "sqrt", "mov", "mad", "fma",
+     "cvt", "cmp", "cmov"}
+)
+_DISPATCH_OPS = frozenset(
+    {"workitemabsid", "workitemid", "workitemflatabsid", "workgroupid",
+     "workgroupsize", "gridsize"}
+)
+_MEM_OPS = frozenset({"ld", "st", "atomic_add"})
+_BRANCH_OPS = frozenset({"br", "cbr"})
+_MISC_OPS = frozenset({"barrier", "ret", "nop"})
+
+KNOWN_OPCODES = _ALU_OPS | _DISPATCH_OPS | _MEM_OPS | _BRANCH_OPS | _MISC_OPS
+
+
+def _categorize(opcode: str, segment: Optional[Segment]) -> InstrCategory:
+    if opcode in _ALU_OPS or opcode in _DISPATCH_OPS:
+        # Every HSAIL ALU instruction is a vector instruction (paper §V.A).
+        return InstrCategory.VALU
+    if opcode in _MEM_OPS:
+        if segment == Segment.GROUP:
+            return InstrCategory.LDS
+        return InstrCategory.VMEM
+    if opcode in _BRANCH_OPS:
+        return InstrCategory.BRANCH
+    if opcode in _MISC_OPS:
+        return InstrCategory.MISC
+    raise CodegenError(f"unknown HSAIL opcode {opcode!r}")
+
+
+@dataclass
+class HsailInstr:
+    """One HSAIL instruction."""
+
+    opcode: str
+    dtype: DType
+    dest: Optional[HReg] = None
+    srcs: Tuple[Operand, ...] = ()
+    segment: Optional[Segment] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.opcode not in KNOWN_OPCODES:
+            raise CodegenError(f"unknown HSAIL opcode {self.opcode!r}")
+        self.category = _categorize(self.opcode, self.segment)
+
+    # -- control flow ---------------------------------------------------
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in _BRANCH_OPS
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.opcode == "cbr"
+
+    @property
+    def target(self) -> Optional[int]:
+        t = self.attrs.get("target")
+        return int(t) if t is not None else None
+
+    @property
+    def invert(self) -> bool:
+        return bool(self.attrs.get("invert", False))
+
+    # -- register introspection (for the VRF model) ----------------------
+
+    def reg_reads(self) -> List[HReg]:
+        return [op for op in self.srcs if isinstance(op, HReg)]
+
+    def reg_writes(self) -> List[HReg]:
+        return [self.dest] if self.dest is not None else []
+
+    def vrf_slots_read(self) -> List[int]:
+        """32-bit VRF slots read (allocation must have run; cached)."""
+        cached = getattr(self, "_slots_read", None)
+        if cached is not None:
+            return cached
+        out: List[int] = []
+        for reg in self.reg_reads():
+            if reg.virtual:
+                raise CodegenError("register slots queried before allocation")
+            out.extend(range(reg.index, reg.index + reg.slots))
+        self._slots_read = out
+        return out
+
+    def vrf_slots_written(self) -> List[int]:
+        cached = getattr(self, "_slots_written", None)
+        if cached is not None:
+            return cached
+        out: List[int] = []
+        for reg in self.reg_writes():
+            if reg.virtual:
+                raise CodegenError("register slots queried before allocation")
+            out.extend(range(reg.index, reg.index + reg.slots))
+        self._slots_written = out
+        return out
+
+    def __repr__(self) -> str:
+        parts = [self.opcode]
+        if self.segment is not None:
+            parts[0] = f"{self.opcode}_{self.segment.value}"
+        parts[0] = f"{parts[0]}_{self.dtype.value}"
+        ops: List[str] = []
+        if self.dest is not None:
+            ops.append(repr(self.dest))
+        ops.extend(repr(s) for s in self.srcs)
+        if self.target is not None:
+            ops.append(f"@{self.target}")
+        return f"{parts[0]} " + ", ".join(ops)
+
+
+@dataclass
+class CodeSpan:
+    """A straight-line instruction range [start, end)."""
+
+    start: int
+    end: int
+
+
+@dataclass
+class CodeIf:
+    """Structured if/else in instruction-index space.
+
+    ``cbr_index`` is the guarding conditional branch (branch-if-false over
+    the then-path).  ``then_elems``/``else_elems`` are nested region lists.
+    """
+
+    cbr_index: int
+    then_elems: List["CodeRegion"]
+    else_elems: List["CodeRegion"]
+
+
+@dataclass
+class CodeLoop:
+    """Structured do-while loop; ``cbr_index`` is the backedge branch."""
+
+    body_elems: List["CodeRegion"]
+    cbr_index: int
+
+
+CodeRegion = Union[CodeSpan, CodeIf, CodeLoop]
+
+
+@dataclass
+class HsailKernel:
+    """A finalizable/executable HSAIL kernel."""
+
+    name: str
+    instrs: List[HsailInstr]
+    params: List[Tuple[str, DType, int]]  # (name, dtype, kernarg offset)
+    kernarg_bytes: int
+    group_bytes: int
+    private_bytes: int
+    spill_bytes: int
+    reg_slots_used: int = 0
+    rpc_table: Dict[int, int] = field(default_factory=dict)
+    #: Structured-control-flow regions in instruction-index space, carried
+    #: for the finalizer's predication pass (stand-in for its structurizer).
+    regions: List[CodeRegion] = field(default_factory=list)
+    num_vregs: int = 0
+    #: The pre-register-allocation instruction stream (virtual registers),
+    #: index-aligned with ``instrs``.  The finalizer consumes this, the way
+    #: real finalizers rebuild SSA from BRIG before regenerating code.
+    virtual_instrs: List[HsailInstr] = field(default_factory=list)
+
+    @property
+    def static_instructions(self) -> int:
+        return len(self.instrs)
+
+    @property
+    def code_bytes(self) -> int:
+        """Footprint at the gem5 8-bytes-per-instruction approximation."""
+        return HSAIL_INSTR_BYTES * len(self.instrs)
+
+    def pretty(self) -> str:
+        lines = [f"hsail kernel {self.name} (regs={self.reg_slots_used} slots)"]
+        lines.extend(f"  {i:4d}: {instr!r}" for i, instr in enumerate(self.instrs))
+        return "\n".join(lines)

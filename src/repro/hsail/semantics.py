@@ -1,0 +1,522 @@
+"""HSAIL functional semantics at wavefront granularity.
+
+HSAIL instructions define per-work-item behaviour; the simulator (like
+gem5's HSAIL model) executes them 64 lanes at a time under an active mask
+maintained by a reconvergence stack (paper §III.C.1).  Lane storage is a
+numpy ``uint32`` array of shape ``[reg_slots, 64]``; 64-bit values live in
+even-aligned slot pairs.
+
+Key IL modeling artifacts reproduced here:
+
+* ``ld_kernarg`` is serviced from simulator state at no memory cost,
+* private/spill segments use a simulator-managed per-launch frame,
+* divergence pushes (rpc, pending pc, mask) entries; reaching an RPC pops
+  or switches paths — switches are the IB-flush-causing jumps of Fig. 3b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..common.errors import ExecutionError
+from ..common.exec_types import DispatchContext, ExecResult, MemKind
+from ..kernels.types import DType
+from ..runtime.memory import Segment, SimulatedMemory
+from .isa import HReg, HsailInstr, HsailKernel, Imm
+
+WF_SIZE = 64
+_FULL_MASK = (1 << WF_SIZE) - 1
+
+
+@dataclass
+class RsEntry:
+    """One reconvergence-stack entry."""
+
+    rpc: int
+    pending_pc: Optional[int]
+    pending_mask: int
+    merged_mask: int
+
+
+@dataclass
+class HsailWfState:
+    """Architectural state of one HSAIL wavefront."""
+
+    kernel: HsailKernel
+    ctx: DispatchContext
+    regs: np.ndarray = field(default=None)  # type: ignore[assignment]
+    pc: int = 0
+    exec_mask: int = _FULL_MASK
+    rs: List[RsEntry] = field(default_factory=list)
+    done: bool = False
+
+    def __post_init__(self) -> None:
+        if self.regs is None:
+            slots = max(2, self.kernel.reg_slots_used)
+            self.regs = np.zeros((slots, WF_SIZE), dtype=np.uint32)
+        self.exec_mask = self.ctx.active_mask_bits()
+
+    # -- lane helpers -----------------------------------------------------
+
+    def mask_array(self) -> np.ndarray:
+        cached = getattr(self, "_mask_cache", None)
+        if cached is not None and cached[0] == self.exec_mask:
+            return cached[1]
+        bits = np.uint64(self.exec_mask & _FULL_MASK)
+        lanes = np.arange(WF_SIZE, dtype=np.uint64)
+        arr = ((bits >> lanes) & np.uint64(1)).astype(bool)
+        self._mask_cache = (self.exec_mask, arr)
+        return arr
+
+    def read_u32(self, op: "HReg | Imm") -> np.ndarray:
+        if isinstance(op, Imm):
+            return np.full(WF_SIZE, np.uint32(op.pattern & 0xFFFFFFFF), dtype=np.uint32)
+        return self.regs[op.index]
+
+    def read_u64(self, op: "HReg | Imm") -> np.ndarray:
+        if isinstance(op, Imm):
+            return np.full(WF_SIZE, np.uint64(op.pattern), dtype=np.uint64)
+        lo = self.regs[op.index].astype(np.uint64)
+        hi = self.regs[op.index + 1].astype(np.uint64)
+        return lo | (hi << np.uint64(32))
+
+    def read_typed(self, op: "HReg | Imm", dtype: DType) -> np.ndarray:
+        if dtype in (DType.U32, DType.B1):
+            return self.read_u32(op)
+        if dtype == DType.S32:
+            return self.read_u32(op).view(np.int32)
+        if dtype == DType.F32:
+            return self.read_u32(op).view(np.float32)
+        if dtype == DType.U64:
+            return self.read_u64(op)
+        if dtype == DType.F64:
+            return self.read_u64(op).view(np.float64)
+        raise ExecutionError(f"cannot read type {dtype}")
+
+    def write_typed(self, reg: HReg, dtype: DType, values: np.ndarray, mask: np.ndarray) -> None:
+        if dtype in (DType.U32, DType.B1, DType.S32, DType.F32):
+            raw = np.ascontiguousarray(values).view(np.uint32).reshape(-1)
+            self.regs[reg.index][mask] = raw[mask]
+            return
+        raw64 = np.ascontiguousarray(values).view(np.uint64).reshape(-1)
+        lo = (raw64 & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        hi = (raw64 >> np.uint64(32)).astype(np.uint32)
+        self.regs[reg.index][mask] = lo[mask]
+        self.regs[reg.index + 1][mask] = hi[mask]
+
+
+# ---------------------------------------------------------------------------
+# ALU op tables
+# ---------------------------------------------------------------------------
+
+
+def _shift_mask(dtype: DType) -> int:
+    return 63 if dtype.is_wide else 31
+
+
+def _alu_binary(opcode: str, dtype: DType, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(all="ignore"):
+        if opcode == "add":
+            return a + b
+        if opcode == "sub":
+            return a - b
+        if opcode == "mul":
+            return a * b
+        if opcode == "div":
+            return a / b
+        if opcode == "min":
+            return np.minimum(a, b)
+        if opcode == "max":
+            return np.maximum(a, b)
+        if opcode == "and":
+            return a & b
+        if opcode == "or":
+            return a | b
+        if opcode == "xor":
+            return a ^ b
+        if opcode == "mulhi":
+            wide = a.astype(np.int64) * b.astype(np.int64) if dtype == DType.S32 \
+                else a.astype(np.uint64) * b.astype(np.uint64)
+            return (wide >> 32).astype(a.dtype)
+    raise ExecutionError(f"unknown binary ALU op {opcode}")
+
+
+_CMP_FN: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class HsailExecutor:
+    """Executes HSAIL instructions for wavefronts of one dispatch."""
+
+    def __init__(self, memory: SimulatedMemory, lds: Optional[np.ndarray] = None) -> None:
+        self.memory = memory
+        self.lds = lds if lds is not None else np.zeros(64 * 1024, dtype=np.uint8)
+
+    # -- reconvergence ----------------------------------------------------
+
+    def check_reconvergence(self, wf: HsailWfState) -> Optional[int]:
+        """Handle RPC hits before issuing the instruction at ``wf.pc``.
+
+        Returns a new PC when a pending divergent path must run first (the
+        simulator-initiated jump that flushes the IB), else None.
+        """
+        while wf.rs and wf.pc == wf.rs[-1].rpc:
+            top = wf.rs[-1]
+            if top.pending_pc is not None and top.pending_pc != top.rpc:
+                pc = top.pending_pc
+                wf.exec_mask = top.pending_mask
+                top.pending_pc = None
+                wf.pc = pc
+                return pc
+            wf.exec_mask = top.merged_mask
+            wf.rs.pop()
+        return None
+
+    # -- main entry -------------------------------------------------------
+
+    def execute(self, wf: HsailWfState) -> ExecResult:
+        """Execute the instruction at ``wf.pc`` and advance it."""
+        instr = wf.kernel.instrs[wf.pc]
+        mask = wf.mask_array()
+        result = ExecResult(active_lanes=int(mask.sum()))
+        opcode = instr.opcode
+
+        if opcode in ("br", "cbr"):
+            self._branch(wf, instr, mask, result)
+            return result
+        if opcode == "ret":
+            wf.done = True
+            result.ends_wavefront = True
+            wf.pc += 1
+            return result
+        if opcode == "barrier":
+            result.is_barrier = True
+            wf.pc += 1
+            return result
+        if opcode == "nop":
+            wf.pc += 1
+            return result
+        if opcode == "ld":
+            self._load(wf, instr, mask, result)
+        elif opcode == "st":
+            self._store(wf, instr, mask, result)
+        elif opcode == "atomic_add":
+            self._atomic_add(wf, instr, mask, result)
+        elif opcode in ("workitemabsid", "workitemid", "workitemflatabsid",
+                        "workgroupid", "workgroupsize", "gridsize"):
+            self._dispatch_query(wf, instr, mask)
+        else:
+            self._alu(wf, instr, mask)
+        wf.pc += 1
+        return result
+
+    # -- dispatch queries ---------------------------------------------------
+
+    def _dispatch_query(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray) -> None:
+        ctx = wf.ctx
+        dim = int(instr.attrs.get("dim", 0))
+        lanes = np.arange(WF_SIZE, dtype=np.uint32)
+        if instr.opcode == "workitemabsid":
+            values = ctx.absolute_ids()[dim]
+        elif instr.opcode == "workitemflatabsid":
+            values = np.uint32(ctx.workitem_base()) + lanes
+        elif instr.opcode == "workitemid":
+            values = ctx.local_ids()[dim]
+        elif instr.opcode == "workgroupid":
+            values = np.full(WF_SIZE, np.uint32(ctx.wg_id[dim]), dtype=np.uint32)
+        elif instr.opcode == "workgroupsize":
+            values = np.full(WF_SIZE, np.uint32(ctx.wg_size[dim]), dtype=np.uint32)
+        elif instr.opcode == "gridsize":
+            values = np.full(WF_SIZE, np.uint32(ctx.grid_size[dim]), dtype=np.uint32)
+        else:
+            raise ExecutionError(f"unknown dispatch query {instr.opcode}")
+        wf.write_typed(instr.dest, DType.U32, values, mask)  # type: ignore[arg-type]
+
+    # -- ALU ------------------------------------------------------------------
+
+    def _alu(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray) -> None:
+        opcode = instr.opcode
+        dtype = instr.dtype
+        dest = instr.dest
+        if dest is None:
+            raise ExecutionError(f"ALU op {opcode} lacks a destination")
+        if opcode == "mov":
+            values = wf.read_typed(instr.srcs[0], dtype)
+            wf.write_typed(dest, dtype, values, mask)
+            return
+        if opcode == "cmp":
+            a = wf.read_typed(instr.srcs[0], dtype)
+            b = wf.read_typed(instr.srcs[1], dtype)
+            pred = _CMP_FN[str(instr.attrs["cmp"])](a, b).astype(np.uint32)
+            wf.write_typed(dest, DType.B1, pred, mask)
+            return
+        if opcode == "cmov":
+            pred = wf.read_u32(instr.srcs[0]) != 0
+            t = wf.read_typed(instr.srcs[1], dtype)
+            f = wf.read_typed(instr.srcs[2], dtype)
+            wf.write_typed(dest, dtype, np.where(pred, t, f), mask)
+            return
+        if opcode == "cvt":
+            self._cvt(wf, instr, mask)
+            return
+        if opcode in ("mad", "fma"):
+            a = wf.read_typed(instr.srcs[0], dtype)
+            b = wf.read_typed(instr.srcs[1], dtype)
+            c = wf.read_typed(instr.srcs[2], dtype)
+            wf.write_typed(dest, dtype, a * b + c, mask)
+            return
+        if opcode in ("neg", "not", "abs", "rcp", "sqrt"):
+            a = wf.read_typed(instr.srcs[0], dtype)
+            with np.errstate(all="ignore"):
+                if opcode == "neg":
+                    values = -a
+                elif opcode == "not":
+                    values = ~a
+                elif opcode == "abs":
+                    values = np.abs(a)
+                elif opcode == "rcp":
+                    values = (np.float32(1.0) if dtype == DType.F32 else 1.0) / a
+                else:
+                    values = np.sqrt(a)
+            wf.write_typed(dest, dtype, values.astype(a.dtype), mask)
+            return
+        if opcode in ("shl", "shr"):
+            a = wf.read_typed(instr.srcs[0], dtype)
+            amount = wf.read_u32(instr.srcs[1]) & np.uint32(_shift_mask(dtype))
+            if dtype.is_wide:
+                amount = amount.astype(np.uint64)
+            if opcode == "shl":
+                values = a << amount
+            else:
+                values = a >> amount  # arithmetic for int32 views
+            wf.write_typed(dest, dtype, values.astype(a.dtype), mask)
+            return
+        a = wf.read_typed(instr.srcs[0], dtype)
+        b = wf.read_typed(instr.srcs[1], dtype)
+        values = _alu_binary(opcode, dtype, a, b)
+        wf.write_typed(dest, dtype, values.astype(a.dtype), mask)
+
+    def _cvt(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray) -> None:
+        src_dtype: DType = instr.attrs["src_dtype"]  # type: ignore[assignment]
+        dst_dtype = instr.dtype
+        a = wf.read_typed(instr.srcs[0], src_dtype)
+        with np.errstate(all="ignore"):
+            values = a.astype(dst_dtype.np_dtype)
+        wf.write_typed(instr.dest, dst_dtype, values, mask)  # type: ignore[arg-type]
+
+    # -- memory ----------------------------------------------------------------
+
+    def _lane_addresses(
+        self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray
+    ) -> Tuple[np.ndarray, str]:
+        """Per-lane byte addresses plus the traffic class."""
+        ctx = wf.ctx
+        segment = instr.segment
+        if segment in (Segment.GLOBAL, Segment.READONLY):
+            return wf.read_u64(instr.srcs[0]), MemKind.GLOBAL_LOAD
+        if segment == Segment.GROUP:
+            offs = wf.read_u32(instr.srcs[0]).astype(np.uint64)
+            return offs + np.uint64(ctx.lds_base_offset), MemKind.LDS_ACCESS
+        if segment in (Segment.PRIVATE, Segment.SPILL):
+            area = 0 if segment == Segment.PRIVATE else wf.kernel.private_bytes
+            lanes = np.arange(WF_SIZE, dtype=np.uint64)
+            flat_ids = np.uint64(ctx.workitem_base()) + lanes
+            offs = wf.read_u32(instr.srcs[0]).astype(np.uint64)
+            addrs = (
+                np.uint64(ctx.private_base)
+                + flat_ids * np.uint64(ctx.private_stride)
+                + np.uint64(area)
+                + offs
+            )
+            return addrs, MemKind.GLOBAL_LOAD
+        raise ExecutionError(f"unsupported segment {segment}")
+
+    def _load(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray, result: ExecResult) -> None:
+        dtype = instr.dtype
+        dest = instr.dest
+        assert dest is not None
+        if instr.segment == Segment.KERNARG:
+            # Serviced from simulator state: no memory traffic (paper §III.A).
+            offset = instr.srcs[0]
+            if not isinstance(offset, Imm):
+                raise ExecutionError("kernarg offset must be immediate")
+            raw = self.memory.load_scalar(
+                wf.ctx.kernarg_base + offset.pattern, dtype.size_bytes, track=False
+            )
+            if dtype.is_wide:
+                values = np.full(WF_SIZE, np.uint64(raw), dtype=np.uint64)
+                wf.write_typed(dest, DType.U64, values, mask)
+            else:
+                values = np.full(WF_SIZE, np.uint32(raw & 0xFFFFFFFF), dtype=np.uint32)
+                wf.write_typed(dest, DType.U32, values, mask)
+            return
+        addrs, kind = self._lane_addresses(wf, instr, mask)
+        if kind == MemKind.LDS_ACCESS:
+            values32 = _lds_gather(self.lds, addrs, mask)
+            if dtype.is_wide:
+                hi = _lds_gather(self.lds, addrs + np.uint64(4), mask)
+                values = values32.astype(np.uint64) | (hi.astype(np.uint64) << np.uint64(32))
+                wf.write_typed(dest, DType.U64, values, mask)
+            else:
+                wf.write_typed(dest, DType.U32, values32, mask)
+            result.mem_kind = MemKind.LDS_ACCESS
+            result.mem_lines = _lines(addrs, mask, dtype.size_bytes)
+            return
+        lo = self.memory.gather_u32(addrs, mask)
+        if dtype.is_wide:
+            hi = self.memory.gather_u32(addrs + np.uint64(4), mask)
+            values = lo.astype(np.uint64) | (hi.astype(np.uint64) << np.uint64(32))
+            wf.write_typed(dest, DType.U64, values, mask)
+        else:
+            wf.write_typed(dest, DType.U32, lo, mask)
+        result.mem_kind = MemKind.GLOBAL_LOAD
+        result.mem_lines = _lines(addrs, mask, dtype.size_bytes)
+
+    def _store(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray, result: ExecResult) -> None:
+        dtype = instr.dtype
+        addrs, kind = self._lane_addresses(wf, instr, mask)
+        data_op = instr.srcs[1]
+        if kind == MemKind.LDS_ACCESS:
+            if dtype.is_wide:
+                raw = wf.read_u64(data_op)
+                _lds_scatter(self.lds, addrs, (raw & np.uint64(0xFFFFFFFF)).astype(np.uint32), mask)
+                _lds_scatter(self.lds, addrs + np.uint64(4), (raw >> np.uint64(32)).astype(np.uint32), mask)
+            else:
+                _lds_scatter(self.lds, addrs, wf.read_u32(data_op), mask)
+            result.mem_kind = MemKind.LDS_ACCESS
+        else:
+            if dtype.is_wide:
+                raw = wf.read_u64(data_op)
+                self.memory.scatter_u32(addrs, (raw & np.uint64(0xFFFFFFFF)).astype(np.uint32), mask)
+                self.memory.scatter_u32(addrs + np.uint64(4), (raw >> np.uint64(32)).astype(np.uint32), mask)
+            else:
+                self.memory.scatter_u32(addrs, wf.read_u32(data_op), mask)
+            result.mem_kind = MemKind.GLOBAL_STORE
+        result.mem_lines = _lines(addrs, mask, dtype.size_bytes)
+
+    def _atomic_add(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray,
+                    result: ExecResult) -> None:
+        """Atomic 32-bit add; lanes serialize in ascending order."""
+        addrs = wf.read_u64(instr.srcs[0])
+        values = wf.read_u32(instr.srcs[1])
+        old = np.zeros(WF_SIZE, dtype=np.uint32)
+        for lane in np.flatnonzero(mask):
+            addr = int(addrs[lane])
+            prev = self.memory.load_scalar(addr, 4)
+            self.memory.store_scalar(addr, (prev + int(values[lane])) & 0xFFFFFFFF, 4)
+            old[lane] = prev
+        assert instr.dest is not None
+        wf.write_typed(instr.dest, DType.U32, old, mask)
+        result.mem_kind = MemKind.GLOBAL_STORE
+        result.mem_lines = _lines(addrs, mask, 4)
+
+    # -- control flow ------------------------------------------------------------
+
+    def _branch(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray, result: ExecResult) -> None:
+        target = instr.target
+        if target is None:
+            raise ExecutionError("branch without target")
+        if instr.opcode == "br":
+            wf.pc = target
+            result.branch_taken = True
+            result.next_pc = target
+            return
+        cond = wf.read_u32(instr.srcs[0]) != 0
+        if instr.invert:
+            cond = ~cond
+        taken = cond & mask
+        taken_bits = _mask_bits(taken)
+        active_bits = wf.exec_mask
+        fallthrough = wf.pc + 1
+        if taken_bits == 0:
+            wf.pc = fallthrough
+            result.branch_taken = False
+            return
+        if taken_bits == active_bits:
+            wf.pc = target
+            result.branch_taken = True
+            result.next_pc = target
+            return
+        # Divergence: run the taken path first, queue the fallthrough path.
+        rpc = wf.kernel.rpc_table.get(wf.pc)
+        if rpc is None:
+            raise ExecutionError(f"divergent branch at {wf.pc} lacks an RPC")
+        pending_mask = active_bits & ~taken_bits
+        if fallthrough == rpc:
+            wf.rs.append(RsEntry(rpc=rpc, pending_pc=None, pending_mask=0, merged_mask=active_bits))
+        else:
+            wf.rs.append(
+                RsEntry(rpc=rpc, pending_pc=fallthrough, pending_mask=pending_mask,
+                        merged_mask=active_bits)
+            )
+        wf.exec_mask = taken_bits
+        wf.pc = target
+        result.branch_taken = True
+        result.next_pc = target
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _mask_bits(mask: np.ndarray) -> int:
+    """bool[64] -> int bitmask."""
+    bits = 0
+    for lane in np.flatnonzero(mask):
+        bits |= 1 << int(lane)
+    return bits
+
+
+def _lines(addrs: np.ndarray, mask: np.ndarray, size: int) -> "list[int]":
+    active = addrs[mask]
+    if active.size == 0:
+        return []
+    lines = set((active >> np.uint64(6)).tolist())
+    if size > 4:
+        lines.update(((active + np.uint64(size - 1)) >> np.uint64(6)).tolist())
+    return sorted(lines)
+
+
+def _lds_gather(lds: np.ndarray, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    out = np.zeros(WF_SIZE, dtype=np.uint32)
+    idx = addrs[mask].astype(np.int64)
+    if idx.size == 0:
+        return out
+    if idx.max() + 4 > lds.size:
+        raise ExecutionError("LDS access out of bounds")
+    vals = (
+        lds[idx].astype(np.uint32)
+        | (lds[idx + 1].astype(np.uint32) << 8)
+        | (lds[idx + 2].astype(np.uint32) << 16)
+        | (lds[idx + 3].astype(np.uint32) << 24)
+    )
+    out[mask] = vals
+    return out
+
+
+def _lds_scatter(lds: np.ndarray, addrs: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+    idx = addrs[mask].astype(np.int64)
+    if idx.size == 0:
+        return
+    if idx.max() + 4 > lds.size:
+        raise ExecutionError("LDS access out of bounds")
+    vals = values[mask].astype(np.uint32)
+    lds[idx] = (vals & 0xFF).astype(np.uint8)
+    lds[idx + 1] = ((vals >> 8) & 0xFF).astype(np.uint8)
+    lds[idx + 2] = ((vals >> 16) & 0xFF).astype(np.uint8)
+    lds[idx + 3] = ((vals >> 24) & 0xFF).astype(np.uint8)

@@ -1,0 +1,7 @@
+"""Kernel frontend: DSL builder, typed IR, CFG analysis, register allocation."""
+
+from .dsl import KernelBuilder
+from .ir import KernelIR, Value
+from .types import DType
+
+__all__ = ["KernelBuilder", "KernelIR", "Value", "DType"]

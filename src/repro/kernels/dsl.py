@@ -1,0 +1,608 @@
+"""The kernel-authoring DSL (the repo's stand-in for the HCC frontend).
+
+Kernels are built imperatively::
+
+    kb = KernelBuilder("vec_add", [("a", DType.U64), ("b", DType.U64),
+                                   ("out", DType.U64), ("n", DType.U32)])
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    x = kb.load(Segment.GLOBAL, kb.kernarg("a") + off, DType.F32)
+    y = kb.load(Segment.GLOBAL, kb.kernarg("b") + off, DType.F32)
+    kb.store(Segment.GLOBAL, kb.kernarg("out") + off, x + y)
+    kernel = kb.finish()
+
+Control flow is structured: ``with kb.If(cond): ...`` (optionally with
+``branch.Else()``), do-while loops via ``with kb.Loop() as loop: ...;
+loop.continue_if(cond)``, and the ``for_range`` sugar on top.  The builder
+records both the branchy basic-block form (consumed by the HSAIL code
+generator) and a region tree (consumed by the GCN3 finalizer's predication
+pass).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..common.bits import align_up
+from ..common.errors import KernelBuildError
+from ..runtime.memory import Segment
+from .ir import (
+    BasicBlock,
+    BlockElem,
+    HirOp,
+    IfElem,
+    KernelIR,
+    KernelParam,
+    LoopElem,
+    RegionElem,
+    Value,
+)
+from .types import DType
+
+Scalar = Union[int, float, bool]
+Operand = Union[Value, int, float, bool]
+
+
+class KernelBuilder:
+    """Builds a :class:`KernelIR`; one instance per kernel."""
+
+    def __init__(self, name: str, params: Sequence[Tuple[str, DType]] = ()) -> None:
+        self.name = name
+        self._params: List[KernelParam] = []
+        offset = 0
+        for pname, dtype in params:
+            offset = align_up(offset, dtype.size_bytes) if offset else 0
+            self._params.append(KernelParam(name=pname, dtype=dtype, offset=offset))
+            offset += dtype.size_bytes
+        self._blocks: List[BasicBlock] = []
+        self._regions: List[RegionElem] = []
+        self._region_stack: List[List[RegionElem]] = [self._regions]
+        self._num_values = 0
+        self._const_values: Dict[int, Scalar] = {}
+        self._group_cursor = 0
+        self._group_allocs: Dict[str, int] = {}
+        self._private_bytes = 0
+        self._spill_bytes = 0
+        self._finished = False
+        self._current: Optional[BasicBlock] = None
+        self._start_block("entry")
+
+    # ------------------------------------------------------------------
+    # Block and region plumbing
+    # ------------------------------------------------------------------
+
+    def _start_block(self, label: str, *, in_region: bool = True) -> BasicBlock:
+        bb = BasicBlock(bid=len(self._blocks), label=label)
+        self._blocks.append(bb)
+        self._current = bb
+        if in_region:
+            self._region_stack[-1].append(BlockElem(bid=bb.bid))
+        return bb
+
+    def _emit(self, op: HirOp) -> Optional[Value]:
+        if self._finished:
+            raise KernelBuildError(f"kernel {self.name} already finished")
+        if self._current is None:
+            raise KernelBuildError("no active block")
+        if self._current.terminator() is not None:
+            raise KernelBuildError("emitting past a block terminator")
+        self._current.ops.append(op)
+        return op.result
+
+    def _new_value(self, dtype: DType) -> Value:
+        value = Value(vid=self._num_values, dtype=dtype, builder=self)
+        self._num_values += 1
+        return value
+
+    def const_of(self, value: Value) -> Optional[Scalar]:
+        """The compile-time constant behind ``value``, if it is foldable."""
+        return self._const_values.get(value.vid)
+
+    # ------------------------------------------------------------------
+    # Values and constants
+    # ------------------------------------------------------------------
+
+    def const(self, dtype: DType, value: Scalar) -> Value:
+        """A literal; folded into immediate operands during codegen."""
+        result = self._new_value(dtype)
+        self._const_values[result.vid] = value
+        self._emit(HirOp("const", result, (), {"value": value}))
+        return result
+
+    def var(self, dtype: DType, init: Operand) -> Value:
+        """A mutable variable (materialized; reassign with :meth:`assign`)."""
+        init_v = self._coerce(init, dtype)
+        result = self._new_value(dtype)
+        self._emit(HirOp("mov", result, (init_v,), {}))
+        return result
+
+    def assign(self, dest: Value, src: Operand) -> None:
+        """Overwrite ``dest`` (used for loop-carried variables)."""
+        src_v = self._coerce(src, dest.dtype)
+        if dest.vid in self._const_values:
+            raise KernelBuildError("cannot assign to a const; use kb.var()")
+        self._emit(HirOp("mov", dest, (src_v,), {}))
+
+    def _coerce(self, operand: Operand, dtype: DType) -> Value:
+        if isinstance(operand, Value):
+            if operand.dtype != dtype:
+                raise KernelBuildError(
+                    f"type mismatch: expected {dtype.value}, got {operand.dtype.value}"
+                )
+            return operand
+        return self.const(dtype, operand)
+
+    def _unify(self, a: Operand, b: Operand) -> Tuple[Value, Value, DType]:
+        if isinstance(a, Value) and isinstance(b, Value):
+            if a.dtype != b.dtype:
+                raise KernelBuildError(
+                    f"operand types differ: {a.dtype.value} vs {b.dtype.value}"
+                )
+            return a, b, a.dtype
+        if isinstance(a, Value):
+            return a, self.const(a.dtype, b), a.dtype  # type: ignore[arg-type]
+        if isinstance(b, Value):
+            return self.const(b.dtype, a), b, b.dtype  # type: ignore[arg-type]
+        raise KernelBuildError("at least one operand must be a Value")
+
+    # ------------------------------------------------------------------
+    # Dispatch context
+    # ------------------------------------------------------------------
+
+    def wi_abs_id(self, dim: int = 0) -> Value:
+        """Absolute (grid-global) work-item id along ``dim``."""
+        return self._dispatch("wi_abs_id", dim)
+
+    def wi_id(self, dim: int = 0) -> Value:
+        """Work-item id within its workgroup."""
+        return self._dispatch("wi_id", dim)
+
+    def wi_flat_abs_id(self) -> Value:
+        """Flattened absolute work-item id (dims collapsed)."""
+        return self._dispatch("wi_flat_abs_id", 0)
+
+    def wg_id(self, dim: int = 0) -> Value:
+        return self._dispatch("wg_id", dim)
+
+    def wg_size(self, dim: int = 0) -> Value:
+        return self._dispatch("wg_size", dim)
+
+    def grid_size(self, dim: int = 0) -> Value:
+        return self._dispatch("grid_size", dim)
+
+    def _dispatch(self, opcode: str, dim: int) -> Value:
+        if not 0 <= dim <= 2:
+            raise KernelBuildError(f"dim {dim} out of range")
+        result = self._new_value(DType.U32)
+        self._emit(HirOp(opcode, result, (), {"dim": dim}))
+        return result
+
+    def kernarg(self, name: str) -> Value:
+        """Load a kernel argument by name."""
+        for p in self._params:
+            if p.name == name:
+                result = self._new_value(p.dtype)
+                self._emit(HirOp("kernarg", result, (), {"name": name}))
+                return result
+        raise KernelBuildError(f"kernel {self.name} has no parameter {name!r}")
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    _ADDR_DTYPE = {
+        Segment.GLOBAL: DType.U64,
+        Segment.READONLY: DType.U64,
+        Segment.GROUP: DType.U32,
+        Segment.PRIVATE: DType.U32,
+        Segment.SPILL: DType.U32,
+    }
+
+    def load(self, segment: Segment, addr: Operand, dtype: DType) -> Value:
+        """Load ``dtype`` from ``segment``.  Group/private/spill addresses
+        are 32-bit segment offsets; global addresses are 64-bit flat."""
+        want = self._ADDR_DTYPE.get(segment)
+        if want is None:
+            raise KernelBuildError(f"segment {segment.value} not loadable via ld")
+        addr_v = self._coerce(addr, want)
+        result = self._new_value(dtype)
+        self._emit(HirOp("ld", result, (addr_v,), {"segment": segment}))
+        return result
+
+    def store(self, segment: Segment, addr: Operand, value: Value) -> None:
+        want = self._ADDR_DTYPE.get(segment)
+        if want is None:
+            raise KernelBuildError(f"segment {segment.value} not storable via st")
+        addr_v = self._coerce(addr, want)
+        self._emit(HirOp("st", None, (addr_v, value), {"segment": segment}))
+
+    def group_alloc(self, name: str, nbytes: int, align: int = 4) -> Value:
+        """Statically allocate LDS; returns the u32 base offset."""
+        if name in self._group_allocs:
+            raise KernelBuildError(f"group allocation {name!r} already exists")
+        base = align_up(self._group_cursor, align) if self._group_cursor else 0
+        self._group_allocs[name] = base
+        self._group_cursor = base + nbytes
+        return self.const(DType.U32, base)
+
+    def private_scratch(self, nbytes: int) -> Value:
+        """Reserve per-work-item private-segment scratch; returns u32 base."""
+        base = self._private_bytes
+        self._private_bytes += align_up(nbytes, 4)
+        return self.const(DType.U32, base)
+
+    def spill_scratch(self, nbytes: int) -> Value:
+        """Reserve per-work-item spill-segment scratch; returns u32 base."""
+        base = self._spill_bytes
+        self._spill_bytes += align_up(nbytes, 4)
+        return self.const(DType.U32, base)
+
+    def atomic_add(self, segment: Segment, addr: Operand, value: Operand) -> Value:
+        """Atomic 32-bit add to global memory; returns the old value.
+
+        Lanes of one wavefront hitting the same address serialize in lane
+        order (both ISA models implement the same ordering, so results
+        are bit-identical across abstraction levels).
+        """
+        if segment != Segment.GLOBAL:
+            raise KernelBuildError("atomics are supported on the global segment")
+        addr_v = self._coerce(addr, DType.U64)
+        val_v = self._coerce(value, DType.U32)
+        result = self._new_value(DType.U32)
+        self._emit(HirOp("atomic_add", result, (addr_v, val_v),
+                         {"segment": segment}))
+        return result
+
+    def barrier(self) -> None:
+        """Workgroup execution barrier."""
+        self._emit(HirOp("barrier", None, (), {}))
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _binary(self, opcode: str, a: Operand, b: Operand) -> Value:
+        a_v, b_v, dtype = self._unify(a, b)
+        if dtype == DType.B1:
+            raise KernelBuildError(f"{opcode} not defined on predicates")
+        result = self._new_value(dtype)
+        self._emit(HirOp(opcode, result, (a_v, b_v), {}))
+        return result
+
+    def add(self, a: Operand, b: Operand) -> Value:
+        return self._binary("add", a, b)
+
+    def sub(self, a: Operand, b: Operand) -> Value:
+        return self._binary("sub", a, b)
+
+    def mul(self, a: Operand, b: Operand) -> Value:
+        return self._binary("mul", a, b)
+
+    def mulhi(self, a: Operand, b: Operand) -> Value:
+        """High 32 bits of a 32-bit multiply."""
+        a_v, b_v, dtype = self._unify(a, b)
+        if dtype not in (DType.U32, DType.S32):
+            raise KernelBuildError("mulhi requires 32-bit integers")
+        result = self._new_value(dtype)
+        self._emit(HirOp("mulhi", result, (a_v, b_v), {}))
+        return result
+
+    def fdiv(self, a: Operand, b: Operand) -> Value:
+        """Floating-point division (the paper's Table 3 expansion target)."""
+        a_v, b_v, dtype = self._unify(a, b)
+        if not dtype.is_float:
+            raise KernelBuildError("div is float-only; use shifts for integers")
+        result = self._new_value(dtype)
+        self._emit(HirOp("div", result, (a_v, b_v), {}))
+        return result
+
+    def min(self, a: Operand, b: Operand) -> Value:
+        return self._binary("min", a, b)
+
+    def max(self, a: Operand, b: Operand) -> Value:
+        return self._binary("max", a, b)
+
+    def bit_and(self, a: Operand, b: Operand) -> Value:
+        return self._int_binary("and", a, b)
+
+    def bit_or(self, a: Operand, b: Operand) -> Value:
+        return self._int_binary("or", a, b)
+
+    def bit_xor(self, a: Operand, b: Operand) -> Value:
+        return self._int_binary("xor", a, b)
+
+    def _int_binary(self, opcode: str, a: Operand, b: Operand) -> Value:
+        a_v, b_v, dtype = self._unify(a, b)
+        if dtype.is_float:
+            raise KernelBuildError(f"{opcode} requires integer operands")
+        result = self._new_value(dtype)
+        self._emit(HirOp(opcode, result, (a_v, b_v), {}))
+        return result
+
+    def shl(self, a: Operand, amount: Operand) -> Value:
+        return self._shift("shl", a, amount)
+
+    def shr(self, a: Operand, amount: Operand) -> Value:
+        """Logical (u32/u64) or arithmetic (s32) right shift."""
+        return self._shift("shr", a, amount)
+
+    def _shift(self, opcode: str, a: Operand, amount: Operand) -> Value:
+        if not isinstance(a, Value):
+            raise KernelBuildError("shift subject must be a Value")
+        if a.dtype.is_float:
+            raise KernelBuildError("cannot shift floats")
+        amt = self._coerce(amount, DType.U32)
+        result = self._new_value(a.dtype)
+        self._emit(HirOp(opcode, result, (a, amt), {}))
+        return result
+
+    def neg(self, a: Value) -> Value:
+        result = self._new_value(a.dtype)
+        self._emit(HirOp("neg", result, (a,), {}))
+        return result
+
+    def bit_not(self, a: Value) -> Value:
+        if a.dtype.is_float:
+            raise KernelBuildError("not requires integer operand")
+        result = self._new_value(a.dtype)
+        self._emit(HirOp("not", result, (a,), {}))
+        return result
+
+    def abs(self, a: Value) -> Value:
+        result = self._new_value(a.dtype)
+        self._emit(HirOp("abs", result, (a,), {}))
+        return result
+
+    def sqrt(self, a: Value) -> Value:
+        if not a.dtype.is_float:
+            raise KernelBuildError("sqrt is float-only")
+        result = self._new_value(a.dtype)
+        self._emit(HirOp("sqrt", result, (a,), {}))
+        return result
+
+    def rcp(self, a: Value) -> Value:
+        if not a.dtype.is_float:
+            raise KernelBuildError("rcp is float-only")
+        result = self._new_value(a.dtype)
+        self._emit(HirOp("rcp", result, (a,), {}))
+        return result
+
+    def mad(self, a: Operand, b: Operand, c: Operand) -> Value:
+        """Integer multiply-add (a*b+c)."""
+        a_v, b_v, dtype = self._unify(a, b)
+        c_v = self._coerce(c, dtype)
+        if dtype.is_float:
+            raise KernelBuildError("use fma for floats")
+        result = self._new_value(dtype)
+        self._emit(HirOp("mad", result, (a_v, b_v, c_v), {}))
+        return result
+
+    def fma(self, a: Operand, b: Operand, c: Operand) -> Value:
+        """Fused multiply-add (floats)."""
+        a_v, b_v, dtype = self._unify(a, b)
+        c_v = self._coerce(c, dtype)
+        if not dtype.is_float:
+            raise KernelBuildError("fma is float-only")
+        result = self._new_value(dtype)
+        self._emit(HirOp("fma", result, (a_v, b_v, c_v), {}))
+        return result
+
+    def cvt(self, a: Value, to: DType) -> Value:
+        if a.dtype == to:
+            return a
+        result = self._new_value(to)
+        self._emit(HirOp("cvt", result, (a,), {"src_dtype": a.dtype}))
+        return result
+
+    # ------------------------------------------------------------------
+    # Comparison and selection
+    # ------------------------------------------------------------------
+
+    def _cmp(self, op: str, a: Operand, b: Operand) -> Value:
+        a_v, b_v, dtype = self._unify(a, b)
+        result = self._new_value(DType.B1)
+        self._emit(HirOp("cmp", result, (a_v, b_v), {"cmp": op, "cmp_dtype": dtype}))
+        return result
+
+    def eq(self, a: Operand, b: Operand) -> Value:
+        return self._cmp("eq", a, b)
+
+    def ne(self, a: Operand, b: Operand) -> Value:
+        return self._cmp("ne", a, b)
+
+    def lt(self, a: Operand, b: Operand) -> Value:
+        return self._cmp("lt", a, b)
+
+    def le(self, a: Operand, b: Operand) -> Value:
+        return self._cmp("le", a, b)
+
+    def gt(self, a: Operand, b: Operand) -> Value:
+        return self._cmp("gt", a, b)
+
+    def ge(self, a: Operand, b: Operand) -> Value:
+        return self._cmp("ge", a, b)
+
+    def cmov(self, pred: Value, if_true: Operand, if_false: Operand) -> Value:
+        """Per-lane select -- the predication primitive (no branch)."""
+        if pred.dtype != DType.B1:
+            raise KernelBuildError("cmov predicate must be b1")
+        t_v, f_v, dtype = self._unify(if_true, if_false)
+        result = self._new_value(dtype)
+        self._emit(HirOp("cmov", result, (pred, t_v, f_v), {}))
+        return result
+
+    def pred_and(self, a: Value, b: Value) -> Value:
+        if a.dtype != DType.B1 or b.dtype != DType.B1:
+            raise KernelBuildError("pred_and requires b1 operands")
+        result = self._new_value(DType.B1)
+        self._emit(HirOp("and", result, (a, b), {}))
+        return result
+
+    def pred_or(self, a: Value, b: Value) -> Value:
+        if a.dtype != DType.B1 or b.dtype != DType.B1:
+            raise KernelBuildError("pred_or requires b1 operands")
+        result = self._new_value(DType.B1)
+        self._emit(HirOp("or", result, (a, b), {}))
+        return result
+
+    # ------------------------------------------------------------------
+    # Structured control flow
+    # ------------------------------------------------------------------
+
+    def If(self, cond: Value) -> "_IfContext":
+        """Open an if-region.  Use ``with kb.If(c) as br:`` and optionally
+        ``with br.Else():`` inside the body."""
+        if cond.dtype != DType.B1:
+            raise KernelBuildError("If condition must be b1")
+        return _IfContext(self, cond)
+
+    def Loop(self) -> "_LoopContext":
+        """Open a do-while loop region; close with ``loop.continue_if``."""
+        return _LoopContext(self)
+
+    @contextlib.contextmanager
+    def for_range(
+        self,
+        start: Operand,
+        stop: Operand,
+        step: int = 1,
+        dtype: DType = DType.U32,
+    ) -> Iterator[Value]:
+        """Counted loop sugar over :meth:`Loop`.  Executes at least once;
+        callers must guarantee a positive trip count."""
+        if step == 0:
+            raise KernelBuildError("for_range step must be non-zero")
+        i = self.var(dtype, start)
+        with self.Loop() as loop:
+            yield i
+            self.assign(i, self.add(i, self.const(dtype, step)))
+            if step > 0:
+                loop.continue_if(self.lt(i, stop))
+            else:
+                loop.continue_if(self.gt(i, stop))
+
+    # ------------------------------------------------------------------
+    # Finish
+    # ------------------------------------------------------------------
+
+    def finish(self) -> KernelIR:
+        """Seal the kernel and return its IR."""
+        if self._finished:
+            raise KernelBuildError(f"kernel {self.name} already finished")
+        if len(self._region_stack) != 1:
+            raise KernelBuildError("unclosed control-flow region")
+        self._emit(HirOp("ret", None, (), {}))
+        self._finished = True
+        kernel = KernelIR(
+            name=self.name,
+            params=self._params,
+            blocks=self._blocks,
+            regions=self._regions,
+            num_values=self._num_values,
+            group_bytes=self._group_cursor,
+            private_bytes=self._private_bytes,
+            spill_bytes=self._spill_bytes,
+        )
+        kernel.validate()
+        return kernel
+
+
+class _IfContext:
+    """Context manager implementing the if/else diamond."""
+
+    def __init__(self, kb: KernelBuilder, cond: Value) -> None:
+        self._kb = kb
+        self._cond = cond
+        self._elem: Optional[IfElem] = None
+        self._cbr: Optional[HirOp] = None
+        self._then_last: Optional[BasicBlock] = None
+        self._has_else = False
+
+    def __enter__(self) -> "_IfContext":
+        kb = self._kb
+        # Terminate the predecessor with a conditional skip (branch taken
+        # when cond is FALSE, i.e. inverted).
+        self._cbr = HirOp("cbr", None, (self._cond,), {"target": -1, "invert": True})
+        kb._emit(self._cbr)
+        elem = IfElem(cond=self._cond, then_elems=[], else_elems=[])
+        kb._region_stack[-1].append(elem)
+        self._elem = elem
+        kb._region_stack.append(elem.then_elems)
+        kb._start_block(f"then{len(kb._blocks)}")
+        return self
+
+    @contextlib.contextmanager
+    def Else(self) -> Iterator[None]:
+        kb = self._kb
+        if self._has_else:
+            raise KernelBuildError("duplicate Else()")
+        self._has_else = True
+        # Close the then-path with a jump over the else-path.
+        self._then_jump = HirOp("br", None, (), {"target": -1})
+        kb._emit(self._then_jump)
+        self._then_last = kb._current
+        kb._region_stack.pop()
+        assert self._elem is not None
+        kb._region_stack.append(self._elem.else_elems)
+        else_bb = kb._start_block(f"else{len(kb._blocks)}")
+        assert self._cbr is not None
+        self._cbr.attrs["target"] = else_bb.bid
+        yield
+        # Remain inside the else region until __exit__ runs.
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            return
+        kb = self._kb
+        kb._region_stack.pop()
+        merge = kb._start_block(f"merge{len(kb._blocks)}")
+        assert self._cbr is not None
+        if self._has_else:
+            self._then_jump.attrs["target"] = merge.bid
+        else:
+            self._cbr.attrs["target"] = merge.bid
+
+
+class _LoopContext:
+    """Context manager implementing the do-while loop."""
+
+    def __init__(self, kb: KernelBuilder) -> None:
+        self._kb = kb
+        self._elem: Optional[LoopElem] = None
+        self._header_bid: Optional[int] = None
+        self._closed = False
+
+    def __enter__(self) -> "_LoopContext":
+        kb = self._kb
+        elem = LoopElem(body_elems=[], cond=None)  # type: ignore[arg-type]
+        kb._region_stack[-1].append(elem)
+        self._elem = elem
+        kb._region_stack.append(elem.body_elems)
+        header = kb._start_block(f"loop{len(kb._blocks)}")
+        self._header_bid = header.bid
+        return self
+
+    def continue_if(self, cond: Value) -> None:
+        """Branch back to the loop header while ``cond`` holds (per lane)."""
+        if cond.dtype != DType.B1:
+            raise KernelBuildError("loop condition must be b1")
+        if self._closed:
+            raise KernelBuildError("continue_if called twice")
+        kb = self._kb
+        kb._emit(HirOp("cbr", None, (cond,), {"target": self._header_bid, "invert": False}))
+        assert self._elem is not None
+        self._elem.cond = cond
+        self._closed = True
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            return
+        if not self._closed:
+            raise KernelBuildError("loop closed without continue_if()")
+        kb = self._kb
+        kb._region_stack.pop()
+        kb._start_block(f"exit{len(kb._blocks)}")
+
+
+__all__ = ["KernelBuilder", "Segment", "DType"]

@@ -1,0 +1,231 @@
+"""Kernel intermediate representation produced by the DSL builder.
+
+The IR is a register-based (non-SSA) typed representation: every op result
+defines a fresh virtual register, and ``assign`` re-writes an existing one
+(which is how loop-carried variables are expressed without phi nodes).
+
+Alongside the flat list of basic blocks, the builder records a *region
+tree* of structured control flow (if/else diamonds and do-while loops).
+The HSAIL code generator only needs the blocks — branches were already
+emitted — while the GCN3 finalizer uses the region tree the way real
+finalizers use their structurizer results, to lay out predicated control
+flow serially (paper §III.C.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..common.errors import KernelBuildError
+from ..runtime.memory import Segment
+from .types import DType
+
+#: Binary opcodes usable with build_binary; 'div' is float-only.
+BINARY_OPS = frozenset(
+    {"add", "sub", "mul", "mulhi", "div", "rem", "min", "max",
+     "and", "or", "xor", "shl", "shr"}
+)
+UNARY_OPS = frozenset({"neg", "not", "abs", "rcp", "sqrt", "cvt", "mov"})
+CMP_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+#: Ops that read the dispatch context rather than registers.
+DISPATCH_OPS = frozenset(
+    {"wi_abs_id", "wi_id", "wg_id", "wg_size", "grid_size", "wi_flat_abs_id"}
+)
+
+
+@dataclass(frozen=True)
+class Value:
+    """A typed virtual register.
+
+    Values carry a back-reference to their builder (excluded from equality
+    and hashing) so that arithmetic operators can emit ops; see
+    :mod:`repro.kernels.dsl`.
+    """
+
+    vid: int
+    dtype: DType
+    builder: object = field(default=None, compare=False, repr=False, hash=False)
+
+    def __repr__(self) -> str:
+        return f"%{self.vid}:{self.dtype.value}"
+
+    # Arithmetic sugar -- dispatches to the owning KernelBuilder.
+
+    def _kb(self) -> "object":
+        if self.builder is None:
+            raise KernelBuildError("value has no builder; operators unavailable")
+        return self.builder
+
+    def __add__(self, other: object) -> "Value":
+        return self._kb().add(self, other)  # type: ignore[attr-defined]
+
+    def __radd__(self, other: object) -> "Value":
+        return self._kb().add(self, other)  # type: ignore[attr-defined]
+
+    def __sub__(self, other: object) -> "Value":
+        return self._kb().sub(self, other)  # type: ignore[attr-defined]
+
+    def __mul__(self, other: object) -> "Value":
+        return self._kb().mul(self, other)  # type: ignore[attr-defined]
+
+    def __rmul__(self, other: object) -> "Value":
+        return self._kb().mul(self, other)  # type: ignore[attr-defined]
+
+    def __truediv__(self, other: object) -> "Value":
+        return self._kb().fdiv(self, other)  # type: ignore[attr-defined]
+
+    def __and__(self, other: object) -> "Value":
+        return self._kb().bit_and(self, other)  # type: ignore[attr-defined]
+
+    def __or__(self, other: object) -> "Value":
+        return self._kb().bit_or(self, other)  # type: ignore[attr-defined]
+
+    def __xor__(self, other: object) -> "Value":
+        return self._kb().bit_xor(self, other)  # type: ignore[attr-defined]
+
+    def __lshift__(self, other: object) -> "Value":
+        return self._kb().shl(self, other)  # type: ignore[attr-defined]
+
+    def __rshift__(self, other: object) -> "Value":
+        return self._kb().shr(self, other)  # type: ignore[attr-defined]
+
+    def __neg__(self) -> "Value":
+        return self._kb().neg(self)  # type: ignore[attr-defined]
+
+
+@dataclass
+class HirOp:
+    """One IR operation.
+
+    ``result`` is None for stores, branches, barriers, and ret.  ``attrs``
+    carries op-specific metadata: ``segment`` for memory ops, ``cmp`` for
+    compares, ``dim`` for dispatch queries, ``target`` (block id) for
+    branches, ``invert`` for cbr, ``value`` for const, ``name`` for
+    kernarg, ``src_dtype`` for cvt.
+    """
+
+    opcode: str
+    result: Optional[Value]
+    args: Tuple[Value, ...]
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        dest = f"{self.result} = " if self.result else ""
+        extra = f" {self.attrs}" if self.attrs else ""
+        return f"{dest}{self.opcode}({', '.join(map(repr, self.args))}){extra}"
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line op sequence; at most one branch, as the last op."""
+
+    bid: int
+    label: str
+    ops: List[HirOp] = field(default_factory=list)
+
+    def terminator(self) -> Optional[HirOp]:
+        if self.ops and self.ops[-1].opcode in ("br", "cbr", "ret"):
+            return self.ops[-1]
+        return None
+
+
+@dataclass
+class BlockElem:
+    """Region-tree leaf: one basic block."""
+
+    bid: int
+
+
+@dataclass
+class IfElem:
+    """A structured if/else.  ``cond`` is computed in the preceding block."""
+
+    cond: Value
+    then_elems: List["RegionElem"]
+    else_elems: List["RegionElem"]
+
+
+@dataclass
+class LoopElem:
+    """A structured do-while loop; ``cond`` is the continue condition,
+    computed in the last body block."""
+
+    body_elems: List["RegionElem"]
+    cond: Value
+
+
+RegionElem = Union[BlockElem, IfElem, LoopElem]
+
+
+@dataclass
+class KernelParam:
+    """One kernarg."""
+
+    name: str
+    dtype: DType
+    offset: int  # byte offset within the kernarg segment
+
+
+@dataclass
+class KernelIR:
+    """A complete kernel: signature, blocks, and structured regions."""
+
+    name: str
+    params: List[KernelParam]
+    blocks: List[BasicBlock]
+    regions: List[RegionElem]
+    num_values: int
+    group_bytes: int = 0      # LDS per workgroup
+    private_bytes: int = 0    # scratch per work-item (private segment)
+    spill_bytes: int = 0      # scratch per work-item (spill segment)
+
+    @property
+    def kernarg_bytes(self) -> int:
+        if not self.params:
+            return 0
+        last = self.params[-1]
+        return last.offset + last.dtype.size_bytes
+
+    def param(self, name: str) -> KernelParam:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KernelBuildError(f"kernel {self.name} has no parameter {name!r}")
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def validate(self) -> None:
+        """Sanity-check block structure (unique terminator placement)."""
+        for bb in self.blocks:
+            for op in bb.ops[:-1]:
+                if op.opcode in ("br", "cbr", "ret"):
+                    raise KernelBuildError(
+                        f"{self.name}/{bb.label}: control op {op.opcode} not at block end"
+                    )
+
+    def pretty(self) -> str:
+        lines = [f"kernel {self.name}({', '.join(f'{p.dtype.value} {p.name}' for p in self.params)})"]
+        for bb in self.blocks:
+            lines.append(f"{bb.label}:")
+            lines.extend(f"  {op!r}" for op in bb.ops)
+        return "\n".join(lines)
+
+
+__all__ = [
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "CMP_OPS",
+    "DISPATCH_OPS",
+    "Segment",
+    "Value",
+    "HirOp",
+    "BasicBlock",
+    "BlockElem",
+    "IfElem",
+    "LoopElem",
+    "RegionElem",
+    "KernelParam",
+    "KernelIR",
+]

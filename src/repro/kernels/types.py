@@ -1,0 +1,99 @@
+"""Data types used by the kernel IR and both ISAs.
+
+Lane storage is uniformly 32-bit: 64-bit values occupy two consecutive
+32-bit registers (an even-aligned pair), exactly as in the GCN3 VGPR file
+and in the paper's accounting of HSAIL registers against the 2,048-entry
+VRF.  Predicates (B1) are materialized as 0/1 in a 32-bit register.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..common.errors import KernelBuildError
+
+
+class DType(str, Enum):
+    """Kernel-visible value types."""
+
+    U32 = "u32"
+    S32 = "s32"
+    U64 = "u64"
+    F32 = "f32"
+    F64 = "f64"
+    B1 = "b1"
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 if self in (DType.U64, DType.F64) else 4
+
+    @property
+    def reg_slots(self) -> int:
+        """Number of 32-bit register slots a value of this type occupies."""
+        return 2 if self in (DType.U64, DType.F64) else 1
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.F32, DType.F64)
+
+    @property
+    def is_signed(self) -> bool:
+        return self == DType.S32
+
+    @property
+    def is_wide(self) -> bool:
+        return self.reg_slots == 2
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(_NP[self])
+
+
+_NP = {
+    DType.U32: np.uint32,
+    DType.S32: np.int32,
+    DType.U64: np.uint64,
+    DType.F32: np.float32,
+    DType.F64: np.float64,
+    DType.B1: np.uint32,
+}
+
+
+def encode_imm(dtype: DType, value: "int | float | bool") -> int:
+    """Encode a Python scalar as this type's raw little-endian bit pattern.
+
+    Wide types return a 64-bit pattern; narrow ones a 32-bit pattern.
+    """
+    if dtype == DType.B1:
+        return 1 if value else 0
+    if dtype == DType.F32:
+        return int(np.float32(value).view(np.uint32))
+    if dtype == DType.F64:
+        return int(np.float64(value).view(np.uint64))
+    if dtype == DType.S32:
+        if not -(2**31) <= int(value) < 2**31:
+            raise KernelBuildError(f"immediate {value} out of s32 range")
+        return int(value) & 0xFFFFFFFF
+    if dtype == DType.U32:
+        if not 0 <= int(value) < 2**32:
+            raise KernelBuildError(f"immediate {value} out of u32 range")
+        return int(value)
+    if dtype == DType.U64:
+        if not 0 <= int(value) < 2**64:
+            raise KernelBuildError(f"immediate {value} out of u64 range")
+        return int(value)
+    raise KernelBuildError(f"cannot encode immediate of type {dtype}")
+
+
+def decode_imm(dtype: DType, pattern: int) -> "int | float":
+    """Inverse of :func:`encode_imm`."""
+    if dtype == DType.F32:
+        return float(np.uint32(pattern & 0xFFFFFFFF).view(np.float32))
+    if dtype == DType.F64:
+        return float(np.uint64(pattern).view(np.float64))
+    if dtype == DType.S32:
+        raw = pattern & 0xFFFFFFFF
+        return raw - (1 << 32) if raw >= (1 << 31) else raw
+    return pattern

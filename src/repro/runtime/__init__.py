@@ -1,0 +1,14 @@
+"""ROCm-like runtime emulation: memory, packets, queues, signals, loader."""
+
+from .memory import Segment, SegmentAllocator, SimulatedMemory
+from .packets import AqlDispatchPacket
+from .process import Dispatch, GpuProcess
+
+__all__ = [
+    "Segment",
+    "SegmentAllocator",
+    "SimulatedMemory",
+    "AqlDispatchPacket",
+    "Dispatch",
+    "GpuProcess",
+]

@@ -1,0 +1,90 @@
+"""AQL (Architected Queuing Language) dispatch packets.
+
+The 64-byte kernel-dispatch packet layout follows the HSA System
+Architecture specification; the GCN3 ABI reads fields from it at runtime
+(the paper's Table 1 ``s_load`` of the workgroup size uses byte offset 4,
+where workgroup_size_x and _y are packed as two 16-bit fields).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..common.errors import RuntimeStackError
+from .memory import SimulatedMemory
+
+PACKET_BYTES = 64
+
+#: header format/type constants (subset of hsa_packet_type_t)
+PACKET_TYPE_KERNEL_DISPATCH = 2
+HEADER_ACQUIRE_RELEASE = (1 << 9) | (1 << 11)
+
+
+@dataclass
+class AqlDispatchPacket:
+    """One kernel-dispatch packet."""
+
+    workgroup_size: Tuple[int, int, int]
+    grid_size: Tuple[int, int, int]
+    private_segment_size: int
+    group_segment_size: int
+    kernel_object: int       # address of the kernel descriptor / code
+    kernarg_address: int
+    completion_signal: int = 0
+
+    def __post_init__(self) -> None:
+        for v in self.workgroup_size:
+            if not 1 <= v <= 0xFFFF:
+                raise RuntimeStackError(f"workgroup size {v} out of range")
+        for v in self.grid_size:
+            if not 1 <= v <= 0xFFFFFFFF:
+                raise RuntimeStackError(f"grid size {v} out of range")
+
+    @property
+    def header(self) -> int:
+        return PACKET_TYPE_KERNEL_DISPATCH << 0 | HEADER_ACQUIRE_RELEASE
+
+    def pack(self) -> bytes:
+        """Serialize to the 64-byte HSA layout."""
+        return struct.pack(
+            "<HHHHHH I I I I I Q Q Q Q",
+            self.header,
+            1,  # setup: 1 dimension
+            self.workgroup_size[0],
+            self.workgroup_size[1],
+            self.workgroup_size[2],
+            0,  # reserved0
+            self.grid_size[0],
+            self.grid_size[1],
+            self.grid_size[2],
+            self.private_segment_size,
+            self.group_segment_size,
+            self.kernel_object,
+            self.kernarg_address,
+            0,  # reserved2
+            self.completion_signal,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "AqlDispatchPacket":
+        if len(raw) != PACKET_BYTES:
+            raise RuntimeStackError(f"AQL packet must be {PACKET_BYTES} bytes")
+        fields = struct.unpack("<HHHHHH I I I I I Q Q Q Q", raw)
+        return cls(
+            workgroup_size=(fields[2], fields[3], fields[4]),
+            grid_size=(fields[6], fields[7], fields[8]),
+            private_segment_size=fields[9],
+            group_segment_size=fields[10],
+            kernel_object=fields[11],
+            kernarg_address=fields[12],
+            completion_signal=fields[14],
+        )
+
+    def write_to(self, memory: SimulatedMemory, addr: int) -> None:
+        memory.write_block(addr, self.pack())
+
+    @classmethod
+    def read_from(cls, memory: SimulatedMemory, addr: int) -> "AqlDispatchPacket":
+        return cls.unpack(bytes(memory.read_block(addr, PACKET_BYTES)))

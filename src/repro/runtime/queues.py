@@ -1,0 +1,65 @@
+"""User-mode AQL queues.
+
+The host enqueues 64-byte dispatch packets into a ring buffer in shared
+memory and rings a doorbell; the packet processor (command processor in
+the timing model) consumes them in order.  This mirrors the ROCm user-mode
+queue flow the paper's simulator supports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.errors import RuntimeStackError
+from .memory import SimulatedMemory
+from .packets import PACKET_BYTES, AqlDispatchPacket
+
+
+class AqlQueue:
+    """A fixed-capacity ring of AQL packets in simulated memory."""
+
+    def __init__(self, memory: SimulatedMemory, base_addr: int, capacity: int = 256) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise RuntimeStackError("queue capacity must be a power of two")
+        self.memory = memory
+        self.base_addr = base_addr
+        self.capacity = capacity
+        self.write_index = 0
+        self.read_index = 0
+        self.doorbell: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        return self.write_index - self.read_index
+
+    def _slot_addr(self, index: int) -> int:
+        return self.base_addr + (index & (self.capacity - 1)) * PACKET_BYTES
+
+    def enqueue(self, packet: AqlDispatchPacket) -> int:
+        """Write a packet and ring the doorbell; returns the packet index."""
+        if self.size >= self.capacity:
+            raise RuntimeStackError("AQL queue overflow")
+        index = self.write_index
+        packet.write_to(self.memory, self._slot_addr(index))
+        self.write_index += 1
+        self.doorbell = index
+        return index
+
+    def packet_addr(self, index: int) -> int:
+        return self._slot_addr(index)
+
+    def dequeue(self) -> Optional[AqlDispatchPacket]:
+        """Consume the next packet (packet-processor side)."""
+        if self.size == 0:
+            return None
+        packet = AqlDispatchPacket.read_from(self.memory, self._slot_addr(self.read_index))
+        self.read_index += 1
+        return packet
+
+    def drain(self) -> List[AqlDispatchPacket]:
+        out: List[AqlDispatchPacket] = []
+        while True:
+            packet = self.dequeue()
+            if packet is None:
+                return out
+            out.append(packet)

@@ -1,0 +1,47 @@
+"""HSA-style completion signals.
+
+A signal is a 64-bit value in memory that the command processor decrements
+when a dispatch completes; the host waits for zero.  In simulation the
+wait is a callback hook rather than a busy loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..common.errors import RuntimeStackError
+from .memory import SimulatedMemory
+
+
+class Signal:
+    """One completion signal backed by simulated memory."""
+
+    def __init__(self, memory: SimulatedMemory, addr: int, initial: int = 1) -> None:
+        self.memory = memory
+        self.addr = addr
+        self._subscribers: List[Callable[[int], None]] = []
+        self.memory.store_scalar(addr, initial & 0xFFFFFFFFFFFFFFFF, 8, track=False)
+
+    @property
+    def value(self) -> int:
+        return self.memory.load_scalar(self.addr, 8, track=False)
+
+    def set(self, value: int) -> None:
+        self.memory.store_scalar(self.addr, value & 0xFFFFFFFFFFFFFFFF, 8, track=False)
+        for callback in self._subscribers:
+            callback(value)
+
+    def decrement(self) -> int:
+        new = (self.value - 1) & 0xFFFFFFFFFFFFFFFF
+        self.set(new)
+        return new
+
+    def on_change(self, callback: Callable[[int], None]) -> None:
+        self._subscribers.append(callback)
+
+    def wait_zero(self) -> None:
+        """Host-side wait; in simulation completion must already have run."""
+        if self.value != 0:
+            raise RuntimeStackError(
+                f"signal at {self.addr:#x} still {self.value}; dispatch incomplete"
+            )

@@ -1,0 +1,187 @@
+"""Cache and DRAM models.
+
+The hierarchy matches the paper's Table 4: a private L1 data cache per
+CU; an L1 instruction cache and a scalar data cache shared per 4-CU
+cluster; a unified L2 per cluster; and a channel-parallel DDR3-style DRAM
+behind everything.  Caches are write-through/no-write-allocate, LRU.
+
+Latency is computed synchronously (hit/miss walk) and the caller turns it
+into a completion event; bandwidth contention is modeled with per-resource
+next-free cycles (one request per ``occupancy`` cycles).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..common.config import CacheConfig, DramConfig
+from ..common.stats import StatSet
+
+
+class Cache:
+    """A set-associative (or fully-associative) LRU cache of line tags."""
+
+    def __init__(self, name: str, config: CacheConfig) -> None:
+        self.name = name
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.associativity or config.num_lines
+        # One OrderedDict per set: line -> True, in LRU order.
+        self._sets: List["OrderedDict[int, bool]"] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.next_free = 0  # cycle when the cache port is free
+        self.occupancy = 1  # cycles a request holds the port
+
+    def _set_of(self, line: int) -> "OrderedDict[int, bool]":
+        return self._sets[line % self.num_sets]
+
+    def lookup(self, line: int) -> bool:
+        """True on hit; updates LRU."""
+        s = self._set_of(line)
+        if line in s:
+            s.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line: int) -> None:
+        s = self._set_of(line)
+        if line in s:
+            s.move_to_end(line)
+            return
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line] = True
+
+    def contains(self, line: int) -> bool:
+        return line in self._set_of(line)
+
+    def port_delay(self, now: int) -> int:
+        """Queueing delay for the cache port; advances the reservation."""
+        start = max(now, self.next_free)
+        self.next_free = start + self.occupancy
+        return start - now
+
+    def export_stats(self, stats: StatSet) -> None:
+        stats.bump(f"{self.name}_hits", self.hits)
+        stats.bump(f"{self.name}_misses", self.misses)
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class Dram:
+    """Channel-parallel fixed-latency DRAM."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.channel_next_free = [0] * config.channels
+        self.accesses = 0
+
+    def access(self, line: int, now: int) -> int:
+        """Completion cycle for one line access."""
+        channel = line % self.config.channels
+        start = max(now, self.channel_next_free[channel])
+        self.channel_next_free[channel] = start + self.config.cycles_per_burst
+        self.accesses += 1
+        return start + self.config.base_latency_cycles
+
+
+class MemorySystem:
+    """The full hierarchy: computes completion cycles for line requests."""
+
+    def __init__(self, gpu_config, stats: Optional[StatSet] = None) -> None:
+        self.config = gpu_config
+        self.stats = stats if stats is not None else StatSet()
+        self.l1d: List[Cache] = [
+            Cache(f"l1d{cu}", gpu_config.l1d) for cu in range(gpu_config.num_cus)
+        ]
+        n_clusters = gpu_config.num_clusters
+        self.l1i: List[Cache] = [Cache(f"l1i{c}", gpu_config.l1i) for c in range(n_clusters)]
+        self.scalar: List[Cache] = [
+            Cache(f"sc{c}", gpu_config.scalar_cache) for c in range(n_clusters)
+        ]
+        self.l2: List[Cache] = [Cache(f"l2_{c}", gpu_config.l2) for c in range(n_clusters)]
+        for l2 in self.l2:
+            l2.occupancy = 2
+        self.dram = Dram(gpu_config.dram)
+
+    def _cluster(self, cu_id: int) -> int:
+        return min(cu_id // self.config.cus_per_cluster, self.config.num_clusters - 1)
+
+    def _through_l2(self, cluster: int, line: int, now: int, is_write: bool) -> int:
+        """Completion cycle of a request that reached the L2."""
+        l2 = self.l2[cluster]
+        start = now + l2.port_delay(now)
+        if is_write:
+            # Write-through: latency hidden from the requester; charge DRAM
+            # channel occupancy for bandwidth accounting only.
+            l2.fill(line)
+            self.dram.access(line, start)
+            return start + l2.config.hit_latency
+        if l2.lookup(line):
+            return start + l2.config.hit_latency
+        done = self.dram.access(line, start + l2.config.hit_latency)
+        l2.fill(line)
+        return done
+
+    def vector_access(self, cu_id: int, lines: List[int], is_write: bool, now: int) -> int:
+        """Completion cycle for a coalesced vector memory request."""
+        l1 = self.l1d[cu_id]
+        cluster = self._cluster(cu_id)
+        worst = now + l1.config.hit_latency
+        for i, line in enumerate(lines):
+            start = now + l1.port_delay(now)  # one line per port slot
+            if is_write:
+                # Write-through, no-write-allocate (update on presence).
+                if l1.contains(line):
+                    l1.lookup(line)
+                done = self._through_l2(cluster, line, start, True)
+            elif l1.lookup(line):
+                done = start + l1.config.hit_latency
+            else:
+                done = self._through_l2(cluster, line, start + l1.config.hit_latency, False)
+                l1.fill(line)
+            worst = max(worst, done)
+        self.stats.bump("vmem_requests")
+        self.stats.bump("vmem_lines", len(lines))
+        return worst
+
+    def scalar_access(self, cu_id: int, lines: List[int], now: int) -> int:
+        """Completion cycle for an s_load through the scalar cache."""
+        cluster = self._cluster(cu_id)
+        cache = self.scalar[cluster]
+        worst = now + cache.config.hit_latency
+        for line in lines:
+            start = now + cache.port_delay(now)
+            if cache.lookup(line):
+                done = start + cache.config.hit_latency
+            else:
+                done = self._through_l2(cluster, line, start + cache.config.hit_latency, False)
+                cache.fill(line)
+            worst = max(worst, done)
+        self.stats.bump("smem_requests")
+        return worst
+
+    def ifetch(self, cu_id: int, line: int, now: int) -> int:
+        """Completion cycle for an instruction fetch."""
+        cluster = self._cluster(cu_id)
+        cache = self.l1i[cluster]
+        start = now + cache.port_delay(now)
+        self.stats.bump("ifetch_requests")
+        if cache.lookup(line):
+            return start + cache.config.hit_latency
+        self.stats.bump("ifetch_misses")
+        done = self._through_l2(cluster, line, start + cache.config.hit_latency, False)
+        cache.fill(line)
+        return done
+
+    def export_stats(self, stats: StatSet) -> None:
+        for group in (self.l1d, self.l1i, self.scalar, self.l2):
+            for cache in group:
+                cache.export_stats(stats)
+        stats.bump("dram_accesses", self.dram.accesses)

@@ -1,0 +1,474 @@
+"""The compute-unit timing model (paper Figure 2, Table 4).
+
+Each CU has four 16-lane SIMD engines (a 64-wide wavefront issues over 4
+cycles), a scalar unit shared by all SIMDs, a branch unit, global and
+local memory pipelines, banked VRF/SRF, an LDS, and per-wavefront
+instruction buffers fed by a shared fetch port into the cluster's L1I.
+
+Both ISAs run on this same model.  The per-ISA behaviours are exactly the
+paper's:
+
+* **HSAIL** — no scalar pipeline use; a simulator-side scoreboard stalls
+  dependent instructions (the hardware has none); control divergence via
+  the reconvergence stack, whose simulator-initiated jumps flush the IB.
+* **GCN3** — scalar/branch work on the scalar unit, dependency stalls only
+  at explicit ``s_waitcnt``, divergence via EXEC masking (no jumps unless
+  a whole path is bypassed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..common.categories import InstrCategory
+from ..common.exec_types import ExecResult, MemKind
+from ..common.lanes import mask_to_bool
+from ..gcn3.semantics import Gcn3Executor, Gcn3WfState
+from ..hsail.semantics import HsailExecutor
+from .wavefront import TimingWavefront
+
+_LONG_VALU = ("_f64", "v_rcp", "v_sqrt", "v_div")
+
+
+def _is_long_valu(opcode: str) -> bool:
+    return opcode.endswith("_f64") or opcode.startswith(("v_rcp", "v_sqrt", "v_div"))
+
+
+@dataclass
+class WorkgroupRecord:
+    """A workgroup resident on this CU."""
+
+    wg_key: Tuple[int, int]
+    wavefronts: List[TimingWavefront]
+    executor: object              # HsailExecutor or Gcn3Executor
+    lds_bytes: int
+    reg_slots: int                # VRF slots reserved (all WFs)
+    sgpr_slots: int
+    barrier_arrivals: int = 0
+    on_complete: Optional[object] = None  # callback
+
+    def alive(self) -> int:
+        return sum(1 for wf in self.wavefronts if not wf.done)
+
+
+class ComputeUnit:
+    """One CU's pipeline state."""
+
+    def __init__(self, cu_id: int, gpu: "object") -> None:
+        self.cu_id = cu_id
+        self.gpu = gpu
+        config = gpu.config.cu
+        self.config = config
+        self.workgroups: Dict[Tuple[int, int], WorkgroupRecord] = {}
+        self.simd_wfs: List[List[TimingWavefront]] = [[] for _ in range(config.num_simds)]
+        self.simd_free = [0] * config.num_simds
+        self.scalar_free = 0
+        self.branch_free = 0
+        self.vmem_free = 0
+        self.lds_free = 0
+        self.fetch_rr = 0
+        self._all_wfs: List[TimingWavefront] = []
+        # Occupancy accounting for the dispatcher.
+        self.wf_slots_used = 0
+        self.vrf_slots_used = 0
+        self.srf_slots_used = 0
+        self.lds_bytes_used = 0
+        self._next_simd = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy / placement
+    # ------------------------------------------------------------------
+
+    def can_accept(self, num_wfs: int, reg_slots_per_wf: int, sgprs_per_wf: int,
+                   lds_bytes: int) -> bool:
+        cfg = self.config
+        if self.wf_slots_used + num_wfs > cfg.max_wavefronts:
+            return False
+        if self.vrf_slots_used + num_wfs * reg_slots_per_wf > cfg.vrf_entries:
+            return False
+        if self.srf_slots_used + num_wfs * sgprs_per_wf > cfg.srf_entries:
+            return False
+        if self.lds_bytes_used + lds_bytes > cfg.lds_bytes:
+            return False
+        return True
+
+    def add_workgroup(self, record: WorkgroupRecord) -> None:
+        self.workgroups[record.wg_key] = record
+        self.wf_slots_used += len(record.wavefronts)
+        self.vrf_slots_used += record.reg_slots
+        self.srf_slots_used += record.sgpr_slots
+        self.lds_bytes_used += record.lds_bytes
+        for wf in record.wavefronts:
+            wf.simd_id = self._next_simd
+            self.simd_wfs[self._next_simd].append(wf)
+            self._next_simd = (self._next_simd + 1) % self.config.num_simds
+        self._all_wfs = [wf for group in self.simd_wfs for wf in group]
+
+    def _retire_workgroup(self, record: WorkgroupRecord) -> None:
+        del self.workgroups[record.wg_key]
+        self.wf_slots_used -= len(record.wavefronts)
+        self.vrf_slots_used -= record.reg_slots
+        self.srf_slots_used -= record.sgpr_slots
+        self.lds_bytes_used -= record.lds_bytes
+        for wf in record.wavefronts:
+            self.simd_wfs[wf.simd_id].remove(wf)
+        self._all_wfs = [wf for group in self.simd_wfs for wf in group]
+        if record.on_complete is not None:
+            record.on_complete()  # type: ignore[operator]
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.workgroups)
+
+    # ------------------------------------------------------------------
+    # Per-cycle work
+    # ------------------------------------------------------------------
+
+    def cycle(self, now: int) -> Tuple[bool, Optional[int]]:
+        """One cycle of fetch + issue.  Returns (did_work, wake_hint)."""
+        did = False
+        hint: Optional[int] = None
+        vrf = self.gpu.vrf_models[self.cu_id]
+        vrf.collect(now)
+
+        if self._start_fetch(now):
+            did = True
+
+        for simd in range(self.config.num_simds):
+            if self.simd_free[simd] > now:
+                hint = _min_hint(hint, self.simd_free[simd])
+                continue
+            for wf in self.simd_wfs[simd]:
+                if wf.done or wf.at_barrier or wf.parked:
+                    continue
+                issued, wf_hint = self._try_issue(wf, simd, now)
+                if issued:
+                    did = True
+                    break
+                hint = _min_hint(hint, wf_hint)
+        return did, hint
+
+    # -- fetch ------------------------------------------------------------
+
+    def _start_fetch(self, now: int) -> bool:
+        wfs = self._all_wfs
+        if not wfs:
+            return False
+        n = len(wfs)
+        for k in range(n):
+            wf = wfs[(self.fetch_rr + k) % n]
+            if not wf.wants_fetch():
+                continue
+            self.fetch_rr = (self.fetch_rr + k + 1) % n
+            wf.fetch_inflight = True
+            epoch = wf.fetch_epoch
+            addr = wf.instr_address(wf.fetch_index)
+            line = addr >> 6
+            done_cycle = self.gpu.memsys.ifetch(self.cu_id, line, now)
+            self.gpu.events.schedule_at(
+                max(done_cycle, now + 1), lambda w=wf, e=epoch: self._finish_fetch(w, e)
+            )
+            return True
+        return False
+
+    def _finish_fetch(self, wf: TimingWavefront, epoch: int) -> None:
+        if epoch != wf.fetch_epoch:
+            return  # flushed while in flight
+        wf.fetch_inflight = False
+        wf.parked = False
+        budget = self.config.fetch_width_bytes
+        while (
+            budget > 0
+            and len(wf.ib) < wf.ib_capacity
+            and wf.fetch_index < wf.num_instrs
+        ):
+            size = wf.instr_size(wf.fetch_index)
+            wf.ib.append((wf.fetch_index, size))
+            wf.fetch_index += 1
+            budget -= size
+        self.gpu.notify_progress()
+
+    # -- issue ------------------------------------------------------------
+
+    def _try_issue(self, wf: TimingWavefront, simd: int, now: int) -> Tuple[bool, Optional[int]]:
+        if wf.next_issue_cycle > now:
+            return False, wf.next_issue_cycle
+
+        state = wf.state
+        record = self.workgroups[wf.wg_key]
+        executor = record.executor
+
+        # HSAIL reconvergence-stack handling: a pending-path switch is a
+        # simulator-initiated jump that flushes the instruction buffer.
+        if not wf.is_gcn3:
+            new_pc = executor.check_reconvergence(state)  # type: ignore[attr-defined]
+            if new_pc is not None:
+                self._flush(wf, new_pc)
+                # The refetch starts next cycle; keep the clock moving.
+                return False, self.gpu.events.now + 1
+
+        head = wf.ib_head()
+        if head is None:
+            wf.parked = True  # woken by the fetch fill
+            return False, None
+        if head != state.pc:
+            # Stale buffer (a flush raced with an already-checked fetch
+            # stage); resynchronize and wake next cycle for the refetch.
+            wf.flush_ib(state.pc)
+            return False, self.gpu.events.now + 1
+
+        instr = wf.instr_at(state.pc)
+        category = instr.category
+
+        blocked, hint = self._dependencies_block(wf, instr, now)
+        if blocked:
+            return False, hint
+
+        unit_hint = self._unit_busy(wf, instr, category, now)
+        if unit_hint is not None:
+            return False, unit_hint
+
+        self._issue(wf, instr, category, simd, now)
+        return True, None
+
+    def _dependencies_block(self, wf: TimingWavefront, instr, now: int) -> Tuple[bool, Optional[int]]:
+        if wf.is_gcn3:
+            if instr.opcode == "s_waitcnt":
+                vm = instr.attrs.get("vmcnt")
+                lgkm = instr.attrs.get("lgkmcnt")
+                if vm is not None and wf.pending_vmem > int(vm):
+                    wf.parked = True  # woken by a memory completion
+                    return True, None
+                if lgkm is not None and wf.pending_lgkm > int(lgkm):
+                    wf.parked = True
+                    return True, None
+            return False, None
+        # HSAIL scoreboard: every source and destination slot must be free.
+        slots = instr.vrf_slots_read() + instr.vrf_slots_written()
+        if not wf.slots_ready(slots, now):
+            hint = wf.slots_ready_hint(slots, now)
+            if hint is None:
+                wf.parked = True  # blocked on in-flight memory
+            return True, hint
+        if instr.category.is_memory and wf.pending_vmem >= self.config.max_outstanding_vmem:
+            wf.parked = True
+            return True, None
+        return False, None
+
+    def _unit_busy(self, wf: TimingWavefront, instr, category: InstrCategory, now: int) -> Optional[int]:
+        """None if the needed unit is free, else a wake hint."""
+        if category == InstrCategory.VALU:
+            return None  # the SIMD itself was checked by the caller
+        if category in (InstrCategory.SALU, InstrCategory.SMEM):
+            return self.scalar_free if self.scalar_free > now else None
+        if category == InstrCategory.BRANCH or category == InstrCategory.MISC:
+            if wf.is_gcn3:
+                return self.scalar_free if self.scalar_free > now else None
+            return self.branch_free if self.branch_free > now else None
+        if category == InstrCategory.VMEM:
+            if wf.pending_vmem >= self.config.max_outstanding_vmem:
+                return None  # event-driven
+            return self.vmem_free if self.vmem_free > now else None
+        if category == InstrCategory.LDS:
+            return self.lds_free if self.lds_free > now else None
+        return None
+
+    def _issue(self, wf: TimingWavefront, instr, category: InstrCategory, simd: int, now: int) -> None:
+        gpu = self.gpu
+        stats = gpu.stats
+        state = wf.state
+        record = self.workgroups[wf.wg_key]
+
+        wf.instr_counter += 1
+        stats.record_instruction(category)
+
+        # --- VRF probes (reads before execution) ---
+        read_slots, write_slots = _vrf_slots(wf, instr)
+        mask = _active_mask(state)
+        vrf = gpu.vrf_models[self.cu_id]
+        # Only source reads contend for the operand-gather ports; writes
+        # drain through the separate writeback port.  Each operand's bank
+        # stays busy for the instruction's full gather window.
+        if category == InstrCategory.VALU:
+            duration = self.config.valu_issue_cycles * (
+                2 if _is_long_valu_instr(wf, instr) else 1
+            )
+        else:
+            duration = 2
+        vrf.note_access(read_slots, now, duration)
+        vrf.record_reuse(wf.reuse_tracker, wf.instr_counter, read_slots + write_slots)
+        # The uniqueness probe samples one instruction in four: np.unique
+        # per slot is the probe's cost, and the ratio converges quickly.
+        sample = (wf.instr_counter & 3) == 0
+        if sample and read_slots:
+            vrf.probe_uniqueness(_regs(state), read_slots, mask, is_write=False)
+
+        # --- functional execution (execute-at-issue) ---
+        result: ExecResult = record.executor.execute(state)  # type: ignore[attr-defined]
+
+        if sample and write_slots:
+            vrf.probe_uniqueness(_regs(state), write_slots, mask, is_write=True)
+
+        if category == InstrCategory.VALU:
+            stats.simd_utilization.add(result.active_lanes, 64)
+
+        # --- timing costs ---
+        issue_cost = self._charge_units(wf, instr, category, simd, now)
+        wf.next_issue_cycle = now + 1
+
+        # --- memory completions ---
+        self._handle_memory(wf, instr, category, result, now, issue_cost)
+
+        # --- control flow / IB maintenance ---
+        wf.ib_pop()
+        if result.branch_taken and result.next_pc is not None:
+            self._flush(wf, result.next_pc)
+        if result.is_barrier:
+            self._arrive_barrier(wf, record)
+        if result.ends_wavefront:
+            self._maybe_retire(record)
+
+    def _charge_units(self, wf: TimingWavefront, instr, category: InstrCategory,
+                      simd: int, now: int) -> int:
+        cfg = self.config
+        if category == InstrCategory.VALU:
+            cycles = cfg.valu_issue_cycles * (2 if _is_long_valu_instr(wf, instr) else 1)
+            self.simd_free[simd] = now + cycles
+            if not wf.is_gcn3:
+                # Scoreboard release at writeback: the simulated pipeline
+                # has no forwarding network (the real machine relies on
+                # finalizer scheduling instead), so dependents wait out
+                # the full depth (paper §III.B.2).
+                latency = cycles + 2 * cfg.valu_issue_cycles
+                wf.mark_busy(instr.vrf_slots_written(), now + latency)
+            return cycles
+        if category in (InstrCategory.SALU, InstrCategory.SMEM):
+            self.scalar_free = now + cfg.salu_latency
+            return cfg.salu_latency
+        if category in (InstrCategory.BRANCH, InstrCategory.MISC):
+            if wf.is_gcn3:
+                self.scalar_free = now + cfg.salu_latency
+            else:
+                self.branch_free = now + cfg.salu_latency
+            return cfg.salu_latency
+        if category == InstrCategory.VMEM:
+            self.vmem_free = now + cfg.valu_issue_cycles  # address/coalesce time
+            return cfg.valu_issue_cycles
+        if category == InstrCategory.LDS:
+            self.lds_free = now + cfg.valu_issue_cycles
+            return cfg.valu_issue_cycles
+        return 1
+
+    def _handle_memory(self, wf: TimingWavefront, instr, category: InstrCategory,
+                       result: ExecResult, now: int, issue_cost: int) -> None:
+        gpu = self.gpu
+        if result.mem_kind in (MemKind.GLOBAL_LOAD, MemKind.GLOBAL_STORE):
+            lines = result.mem_lines or [0]
+            done = gpu.memsys.vector_access(
+                self.cu_id, lines, result.mem_kind == MemKind.GLOBAL_STORE, now + issue_cost
+            )
+            wf.pending_vmem += 1
+            written = instr.vrf_slots_written() if not wf.is_gcn3 else []
+            if written:
+                wf.mark_mem_busy(written)
+            gpu.events.schedule_at(
+                max(done, now + 1),
+                lambda w=wf, s=written: self._finish_vmem(w, s),
+            )
+        elif result.mem_kind == MemKind.SCALAR_LOAD:
+            done = gpu.memsys.scalar_access(self.cu_id, result.mem_lines or [0], now + issue_cost)
+            wf.pending_lgkm += 1
+            gpu.events.schedule_at(max(done, now + 1), lambda w=wf: self._finish_lgkm(w))
+        elif result.mem_kind == MemKind.LDS_ACCESS:
+            done = now + issue_cost + self.config.lds_latency
+            wf.pending_lgkm += 1
+            written = instr.vrf_slots_written() if not wf.is_gcn3 else []
+            if written:
+                wf.mark_mem_busy(written)
+            gpu.events.schedule_at(
+                max(done, now + 1),
+                lambda w=wf, s=written: self._finish_lds(w, s),
+            )
+            gpu.stats.bump("lds_accesses")
+
+    def _finish_vmem(self, wf: TimingWavefront, slots: List[int]) -> None:
+        wf.pending_vmem -= 1
+        if slots:
+            wf.release_mem_busy(slots)
+        wf.parked = False
+        self.gpu.notify_progress()
+
+    def _finish_lgkm(self, wf: TimingWavefront) -> None:
+        wf.pending_lgkm -= 1
+        wf.parked = False
+        self.gpu.notify_progress()
+
+    def _finish_lds(self, wf: TimingWavefront, slots: List[int]) -> None:
+        wf.pending_lgkm -= 1
+        if slots:
+            wf.release_mem_busy(slots)
+        wf.parked = False
+        self.gpu.notify_progress()
+
+    def _flush(self, wf: TimingWavefront, new_pc: int) -> None:
+        wf.flush_ib(new_pc)
+        self.gpu.stats.bump("ib_flushes")
+
+    def _arrive_barrier(self, wf: TimingWavefront, record: WorkgroupRecord) -> None:
+        wf.at_barrier = True
+        record.barrier_arrivals += 1
+        if record.barrier_arrivals >= record.alive():
+            record.barrier_arrivals = 0
+            for other in record.wavefronts:
+                other.at_barrier = False
+            self.gpu.stats.bump("barriers")
+            self.gpu.notify_progress()
+
+    def _maybe_retire(self, record: WorkgroupRecord) -> None:
+        if record.alive() == 0:
+            self._retire_workgroup(record)
+            self.gpu.notify_progress()
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _min_hint(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _is_long_valu_instr(wf: TimingWavefront, instr) -> bool:
+    if wf.is_gcn3:
+        return _is_long_valu(instr.opcode)
+    from ..kernels.types import DType
+
+    if instr.opcode == "div":
+        return True
+    return instr.dtype == DType.F64 or instr.opcode in ("rcp", "sqrt")
+
+
+def _vrf_slots(wf: TimingWavefront, instr) -> Tuple[List[int], List[int]]:
+    if wf.is_gcn3:
+        return instr.vgpr_reads(), instr.vgpr_writes()
+    return instr.vrf_slots_read(), instr.vrf_slots_written()
+
+
+def _active_mask(state) -> np.ndarray:
+    if isinstance(state, Gcn3WfState):
+        return mask_to_bool(state.exec_mask)
+    return state.mask_array()
+
+
+def _regs(state) -> np.ndarray:
+    if isinstance(state, Gcn3WfState):
+        return state.vgpr
+    return state.regs

@@ -1,0 +1,231 @@
+"""Top-level GPU timing model: command processor, dispatcher, run loop.
+
+The GPU consumes AQL packets in order (one kernel at a time, as in the
+paper's experiments), places workgroups onto CUs subject to occupancy
+limits (wavefront slots, VRF/SRF capacity, LDS), and advances a global
+clock.  When no CU can make progress in a cycle the clock fast-forwards
+to the next scheduled event — the trick that makes a Python cycle model
+usable.
+
+Per-dispatch statistics (cycles, dynamic instructions, IB flushes, VRF
+probes, cache counters) land in one :class:`StatSet` per kernel launch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..common.config import GpuConfig
+from ..common.errors import DeadlockError, TimingError
+from ..common.events import EventQueue
+from ..common.stats import StatSet
+from ..gcn3.isa import Gcn3Kernel
+from ..gcn3.semantics import Gcn3Executor, Gcn3WfState
+from ..hsail.semantics import HsailExecutor, HsailWfState
+from ..runtime.process import Dispatch, GpuProcess
+from .caches import MemorySystem
+from .cu import ComputeUnit, WorkgroupRecord
+from .registerfile import VrfModel
+from .wavefront import TimingWavefront
+
+#: Command-processor overhead before the first workgroup of a dispatch.
+DISPATCH_LATENCY = 300
+
+
+class Gpu:
+    """A full GPU instance bound to one process."""
+
+    def __init__(self, config: GpuConfig, process: GpuProcess) -> None:
+        self.config = config
+        self.process = process
+        self.events = EventQueue()
+        self.memsys = MemorySystem(config)
+        self.cus = [ComputeUnit(i, self) for i in range(config.num_cus)]
+        self.vrf_models: List[VrfModel] = []
+        self.stats = StatSet()
+        self._wf_counter = 0
+        self._dispatch_counter = 0
+        self._outstanding_wgs = 0
+        self._last_progress_cycle = 0
+        self._place_rr = 0
+
+    # ------------------------------------------------------------------
+
+    def notify_progress(self) -> None:
+        self._last_progress_cycle = self.events.now
+
+    def run_all(self) -> List[StatSet]:
+        """Run every queued dispatch in order; one StatSet per dispatch."""
+        results = []
+        while True:
+            packet = self.process.queue.dequeue()
+            if packet is None:
+                break
+            index = len(results)
+            if index >= len(self.process.dispatches):
+                raise TimingError("queue packet without a staged dispatch")
+            dispatch = self.process.dispatches[index]
+            results.append(self.run_dispatch(dispatch))
+        return results
+
+    # ------------------------------------------------------------------
+
+    def run_dispatch(self, dispatch: Dispatch) -> StatSet:
+        """Run one dispatch to completion and return its statistics."""
+        stats = StatSet()
+        self.stats = stats
+        self.memsys.stats = stats
+        self.vrf_models = [
+            VrfModel(self.config.cu.vrf_banks, stats) for _ in range(self.config.num_cus)
+        ]
+
+        start_cycle = self.events.now
+        self.events.advance_to(start_cycle + DISPATCH_LATENCY)
+        self._last_progress_cycle = self.events.now
+
+        num_wgs = dispatch.num_workgroups
+        pending = list(range(num_wgs))
+        self._outstanding_wgs = num_wgs
+        dispatch_id = self._dispatch_counter
+        self._dispatch_counter += 1
+
+        while self._outstanding_wgs > 0:
+            now = self.events.now
+            did_work = False
+            # Command processor: place at most one workgroup per cycle.
+            if pending and self._try_place(dispatch, dispatch_id, pending[0]):
+                pending.pop(0)
+                did_work = True
+            wake: Optional[int] = None
+            for cu in self.cus:
+                if not cu.busy:
+                    continue
+                cu_did, cu_hint = cu.cycle(now)
+                did_work = did_work or cu_did
+                if cu_hint is not None:
+                    wake = cu_hint if wake is None else min(wake, cu_hint)
+            if self._outstanding_wgs == 0:
+                break
+            if did_work:
+                self.events.tick()
+                self.notify_progress()
+            else:
+                self._idle_advance(wake, bool(pending))
+            if self.events.now - self._last_progress_cycle > self.config.deadlock_cycles:
+                raise DeadlockError(
+                    f"no progress for {self.config.deadlock_cycles} cycles "
+                    f"running {dispatch.kernel.name}"
+                )
+
+        stats.bump("cycles", self.events.now - start_cycle)
+        for vrf in self.vrf_models:
+            vrf.flush()
+        self.memsys.export_stats(stats)
+        for group in (self.memsys.l1d, self.memsys.l1i, self.memsys.scalar, self.memsys.l2):
+            for cache in group:
+                cache.reset_counters()
+        self.memsys.dram.accesses = 0
+        dispatch.signal.decrement()
+        return stats
+
+    def _idle_advance(self, wake: Optional[int], has_pending_wgs: bool) -> None:
+        """Nothing issued this cycle: jump to the next interesting time."""
+        next_event = self.events.next_event_cycle()
+        target = None
+        for candidate in (next_event, wake):
+            if candidate is not None and candidate > self.events.now:
+                target = candidate if target is None else min(target, candidate)
+        if target is None:
+            if has_pending_wgs:
+                # Waiting for CU resources that only free on retirement,
+                # which arrives via events; if none exist we are stuck.
+                raise DeadlockError("workgroups pending but no events outstanding")
+            raise DeadlockError("GPU idle with outstanding workgroups and no events")
+        self.events.advance_to(target)
+
+    # ------------------------------------------------------------------
+
+    def _try_place(self, dispatch: Dispatch, dispatch_id: int, wg_index: int) -> bool:
+        kernel = dispatch.kernel
+        num_wfs = dispatch.wavefronts_in_wg(wg_index)
+        if isinstance(kernel, Gcn3Kernel):
+            reg_slots = max(1, kernel.vgprs_used)
+            sgprs = max(1, kernel.sgprs_used)
+        else:
+            reg_slots = max(1, kernel.reg_slots_used)
+            sgprs = 0
+        lds_bytes = kernel.group_bytes
+
+        n = len(self.cus)
+        for k in range(n):
+            cu = self.cus[(self._place_rr + k) % n]
+            if cu.can_accept(num_wfs, reg_slots, sgprs, lds_bytes):
+                self._place_rr = (self._place_rr + k + 1) % n
+                self._place_workgroup(cu, dispatch, dispatch_id, wg_index,
+                                      num_wfs, reg_slots, sgprs, lds_bytes)
+                return True
+        return False
+
+    def _place_workgroup(
+        self,
+        cu: ComputeUnit,
+        dispatch: Dispatch,
+        dispatch_id: int,
+        wg_index: int,
+        num_wfs: int,
+        reg_slots: int,
+        sgprs: int,
+        lds_bytes: int,
+    ) -> None:
+        lds = np.zeros(max(lds_bytes, 4), dtype=np.uint8)
+        if dispatch.is_gcn3:
+            executor: object = Gcn3Executor(self.process.memory, lds)
+        else:
+            executor = HsailExecutor(self.process.memory, lds)
+        wg_key = (dispatch_id, wg_index)
+        wavefronts = []
+        wg_id = dispatch.workgroup_id(wg_index)
+        for wf_index in range(num_wfs):
+            ctx = dispatch.make_context(wg_id, wf_index, lds_base_offset=0)
+            if dispatch.is_gcn3:
+                state: object = Gcn3WfState(dispatch.kernel, ctx)
+            else:
+                state = HsailWfState(dispatch.kernel, ctx)
+            wf = TimingWavefront(
+                wf_id=self._wf_counter,
+                simd_id=0,
+                wg_key=wg_key,
+                state=state,  # type: ignore[arg-type]
+                code_base=dispatch.loaded.code_base,
+                ib_capacity=self.config.cu.ib_entries,
+            )
+            self._wf_counter += 1
+            wavefronts.append(wf)
+        record = WorkgroupRecord(
+            wg_key=wg_key,
+            wavefronts=wavefronts,
+            executor=executor,
+            lds_bytes=lds_bytes,
+            reg_slots=reg_slots * num_wfs,
+            sgpr_slots=sgprs * num_wfs,
+            on_complete=self._wg_done,
+        )
+        cu.add_workgroup(record)
+        self.stats.bump("workgroups_dispatched")
+
+    def _wg_done(self) -> None:
+        self._outstanding_wgs -= 1
+        self.notify_progress()
+
+
+def run_workload_on_gpu(
+    config: GpuConfig, process: GpuProcess
+) -> Tuple[List[StatSet], StatSet]:
+    """Convenience: run every staged dispatch; returns (per-dispatch, total)."""
+    gpu = Gpu(config, process)
+    per_dispatch = gpu.run_all()
+    from ..common.stats import merge_all
+
+    return per_dispatch, merge_all(per_dispatch)

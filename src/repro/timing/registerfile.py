@@ -1,0 +1,109 @@
+"""Vector register file model: bank conflicts, reuse distance, value
+uniqueness.
+
+These are the paper's Figures 6, 7 and 10.  The probes run at issue time
+against the wavefront's *actual* register values (execute-at-issue keeps
+them real):
+
+* **Bank conflicts** — operand slots map to ``slot % num_banks``; two
+  operands of one instruction hitting the same bank serialize and count
+  as conflicts.  HSAIL places every operand in the VRF (no SRF), so it
+  suffers roughly 3x the conflicts of GCN3 (paper §V.B).
+* **Reuse distance** — dynamic instructions executed by a wavefront
+  between accesses to the same vector register (paper defines it this
+  way; Figure 7 reports the median).
+* **Value uniqueness** — |unique lane values| / |active lanes| over all
+  VRF reads and writes (paper §V.D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..common.stats import StatSet
+
+
+class VrfModel:
+    """Per-CU VRF probe state; wavefront-local trackers live on the WF."""
+
+    def __init__(self, num_banks: int, stats: StatSet) -> None:
+        self.num_banks = num_banks
+        self.stats = stats
+        #: cycle -> {bank -> reads} of not-yet-finalized operand gathers
+        self._pending: Dict[int, Dict[int, int]] = {}
+
+    # -- bank conflicts ----------------------------------------------------
+    #
+    # The VRF is banked, with one read port per bank per cycle.  An
+    # instruction's operand reads are gathered over its occupancy window
+    # (the operand-collector pipeline), so a single instruction does not
+    # conflict with itself; conflicts arise between the *concurrently
+    # executing* instructions of co-resident wavefronts.  HSAIL suffers
+    # more because every operand (including the base addresses and
+    # predicates GCN3 keeps in the SRF) reads the VRF.
+
+    def note_access(self, slots: "List[int]", now: int, duration: int) -> None:
+        """Record one instruction's operand gathers.
+
+        A 64-lane operand is read 16 lanes per cycle, so each source slot
+        occupies its bank for the instruction's full gather window.
+        """
+        if not slots:
+            return
+        counts = self._pending
+        duration = max(1, duration)
+        banks = {slot % self.num_banks for slot in slots}
+        for cycle in range(now, now + duration):
+            per_cycle = counts.setdefault(cycle, {})
+            for bank in banks:
+                per_cycle[bank] = per_cycle.get(bank, 0) + 1
+
+    def collect(self, now: int) -> None:
+        """Fold finished cycles into the conflict counter."""
+        if not self._pending:
+            return
+        done = [c for c in self._pending if c < now]
+        for cycle in done:
+            per_cycle = self._pending.pop(cycle)
+            conflicts = sum(n - 1 for n in per_cycle.values() if n > 1)
+            if conflicts:
+                self.stats.bump("vrf_bank_conflicts", conflicts)
+
+    def flush(self) -> None:
+        self.collect(1 << 62)
+
+    # -- reuse distance -------------------------------------------------------
+
+    def record_reuse(
+        self,
+        tracker: Dict[int, int],
+        instr_counter: int,
+        slots: Iterable[int],
+    ) -> None:
+        """Update a wavefront's slot->last-access map and the distribution."""
+        for slot in slots:
+            last = tracker.get(slot)
+            if last is not None:
+                self.stats.reuse_distance.add(instr_counter - last)
+            tracker[slot] = instr_counter
+
+    # -- value uniqueness -------------------------------------------------------
+
+    def probe_uniqueness(
+        self,
+        regs: np.ndarray,
+        slots: List[int],
+        mask: np.ndarray,
+        is_write: bool,
+    ) -> None:
+        """Record |unique|/|active| for each accessed VRF slot."""
+        active = int(mask.sum())
+        if active == 0 or not slots:
+            return
+        probe = self.stats.write_uniqueness if is_write else self.stats.read_uniqueness
+        for slot in slots:
+            values = regs[slot][mask]
+            unique = len(np.unique(values))
+            probe.add(unique, active)

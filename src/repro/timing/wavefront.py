@@ -1,0 +1,136 @@
+"""Timing-side wavefront state: instruction buffer, dependency state,
+and fetch bookkeeping around the functional register state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..gcn3.isa import Gcn3Instr, Gcn3Kernel
+from ..gcn3.semantics import Gcn3WfState
+from ..hsail.isa import HSAIL_INSTR_BYTES, HsailInstr, HsailKernel
+from ..hsail.semantics import HsailWfState
+
+AnyState = Union[HsailWfState, Gcn3WfState]
+AnyInstr = Union[HsailInstr, Gcn3Instr]
+
+
+@dataclass
+class TimingWavefront:
+    """One wavefront as the CU pipeline sees it."""
+
+    wf_id: int                      # global age (oldest-job-first key)
+    simd_id: int
+    wg_key: Tuple[int, int]         # (dispatch ordinal, workgroup index)
+    state: AnyState
+    code_base: int
+
+    # Instruction buffer: (instruction index, encoded size) entries.
+    ib: List[Tuple[int, int]] = field(default_factory=list)
+    ib_capacity: int = 12
+    fetch_index: int = 0            # next instruction index to fetch
+    fetch_inflight: bool = False
+    fetch_epoch: int = 0            # bumped on flush to drop stale fills
+
+    # Dependency state.
+    pending_vmem: int = 0
+    pending_lgkm: int = 0
+    busy_slots: Dict[int, int] = field(default_factory=dict)   # HSAIL scoreboard
+    mem_busy_slots: Dict[int, int] = field(default_factory=dict)  # slot -> refcount
+
+    at_barrier: bool = False
+    #: Parked wavefronts wait on an event (fetch fill, memory completion)
+    #: and are skipped by the issue scan until the event unparks them.
+    parked: bool = False
+    next_issue_cycle: int = 0
+    instr_counter: int = 0          # dynamic instructions, for reuse distance
+    reuse_tracker: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.is_gcn3 = isinstance(self.state, Gcn3WfState)
+
+    @property
+    def kernel(self) -> Union[HsailKernel, Gcn3Kernel]:
+        return self.state.kernel
+
+    @property
+    def done(self) -> bool:
+        return self.state.done
+
+    @property
+    def num_instrs(self) -> int:
+        return len(self.kernel.instrs)
+
+    def instr_at(self, index: int) -> AnyInstr:
+        return self.kernel.instrs[index]
+
+    def instr_size(self, index: int) -> int:
+        if self.is_gcn3:
+            return self.kernel.instrs[index].size_bytes  # type: ignore[union-attr]
+        return HSAIL_INSTR_BYTES
+
+    def instr_address(self, index: int) -> int:
+        if self.is_gcn3:
+            kernel = self.kernel
+            return self.code_base + kernel.pc_of_index[index]  # type: ignore[union-attr]
+        return self.code_base + HSAIL_INSTR_BYTES * index
+
+    # -- instruction buffer ------------------------------------------------
+
+    def ib_head(self) -> Optional[int]:
+        return self.ib[0][0] if self.ib else None
+
+    def ib_pop(self) -> None:
+        if self.ib:
+            self.ib.pop(0)
+
+    def flush_ib(self, new_pc: int) -> None:
+        """Discard buffered instructions and refetch from ``new_pc``."""
+        self.ib.clear()
+        self.fetch_index = new_pc
+        self.fetch_epoch += 1
+        self.fetch_inflight = False
+
+    def wants_fetch(self) -> bool:
+        return (
+            not self.done
+            and not self.fetch_inflight
+            and len(self.ib) < self.ib_capacity
+            and self.fetch_index < self.num_instrs
+        )
+
+    # -- HSAIL scoreboard -----------------------------------------------------
+
+    def slots_ready(self, slots: List[int], now: int) -> bool:
+        for slot in slots:
+            if self.busy_slots.get(slot, 0) > now:
+                return False
+            if self.mem_busy_slots.get(slot, 0) > 0:
+                return False
+        return True
+
+    def slots_ready_hint(self, slots: List[int], now: int) -> Optional[int]:
+        """Earliest cycle the time-based part of the scoreboard clears."""
+        worst = None
+        for slot in slots:
+            release = self.busy_slots.get(slot, 0)
+            if release > now:
+                worst = release if worst is None else max(worst, release)
+        return worst
+
+    def mark_busy(self, slots: List[int], until: int) -> None:
+        for slot in slots:
+            self.busy_slots[slot] = max(self.busy_slots.get(slot, 0), until)
+
+    def mark_mem_busy(self, slots: List[int]) -> None:
+        for slot in slots:
+            self.mem_busy_slots[slot] = self.mem_busy_slots.get(slot, 0) + 1
+
+    def release_mem_busy(self, slots: List[int]) -> None:
+        for slot in slots:
+            count = self.mem_busy_slots.get(slot, 0) - 1
+            if count <= 0:
+                self.mem_busy_slots.pop(slot, None)
+            else:
+                self.mem_busy_slots[slot] = count

@@ -1,0 +1,42 @@
+"""The paper's workload suite (Table 5).
+
+========== =================================================
+Array BW   Memory streaming
+Bitonic    Parallel merge sort
+CoMD       DOE molecular-dynamics algorithms
+FFT        Digital signal processing
+HPGMG      Ranks HPC systems (multigrid)
+LULESH     Hydrodynamic simulation
+MD         Generic molecular-dynamics algorithms
+SNAP       Discrete ordinates neutral particle transport
+SpMV       Sparse matrix-vector multiplication
+XSBench    Monte Carlo particle transport simulation
+========== =================================================
+"""
+
+from .base import Workload, all_workloads, create, register, workload_names
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import every workload module so the registry is populated."""
+    global _LOADED
+    if _LOADED:
+        return
+    from . import (  # noqa: F401
+        arraybw,
+        bitonic,
+        comd,
+        fft,
+        hpgmg,
+        lulesh,
+        md,
+        snap,
+        spmv,
+        xsbench,
+    )
+    _LOADED = True
+
+
+__all__ = ["Workload", "all_workloads", "create", "register", "workload_names"]

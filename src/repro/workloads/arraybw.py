@@ -1,0 +1,71 @@
+"""Array BW — memory streaming (paper Table 5).
+
+Each work-item strides through a global buffer in a tight uniform loop,
+accumulating, and writes one result.  The paper highlights Array BW for
+its simple control flow (amenable to HSAIL) and for the value-uniqueness
+contrast of §V.D: under GCN3 the address-update instructions use scalar
+values and the explicit per-lane id in v0, which HSAIL keeps implicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+
+@register
+class ArrayBw(Workload):
+    name = "arraybw"
+    description = "Memory streaming"
+
+    ELEMS_PER_WI = 16
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.n_threads = self.scaled_threads(2048)
+        self.total = self.n_threads * self.ELEMS_PER_WI
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kb = KernelBuilder(
+            "arraybw_stream",
+            [("src", DType.U64), ("dst", DType.U64), ("stride", DType.U32),
+             ("elems", DType.U32)],
+        )
+        tid = kb.wi_abs_id()
+        src = kb.kernarg("src")
+        stride = kb.kernarg("stride")
+        acc = kb.var(DType.F32, 0.0)
+        idx = kb.var(DType.U32, tid)
+        with kb.for_range(0, kb.kernarg("elems")) as _i:
+            addr = src + kb.cvt(idx, DType.U64) * 4
+            kb.assign(acc, acc + kb.load(Segment.GLOBAL, addr, DType.F32))
+            kb.assign(idx, idx + stride)
+        out_addr = kb.kernarg("dst") + kb.cvt(tid, DType.U64) * 4
+        kb.store(Segment.GLOBAL, out_addr, acc)
+        return {"stream": kb.finish()}
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        self.data = rng.random(self.total, dtype=np.float32)
+        self.src = process.upload(self.data, tag="arraybw_src")
+        self.dst = process.alloc_buffer(4 * self.n_threads, tag="arraybw_dst")
+        process.dispatch(
+            self.kernel("stream", isa),
+            grid=self.n_threads,
+            wg=256,
+            kernargs=[self.src, self.dst, self.n_threads, self.ELEMS_PER_WI],
+        )
+
+    def verify(self, process: GpuProcess) -> bool:
+        out = process.download(self.dst, np.float32, self.n_threads)
+        expected = self.data.reshape(self.ELEMS_PER_WI, self.n_threads).sum(axis=0,
+                                                                            dtype=np.float32)
+        return bool(np.allclose(out, expected, rtol=1e-4, atol=1e-5))

@@ -1,0 +1,115 @@
+"""Workload framework: build kernels, stage data/dispatches, verify results.
+
+Each workload mirrors one row of the paper's Table 5.  A workload builds
+its kernels once through the dual-ISA pipeline, stages input data and the
+dispatch sequence into a :class:`GpuProcess` for one ISA, and can verify
+device results against a host (numpy) reference after the run — the
+cross-ISA equivalence tests lean on this.
+
+Problem sizes are scaled so a full (workload x ISA) sweep runs in minutes
+of wall-clock under the Python cycle model; every paper claim we reproduce
+is a cross-ISA ratio on identical inputs, which scaling preserves
+(DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from ..core.api import DualKernel, compile_dual
+from ..kernels.ir import KernelIR
+from ..runtime.process import GpuProcess
+
+
+class Workload(abc.ABC):
+    """Base class for the ten paper workloads."""
+
+    #: registry key and Table 5 text
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        self.scale = scale
+        self.seed = seed
+        self._duals: Optional[Dict[str, DualKernel]] = None
+        #: Finalizer pass toggles (set before first kernels() call);
+        #: used by the ablation benchmarks.
+        self.finalize_options = None
+
+    # -- kernels -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        """Construct the kernel IR(s); called once."""
+
+    def kernels(self) -> Dict[str, DualKernel]:
+        if self._duals is None:
+            self._duals = {
+                name: compile_dual(ir, self.finalize_options)
+                for name, ir in self.build_kernels().items()
+            }
+        return self._duals
+
+    def kernel(self, name: str, isa: str):
+        return self.kernels()[name].for_isa(isa)
+
+    # -- execution ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        """Upload inputs and enqueue every dispatch of the workload."""
+
+    @abc.abstractmethod
+    def verify(self, process: GpuProcess) -> bool:
+        """Check device results against the host reference."""
+
+    # -- helpers ----------------------------------------------------------------
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def scaled(self, value: int, minimum: int = 1) -> int:
+        return max(minimum, int(value * self.scale))
+
+    def scaled_threads(self, value: int, minimum: int = 64) -> int:
+        """Scaled work-item count, rounded to whole wavefronts so scaled
+        grids do not create empty trailing wavefronts."""
+        raw = max(minimum, int(value * self.scale))
+        return max(64, (raw // 64) * 64)
+
+
+_REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if not cls.name:
+        raise ValueError(f"workload {cls.__name__} needs a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def workload_names() -> List[str]:
+    from . import _ensure_loaded
+
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def create(name: str, scale: float = 1.0, seed: int = 7) -> Workload:
+    from . import _ensure_loaded
+
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown workload {name!r}; known: {workload_names()}")
+    return _REGISTRY[name](scale=scale, seed=seed)
+
+
+def all_workloads(scale: float = 1.0, seed: int = 7) -> List[Workload]:
+    from . import _ensure_loaded
+
+    _ensure_loaded()
+    return [cls(scale=scale, seed=seed) for _, cls in sorted(_REGISTRY.items())]

@@ -1,0 +1,95 @@
+"""Bitonic Sort — parallel merge sort (paper Table 5).
+
+Each workgroup sorts a 128-element block in the LDS with the classic
+bitonic network.  As the paper notes (§V.C), Bitonic Sort contains no
+divergent branches: every compare-exchange is predicated (min/max +
+conditional moves), and the stage loops are uniform.  The workload
+exercises the LDS pipeline and workgroup barriers heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+BLOCK = 128   # elements sorted per workgroup
+WG = 64       # work-items per workgroup (2 elements each)
+
+
+@register
+class BitonicSort(Workload):
+    name = "bitonic"
+    description = "Parallel merge sort"
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.num_blocks = self.scaled(12, minimum=1)
+        self.n = self.num_blocks * BLOCK
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kb = KernelBuilder("bitonic_sort_block", [("data", DType.U64)])
+        lds = kb.group_alloc("tile", BLOCK * 4)
+        t = kb.wi_id()
+        wg = kb.wg_id()
+        base = kb.kernarg("data") + kb.cvt(wg, DType.U64) * (BLOCK * 4)
+
+        # Load two elements per work-item into the LDS tile.
+        lo_off = lds + t * 4
+        hi_off = lds + (t + WG) * 4
+        kb.store(Segment.GROUP, lo_off,
+                 kb.load(Segment.GLOBAL, base + kb.cvt(t, DType.U64) * 4, DType.F32))
+        kb.store(Segment.GROUP, hi_off,
+                 kb.load(Segment.GLOBAL, base + kb.cvt(t + WG, DType.U64) * 4, DType.F32))
+        kb.barrier()
+
+        k = kb.var(DType.U32, 2)
+        with kb.Loop() as outer:
+            j = kb.var(DType.U32, kb.shr(k, 1))
+            with kb.Loop() as inner:
+                # Pair (i, i|j) handled by work-item t; fully predicated.
+                low = t & (j - 1)
+                i = kb.shl(t ^ low, 1) | low
+                partner = i | j
+                a = kb.load(Segment.GROUP, lds + i * 4, DType.F32)
+                b = kb.load(Segment.GROUP, lds + partner * 4, DType.F32)
+                ascending = kb.eq(i & k, 0)
+                lo_val = kb.min(a, b)
+                hi_val = kb.max(a, b)
+                kb.store(Segment.GROUP, lds + i * 4, kb.cmov(ascending, lo_val, hi_val))
+                kb.store(Segment.GROUP, lds + partner * 4, kb.cmov(ascending, hi_val, lo_val))
+                kb.barrier()
+                kb.assign(j, kb.shr(j, 1))
+                inner.continue_if(kb.ge(j, 1))
+            kb.assign(k, kb.shl(k, 1))
+            outer.continue_if(kb.le(k, BLOCK))
+
+        # Write the sorted tile back.
+        kb.store(Segment.GLOBAL, base + kb.cvt(t, DType.U64) * 4,
+                 kb.load(Segment.GROUP, lo_off, DType.F32))
+        kb.store(Segment.GLOBAL, base + kb.cvt(t + WG, DType.U64) * 4,
+                 kb.load(Segment.GROUP, hi_off, DType.F32))
+        return {"sort": kb.finish()}
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        self.data = rng.random(self.n, dtype=np.float32)
+        self.buf = process.upload(self.data, tag="bitonic_data")
+        process.dispatch(
+            self.kernel("sort", isa),
+            grid=self.num_blocks * WG,
+            wg=WG,
+            kernargs=[self.buf],
+        )
+
+    def verify(self, process: GpuProcess) -> bool:
+        out = process.download(self.buf, np.float32, self.n)
+        expected = np.sort(self.data.reshape(self.num_blocks, BLOCK), axis=1).reshape(-1)
+        return bool(np.array_equal(out, expected))

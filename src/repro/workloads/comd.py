@@ -1,0 +1,105 @@
+"""CoMD — DOE molecular-dynamics proxy (paper Table 5).
+
+Lennard-Jones force evaluation in double precision: each work-item owns
+an atom, scans a window of candidate neighbours, and only computes the
+(expensive, division-heavy) force term for pairs inside the cutoff — the
+divergent branch structure the paper calls out (CoMD has one of the
+highest HSAIL branch fractions, which GCN3 expands into scalar ALU and
+branch instructions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+NEIGHBORS = 16
+CUTOFF2 = 0.25
+EPSILON = 4.0
+SIGMA6 = 0.5
+
+
+@register
+class CoMD(Workload):
+    name = "comd"
+    description = "DOE Molecular-dynamics algorithms"
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.n_atoms = self.scaled_threads(768)
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kb = KernelBuilder(
+            "comd_lj_force",
+            [("pos", DType.U64), ("force", DType.U64), ("n", DType.U32)],
+        )
+        tid = kb.wi_abs_id()
+        pos = kb.kernarg("pos")
+        n = kb.kernarg("n")
+        my_off = kb.cvt(tid, DType.U64) * 24  # 3 f64 per atom
+        xi = kb.load(Segment.GLOBAL, pos + my_off, DType.F64)
+        yi = kb.load(Segment.GLOBAL, pos + my_off + 8, DType.F64)
+        zi = kb.load(Segment.GLOBAL, pos + my_off + 16, DType.F64)
+        f = kb.var(DType.F64, 0.0)
+        with kb.for_range(1, NEIGHBORS + 1) as k:
+            # Neighbour candidate: wrap-around window over the atom array.
+            j_raw = tid + k
+            wrapped = j_raw - n
+            j = kb.cmov(kb.lt(j_raw, n), j_raw, wrapped)
+            j_off = kb.cvt(j, DType.U64) * 24
+            dx = xi - kb.load(Segment.GLOBAL, pos + j_off, DType.F64)
+            dy = yi - kb.load(Segment.GLOBAL, pos + j_off + 8, DType.F64)
+            dz = zi - kb.load(Segment.GLOBAL, pos + j_off + 16, DType.F64)
+            r2 = kb.fma(dx, dx, kb.fma(dy, dy, dz * dz))
+            with kb.If(kb.lt(r2, kb.const(DType.F64, CUTOFF2))):
+                # Inside the cutoff: the expensive path with divisions.
+                inv_r2 = kb.fdiv(kb.const(DType.F64, 1.0), r2)
+                inv_r6 = inv_r2 * inv_r2 * inv_r2
+                s6 = kb.const(DType.F64, SIGMA6) * inv_r6
+                term = s6 * (s6 - 0.5)
+                kb.assign(f, kb.fma(kb.const(DType.F64, EPSILON) * term, inv_r2, f))
+        out = kb.kernarg("force") + kb.cvt(tid, DType.U64) * 8
+        kb.store(Segment.GLOBAL, out, f)
+        return {"lj": kb.finish()}
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        # Positions clustered so a realistic fraction of pairs is inside
+        # the cutoff (divergence within wavefronts).
+        self.pos = (rng.random((self.n_atoms, 3)) * 1.2).astype(np.float64)
+        self.pos_addr = process.upload(self.pos.reshape(-1), tag="comd_pos")
+        self.force_addr = process.alloc_buffer(8 * self.n_atoms, tag="comd_force")
+        process.dispatch(
+            self.kernel("lj", isa),
+            grid=self.n_atoms,
+            wg=128,
+            kernargs=[self.pos_addr, self.force_addr, self.n_atoms],
+        )
+
+    def reference(self) -> np.ndarray:
+        n = self.n_atoms
+        f = np.zeros(n, dtype=np.float64)
+        for k in range(1, NEIGHBORS + 1):
+            j = (np.arange(n) + k) % n
+            d = self.pos - self.pos[j]
+            # Match the device's exact association: dx*dx + (dy*dy + dz*dz).
+            r2 = d[:, 0] * d[:, 0] + (d[:, 1] * d[:, 1] + d[:, 2] * d[:, 2])
+            inside = r2 < CUTOFF2
+            inv_r2 = np.where(inside, 1.0 / np.where(r2 == 0, 1.0, r2), 0.0)
+            inv_r6 = (inv_r2 * inv_r2) * inv_r2
+            s6 = SIGMA6 * inv_r6
+            term = s6 * (s6 - 0.5)
+            f += np.where(inside, EPSILON * term * inv_r2, 0.0)
+        return f
+
+    def verify(self, process: GpuProcess) -> bool:
+        out = process.download(self.force_addr, np.float64, self.n_atoms)
+        return bool(np.allclose(out, self.reference(), rtol=1e-9, atol=1e-12))

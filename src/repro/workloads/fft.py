@@ -1,0 +1,152 @@
+"""FFT — digital signal processing (paper Table 5).
+
+Each work-item computes an independent, fully-unrolled 32-point complex
+FFT in registers.  The paper singles FFT out repeatedly:
+
+* ~95% of instructions are ALU with almost no branches -> the dynamic
+  instruction counts of HSAIL and GCN3 nearly match (Figure 5),
+* conditional moves (the direction/sign selection here) avoid control
+  flow entirely,
+* no divisions, so no Table-3 expansion,
+* large register demand forces the *spill segment* into use (Table 6):
+  the imaginary half of the working set is spilled between stages, and
+  because the HSAIL runtime emulation allocates spill memory per launch,
+  HSAIL's data footprint inflates across the two launches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+N_POINT = 32
+_LOG_N = 5
+
+
+def _bit_reverse(i: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+@register
+class Fft(Workload):
+    name = "fft"
+    description = "Digital signal processing"
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.n_threads = self.scaled_threads(768)
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kb = KernelBuilder(
+            "fft16",
+            [("src", DType.U64), ("dst", DType.U64), ("dir", DType.U32)],
+        )
+        tid = kb.wi_abs_id()
+        base = kb.cvt(tid, DType.U64) * (N_POINT * 8)
+        src = kb.kernarg("src") + base
+        dst = kb.kernarg("dst") + base
+        # Twiddle imaginary parts flip sign for the inverse transform.
+        sign = kb.cmov(kb.eq(kb.kernarg("dir"), 0),
+                       kb.const(DType.F32, 1.0), kb.const(DType.F32, -1.0))
+        spill = kb.spill_scratch(N_POINT * 4)
+
+        # Bit-reversed load of 32 complex values (re, im interleaved).
+        re: List[object] = [None] * N_POINT
+        im: List[object] = [None] * N_POINT
+        for j in range(N_POINT):
+            r = _bit_reverse(j, _LOG_N)
+            re[j] = kb.load(Segment.GLOBAL, src + (8 * r), DType.F32)
+            im[j] = kb.load(Segment.GLOBAL, src + (8 * r + 4), DType.F32)
+
+        for stage in range(_LOG_N):
+            half = 1 << stage
+            if stage == 3:
+                # Register pressure relief: spill the imaginary half and
+                # reload (exercises the per-work-item spill segment).
+                for j in range(N_POINT):
+                    kb.store(Segment.SPILL, spill + (4 * j), im[j])
+                for j in range(N_POINT):
+                    im[j] = kb.load(Segment.SPILL, spill + (4 * j), DType.F32)
+            for group in range(0, N_POINT, 2 * half):
+                for k in range(half):
+                    angle = -math.pi * k / half
+                    wr = kb.const(DType.F32, float(np.float32(math.cos(angle))))
+                    wi_mag = kb.const(DType.F32, float(np.float32(math.sin(angle))))
+                    wi = wi_mag * sign
+                    a, b = group + k, group + k + half
+                    tr = re[b] * wr - im[b] * wi
+                    ti = kb.fma(re[b], wi, im[b] * wr)
+                    re[b] = re[a] - tr
+                    im[b] = im[a] - ti
+                    re[a] = re[a] + tr
+                    im[a] = im[a] + ti
+
+        for j in range(N_POINT):
+            kb.store(Segment.GLOBAL, dst + (8 * j), re[j])
+            kb.store(Segment.GLOBAL, dst + (8 * j + 4), im[j])
+        return {"fft16": kb.finish()}
+
+    @staticmethod
+    def reference_fft(block: np.ndarray, direction: int) -> np.ndarray:
+        """Structurally identical float32 reference (same op order)."""
+        re = block[0::2].copy()
+        im = block[1::2].copy()
+        order = [_bit_reverse(j, _LOG_N) for j in range(N_POINT)]
+        re, im = re[order], im[order]
+        sign = np.float32(1.0 if direction == 0 else -1.0)
+        for stage in range(_LOG_N):
+            half = 1 << stage
+            for group in range(0, N_POINT, 2 * half):
+                for k in range(half):
+                    angle = -math.pi * k / half
+                    wr = np.float32(math.cos(angle))
+                    wi = np.float32(np.float32(math.sin(angle)) * sign)
+                    a, b = group + k, group + k + half
+                    tr = np.float32(re[b] * wr - im[b] * wi)
+                    ti = np.float32(re[b] * wi + im[b] * wr)
+                    re[b] = np.float32(re[a] - tr)
+                    im[b] = np.float32(im[a] - ti)
+                    re[a] = np.float32(re[a] + tr)
+                    im[a] = np.float32(im[a] + ti)
+        out = np.empty(2 * N_POINT, dtype=np.float32)
+        out[0::2] = re
+        out[1::2] = im
+        return out
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        self.data = rng.standard_normal(self.n_threads * N_POINT * 2).astype(np.float32)
+        self.src = process.upload(self.data, tag="fft_src")
+        nbytes = 4 * self.data.size
+        self.mid = process.alloc_buffer(nbytes, tag="fft_mid")
+        self.dst = process.alloc_buffer(nbytes, tag="fft_dst")
+        kernel = self.kernel("fft16", isa)
+        # Forward then inverse transform: two launches, so the per-launch
+        # HSAIL spill allocation doubles its footprint (Table 6).
+        process.dispatch(kernel, grid=self.n_threads, wg=256,
+                         kernargs=[self.src, self.mid, 0])
+        process.dispatch(kernel, grid=self.n_threads, wg=256,
+                         kernargs=[self.mid, self.dst, 1])
+
+    def verify(self, process: GpuProcess) -> bool:
+        out = process.download(self.dst, np.float32, self.data.size)
+        blocks = self.data.reshape(self.n_threads, 2 * N_POINT)
+        expected = np.empty_like(blocks)
+        for i in range(self.n_threads):
+            forward = self.reference_fft(blocks[i], 0)
+            expected[i] = self.reference_fft(forward, 1)
+        return bool(np.allclose(out.reshape(expected.shape), expected,
+                                rtol=1e-4, atol=1e-4))

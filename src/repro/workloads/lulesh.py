@@ -1,0 +1,273 @@
+"""LULESH — hydrodynamics proxy (paper Table 5).
+
+The paper's LULESH is characterized by *many small kernels* (27 unique)
+launched *thousands of times*, double-precision math with divisions,
+kernarg-heavy signatures, and private-segment usage whose per-launch
+allocation under HSAIL inflates the data footprint 4x (Table 6) — and a
+GCN3 instruction footprint large enough to thrash the L1I (Figure 8).
+
+This scaled port keeps that shape: ten distinct f64 kernels over a 1-D
+staggered mesh, dispatched every timestep (hundreds of launches), one of
+which stages intermediate terms through the private segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+DT = 1.0e-3
+GAMMA = 1.4
+Q_COEF = 2.0
+
+
+@register
+class Lulesh(Workload):
+    name = "lulesh"
+    description = "Hydrodynamic simulation"
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.n = self.scaled_threads(256)
+        self.timesteps = self.scaled(16, minimum=2)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+
+    def _addr(self, kb, base, idx):
+        return base + kb.cvt(idx, DType.U64) * 8
+
+    def _ld(self, kb, base, idx):
+        return kb.load(Segment.GLOBAL, self._addr(kb, base, idx), DType.F64)
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kernels: Dict[str, KernelIR] = {}
+
+        # 1. Pressure-gradient force over the staggered mesh.
+        kb = KernelBuilder(
+            "lulesh_calc_force",
+            [("p", DType.U64), ("q", DType.U64), ("f", DType.U64), ("n", DType.U32)],
+        )
+        tid = kb.wi_abs_id()
+        n = kb.kernarg("n")
+        left = kb.cmov(kb.eq(tid, 0), tid, tid - 1)
+        right = kb.cmov(kb.eq(tid + 1, n), tid, tid + 1)
+        p, q = kb.kernarg("p"), kb.kernarg("q")
+        grad = (self._ld(kb, p, right) + self._ld(kb, q, right)) \
+            - (self._ld(kb, p, left) + self._ld(kb, q, left))
+        kb.store(Segment.GLOBAL, self._addr(kb, kb.kernarg("f"), tid),
+                 grad * kb.const(DType.F64, -0.5))
+        kernels["calc_force"] = kb.finish()
+
+        # 2. Acceleration: a = f / m (f64 division -> Table 3 expansion).
+        kb = KernelBuilder(
+            "lulesh_calc_accel",
+            [("f", DType.U64), ("m", DType.U64), ("a", DType.U64)],
+        )
+        tid = kb.wi_abs_id()
+        accel = kb.fdiv(self._ld(kb, kb.kernarg("f"), tid),
+                        self._ld(kb, kb.kernarg("m"), tid))
+        kb.store(Segment.GLOBAL, self._addr(kb, kb.kernarg("a"), tid), accel)
+        kernels["calc_accel"] = kb.finish()
+
+        # 3. Boundary conditions: clamp the edge accelerations (divergent
+        # branch taken by a handful of lanes).
+        kb = KernelBuilder(
+            "lulesh_apply_bc", [("a", DType.U64), ("n", DType.U32)]
+        )
+        tid = kb.wi_abs_id()
+        n = kb.kernarg("n")
+        edge = kb.pred_or(kb.eq(tid, 0), kb.eq(tid + 1, n))
+        with kb.If(edge):
+            kb.store(Segment.GLOBAL, self._addr(kb, kb.kernarg("a"), tid),
+                     kb.const(DType.F64, 0.0))
+        kernels["apply_bc"] = kb.finish()
+
+        # 4. Velocity update.
+        kb = KernelBuilder(
+            "lulesh_calc_vel",
+            [("v", DType.U64), ("a", DType.U64), ("dt", DType.F64)],
+        )
+        tid = kb.wi_abs_id()
+        vaddr = self._addr(kb, kb.kernarg("v"), tid)
+        v_new = kb.fma(self._ld(kb, kb.kernarg("a"), tid), kb.kernarg("dt"),
+                       kb.load(Segment.GLOBAL, vaddr, DType.F64))
+        kb.store(Segment.GLOBAL, vaddr, v_new)
+        kernels["calc_vel"] = kb.finish()
+
+        # 5. Position update.
+        kb = KernelBuilder(
+            "lulesh_calc_pos",
+            [("x", DType.U64), ("v", DType.U64), ("dt", DType.F64)],
+        )
+        tid = kb.wi_abs_id()
+        xaddr = self._addr(kb, kb.kernarg("x"), tid)
+        x_new = kb.fma(self._ld(kb, kb.kernarg("v"), tid), kb.kernarg("dt"),
+                       kb.load(Segment.GLOBAL, xaddr, DType.F64))
+        kb.store(Segment.GLOBAL, xaddr, x_new)
+        kernels["calc_pos"] = kb.finish()
+
+        # 6. Kinematics: volume change from the velocity field.
+        kb = KernelBuilder(
+            "lulesh_calc_kinematics",
+            [("v", DType.U64), ("vol", DType.U64), ("dvol", DType.U64),
+             ("dt", DType.F64), ("n", DType.U32)],
+        )
+        tid = kb.wi_abs_id()
+        n = kb.kernarg("n")
+        right = kb.cmov(kb.eq(tid + 1, n), tid, tid + 1)
+        v = kb.kernarg("v")
+        strain = (self._ld(kb, v, right) - self._ld(kb, v, tid)) * kb.kernarg("dt")
+        dv = self._ld(kb, kb.kernarg("vol"), tid) * strain
+        kb.store(Segment.GLOBAL, self._addr(kb, kb.kernarg("dvol"), tid), dv)
+        kernels["calc_kinematics"] = kb.finish()
+
+        # 7. Artificial viscosity: only compressing elements pay (divergent).
+        kb = KernelBuilder(
+            "lulesh_calc_q", [("dvol", DType.U64), ("q", DType.U64)]
+        )
+        tid = kb.wi_abs_id()
+        dv = self._ld(kb, kb.kernarg("dvol"), tid)
+        qaddr = self._addr(kb, kb.kernarg("q"), tid)
+        with kb.If(kb.lt(dv, kb.const(DType.F64, 0.0))) as br:
+            kb.store(Segment.GLOBAL, qaddr, dv * dv * kb.const(DType.F64, Q_COEF))
+            with br.Else():
+                kb.store(Segment.GLOBAL, qaddr, kb.const(DType.F64, 0.0))
+        kernels["calc_q"] = kb.finish()
+
+        # 8. Energy update, staging terms in the private segment (the
+        # per-launch HSAIL allocation of this frame drives Table 6).
+        kb = KernelBuilder(
+            "lulesh_calc_energy",
+            [("e", DType.U64), ("p", DType.U64), ("q", DType.U64),
+             ("dvol", DType.U64), ("vol", DType.U64)],
+        )
+        scratch = kb.private_scratch(24)
+        tid = kb.wi_abs_id()
+        p_v = self._ld(kb, kb.kernarg("p"), tid)
+        q_v = self._ld(kb, kb.kernarg("q"), tid)
+        dv = self._ld(kb, kb.kernarg("dvol"), tid)
+        kb.store(Segment.PRIVATE, scratch, p_v + q_v)
+        kb.store(Segment.PRIVATE, scratch + 8, dv)
+        work = kb.load(Segment.PRIVATE, scratch, DType.F64) \
+            * kb.load(Segment.PRIVATE, scratch + 8, DType.F64)
+        eaddr = self._addr(kb, kb.kernarg("e"), tid)
+        e_new = kb.load(Segment.GLOBAL, eaddr, DType.F64) \
+            - work * kb.const(DType.F64, 0.5)
+        kb.store(Segment.PRIVATE, scratch + 16, e_new)
+        kb.store(Segment.GLOBAL, eaddr,
+                 kb.load(Segment.PRIVATE, scratch + 16, DType.F64))
+        kernels["calc_energy"] = kb.finish()
+
+        # 9. Equation of state: p = (gamma - 1) * e / vol (f64 division).
+        kb = KernelBuilder(
+            "lulesh_calc_eos",
+            [("p", DType.U64), ("e", DType.U64), ("vol", DType.U64)],
+        )
+        tid = kb.wi_abs_id()
+        e_v = self._ld(kb, kb.kernarg("e"), tid)
+        vol_v = self._ld(kb, kb.kernarg("vol"), tid)
+        p_new = kb.fdiv(e_v * kb.const(DType.F64, GAMMA - 1.0), vol_v)
+        kb.store(Segment.GLOBAL, self._addr(kb, kb.kernarg("p"), tid), p_new)
+        kernels["calc_eos"] = kb.finish()
+
+        # 10. Per-element stable-timestep estimate.
+        kb = KernelBuilder(
+            "lulesh_calc_dt",
+            [("p", DType.U64), ("vol", DType.U64), ("dtout", DType.U64)],
+        )
+        tid = kb.wi_abs_id()
+        p_v = self._ld(kb, kb.kernarg("p"), tid)
+        vol_v = self._ld(kb, kb.kernarg("vol"), tid)
+        sound = kb.sqrt(kb.abs(p_v) + kb.const(DType.F64, 1.0e-9))
+        est = kb.fdiv(vol_v, sound + kb.const(DType.F64, 1.0))
+        kb.store(Segment.GLOBAL, self._addr(kb, kb.kernarg("dtout"), tid), est)
+        kernels["calc_dt"] = kb.finish()
+
+        return kernels
+
+    # ------------------------------------------------------------------
+    # Host driver
+    # ------------------------------------------------------------------
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        n = self.n
+        self.init = {
+            "x": np.linspace(0.0, 1.0, n).astype(np.float64),
+            "v": (rng.standard_normal(n) * 0.1).astype(np.float64),
+            "e": (rng.random(n) + 0.5).astype(np.float64),
+            "vol": (rng.random(n) * 0.5 + 0.75).astype(np.float64),
+            "m": (rng.random(n) * 0.5 + 1.0).astype(np.float64),
+        }
+        addr = {name: process.upload(arr, tag=f"lulesh_{name}")
+                for name, arr in self.init.items()}
+        for name in ("p", "q", "f", "a", "dvol", "dtout"):
+            addr[name] = process.upload(np.zeros(n, dtype=np.float64),
+                                        tag=f"lulesh_{name}")
+        self.addr = addr
+
+        k = {name: self.kernel(name, isa) for name in self.kernels()}
+
+        def disp(name, args):
+            process.dispatch(k[name], grid=n, wg=min(n, 256), kernargs=args)
+
+        for _step in range(self.timesteps):
+            disp("calc_eos", [addr["p"], addr["e"], addr["vol"]])
+            disp("calc_force", [addr["p"], addr["q"], addr["f"], n])
+            disp("calc_accel", [addr["f"], addr["m"], addr["a"]])
+            disp("apply_bc", [addr["a"], n])
+            disp("calc_vel", [addr["v"], addr["a"], DT])
+            disp("calc_pos", [addr["x"], addr["v"], DT])
+            disp("calc_kinematics", [addr["v"], addr["vol"], addr["dvol"], DT, n])
+            disp("calc_q", [addr["dvol"], addr["q"]])
+            disp("calc_energy", [addr["e"], addr["p"], addr["q"],
+                                 addr["dvol"], addr["vol"]])
+            disp("calc_dt", [addr["p"], addr["vol"], addr["dtout"]])
+
+    # ------------------------------------------------------------------
+    # Reference
+    # ------------------------------------------------------------------
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        n = self.n
+        x = self.init["x"].copy()
+        v = self.init["v"].copy()
+        e = self.init["e"].copy()
+        vol = self.init["vol"].copy()
+        m = self.init["m"]
+        p = np.zeros(n)
+        q = np.zeros(n)
+        idx = np.arange(n)
+        left = np.maximum(idx - 1, 0)
+        right = np.minimum(idx + 1, n - 1)
+        for _step in range(self.timesteps):
+            p = e * (GAMMA - 1.0) / vol
+            f = ((p[right] + q[right]) - (p[left] + q[left])) * -0.5
+            a = f / m
+            a[0] = 0.0
+            a[-1] = 0.0
+            v = a * DT + v
+            x = v * DT + x
+            dvol = vol * ((v[right] - v) * DT)
+            q = np.where(dvol < 0.0, dvol * dvol * Q_COEF, 0.0)
+            e = e - ((p + q) * dvol) * 0.5
+            dtout = vol / (np.sqrt(np.abs(p) + 1.0e-9) + 1.0)
+        return {"e": e, "v": v, "x": x, "p": p, "dtout": dtout}
+
+    def verify(self, process: GpuProcess) -> bool:
+        ref = self.reference()
+        for name in ("e", "v", "x", "p", "dtout"):
+            out = process.download(self.addr[name], np.float64, self.n)
+            if not np.allclose(out, ref[name], rtol=1e-9, atol=1e-12):
+                return False
+        return True

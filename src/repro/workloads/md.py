@@ -1,0 +1,105 @@
+"""MD — generic molecular dynamics (paper Table 5).
+
+A single-precision Lennard-Jones kernel over an explicit neighbour list
+in global memory (the classic SHOC/OpenDwarfs "MD" shape): per neighbour,
+an index load, a position gather, and a cutoff test guarding the force
+math.  Compared to CoMD it is lighter on divisions (uses ``rcp``) but
+gathers through an indirection array, producing scattered vector-memory
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+NEIGHBORS = 12
+CUTOFF2 = np.float32(0.20)
+LJ1 = np.float32(1.5)
+LJ2 = np.float32(2.0)
+
+
+@register
+class Md(Workload):
+    name = "md"
+    description = "Generic Molecular-dynamics algorithms"
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.n_atoms = self.scaled_threads(1024)
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kb = KernelBuilder(
+            "md_lj",
+            [("pos", DType.U64), ("neigh", DType.U64), ("force", DType.U64),
+             ("nn", DType.U32)],
+        )
+        tid = kb.wi_abs_id()
+        pos = kb.kernarg("pos")
+        neigh = kb.kernarg("neigh")
+        nn = kb.kernarg("nn")
+        my = kb.cvt(tid, DType.U64) * 12  # 3 x f32
+        xi = kb.load(Segment.GLOBAL, pos + my, DType.F32)
+        yi = kb.load(Segment.GLOBAL, pos + my + 4, DType.F32)
+        zi = kb.load(Segment.GLOBAL, pos + my + 8, DType.F32)
+        fx = kb.var(DType.F32, 0.0)
+        base = kb.mad(tid, nn, 0)
+        with kb.for_range(0, nn) as k:
+            j = kb.load(Segment.GLOBAL,
+                        neigh + kb.cvt(base + k, DType.U64) * 4, DType.U32)
+            joff = kb.cvt(j, DType.U64) * 12
+            dx = xi - kb.load(Segment.GLOBAL, pos + joff, DType.F32)
+            dy = yi - kb.load(Segment.GLOBAL, pos + joff + 4, DType.F32)
+            dz = zi - kb.load(Segment.GLOBAL, pos + joff + 8, DType.F32)
+            r2 = kb.fma(dx, dx, kb.fma(dy, dy, dz * dz))
+            with kb.If(kb.lt(r2, kb.const(DType.F32, float(CUTOFF2)))):
+                inv = kb.rcp(r2 + kb.const(DType.F32, 1e-6))
+                inv3 = inv * inv * inv
+                force = inv3 * (kb.const(DType.F32, float(LJ1)) * inv3
+                                - kb.const(DType.F32, float(LJ2)))
+                kb.assign(fx, kb.fma(force, dx, fx))
+        kb.store(Segment.GLOBAL,
+                 kb.kernarg("force") + kb.cvt(tid, DType.U64) * 4, fx)
+        return {"lj": kb.finish()}
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        n = self.n_atoms
+        self.pos = (rng.random((n, 3)) * 1.1).astype(np.float32)
+        self.neigh = rng.integers(0, n, size=(n, NEIGHBORS)).astype(np.uint32)
+        self.a_pos = process.upload(self.pos.reshape(-1), tag="md_pos")
+        self.a_neigh = process.upload(self.neigh.reshape(-1), tag="md_neigh")
+        self.a_force = process.alloc_buffer(4 * n, tag="md_force")
+        process.dispatch(
+            self.kernel("lj", isa),
+            grid=n,
+            wg=256,
+            kernargs=[self.a_pos, self.a_neigh, self.a_force, NEIGHBORS],
+        )
+
+    def reference(self) -> np.ndarray:
+        n = self.n_atoms
+        f = np.zeros(n, dtype=np.float32)
+        for k in range(NEIGHBORS):
+            j = self.neigh[:, k]
+            d = (self.pos - self.pos[j]).astype(np.float32)
+            dx, dy, dz = d[:, 0], d[:, 1], d[:, 2]
+            r2 = (dx * dx + (dy * dy + dz * dz)).astype(np.float32)
+            inside = r2 < CUTOFF2
+            inv = (np.float32(1.0) / (r2 + np.float32(1e-6))).astype(np.float32)
+            inv3 = ((inv * inv) * inv).astype(np.float32)
+            force = (inv3 * (LJ1 * inv3 - LJ2)).astype(np.float32)
+            f = np.where(inside, (force * dx + f).astype(np.float32), f)
+        return f
+
+    def verify(self, process: GpuProcess) -> bool:
+        out = process.download(self.a_force, np.float32, self.n_atoms)
+        return bool(np.allclose(out, self.reference(), rtol=2e-3, atol=1e-4))

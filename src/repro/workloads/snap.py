@@ -1,0 +1,98 @@
+"""SNAP — discrete-ordinates neutral-particle transport proxy (Table 5).
+
+Each work-item owns a spatial cell and sweeps a set of discrete angles:
+for every ordinate the angular flux is recurrently updated from the
+source and the upwind flux, accumulated into the scalar flux with the
+quadrature weight, and a (rarely taken, divergent) negative-flux fixup
+clamps unphysical values — the mixed uniform-loop/divergent-branch
+profile of the real SNAP sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+N_ANGLES = 12
+
+
+@register
+class Snap(Workload):
+    name = "snap"
+    description = "Discrete ordinates neutral particle transport app."
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.n_cells = self.scaled_threads(1024)
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kb = KernelBuilder(
+            "snap_sweep",
+            [("qsrc", DType.U64), ("psi_in", DType.U64), ("mu", DType.U64),
+             ("wgt", DType.U64), ("dinv", DType.U64), ("flux", DType.U64),
+             ("nang", DType.U32)],
+        )
+        tid = kb.wi_abs_id()
+        off = kb.cvt(tid, DType.U64) * 4
+        qv = kb.load(Segment.GLOBAL, kb.kernarg("qsrc") + off, DType.F32)
+        psi = kb.load(Segment.GLOBAL, kb.kernarg("psi_in") + off, DType.F32)
+        mu_base = kb.kernarg("mu")
+        wgt_base = kb.kernarg("wgt")
+        dinv_base = kb.kernarg("dinv")
+        flux = kb.var(DType.F32, 0.0)
+        with kb.for_range(0, kb.kernarg("nang")) as a:
+            aoff = kb.cvt(a, DType.U64) * 4
+            mu = kb.load(Segment.GLOBAL, mu_base + aoff, DType.F32)
+            dinv = kb.load(Segment.GLOBAL, dinv_base + aoff, DType.F32)
+            w = kb.load(Segment.GLOBAL, wgt_base + aoff, DType.F32)
+            kb.assign(psi, kb.fma(mu, psi, qv) * dinv)
+            with kb.If(kb.lt(psi, kb.const(DType.F32, 0.0))):
+                kb.assign(psi, kb.const(DType.F32, 0.0))
+            kb.assign(flux, kb.fma(w, psi, flux))
+        kb.store(Segment.GLOBAL, kb.kernarg("flux") + off, flux)
+        return {"sweep": kb.finish()}
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        n = self.n_cells
+        # Sources mostly positive; a few negative cells trigger the fixup.
+        self.qsrc = (rng.random(n).astype(np.float32) - np.float32(0.1))
+        self.psi0 = rng.random(n).astype(np.float32)
+        self.mu = (rng.random(N_ANGLES).astype(np.float32) * np.float32(0.9))
+        self.wgt = (rng.random(N_ANGLES).astype(np.float32) + np.float32(0.1))
+        self.dinv = (np.float32(1.0) /
+                     (np.float32(1.0) + self.mu)).astype(np.float32)
+        self.a_q = process.upload(self.qsrc, tag="snap_q")
+        self.a_psi = process.upload(self.psi0, tag="snap_psi")
+        self.a_mu = process.upload(self.mu, tag="snap_mu")
+        self.a_w = process.upload(self.wgt, tag="snap_w")
+        self.a_dinv = process.upload(self.dinv, tag="snap_dinv")
+        self.a_flux = process.alloc_buffer(4 * n, tag="snap_flux")
+        process.dispatch(
+            self.kernel("sweep", isa),
+            grid=n,
+            wg=256,
+            kernargs=[self.a_q, self.a_psi, self.a_mu, self.a_w, self.a_dinv,
+                      self.a_flux, N_ANGLES],
+        )
+
+    def reference(self) -> np.ndarray:
+        psi = self.psi0.copy()
+        flux = np.zeros(self.n_cells, dtype=np.float32)
+        for a in range(N_ANGLES):
+            psi = ((self.mu[a] * psi + self.qsrc) * self.dinv[a]).astype(np.float32)
+            psi = np.maximum(psi, np.float32(0.0))
+            flux = (self.wgt[a] * psi + flux).astype(np.float32)
+        return flux
+
+    def verify(self, process: GpuProcess) -> bool:
+        out = process.download(self.a_flux, np.float32, self.n_cells)
+        return bool(np.allclose(out, self.reference(), rtol=1e-4, atol=1e-5))

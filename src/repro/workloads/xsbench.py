@@ -1,0 +1,132 @@
+"""XSBench — Monte Carlo particle-transport macroscopic-XS lookup (Table 5).
+
+The hot loop of OpenMC, as XSBench distills it: each work-item draws a
+pseudo-random energy (integer-hash "RNG" computed on-device), locates its
+bracketing grid points by binary search (a uniform-trip loop with
+conditional-move updates), and then accumulates cross-sections over the
+nuclides of its material.  Materials have different nuclide counts, so
+the accumulation loop's trip count diverges across lanes — the source of
+XSBench's ~50% SIMD utilization in the paper's Table 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..kernels.dsl import KernelBuilder
+from ..kernels.ir import KernelIR
+from ..kernels.types import DType
+from ..runtime.memory import Segment
+from ..runtime.process import GpuProcess
+from .base import Workload, register
+
+GRID_POINTS = 256
+_LOG_GRID = 8
+N_MATERIALS = 3
+NUCLIDES = (3, 6, 12)  # per material -> divergent loop trip counts
+
+
+@register
+class XsBench(Workload):
+    name = "xsbench"
+    description = "Monte Carlo particle transport simulation"
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        super().__init__(scale, seed)
+        self.n_lookups = self.scaled_threads(1024)
+
+    def build_kernels(self) -> Dict[str, KernelIR]:
+        kb = KernelBuilder(
+            "xs_lookup",
+            [("egrid", DType.U64), ("xs", DType.U64), ("nuc_count", DType.U64),
+             ("out", DType.U64)],
+        )
+        tid = kb.wi_abs_id()
+        # Integer-hash energy sample in [0, 1): a weyl-ish LCG on the id.
+        h = kb.mad(tid, 2654435761, 12345)
+        h = (h ^ kb.shr(h, 13)) * 0x5BD1E995
+        h = h ^ kb.shr(h, 15)
+        energy = kb.cvt(kb.shr(h, 8), DType.F32) * kb.const(DType.F32, 1.0 / (1 << 24))
+
+        # Binary search for the bracketing grid index (uniform trip count,
+        # per-lane cmov updates -- no divergence here).
+        egrid = kb.kernarg("egrid")
+        lo = kb.var(DType.U32, 0)
+        step = kb.var(DType.U32, GRID_POINTS // 2)
+        with kb.for_range(0, _LOG_GRID) as _i:
+            probe = lo + step
+            ev = kb.load(Segment.GLOBAL, egrid + kb.cvt(probe, DType.U64) * 4,
+                         DType.F32)
+            take = kb.pred_and(kb.le(ev, energy),
+                               kb.lt(probe, GRID_POINTS - 1))
+            kb.assign(lo, kb.cmov(take, probe, lo))
+            kb.assign(step, kb.max(kb.shr(step, 1), kb.const(DType.U32, 1)))
+
+        # Material id (tid % 3) and its nuclide count, which diverges
+        # across lanes.  No integer divide exists; use the magic-number
+        # reciprocal the way real compilers lower modulo-by-constant.
+        approx = kb.mulhi(tid, 0xAAAAAAAB)      # tid * ceil(2^33/3) >> 32
+        third = kb.shr(approx, 1)               # tid // 3
+        mat_id = tid - kb.mad(third, 3, 0)
+        count = kb.load(Segment.GLOBAL,
+                        kb.kernarg("nuc_count") + kb.cvt(mat_id, DType.U64) * 4,
+                        DType.U32)
+
+        xs = kb.kernarg("xs")
+        total = kb.var(DType.F32, 0.0)
+        nuc = kb.var(DType.U32, 0)
+        with kb.Loop() as loop:
+            # xs table is [nuclide][grid_point].
+            row = kb.mad(nuc, GRID_POINTS, 0) + lo
+            sigma = kb.load(Segment.GLOBAL, xs + kb.cvt(row, DType.U64) * 4,
+                            DType.F32)
+            kb.assign(total, kb.fma(sigma, energy, total))
+            kb.assign(nuc, nuc + 1)
+            loop.continue_if(kb.lt(nuc, count))
+        kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4,
+                 total)
+        return {"lookup": kb.finish()}
+
+    def stage(self, process: GpuProcess, isa: str) -> None:
+        rng = self.rng()
+        self.egrid = np.sort(rng.random(GRID_POINTS).astype(np.float32))
+        self.egrid[0] = np.float32(0.0)
+        max_nuc = max(NUCLIDES)
+        self.xs = rng.random((max_nuc, GRID_POINTS)).astype(np.float32)
+        self.nuc_count = np.array(NUCLIDES, dtype=np.uint32)
+        self.a_egrid = process.upload(self.egrid, tag="xs_egrid")
+        self.a_xs = process.upload(self.xs.reshape(-1), tag="xs_table")
+        self.a_counts = process.upload(self.nuc_count, tag="xs_counts")
+        self.a_out = process.alloc_buffer(4 * self.n_lookups, tag="xs_out")
+        process.dispatch(
+            self.kernel("lookup", isa),
+            grid=self.n_lookups,
+            wg=256,
+            kernargs=[self.a_egrid, self.a_xs, self.a_counts, self.a_out],
+        )
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros(self.n_lookups, dtype=np.float32)
+        for tid in range(self.n_lookups):
+            h = (tid * 2654435761 + 12345) & 0xFFFFFFFF
+            h = ((h ^ (h >> 13)) * 0x5BD1E995) & 0xFFFFFFFF
+            h = h ^ (h >> 15)
+            energy = np.float32(np.float32(h >> 8) * np.float32(1.0 / (1 << 24)))
+            lo, step = 0, GRID_POINTS // 2
+            for _ in range(_LOG_GRID):
+                probe = lo + step
+                if self.egrid[probe] <= energy and probe < GRID_POINTS - 1:
+                    lo = probe
+                step = max(step >> 1, 1)
+            mat = tid % 3
+            total = np.float32(0.0)
+            for nuc in range(NUCLIDES[mat]):
+                total = np.float32(self.xs[nuc, lo] * energy + total)
+            out[tid] = total
+        return out
+
+    def verify(self, process: GpuProcess) -> bool:
+        out = process.download(self.a_out, np.float32, self.n_lookups)
+        return bool(np.allclose(out, self.reference(), rtol=1e-4, atol=1e-5))

@@ -1,0 +1,139 @@
+"""Bit-utility tests (exact + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import bits
+
+
+class TestMaskAndFields:
+    def test_mask_widths(self):
+        assert bits.mask(0) == 0
+        assert bits.mask(1) == 1
+        assert bits.mask(8) == 0xFF
+        assert bits.mask(64) == bits.MASK64
+
+    def test_mask_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask(-1)
+
+    def test_bits_extract(self):
+        assert bits.bits(0xDEADBEEF, 15, 0) == 0xBEEF
+        assert bits.bits(0xDEADBEEF, 31, 16) == 0xDEAD
+        assert bits.bits(0b1010, 3, 3) == 1
+
+    def test_bits_bad_range(self):
+        with pytest.raises(ValueError):
+            bits.bits(1, 0, 5)
+
+    def test_insert_bits(self):
+        assert bits.insert_bits(0, 0xAB, 15, 8) == 0xAB00
+        assert bits.insert_bits(0xFFFF, 0, 7, 0) == 0xFF00
+
+    def test_insert_bits_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bits.insert_bits(0, 0x100, 7, 0)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    def test_bits_insert_roundtrip(self, value, lo, width):
+        hi = min(31, lo + width)
+        field = bits.bits(value, hi, lo)
+        assert bits.insert_bits(value, field, hi, lo) == value
+
+
+class TestSignExtension:
+    def test_sign_extend_basics(self):
+        assert bits.sign_extend(0xFF, 8) == -1
+        assert bits.sign_extend(0x7F, 8) == 127
+        assert bits.sign_extend(0x8000, 16) == -32768
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_sign_roundtrip_16(self, value):
+        assert bits.sign_extend(bits.to_unsigned(value, 16), 16) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_sign_roundtrip_32(self, value):
+        assert bits.sign_extend(bits.to_unsigned(value, 32), 32) == value
+
+
+class TestBfe:
+    def test_bfe_matches_table1_encoding(self):
+        # Paper Table 1: s_bfe s4, s10, 0x100000 extracts bits [15:0].
+        operand = bits.pack_bfe_operand(0, 16)
+        assert operand == 0x100000
+        offset, width = bits.unpack_bfe_operand(operand)
+        assert (offset, width) == (0, 16)
+        assert bits.bit_field_extract(0xABCD1234, offset, width) == 0x1234
+
+    def test_bfe_zero_width(self):
+        assert bits.bit_field_extract(0xFFFF, 0, 0) == 0
+
+    def test_bfe_signed(self):
+        assert bits.bit_field_extract(0xF0, 4, 4, signed=True) == -1
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=1, max_value=31))
+    def test_bfe_operand_roundtrip(self, _value, offset, width):
+        packed = bits.pack_bfe_operand(offset, width)
+        assert bits.unpack_bfe_operand(packed) == (offset, width)
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert bits.align_up(0, 64) == 0
+        assert bits.align_up(1, 64) == 64
+        assert bits.align_up(64, 64) == 64
+        assert bits.align_up(65, 64) == 128
+
+    def test_align_down(self):
+        assert bits.align_down(127, 64) == 64
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            bits.align_up(3, 48)
+
+    def test_is_aligned(self):
+        assert bits.is_aligned(128, 64)
+        assert not bits.is_aligned(100, 64)
+
+    def test_ilog2(self):
+        assert bits.ilog2(1) == 0
+        assert bits.ilog2(1024) == 10
+        with pytest.raises(ValueError):
+            bits.ilog2(6)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.sampled_from([1, 2, 4, 8, 64, 4096]))
+    def test_align_properties(self, value, alignment):
+        up = bits.align_up(value, alignment)
+        down = bits.align_down(value, alignment)
+        assert down <= value <= up
+        assert up - down in (0, alignment)
+        assert bits.is_aligned(up, alignment)
+        assert bits.is_aligned(down, alignment)
+
+
+class TestLaneMasks:
+    def test_popcount(self):
+        assert bits.popcount64(0) == 0
+        assert bits.popcount64(bits.MASK64) == 64
+        assert bits.popcount64(0b1011) == 3
+
+    def test_lane_mask_roundtrip(self):
+        lanes = [0, 5, 63]
+        mask = bits.lane_mask(lanes)
+        assert bits.mask_lanes(mask) == lanes
+
+    def test_lane_out_of_range(self):
+        with pytest.raises(ValueError):
+            bits.lane_mask([64])
+
+    @given(st.sets(st.integers(min_value=0, max_value=63)))
+    def test_lane_mask_property(self, lanes):
+        mask = bits.lane_mask(sorted(lanes))
+        assert set(bits.mask_lanes(mask)) == lanes
+        assert bits.popcount64(mask) == len(lanes)

@@ -1,0 +1,98 @@
+"""Configuration (Table 4) tests."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    CuConfig,
+    GpuConfig,
+    paper_config,
+    small_config,
+)
+from repro.common.errors import ConfigError
+
+
+class TestPaperConfig:
+    """The defaults must match the paper's Table 4."""
+
+    def test_gpu_shape(self):
+        cfg = paper_config()
+        assert cfg.num_cus == 8
+        assert cfg.clock_mhz == 800
+        assert cfg.cus_per_cluster == 4
+        assert cfg.num_clusters == 2
+
+    def test_cu_shape(self):
+        cu = paper_config().cu
+        assert cu.num_simds == 4
+        assert cu.wavefront_size == 64
+        assert cu.max_wavefronts == 40
+        assert cu.vrf_entries == 2048
+        assert cu.srf_entries == 800
+        assert cu.wavefronts_per_simd == 10
+
+    def test_caches(self):
+        cfg = paper_config()
+        assert cfg.l1d.size_bytes == 16 * 1024
+        assert cfg.l1d.associativity == 0  # fully associative
+        assert cfg.l1d.line_bytes == 64
+        assert cfg.l1i.size_bytes == 32 * 1024
+        assert cfg.l1i.associativity == 8
+        assert cfg.l2.size_bytes == 512 * 1024
+        assert cfg.l2.associativity == 16
+
+    def test_dram(self):
+        assert paper_config().dram.channels == 32
+        assert paper_config().dram.clock_mhz == 500
+
+    def test_wavefront_covers_simd_in_four_cycles(self):
+        cu = paper_config().cu
+        assert cu.wavefront_size // cu.simd_width == cu.valu_issue_cycles
+
+
+class TestCacheConfig:
+    def test_fully_associative_sets(self):
+        cache = CacheConfig(size_bytes=16 * 1024, associativity=0)
+        assert cache.num_sets == 1
+        assert cache.num_lines == 256
+
+    def test_set_associative_geometry(self):
+        cache = CacheConfig(size_bytes=32 * 1024, associativity=8)
+        assert cache.num_sets == 64
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=100, line_bytes=64)
+
+    def test_bad_associativity_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=64 * 3, line_bytes=64, associativity=2)
+
+
+class TestValidation:
+    def test_zero_cus_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(num_cus=0)
+
+    def test_wavefront_not_multiple_of_simd(self):
+        with pytest.raises(ConfigError):
+            CuConfig(simd_width=24)
+
+    def test_wf_slots_must_divide(self):
+        with pytest.raises(ConfigError):
+            CuConfig(max_wavefronts=42)
+
+    def test_small_config(self):
+        cfg = small_config(2)
+        assert cfg.num_cus == 2
+        assert cfg.num_clusters == 1
+        assert cfg.cu.num_simds == 4  # per-CU shape is unchanged
+
+    def test_small_config_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            small_config(0)
+
+    def test_scaled_override(self):
+        cfg = paper_config().scaled(num_cus=4)
+        assert cfg.num_cus == 4
+        assert cfg.cu.vrf_entries == 2048

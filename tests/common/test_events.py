@@ -1,0 +1,91 @@
+"""Event-queue determinism and clock tests."""
+
+import pytest
+
+from repro.common.errors import TimingError
+from repro.common.events import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5, lambda: log.append("b"))
+        q.schedule(2, lambda: log.append("a"))
+        q.schedule(9, lambda: log.append("c"))
+        q.advance_to(10)
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        log = []
+        for name in "abcd":
+            q.schedule(3, lambda n=name: log.append(n))
+        q.advance_to(3)
+        assert log == ["a", "b", "c", "d"]
+
+    def test_now_tracks_fired_event(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(4, lambda: seen.append(q.now))
+        q.advance_to(10)
+        assert seen == [4]
+        assert q.now == 10
+
+    def test_events_scheduled_during_processing_fire(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1, lambda: q.schedule(1, lambda: log.append("nested")))
+        q.advance_to(5)
+        assert log == ["nested"]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(TimingError):
+            q.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        q = EventQueue()
+        q.advance_to(10)
+        with pytest.raises(TimingError):
+            q.schedule_at(5, lambda: None)
+
+    def test_clock_cannot_go_backwards(self):
+        q = EventQueue()
+        q.advance_to(10)
+        with pytest.raises(TimingError):
+            q.advance_to(9)
+
+
+class TestFastForward:
+    def test_jumps_to_next_event(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(100, lambda: fired.append(True))
+        assert q.fast_forward()
+        assert q.now == 100
+        assert fired == [True]
+
+    def test_returns_false_when_empty(self):
+        q = EventQueue()
+        assert not q.fast_forward()
+
+    def test_next_event_cycle(self):
+        q = EventQueue()
+        assert q.next_event_cycle() is None
+        q.schedule(7, lambda: None)
+        assert q.next_event_cycle() == 7
+
+    def test_tick_advances_one(self):
+        q = EventQueue()
+        q.tick()
+        q.tick()
+        assert q.now == 2
+
+    def test_len_counts_pending(self):
+        q = EventQueue()
+        q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        assert len(q) == 2
+        q.advance_to(1)
+        assert len(q) == 1

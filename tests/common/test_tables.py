@@ -1,0 +1,82 @@
+"""Table rendering and geomean tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.tables import format_value, geomean, render_table
+
+
+class TestFormatValue:
+    def test_ints_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_floats_precision(self):
+        assert format_value(1.23456) == "1.23"
+
+    def test_large_floats(self):
+        assert format_value(12345.6) == "12,346"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["Name", "N"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        # numeric column right-justified
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_title(self):
+        text = render_table(["A"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0, 2, 8]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=20))
+    def test_bounded_by_min_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=100),
+           st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=10))
+    def test_scale_invariance(self, k, values):
+        scaled = geomean([k * v for v in values])
+        assert scaled == pytest.approx(k * geomean(values), rel=1e-9)
+
+    def test_matches_log_definition(self):
+        values = [1.5, 2.5, 3.5]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geomean(values) == pytest.approx(expected)

@@ -1,0 +1,81 @@
+"""Shared fixtures: small kernels, processes, and run helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import small_config
+from repro.core import compile_dual, run_dispatch_functional
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+from repro.runtime.process import GpuProcess
+from repro.timing.gpu import Gpu
+
+
+def build_vec_add():
+    """f32 c[i] = a[i] + b[i] — the simplest dual-ISA kernel."""
+    kb = KernelBuilder(
+        "vec_add",
+        [("a", DType.U64), ("b", DType.U64), ("c", DType.U64)],
+    )
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    x = kb.load(Segment.GLOBAL, kb.kernarg("a") + off, DType.F32)
+    y = kb.load(Segment.GLOBAL, kb.kernarg("b") + off, DType.F32)
+    kb.store(Segment.GLOBAL, kb.kernarg("c") + off, x + y)
+    return kb.finish()
+
+
+def build_branchy():
+    """Divergent if/else over a threshold — exercises masks and the RS."""
+    kb = KernelBuilder(
+        "branchy", [("a", DType.U64), ("out", DType.U64), ("thresh", DType.U32)]
+    )
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    x = kb.load(Segment.GLOBAL, kb.kernarg("a") + off, DType.U32)
+    result = kb.var(DType.U32, 0)
+    with kb.If(kb.lt(x, kb.kernarg("thresh"))) as br:
+        kb.assign(result, x * 3)
+        with br.Else():
+            kb.assign(result, x + 100)
+    kb.store(Segment.GLOBAL, kb.kernarg("out") + off, result)
+    return kb.finish()
+
+
+@pytest.fixture(scope="session")
+def vec_add_dual():
+    return compile_dual(build_vec_add())
+
+
+@pytest.fixture(scope="session")
+def branchy_dual():
+    return compile_dual(build_branchy())
+
+
+def run_functional(dual, isa, arrays, out_count, out_dtype=np.float32,
+                   grid=64, wg=64, extra_args=()):
+    """Upload arrays, dispatch once, run functionally, return outputs."""
+    proc = GpuProcess(isa)
+    addrs = [proc.upload(a) for a in arrays]
+    out = proc.alloc_buffer(max(4, np.dtype(out_dtype).itemsize * out_count))
+    proc.dispatch(dual.for_isa(isa), grid=grid, wg=wg,
+                  kernargs=addrs + [out] + list(extra_args))
+    run_dispatch_functional(proc, proc.dispatches[0])
+    return proc.download(out, out_dtype, out_count)
+
+
+def run_timing(dual, isa, arrays, out_count, out_dtype=np.float32,
+               grid=64, wg=64, extra_args=(), num_cus=2):
+    """Same as run_functional but through the cycle model; returns
+    (outputs, stats)."""
+    proc = GpuProcess(isa)
+    addrs = [proc.upload(a) for a in arrays]
+    out = proc.alloc_buffer(max(4, np.dtype(out_dtype).itemsize * out_count))
+    proc.dispatch(dual.for_isa(isa), grid=grid, wg=wg,
+                  kernargs=addrs + [out] + list(extra_args))
+    gpu = Gpu(small_config(num_cus), proc)
+    stats = gpu.run_all()[0]
+    return proc.download(out, out_dtype, out_count), stats

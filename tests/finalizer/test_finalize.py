@@ -1,0 +1,93 @@
+"""End-to-end finalizer invariants across all workload kernels."""
+
+import pytest
+
+from repro.gcn3.isa import MAX_SGPRS, MAX_VGPRS, SReg, VReg
+from repro.workloads import all_workloads
+
+
+@pytest.fixture(scope="module")
+def all_kernels():
+    kernels = []
+    for wl in all_workloads(scale=0.1):
+        for name, dual in wl.kernels().items():
+            kernels.append((f"{wl.name}/{name}", dual))
+    return kernels
+
+
+class TestInvariants:
+    def test_register_budgets(self, all_kernels):
+        for name, dual in all_kernels:
+            g = dual.gcn3
+            assert 0 < g.vgprs_used <= MAX_VGPRS, name
+            assert 0 < g.sgprs_used <= MAX_SGPRS, name
+
+    def test_no_virtual_operands(self, all_kernels):
+        for name, dual in all_kernels:
+            for instr in dual.gcn3.instrs:
+                for op in (instr.dest, *instr.srcs):
+                    if isinstance(op, (SReg, VReg)):
+                        assert not op.virtual, (name, instr)
+
+    def test_branch_targets_resolved(self, all_kernels):
+        for name, dual in all_kernels:
+            n = len(dual.gcn3.instrs)
+            for instr in dual.gcn3.instrs:
+                if instr.is_branch:
+                    assert instr.target is not None, (name, instr)
+                    assert 0 <= instr.target < n, (name, instr)
+
+    def test_ends_with_endpgm(self, all_kernels):
+        for name, dual in all_kernels:
+            assert dual.gcn3.instrs[-1].opcode == "s_endpgm", name
+
+    def test_code_expansion(self, all_kernels):
+        """Every kernel expands; the suite-wide spread matches the paper's
+        1.5x-3x band (FFT-like kernels may sit below)."""
+        ratios = []
+        for name, dual in all_kernels:
+            ratio = dual.expansion_ratio
+            assert ratio > 1.0, (name, ratio)
+            ratios.append(ratio)
+        assert max(ratios) >= 2.0
+
+    def test_footprint_metadata_consistent(self, all_kernels):
+        for name, dual in all_kernels:
+            g = dual.gcn3
+            assert g.code_bytes == sum(i.size_bytes for i in g.instrs), name
+            assert g.kernarg_bytes == dual.hsail.kernarg_bytes, name
+            assert g.group_bytes == dual.hsail.group_bytes, name
+
+    def test_waitcnt_before_every_smem_consumer(self, all_kernels):
+        """An s_load result must not be consumed before an lgkm wait."""
+        for name, dual in all_kernels:
+            pending: set = set()
+            for instr in dual.gcn3.instrs:
+                if instr.opcode == "s_waitcnt":
+                    if instr.attrs.get("lgkmcnt") == 0:
+                        pending.clear()
+                    continue
+                reads = set(instr.sgpr_reads())
+                assert not (reads & pending), (name, instr)
+                if instr.opcode.startswith("s_load"):
+                    pending.update(instr.sgpr_writes())
+
+    def test_sgpr_pairs_even(self, all_kernels):
+        for name, dual in all_kernels:
+            for instr in dual.gcn3.instrs:
+                for op in (instr.dest, *instr.srcs):
+                    if isinstance(op, (SReg, VReg)) and op.count == 2:
+                        assert op.index % 2 == 0, (name, instr)
+
+    def test_dispatch_values_come_from_abi_registers(self, all_kernels):
+        """Kernels read launch state only via the ABI: s[4:5] packet,
+        s[6:7] kernargs, s8 workgroup id, v0 lane id."""
+        for name, dual in all_kernels:
+            reads_abi = False
+            for instr in dual.gcn3.instrs:
+                for op in instr.srcs:
+                    if isinstance(op, SReg) and op.index in (4, 6, 8):
+                        reads_abi = True
+                    if isinstance(op, VReg) and op.index == 0:
+                        reads_abi = True
+            assert reads_abi, name

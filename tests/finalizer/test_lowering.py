@@ -1,0 +1,266 @@
+"""Instruction-selection tests: the paper's Tables 1, 2 and 3."""
+
+import pytest
+
+from repro.core import compile_dual
+from repro.finalizer.lowering import PACKET_GRID_SIZE_OFFSET, PACKET_WG_SIZE_OFFSET
+from repro.gcn3.isa import SImm, SReg, VReg
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def finalize_kernel(build, params=(("p", DType.U64), ("n", DType.U32))):
+    kb = KernelBuilder("k", list(params))
+    build(kb)
+    return compile_dual(kb.finish()).gcn3
+
+
+def opcodes(kernel):
+    return [i.opcode for i in kernel.instrs]
+
+
+class TestTable1WorkitemAbsId:
+    """1 HSAIL instruction -> the 5-instruction ABI sequence of Table 1."""
+
+    def get_kernel(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + kb.cvt(tid, DType.U64),
+                     tid)
+
+        return finalize_kernel(build)
+
+    def test_sequence_present_in_order(self):
+        ops = opcodes(self.get_kernel())
+        sequence = ["s_load_dword", "s_waitcnt", "s_bfe_u32", "s_mul_i32",
+                    "v_add_u32"]
+        positions = []
+        start = 0
+        for op in sequence:
+            positions.append(ops.index(op, start))
+            start = positions[-1] + 1
+        assert positions == sorted(positions)
+
+    def test_loads_packet_via_dispatch_ptr(self):
+        kernel = self.get_kernel()
+        load = next(i for i in kernel.instrs if i.opcode == "s_load_dword")
+        assert load.srcs[0] == SReg(4, count=2)     # s[4:5] = AQL packet
+        assert load.attrs["offset"] == PACKET_WG_SIZE_OFFSET
+
+    def test_bfe_extracts_low_16_bits(self):
+        kernel = self.get_kernel()
+        bfe = next(i for i in kernel.instrs if i.opcode == "s_bfe_u32")
+        assert isinstance(bfe.srcs[1], SImm)
+        assert bfe.srcs[1].pattern == 0x100000  # offset 0, width 16
+
+    def test_mul_uses_workgroup_id_sgpr(self):
+        kernel = self.get_kernel()
+        mul = next(i for i in kernel.instrs if i.opcode == "s_mul_i32")
+        assert SReg(8) in mul.srcs
+
+    def test_final_add_uses_v0(self):
+        kernel = self.get_kernel()
+        add = next(i for i in kernel.instrs if i.opcode == "v_add_u32")
+        assert VReg(0) in add.srcs
+
+
+class TestTable2KernargAccess:
+    def test_pointer_arg_moves_base_into_vgprs(self):
+        """Table 2: v_mov v, s6 ; v_mov v, s7 ; flat_load."""
+        def build(kb):
+            p = kb.kernarg("p")
+            kb.store(Segment.GLOBAL, p, kb.const(DType.U32, 1))
+
+        kernel = finalize_kernel(build)
+        movs = [i for i in kernel.instrs if i.opcode == "v_mov_b32"
+                and isinstance(i.srcs[0], SReg)
+                and i.srcs[0].index in (6, 7)]
+        assert len(movs) == 2
+        assert "flat_load_dwordx2" in opcodes(kernel)
+
+    def test_u32_arg_uses_scalar_load(self):
+        def build(kb):
+            n = kb.kernarg("n")
+            with kb.If(kb.lt(n, 5)):
+                kb.var(DType.U32, 1)
+
+        kernel = finalize_kernel(build)
+        loads = [i for i in kernel.instrs if i.opcode == "s_load_dword"
+                 and i.srcs and i.srcs[0] == SReg(6, count=2)]
+        assert len(loads) == 1
+        assert loads[0].attrs["offset"] == 8  # n's kernarg offset
+
+    def test_nonzero_pointer_offset_adds_scalar_base(self):
+        def build(kb):
+            q = kb.kernarg("q")  # offset 8
+            kb.store(Segment.GLOBAL, q, kb.const(DType.U32, 1))
+
+        kernel = finalize_kernel(
+            build, params=(("p", DType.U64), ("q", DType.U64)))
+        assert "s_add_u32" in opcodes(kernel)
+        assert "s_addc_u32" in opcodes(kernel)
+
+
+class TestTable3Division:
+    def test_f64_division_expands_to_newton_raphson(self):
+        def build(kb):
+            a = kb.load(Segment.GLOBAL, kb.kernarg("p"), DType.F64)
+            b = kb.load(Segment.GLOBAL, kb.kernarg("p") + 8, DType.F64)
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + 16, a / b)
+
+        ops = opcodes(finalize_kernel(build))
+        assert ops.count("v_div_scale_f64") == 2
+        assert ops.count("v_rcp_f64") == 1
+        assert ops.count("v_fma_f64") == 5
+        assert ops.count("v_mul_f64") == 1
+        assert ops.count("v_div_fmas_f64") == 1
+        assert ops.count("v_div_fixup_f64") == 1
+
+    def test_f32_division_expands(self):
+        def build(kb):
+            a = kb.load(Segment.GLOBAL, kb.kernarg("p"), DType.F32)
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + 8,
+                     kb.fdiv(kb.const(DType.F32, 1.0), a))
+
+        ops = opcodes(finalize_kernel(build))
+        assert ops.count("v_div_scale_f32") == 2
+        assert ops.count("v_div_fixup_f32") == 1
+
+    def test_fma_negation_modifiers(self):
+        def build(kb):
+            a = kb.load(Segment.GLOBAL, kb.kernarg("p"), DType.F64)
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + 16, a / a)
+
+        kernel = finalize_kernel(build)
+        neg_fmas = [i for i in kernel.instrs if i.opcode == "v_fma_f64"
+                    and i.attrs.get("neg")]
+        assert len(neg_fmas) >= 2  # the refinement steps negate src0
+
+
+class TestScalarVsVectorSelection:
+    def test_uniform_int_math_on_salu(self):
+        def build(kb):
+            n = kb.kernarg("n")
+            m = (n + 3) * 5
+            with kb.If(kb.lt(m, 100)):
+                kb.var(DType.U32, 0)
+
+        ops = opcodes(finalize_kernel(build))
+        assert "s_add_u32" in ops
+        assert "s_mul_i32" in ops
+
+    def test_divergent_int_math_on_valu(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            off = kb.cvt(tid * 4, DType.U64)
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + off, tid)
+
+        ops = opcodes(finalize_kernel(build))
+        assert "v_mul_lo_u32" in ops
+
+    def test_u64_add_is_two_instructions(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            addr = kb.kernarg("p") + kb.cvt(tid, DType.U64)
+            kb.store(Segment.GLOBAL, addr, tid)
+
+        ops = opcodes(finalize_kernel(build))
+        assert "v_add_u32" in ops and "v_addc_u32" in ops
+
+    def test_u64_pow2_mul_becomes_shift(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            addr = kb.kernarg("p") + kb.cvt(tid, DType.U64) * 8
+            kb.store(Segment.GLOBAL, addr, tid)
+
+        ops = opcodes(finalize_kernel(build))
+        assert "v_lshlrev_b64" in ops
+
+    def test_integer_mad_expands(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            v = kb.mad(tid, kb.kernarg("n"), 7)
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + kb.cvt(v, DType.U64), v)
+
+        ops = opcodes(finalize_kernel(build))
+        assert "v_mul_lo_u32" in ops  # mad = mul + add
+
+    def test_vop2_legalization_moves_sgpr_src1(self):
+        """v_sub with a uniform subtrahend needs a v_mov (src1 must be VGPR)."""
+        def build(kb):
+            tid = kb.wi_abs_id()
+            n = kb.kernarg("n")
+            d = tid - n  # divergent - uniform, not commutative
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + kb.cvt(d, DType.U64), d)
+
+        kernel = finalize_kernel(build)
+        subs = [i for i in kernel.instrs if i.opcode == "v_sub_u32"]
+        assert subs and all(isinstance(i.srcs[1], VReg) for i in subs)
+
+    def test_predicate_logic_on_scalar_unit(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            n = kb.kernarg("n")
+            both = kb.pred_and(kb.lt(tid, n), kb.gt(tid, 2))
+            with kb.If(both):
+                kb.var(DType.U32, 1)
+
+        ops = opcodes(finalize_kernel(build))
+        assert "s_and_b64" in ops  # mask logic runs on the SALU
+
+
+class TestPrivateSegment:
+    def test_frame_address_materialization(self):
+        """Private access computes base + absid*stride (paper §III.A.2)."""
+        def build(kb):
+            s = kb.private_scratch(8)
+            kb.store(Segment.PRIVATE, s, kb.wi_abs_id())
+
+        kernel = finalize_kernel(build)
+        ops = opcodes(kernel)
+        # stride multiply against descriptor register s2
+        muls = [i for i in kernel.instrs if i.opcode == "v_mul_lo_u32"
+                and SReg(2) in i.srcs]
+        assert muls
+        assert "flat_store_dword" in ops
+
+    def test_spill_area_offset_applied(self):
+        def build(kb):
+            kb.private_scratch(16)
+            s = kb.spill_scratch(4)
+            kb.store(Segment.SPILL, s, kb.wi_abs_id())
+
+        kernel = finalize_kernel(build)
+        # the spill area begins after the 16B private area
+        adds = [i for i in kernel.instrs if i.opcode == "v_add_u32"
+                and any(isinstance(s, SImm) and s.pattern == 16 for s in i.srcs)]
+        assert adds
+
+
+class TestBarrier:
+    def test_barrier_waits_for_memory(self):
+        def build(kb):
+            kb.store(Segment.GLOBAL, kb.kernarg("p"), kb.wi_abs_id())
+            kb.barrier()
+
+        kernel = finalize_kernel(build)
+        ops = opcodes(kernel)
+        b = ops.index("s_barrier")
+        wait = kernel.instrs[b - 1]
+        assert wait.opcode == "s_waitcnt"
+        assert wait.attrs.get("vmcnt") == 0
+        assert wait.attrs.get("lgkmcnt") == 0
+
+
+class TestGridSize:
+    def test_gridsize_reads_packet(self):
+        def build(kb):
+            g = kb.grid_size()
+            with kb.If(kb.lt(g, 100)):
+                kb.var(DType.U32, 1)
+
+        kernel = finalize_kernel(build)
+        loads = [i for i in kernel.instrs if i.opcode == "s_load_dword"
+                 and i.attrs.get("offset") == PACKET_GRID_SIZE_OFFSET]
+        assert loads

@@ -1,0 +1,166 @@
+"""EXEC-mask predication and scalar-branch lowering tests (Figure 3c)."""
+
+import pytest
+
+from repro.core import compile_dual
+from repro.gcn3.isa import EXEC
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def finalize_kernel(build, params=(("p", DType.U64), ("n", DType.U32))):
+    kb = KernelBuilder("k", list(params))
+    build(kb)
+    return compile_dual(kb.finish()).gcn3
+
+
+def opcodes(kernel):
+    return [i.opcode for i in kernel.instrs]
+
+
+def divergent_if(kb):
+    tid = kb.wi_abs_id()
+    with kb.If(kb.lt(tid, kb.kernarg("n"))):
+        kb.store(Segment.GLOBAL, kb.kernarg("p"), tid)
+
+
+def divergent_if_else(kb):
+    tid = kb.wi_abs_id()
+    with kb.If(kb.lt(tid, kb.kernarg("n"))) as br:
+        kb.store(Segment.GLOBAL, kb.kernarg("p"), tid)
+        with br.Else():
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + 4, tid)
+
+
+class TestDivergentIf:
+    def test_saveexec_pattern(self):
+        ops = opcodes(finalize_kernel(divergent_if))
+        assert "s_and_saveexec_b64" in ops
+        assert "s_cbranch_execz" in ops
+
+    def test_exec_restored_at_merge(self):
+        kernel = finalize_kernel(divergent_if)
+        restores = [i for i in kernel.instrs
+                    if i.opcode == "s_mov_b64" and i.dest == EXEC]
+        assert len(restores) == 1
+
+    def test_bypass_branch_targets_restore(self):
+        kernel = finalize_kernel(divergent_if)
+        bypass = next(i for i in kernel.instrs if i.opcode == "s_cbranch_execz")
+        target = kernel.instrs[bypass.target]
+        assert target.opcode == "s_mov_b64" and target.dest == EXEC
+
+    def test_no_unconditional_branches(self):
+        """Figure 3c: predication needs no jumps on the main path."""
+        ops = opcodes(finalize_kernel(divergent_if))
+        assert "s_branch" not in ops
+
+
+class TestDivergentIfElse:
+    def test_else_mask_via_xor(self):
+        kernel = finalize_kernel(divergent_if_else)
+        xors = [i for i in kernel.instrs if i.opcode == "s_xor_b64"
+                and EXEC in i.srcs]
+        assert len(xors) == 1
+
+    def test_two_exec_bypass_branches(self):
+        ops = opcodes(finalize_kernel(divergent_if_else))
+        assert ops.count("s_cbranch_execz") == 2
+
+    def test_two_exec_updates_and_final_restore(self):
+        kernel = finalize_kernel(divergent_if_else)
+        exec_movs = [i for i in kernel.instrs
+                     if i.opcode == "s_mov_b64" and i.dest == EXEC]
+        # one to flip to the else mask, one to restore at the merge
+        assert len(exec_movs) == 2
+
+    def test_both_paths_have_stores(self):
+        ops = opcodes(finalize_kernel(divergent_if_else))
+        assert ops.count("flat_store_dword") == 2
+
+
+class TestUniformIf:
+    def build(self, kb):
+        n = kb.kernarg("n")
+        with kb.If(kb.lt(n, 16)) as br:
+            kb.store(Segment.GLOBAL, kb.kernarg("p"), n)
+            with br.Else():
+                kb.store(Segment.GLOBAL, kb.kernarg("p") + 4, n)
+
+    def test_uses_scalar_branches(self):
+        ops = opcodes(finalize_kernel(self.build))
+        assert "s_cmp_lg_u32" in ops
+        assert "s_cbranch_scc0" in ops
+        assert "s_branch" in ops  # then-path jumps over the else
+
+    def test_no_exec_manipulation(self):
+        kernel = finalize_kernel(self.build)
+        assert "s_and_saveexec_b64" not in opcodes(kernel)
+        assert not any(i.dest == EXEC for i in kernel.instrs)
+
+
+class TestLoops:
+    def test_uniform_loop_backedge(self):
+        def build(kb):
+            acc = kb.var(DType.U32, 0)
+            with kb.for_range(0, kb.kernarg("n")) as i:
+                kb.assign(acc, acc + i)
+            kb.store(Segment.GLOBAL, kb.kernarg("p"), acc)
+
+        kernel = finalize_kernel(build)
+        ops = opcodes(kernel)
+        assert "s_cbranch_scc1" in ops
+        backedge = next(i for i in kernel.instrs if i.opcode == "s_cbranch_scc1")
+        assert backedge.target < kernel.instrs.index(backedge)
+
+    def test_divergent_loop_exec_pattern(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            i = kb.var(DType.U32, 0)
+            with kb.Loop() as loop:
+                kb.assign(i, i + 1)
+                loop.continue_if(kb.lt(i, tid))
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + kb.cvt(tid, DType.U64),
+                     i)
+
+        kernel = finalize_kernel(build)
+        ops = opcodes(kernel)
+        # save exec, AND it down each iteration, loop while lanes remain,
+        # restore at exit
+        assert "s_cbranch_execnz" in ops
+        ands = [i for i in kernel.instrs if i.opcode == "s_and_b64"
+                and i.dest == EXEC]
+        assert len(ands) == 1
+        restores = [i for i in kernel.instrs
+                    if i.opcode == "s_mov_b64" and i.dest == EXEC]
+        assert len(restores) == 1
+
+    def test_nested_divergent_if_in_uniform_loop(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            acc = kb.var(DType.U32, 0)
+            with kb.for_range(0, 4) as i:
+                with kb.If(kb.lt(tid, i * 16)):
+                    kb.assign(acc, acc + 1)
+            kb.store(Segment.GLOBAL, kb.kernarg("p") + kb.cvt(tid, DType.U64),
+                     acc)
+
+        kernel = finalize_kernel(build)
+        ops = opcodes(kernel)
+        assert "s_and_saveexec_b64" in ops      # inner predication
+        assert "s_cbranch_scc1" in ops          # outer scalar backedge
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("build", [divergent_if, divergent_if_else])
+    def test_all_branch_targets_resolved(self, build):
+        kernel = finalize_kernel(build)
+        for instr in kernel.instrs:
+            if instr.is_branch:
+                assert instr.target is not None
+                assert 0 <= instr.target < len(kernel.instrs)
+
+    def test_ends_with_endpgm(self):
+        kernel = finalize_kernel(divergent_if)
+        assert kernel.instrs[-1].opcode == "s_endpgm"

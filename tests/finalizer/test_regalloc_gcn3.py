@@ -1,0 +1,127 @@
+"""GCN3 register allocation and spill tests."""
+
+import pytest
+
+from repro.core import compile_dual
+from repro.gcn3 import abi
+from repro.gcn3.isa import MAX_SGPRS, MAX_VGPRS, SReg, VReg
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def finalize_kernel(build, params=(("p", DType.U64), ("n", DType.U32))):
+    kb = KernelBuilder("k", list(params))
+    build(kb)
+    return compile_dual(kb.finish()).gcn3
+
+
+def build_pressure(n_live):
+    """A kernel with n_live simultaneously-live f32 values."""
+
+    def build(kb):
+        p = kb.kernarg("p")
+        values = [kb.load(Segment.GLOBAL, p + (4 * i), DType.F32)
+                  for i in range(n_live)]
+        acc = kb.var(DType.F32, 0.0)
+        for v in values:
+            kb.assign(acc, acc + v)
+        kb.store(Segment.GLOBAL, p, acc)
+
+    return build
+
+
+class TestBudgets:
+    def test_simple_kernel_within_limits(self):
+        kernel = finalize_kernel(build_pressure(8))
+        assert kernel.vgprs_used <= MAX_VGPRS
+        assert kernel.sgprs_used <= MAX_SGPRS
+
+    def test_abi_registers_reserved(self):
+        kernel = finalize_kernel(build_pressure(4))
+        for instr in kernel.instrs:
+            for idx in instr.sgpr_writes():
+                assert idx >= abi.FIRST_FREE_SGPR, instr
+            for idx in instr.vgpr_writes():
+                assert idx >= abi.FIRST_FREE_VGPR, instr
+
+    def test_no_virtual_registers_remain(self):
+        kernel = finalize_kernel(build_pressure(8))
+        for instr in kernel.instrs:
+            for op in (instr.dest, *instr.srcs):
+                if isinstance(op, (SReg, VReg)):
+                    assert not op.virtual, instr
+
+    def test_pairs_even_aligned(self):
+        kernel = finalize_kernel(build_pressure(4))
+        for instr in kernel.instrs:
+            for op in (instr.dest, *instr.srcs):
+                if isinstance(op, (SReg, VReg)) and op.count == 2:
+                    assert op.index % 2 == 0, instr
+
+
+class TestSpilling:
+    def test_high_pressure_spills_to_scratch(self):
+        kernel = finalize_kernel(build_pressure(300))
+        ops = [i.opcode for i in kernel.instrs]
+        assert "scratch_store_dword" in ops
+        assert "scratch_load_dword" in ops
+        assert kernel.scratch_bytes > 0
+        assert kernel.vgprs_used <= MAX_VGPRS
+
+    def test_no_spill_under_budget(self):
+        kernel = finalize_kernel(build_pressure(60))
+        ops = [i.opcode for i in kernel.instrs]
+        assert "scratch_store_dword" not in ops
+        assert kernel.scratch_bytes == 0
+
+    def test_spilled_kernel_still_correct(self):
+        """Spill traffic must not change results (functional check)."""
+        import numpy as np
+
+        from repro.core import run_dispatch_functional
+        from repro.runtime.process import GpuProcess
+
+        kb = KernelBuilder("spilly", [("p", DType.U64), ("out", DType.U64)])
+        p = kb.kernarg("p")
+        values = [kb.load(Segment.GLOBAL, p + (4 * i), DType.F32)
+                  for i in range(300)]
+        acc = kb.var(DType.F32, 0.0)
+        for v in values:
+            kb.assign(acc, acc + v)
+        tid = kb.wi_abs_id()
+        kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4,
+                 acc)
+        dual = compile_dual(kb.finish())
+        assert dual.gcn3.scratch_bytes > 0
+
+        data = np.arange(300, dtype=np.float32) * 0.5
+        results = {}
+        for isa in ("hsail", "gcn3"):
+            proc = GpuProcess(isa)
+            pa = proc.upload(data)
+            out = proc.alloc_buffer(4 * 64)
+            proc.dispatch(dual.for_isa(isa), grid=64, wg=64,
+                          kernargs=[pa, out])
+            run_dispatch_functional(proc, proc.dispatches[0])
+            results[isa] = proc.download(out, np.float32, 64)
+        assert np.array_equal(results["hsail"], results["gcn3"])
+
+    def test_spill_offsets_after_dsl_areas(self):
+        def build(kb):
+            kb.private_scratch(32)
+            kb.spill_scratch(16)
+            p = kb.kernarg("p")
+            values = [kb.load(Segment.GLOBAL, p + (4 * i), DType.F32)
+                      for i in range(300)]
+            acc = kb.var(DType.F32, 0.0)
+            for v in values:
+                kb.assign(acc, acc + v)
+            kb.store(Segment.GLOBAL, p, acc)
+
+        kernel = finalize_kernel(build)
+        scratch_ops = [i for i in kernel.instrs
+                       if i.opcode.startswith("scratch_")]
+        assert scratch_ops
+        # regalloc scratch begins after the DSL-visible 48 bytes
+        assert all(i.attrs["offset"] >= 48 for i in scratch_ops)

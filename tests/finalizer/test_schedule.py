@@ -1,0 +1,215 @@
+"""Scheduler-pass tests: waitcnt insertion, NOPs, reordering."""
+
+from repro.finalizer.schedule import (
+    insert_nops,
+    insert_waitcnts,
+    instr_reads,
+    instr_writes,
+    run_all,
+    schedule_independent,
+)
+from repro.gcn3.isa import EXEC, Gcn3Instr, SImm, SReg, VCC, VReg
+
+
+def v(idx, count=1):
+    return VReg(idx, count=count)
+
+
+def s(idx, count=1):
+    return SReg(idx, count=count)
+
+
+class TestDependencyExtraction:
+    def test_reads_and_writes(self):
+        instr = Gcn3Instr(opcode="v_add_u32", dest=v(3), srcs=(s(9), v(1)))
+        assert ("x", "vcc") in instr_writes(instr)
+        assert ("x", "exec") in instr_reads(instr)
+        assert ("v", "p", "1") in instr_reads(instr)
+        assert ("v", "p", "3") in instr_writes(instr)
+
+    def test_scc_flags(self):
+        cmp = Gcn3Instr(opcode="s_cmp_lt_u32", srcs=(s(9), SImm(4)))
+        sel = Gcn3Instr(opcode="s_cselect_b32", dest=s(10),
+                        srcs=(SImm(1), SImm(0)))
+        assert ("x", "scc") in instr_writes(cmp)
+        assert ("x", "scc") in instr_reads(sel)
+
+
+class TestWaitcnt:
+    def test_wait_inserted_before_use(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_load_dword", dest=v(1), srcs=(v(2, 2),)),
+            Gcn3Instr(opcode="v_add_u32", dest=v(3), srcs=(SImm(1), v(1))),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = insert_waitcnts(instrs)
+        ops = [i.opcode for i in out]
+        idx = ops.index("s_waitcnt")
+        assert ops[idx - 1] == "flat_load_dword"
+        assert ops[idx + 1] == "v_add_u32"
+        assert out[idx].attrs["vmcnt"] == 0
+
+    def test_independent_work_not_stalled(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_load_dword", dest=v(1), srcs=(v(2, 2),)),
+            Gcn3Instr(opcode="v_mov_b32", dest=v(5), srcs=(SImm(3),)),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = insert_waitcnts(instrs)
+        ops = [i.opcode for i in out]
+        # only the final endpgm drain, nothing between load and mov
+        assert ops[1] == "v_mov_b32"
+
+    def test_overlapping_loads_wait_partially(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_load_dword", dest=v(1), srcs=(v(8, 2),)),
+            Gcn3Instr(opcode="flat_load_dword", dest=v(2), srcs=(v(10, 2),)),
+            Gcn3Instr(opcode="v_add_u32", dest=v(3), srcs=(SImm(1), v(1))),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = insert_waitcnts(instrs)
+        wait = next(i for i in out if i.opcode == "s_waitcnt")
+        # waiting on the first load: one younger op may stay in flight
+        assert wait.attrs["vmcnt"] == 1
+
+    def test_smem_uses_lgkm(self):
+        instrs = [
+            Gcn3Instr(opcode="s_load_dword", dest=s(9), srcs=(s(4, 2),),
+                      attrs={"offset": 0}),
+            Gcn3Instr(opcode="s_add_u32", dest=s(10), srcs=(s(9), SImm(1))),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = insert_waitcnts(instrs)
+        wait = next(i for i in out if i.opcode == "s_waitcnt")
+        assert wait.attrs["lgkmcnt"] == 0
+        assert "vmcnt" not in wait.attrs
+
+    def test_store_drained_before_endpgm(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_store_dword", srcs=(v(2, 2), v(1))),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = insert_waitcnts(instrs)
+        assert out[1].opcode == "s_waitcnt"
+        assert out[1].attrs["vmcnt"] == 0
+
+    def test_explicit_waitcnt_clears_tracking(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_load_dword", dest=v(1), srcs=(v(2, 2),)),
+            Gcn3Instr(opcode="s_waitcnt", attrs={"vmcnt": 0, "lgkmcnt": 0}),
+            Gcn3Instr(opcode="v_add_u32", dest=v(3), srcs=(SImm(1), v(1))),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = insert_waitcnts(instrs)
+        assert [i.opcode for i in out].count("s_waitcnt") == 1
+
+    def test_label_moves_to_wait(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_load_dword", dest=v(1), srcs=(v(2, 2),)),
+            Gcn3Instr(opcode="v_add_u32", dest=v(3), srcs=(SImm(1), v(1)),
+                      attrs={"labels": ["L0"]}),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = insert_waitcnts(instrs)
+        wait = next(i for i in out if i.opcode == "s_waitcnt")
+        assert wait.attrs.get("labels") == ["L0"]
+
+
+class TestNops:
+    def test_nop_after_transcendental_dependence(self):
+        instrs = [
+            Gcn3Instr(opcode="v_rcp_f32", dest=v(1), srcs=(v(0),)),
+            Gcn3Instr(opcode="v_mul_f32", dest=v(2), srcs=(v(1), v(0))),
+        ]
+        out = insert_nops(instrs)
+        assert [i.opcode for i in out] == ["v_rcp_f32", "s_nop", "v_mul_f32"]
+
+    def test_no_nop_when_independent(self):
+        instrs = [
+            Gcn3Instr(opcode="v_rcp_f32", dest=v(1), srcs=(v(0),)),
+            Gcn3Instr(opcode="v_mul_f32", dest=v(3), srcs=(v(4), v(5))),
+        ]
+        out = insert_nops(instrs)
+        assert [i.opcode for i in out] == ["v_rcp_f32", "v_mul_f32"]
+
+
+class TestReordering:
+    def test_separates_dependent_pair(self):
+        """An independent instruction is hoisted between def and use."""
+        instrs = [
+            Gcn3Instr(opcode="v_mov_b32", dest=v(1), srcs=(SImm(1),)),
+            Gcn3Instr(opcode="v_add_u32", dest=v(2), srcs=(SImm(1), v(1))),
+            Gcn3Instr(opcode="v_mov_b32", dest=v(5), srcs=(SImm(9),)),
+        ]
+        out = schedule_independent(instrs)
+        ops_dests = [(i.opcode, repr(i.dest)) for i in out]
+        assert ops_dests[1] == ("v_mov_b32", "v5")
+
+    def test_memory_order_preserved(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_store_dword", srcs=(v(2, 2), v(1))),
+            Gcn3Instr(opcode="flat_load_dword", dest=v(3), srcs=(v(4, 2),)),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = schedule_independent(instrs)
+        ops = [i.opcode for i in out]
+        assert ops.index("flat_store_dword") < ops.index("flat_load_dword")
+
+    def test_boundary_instruction_stays_last(self):
+        instrs = [
+            Gcn3Instr(opcode="v_mov_b32", dest=v(1), srcs=(SImm(1),)),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = schedule_independent(instrs)
+        assert out[-1].opcode == "s_endpgm"
+
+    def test_exec_write_is_barrier(self):
+        instrs = [
+            Gcn3Instr(opcode="v_mov_b32", dest=v(1), srcs=(SImm(1),)),
+            Gcn3Instr(opcode="s_mov_b64", dest=EXEC, srcs=(s(10, 2),)),
+            Gcn3Instr(opcode="v_mov_b32", dest=v(2), srcs=(SImm(2),)),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = schedule_independent(instrs)
+        ops = [(i.opcode, repr(i.dest)) for i in out]
+        # the v_mov writing v2 must not cross the exec write
+        assert ops.index(("v_mov_b32", "v2")) > ops.index(("s_mov_b64", "exec"))
+
+    def test_labeled_instruction_starts_new_window(self):
+        instrs = [
+            Gcn3Instr(opcode="v_mov_b32", dest=v(1), srcs=(SImm(1),)),
+            Gcn3Instr(opcode="v_mov_b32", dest=v(2), srcs=(SImm(2),),
+                      attrs={"labels": ["LOOP0"]}),
+            Gcn3Instr(opcode="v_mov_b32", dest=v(3), srcs=(SImm(3),)),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = schedule_independent(instrs)
+        # the labeled instruction must not move before the first one
+        labeled_pos = next(i for i, x in enumerate(out)
+                           if x.attrs.get("labels"))
+        assert labeled_pos == 1
+
+    def test_vcc_chain_order_kept(self):
+        instrs = [
+            Gcn3Instr(opcode="v_add_u32", dest=v(2), srcs=(v(0), v(1))),
+            Gcn3Instr(opcode="v_addc_u32", dest=v(3), srcs=(v(4), v(5))),
+            Gcn3Instr(opcode="v_add_u32", dest=v(6), srcs=(v(7), v(8))),
+        ]
+        out = schedule_independent(instrs)
+        ops = [(i.opcode, repr(i.dest)) for i in out]
+        # the addc must still consume the FIRST add's carry
+        assert ops.index(("v_addc_u32", "v3")) > ops.index(("v_add_u32", "v2"))
+        assert ops.index(("v_add_u32", "v6")) > ops.index(("v_addc_u32", "v3"))
+
+
+class TestPipeline:
+    def test_run_all_is_composition(self):
+        instrs = [
+            Gcn3Instr(opcode="flat_load_dword", dest=v(1), srcs=(v(2, 2),)),
+            Gcn3Instr(opcode="v_add_u32", dest=v(3), srcs=(SImm(1), v(1))),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        out = run_all(instrs)
+        ops = [i.opcode for i in out]
+        assert "s_waitcnt" in ops
+        assert ops[-1] == "s_endpgm"

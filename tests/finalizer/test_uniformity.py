@@ -1,0 +1,163 @@
+"""Uniformity (scalarization) analysis tests."""
+
+from repro.finalizer.uniformity import analyze, imm_pow2_shift
+from repro.hsail.codegen import compile_hsail
+from repro.hsail.isa import Imm
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def analyze_kernel(build):
+    kb = KernelBuilder("k", [("p", DType.U64), ("n", DType.U32)])
+    build(kb)
+    kernel = compile_hsail(kb.finish())
+    return kernel, analyze(kernel)
+
+
+def divergent_dests(kernel, info, opcode):
+    out = []
+    for instr in kernel.virtual_instrs:
+        if instr.opcode == opcode and instr.dest is not None:
+            out.append(info.is_divergent(instr.dest.index))
+    return out
+
+
+class TestSeeds:
+    def test_workitem_ids_divergent(self):
+        kernel, info = analyze_kernel(lambda kb: kb.wi_abs_id())
+        assert divergent_dests(kernel, info, "workitemabsid") == [True]
+
+    def test_workgroup_queries_uniform(self):
+        def build(kb):
+            kb.wg_id()
+            kb.wg_size()
+
+        kernel, info = analyze_kernel(build)
+        assert divergent_dests(kernel, info, "workgroupid") == [False]
+        assert divergent_dests(kernel, info, "workgroupsize") == [False]
+
+    def test_u32_kernarg_uniform(self):
+        kernel, info = analyze_kernel(lambda kb: kb.kernarg("n"))
+        loads = [i for i in kernel.virtual_instrs if i.opcode == "ld"]
+        assert not info.is_divergent(loads[0].dest.index)
+
+    def test_pointer_kernarg_divergent(self):
+        """Pointer args take the FLAT path (Table 2) -> vector values."""
+        kernel, info = analyze_kernel(lambda kb: kb.kernarg("p"))
+        loads = [i for i in kernel.virtual_instrs if i.opcode == "ld"]
+        assert info.is_divergent(loads[0].dest.index)
+
+    def test_global_load_divergent(self):
+        def build(kb):
+            kb.load(Segment.GLOBAL, kb.kernarg("p"), DType.U32)
+
+        kernel, info = analyze_kernel(build)
+        global_loads = [i for i in kernel.virtual_instrs
+                        if i.opcode == "ld" and i.segment == Segment.GLOBAL]
+        assert info.is_divergent(global_loads[0].dest.index)
+
+    def test_float_alu_divergent(self):
+        """The scalar unit has no float pipeline (paper §V.D)."""
+        def build(kb):
+            a = kb.var(DType.F32, 1.0)
+            kb.add(a, 2.0)
+
+        kernel, info = analyze_kernel(build)
+        adds = [i for i in kernel.virtual_instrs if i.opcode == "add"]
+        assert info.is_divergent(adds[0].dest.index)
+
+    def test_uniform_integer_stays_uniform(self):
+        def build(kb):
+            n = kb.kernarg("n")
+            kb.add(n, 5)
+
+        kernel, info = analyze_kernel(build)
+        adds = [i for i in kernel.virtual_instrs if i.opcode == "add"]
+        assert not info.is_divergent(adds[0].dest.index)
+
+
+class TestPropagation:
+    def test_divergence_flows_through_operands(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            n = kb.kernarg("n")
+            kb.add(tid, n)  # divergent + uniform -> divergent
+
+        kernel, info = analyze_kernel(build)
+        adds = [i for i in kernel.virtual_instrs if i.opcode == "add"]
+        assert info.is_divergent(adds[0].dest.index)
+
+    def test_defs_under_divergent_control_divergent(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            v = kb.var(DType.U32, 0)
+            with kb.If(kb.lt(tid, kb.kernarg("n"))):
+                kb.assign(v, 7)  # constant, but lane-dependent whether set
+
+        kernel, info = analyze_kernel(build)
+        movs = [i for i in kernel.virtual_instrs if i.opcode == "mov"]
+        # the assignment inside the divergent if makes v divergent
+        assert any(info.is_divergent(m.dest.index) for m in movs)
+
+    def test_defs_under_uniform_control_stay_uniform(self):
+        def build(kb):
+            n = kb.kernarg("n")
+            v = kb.var(DType.U32, 0)
+            with kb.If(kb.lt(n, 5)):
+                kb.assign(v, 7)
+
+        kernel, info = analyze_kernel(build)
+        movs = [i for i in kernel.virtual_instrs if i.opcode == "mov"]
+        assert all(not info.is_divergent(m.dest.index) for m in movs)
+
+
+class TestBranchClassification:
+    def test_divergent_branch(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            with kb.If(kb.lt(tid, kb.kernarg("n"))):
+                kb.var(DType.U32, 1)
+
+        kernel, info = analyze_kernel(build)
+        assert list(info.divergent_branch.values()) == [True]
+
+    def test_uniform_branch(self):
+        def build(kb):
+            n = kb.kernarg("n")
+            with kb.If(kb.lt(n, 4)):
+                kb.var(DType.U32, 1)
+
+        kernel, info = analyze_kernel(build)
+        assert list(info.divergent_branch.values()) == [False]
+
+    def test_uniform_loop(self):
+        def build(kb):
+            acc = kb.var(DType.U32, 0)
+            with kb.for_range(0, kb.kernarg("n")) as i:
+                kb.assign(acc, acc + i)
+
+        kernel, info = analyze_kernel(build)
+        assert list(info.divergent_branch.values()) == [False]
+
+    def test_divergent_loop_makes_counter_divergent(self):
+        def build(kb):
+            tid = kb.wi_abs_id()
+            i = kb.var(DType.U32, 0)
+            with kb.Loop() as loop:
+                kb.assign(i, i + 1)
+                loop.continue_if(kb.lt(i, tid))
+
+        kernel, info = analyze_kernel(build)
+        assert list(info.divergent_branch.values()) == [True]
+        movs = [m for m in kernel.virtual_instrs if m.opcode == "mov"]
+        assert all(info.is_divergent(m.dest.index) for m in movs)
+
+
+class TestHelpers:
+    def test_imm_pow2_shift(self):
+        assert imm_pow2_shift(Imm(8, DType.U64)) == 3
+        assert imm_pow2_shift(Imm(1, DType.U64)) == 0
+        assert imm_pow2_shift(Imm(6, DType.U64)) is None
+        assert imm_pow2_shift(Imm(0, DType.U64)) is None
+        assert imm_pow2_shift("not an imm") is None

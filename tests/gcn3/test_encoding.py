@@ -1,0 +1,181 @@
+"""GCN3 encoder/decoder tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import EncodingError
+from repro.gcn3.encoding import (
+    decode_kernel,
+    decode_operand,
+    encode_instruction,
+    encode_kernel,
+    encode_operand,
+    operand_widths,
+)
+from repro.gcn3.isa import EXEC, Gcn3Instr, Gcn3Kernel, SImm, SReg, VCC, VReg
+
+
+def make_kernel(instrs):
+    k = Gcn3Kernel(
+        name="t", instrs=instrs, sgprs_used=20, vgprs_used=20, params=[],
+        kernarg_bytes=0, group_bytes=0, private_bytes=0, spill_bytes=0,
+        scratch_bytes=0,
+    )
+    k.compute_layout()
+    return k
+
+
+class TestOperandCodes:
+    def test_sgpr(self):
+        assert encode_operand(SReg(7)) == (7, None)
+
+    def test_vgpr(self):
+        assert encode_operand(VReg(12)) == (268, None)
+
+    def test_specials(self):
+        assert encode_operand(VCC) == (106, None)
+        assert encode_operand(EXEC) == (126, None)
+
+    def test_inline_ints(self):
+        assert encode_operand(SImm(0)) == (128, None)
+        assert encode_operand(SImm(64)) == (192, None)
+        assert encode_operand(SImm((-1) & 0xFFFFFFFFFFFFFFFF)) == (193, None)
+
+    def test_literal(self):
+        code, literal = encode_operand(SImm(0x12345678))
+        assert code == 255 and literal == 0x12345678
+
+    def test_f64_literal_keeps_high_dword(self):
+        code, literal = encode_operand(
+            SImm(0x4028000000000000, float_kind="f64"))  # 12.0, not inline
+        assert code == 255
+        assert literal == 0x40280000
+
+    def test_out_of_range_registers_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_operand(VReg(256))
+        with pytest.raises(EncodingError):
+            encode_operand(SReg(102))
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_vgpr_roundtrip(self, idx):
+        code, lit = encode_operand(VReg(idx))
+        assert decode_operand(code, lit, None, 1) == VReg(idx)
+
+    @given(st.integers(min_value=-16, max_value=64))
+    def test_inline_int_roundtrip(self, value):
+        imm = SImm(value & 0xFFFFFFFFFFFFFFFF)
+        code, lit = encode_operand(imm)
+        assert lit is None
+        decoded = decode_operand(code, lit, None, 1)
+        assert decoded.pattern == imm.pattern
+
+
+class TestInstructionRoundtrip:
+    CASES = [
+        Gcn3Instr(opcode="s_mov_b32", dest=SReg(9), srcs=(SImm(5),)),
+        Gcn3Instr(opcode="s_add_u32", dest=SReg(10), srcs=(SReg(6), SImm(0x1000))),
+        Gcn3Instr(opcode="s_cmp_lt_u32", srcs=(SReg(9), SReg(10))),
+        Gcn3Instr(opcode="s_and_saveexec_b64", dest=SReg(10, count=2),
+                  srcs=(SReg(12, count=2),)),
+        Gcn3Instr(opcode="s_waitcnt", attrs={"vmcnt": 0, "lgkmcnt": 3}),
+        Gcn3Instr(opcode="s_nop", attrs={"simm": 2}),
+        Gcn3Instr(opcode="v_mov_b32", dest=VReg(1), srcs=(SReg(6),)),
+        Gcn3Instr(opcode="v_add_u32", dest=VReg(2), srcs=(SReg(9), VReg(0))),
+        Gcn3Instr(opcode="v_cmp_lt_u32", dest=SReg(10, count=2),
+                  srcs=(SImm(3), VReg(4))),
+        Gcn3Instr(opcode="v_cndmask_b32", dest=VReg(5),
+                  srcs=(VReg(1), VReg(2), SReg(10, count=2))),
+        Gcn3Instr(opcode="v_fma_f64", dest=VReg(6, count=2),
+                  srcs=(VReg(8, count=2), VReg(10, count=2), VReg(12, count=2)),
+                  attrs={"neg": (True, False, False)}),
+        Gcn3Instr(opcode="s_load_dword", dest=SReg(9),
+                  srcs=(SReg(4, count=2),), attrs={"offset": 4}),
+        Gcn3Instr(opcode="flat_load_dwordx2", dest=VReg(2, count=2),
+                  srcs=(VReg(4, count=2),)),
+        Gcn3Instr(opcode="flat_store_dword", srcs=(VReg(4, count=2), VReg(6))),
+        Gcn3Instr(opcode="ds_write_b32", srcs=(VReg(1), VReg(2)),
+                  attrs={"offset": 16}),
+        Gcn3Instr(opcode="scratch_load_dword", dest=VReg(3),
+                  attrs={"offset": 8}),
+    ]
+
+    @pytest.mark.parametrize("instr", CASES, ids=lambda i: i.opcode)
+    def test_roundtrip(self, instr):
+        tail = Gcn3Instr(opcode="s_endpgm")
+        kernel = make_kernel([instr, tail])
+        decoded = decode_kernel(encode_kernel(kernel))
+        got = decoded[0]
+        assert got.opcode == instr.opcode
+        assert repr(got.dest) == repr(instr.dest)
+        assert [repr(s) for s in got.srcs] == [repr(s) for s in instr.srcs]
+        if "offset" in instr.attrs:
+            assert got.attrs["offset"] == instr.attrs["offset"]
+        if "neg" in instr.attrs:
+            assert got.attrs["neg"] == instr.attrs["neg"]
+        if instr.opcode == "s_waitcnt":
+            assert got.attrs.get("vmcnt") == instr.attrs.get("vmcnt")
+            assert got.attrs.get("lgkmcnt") == instr.attrs.get("lgkmcnt")
+
+
+class TestBranches:
+    def test_forward_and_backward_targets(self):
+        instrs = [
+            Gcn3Instr(opcode="s_mov_b32", dest=SReg(9), srcs=(SImm(0),)),
+            Gcn3Instr(opcode="s_cbranch_scc1", attrs={"target": 0}),
+            Gcn3Instr(opcode="s_branch", attrs={"target": 4}),
+            Gcn3Instr(opcode="s_nop", attrs={"simm": 0}),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        kernel = make_kernel(instrs)
+        decoded = decode_kernel(encode_kernel(kernel))
+        assert decoded[1].attrs["target"] == 0
+        assert decoded[2].attrs["target"] == 4
+
+    def test_unresolved_branch_rejected(self):
+        kernel = make_kernel([
+            Gcn3Instr(opcode="s_branch"),
+            Gcn3Instr(opcode="s_endpgm"),
+        ])
+        with pytest.raises(EncodingError):
+            encode_kernel(kernel)
+
+
+class TestSizes:
+    def test_image_length_matches_layout(self):
+        instrs = [
+            Gcn3Instr(opcode="v_add_u32", dest=VReg(1), srcs=(SImm(500), VReg(0))),
+            Gcn3Instr(opcode="v_fma_f32", dest=VReg(2),
+                      srcs=(VReg(0), VReg(1), VReg(2))),
+            Gcn3Instr(opcode="s_endpgm"),
+        ]
+        kernel = make_kernel(instrs)
+        image = encode_kernel(kernel)
+        assert len(image) == kernel.code_bytes == 8 + 8 + 4
+
+    def test_every_workload_kernel_roundtrips(self):
+        from repro.workloads import all_workloads
+
+        wl = all_workloads(scale=0.1)[0]
+        for dual in wl.kernels().values():
+            k = dual.gcn3
+            decoded = decode_kernel(encode_kernel(k))
+            assert [d.opcode for d in decoded] == [i.opcode for i in k.instrs]
+
+
+class TestOperandWidths:
+    @pytest.mark.parametrize("opcode,dest,srcs", [
+        ("s_mov_b64", 2, [2]),
+        ("v_cmp_lt_f64", 2, [2, 2]),
+        ("v_cmp_lt_u32", 2, [1, 1]),
+        ("flat_load_dwordx2", 2, [2]),
+        ("v_cndmask_b32", 1, [1, 1, 2]),
+        ("v_lshlrev_b64", 2, [1, 2]),
+        ("v_fma_f64", 2, [2, 2, 2]),
+        ("s_load_dwordx4", 4, [2]),
+    ])
+    def test_widths(self, opcode, dest, srcs):
+        d, s = operand_widths(opcode)
+        assert d == dest
+        assert s[:len(srcs)] == srcs

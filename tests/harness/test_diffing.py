@@ -1,0 +1,88 @@
+"""Suite-diff tool tests."""
+
+import copy
+
+import pytest
+
+from repro.harness.diffing import Delta, diff_payloads
+
+
+def make_payload():
+    return {
+        "scale": 0.5,
+        "runs": [
+            {
+                "workload": "snap", "isa": "gcn3", "verified": True,
+                "stats": {"cycles": 1000, "dynamic_instructions": 500,
+                          "ib_flushes": 10, "vrf_bank_conflicts": 100,
+                          "simd_utilization": 0.9},
+                "data_footprint_bytes": 4096,
+                "instr_footprint_bytes": 400,
+                "static_instructions": 80,
+            },
+            {
+                "workload": "snap", "isa": "hsail", "verified": True,
+                "stats": {"cycles": 1200, "dynamic_instructions": 300,
+                          "ib_flushes": 30, "vrf_bank_conflicts": 120,
+                          "simd_utilization": 0.9},
+                "data_footprint_bytes": 4096,
+                "instr_footprint_bytes": 320,
+                "static_instructions": 40,
+            },
+        ],
+    }
+
+
+class TestDiff:
+    def test_identical_payloads_clean(self):
+        a = make_payload()
+        assert diff_payloads(a, copy.deepcopy(a)) == []
+
+    def test_cycle_drift_above_threshold_flagged(self):
+        a, b = make_payload(), make_payload()
+        b["runs"][0]["stats"]["cycles"] = 1100  # +10% > 2%
+        deltas = diff_payloads(a, b)
+        assert any(d.stat == "cycles" and d.isa == "gcn3" for d in deltas)
+
+    def test_small_cycle_jitter_ignored(self):
+        a, b = make_payload(), make_payload()
+        b["runs"][0]["stats"]["cycles"] = 1010  # +1% < 2%
+        assert diff_payloads(a, b) == []
+
+    def test_any_instruction_change_flagged(self):
+        a, b = make_payload(), make_payload()
+        b["runs"][1]["stats"]["dynamic_instructions"] = 301
+        deltas = diff_payloads(a, b)
+        assert any(d.stat == "dynamic_instructions" for d in deltas)
+
+    def test_verification_flip_flagged(self):
+        a, b = make_payload(), make_payload()
+        b["runs"][0]["verified"] = False
+        deltas = diff_payloads(a, b)
+        assert any(d.stat == "verified" for d in deltas)
+
+    def test_added_and_removed_runs(self):
+        a, b = make_payload(), make_payload()
+        b["runs"].pop()
+        deltas = diff_payloads(a, b)
+        assert any(d.stat == "run-removed" for d in deltas)
+        deltas = diff_payloads(b, a)
+        assert any(d.stat == "run-added" for d in deltas)
+
+    def test_render(self):
+        d = Delta("snap", "gcn3", "cycles", 1000, 1100)
+        text = d.render()
+        assert "snap/gcn3" in text and "+10.0%" in text
+
+    def test_cli_diff_detects_change(self, tmp_path):
+        import json
+
+        from repro.__main__ import main
+
+        a, b = make_payload(), make_payload()
+        b["runs"][0]["stats"]["ib_flushes"] = 99
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(json.dumps(a))
+        pb.write_text(json.dumps(b))
+        assert main(["diff", str(pa), str(pa)]) == 0
+        assert main(["diff", str(pa), str(pb)]) == 1

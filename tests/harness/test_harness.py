@@ -1,0 +1,103 @@
+"""Harness tests: runner caching, figure generators, hardware proxy."""
+
+import pytest
+
+from repro.common.config import small_config
+from repro.harness.figures import ALL_FIGURES, DISPLAY
+from repro.harness.hardware_model import (
+    CorrelationReport,
+    _pearson,
+    correlate,
+    hardware_cycles,
+    table07_rows,
+)
+from repro.harness.runner import run_suite, run_workload
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    """A tiny two-workload suite shared by all harness tests."""
+    return run_suite(scale=0.1, config=small_config(2),
+                     workloads=["arraybw", "comd"])
+
+
+class TestRunner:
+    def test_run_workload_fields(self):
+        run = run_workload("snap", isa="gcn3", scale=0.1,
+                           config=small_config(2))
+        assert run.verified
+        assert run.cycles > 0
+        assert run.dynamic_instructions > 0
+        assert run.instr_footprint_bytes > 0
+        assert run.data_footprint_bytes > 0
+        assert run.kernel_code_bytes  # one entry per kernel
+
+    def test_suite_matrix_complete(self, mini_suite):
+        assert set(mini_suite.runs) == {
+            ("arraybw", "hsail"), ("arraybw", "gcn3"),
+            ("comd", "hsail"), ("comd", "gcn3"),
+        }
+        assert mini_suite.all_verified()
+
+    def test_pair_accessor(self, mini_suite):
+        hs, g3 = mini_suite.pair("comd")
+        assert hs.isa == "hsail" and g3.isa == "gcn3"
+        assert g3.dynamic_instructions > hs.dynamic_instructions
+
+    def test_suite_cached_in_process(self, mini_suite):
+        again = run_suite(scale=0.1, config=small_config(2),
+                          workloads=["arraybw", "comd"])
+        assert again is mini_suite
+
+
+class TestFigures:
+    def test_every_generator_produces_rows(self, mini_suite):
+        for key, fn in ALL_FIGURES.items():
+            title, headers, rows = fn(mini_suite)
+            assert title, key
+            assert rows, key
+            for row in rows:
+                assert len(row) == len(headers), (key, row)
+
+    def test_display_names(self):
+        assert DISPLAY["arraybw"] == "Array BW"
+        assert DISPLAY["xsbench"] == "XSBench"
+
+    def test_fig05_ratio_definition(self, mini_suite):
+        _t, _h, rows = ALL_FIGURES["fig05"](mini_suite)
+        hs, g3 = mini_suite.pair("arraybw")
+        row = next(r for r in rows if r[0] == "Array BW")
+        assert row[3] == pytest.approx(
+            g3.dynamic_instructions / hs.dynamic_instructions)
+
+    def test_geomean_row_present(self, mini_suite):
+        for key in ("fig05", "fig06", "fig11", "fig12"):
+            _t, _h, rows = ALL_FIGURES[key](mini_suite)
+            assert rows[-1][0] == "GEOMEAN", key
+
+
+class TestHardwareProxy:
+    def test_deterministic(self):
+        assert hardware_cycles("comd", 1000) == hardware_cycles("comd", 1000)
+        assert hardware_cycles("comd", 1000) != hardware_cycles("fft", 1000)
+
+    def test_scales_with_cycles(self):
+        assert hardware_cycles("comd", 2000) == 2 * hardware_cycles("comd", 1000)
+
+    def test_pearson(self):
+        assert _pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert _pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+        assert _pearson([1.0], [2.0]) == 1.0
+
+    def test_correlate_report(self, mini_suite):
+        report = correlate(mini_suite)
+        assert isinstance(report, CorrelationReport)
+        for isa in ("hsail", "gcn3"):
+            assert -1.0 <= report.correlation[isa] <= 1.0
+            assert report.mean_abs_error[isa] >= 0.0
+            assert set(report.per_workload_error[isa]) == {"arraybw", "comd"}
+
+    def test_table07_rows(self, mini_suite):
+        title, headers, rows = table07_rows(mini_suite)
+        assert "Table 7" in title
+        assert rows[0][0] == "HSAIL" and rows[1][0] == "GCN3"

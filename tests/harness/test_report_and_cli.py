@@ -1,0 +1,119 @@
+"""Report rendering and CLI tests."""
+
+import io
+
+import pytest
+
+from repro.common.config import small_config
+from repro.harness.report import figure_with_bars, render_bars, write_report
+from repro.harness.runner import run_suite
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def mini_suite():
+    return run_suite(scale=0.1, config=small_config(2),
+                     workloads=["arraybw", "snap"])
+
+
+class TestBars:
+    def test_bar_lengths_scale(self):
+        text = render_bars(["a", "b"], [1.0, 2.0])
+        line_a, line_b = text.splitlines()
+        assert line_b.count("#") > line_a.count("#")
+
+    def test_reference_line_marked(self):
+        text = render_bars(["x"], [0.5], reference=1.0)
+        assert "|" in text
+
+    def test_values_printed(self):
+        text = render_bars(["x"], [1.23])
+        assert "1.23" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_title(self):
+        assert render_bars([], [], title="T").startswith("T")
+
+
+class TestReport:
+    def test_full_report_contains_every_figure(self, mini_suite):
+        out = io.StringIO()
+        write_report(mini_suite, out)
+        text = out.getvalue()
+        for fragment in ("Figure 1", "Figure 5", "Figure 9", "Table 6",
+                         "Table 7", "all verified"):
+            assert fragment in text
+
+    def test_subset_keys(self, mini_suite):
+        out = io.StringIO()
+        write_report(mini_suite, out, keys=["fig09"])
+        text = out.getvalue()
+        assert "Figure 9" in text
+        assert "Figure 5" not in text
+
+    def test_figure_with_bars_shape(self, mini_suite):
+        from repro.harness.figures import figure09_ib_flushes
+
+        text = figure_with_bars(figure09_ib_flushes(mini_suite))
+        assert "#" in text or "0.00" in text
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "-w", "snap", "-i", "gcn3"])
+        assert args.workload == "snap"
+        args = parser.parse_args(["figures", "--only", "fig09"])
+        assert args.only == "fig09"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "arraybw" in out and "xsbench" in out
+
+    def test_run_command(self, capsys):
+        code = main(["run", "-w", "snap", "-s", "0.1", "--cus", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HSAIL" in out and "GCN3" in out
+
+    def test_disasm_command(self, capsys):
+        code = main(["disasm", "-w", "spmv", "-i", "gcn3", "-s", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "s_endpgm" in out
+
+    def test_disasm_unknown_kernel(self, capsys):
+        code = main(["disasm", "-w", "spmv", "-k", "nope", "-s", "0.1"])
+        assert code == 2
+
+    def test_figures_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        code = main(["figures", "-s", "0.1", "--only", "fig09",
+                     "-o", str(target)])
+        assert code == 0
+        assert "Figure 9" in target.read_text()
+
+
+class TestJsonExport:
+    def test_suite_to_json(self, mini_suite):
+        import json
+
+        payload = json.loads(mini_suite.to_json())
+        assert len(payload["runs"]) == 4
+        run = payload["runs"][0]
+        assert run["verified"] is True
+        assert "cycles" in run["stats"]
+        assert run["instr_footprint_bytes"] > 0
+
+    def test_cli_figures_json(self, capsys):
+        import json
+
+        code = main(["figures", "-s", "0.1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["scale"] == 0.1

@@ -1,0 +1,91 @@
+"""BRIG serialization tests."""
+
+import pytest
+
+from repro.common.errors import EncodingError
+from repro.hsail.brig import MAGIC, decode_brig, encode_brig
+from repro.hsail.codegen import compile_hsail
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def build_kernel():
+    kb = KernelBuilder("roundtrip", [("p", DType.U64), ("n", DType.U32)])
+    tid = kb.wi_abs_id()
+    acc = kb.var(DType.F64, 0.0)
+    with kb.for_range(0, kb.kernarg("n")) as i:
+        x = kb.cvt(i, DType.F64)
+        with kb.If(kb.lt(x, kb.const(DType.F64, 3.0))):
+            kb.assign(acc, acc + x)
+    off = kb.cvt(tid, DType.U64) * 8
+    kb.store(Segment.GLOBAL, kb.kernarg("p") + off, acc)
+    return compile_hsail(kb.finish())
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return build_kernel()
+
+
+class TestRoundtrip:
+    def test_instructions_identical(self, kernel):
+        decoded = decode_brig(encode_brig(kernel))
+        assert [repr(i) for i in decoded.instrs] == [repr(i) for i in kernel.instrs]
+
+    def test_virtual_stream_identical(self, kernel):
+        decoded = decode_brig(encode_brig(kernel))
+        assert [repr(i) for i in decoded.virtual_instrs] == \
+            [repr(i) for i in kernel.virtual_instrs]
+
+    def test_metadata(self, kernel):
+        decoded = decode_brig(encode_brig(kernel))
+        assert decoded.name == kernel.name
+        assert decoded.params == kernel.params
+        assert decoded.kernarg_bytes == kernel.kernarg_bytes
+        assert decoded.reg_slots_used == kernel.reg_slots_used
+        assert decoded.num_vregs == kernel.num_vregs
+
+    def test_rpc_recomputed(self, kernel):
+        decoded = decode_brig(encode_brig(kernel))
+        assert decoded.rpc_table == kernel.rpc_table
+
+    def test_regions_preserved(self, kernel):
+        decoded = decode_brig(encode_brig(kernel))
+        assert repr(decoded.regions) == repr(kernel.regions)
+
+    def test_refinalizes_identically(self, kernel):
+        from repro.finalizer.finalize import finalize
+
+        g1 = finalize(kernel)
+        g2 = finalize(decode_brig(encode_brig(kernel)))
+        assert [repr(i) for i in g1.instrs] == [repr(i) for i in g2.instrs]
+        assert g1.vgprs_used == g2.vgprs_used
+        assert g1.sgprs_used == g2.sgprs_used
+
+
+class TestFormatProperties:
+    def test_magic(self, kernel):
+        assert encode_brig(kernel).startswith(MAGIC)
+
+    def test_verbose_encoding(self, kernel):
+        """BRIG is a verbose software format: far larger than the 8B/instr
+        approximation used for footprint, and than the GCN3 encoding."""
+        blob = encode_brig(kernel)
+        assert len(blob) > 8 * len(kernel.instrs)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_brig(b"ELF\x00" + b"\x00" * 64)
+
+    def test_bad_version_rejected(self, kernel):
+        blob = bytearray(encode_brig(kernel))
+        blob[4] = 99
+        with pytest.raises(EncodingError):
+            decode_brig(bytes(blob))
+
+    def test_strings_deduplicated(self, kernel):
+        # encoding the same kernel name twice must not grow the data section
+        blob1 = encode_brig(kernel)
+        blob2 = encode_brig(kernel)
+        assert blob1 == blob2

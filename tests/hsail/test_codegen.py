@@ -1,0 +1,165 @@
+"""DSL -> HSAIL code-generation tests."""
+
+import pytest
+
+from repro.common.errors import RegisterAllocationError
+from repro.hsail.codegen import compile_hsail
+from repro.hsail.isa import CodeIf, CodeLoop, CodeSpan, HReg, Imm
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def compile_simple():
+    kb = KernelBuilder("k", [("p", DType.U64), ("n", DType.U32)])
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    x = kb.load(Segment.GLOBAL, kb.kernarg("p") + off, DType.U32)
+    kb.store(Segment.GLOBAL, kb.kernarg("p") + off, x + 1)
+    return compile_hsail(kb.finish())
+
+
+class TestBasics:
+    def test_near_one_to_one_translation(self):
+        kernel = compile_simple()
+        ops = [i.opcode for i in kernel.instrs]
+        # one dispatch query, one cvt, arithmetic, two kernarg loads,
+        # a load, a store and ret; no expansion beyond that
+        assert ops.count("workitemabsid") == 1
+        assert ops.count("cvt") == 1
+        assert ops[-1] == "ret"
+
+    def test_constants_fold_into_immediates(self):
+        kernel = compile_simple()
+        # the *4 and +1 constants are immediate operands, not movs
+        movs = [i for i in kernel.instrs if i.opcode == "mov"]
+        assert not movs
+        imms = [s for i in kernel.instrs for s in i.srcs if isinstance(s, Imm)]
+        assert any(s.pattern == 4 for s in imms)
+        assert any(s.pattern == 1 for s in imms)
+
+    def test_kernarg_offsets_in_loads(self):
+        kernel = compile_simple()
+        kernarg_loads = [i for i in kernel.instrs
+                         if i.opcode == "ld" and i.segment == Segment.KERNARG]
+        # 'p' is read twice, both times from its offset 0
+        assert len(kernarg_loads) == 2
+        assert all(s.pattern == 0 for i in kernarg_loads for s in i.srcs)
+
+    def test_registers_are_physical_after_allocation(self):
+        kernel = compile_simple()
+        for instr in kernel.instrs:
+            for reg in instr.reg_reads() + instr.reg_writes():
+                assert not reg.virtual
+
+    def test_register_budget_respected(self):
+        kernel = compile_simple()
+        assert 0 < kernel.reg_slots_used <= 2048
+
+    def test_wide_registers_even_aligned(self):
+        kernel = compile_simple()
+        for instr in kernel.instrs:
+            for reg in instr.reg_reads() + instr.reg_writes():
+                if reg.kind == "d":
+                    assert reg.index % 2 == 0
+
+    def test_virtual_stream_kept_for_finalizer(self):
+        kernel = compile_simple()
+        assert len(kernel.virtual_instrs) == len(kernel.instrs)
+        assert all(
+            r.virtual for i in kernel.virtual_instrs
+            for r in i.reg_reads() + i.reg_writes()
+        )
+        # index-aligned: same opcodes
+        assert [i.opcode for i in kernel.virtual_instrs] == \
+            [i.opcode for i in kernel.instrs]
+
+
+class TestControlFlow:
+    def build_if_else(self):
+        kb = KernelBuilder("k", [("n", DType.U32)])
+        tid = kb.wi_abs_id()
+        v = kb.var(DType.U32, 0)
+        with kb.If(kb.lt(tid, kb.kernarg("n"))) as br:
+            kb.assign(v, 1)
+            with br.Else():
+                kb.assign(v, 2)
+        return compile_hsail(kb.finish())
+
+    def test_branch_targets_resolved(self):
+        kernel = self.build_if_else()
+        for instr in kernel.instrs:
+            if instr.is_branch:
+                assert instr.target is not None
+                assert 0 <= instr.target < len(kernel.instrs)
+
+    def test_if_else_emits_cbr_and_br(self):
+        kernel = self.build_if_else()
+        ops = [i.opcode for i in kernel.instrs]
+        assert "cbr" in ops and "br" in ops
+
+    def test_cbr_is_inverted_skip(self):
+        kernel = self.build_if_else()
+        cbr = next(i for i in kernel.instrs if i.opcode == "cbr")
+        assert cbr.invert
+
+    def test_rpc_is_merge_point(self):
+        kernel = self.build_if_else()
+        cbr_index = next(i for i, x in enumerate(kernel.instrs)
+                         if x.opcode == "cbr")
+        rpc = kernel.rpc_table[cbr_index]
+        # The merge point is after both arms; here it's the ret.
+        assert kernel.instrs[rpc].opcode == "ret"
+
+    def test_regions_cover_whole_kernel(self):
+        kernel = self.build_if_else()
+        spans = []
+
+        def collect(elems):
+            for e in elems:
+                if isinstance(e, CodeSpan):
+                    spans.append((e.start, e.end))
+                elif isinstance(e, CodeIf):
+                    collect(e.then_elems)
+                    collect(e.else_elems)
+                elif isinstance(e, CodeLoop):
+                    collect(e.body_elems)
+
+        collect(kernel.regions)
+        covered = set()
+        for start, end in spans:
+            covered.update(range(start, end))
+        n = len(kernel.instrs)
+        branch_idxs = {i for i, x in enumerate(kernel.instrs) if x.is_branch}
+        # everything except structural branches is inside some span
+        assert covered | branch_idxs == set(range(n))
+
+    def test_loop_region_backedge(self):
+        kb = KernelBuilder("k", [])
+        i = kb.var(DType.U32, 0)
+        with kb.Loop() as loop:
+            kb.assign(i, i + 1)
+            loop.continue_if(kb.lt(i, 10))
+        kernel = compile_hsail(kb.finish())
+        loops = [e for e in kernel.regions if isinstance(e, CodeLoop)]
+        assert len(loops) == 1
+        assert kernel.instrs[loops[0].cbr_index].opcode == "cbr"
+        # backedge points backwards
+        assert kernel.instrs[loops[0].cbr_index].target <= loops[0].cbr_index
+
+
+class TestRegisterPressure:
+    def test_overflow_raises(self):
+        kb = KernelBuilder("big", [("p", DType.U64)])
+        base = kb.kernarg("p")
+        values = []
+        # > 2048 live 32-bit values cannot be allocated
+        for i in range(2100):
+            values.append(kb.load(Segment.GLOBAL, base + (4 * i), DType.U32))
+        acc = kb.var(DType.U32, 0)
+        for v in values:
+            kb.assign(acc, acc + v)
+        kb.store(Segment.GLOBAL, base, acc)
+        # each load is also kept live by the later sum, plus u64 temps
+        with pytest.raises(RegisterAllocationError):
+            compile_hsail(kb.finish())

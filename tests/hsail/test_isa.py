@@ -1,0 +1,98 @@
+"""HSAIL instruction-model tests."""
+
+import pytest
+
+from repro.common.categories import InstrCategory
+from repro.common.errors import CodegenError
+from repro.hsail.isa import HSAIL_INSTR_BYTES, HReg, HsailInstr, HsailKernel, Imm
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+class TestCategories:
+    def test_all_alu_is_vector(self):
+        # "all HSAIL ALU instructions are vector instructions" (paper V.A)
+        for op in ("add", "mul", "div", "cmp", "cmov", "mov", "fma"):
+            instr = HsailInstr(opcode=op, dtype=DType.F32,
+                               dest=HReg("s", 0), srcs=(Imm(0, DType.F32),) * 3)
+            assert instr.category == InstrCategory.VALU
+
+    def test_dispatch_queries_are_valu(self):
+        instr = HsailInstr(opcode="workitemabsid", dtype=DType.U32,
+                           dest=HReg("s", 0))
+        assert instr.category == InstrCategory.VALU
+
+    def test_memory_categories(self):
+        ld = HsailInstr(opcode="ld", dtype=DType.F32, dest=HReg("s", 0),
+                        srcs=(HReg("d", 2),), segment=Segment.GLOBAL)
+        assert ld.category == InstrCategory.VMEM
+        lds = HsailInstr(opcode="ld", dtype=DType.F32, dest=HReg("s", 0),
+                         srcs=(HReg("s", 2),), segment=Segment.GROUP)
+        assert lds.category == InstrCategory.LDS
+
+    def test_no_scalar_categories_exist(self):
+        # HSAIL has no scalar pipeline: nothing maps to SALU/SMEM.
+        for op in ("br", "cbr", "barrier", "ret", "nop", "ld", "st", "add"):
+            seg = Segment.GLOBAL if op in ("ld", "st") else None
+            srcs = (HReg("d", 0), HReg("s", 2)) if op == "st" else (HReg("s", 0),)
+            instr = HsailInstr(opcode=op, dtype=DType.U32, srcs=srcs,
+                               segment=seg, attrs={"target": 0})
+            assert instr.category not in (InstrCategory.SALU, InstrCategory.SMEM)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(CodegenError):
+            HsailInstr(opcode="frobnicate", dtype=DType.U32)
+
+
+class TestRegisters:
+    def test_wide_register_slots(self):
+        assert HReg("d", 4).slots == 2
+        assert HReg("s", 4).slots == 1
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(CodegenError):
+            HReg("q", 0)
+
+    def test_slot_expansion(self):
+        instr = HsailInstr(
+            opcode="add", dtype=DType.U64, dest=HReg("d", 4),
+            srcs=(HReg("d", 6), HReg("s", 1)),
+        )
+        assert instr.vrf_slots_written() == [4, 5]
+        assert instr.vrf_slots_read() == [6, 7, 1]
+
+    def test_virtual_slots_query_rejected(self):
+        instr = HsailInstr(opcode="mov", dtype=DType.U32,
+                           dest=HReg("s", 0, virtual=True),
+                           srcs=(HReg("s", 1, virtual=True),))
+        with pytest.raises(CodegenError):
+            instr.vrf_slots_read()
+
+    def test_repr_pair_notation(self):
+        assert repr(HReg("d", 4)) == "$d[4:5]"
+        assert repr(HReg("s", 3)) == "$s3"
+
+
+class TestBranchProperties:
+    def test_cbr(self):
+        instr = HsailInstr(opcode="cbr", dtype=DType.B1,
+                           srcs=(HReg("s", 0),),
+                           attrs={"target": 7, "invert": True})
+        assert instr.is_branch and instr.is_conditional
+        assert instr.target == 7
+        assert instr.invert
+
+    def test_br(self):
+        instr = HsailInstr(opcode="br", dtype=DType.U32, attrs={"target": 2})
+        assert instr.is_branch and not instr.is_conditional
+
+
+class TestKernelFootprint:
+    def test_eight_bytes_per_instruction(self):
+        instrs = [HsailInstr(opcode="nop", dtype=DType.U32) for _ in range(10)]
+        kernel = HsailKernel(
+            name="k", instrs=instrs, params=[], kernarg_bytes=0,
+            group_bytes=0, private_bytes=0, spill_bytes=0,
+        )
+        assert kernel.code_bytes == 10 * HSAIL_INSTR_BYTES
+        assert kernel.static_instructions == 10

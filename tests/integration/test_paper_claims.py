@@ -1,0 +1,171 @@
+"""Integration tests asserting the paper's directional claims.
+
+These run the full dual-ISA simulation over the whole workload suite (at
+reduced scale) and check that each evaluation-section claim holds in
+direction.  Magnitudes are recorded in EXPERIMENTS.md; these tests pin
+the *shape* so regressions that flip a conclusion fail loudly.
+"""
+
+import pytest
+
+from repro.common.categories import InstrCategory
+from repro.common.config import small_config
+from repro.common.tables import geomean
+from repro.harness.hardware_model import correlate
+from repro.harness.runner import run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(scale=0.2, config=small_config(4))
+
+
+def ratios(suite, fn):
+    out = {}
+    for w in suite.workloads:
+        hs, g3 = suite.pair(w)
+        out[w] = fn(hs, g3)
+    return out
+
+
+class TestEverythingRuns:
+    def test_all_workloads_verified_under_both_isas(self, suite):
+        assert suite.all_verified()
+
+
+class TestDynamicInstructions:
+    """§V.A: GCN3 executes 1.5x-3x more dynamic instructions (FFT ~1x)."""
+
+    def test_mean_expansion_band(self, suite):
+        r = ratios(suite, lambda h, g: g.dynamic_instructions / h.dynamic_instructions)
+        assert 1.4 < geomean(list(r.values())) < 3.0
+
+    def test_every_workload_expands(self, suite):
+        r = ratios(suite, lambda h, g: g.dynamic_instructions / h.dynamic_instructions)
+        assert all(v > 1.0 for v in r.values())
+
+    def test_fft_among_the_smallest_expansions(self, suite):
+        """The paper's exception: FFT barely expands.  (Our fully
+        predicated Bitonic port competes for the bottom spot.)"""
+        r = ratios(suite, lambda h, g: g.dynamic_instructions / h.dynamic_instructions)
+        assert r["fft"] <= sorted(r.values())[1]
+
+    def test_hsail_never_uses_scalar_pipeline(self, suite):
+        for w in suite.workloads:
+            hs, _ = suite.pair(w)
+            cats = hs.total.instructions_by_category
+            assert cats.get(InstrCategory.SALU, 0) == 0
+            assert cats.get(InstrCategory.SMEM, 0) == 0
+
+    def test_gcn3_always_uses_scalar_pipeline(self, suite):
+        for w in suite.workloads:
+            _, g3 = suite.pair(w)
+            assert g3.total.instructions_by_category[InstrCategory.SALU] > 0
+
+
+class TestInstructionFootprint:
+    """§V.C / Figure 8: HSAIL underrepresents the instruction footprint."""
+
+    def test_gcn3_footprint_larger_on_average(self, suite):
+        """Direction holds in aggregate; magnitude (the paper's 2.4x) is
+        muted because our HSAIL codegen folds constants aggressively and
+        carries no compiler prologue -- see EXPERIMENTS.md."""
+        r = ratios(suite, lambda h, g: g.instr_footprint_bytes / h.instr_footprint_bytes)
+        assert geomean(list(r.values())) > 1.1
+        assert all(v > 0.8 for v in r.values())
+
+    def test_lulesh_among_largest_gcn3_footprints(self, suite):
+        """LULESH's many kernels give it one of the largest machine-code
+        footprints (the paper's L1I-thrash candidate)."""
+        footprints = {w: suite.get(w, "gcn3").instr_footprint_bytes
+                      for w in suite.workloads}
+        top_two = sorted(footprints.values())[-2:]
+        assert footprints["lulesh"] in top_two
+
+
+class TestIbFlushes:
+    """§V.C / Figure 9: GCN3 needs no more IB flushes than HSAIL."""
+
+    def test_gcn3_flushes_at_most_hsail(self, suite):
+        for w in suite.workloads:
+            hs, g3 = suite.pair(w)
+            assert g3.stat("ib_flushes") <= hs.stat("ib_flushes") * 1.05, w
+
+    def test_divergent_workloads_flush_less_under_gcn3(self, suite):
+        for w in ("comd", "md", "lulesh"):
+            hs, g3 = suite.pair(w)
+            assert g3.stat("ib_flushes") < hs.stat("ib_flushes"), w
+
+
+class TestReuseDistance:
+    """§V.B / Figure 7: GCN3 register reuse distance ~2x HSAIL's."""
+
+    def test_gcn3_median_reuse_larger(self, suite):
+        r = ratios(suite, lambda h, g: (g.total.reuse_distance.median or 1) /
+                   (h.total.reuse_distance.median or 1))
+        assert geomean(list(r.values())) > 1.5
+
+
+class TestIpc:
+    """§V.E / Figure 11: GCN3 generally achieves higher IPC."""
+
+    def test_geomean_ipc_higher(self, suite):
+        r = ratios(suite, lambda h, g: g.total.ipc / h.total.ipc)
+        assert geomean(list(r.values())) > 1.3
+
+
+class TestRuntime:
+    """§V.E / Figure 12: runtime differences are workload-dependent and
+    go both ways."""
+
+    def test_runtime_not_uniformly_biased(self, suite):
+        r = ratios(suite, lambda h, g: h.cycles / g.cycles)
+        assert any(v > 1.05 for v in r.values())   # HSAIL slower somewhere
+        assert any(v < 1.0 for v in r.values())    # GCN3 slower somewhere
+
+    def test_lulesh_gcn3_slower(self, suite):
+        hs, g3 = suite.pair("lulesh")
+        assert g3.cycles > hs.cycles
+
+
+class TestSimilarStats:
+    """§VI / Table 6: data footprint and SIMD utilization match."""
+
+    def test_simd_utilization_within_a_few_percent(self, suite):
+        for w in suite.workloads:
+            hs, g3 = suite.pair(w)
+            h = hs.total.simd_utilization.value
+            g = g3.total.simd_utilization.value
+            assert abs(h - g) < 0.12, (w, h, g)
+
+    def test_data_footprint_identical_except_segment_users(self, suite):
+        for w in suite.workloads:
+            hs, g3 = suite.pair(w)
+            ratio = hs.data_footprint_bytes / g3.data_footprint_bytes
+            if w in ("fft", "lulesh"):
+                assert ratio > 1.05, (w, ratio)   # per-launch inflation
+            else:
+                assert ratio == pytest.approx(1.0, abs=0.02), (w, ratio)
+
+    def test_lulesh_inflation_exceeds_ffts(self, suite):
+        """LULESH (thousands of launches) inflates far more than FFT."""
+        f_hs, f_g3 = suite.pair("fft")
+        l_hs, l_g3 = suite.pair("lulesh")
+        fft_ratio = f_hs.data_footprint_bytes / f_g3.data_footprint_bytes
+        lulesh_ratio = l_hs.data_footprint_bytes / l_g3.data_footprint_bytes
+        assert lulesh_ratio > fft_ratio
+
+
+class TestHardwareCorrelation:
+    """§VII / Table 7: IL simulation adds runtime error; correlation stays
+    high for both ISAs."""
+
+    def test_both_isas_correlate(self, suite):
+        report = correlate(suite)
+        assert report.correlation["hsail"] > 0.9
+        assert report.correlation["gcn3"] > 0.9
+
+    def test_hsail_error_exceeds_gcn3(self, suite):
+        report = correlate(suite)
+        assert report.mean_abs_error["hsail"] > report.mean_abs_error["gcn3"]
+        assert report.added_error() > 0

@@ -1,0 +1,142 @@
+"""Post-dominator / reconvergence analysis tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import KernelBuildError
+from repro.kernels.cfg import (
+    FlowGraph,
+    flow_graph_from_branches,
+    immediate_post_dominators,
+    post_dominator_sets,
+    reconvergence_table,
+)
+
+
+def diamond():
+    """0: cbr->2, 1: then, 2: else-entry..., actually:
+    0 cbr->3 (skip), 1,2 fallthrough path, 3 merge, 4 ret."""
+    return flow_graph_from_branches(
+        num_instrs=5,
+        branch_targets={0: 3},
+        conditional={0: True},
+        returns=[4],
+    )
+
+
+class TestFlowGraph:
+    def test_straight_line(self):
+        g = flow_graph_from_branches(3, {}, {}, [2])
+        assert g.succs == [[1], [2], []]
+
+    def test_conditional_branch_has_two_successors(self):
+        g = diamond()
+        assert g.succs[0] == [1, 3]
+
+    def test_unconditional_branch(self):
+        g = flow_graph_from_branches(4, {1: 3}, {1: False}, [3])
+        assert g.succs[1] == [3]
+
+    def test_fall_off_end_rejected(self):
+        with pytest.raises(KernelBuildError):
+            flow_graph_from_branches(2, {}, {}, [])
+
+    def test_branch_out_of_range_rejected(self):
+        with pytest.raises(KernelBuildError):
+            flow_graph_from_branches(2, {0: 5}, {0: False}, [1])
+
+    def test_preds(self):
+        g = diamond()
+        preds = g.preds()
+        assert 0 in preds[1]
+        assert 0 in preds[3]
+
+
+class TestPostDominators:
+    def test_exit_dominates_only_itself(self):
+        g = flow_graph_from_branches(2, {}, {}, [1])
+        pdom = post_dominator_sets(g)
+        assert pdom[1] == 1 << 1
+
+    def test_merge_postdominates_branch(self):
+        g = diamond()
+        pdom = post_dominator_sets(g)
+        assert pdom[0] & (1 << 3)  # node 3 post-dominates the branch
+
+    def test_ipdom_of_branch_is_merge(self):
+        g = diamond()
+        ipdom = immediate_post_dominators(g)
+        assert ipdom[0] == 3
+
+    def test_ipdom_straight_line(self):
+        g = flow_graph_from_branches(3, {}, {}, [2])
+        ipdom = immediate_post_dominators(g)
+        assert ipdom == [1, 2, None]
+
+    def test_loop_backedge(self):
+        # 0; 1 body; 2 cbr->1; 3 ret
+        g = flow_graph_from_branches(4, {2: 1}, {2: True}, [3])
+        ipdom = immediate_post_dominators(g)
+        assert ipdom[2] == 3  # reconverge at loop exit
+
+
+class TestReconvergenceTable:
+    def test_if_else(self):
+        # 0 cbr->3; 1 then; 2 br->4; 3 else; 4 ret
+        table = reconvergence_table(
+            5, {0: 3, 2: 4}, {0: True, 2: False}, [4]
+        )
+        assert table == {0: 4}
+
+    def test_nested_ifs(self):
+        # outer: 0 cbr->6; inner: 1 cbr->4; 2,3; 4,5; 6 ret
+        table = reconvergence_table(
+            7, {0: 6, 1: 4}, {0: True, 1: True}, [6]
+        )
+        assert table[0] == 6
+        assert table[1] == 4
+
+    def test_loop(self):
+        table = reconvergence_table(4, {2: 1}, {2: True}, [3])
+        assert table == {2: 3}
+
+    def test_unconditional_branches_excluded(self):
+        table = reconvergence_table(4, {1: 3}, {1: False}, [3])
+        assert table == {}
+
+
+class TestFigure3Structure:
+    """The paper's Figure 3 if-else-if CFG at basic-block granularity."""
+
+    def test_if_else_if_rpc(self):
+        # Model: BB0(0 cbr->2) BB1(1? ...) — use instruction indices:
+        # 0: cbr cond1 -> 4 (else-if side)
+        # 1: store 84 ; 2: br -> 7
+        # 4: cbr cond2 -> 7 ; 5: store 90 ; 6: fallthrough
+        # 7: ret
+        table = reconvergence_table(
+            8,
+            {0: 4, 2: 7, 4: 7},
+            {0: True, 2: False, 4: True},
+            [7],
+        )
+        assert table[0] == 7  # both branches reconverge at BB4 (the ret)
+        assert table[4] == 7
+
+
+@given(st.integers(min_value=2, max_value=12))
+def test_nested_diamond_chain_property(depth):
+    """Chains of diamonds: each branch reconverges before the next."""
+    # layout per diamond: cbr(+3) ; then ; merge(noop) ... final ret
+    num = depth * 3 + 1
+    branch_targets = {}
+    conditional = {}
+    for d in range(depth):
+        base = d * 3
+        branch_targets[base] = base + 2
+        conditional[base] = True
+    table = reconvergence_table(num, branch_targets, conditional, [num - 1])
+    for d in range(depth):
+        base = d * 3
+        assert table[base] == base + 2

@@ -1,0 +1,264 @@
+"""Kernel-builder DSL tests."""
+
+import pytest
+
+from repro.common.errors import KernelBuildError
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.ir import BlockElem, IfElem, LoopElem
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+
+
+def simple_builder():
+    return KernelBuilder("k", [("p", DType.U64), ("n", DType.U32)])
+
+
+class TestValuesAndTypes:
+    def test_const_is_foldable(self):
+        kb = simple_builder()
+        c = kb.const(DType.U32, 7)
+        assert kb.const_of(c) == 7
+
+    def test_var_is_not_foldable(self):
+        kb = simple_builder()
+        v = kb.var(DType.U32, 7)
+        assert kb.const_of(v) is None
+
+    def test_assign_to_const_rejected(self):
+        kb = simple_builder()
+        c = kb.const(DType.U32, 1)
+        with pytest.raises(KernelBuildError):
+            kb.assign(c, 2)
+
+    def test_type_mismatch_rejected(self):
+        kb = simple_builder()
+        a = kb.const(DType.U32, 1)
+        b = kb.const(DType.F32, 1.0)
+        with pytest.raises(KernelBuildError):
+            kb.add(a, b)
+
+    def test_python_scalars_coerce(self):
+        kb = simple_builder()
+        a = kb.var(DType.F32, 0.0)
+        result = kb.add(a, 2.5)
+        assert result.dtype == DType.F32
+
+    def test_operator_sugar(self):
+        kb = simple_builder()
+        a = kb.var(DType.U32, 1)
+        b = kb.var(DType.U32, 2)
+        assert (a + b).dtype == DType.U32
+        assert (a * b).dtype == DType.U32
+        assert (a & b).dtype == DType.U32
+        assert (a << 2).dtype == DType.U32
+
+    def test_float_div_operator(self):
+        kb = simple_builder()
+        a = kb.var(DType.F64, 1.0)
+        b = kb.var(DType.F64, 2.0)
+        assert (a / b).dtype == DType.F64
+
+    def test_integer_div_rejected(self):
+        kb = simple_builder()
+        a = kb.var(DType.U32, 4)
+        with pytest.raises(KernelBuildError):
+            kb.fdiv(a, 2)
+
+    def test_cmp_returns_predicate(self):
+        kb = simple_builder()
+        pred = kb.lt(kb.var(DType.U32, 1), 2)
+        assert pred.dtype == DType.B1
+
+    def test_cmov_needs_predicate(self):
+        kb = simple_builder()
+        v = kb.var(DType.U32, 0)
+        with pytest.raises(KernelBuildError):
+            kb.cmov(v, 1, 2)
+
+    def test_shift_on_float_rejected(self):
+        kb = simple_builder()
+        f = kb.var(DType.F32, 1.0)
+        with pytest.raises(KernelBuildError):
+            kb.shl(f, 1)
+
+    def test_mad_is_integer_only(self):
+        kb = simple_builder()
+        f = kb.var(DType.F32, 1.0)
+        with pytest.raises(KernelBuildError):
+            kb.mad(f, f, f)
+
+    def test_fma_is_float_only(self):
+        kb = simple_builder()
+        v = kb.var(DType.U32, 1)
+        with pytest.raises(KernelBuildError):
+            kb.fma(v, v, v)
+
+    def test_cvt_identity_returns_same_value(self):
+        kb = simple_builder()
+        v = kb.var(DType.U32, 1)
+        assert kb.cvt(v, DType.U32) is v
+
+
+class TestKernargs:
+    def test_offsets_are_aligned(self):
+        kb = KernelBuilder("k", [("a", DType.U32), ("b", DType.U64), ("c", DType.U32)])
+        ir = kb.finish()
+        offsets = {p.name: p.offset for p in ir.params}
+        assert offsets == {"a": 0, "b": 8, "c": 16}
+        assert ir.kernarg_bytes == 20
+
+    def test_unknown_kernarg_rejected(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            kb.kernarg("missing")
+
+
+class TestMemoryOps:
+    def test_global_needs_u64_address(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            kb.load(Segment.GLOBAL, kb.const(DType.U32, 0), DType.F32)
+
+    def test_group_needs_u32_address(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            kb.load(Segment.GROUP, kb.kernarg("p"), DType.F32)
+
+    def test_kernarg_segment_not_directly_loadable(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            kb.load(Segment.KERNARG, kb.const(DType.U32, 0), DType.U32)
+
+    def test_group_alloc_layout(self):
+        kb = simple_builder()
+        a = kb.group_alloc("a", 100)
+        b = kb.group_alloc("b", 4)
+        assert kb.const_of(a) == 0
+        assert kb.const_of(b) == 100
+        ir = kb.finish()
+        assert ir.group_bytes == 104
+
+    def test_duplicate_group_alloc_rejected(self):
+        kb = simple_builder()
+        kb.group_alloc("x", 4)
+        with pytest.raises(KernelBuildError):
+            kb.group_alloc("x", 4)
+
+    def test_private_and_spill_sizes(self):
+        kb = simple_builder()
+        kb.private_scratch(10)
+        kb.spill_scratch(8)
+        ir = kb.finish()
+        assert ir.private_bytes == 12  # rounded to dwords
+        assert ir.spill_bytes == 8
+
+
+class TestControlFlow:
+    def test_if_region_shape(self):
+        kb = simple_builder()
+        with kb.If(kb.lt(kb.wi_abs_id(), kb.kernarg("n"))):
+            kb.var(DType.U32, 1)
+        ir = kb.finish()
+        kinds = [type(e).__name__ for e in ir.regions]
+        assert kinds == ["BlockElem", "IfElem", "BlockElem"]
+        if_elem = ir.regions[1]
+        assert isinstance(if_elem, IfElem)
+        assert if_elem.else_elems == []
+
+    def test_if_else_region_shape(self):
+        kb = simple_builder()
+        with kb.If(kb.lt(kb.wi_abs_id(), 1)) as br:
+            kb.var(DType.U32, 1)
+            with br.Else():
+                kb.var(DType.U32, 2)
+        ir = kb.finish()
+        if_elem = ir.regions[1]
+        assert isinstance(if_elem, IfElem)
+        assert if_elem.then_elems and if_elem.else_elems
+
+    def test_duplicate_else_rejected(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            with kb.If(kb.lt(kb.wi_abs_id(), 1)) as br:
+                with br.Else():
+                    pass
+                with br.Else():
+                    pass
+
+    def test_loop_region_shape(self):
+        kb = simple_builder()
+        i = kb.var(DType.U32, 0)
+        with kb.Loop() as loop:
+            kb.assign(i, i + 1)
+            loop.continue_if(kb.lt(i, 4))
+        ir = kb.finish()
+        assert any(isinstance(e, LoopElem) for e in ir.regions)
+
+    def test_loop_without_continue_rejected(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            with kb.Loop():
+                kb.var(DType.U32, 1)
+
+    def test_nested_regions(self):
+        kb = simple_builder()
+        i = kb.var(DType.U32, 0)
+        with kb.Loop() as loop:
+            with kb.If(kb.lt(i, 2)):
+                kb.assign(i, i + 2)
+            kb.assign(i, i + 1)
+            loop.continue_if(kb.lt(i, 10))
+        ir = kb.finish()
+        loop_elem = next(e for e in ir.regions if isinstance(e, LoopElem))
+        assert any(isinstance(e, IfElem) for e in loop_elem.body_elems)
+
+    def test_for_range_builds_counted_loop(self):
+        kb = simple_builder()
+        total = kb.var(DType.U32, 0)
+        with kb.for_range(0, 5) as i:
+            kb.assign(total, total + i)
+        ir = kb.finish()
+        assert any(isinstance(e, LoopElem) for e in ir.regions)
+
+    def test_for_range_zero_step_rejected(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            with kb.for_range(0, 4, step=0):
+                pass
+
+    def test_if_condition_must_be_predicate(self):
+        kb = simple_builder()
+        with pytest.raises(KernelBuildError):
+            kb.If(kb.var(DType.U32, 1))
+
+
+class TestFinish:
+    def test_finish_appends_ret(self):
+        ir = simple_builder().finish()
+        assert ir.blocks[-1].ops[-1].opcode == "ret"
+
+    def test_double_finish_rejected(self):
+        kb = simple_builder()
+        kb.finish()
+        with pytest.raises(KernelBuildError):
+            kb.finish()
+
+    def test_emit_after_finish_rejected(self):
+        kb = simple_builder()
+        kb.finish()
+        with pytest.raises(KernelBuildError):
+            kb.var(DType.U32, 1)
+
+    def test_validate_rejects_misplaced_terminator(self):
+        kb = simple_builder()
+        ir = kb.finish()
+        # Manually corrupt: insert a branch mid-block.
+        from repro.kernels.ir import HirOp
+
+        ir.blocks[0].ops.insert(0, HirOp("ret", None, ()))
+        with pytest.raises(KernelBuildError):
+            ir.validate()
+
+    def test_pretty_includes_name(self):
+        ir = simple_builder().finish()
+        assert "kernel k" in ir.pretty()

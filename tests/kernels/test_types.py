@@ -1,0 +1,73 @@
+"""DType and immediate encoding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import KernelBuildError
+from repro.kernels.types import DType, decode_imm, encode_imm
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.U32.size_bytes == 4
+        assert DType.F64.size_bytes == 8
+        assert DType.B1.size_bytes == 4
+
+    def test_register_slots(self):
+        assert DType.U32.reg_slots == 1
+        assert DType.U64.reg_slots == 2
+        assert DType.F64.reg_slots == 2
+
+    def test_flags(self):
+        assert DType.F32.is_float and DType.F64.is_float
+        assert not DType.U32.is_float
+        assert DType.S32.is_signed
+        assert not DType.U32.is_signed
+        assert DType.U64.is_wide and not DType.U32.is_wide
+
+    def test_numpy_mapping(self):
+        assert DType.F32.np_dtype == np.dtype(np.float32)
+        assert DType.S32.np_dtype == np.dtype(np.int32)
+        assert DType.B1.np_dtype == np.dtype(np.uint32)
+
+
+class TestImmediates:
+    def test_f32_pattern(self):
+        assert encode_imm(DType.F32, 1.0) == 0x3F800000
+
+    def test_f64_pattern(self):
+        assert encode_imm(DType.F64, 1.0) == 0x3FF0000000000000
+
+    def test_b1(self):
+        assert encode_imm(DType.B1, True) == 1
+        assert encode_imm(DType.B1, 0) == 0
+
+    def test_s32_twos_complement(self):
+        assert encode_imm(DType.S32, -1) == 0xFFFFFFFF
+
+    def test_range_checks(self):
+        with pytest.raises(KernelBuildError):
+            encode_imm(DType.U32, -1)
+        with pytest.raises(KernelBuildError):
+            encode_imm(DType.U32, 2**32)
+        with pytest.raises(KernelBuildError):
+            encode_imm(DType.S32, 2**31)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_s32_roundtrip(self, value):
+        assert decode_imm(DType.S32, encode_imm(DType.S32, value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_u64_roundtrip(self, value):
+        assert decode_imm(DType.U64, encode_imm(DType.U64, value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_roundtrip(self, value):
+        got = decode_imm(DType.F32, encode_imm(DType.F32, value))
+        assert got == np.float32(value)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_roundtrip(self, value):
+        assert decode_imm(DType.F64, encode_imm(DType.F64, value)) == value

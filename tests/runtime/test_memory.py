@@ -1,0 +1,222 @@
+"""Simulated memory and segment allocator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.runtime.memory import (
+    HEAP_BASE,
+    Segment,
+    SegmentAllocator,
+    SimulatedMemory,
+)
+
+
+class TestMapping:
+    def test_access_below_heap_faults(self):
+        mem = SimulatedMemory()
+        with pytest.raises(MemoryError_):
+            mem.load_scalar(0x100, 4)
+
+    def test_unmapped_access_faults(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 64)
+        with pytest.raises(MemoryError_):
+            mem.load_scalar(HEAP_BASE + 64, 4)
+
+    def test_grows_on_demand(self):
+        mem = SimulatedMemory(capacity=1 << 12)
+        mem.map_range(HEAP_BASE, 1 << 20)
+        mem.store_u32(HEAP_BASE + (1 << 19), 42)
+        assert mem.load_u32(HEAP_BASE + (1 << 19)) == 42
+
+    def test_map_below_base_rejected(self):
+        with pytest.raises(MemoryError_):
+            SimulatedMemory().map_range(0, 64)
+
+
+class TestScalarAccess:
+    def test_u32_u64_roundtrip(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 64)
+        mem.store_u32(HEAP_BASE, 0xDEADBEEF)
+        mem.store_u64(HEAP_BASE + 8, 0x1122334455667788)
+        assert mem.load_u32(HEAP_BASE) == 0xDEADBEEF
+        assert mem.load_u64(HEAP_BASE + 8) == 0x1122334455667788
+
+    def test_little_endian(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 64)
+        mem.store_u32(HEAP_BASE, 0x04030201)
+        assert list(mem.read_block(HEAP_BASE, 4)) == [1, 2, 3, 4]
+
+    def test_f64(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 64)
+        mem.write_array(HEAP_BASE, np.array([3.25], dtype=np.float64))
+        assert mem.load_f64(HEAP_BASE) == 3.25
+
+
+class TestVectorAccess:
+    def test_gather_scatter_roundtrip(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 4096)
+        addrs = np.uint64(HEAP_BASE) + np.arange(64, dtype=np.uint64) * 4
+        values = np.arange(64, dtype=np.uint32) * 3
+        mask = np.ones(64, dtype=bool)
+        mem.scatter_u32(addrs, values, mask)
+        assert np.array_equal(mem.gather_u32(addrs, mask), values)
+
+    def test_masked_lanes_return_zero(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 4096)
+        addrs = np.uint64(HEAP_BASE) + np.arange(64, dtype=np.uint64) * 4
+        mask = np.zeros(64, dtype=bool)
+        mask[7] = True
+        mem.scatter_u32(addrs, np.full(64, 9, dtype=np.uint32), mask)
+        out = mem.gather_u32(addrs, np.ones(64, dtype=bool))
+        assert out[7] == 9
+        assert out[6] == 0
+
+    def test_unaligned_gather(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 64)
+        mem.write_block(HEAP_BASE, bytes(range(16)))
+        addrs = np.full(64, HEAP_BASE + 1, dtype=np.uint64)
+        mask = np.zeros(64, dtype=bool)
+        mask[0] = True
+        out = mem.gather_u32(addrs, mask)
+        assert out[0] == 0x04030201
+
+    def test_all_inactive_is_noop(self):
+        mem = SimulatedMemory()
+        addrs = np.zeros(64, dtype=np.uint64)  # would fault if accessed
+        out = mem.gather_u32(addrs, np.zeros(64, dtype=bool))
+        assert (out == 0).all()
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                    min_size=64, max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_gather_matches_numpy_reference(self, raw):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 4096)
+        data = np.array(raw, dtype=np.uint32)
+        mem.write_array(HEAP_BASE, data)
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 64, 64)
+        addrs = np.uint64(HEAP_BASE) + idx.astype(np.uint64) * 4
+        mask = np.ones(64, dtype=bool)
+        assert np.array_equal(mem.gather_u32(addrs, mask), data[idx])
+
+
+class TestFootprint:
+    def test_device_access_tracked(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 4096)
+        mem.load_scalar(HEAP_BASE, 4)
+        assert mem.data_footprint_bytes == 64
+
+    def test_host_access_untracked(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 4096)
+        mem.write_array(HEAP_BASE, np.zeros(128, dtype=np.uint32))
+        mem.read_block(HEAP_BASE, 64)
+        mem.load_scalar(HEAP_BASE, 4, track=False)
+        assert mem.data_footprint_bytes == 0
+
+    def test_unique_lines_counted_once(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 4096)
+        for _ in range(10):
+            mem.load_scalar(HEAP_BASE + 4, 4)
+        assert mem.data_footprint_bytes == 64
+
+    def test_vector_footprint(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 64 * 64)
+        addrs = np.uint64(HEAP_BASE) + np.arange(64, dtype=np.uint64) * 64
+        mem.gather_u32(addrs, np.ones(64, dtype=bool))
+        assert mem.data_footprint_bytes == 64 * 64
+
+    def test_reset(self):
+        mem = SimulatedMemory()
+        mem.map_range(HEAP_BASE, 64)
+        mem.load_scalar(HEAP_BASE, 4)
+        mem.reset_footprint()
+        assert mem.data_footprint_bytes == 0
+
+
+class TestAllocator:
+    def test_alignment(self):
+        alloc = SegmentAllocator(SimulatedMemory())
+        a = alloc.alloc(10, align=256)
+        assert a % 256 == 0
+
+    def test_no_overlap(self):
+        alloc = SegmentAllocator(SimulatedMemory())
+        spans = []
+        for i in range(20):
+            addr = alloc.alloc(100 + i)
+            spans.append((addr, addr + 100 + i))
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            SegmentAllocator(SimulatedMemory()).alloc(0)
+
+    def test_per_process_reuses_private_frames(self):
+        alloc = SegmentAllocator(SimulatedMemory(), policy="per_process")
+        a = alloc.alloc(1024, Segment.PRIVATE, tag="frame:k")
+        b = alloc.alloc(1024, Segment.PRIVATE, tag="frame:k")
+        assert a == b
+
+    def test_per_launch_always_fresh(self):
+        alloc = SegmentAllocator(SimulatedMemory(), policy="per_launch")
+        a = alloc.alloc(1024, Segment.PRIVATE, tag="frame:k")
+        b = alloc.alloc(1024, Segment.PRIVATE, tag="frame:k")
+        assert a != b
+
+    def test_kernarg_never_reused(self):
+        """Kernarg buffers are per-dispatch even per-process (the host
+        overwrites them before each launch)."""
+        alloc = SegmentAllocator(SimulatedMemory(), policy="per_process")
+        a = alloc.alloc(64, Segment.KERNARG, tag="kernarg:k")
+        b = alloc.alloc(64, Segment.KERNARG, tag="kernarg:k")
+        assert a != b
+
+    def test_bigger_request_reallocates(self):
+        alloc = SegmentAllocator(SimulatedMemory(), policy="per_process")
+        a = alloc.alloc(64, Segment.PRIVATE, tag="frame:k")
+        b = alloc.alloc(128, Segment.PRIVATE, tag="frame:k")
+        assert a != b
+
+    def test_free_and_double_free(self):
+        alloc = SegmentAllocator(SimulatedMemory())
+        a = alloc.alloc(64)
+        alloc.free(a)
+        with pytest.raises(MemoryError_):
+            alloc.free(a)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(MemoryError_):
+            SegmentAllocator(SimulatedMemory(), policy="whenever")
+
+    def test_segment_ranges(self):
+        alloc = SegmentAllocator(SimulatedMemory())
+        g = alloc.alloc(64, Segment.GLOBAL)
+        alloc.alloc(64, Segment.ARG)
+        p = alloc.alloc(64, Segment.PRIVATE)
+        ranges = alloc.segment_ranges({Segment.GLOBAL, Segment.PRIVATE})
+        assert (g, g + 64) in ranges
+        assert (p, p + 64) in ranges
+        assert len(ranges) == 2
+
+    def test_lookup(self):
+        alloc = SegmentAllocator(SimulatedMemory())
+        a = alloc.alloc(64, Segment.GLOBAL, tag="buf")
+        record = alloc.lookup(a)
+        assert record is not None and record.tag == "buf"

@@ -1,0 +1,128 @@
+"""Cache hierarchy and DRAM model tests."""
+
+import pytest
+
+from repro.common.config import CacheConfig, DramConfig, paper_config
+from repro.common.stats import StatSet
+from repro.timing.caches import Cache, Dram, MemorySystem
+
+
+class TestCache:
+    def make(self, assoc=2, lines=8):
+        return Cache("t", CacheConfig(size_bytes=64 * lines, associativity=assoc,
+                                      hit_latency=4))
+
+    def test_miss_then_hit(self):
+        c = self.make()
+        assert not c.lookup(5)
+        c.fill(5)
+        assert c.lookup(5)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction(self):
+        c = self.make(assoc=2, lines=8)  # 4 sets
+        # lines 0, 4, 8 map to set 0 (line % 4)
+        c.fill(0)
+        c.fill(4)
+        c.lookup(0)      # 0 becomes MRU
+        c.fill(8)        # evicts 4
+        assert c.lookup(0)
+        assert not c.lookup(4)
+
+    def test_fully_associative(self):
+        c = Cache("fa", CacheConfig(size_bytes=64 * 4, associativity=0))
+        for line in (0, 1, 2, 3):
+            c.fill(line)
+        assert all(c.lookup(line) for line in (0, 1, 2, 3))
+        c.fill(99)  # evicts line 0 (LRU after the lookups... it's 0)
+        assert c.contains(99)
+
+    def test_port_serialization(self):
+        c = self.make()
+        assert c.port_delay(10) == 0
+        assert c.port_delay(10) == 1  # second request waits a slot
+        assert c.port_delay(10) == 2
+
+    def test_stats_export_and_reset(self):
+        c = self.make()
+        c.lookup(1)
+        c.fill(1)
+        c.lookup(1)
+        stats = StatSet()
+        c.export_stats(stats)
+        assert stats["t_hits"] == 1 and stats["t_misses"] == 1
+        c.reset_counters()
+        assert c.hits == 0
+
+
+class TestDram:
+    def test_base_latency(self):
+        d = Dram(DramConfig(channels=4, base_latency_cycles=100,
+                            cycles_per_burst=4))
+        assert d.access(0, now=10) == 110
+
+    def test_channel_occupancy_queues(self):
+        d = Dram(DramConfig(channels=4, base_latency_cycles=100,
+                            cycles_per_burst=4))
+        first = d.access(0, now=0)
+        second = d.access(4, now=0)  # same channel (4 % 4 == 0)
+        assert second == first + 4
+
+    def test_different_channels_parallel(self):
+        d = Dram(DramConfig(channels=4, base_latency_cycles=100,
+                            cycles_per_burst=4))
+        assert d.access(0, now=0) == d.access(1, now=0)
+
+
+class TestMemorySystem:
+    def make(self):
+        return MemorySystem(paper_config(), StatSet())
+
+    def test_miss_slower_than_hit(self):
+        ms = self.make()
+        miss_done = ms.vector_access(0, [100], is_write=False, now=0)
+        hit_done = ms.vector_access(0, [100], is_write=False, now=miss_done)
+        assert (hit_done - miss_done) < miss_done
+
+    def test_l2_shared_within_cluster(self):
+        ms = self.make()
+        ms.vector_access(0, [200], is_write=False, now=0)
+        # CU 1 shares the cluster's L2: its L1 misses but the L2 hits.
+        l2_hits_before = ms.l2[0].hits
+        ms.vector_access(1, [200], is_write=False, now=1000)
+        assert ms.l2[0].hits == l2_hits_before + 1
+
+    def test_clusters_are_independent(self):
+        ms = self.make()
+        ms.vector_access(0, [300], is_write=False, now=0)
+        # CU 4 is in the second cluster: fresh L2
+        before = ms.l2[1].misses
+        ms.vector_access(4, [300], is_write=False, now=1000)
+        assert ms.l2[1].misses == before + 1
+
+    def test_write_through_latency_hidden(self):
+        ms = self.make()
+        done = ms.vector_access(0, [400], is_write=True, now=0)
+        # writes complete at L2 speed, not DRAM speed
+        assert done < ms.config.dram.base_latency_cycles
+
+    def test_scalar_cache_separate_from_l1d(self):
+        ms = self.make()
+        ms.scalar_access(0, [500], now=0)
+        assert ms.scalar[0].misses == 1
+        assert ms.l1d[0].misses == 0
+
+    def test_ifetch_counts(self):
+        ms = self.make()
+        stats = ms.stats
+        ms.ifetch(0, 600, now=0)
+        ms.ifetch(0, 600, now=100)
+        assert stats["ifetch_requests"] == 2
+        assert stats["ifetch_misses"] == 1
+
+    def test_multi_line_request_completion_is_worst_case(self):
+        ms = self.make()
+        single = ms.vector_access(0, [700], is_write=False, now=0)
+        ms2 = self.make()
+        multi = ms2.vector_access(0, list(range(800, 816)), is_write=False, now=0)
+        assert multi >= single

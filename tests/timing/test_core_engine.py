@@ -1,0 +1,63 @@
+"""Core engine odds and ends: funcsim limits, DualKernel API."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.core import compile_dual, run_dispatch_functional
+from repro.core.api import DualKernel
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.runtime.memory import Segment
+from repro.runtime.process import GpuProcess
+
+
+class TestDualKernel:
+    def test_for_isa(self, vec_add_dual):
+        assert vec_add_dual.for_isa("hsail") is vec_add_dual.hsail
+        assert vec_add_dual.for_isa("gcn3") is vec_add_dual.gcn3
+        with pytest.raises(ValueError):
+            vec_add_dual.for_isa("ptx")
+
+    def test_name_and_ratio(self, vec_add_dual):
+        assert vec_add_dual.name == "vec_add"
+        assert vec_add_dual.expansion_ratio > 1.0
+
+    def test_compile_is_deterministic(self):
+        def build():
+            kb = KernelBuilder("d", [("p", DType.U64)])
+            tid = kb.wi_abs_id()
+            kb.store(Segment.GLOBAL,
+                     kb.kernarg("p") + kb.cvt(tid, DType.U64) * 4, tid * 3)
+            return kb.finish()
+
+        a = compile_dual(build())
+        b = compile_dual(build())
+        assert [repr(i) for i in a.gcn3.instrs] == [repr(i) for i in b.gcn3.instrs]
+        assert [repr(i) for i in a.hsail.instrs] == [repr(i) for i in b.hsail.instrs]
+
+
+class TestFuncsimLimits:
+    def test_step_limit_catches_runaway_loops(self):
+        kb = KernelBuilder("spin", [("p", DType.U64)])
+        i = kb.var(DType.U32, 0)
+        with kb.Loop() as loop:
+            kb.assign(i, i + 1)
+            loop.continue_if(kb.ge(i, 0))  # never exits (u32 always >= 0)
+        kb.store(Segment.GLOBAL, kb.kernarg("p"), i)
+        dual = compile_dual(kb.finish())
+        proc = GpuProcess("gcn3")
+        out = proc.alloc_buffer(64)
+        proc.dispatch(dual.gcn3, grid=64, wg=64, kernargs=[out])
+        with pytest.raises(DeadlockError):
+            run_dispatch_functional(proc, proc.dispatches[0], step_limit=5000)
+
+    def test_signal_decremented_on_completion(self, vec_add_dual):
+        proc = GpuProcess("gcn3")
+        a = proc.upload(np.zeros(64, dtype=np.float32))
+        out = proc.alloc_buffer(4 * 64)
+        d = proc.dispatch(vec_add_dual.gcn3, grid=64, wg=64,
+                          kernargs=[a, a, out])
+        assert d.signal.value == 1
+        run_dispatch_functional(proc, d)
+        d.signal.wait_zero()

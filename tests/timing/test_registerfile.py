@@ -1,0 +1,120 @@
+"""VRF probe tests: bank conflicts, reuse distance, uniqueness."""
+
+import numpy as np
+
+from repro.common.stats import StatSet
+from repro.timing.registerfile import VrfModel
+
+
+def make_vrf():
+    stats = StatSet()
+    return VrfModel(num_banks=4, stats=stats), stats
+
+
+class TestBankConflicts:
+    def test_one_instruction_does_not_self_conflict(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([0, 4, 8], now=0, duration=4)  # all bank 0
+        vrf.flush()
+        # the three operands occupy bank 0 but belong to one gather
+        assert stats["vrf_bank_conflicts"] == 0
+
+    def test_two_instructions_same_bank_conflict(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([0], now=0, duration=4)
+        vrf.note_access([4], now=0, duration=4)  # also bank 0
+        vrf.flush()
+        assert stats["vrf_bank_conflicts"] == 4  # overlap on all 4 cycles
+
+    def test_different_banks_no_conflict(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([0], now=0, duration=4)
+        vrf.note_access([1], now=0, duration=4)
+        vrf.flush()
+        assert stats["vrf_bank_conflicts"] == 0
+
+    def test_disjoint_windows_no_conflict(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([0], now=0, duration=4)
+        vrf.note_access([4], now=4, duration=4)
+        vrf.flush()
+        assert stats["vrf_bank_conflicts"] == 0
+
+    def test_partial_overlap(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([0], now=0, duration=4)
+        vrf.note_access([4], now=2, duration=4)
+        vrf.flush()
+        assert stats["vrf_bank_conflicts"] == 2  # cycles 2 and 3
+
+    def test_collect_only_finalizes_past_cycles(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([0], now=0, duration=2)
+        vrf.note_access([4], now=0, duration=2)
+        vrf.collect(1)  # only cycle 0 finished
+        assert stats["vrf_bank_conflicts"] == 1
+        vrf.collect(10)
+        assert stats["vrf_bank_conflicts"] == 2
+
+    def test_empty_slots_noop(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([], now=0, duration=4)
+        vrf.flush()
+        assert stats["vrf_bank_conflicts"] == 0
+
+
+class TestReuseDistance:
+    def test_distance_counted_between_accesses(self):
+        vrf, stats = make_vrf()
+        tracker = {}
+        vrf.record_reuse(tracker, 1, [5])
+        vrf.record_reuse(tracker, 4, [5])
+        assert stats.reuse_distance.count == 1
+        assert stats.reuse_distance.median == 3
+
+    def test_first_access_records_nothing(self):
+        vrf, stats = make_vrf()
+        vrf.record_reuse({}, 1, [5, 6, 7])
+        assert stats.reuse_distance.count == 0
+
+    def test_per_slot_tracking(self):
+        vrf, stats = make_vrf()
+        tracker = {}
+        vrf.record_reuse(tracker, 1, [1])
+        vrf.record_reuse(tracker, 2, [2])
+        vrf.record_reuse(tracker, 10, [1, 2])
+        dist = stats.reuse_distance
+        assert dist.count == 2
+        assert dist.total == (10 - 1) + (10 - 2)
+
+
+class TestUniqueness:
+    def test_all_same_value(self):
+        vrf, stats = make_vrf()
+        regs = np.zeros((4, 64), dtype=np.uint32)
+        regs[1][:] = 7
+        vrf.probe_uniqueness(regs, [1], np.ones(64, dtype=bool), is_write=False)
+        assert stats.read_uniqueness.value == 1 / 64
+
+    def test_all_unique_values(self):
+        vrf, stats = make_vrf()
+        regs = np.zeros((4, 64), dtype=np.uint32)
+        regs[1] = np.arange(64)
+        vrf.probe_uniqueness(regs, [1], np.ones(64, dtype=bool), is_write=True)
+        assert stats.write_uniqueness.value == 1.0
+
+    def test_only_active_lanes_counted(self):
+        vrf, stats = make_vrf()
+        regs = np.zeros((4, 64), dtype=np.uint32)
+        regs[1] = np.arange(64)
+        mask = np.zeros(64, dtype=bool)
+        mask[:8] = True
+        vrf.probe_uniqueness(regs, [1], mask, is_write=False)
+        assert stats.read_uniqueness.numerator == 8
+        assert stats.read_uniqueness.denominator == 8
+
+    def test_no_active_lanes_noop(self):
+        vrf, stats = make_vrf()
+        regs = np.zeros((4, 64), dtype=np.uint32)
+        vrf.probe_uniqueness(regs, [1], np.zeros(64, dtype=bool), is_write=False)
+        assert stats.read_uniqueness.denominator == 0
