@@ -9,11 +9,18 @@ Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — workload problem-size scale (default 0.5; use
   1.0 for the EXPERIMENTS.md numbers, smaller for smoke runs).
+* ``REPRO_BENCH_JOBS`` — worker processes for the matrix (default 1 =
+  serial; 0 = one per core).
+* ``REPRO_NO_CACHE`` — disable the on-disk result cache, forcing a full
+  re-simulation (any non-empty value).
+* ``REPRO_CACHE_DIR`` — where cached results live (default
+  ``.repro_cache/``).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 
 import pytest
 
@@ -22,12 +29,23 @@ from repro.common.tables import render_table
 from repro.harness.runner import run_suite
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
 def suite():
-    """The full simulation matrix under the paper configuration."""
-    return run_suite(scale=BENCH_SCALE, config=paper_config())
+    """The full simulation matrix under the paper configuration.
+
+    Cold runs simulate (in parallel when ``REPRO_BENCH_JOBS`` asks for
+    it) and persist every cell in the result cache; warm reruns of the
+    benchmark session only deserialize.
+    """
+    return run_suite(
+        scale=BENCH_SCALE,
+        config=paper_config(),
+        jobs=BENCH_JOBS,
+        progress=lambda event: print(event.format(), file=sys.stderr),
+    )
 
 
 @pytest.fixture()

@@ -7,8 +7,13 @@ list
     Show the workload registry (the paper's Table 5).
 run --workload W [--isa hsail|gcn3|both] [--scale S] [--cus N]
     Simulate one workload and print its statistics.
-figures [--scale S] [--only figNN,...] [--output FILE]
-    Regenerate the paper's evaluation figures/tables.
+figures [--scale S] [--only figNN,...] [--output FILE] [--jobs N]
+        [--no-cache] [--cache-dir DIR] [--job-timeout SEC]
+    Regenerate the paper's evaluation figures/tables.  ``--jobs N`` fans
+    the simulation matrix out over N worker processes (0 = all cores);
+    results persist in the on-disk cache unless ``--no-cache`` is given.
+cache [--cache-dir DIR] [--clear]
+    Inspect or clear the persistent result cache (.repro_cache/).
 disasm --workload W [--kernel K] [--isa hsail|gcn3|both]
     Print kernel listings (both abstraction levels by default).
 """
@@ -66,12 +71,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if all(r[1] == "yes" for r in rows) else 1
 
 
+def _progress_printer(event) -> None:
+    print(event.format(), file=sys.stderr)
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .harness.report import write_report
     from .harness.runner import run_suite
 
     keys = args.only.split(",") if args.only else None
-    results = run_suite(scale=args.scale, config=paper_config())
+    results = run_suite(
+        scale=args.scale,
+        config=paper_config(),
+        jobs=args.jobs,
+        use_disk_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+        progress=None if args.quiet else _progress_printer,
+    )
+    for workload, isa, error in results.failures():
+        print(f"FAILED {workload}/{isa}: {error}", file=sys.stderr)
     if args.json:
         text = results.to_json()
         if args.output:
@@ -126,6 +145,26 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .harness.cache import ResultCache, source_tree_stamp
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    try:
+        entries = sorted(cache.directory.glob("*.json"))
+    except OSError:
+        entries = []
+    total_bytes = sum(p.stat().st_size for p in entries if p.is_file())
+    print(f"cache dir:    {cache.directory}")
+    print(f"entries:      {len(entries)}")
+    print(f"size:         {total_bytes} bytes")
+    print(f"source stamp: {source_tree_stamp()}")
+    return 0
+
+
 def _cmd_per_kernel(args: argparse.Namespace) -> int:
     from .harness.runner import run_workload
 
@@ -174,6 +213,25 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--output", "-o", help="write to a file")
     fig_p.add_argument("--json", action="store_true",
                        help="emit the raw result matrix as JSON")
+    fig_p.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes (0 = one per core; default 1)")
+    fig_p.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result cache entirely")
+    fig_p.add_argument("--cache-dir",
+                       help="result cache directory (default .repro_cache/ "
+                            "or $REPRO_CACHE_DIR)")
+    fig_p.add_argument("--job-timeout", type=float,
+                       help="per-job wall-clock limit in seconds "
+                            "(parallel runs only)")
+    fig_p.add_argument("--quiet", "-q", action="store_true",
+                       help="suppress per-job progress lines on stderr")
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("--cache-dir",
+                         help="cache directory (default .repro_cache/ "
+                              "or $REPRO_CACHE_DIR)")
+    cache_p.add_argument("--clear", action="store_true",
+                         help="delete every cached result")
 
     diff_p = sub.add_parser("diff", help="compare two --json exports")
     diff_p.add_argument("before")
@@ -202,6 +260,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "disasm": _cmd_disasm,
         "diff": _cmd_diff,
         "per-kernel": _cmd_per_kernel,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

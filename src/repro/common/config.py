@@ -12,7 +12,9 @@ Tests use :func:`small_config` (2 CUs) where the full machine is overkill.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from .errors import ConfigError
 
@@ -122,6 +124,21 @@ class GpuConfig:
     def scaled(self, **overrides: object) -> "GpuConfig":
         """Return a copy with top-level fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def to_dict(self) -> "dict[str, object]":
+        """The full nested configuration as plain JSON-friendly values."""
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """A short, stable content hash of every configuration field.
+
+        Two configs hash equal iff every field (including nested cache,
+        CU, and DRAM sub-configs) is equal, so the fingerprint is safe to
+        use as a cache key component: any parameter change — CU count,
+        cache geometry, DRAM timing — yields a different fingerprint.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def paper_config() -> GpuConfig:

@@ -74,6 +74,17 @@ class Distribution:
     def as_dict(self) -> Dict[int, int]:
         return dict(self._buckets)
 
+    def to_payload(self) -> Dict[str, int]:
+        """JSON-friendly bucket map (JSON object keys must be strings)."""
+        return {str(value): count for value, count in sorted(self._buckets.items())}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, int]) -> "Distribution":
+        dist = cls()
+        for value, count in payload.items():
+            dist.add(int(value), int(count))
+        return dist
+
 
 class RatioProbe:
     """Accumulates numerator/denominator pairs (e.g. unique lanes / lanes)."""
@@ -95,6 +106,17 @@ class RatioProbe:
     def merge(self, other: "RatioProbe") -> None:
         self.numerator += other.numerator
         self.denominator += other.denominator
+
+    def to_payload(self) -> "List[int]":
+        return [self.numerator, self.denominator]
+
+    @classmethod
+    def from_payload(cls, payload: "Iterable[int]") -> "RatioProbe":
+        probe = cls()
+        numerator, denominator = payload
+        probe.numerator = int(numerator)
+        probe.denominator = int(denominator)
+        return probe
 
 
 @dataclass
@@ -151,6 +173,40 @@ class StatSet:
         self.read_uniqueness.merge(other.read_uniqueness)
         self.write_uniqueness.merge(other.write_uniqueness)
         self.simd_utilization.merge(other.simd_utilization)
+
+    def to_payload(self) -> "Dict[str, object]":
+        """A lossless JSON-friendly encoding (inverse of :meth:`from_payload`).
+
+        Unlike :meth:`snapshot`, which flattens to derived scalars for
+        display, this round-trips every underlying accumulator exactly so
+        results can cross process boundaries or live in the on-disk cache.
+        """
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "by_category": {
+                cat.value: count
+                for cat, count in sorted(
+                    self.instructions_by_category.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "reuse_distance": self.reuse_distance.to_payload(),
+            "read_uniqueness": self.read_uniqueness.to_payload(),
+            "write_uniqueness": self.write_uniqueness.to_payload(),
+            "simd_utilization": self.simd_utilization.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: "Mapping[str, object]") -> "StatSet":
+        stats = cls()
+        for name, value in payload.get("counters", {}).items():  # type: ignore[union-attr]
+            stats.counters[name] = int(value)
+        for cat, count in payload.get("by_category", {}).items():  # type: ignore[union-attr]
+            stats.instructions_by_category[InstrCategory(cat)] = int(count)
+        stats.reuse_distance = Distribution.from_payload(payload.get("reuse_distance", {}))
+        stats.read_uniqueness = RatioProbe.from_payload(payload.get("read_uniqueness", (0, 0)))
+        stats.write_uniqueness = RatioProbe.from_payload(payload.get("write_uniqueness", (0, 0)))
+        stats.simd_utilization = RatioProbe.from_payload(payload.get("simd_utilization", (0, 0)))
+        return stats
 
     def snapshot(self) -> Mapping[str, float]:
         """A flat, JSON-friendly view used by the harness cache."""

@@ -1,16 +1,32 @@
-"""Experiment harness: suite runner, figure generators, hardware proxy."""
+"""Experiment harness: suite runner, parallel fan-out, result cache,
+figure generators, hardware proxy."""
 
+from .cache import ResultCache, job_fingerprint, source_tree_stamp
 from .figures import ALL_FIGURES
 from .hardware_model import correlate, hardware_cycles, table07_rows
-from .runner import SuiteResults, WorkloadRun, run_suite, run_workload
+from .parallel import Job, JobEvent, run_jobs
+from .runner import (
+    SuiteResults,
+    WorkloadRun,
+    clear_suite_cache,
+    run_suite,
+    run_workload,
+)
 
 __all__ = [
     "ALL_FIGURES",
-    "correlate",
-    "hardware_cycles",
-    "table07_rows",
+    "Job",
+    "JobEvent",
+    "ResultCache",
     "SuiteResults",
     "WorkloadRun",
+    "clear_suite_cache",
+    "correlate",
+    "hardware_cycles",
+    "job_fingerprint",
+    "run_jobs",
     "run_suite",
     "run_workload",
+    "source_tree_stamp",
+    "table07_rows",
 ]

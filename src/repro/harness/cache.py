@@ -1,0 +1,208 @@
+"""Persistent on-disk cache for simulation results.
+
+Every (workload, ISA, scale, seed, config) job is identified by a content
+fingerprint that also folds in a hash of the simulator's own source tree,
+so results survive across processes and pytest sessions but are invalidated
+automatically the moment any simulator code or configuration parameter
+changes.  Entries are one JSON file each under the cache directory
+(``.repro_cache/`` by default); a truncated or otherwise corrupt entry is
+treated as a miss and silently rewritten.
+
+Knobs
+-----
+
+``REPRO_CACHE_DIR``
+    Override the cache directory (same as ``run_suite(cache_dir=...)`` or
+    the ``--cache-dir`` CLI flag).
+``REPRO_NO_CACHE``
+    Any non-empty value disables reads *and* writes (same as the
+    ``--no-cache`` CLI flag).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..common.config import GpuConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .runner import WorkloadRun
+
+#: Bump when the serialized WorkloadRun payload shape changes; older
+#: entries then read as misses instead of deserializing garbage.
+CACHE_FORMAT_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_SRC_ROOT = Path(__file__).resolve().parent.parent
+
+
+@lru_cache(maxsize=1)
+def source_tree_stamp() -> str:
+    """A content hash over every ``.py`` file of the simulator itself.
+
+    Editing any simulator source (timing model, finalizer, workloads, ...)
+    changes the stamp and therefore every cache key, guaranteeing stale
+    results are never served after a code change.  Computed once per
+    process; ~150 small files hash in a few milliseconds.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(_SRC_ROOT.rglob("*.py")):
+        digest.update(str(path.relative_to(_SRC_ROOT)).encode("utf-8"))
+        digest.update(b"\0")
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            digest.update(b"<unreadable>")
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def job_fingerprint(
+    config: GpuConfig,
+    workload: str,
+    isa: str,
+    scale: float,
+    seed: int,
+) -> str:
+    """The cache key for one simulation job (hex digest)."""
+    canonical = json.dumps(
+        {
+            "config": config.fingerprint(),
+            "workload": workload,
+            "isa": isa,
+            "scale": scale,
+            "seed": seed,
+            "source": source_tree_stamp(),
+            "format": CACHE_FORMAT_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def cache_disabled_by_env() -> bool:
+    return bool(os.environ.get("REPRO_NO_CACHE"))
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """One directory of ``<fingerprint>.json`` result files.
+
+    The cache is strictly best-effort: unreadable directories, corrupt
+    entries, and write failures all degrade to cache misses rather than
+    errors, so a broken cache can never make a suite run fail — at worst
+    it makes it slow.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = Path(directory or default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> "Optional[WorkloadRun]":
+        """The cached run for ``fingerprint``, or ``None`` on any miss."""
+        from .runner import WorkloadRun
+
+        path = self._path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                entry = json.load(f)
+            if entry.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError(f"format {entry.get('format')!r}")
+            run = WorkloadRun.from_payload(entry["run"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Truncated write, hand-edited garbage, stale format: drop the
+            # entry so the fresh result can be rewritten in its place.
+            self.misses += 1
+            self._discard(path, reason=f"{type(exc).__name__}: {exc}")
+            return None
+        self.hits += 1
+        return run
+
+    def put(self, fingerprint: str, run: "WorkloadRun") -> bool:
+        """Persist ``run``; returns False (and stays silent) on failure."""
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "workload": run.workload,
+            "isa": run.isa,
+            "run": run.to_payload(),
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename so a crash mid-write leaves no truncated
+            # entry under the final name (readers see old-or-new, never
+            # half-written).
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as f:
+                    json.dump(entry, f, sort_keys=True)
+                os.replace(tmp_name, self._path(fingerprint))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def _discard(self, path: Path, reason: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        try:
+            entries = list(self.directory.glob("*.json"))
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def resolve_cache(
+    use_disk_cache: Optional[bool],
+    cache_dir: Optional[str],
+) -> Optional[ResultCache]:
+    """The cache the harness should use, honouring env overrides.
+
+    ``use_disk_cache=None`` means "on unless ``REPRO_NO_CACHE`` is set";
+    explicit True/False wins over the environment.
+    """
+    if use_disk_cache is None:
+        use_disk_cache = not cache_disabled_by_env()
+    if not use_disk_cache:
+        return None
+    return ResultCache(cache_dir)

@@ -1,0 +1,230 @@
+"""Process-pool fan-out for the (workload x ISA) simulation matrix.
+
+The matrix is embarrassingly parallel — every (workload, ISA, scale, seed)
+cell simulates independently — so :func:`run_jobs` spreads cells across a
+:class:`~concurrent.futures.ProcessPoolExecutor` and reduces the results
+back into a deterministic, submission-ordered mapping that is
+stat-identical to running the same cells serially.
+
+Failure policy (a worker must never take the suite down with it):
+
+* a worker that *raises* surfaces as a marked-failed :class:`WorkloadRun`
+  carrying the exception message;
+* a worker that exceeds the per-job timeout is recorded as failed with a
+  timeout message and its pool process is terminated at shutdown so the
+  suite cannot hang on it;
+* a worker that *dies* (crash, ``os._exit``, OOM-kill) breaks the pool for
+  every job still in flight; those jobs are retried inline in the parent
+  process, and only jobs that fail again stay failed.
+
+Results cross the process boundary as the same JSON-friendly payloads the
+on-disk cache stores (:meth:`WorkloadRun.to_payload`), keeping transport,
+persistence, and the golden-stats format identical.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..common.config import GpuConfig
+
+
+@dataclass(frozen=True)
+class Job:
+    """One cell of the simulation matrix."""
+
+    workload: str
+    isa: str
+    scale: float
+    seed: int
+    config: GpuConfig
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.workload, self.isa)
+
+    def describe(self) -> str:
+        return f"{self.workload}/{self.isa} scale={self.scale:g} seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One structured progress line for a finished (or skipped) job."""
+
+    workload: str
+    isa: str
+    status: str          # "hit" | "ok" | "failed" | "timeout"
+    wall_seconds: float
+    index: int           # 1-based position in the suite
+    total: int
+
+    def format(self) -> str:
+        return (
+            f"[{self.index}/{self.total}] {self.workload}/{self.isa} "
+            f"{self.status} {self.wall_seconds:.2f}s"
+        )
+
+
+ProgressFn = Callable[[JobEvent], None]
+
+
+def execute_job(job: Job) -> "Dict[str, object]":
+    """Worker entry point: simulate one job, return its payload.
+
+    Must stay a module-level function so the pool can pickle it; imports
+    lazily to keep worker start-up (and the parallel<->runner import
+    cycle) cheap.
+    """
+    from .runner import run_workload
+
+    run = run_workload(
+        job.workload, job.isa, scale=job.scale, config=job.config, seed=job.seed
+    )
+    return run.to_payload()
+
+
+def _failed_run(job: Job, message: str, wall: float) -> "object":
+    from .runner import WorkloadRun
+    from ..common.stats import StatSet
+
+    return WorkloadRun(
+        workload=job.workload,
+        isa=job.isa,
+        verified=False,
+        total=StatSet(),
+        per_dispatch=[],
+        dispatch_kernel_names=[],
+        data_footprint_bytes=0,
+        instr_footprint_bytes=0,
+        static_instructions=0,
+        kernel_code_bytes={},
+        wall_seconds=wall,
+        error=message,
+    )
+
+
+def run_job_inline(
+    job: Job, execute: Optional[Callable[[Job], "Dict[str, object]"]] = None
+) -> "object":
+    """Run one job in this process with the same failure capture as a
+    worker: an exception becomes a marked-failed run, never a raise."""
+    from .runner import WorkloadRun
+
+    execute = execute or execute_job
+    start = time.monotonic()
+    try:
+        payload = execute(job)
+        return WorkloadRun.from_payload(payload)
+    except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        return _failed_run(
+            job, f"{type(exc).__name__}: {exc}", time.monotonic() - start
+        )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a job-count request: None/0/negative mean 'all cores'.
+
+    'All cores' respects CPU affinity (cgroup/taskset limits) where the
+    platform exposes it, falling back to the raw core count.
+    """
+    if jobs is None or jobs <= 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # macOS/Windows
+            return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    max_workers: int,
+    timeout: Optional[float] = None,
+    execute: Optional[Callable[[Job], "Dict[str, object]"]] = None,
+    progress: Optional[ProgressFn] = None,
+    progress_offset: int = 0,
+    progress_total: Optional[int] = None,
+) -> "Dict[Tuple[str, str], object]":
+    """Fan ``jobs`` out over ``max_workers`` processes.
+
+    Returns ``{(workload, isa): WorkloadRun}`` with keys inserted in
+    submission order regardless of completion order, so downstream
+    consumers observe exactly the ordering the serial path produces.
+    """
+    from .runner import WorkloadRun
+
+    execute = execute or execute_job
+    total = progress_total if progress_total is not None else len(jobs)
+    results: "Dict[Tuple[str, str], object]" = {}
+    if not jobs:
+        return results
+
+    max_workers = min(max_workers, len(jobs))
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    timed_out = False
+    pool_broken = False
+    try:
+        futures = [(job, pool.submit(execute, job)) for job in jobs]
+        for index, (job, future) in enumerate(futures):
+            start = time.monotonic()
+            status = "ok"
+            if pool_broken:
+                # The pool died under us; finish the tail in-process.
+                run = run_job_inline(job, execute)
+                status = "failed" if getattr(run, "error", None) else "ok"
+            else:
+                try:
+                    payload = future.result(timeout=timeout)
+                    run = WorkloadRun.from_payload(payload)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    status = "timeout"
+                    run = _failed_run(
+                        job,
+                        f"timed out after {timeout:g}s",
+                        time.monotonic() - start,
+                    )
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    run = run_job_inline(job, execute)
+                    if getattr(run, "error", None):
+                        run.error = (
+                            f"worker process died ({exc}); inline retry "
+                            f"failed: {run.error}"
+                        )
+                        status = "failed"
+                except Exception as exc:  # raised inside the worker
+                    status = "failed"
+                    run = _failed_run(
+                        job,
+                        f"{type(exc).__name__}: {exc}",
+                        time.monotonic() - start,
+                    )
+            results[job.key] = run
+            if progress is not None:
+                progress(JobEvent(
+                    workload=job.workload,
+                    isa=job.isa,
+                    status=status,
+                    wall_seconds=getattr(run, "wall_seconds", 0.0),
+                    index=progress_offset + index + 1,
+                    total=total,
+                ))
+    finally:
+        if timed_out:
+            # A stuck worker would make a graceful shutdown wait forever;
+            # cancel what never started and terminate what never finished.
+            processes = list(getattr(pool, "_processes", {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return results

@@ -3,8 +3,11 @@
 One :class:`WorkloadRun` captures everything the paper's figures need for
 one workload under one ISA: aggregate and per-dispatch statistics, the
 static instruction footprint, the device data footprint, and functional
-verification.  :func:`run_suite` runs the full matrix once and caches it
-in-process so every benchmark can share the same simulation outputs.
+verification.  :func:`run_suite` runs the full matrix once, caches it
+in-process *and* persistently on disk (see :mod:`repro.harness.cache`),
+and can fan the matrix out across worker processes (``jobs=N``, see
+:mod:`repro.harness.parallel`) — the parallel path reduces back into the
+exact ordering and statistics the serial path produces.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from ..common.stats import StatSet, merge_all
 from ..runtime.process import GpuProcess
 from ..timing.gpu import Gpu
 from ..workloads import all_workloads, create
+from .cache import ResultCache, job_fingerprint, resolve_cache
+from .parallel import Job, JobEvent, ProgressFn, resolve_jobs, run_job_inline, run_jobs
 
 ISAS = ("hsail", "gcn3")
 
@@ -38,6 +43,13 @@ class WorkloadRun:
     static_instructions: int
     kernel_code_bytes: Dict[str, int]
     wall_seconds: float
+    #: set when the run failed (worker raised, timed out, or crashed);
+    #: a failed run has empty statistics and ``verified=False``.
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def cycles(self) -> int:
@@ -71,7 +83,53 @@ class WorkloadRun:
             "kernel_code_bytes": dict(self.kernel_code_bytes),
             "dispatches": len(self.per_dispatch),
             "wall_seconds": round(self.wall_seconds, 3),
+            "error": self.error,
         }
+
+    def to_payload(self) -> "Dict[str, object]":
+        """A *lossless* JSON encoding (inverse of :meth:`from_payload`).
+
+        Unlike :meth:`to_dict` (a flattened display summary), the payload
+        round-trips every per-dispatch StatSet exactly; it is the format
+        the on-disk result cache stores and worker processes return.
+        """
+        return {
+            "workload": self.workload,
+            "isa": self.isa,
+            "verified": self.verified,
+            "total": self.total.to_payload(),
+            "per_dispatch": [s.to_payload() for s in self.per_dispatch],
+            "dispatch_kernel_names": list(self.dispatch_kernel_names),
+            "data_footprint_bytes": self.data_footprint_bytes,
+            "instr_footprint_bytes": self.instr_footprint_bytes,
+            "static_instructions": self.static_instructions,
+            "kernel_code_bytes": dict(self.kernel_code_bytes),
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: "Dict[str, object]") -> "WorkloadRun":
+        return cls(
+            workload=str(payload["workload"]),
+            isa=str(payload["isa"]),
+            verified=bool(payload["verified"]),
+            total=StatSet.from_payload(payload["total"]),  # type: ignore[arg-type]
+            per_dispatch=[
+                StatSet.from_payload(p)  # type: ignore[arg-type]
+                for p in payload["per_dispatch"]  # type: ignore[union-attr]
+            ],
+            dispatch_kernel_names=[str(n) for n in payload["dispatch_kernel_names"]],  # type: ignore[union-attr]
+            data_footprint_bytes=int(payload["data_footprint_bytes"]),  # type: ignore[arg-type]
+            instr_footprint_bytes=int(payload["instr_footprint_bytes"]),  # type: ignore[arg-type]
+            static_instructions=int(payload["static_instructions"]),  # type: ignore[arg-type]
+            kernel_code_bytes={
+                str(k): int(v)
+                for k, v in payload["kernel_code_bytes"].items()  # type: ignore[union-attr]
+            },
+            wall_seconds=float(payload["wall_seconds"]),  # type: ignore[arg-type]
+            error=payload.get("error"),  # type: ignore[arg-type]
+        )
 
 
 @dataclass
@@ -94,6 +152,14 @@ class SuiteResults:
 
     def all_verified(self) -> bool:
         return all(r.verified for r in self.runs.values())
+
+    def failures(self) -> "List[Tuple[str, str, str]]":
+        """(workload, isa, error) for every run that failed outright."""
+        return [
+            (w, isa, run.error)
+            for (w, isa), run in sorted(self.runs.items())
+            if run.error
+        ]
 
     def to_json(self, indent: int = 2) -> str:
         """Serialize the whole matrix (for downstream analysis tools)."""
@@ -146,7 +212,15 @@ def run_workload(
     )
 
 
-_SUITE_CACHE: Dict[Tuple[float, int, Tuple[str, ...]], SuiteResults] = {}
+#: In-process memo of full suite results.  Keyed by the config
+#: *fingerprint* as well as (scale, seed, names): two different configs
+#: with the same scale/seed/workloads must never share an entry.
+_SUITE_CACHE: Dict[Tuple[str, float, int, Tuple[str, ...]], SuiteResults] = {}
+
+
+def clear_suite_cache() -> None:
+    """Drop the in-process suite memo (test isolation helper)."""
+    _SUITE_CACHE.clear()
 
 
 def run_suite(
@@ -155,21 +229,108 @@ def run_suite(
     workloads: Optional[Sequence[str]] = None,
     seed: int = 7,
     use_cache: bool = True,
+    jobs: int = 1,
+    use_disk_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> SuiteResults:
-    """Run every workload under both ISAs (cached per process)."""
+    """Run every workload under both ISAs.
+
+    Results are memoized in-process and persisted in the on-disk result
+    cache, so a warm rerun (same config/scale/seed/source tree) costs
+    only JSON deserialization.  ``jobs`` > 1 fans cache misses out over a
+    process pool; the reduce step is deterministic, so the result matrix
+    is stat-identical to the serial path.
+
+    :param jobs: worker processes for cache misses; 1 = serial in-process,
+        0 or negative = one per CPU core.
+    :param use_disk_cache: tri-state — ``None`` follows ``use_cache`` and
+        the ``REPRO_NO_CACHE`` environment knob; True/False force it.
+    :param cache_dir: on-disk cache directory (default ``.repro_cache/``
+        or ``$REPRO_CACHE_DIR``).
+    :param job_timeout: per-job wall-clock limit in seconds (parallel path
+        only); an overrunning job is recorded as failed, not waited on.
+    :param progress: callback receiving one :class:`JobEvent` per cell
+        (cache hit or simulated), for long-run observability.
+    """
     config = config or paper_config()
     names: Tuple[str, ...] = tuple(
         workloads if workloads is not None else [w.name for w in all_workloads()]
     )
-    key = (scale, seed, names)
-    if use_cache and key in _SUITE_CACHE:
-        return _SUITE_CACHE[key]
+    mem_key = (config.fingerprint(), scale, seed, names)
+    if use_cache and mem_key in _SUITE_CACHE:
+        return _SUITE_CACHE[mem_key]
+
+    # use_cache=False must mean "really re-simulate" unless the caller
+    # explicitly re-enables the disk layer.
+    disk: Optional[ResultCache] = resolve_cache(
+        use_disk_cache if use_cache or use_disk_cache is not None else False,
+        cache_dir,
+    )
+
+    cells = [Job(name, isa, scale, seed, config) for name in names for isa in ISAS]
+    total = len(cells)
+    runs: Dict[Tuple[str, str], WorkloadRun] = {}
+    misses: List[Job] = []
+    for cell in cells:
+        cached = disk.get(_cell_fingerprint(cell)) if disk is not None else None
+        if cached is not None:
+            runs[cell.key] = cached
+        else:
+            misses.append(cell)
+
+    # Report hits first (they resolve instantly), then simulate misses.
+    index = 0
+    if progress is not None:
+        for cell in cells:
+            if cell.key in runs:
+                index += 1
+                progress(JobEvent(
+                    workload=cell.workload, isa=cell.isa, status="hit",
+                    wall_seconds=runs[cell.key].wall_seconds,
+                    index=index, total=total,
+                ))
+
+    if misses:
+        if resolve_jobs(jobs) > 1 and len(misses) > 1:
+            executed = run_jobs(
+                misses,
+                max_workers=resolve_jobs(jobs),
+                timeout=job_timeout,
+                progress=progress,
+                progress_offset=index,
+                progress_total=total,
+            )
+            runs.update(executed)
+        else:
+            for cell in misses:
+                run = run_job_inline(cell)
+                runs[cell.key] = run
+                index += 1
+                if progress is not None:
+                    progress(JobEvent(
+                        workload=cell.workload, isa=cell.isa,
+                        status="failed" if run.error else "ok",
+                        wall_seconds=run.wall_seconds,
+                        index=index, total=total,
+                    ))
+        if disk is not None:
+            for cell in misses:
+                run = runs[cell.key]
+                if run.error is None:
+                    disk.put(_cell_fingerprint(cell), run)
+
+    # Deterministic reduce: insertion order matches the serial loop
+    # exactly, whatever order the pool completed in.
     results = SuiteResults(scale=scale)
     for name in names:
         for isa in ISAS:
-            results.runs[(name, isa)] = run_workload(
-                name, isa, scale=scale, config=config, seed=seed
-            )
+            results.runs[(name, isa)] = runs[(name, isa)]
     if use_cache:
-        _SUITE_CACHE[key] = results
+        _SUITE_CACHE[mem_key] = results
     return results
+
+
+def _cell_fingerprint(cell: Job) -> str:
+    return job_fingerprint(cell.config, cell.workload, cell.isa, cell.scale, cell.seed)
