@@ -4,7 +4,7 @@ from this repository's own finalizer output."""
 import re
 
 from conftest import one_shot
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -14,14 +14,14 @@ def _table1_kernel():
     kb = KernelBuilder("tab1_workitemabsid", [("out", DType.U64)])
     tid = kb.wi_abs_id()
     kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4, tid)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 def _table2_kernel():
     kb = KernelBuilder("tab2_kernarg", [("arg1", DType.U64)])
     v = kb.load(Segment.GLOBAL, kb.kernarg("arg1"), DType.U32)
     kb.store(Segment.GLOBAL, kb.kernarg("arg1") + 64, v)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 def _table3_kernel():
@@ -29,7 +29,7 @@ def _table3_kernel():
     a = kb.load(Segment.GLOBAL, kb.kernarg("p"), DType.F64)
     b = kb.load(Segment.GLOBAL, kb.kernarg("p") + 8, DType.F64)
     kb.store(Segment.GLOBAL, kb.kernarg("p") + 16, a / b)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 def test_tab123_listings(benchmark, show):

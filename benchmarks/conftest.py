@@ -26,7 +26,7 @@ import pytest
 
 from repro.common.config import paper_config
 from repro.common.tables import render_table
-from repro.harness.runner import run_suite
+from repro.core import Session
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
@@ -40,9 +40,8 @@ def suite():
     it) and persist every cell in the result cache; warm reruns of the
     benchmark session only deserialize.
     """
-    return run_suite(
+    return Session(paper_config()).suite(
         scale=BENCH_SCALE,
-        config=paper_config(),
         jobs=BENCH_JOBS,
         progress=lambda event: print(event.format(), file=sys.stderr),
     )

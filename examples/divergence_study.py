@@ -13,7 +13,7 @@ Run:  python examples/divergence_study.py
 import numpy as np
 
 from repro.common.config import small_config
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -55,7 +55,7 @@ def run(dual, isa, x_values):
 
 
 def main() -> None:
-    dual = compile_dual(build_figure3())
+    dual = Session().compile(build_figure3())
 
     print("HSAIL (Figure 3b): SIMT instructions; the simulator derives")
     print("reconvergence PCs from immediate post-dominators:")

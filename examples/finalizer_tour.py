@@ -9,7 +9,7 @@ insertion, and private-segment address materialization.
 Run:  python examples/finalizer_tour.py
 """
 
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -34,7 +34,7 @@ def table1():
              tid)
     show(
         "Table 1 -- obtaining the absolute work-item id",
-        compile_dual(kb.finish()),
+        Session().compile(kb.finish()),
         "HSAIL: one instruction.  GCN3: the ABI sequence -- s_load the\n"
         "packed workgroup sizes from the AQL packet (s[4:5] + 0x4), wait,\n"
         "s_bfe the 16-bit X size, s_mul by the workgroup id in s8, and\n"
@@ -48,7 +48,7 @@ def table2():
     kb.store(Segment.GLOBAL, kb.kernarg("arg1") + 64, v)
     show(
         "Table 2 -- kernarg address calculation",
-        compile_dual(kb.finish()),
+        Session().compile(kb.finish()),
         "HSAIL ld_kernarg is serviced from simulator state.  GCN3 moves\n"
         "the kernarg base (s[6:7], set by the ABI) into VGPRs for the\n"
         "FLAT load -- the value redundancy HSAIL never sees.",
@@ -62,7 +62,7 @@ def table3():
     kb.store(Segment.GLOBAL, kb.kernarg("p") + 16, a / b)
     show(
         "Table 3 -- 64-bit floating point division",
-        compile_dual(kb.finish()),
+        Session().compile(kb.finish()),
         "HSAIL: a single div.  GCN3: the Newton-Raphson sequence\n"
         "(v_div_scale x2, v_rcp, fma refinement, v_div_fmas,\n"
         "v_div_fixup) -- plus the register pressure of four live f64\n"
@@ -79,7 +79,7 @@ def scalarization():
                  kb.kernarg("p") + kb.cvt(tid, DType.U64) * 4, tid)
     show(
         "Scalarization -- uniform work on the scalar pipeline",
-        compile_dual(kb.finish()),
+        Session().compile(kb.finish()),
         "The bound computation is uniform across the wavefront: the\n"
         "finalizer assigns it to SGPRs and the scalar ALU (s_add/s_and),\n"
         "resources that simply do not exist at the HSAIL level.",
@@ -95,7 +95,7 @@ def dependencies():
     kb.store(Segment.GLOBAL, kb.kernarg("p") + off, a * b)
     show(
         "Dependency management -- s_waitcnt instead of a scoreboard",
-        compile_dual(kb.finish()),
+        Session().compile(kb.finish()),
         "GCN3 has no hardware scoreboard: the finalizer inserts s_waitcnt\n"
         "before the first use of each outstanding load (note the vmcnt\n"
         "values allowing younger loads to stay in flight).  The HSAIL\n"
@@ -112,7 +112,7 @@ def private_segment():
     kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4, v)
     show(
         "Private segment -- address materialization from the descriptor",
-        compile_dual(kb.finish()),
+        Session().compile(kb.finish()),
         "HSAIL's ld_private/st_private imply a per-work-item base the\n"
         "simulator maintains.  GCN3 computes it: descriptor base (s[0:1])\n"
         "+ work-item id * stride (s2), then FLAT accesses -- the 'several\n"

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.common.config import paper_config
 from repro.common.tables import render_table
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -37,7 +37,7 @@ def build_histogram():
 
 
 def main() -> None:
-    dual = compile_dual(build_histogram())
+    dual = Session().compile(build_histogram())
     print("GCN3 lowering of the atomic kernel:")
     print(dual.gcn3.pretty())
     print()

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.common.config import paper_config
 from repro.common.tables import render_table
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -43,7 +43,7 @@ def build_saxpy():
 
 def main() -> None:
     # -- compile once, get both ISAs ------------------------------------
-    dual = compile_dual(build_saxpy())
+    dual = Session().compile(build_saxpy())
     print(f"kernel {dual.name}:")
     print(f"  HSAIL: {dual.hsail.static_instructions} instructions, "
           f"{dual.hsail.code_bytes} bytes (8 B/instr approximation)")

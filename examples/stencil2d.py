@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.common.config import paper_config
 from repro.common.tables import render_table
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -62,7 +62,7 @@ def reference(grid: np.ndarray) -> np.ndarray:
 
 
 def main() -> None:
-    dual = compile_dual(build_stencil())
+    dual = Session().compile(build_stencil())
     print(f"kernel uses a {dual.gcn3.abi_dims}-D ABI: "
           f"v0/v1 hold local X/Y, s8/s9 the workgroup ids")
     print(f"expansion {dual.expansion_ratio:.2f}x "

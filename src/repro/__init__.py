@@ -2,10 +2,13 @@
 
 Public entry points:
 
-* :func:`repro.core.compile_dual` — DSL kernel -> HSAIL + GCN3.
+* :class:`repro.core.Session` — the front door: ``.compile(ir)`` (DSL
+  kernel -> HSAIL + GCN3), ``.run(workload, isa, trace=...)``, and
+  ``.suite(...)`` (the paper's full evaluation matrix).
+* :mod:`repro.obs` — cycle-level observability: trace bus, metric
+  registry, Chrome-trace / JSONL / text-report exporters.
 * :class:`repro.runtime.GpuProcess` — stage memory and dispatches.
 * :class:`repro.timing.Gpu` — the shared cycle-level machine model.
-* :func:`repro.harness.run_suite` — the paper's full evaluation matrix.
 """
 
 __version__ = "1.0.0"

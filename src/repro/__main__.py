@@ -7,6 +7,14 @@ list
     Show the workload registry (the paper's Table 5).
 run --workload W [--isa hsail|gcn3|both] [--scale S] [--cus N]
     Simulate one workload and print its statistics.
+trace W [--isa hsail|gcn3] [--out FILE] [--format chrome|jsonl]
+        [--categories issue,cache,...] [--sample N] [--max-events N]
+    Simulate one workload with the cycle-level trace bus enabled and
+    export the events — Chrome trace_event JSON (load in Perfetto /
+    chrome://tracing) or JSONL — plus a stall/occupancy text report.
+metrics [--match REGEX]
+    Print the metric registry: every declared counter/distribution with
+    its unit, scope, and documentation.
 figures [--scale S] [--only figNN,...] [--output FILE] [--jobs N]
         [--no-cache] [--cache-dir DIR] [--job-timeout SEC]
     Regenerate the paper's evaluation figures/tables.  ``--jobs N`` fans
@@ -41,13 +49,14 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .harness.runner import run_workload
+    from .core import Session
 
     config = paper_config() if args.cus == 8 else small_config(args.cus)
+    session = Session(config)
     isas = ["hsail", "gcn3"] if args.isa == "both" else [args.isa]
     rows = []
     for isa in isas:
-        run = run_workload(args.workload, isa, scale=args.scale, config=config)
+        run = session.run(args.workload, isa, scale=args.scale)
         snap = run.total.snapshot()
         rows.append([
             isa.upper(),
@@ -75,14 +84,65 @@ def _progress_printer(event) -> None:
     print(event.format(), file=sys.stderr)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core import Session
+    from .obs import TraceConfig, text_report, write_chrome_trace, write_jsonl
+
+    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    trace_config = TraceConfig.parse(
+        args.categories, sample_every=args.sample, max_events=args.max_events
+    )
+    run = Session(config).run(
+        args.workload, args.isa, scale=args.scale, trace=trace_config
+    )
+    trace = run.trace
+    assert trace is not None  # a traced run always carries TraceData
+    out = args.out or f"{args.workload}_{args.isa}.trace.json"
+    if args.format == "chrome":
+        write_chrome_trace(trace, out, metadata={
+            "workload": args.workload, "isa": args.isa,
+            "scale": args.scale, "cycles": run.cycles,
+        })
+    else:
+        write_jsonl(trace, out)
+    if not args.quiet:
+        print(text_report(trace, stats=run.total,
+                          title=f"{args.workload}/{args.isa} @ scale "
+                                f"{args.scale:g}"))
+    print(f"wrote {len(trace.events)} events to {out}"
+          + (f" ({trace.dropped} dropped at the cap)" if trace.dropped else ""))
+    return 0 if run.verified else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import re
+
+    from .obs import METRICS
+
+    pattern = re.compile(args.match) if args.match else None
+    rows = []
+    for metric in METRICS:
+        if pattern is not None and not pattern.search(metric.name):
+            continue
+        rows.append([
+            metric.name,
+            metric.kind.value,
+            metric.unit,
+            metric.scope.value,
+            metric.description,
+        ])
+    print(render_table(["Metric", "Kind", "Unit", "Scope", "Description"],
+                       rows, title="Metric registry (repro.obs.METRICS)"))
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
+    from .core import Session
     from .harness.report import write_report
-    from .harness.runner import run_suite
 
     keys = args.only.split(",") if args.only else None
-    results = run_suite(
+    results = Session(paper_config()).suite(
         scale=args.scale,
-        config=paper_config(),
         jobs=args.jobs,
         use_disk_cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
@@ -207,6 +267,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", "-s", type=float, default=0.5)
     run_p.add_argument("--cus", type=int, default=8)
 
+    trace_p = sub.add_parser(
+        "trace", help="simulate one workload with cycle-level tracing")
+    trace_p.add_argument("workload", help="workload name (see 'repro list')")
+    trace_p.add_argument("--isa", "-i", choices=["hsail", "gcn3"],
+                         default="gcn3")
+    trace_p.add_argument("--scale", "-s", type=float, default=0.25)
+    trace_p.add_argument("--cus", type=int, default=8)
+    trace_p.add_argument("--out", "-o",
+                         help="output file (default "
+                              "<workload>_<isa>.trace.json)")
+    trace_p.add_argument("--format", "-f", choices=["chrome", "jsonl"],
+                         default="chrome",
+                         help="chrome = trace_event JSON for "
+                              "Perfetto/chrome://tracing; jsonl = one "
+                              "event per line")
+    trace_p.add_argument("--categories", "-c",
+                         help="comma-separated event categories "
+                              "(default all: issue,mem,cache,vrf,flush,"
+                              "stall,wait,dispatch,fetch)")
+    trace_p.add_argument("--sample", type=int, default=1,
+                         help="keep every Nth event per category "
+                              "(stall *accounting* stays exact)")
+    trace_p.add_argument("--max-events", type=int, default=1_000_000,
+                         help="hard cap on recorded events")
+    trace_p.add_argument("--quiet", "-q", action="store_true",
+                         help="skip the stall/occupancy text report")
+
+    met_p = sub.add_parser("metrics", help="print the metric registry")
+    met_p.add_argument("--match", "-m",
+                       help="only metrics whose name matches this regex")
+
     fig_p = sub.add_parser("figures", help="regenerate the evaluation")
     fig_p.add_argument("--scale", "-s", type=float, default=0.5)
     fig_p.add_argument("--only", help="comma-separated keys, e.g. fig05,fig09")
@@ -256,6 +347,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "figures": _cmd_figures,
         "disasm": _cmd_disasm,
         "diff": _cmd_diff,

@@ -132,7 +132,11 @@ class StatSet:
     write_uniqueness: RatioProbe = field(default_factory=RatioProbe)
     simd_utilization: RatioProbe = field(default_factory=RatioProbe)
 
-    def bump(self, name: str, amount: int = 1) -> None:
+    def bump(self, name: "str | object", amount: int = 1) -> None:
+        """Add to a counter, addressed by name or by a declared
+        :class:`repro.obs.metrics.Metric` (preferred: typo-proof)."""
+        if not isinstance(name, str):
+            name = name.name  # type: ignore[attr-defined]
         self.counters[name] += amount
 
     def __getitem__(self, name: str) -> int:
@@ -160,13 +164,11 @@ class StatSet:
 
     def merge(self, other: "StatSet") -> None:
         """Fold another StatSet into this one (counters add, probes merge)."""
+        # Kernel-launch overlap is not modeled, so every counter --
+        # including "cycles" -- adds: aggregate runtime is the sum of
+        # per-launch cycles.
         for name, value in other.counters.items():
-            if name == "cycles":
-                # Kernel launches on the same GPU overlap is not modeled;
-                # aggregate runtime is the sum of per-launch cycles.
-                self.counters[name] += value
-            else:
-                self.counters[name] += value
+            self.counters[name] += value
         for cat, count in other.instructions_by_category.items():
             self.instructions_by_category[cat] += count
         self.reuse_distance.merge(other.reuse_distance)

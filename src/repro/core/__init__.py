@@ -2,12 +2,14 @@
 
 The paper's central artifact is the ability to run the *same* kernel
 source through both instruction-set abstractions on the same machine
-model.  :func:`compile_dual` produces the HSAIL and GCN3 forms of a
-kernel; :mod:`repro.core.funcsim` executes either functionally; the
-timing model in :mod:`repro.timing` executes either cycle by cycle.
+model.  :class:`Session` is the front door: ``Session().compile(ir)``
+produces the HSAIL and GCN3 forms of a kernel, ``.run()``/``.suite()``
+simulate them cycle by cycle (optionally recording a
+:class:`repro.obs.TraceData`); :mod:`repro.core.funcsim` executes either
+ISA functionally.  :func:`compile_dual` remains as a deprecated shim.
 """
 
-from .api import DualKernel, compile_dual
+from .api import DualKernel, Session, compile_dual
 from .funcsim import run_dispatch_functional
 
-__all__ = ["DualKernel", "compile_dual", "run_dispatch_functional"]
+__all__ = ["DualKernel", "Session", "compile_dual", "run_dispatch_functional"]

@@ -1,15 +1,46 @@
-"""Compilation convenience API."""
+"""The public API: one :class:`Session` object in front of the pipeline.
+
+A session binds the knobs that must agree across an experiment — the
+:class:`~repro.common.config.GpuConfig`, finalizer options, and trace
+settings — and exposes the three things users do:
+
+* :meth:`Session.compile` — DSL kernel IR -> HSAIL (the IL) + GCN3 (the
+  machine ISA) as one :class:`DualKernel`;
+* :meth:`Session.run` — simulate one registered workload under one ISA,
+  optionally recording a cycle-level trace
+  (:class:`repro.obs.TraceConfig`);
+* :meth:`Session.suite` — the paper's full (workload x ISA) matrix with
+  caching and process-pool fan-out.
+
+The older free functions ``compile_dual`` and ``run_suite`` survive as
+thin deprecated shims; new code (and everything in this repository)
+goes through a session::
+
+    from repro.core import Session
+
+    session = Session(small_config(2))
+    dual = session.compile(build_saxpy())
+    run = session.run("bitonic", "gcn3", trace=TraceConfig())
+    results = session.suite(scale=0.5, jobs=4)
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..finalizer.finalize import FinalizeOptions, finalize
 from ..gcn3.isa import Gcn3Kernel
 from ..hsail.codegen import compile_hsail
 from ..hsail.isa import HsailKernel
 from ..kernels.ir import KernelIR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..common.config import GpuConfig
+    from ..harness.parallel import ProgressFn
+    from ..harness.runner import SuiteResults, WorkloadRun
+    from ..obs.trace import TraceConfig
 
 
 @dataclass
@@ -38,10 +69,89 @@ class DualKernel:
         return self.gcn3.static_instructions / max(1, self.hsail.static_instructions)
 
 
-def compile_dual(ir: KernelIR,
-                 options: Optional[FinalizeOptions] = None) -> DualKernel:
-    """Compile kernel IR through the full two-phase flow:
-    frontend -> HSAIL (BRIG-ready) -> finalizer -> GCN3."""
+def _compile_dual(ir: KernelIR,
+                  options: Optional[FinalizeOptions] = None) -> DualKernel:
+    """The full two-phase flow: frontend -> HSAIL (BRIG-ready) ->
+    finalizer -> GCN3.  Internal; the public doors are
+    :meth:`Session.compile` and the deprecated :func:`compile_dual`."""
     hsail = compile_hsail(ir)
     gcn3 = finalize(hsail, options)
     return DualKernel(ir=ir, hsail=hsail, gcn3=gcn3)
+
+
+class Session:
+    """One configured simulation context; see the module docstring.
+
+    ``config`` defaults to the paper's Table 4 machine and is resolved
+    lazily, so compile-only sessions never touch the timing-model
+    configuration.
+    """
+
+    def __init__(self, config: "Optional[GpuConfig]" = None, *,
+                 finalize_options: Optional[FinalizeOptions] = None) -> None:
+        self._config = config
+        self.finalize_options = finalize_options
+
+    @property
+    def config(self) -> "GpuConfig":
+        if self._config is None:
+            from ..common.config import paper_config
+
+            self._config = paper_config()
+        return self._config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        config = "paper" if self._config is None else self._config.fingerprint()
+        return f"Session(config={config})"
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, ir: KernelIR,
+                options: Optional[FinalizeOptions] = None) -> DualKernel:
+        """Compile kernel IR to both ISAs (``options`` overrides the
+        session-level finalizer options for this kernel only)."""
+        return _compile_dual(ir, options if options is not None
+                             else self.finalize_options)
+
+    # -- simulation ------------------------------------------------------------
+
+    def run(self, workload: str, isa: str, *, scale: float = 1.0,
+            seed: int = 7,
+            trace: "Optional[TraceConfig]" = None) -> "WorkloadRun":
+        """Simulate one workload under one ISA; with ``trace`` set, the
+        returned run carries a :class:`repro.obs.TraceData` in ``.trace``."""
+        from ..harness.runner import run_workload
+
+        return run_workload(workload, isa, scale=scale, config=self.config,
+                            seed=seed, trace=trace)
+
+    def suite(self, *, scale: float = 1.0,
+              workloads: Optional[Sequence[str]] = None, seed: int = 7,
+              use_cache: bool = True, jobs: int = 1,
+              use_disk_cache: Optional[bool] = None,
+              cache_dir: Optional[str] = None,
+              job_timeout: Optional[float] = None,
+              progress: "Optional[ProgressFn]" = None,
+              trace: "Optional[TraceConfig]" = None) -> "SuiteResults":
+        """Run every workload under both ISAs (the paper's evaluation
+        matrix); same knobs as the old ``run_suite``, plus ``trace``.
+        Traced suites bypass both cache layers — a cached result has no
+        events to replay."""
+        from ..harness.runner import _run_suite
+
+        return _run_suite(
+            scale=scale, config=self.config, workloads=workloads, seed=seed,
+            use_cache=use_cache, jobs=jobs, use_disk_cache=use_disk_cache,
+            cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
+            trace=trace,
+        )
+
+
+def compile_dual(ir: KernelIR,
+                 options: Optional[FinalizeOptions] = None) -> DualKernel:
+    """Deprecated: use ``Session().compile(ir)`` instead."""
+    warnings.warn(
+        "compile_dual() is deprecated; use repro.core.Session().compile()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _compile_dual(ir, options)

@@ -9,7 +9,7 @@ from .runner import (
     SuiteResults,
     WorkloadRun,
     clear_suite_cache,
-    run_suite,
+    run_suite,  # deprecated shim; new code uses repro.core.Session.suite
     run_workload,
 )
 

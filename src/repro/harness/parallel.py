@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..common.config import GpuConfig
+from ..obs.trace import TraceConfig
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,9 @@ class Job:
     scale: float
     seed: int
     config: GpuConfig
+    #: trace settings; rides across the process boundary (TraceConfig is
+    #: frozen and picklable) so workers record events too.
+    trace: Optional[TraceConfig] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -84,7 +88,8 @@ def execute_job(job: Job) -> "Dict[str, object]":
     from .runner import run_workload
 
     run = run_workload(
-        job.workload, job.isa, scale=job.scale, config=job.config, seed=job.seed
+        job.workload, job.isa, scale=job.scale, config=job.config,
+        seed=job.seed, trace=job.trace,
     )
     return run.to_payload()
 

@@ -3,7 +3,8 @@
 One :class:`WorkloadRun` captures everything the paper's figures need for
 one workload under one ISA: aggregate and per-dispatch statistics, the
 static instruction footprint, the device data footprint, and functional
-verification.  :func:`run_suite` runs the full matrix once, caches it
+verification.  :meth:`repro.core.Session.suite` runs the full matrix
+once (via :func:`_run_suite` here), caches it
 in-process *and* persistently on disk (see :mod:`repro.harness.cache`),
 and can fan the matrix out across worker processes (``jobs=N``, see
 :mod:`repro.harness.parallel`) — the parallel path reduces back into the
@@ -13,11 +14,13 @@ exact ordering and statistics the serial path produces.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.config import GpuConfig, paper_config
 from ..common.stats import StatSet, merge_all
+from ..obs.trace import TraceBus, TraceConfig, TraceData
 from ..runtime.process import GpuProcess
 from ..timing.gpu import Gpu
 from ..workloads import all_workloads, create
@@ -46,6 +49,9 @@ class WorkloadRun:
     #: set when the run failed (worker raised, timed out, or crashed);
     #: a failed run has empty statistics and ``verified=False``.
     error: Optional[str] = None
+    #: cycle-level event trace; only present when the run was requested
+    #: with a :class:`repro.obs.TraceConfig`.
+    trace: Optional[TraceData] = None
 
     @property
     def failed(self) -> bool:
@@ -60,7 +66,23 @@ class WorkloadRun:
         return self.total.dynamic_instructions
 
     def stat(self, name: str) -> float:
-        return float(self.total.snapshot().get(name, 0.0))
+        """Value of one named metric from the aggregate statistics.
+
+        A metric the registry knows but this run never incremented (e.g.
+        ``ib_flushes`` on a flush-free workload) reads as 0.0; a name the
+        registry does *not* know raises ``KeyError`` with close-match
+        suggestions, instead of silently returning 0.0 for a typo.
+        """
+        snapshot = self.total.snapshot()
+        if name in snapshot:
+            return float(snapshot[name])
+        from ..obs.metrics import METRICS
+
+        if METRICS.find(name) is not None:
+            return 0.0
+        suggestions = METRICS.suggest(name)
+        hint = f"; did you mean {', '.join(suggestions)}?" if suggestions else ""
+        raise KeyError(f"unknown metric {name!r}{hint}")
 
     def per_kernel_totals(self) -> "Dict[str, StatSet]":
         """Per-dispatch statistics aggregated by kernel name (the paper's
@@ -93,7 +115,7 @@ class WorkloadRun:
         round-trips every per-dispatch StatSet exactly; it is the format
         the on-disk result cache stores and worker processes return.
         """
-        return {
+        payload: "Dict[str, object]" = {
             "workload": self.workload,
             "isa": self.isa,
             "verified": self.verified,
@@ -107,6 +129,11 @@ class WorkloadRun:
             "wall_seconds": self.wall_seconds,
             "error": self.error,
         }
+        # Untraced payloads must stay byte-identical to the pre-trace
+        # format (the golden-stats files and disk cache depend on it).
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_payload()
+        return payload
 
     @classmethod
     def from_payload(cls, payload: "Dict[str, object]") -> "WorkloadRun":
@@ -129,6 +156,11 @@ class WorkloadRun:
             },
             wall_seconds=float(payload["wall_seconds"]),  # type: ignore[arg-type]
             error=payload.get("error"),  # type: ignore[arg-type]
+            trace=(
+                TraceData.from_payload(payload["trace"])  # type: ignore[arg-type]
+                if payload.get("trace") is not None
+                else None
+            ),
         )
 
 
@@ -178,14 +210,21 @@ def run_workload(
     scale: float = 1.0,
     config: Optional[GpuConfig] = None,
     seed: int = 7,
+    trace: Optional[TraceConfig] = None,
 ) -> WorkloadRun:
-    """Simulate one workload under one ISA and collect all statistics."""
+    """Simulate one workload under one ISA and collect all statistics.
+
+    With ``trace`` set, a :class:`~repro.obs.TraceBus` rides along with
+    the GPU and the returned run carries the recorded
+    :class:`~repro.obs.TraceData`.
+    """
     config = config or paper_config()
     workload = create(name, scale=scale, seed=seed)
     process = GpuProcess(isa, memory_capacity=1 << 25)
+    bus = TraceBus(trace) if trace is not None else None
     start = time.time()
     workload.stage(process, isa)
-    gpu = Gpu(config, process)
+    gpu = Gpu(config, process, trace=bus)
     per_dispatch = gpu.run_all()
     verified = workload.verify(process)
     wall = time.time() - start
@@ -209,6 +248,7 @@ def run_workload(
         static_instructions=static_instrs,
         kernel_code_bytes=kernel_bytes,
         wall_seconds=wall,
+        trace=bus.data() if bus is not None else None,
     )
 
 
@@ -235,6 +275,31 @@ def run_suite(
     job_timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
 ) -> SuiteResults:
+    """Deprecated: use ``Session(config).suite(...)`` instead."""
+    warnings.warn(
+        "run_suite() is deprecated; use repro.core.Session(config).suite()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _run_suite(
+        scale=scale, config=config, workloads=workloads, seed=seed,
+        use_cache=use_cache, jobs=jobs, use_disk_cache=use_disk_cache,
+        cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
+    )
+
+
+def _run_suite(
+    scale: float = 1.0,
+    config: Optional[GpuConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    use_cache: bool = True,
+    jobs: int = 1,
+    use_disk_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+    trace: Optional[TraceConfig] = None,
+) -> SuiteResults:
     """Run every workload under both ISAs.
 
     Results are memoized in-process and persisted in the on-disk result
@@ -253,12 +318,19 @@ def run_suite(
         only); an overrunning job is recorded as failed, not waited on.
     :param progress: callback receiving one :class:`JobEvent` per cell
         (cache hit or simulated), for long-run observability.
+    :param trace: record a cycle-level trace for every cell.  Traced
+        suites bypass both the in-process memo and the disk cache in both
+        directions: a cached result carries no events, and traced results
+        must not poison the cache for untraced callers.
     """
     config = config or paper_config()
     names: Tuple[str, ...] = tuple(
         workloads if workloads is not None else [w.name for w in all_workloads()]
     )
     mem_key = (config.fingerprint(), scale, seed, names)
+    if trace is not None:
+        use_cache = False
+        use_disk_cache = False
     if use_cache and mem_key in _SUITE_CACHE:
         return _SUITE_CACHE[mem_key]
 
@@ -269,7 +341,10 @@ def run_suite(
         cache_dir,
     )
 
-    cells = [Job(name, isa, scale, seed, config) for name in names for isa in ISAS]
+    cells = [
+        Job(name, isa, scale, seed, config, trace=trace)
+        for name in names for isa in ISAS
+    ]
     total = len(cells)
     runs: Dict[Tuple[str, str], WorkloadRun] = {}
     misses: List[Job] = []

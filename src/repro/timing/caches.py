@@ -17,6 +17,15 @@ from typing import List, Optional
 
 from ..common.config import CacheConfig, DramConfig
 from ..common.stats import StatSet
+from ..obs.metrics import (
+    DRAM_ACCESSES,
+    IFETCH_MISSES,
+    IFETCH_REQUESTS,
+    SMEM_REQUESTS,
+    VMEM_LINES,
+    VMEM_REQUESTS,
+)
+from ..obs.trace import TraceBus
 
 
 class Cache:
@@ -33,6 +42,10 @@ class Cache:
         self.misses = 0
         self.next_free = 0  # cycle when the cache port is free
         self.occupancy = 1  # cycles a request holds the port
+        # Instance counter names, validated by the registry's cache
+        # families (repro.obs.metrics).
+        self.hits_counter = f"{name}_hits"
+        self.misses_counter = f"{name}_misses"
 
     def _set_of(self, line: int) -> "OrderedDict[int, bool]":
         return self._sets[line % self.num_sets]
@@ -66,8 +79,8 @@ class Cache:
         return start - now
 
     def export_stats(self, stats: StatSet) -> None:
-        stats.bump(f"{self.name}_hits", self.hits)
-        stats.bump(f"{self.name}_misses", self.misses)
+        stats.bump(self.hits_counter, self.hits)
+        stats.bump(self.misses_counter, self.misses)
 
     def reset_counters(self) -> None:
         self.hits = 0
@@ -97,6 +110,8 @@ class MemorySystem:
     def __init__(self, gpu_config, stats: Optional[StatSet] = None) -> None:
         self.config = gpu_config
         self.stats = stats if stats is not None else StatSet()
+        #: trace bus installed by the owning Gpu; None = no tracing.
+        self.trace: Optional[TraceBus] = None
         self.l1d: List[Cache] = [
             Cache(f"l1d{cu}", gpu_config.l1d) for cu in range(gpu_config.num_cus)
         ]
@@ -113,26 +128,44 @@ class MemorySystem:
     def _cluster(self, cu_id: int) -> int:
         return min(cu_id // self.config.cus_per_cluster, self.config.num_clusters - 1)
 
-    def _through_l2(self, cluster: int, line: int, now: int, is_write: bool) -> int:
+    def _note(self, cache: Cache, op: str, line: int, now: int, cu: int,
+              is_write: bool = False) -> None:
+        """Publish one cache outcome; callers pre-check ``wants_cache``."""
+        args: dict = {"line": line, "op": op}
+        if is_write:
+            args["write"] = True
+        self.trace.emit("cache", cache.name, now, cu=cu, args=args)
+
+    def _through_l2(self, cluster: int, line: int, now: int, is_write: bool,
+                    cu: int = -1) -> int:
         """Completion cycle of a request that reached the L2."""
         l2 = self.l2[cluster]
         start = now + l2.port_delay(now)
+        tracing = self.trace is not None and self.trace.wants_cache
         if is_write:
             # Write-through: latency hidden from the requester; charge DRAM
             # channel occupancy for bandwidth accounting only.
             l2.fill(line)
             self.dram.access(line, start)
+            if tracing:
+                self._note(l2, "fill", line, start, cu, is_write=True)
             return start + l2.config.hit_latency
         if l2.lookup(line):
+            if tracing:
+                self._note(l2, "hit", line, start, cu)
             return start + l2.config.hit_latency
         done = self.dram.access(line, start + l2.config.hit_latency)
         l2.fill(line)
+        if tracing:
+            self._note(l2, "miss", line, start, cu)
+            self._note(l2, "fill", line, done, cu)
         return done
 
     def vector_access(self, cu_id: int, lines: List[int], is_write: bool, now: int) -> int:
         """Completion cycle for a coalesced vector memory request."""
         l1 = self.l1d[cu_id]
         cluster = self._cluster(cu_id)
+        tracing = self.trace is not None and self.trace.wants_cache
         worst = now + l1.config.hit_latency
         for i, line in enumerate(lines):
             start = now + l1.port_delay(now)  # one line per port slot
@@ -140,48 +173,70 @@ class MemorySystem:
                 # Write-through, no-write-allocate (update on presence).
                 if l1.contains(line):
                     l1.lookup(line)
-                done = self._through_l2(cluster, line, start, True)
+                    if tracing:
+                        self._note(l1, "hit", line, start, cu_id, is_write=True)
+                done = self._through_l2(cluster, line, start, True, cu_id)
             elif l1.lookup(line):
+                if tracing:
+                    self._note(l1, "hit", line, start, cu_id)
                 done = start + l1.config.hit_latency
             else:
-                done = self._through_l2(cluster, line, start + l1.config.hit_latency, False)
+                if tracing:
+                    self._note(l1, "miss", line, start, cu_id)
+                done = self._through_l2(cluster, line, start + l1.config.hit_latency, False, cu_id)
                 l1.fill(line)
+                if tracing:
+                    self._note(l1, "fill", line, done, cu_id)
             worst = max(worst, done)
-        self.stats.bump("vmem_requests")
-        self.stats.bump("vmem_lines", len(lines))
+        self.stats.bump(VMEM_REQUESTS)
+        self.stats.bump(VMEM_LINES, len(lines))
         return worst
 
     def scalar_access(self, cu_id: int, lines: List[int], now: int) -> int:
         """Completion cycle for an s_load through the scalar cache."""
         cluster = self._cluster(cu_id)
         cache = self.scalar[cluster]
+        tracing = self.trace is not None and self.trace.wants_cache
         worst = now + cache.config.hit_latency
         for line in lines:
             start = now + cache.port_delay(now)
             if cache.lookup(line):
+                if tracing:
+                    self._note(cache, "hit", line, start, cu_id)
                 done = start + cache.config.hit_latency
             else:
-                done = self._through_l2(cluster, line, start + cache.config.hit_latency, False)
+                if tracing:
+                    self._note(cache, "miss", line, start, cu_id)
+                done = self._through_l2(cluster, line, start + cache.config.hit_latency, False, cu_id)
                 cache.fill(line)
+                if tracing:
+                    self._note(cache, "fill", line, done, cu_id)
             worst = max(worst, done)
-        self.stats.bump("smem_requests")
+        self.stats.bump(SMEM_REQUESTS)
         return worst
 
     def ifetch(self, cu_id: int, line: int, now: int) -> int:
         """Completion cycle for an instruction fetch."""
         cluster = self._cluster(cu_id)
         cache = self.l1i[cluster]
+        tracing = self.trace is not None and self.trace.wants_cache
         start = now + cache.port_delay(now)
-        self.stats.bump("ifetch_requests")
+        self.stats.bump(IFETCH_REQUESTS)
         if cache.lookup(line):
+            if tracing:
+                self._note(cache, "hit", line, start, cu_id)
             return start + cache.config.hit_latency
-        self.stats.bump("ifetch_misses")
-        done = self._through_l2(cluster, line, start + cache.config.hit_latency, False)
+        self.stats.bump(IFETCH_MISSES)
+        if tracing:
+            self._note(cache, "miss", line, start, cu_id)
+        done = self._through_l2(cluster, line, start + cache.config.hit_latency, False, cu_id)
         cache.fill(line)
+        if tracing:
+            self._note(cache, "fill", line, done, cu_id)
         return done
 
     def export_stats(self, stats: StatSet) -> None:
         for group in (self.l1d, self.l1i, self.scalar, self.l2):
             for cache in group:
                 cache.export_stats(stats)
-        stats.bump("dram_accesses", self.dram.accesses)
+        stats.bump(DRAM_ACCESSES, self.dram.accesses)

@@ -28,6 +28,8 @@ from ..common.exec_types import ExecResult, MemKind
 from ..common.lanes import mask_to_bool
 from ..gcn3.semantics import Gcn3Executor, Gcn3WfState
 from ..hsail.semantics import HsailExecutor
+from ..obs.metrics import BARRIERS, IB_FLUSHES, LDS_ACCESSES
+from ..obs.trace import TraceBus
 from .wavefront import TimingWavefront
 
 _LONG_VALU = ("_f64", "v_rcp", "v_sqrt", "v_div")
@@ -106,6 +108,7 @@ class ComputeUnit:
             self.simd_wfs[self._next_simd].append(wf)
             self._next_simd = (self._next_simd + 1) % self.config.num_simds
         self._all_wfs = [wf for group in self.simd_wfs for wf in group]
+        self._trace_wg("wg_place", record)
 
     def _retire_workgroup(self, record: WorkgroupRecord) -> None:
         del self.workgroups[record.wg_key]
@@ -116,8 +119,20 @@ class ComputeUnit:
         for wf in record.wavefronts:
             self.simd_wfs[wf.simd_id].remove(wf)
         self._all_wfs = [wf for group in self.simd_wfs for wf in group]
+        self._trace_wg("wg_retire", record)
         if record.on_complete is not None:
             record.on_complete()  # type: ignore[operator]
+
+    def _trace_wg(self, name: str, record: WorkgroupRecord) -> None:
+        """Workgroup lifecycle events (the occupancy report's raw data)."""
+        trace: Optional[TraceBus] = self.gpu.trace
+        if trace is not None and trace.wants_dispatch:
+            trace.emit(
+                "dispatch", name, self.gpu.events.now, cu=self.cu_id,
+                args={"wg": list(record.wg_key),
+                      "resident": len(self.workgroups),
+                      "wavefronts": len(record.wavefronts)},
+            )
 
     @property
     def busy(self) -> bool:
@@ -133,6 +148,9 @@ class ComputeUnit:
         hint: Optional[int] = None
         vrf = self.gpu.vrf_models[self.cu_id]
         vrf.collect(now)
+        # One attribute fetch per cycle; every instrumentation point below
+        # is a plain ``is not None`` check when tracing is off.
+        trace: Optional[TraceBus] = self.gpu.trace
 
         if self._start_fetch(now):
             did = True
@@ -140,11 +158,13 @@ class ComputeUnit:
         for simd in range(self.config.num_simds):
             if self.simd_free[simd] > now:
                 hint = _min_hint(hint, self.simd_free[simd])
+                if trace is not None and trace.wants_stall:
+                    trace.stall("simd_busy", now, self.cu_id)
                 continue
             for wf in self.simd_wfs[simd]:
                 if wf.done or wf.at_barrier or wf.parked:
                     continue
-                issued, wf_hint = self._try_issue(wf, simd, now)
+                issued, wf_hint = self._try_issue(wf, simd, now, trace)
                 if issued:
                     did = True
                     break
@@ -171,6 +191,11 @@ class ComputeUnit:
             self.gpu.events.schedule_at(
                 max(done_cycle, now + 1), lambda w=wf, e=epoch: self._finish_fetch(w, e)
             )
+            trace: Optional[TraceBus] = self.gpu.trace
+            if trace is not None and trace.wants_fetch:
+                trace.emit("fetch", "ifetch", now,
+                           dur=max(done_cycle - now, 1), cu=self.cu_id,
+                           wf=wf.wf_id, args={"line": line})
             return True
         return False
 
@@ -193,7 +218,8 @@ class ComputeUnit:
 
     # -- issue ------------------------------------------------------------
 
-    def _try_issue(self, wf: TimingWavefront, simd: int, now: int) -> Tuple[bool, Optional[int]]:
+    def _try_issue(self, wf: TimingWavefront, simd: int, now: int,
+                   trace: Optional[TraceBus] = None) -> Tuple[bool, Optional[int]]:
         if wf.next_issue_cycle > now:
             return False, wf.next_issue_cycle
 
@@ -213,37 +239,47 @@ class ComputeUnit:
         head = wf.ib_head()
         if head is None:
             wf.parked = True  # woken by the fetch fill
+            if trace is not None and trace.wants_stall:
+                trace.stall("fetch_wait", now, self.cu_id, wf.wf_id)
             return False, None
         if head != state.pc:
             # Stale buffer (a flush raced with an already-checked fetch
             # stage); resynchronize and wake next cycle for the refetch.
             wf.flush_ib(state.pc)
+            if trace is not None and trace.wants_stall:
+                trace.stall("ib_resync", now, self.cu_id, wf.wf_id)
             return False, self.gpu.events.now + 1
 
         instr = wf.instr_at(state.pc)
         category = instr.category
 
-        blocked, hint = self._dependencies_block(wf, instr, now)
+        blocked, hint = self._dependencies_block(wf, instr, now, trace)
         if blocked:
             return False, hint
 
         unit_hint = self._unit_busy(wf, instr, category, now)
         if unit_hint is not None:
+            if trace is not None and trace.wants_stall:
+                trace.stall(_unit_stall_reason(wf, category), now,
+                            self.cu_id, wf.wf_id)
             return False, unit_hint
 
-        self._issue(wf, instr, category, simd, now)
+        self._issue(wf, instr, category, simd, now, trace)
         return True, None
 
-    def _dependencies_block(self, wf: TimingWavefront, instr, now: int) -> Tuple[bool, Optional[int]]:
+    def _dependencies_block(self, wf: TimingWavefront, instr, now: int,
+                            trace: Optional[TraceBus] = None) -> Tuple[bool, Optional[int]]:
         if wf.is_gcn3:
             if instr.opcode == "s_waitcnt":
                 vm = instr.attrs.get("vmcnt")
                 lgkm = instr.attrs.get("lgkmcnt")
                 if vm is not None and wf.pending_vmem > int(vm):
                     wf.parked = True  # woken by a memory completion
+                    self._trace_wait(trace, wf, "waitcnt_vm", now, vm, lgkm)
                     return True, None
                 if lgkm is not None and wf.pending_lgkm > int(lgkm):
                     wf.parked = True
+                    self._trace_wait(trace, wf, "waitcnt_lgkm", now, vm, lgkm)
                     return True, None
             return False, None
         # HSAIL scoreboard: every source and destination slot must be free.
@@ -252,11 +288,33 @@ class ComputeUnit:
             hint = wf.slots_ready_hint(slots, now)
             if hint is None:
                 wf.parked = True  # blocked on in-flight memory
+            if trace is not None and trace.wants_stall:
+                trace.stall(
+                    "scoreboard_mem" if hint is None else "scoreboard",
+                    now, self.cu_id, wf.wf_id)
             return True, hint
         if instr.category.is_memory and wf.pending_vmem >= self.config.max_outstanding_vmem:
             wf.parked = True
+            if trace is not None and trace.wants_stall:
+                trace.stall("vmem_capacity", now, self.cu_id, wf.wf_id)
             return True, None
         return False, None
+
+    def _trace_wait(self, trace: Optional[TraceBus], wf: TimingWavefront,
+                    reason: str, now: int, vm, lgkm) -> None:
+        """An ``s_waitcnt`` that parked the wavefront (GCN3's one explicit
+        dependency-stall point, paper §III.B.2)."""
+        if trace is None:
+            return
+        if trace.wants_stall:
+            trace.stall(reason, now, self.cu_id, wf.wf_id)
+        if trace.wants_wait:
+            trace.emit("wait", "s_waitcnt", now, cu=self.cu_id, wf=wf.wf_id,
+                       args={"reason": reason,
+                             "vmcnt": None if vm is None else int(vm),
+                             "lgkmcnt": None if lgkm is None else int(lgkm),
+                             "pending_vmem": wf.pending_vmem,
+                             "pending_lgkm": wf.pending_lgkm})
 
     def _unit_busy(self, wf: TimingWavefront, instr, category: InstrCategory, now: int) -> Optional[int]:
         """None if the needed unit is free, else a wake hint."""
@@ -276,11 +334,13 @@ class ComputeUnit:
             return self.lds_free if self.lds_free > now else None
         return None
 
-    def _issue(self, wf: TimingWavefront, instr, category: InstrCategory, simd: int, now: int) -> None:
+    def _issue(self, wf: TimingWavefront, instr, category: InstrCategory,
+               simd: int, now: int, trace: Optional[TraceBus] = None) -> None:
         gpu = self.gpu
         stats = gpu.stats
         state = wf.state
         record = self.workgroups[wf.wg_key]
+        pc = state.pc
 
         wf.instr_counter += 1
         stats.record_instruction(category)
@@ -299,6 +359,9 @@ class ComputeUnit:
         else:
             duration = 2
         vrf.note_access(read_slots, now, duration)
+        if trace is not None and trace.wants_vrf and read_slots:
+            trace.emit("vrf", "gather", now, dur=duration, cu=self.cu_id,
+                       wf=wf.wf_id, args={"slots": list(read_slots)})
         vrf.record_reuse(wf.reuse_tracker, wf.instr_counter, read_slots + write_slots)
         # The uniqueness probe samples one instruction in four: np.unique
         # per slot is the probe's cost, and the ratio converges quickly.
@@ -319,8 +382,14 @@ class ComputeUnit:
         issue_cost = self._charge_units(wf, instr, category, simd, now)
         wf.next_issue_cycle = now + 1
 
+        if trace is not None and trace.wants_issue:
+            trace.emit("issue", instr.opcode, now, dur=issue_cost,
+                       cu=self.cu_id, wf=wf.wf_id,
+                       args={"pc": pc, "cat": category.value,
+                             "active": result.active_lanes})
+
         # --- memory completions ---
-        self._handle_memory(wf, instr, category, result, now, issue_cost)
+        self._handle_memory(wf, instr, category, result, now, issue_cost, trace)
 
         # --- control flow / IB maintenance ---
         wf.ib_pop()
@@ -363,7 +432,8 @@ class ComputeUnit:
         return 1
 
     def _handle_memory(self, wf: TimingWavefront, instr, category: InstrCategory,
-                       result: ExecResult, now: int, issue_cost: int) -> None:
+                       result: ExecResult, now: int, issue_cost: int,
+                       trace: Optional[TraceBus] = None) -> None:
         gpu = self.gpu
         if result.mem_kind in (MemKind.GLOBAL_LOAD, MemKind.GLOBAL_STORE):
             lines = result.mem_lines or [0]
@@ -378,10 +448,19 @@ class ComputeUnit:
                 max(done, now + 1),
                 lambda w=wf, s=written: self._finish_vmem(w, s),
             )
+            if trace is not None and trace.wants_mem:
+                trace.emit("mem", instr.opcode, now, dur=max(done - now, 1),
+                           cu=self.cu_id, wf=wf.wf_id,
+                           args={"kind": result.mem_kind, "lines": len(lines)})
         elif result.mem_kind == MemKind.SCALAR_LOAD:
-            done = gpu.memsys.scalar_access(self.cu_id, result.mem_lines or [0], now + issue_cost)
+            lines = result.mem_lines or [0]
+            done = gpu.memsys.scalar_access(self.cu_id, lines, now + issue_cost)
             wf.pending_lgkm += 1
             gpu.events.schedule_at(max(done, now + 1), lambda w=wf: self._finish_lgkm(w))
+            if trace is not None and trace.wants_mem:
+                trace.emit("mem", instr.opcode, now, dur=max(done - now, 1),
+                           cu=self.cu_id, wf=wf.wf_id,
+                           args={"kind": "scalar_load", "lines": len(lines)})
         elif result.mem_kind == MemKind.LDS_ACCESS:
             done = now + issue_cost + self.config.lds_latency
             wf.pending_lgkm += 1
@@ -392,7 +471,11 @@ class ComputeUnit:
                 max(done, now + 1),
                 lambda w=wf, s=written: self._finish_lds(w, s),
             )
-            gpu.stats.bump("lds_accesses")
+            gpu.stats.bump(LDS_ACCESSES)
+            if trace is not None and trace.wants_mem:
+                trace.emit("mem", instr.opcode, now, dur=max(done - now, 1),
+                           cu=self.cu_id, wf=wf.wf_id,
+                           args={"kind": "lds", "lines": 0})
 
     def _finish_vmem(self, wf: TimingWavefront, slots: List[int]) -> None:
         wf.pending_vmem -= 1
@@ -415,7 +498,11 @@ class ComputeUnit:
 
     def _flush(self, wf: TimingWavefront, new_pc: int) -> None:
         wf.flush_ib(new_pc)
-        self.gpu.stats.bump("ib_flushes")
+        self.gpu.stats.bump(IB_FLUSHES)
+        trace: Optional[TraceBus] = self.gpu.trace
+        if trace is not None and trace.wants_flush:
+            trace.emit("flush", "ib_flush", self.gpu.events.now,
+                       cu=self.cu_id, wf=wf.wf_id, args={"new_pc": new_pc})
 
     def _arrive_barrier(self, wf: TimingWavefront, record: WorkgroupRecord) -> None:
         wf.at_barrier = True
@@ -424,7 +511,7 @@ class ComputeUnit:
             record.barrier_arrivals = 0
             for other in record.wavefronts:
                 other.at_barrier = False
-            self.gpu.stats.bump("barriers")
+            self.gpu.stats.bump(BARRIERS)
             self.gpu.notify_progress()
 
     def _maybe_retire(self, record: WorkgroupRecord) -> None:
@@ -436,6 +523,19 @@ class ComputeUnit:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
+
+
+def _unit_stall_reason(wf: TimingWavefront, category: InstrCategory) -> str:
+    """Stall-trace label for an instruction blocked on a busy unit."""
+    if category in (InstrCategory.SALU, InstrCategory.SMEM):
+        return "scalar_busy"
+    if category in (InstrCategory.BRANCH, InstrCategory.MISC):
+        return "scalar_busy" if wf.is_gcn3 else "branch_busy"
+    if category == InstrCategory.VMEM:
+        return "vmem_busy"
+    if category == InstrCategory.LDS:
+        return "lds_busy"
+    return "unit_busy"
 
 
 def _min_hint(a: Optional[int], b: Optional[int]) -> Optional[int]:

@@ -24,6 +24,8 @@ from ..common.stats import StatSet
 from ..gcn3.isa import Gcn3Kernel
 from ..gcn3.semantics import Gcn3Executor, Gcn3WfState
 from ..hsail.semantics import HsailExecutor, HsailWfState
+from ..obs.metrics import CYCLES, WORKGROUPS_DISPATCHED
+from ..obs.trace import TraceBus
 from ..runtime.process import Dispatch, GpuProcess
 from .caches import MemorySystem
 from .cu import ComputeUnit, WorkgroupRecord
@@ -37,11 +39,16 @@ DISPATCH_LATENCY = 300
 class Gpu:
     """A full GPU instance bound to one process."""
 
-    def __init__(self, config: GpuConfig, process: GpuProcess) -> None:
+    def __init__(self, config: GpuConfig, process: GpuProcess,
+                 trace: Optional[TraceBus] = None) -> None:
         self.config = config
         self.process = process
+        #: observability bus; ``None`` (the default) keeps every
+        #: instrumentation point on the zero-overhead no-trace path.
+        self.trace = trace
         self.events = EventQueue()
         self.memsys = MemorySystem(config)
+        self.memsys.trace = trace
         self.cus = [ComputeUnit(i, self) for i in range(config.num_cus)]
         self.vrf_models: List[VrfModel] = []
         self.stats = StatSet()
@@ -78,7 +85,8 @@ class Gpu:
         self.stats = stats
         self.memsys.stats = stats
         self.vrf_models = [
-            VrfModel(self.config.cu.vrf_banks, stats) for _ in range(self.config.num_cus)
+            VrfModel(self.config.cu.vrf_banks, stats, trace=self.trace, cu_id=cu)
+            for cu in range(self.config.num_cus)
         ]
 
         start_cycle = self.events.now
@@ -119,7 +127,13 @@ class Gpu:
                     f"running {dispatch.kernel.name}"
                 )
 
-        stats.bump("cycles", self.events.now - start_cycle)
+        stats.bump(CYCLES, self.events.now - start_cycle)
+        if self.trace is not None and self.trace.wants_dispatch:
+            self.trace.emit(
+                "dispatch", dispatch.kernel.name, start_cycle,
+                dur=self.events.now - start_cycle,
+                args={"dispatch": dispatch_id, "workgroups": num_wgs},
+            )
         for vrf in self.vrf_models:
             vrf.flush()
         self.memsys.export_stats(stats)
@@ -213,7 +227,7 @@ class Gpu:
             on_complete=self._wg_done,
         )
         cu.add_workgroup(record)
-        self.stats.bump("workgroups_dispatched")
+        self.stats.bump(WORKGROUPS_DISPATCHED)
 
     def _wg_done(self) -> None:
         self._outstanding_wgs -= 1

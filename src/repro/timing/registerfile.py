@@ -18,19 +18,24 @@ them real):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from ..common.stats import StatSet
+from ..obs.metrics import VRF_BANK_CONFLICTS
+from ..obs.trace import TraceBus
 
 
 class VrfModel:
     """Per-CU VRF probe state; wavefront-local trackers live on the WF."""
 
-    def __init__(self, num_banks: int, stats: StatSet) -> None:
+    def __init__(self, num_banks: int, stats: StatSet,
+                 trace: Optional[TraceBus] = None, cu_id: int = -1) -> None:
         self.num_banks = num_banks
         self.stats = stats
+        self.trace = trace
+        self.cu_id = cu_id
         #: cycle -> {bank -> reads} of not-yet-finalized operand gathers
         self._pending: Dict[int, Dict[int, int]] = {}
 
@@ -65,11 +70,15 @@ class VrfModel:
         if not self._pending:
             return
         done = [c for c in self._pending if c < now]
+        trace = self.trace
         for cycle in done:
             per_cycle = self._pending.pop(cycle)
             conflicts = sum(n - 1 for n in per_cycle.values() if n > 1)
             if conflicts:
-                self.stats.bump("vrf_bank_conflicts", conflicts)
+                self.stats.bump(VRF_BANK_CONFLICTS, conflicts)
+                if trace is not None and trace.wants_vrf:
+                    trace.emit("vrf", "bank_conflict", cycle, cu=self.cu_id,
+                               args={"conflicts": conflicts})
 
     def flush(self) -> None:
         self.collect(1 << 62)

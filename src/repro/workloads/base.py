@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Type
 
 import numpy as np
 
-from ..core.api import DualKernel, compile_dual
+from ..core.api import DualKernel, _compile_dual
 from ..kernels.ir import KernelIR
 from ..runtime.process import GpuProcess
 
@@ -48,7 +48,7 @@ class Workload(abc.ABC):
     def kernels(self) -> Dict[str, DualKernel]:
         if self._duals is None:
             self._duals = {
-                name: compile_dual(ir, self.finalize_options)
+                name: _compile_dual(ir, self.finalize_options)
                 for name, ir in self.build_kernels().items()
             }
         return self._duals

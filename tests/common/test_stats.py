@@ -41,9 +41,47 @@ class TestDistribution:
         assert d.percentile(50) == 50
         assert d.percentile(100) == 100
 
+    def test_percentile_zero_returns_minimum(self):
+        d = Distribution()
+        for v in (7, 3, 9):
+            d.add(v)
+        # p=0 still targets the first sample (inclusive rank >= 1).
+        assert d.percentile(0) == 3
+
+    def test_percentile_hundred_returns_maximum(self):
+        d = Distribution()
+        for v in (7, 3, 9):
+            d.add(v)
+        assert d.percentile(100) == 9
+
+    def test_percentile_single_sample_any_p(self):
+        d = Distribution()
+        d.add(42)
+        for p in (0, 1, 50, 99, 100):
+            assert d.percentile(p) == 42
+
+    def test_percentile_on_merged_buckets(self):
+        """Percentiles must respect counts accumulated into one bucket
+        across merges, not just distinct values."""
+        a, b = Distribution(), Distribution()
+        a.add(1, count=98)
+        b.add(1)          # same bucket as a's samples
+        b.add(1000)
+        a.merge(b)
+        assert a.count == 100
+        assert a.percentile(50) == 1
+        assert a.percentile(99) == 1
+        assert a.percentile(100) == 1000
+
+    def test_percentile_empty_is_zero(self):
+        assert Distribution().percentile(0) == 0.0
+        assert Distribution().percentile(100) == 0.0
+
     def test_bad_percentile(self):
         with pytest.raises(ValueError):
             Distribution().percentile(101)
+        with pytest.raises(ValueError):
+            Distribution().percentile(-0.1)
 
     def test_bad_count(self):
         with pytest.raises(ValueError):

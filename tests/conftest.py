@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.common.config import small_config
-from repro.core import compile_dual, run_dispatch_functional
+from repro.core import Session, run_dispatch_functional
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -47,12 +47,12 @@ def build_branchy():
 
 @pytest.fixture(scope="session")
 def vec_add_dual():
-    return compile_dual(build_vec_add())
+    return Session().compile(build_vec_add())
 
 
 @pytest.fixture(scope="session")
 def branchy_dual():
-    return compile_dual(build_branchy())
+    return Session().compile(build_branchy())
 
 
 def run_functional(dual, isa, arrays, out_count, out_dtype=np.float32,

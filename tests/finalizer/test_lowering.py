@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import compile_dual
+from repro.core import Session
 from repro.finalizer.lowering import PACKET_GRID_SIZE_OFFSET, PACKET_WG_SIZE_OFFSET
 from repro.gcn3.isa import SImm, SReg, VReg
 from repro.kernels.dsl import KernelBuilder
@@ -13,7 +13,7 @@ from repro.runtime.memory import Segment
 def finalize_kernel(build, params=(("p", DType.U64), ("n", DType.U32))):
     kb = KernelBuilder("k", list(params))
     build(kb)
-    return compile_dual(kb.finish()).gcn3
+    return Session().compile(kb.finish()).gcn3
 
 
 def opcodes(kernel):

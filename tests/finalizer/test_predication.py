@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import compile_dual
+from repro.core import Session
 from repro.gcn3.isa import EXEC
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
@@ -12,7 +12,7 @@ from repro.runtime.memory import Segment
 def finalize_kernel(build, params=(("p", DType.U64), ("n", DType.U32))):
     kb = KernelBuilder("k", list(params))
     build(kb)
-    return compile_dual(kb.finish()).gcn3
+    return Session().compile(kb.finish()).gcn3
 
 
 def opcodes(kernel):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import compile_dual
+from repro.core import Session
 from repro.gcn3 import abi
 from repro.gcn3.isa import MAX_SGPRS, MAX_VGPRS, SReg, VReg
 from repro.kernels.dsl import KernelBuilder
@@ -13,7 +13,7 @@ from repro.runtime.memory import Segment
 def finalize_kernel(build, params=(("p", DType.U64), ("n", DType.U32))):
     kb = KernelBuilder("k", list(params))
     build(kb)
-    return compile_dual(kb.finish()).gcn3
+    return Session().compile(kb.finish()).gcn3
 
 
 def build_pressure(n_live):
@@ -92,7 +92,7 @@ class TestSpilling:
         tid = kb.wi_abs_id()
         kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4,
                  acc)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
         assert dual.gcn3.scratch_bytes > 0
 
         data = np.arange(300, dtype=np.float32) * 0.5

@@ -22,7 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro.common.config import small_config
-from repro.harness.runner import run_suite
+from repro.core import Session
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "suite_small.json"
 
@@ -33,9 +33,8 @@ SEED = 7
 
 def _capture(jobs: int) -> dict:
     """The golden payload for the pinned suite, wall-clock excluded."""
-    results = run_suite(
+    results = Session(small_config(2)).suite(
         scale=SCALE,
-        config=small_config(2),
         workloads=list(WORKLOADS),
         seed=SEED,
         use_cache=False,        # golden must reflect a real simulation,

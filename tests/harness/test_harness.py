@@ -11,14 +11,15 @@ from repro.harness.hardware_model import (
     hardware_cycles,
     table07_rows,
 )
-from repro.harness.runner import run_suite, run_workload
+from repro.core import Session
+from repro.harness.runner import run_workload
 
 
 @pytest.fixture(scope="module")
 def mini_suite():
     """A tiny two-workload suite shared by all harness tests."""
-    return run_suite(scale=0.1, config=small_config(2),
-                     workloads=["arraybw", "comd"])
+    return Session(small_config(2)).suite(scale=0.1,
+                                          workloads=["arraybw", "comd"])
 
 
 class TestRunner:
@@ -45,8 +46,8 @@ class TestRunner:
         assert g3.dynamic_instructions > hs.dynamic_instructions
 
     def test_suite_cached_in_process(self, mini_suite):
-        again = run_suite(scale=0.1, config=small_config(2),
-                          workloads=["arraybw", "comd"])
+        again = Session(small_config(2)).suite(
+            scale=0.1, workloads=["arraybw", "comd"])
         assert again is mini_suite
 
 

@@ -7,8 +7,9 @@ import time
 import pytest
 
 from repro.common.config import small_config
+from repro.core import Session
 from repro.harness.parallel import Job, JobEvent, resolve_jobs, run_job_inline, run_jobs
-from repro.harness.runner import run_suite, run_workload
+from repro.harness.runner import run_workload
 
 WORKLOADS = ["arraybw", "comd", "bitonic"]
 SCALE = 0.1
@@ -49,15 +50,15 @@ class TestDeterminism:
 
     @pytest.fixture(scope="class")
     def serial(self):
-        return run_suite(scale=SCALE, config=small_config(2),
-                         workloads=WORKLOADS, seed=SEED,
-                         use_cache=False, jobs=1)
+        return Session(small_config(2)).suite(
+            scale=SCALE, workloads=WORKLOADS, seed=SEED,
+            use_cache=False, jobs=1)
 
     @pytest.fixture(scope="class")
     def pooled(self):
-        return run_suite(scale=SCALE, config=small_config(2),
-                         workloads=WORKLOADS, seed=SEED,
-                         use_cache=False, jobs=4)
+        return Session(small_config(2)).suite(
+            scale=SCALE, workloads=WORKLOADS, seed=SEED,
+            use_cache=False, jobs=4)
 
     @pytest.mark.parametrize("workload", WORKLOADS)
     @pytest.mark.parametrize("isa", ["hsail", "gcn3"])
@@ -103,20 +104,18 @@ class TestSuiteCacheKey:
 
         base = small_config(2)
         slower = base.scaled(cu=replace(base.cu, valu_issue_cycles=8))
-        a = run_suite(scale=SCALE, config=base,
-                      workloads=["arraybw"], seed=SEED)
-        b = run_suite(scale=SCALE, config=slower,
-                      workloads=["arraybw"], seed=SEED)
+        a = Session(base).suite(scale=SCALE, workloads=["arraybw"], seed=SEED)
+        b = Session(slower).suite(scale=SCALE, workloads=["arraybw"], seed=SEED)
         assert a is not b
         # Doubling VALU issue latency must show up in cycles; identical
         # results would mean the second call was served the stale matrix.
         assert a.get("arraybw", "gcn3").cycles < b.get("arraybw", "gcn3").cycles
 
     def test_same_config_still_memoized(self):
-        a = run_suite(scale=SCALE, config=small_config(2),
-                      workloads=["arraybw"], seed=SEED)
-        b = run_suite(scale=SCALE, config=small_config(2),
-                      workloads=["arraybw"], seed=SEED)
+        a = Session(small_config(2)).suite(scale=SCALE, workloads=["arraybw"],
+                                           seed=SEED)
+        b = Session(small_config(2)).suite(scale=SCALE, workloads=["arraybw"],
+                                           seed=SEED)
         assert a is b
 
 
@@ -159,9 +158,9 @@ class TestFailureIsolation:
         assert run.per_dispatch == []
 
     def test_run_suite_survives_bad_workload(self, tmp_path):
-        results = run_suite(scale=SCALE, config=small_config(2),
-                            workloads=["arraybw", "no-such-workload"],
-                            use_cache=False, jobs=1)
+        results = Session(small_config(2)).suite(
+            scale=SCALE, workloads=["arraybw", "no-such-workload"],
+            use_cache=False, jobs=1)
         assert results.get("arraybw", "gcn3").verified
         failed = results.get("no-such-workload", "gcn3")
         assert failed.error is not None
@@ -170,22 +169,23 @@ class TestFailureIsolation:
 
     def test_failed_runs_never_written_to_cache(self, tmp_path):
         cache_dir = tmp_path / "cache"
-        run_suite(scale=SCALE, config=small_config(2),
-                  workloads=["no-such-workload"],
-                  use_cache=False, use_disk_cache=True,
-                  cache_dir=str(cache_dir), jobs=1)
+        Session(small_config(2)).suite(
+            scale=SCALE, workloads=["no-such-workload"],
+            use_cache=False, use_disk_cache=True,
+            cache_dir=str(cache_dir), jobs=1)
         assert not list(cache_dir.glob("*.json"))
 
 
 class TestProgressEvents:
     def test_events_cover_matrix_and_report_cache_hits(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
-        common = dict(scale=SCALE, config=small_config(2),
+        session = Session(small_config(2))
+        common = dict(scale=SCALE,
                       workloads=["arraybw", "bitonic"], seed=SEED,
                       use_cache=False, use_disk_cache=True,
                       cache_dir=cache_dir)
         cold_events = []
-        run_suite(jobs=2, progress=cold_events.append, **common)
+        session.suite(jobs=2, progress=cold_events.append, **common)
         assert len(cold_events) == 4
         assert {e.status for e in cold_events} == {"ok"}
         assert sorted((e.workload, e.isa) for e in cold_events) == sorted(
@@ -194,7 +194,7 @@ class TestProgressEvents:
         assert all(e.total == 4 for e in cold_events)
 
         warm_events = []
-        run_suite(jobs=2, progress=warm_events.append, **common)
+        session.suite(jobs=2, progress=warm_events.append, **common)
         assert {e.status for e in warm_events} == {"hit"}
 
     def test_event_format_line(self):

@@ -6,14 +6,14 @@ import pytest
 
 from repro.common.config import small_config
 from repro.harness.report import figure_with_bars, render_bars, write_report
-from repro.harness.runner import run_suite
+from repro.core import Session
 from repro.__main__ import build_parser, main
 
 
 @pytest.fixture(scope="module")
 def mini_suite():
-    return run_suite(scale=0.1, config=small_config(2),
-                     workloads=["arraybw", "snap"])
+    return Session(small_config(2)).suite(scale=0.1,
+                                          workloads=["arraybw", "snap"])
 
 
 class TestBars:

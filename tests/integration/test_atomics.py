@@ -5,7 +5,7 @@ import pytest
 
 from repro.common.config import small_config
 from repro.common.errors import KernelBuildError
-from repro.core import compile_dual, run_dispatch_functional
+from repro.core import Session, run_dispatch_functional
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -25,7 +25,7 @@ def build_histogram(bins):
     slot = kb.kernarg("counts") + kb.cvt(bin_idx, DType.U64) * 4
     old = kb.atomic_add(Segment.GLOBAL, slot, 1)
     kb.store(Segment.GLOBAL, kb.kernarg("old") + off, old)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 BINS = 8

@@ -6,7 +6,7 @@ import pytest
 
 from repro.common.config import small_config
 from repro.common.errors import DeadlockError
-from repro.core import compile_dual, run_dispatch_functional
+from repro.core import Session, run_dispatch_functional
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -48,7 +48,7 @@ class TestNesting:
             kb.assign(i, i + 1)
             loop.continue_if(kb.lt(i, x & 15))  # per-lane trip count
         kb.store(Segment.GLOBAL, kb.kernarg("out") + off, total)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
 
         data = np.random.default_rng(0).integers(1, 2**16, N).astype(np.uint32)
         got = run_both(dual, data)
@@ -79,7 +79,7 @@ class TestNesting:
             with br.Else():
                 kb.assign(acc, 99)
         kb.store(Segment.GLOBAL, kb.kernarg("out") + off, acc)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
 
         data = np.random.default_rng(1).integers(0, 2**16, N).astype(np.uint32)
         got = run_both(dual, data)
@@ -111,7 +111,7 @@ class TestNesting:
                     with inner.Else():
                         kb.assign(acc, acc + x)
         kb.store(Segment.GLOBAL, kb.kernarg("out") + off, acc)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
 
         data = np.random.default_rng(2).integers(0, 1000, N).astype(np.uint32)
         got = run_both(dual, data)
@@ -137,7 +137,7 @@ class TestNesting:
             kb.assign(acc, acc + 2)
         # every lane passes exactly one guard
         kb.store(Segment.GLOBAL, kb.kernarg("out") + off, acc)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
         data = np.random.default_rng(3).integers(0, 200, N).astype(np.uint32)
         got = run_both(dual, data)
         expected = np.where(data < 100, 1, 2).astype(np.uint32)
@@ -169,7 +169,7 @@ class TestDeadlockDetection:
             kb.barrier()
         kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4,
                  tid)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
         proc = GpuProcess("gcn3")
         out = proc.alloc_buffer(4 * 128)
         proc.dispatch(dual.gcn3, grid=128, wg=128, kernargs=[out])

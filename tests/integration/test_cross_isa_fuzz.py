@@ -14,7 +14,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import compile_dual, run_dispatch_functional
+from repro.core import Session, run_dispatch_functional
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -158,7 +158,7 @@ def _run(dual, isa, data):
 def test_random_kernels_agree_across_isas(program, seed):
     rng = np.random.default_rng(seed)
     data = rng.integers(1, 2**16, N).astype(np.uint32)
-    dual = compile_dual(_build(program))
+    dual = Session().compile(_build(program))
     hsail_out = _run(dual, "hsail", data)
     gcn3_out = _run(dual, "gcn3", data)
     assert np.array_equal(hsail_out, gcn3_out), program
@@ -168,7 +168,7 @@ def test_random_kernels_agree_across_isas(program, seed):
 @settings(max_examples=25, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_random_kernels_respect_structural_invariants(program):
-    dual = compile_dual(_build(program))
+    dual = Session().compile(_build(program))
     assert dual.expansion_ratio >= 1.0
     assert dual.gcn3.vgprs_used <= 256
     assert dual.gcn3.sgprs_used <= 102

@@ -6,7 +6,7 @@ import pytest
 from repro.common.config import small_config
 from repro.common.errors import FinalizerError
 from repro.common.exec_types import DispatchContext
-from repro.core import compile_dual, run_dispatch_functional
+from repro.core import Session, run_dispatch_functional
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -23,7 +23,7 @@ def build_coords_kernel():
     value = kb.mad(x, 1000, 0) + y
     kb.store(Segment.GLOBAL,
              kb.kernarg("out") + kb.cvt(flat, DType.U64) * 4, value)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 class TestDispatchContext:
@@ -104,7 +104,7 @@ class TestAbi2D:
         s = kb.private_scratch(8)
         kb.store(Segment.PRIVATE, s, kb.wi_abs_id(1))
         with pytest.raises(FinalizerError):
-            compile_dual(kb.finish())
+            Session().compile(kb.finish())
 
 
 class TestExecution2D:
@@ -162,7 +162,7 @@ class TestExecution3D:
         value = ((z << 16) | (y << 8)) | x
         kb.store(Segment.GLOBAL,
                  kb.kernarg("out") + kb.cvt(flat, DType.U64) * 4, value)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
         assert dual.gcn3.abi_dims == 3
 
         grid = (8, 4, 4)

@@ -9,7 +9,7 @@ functional models.
 import numpy as np
 import pytest
 
-from repro.core import compile_dual, run_dispatch_functional
+from repro.core import Session, run_dispatch_functional
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -103,7 +103,7 @@ def _inputs(dtype, rng):
 def run_both(ir, arrays):
     outs = {}
     for isa in ("hsail", "gcn3"):
-        dual = compile_dual(ir)
+        dual = Session().compile(ir)
         proc = GpuProcess(isa)
         addrs = [proc.upload(a) for a in arrays]
         out = proc.alloc_buffer(4 * N)

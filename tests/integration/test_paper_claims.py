@@ -12,12 +12,12 @@ from repro.common.categories import InstrCategory
 from repro.common.config import small_config
 from repro.common.tables import geomean
 from repro.harness.hardware_model import correlate
-from repro.harness.runner import run_suite
+from repro.core import Session
 
 
 @pytest.fixture(scope="module")
 def suite():
-    return run_suite(scale=0.2, config=small_config(4))
+    return Session(small_config(4)).suite(scale=0.2)
 
 
 def ratios(suite, fn):

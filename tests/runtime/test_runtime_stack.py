@@ -6,7 +6,7 @@ import pytest
 from repro.common.errors import RuntimeStackError
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
-from repro.core import compile_dual
+from repro.core import Session
 from repro.runtime.loader import CodeObjectLoader
 from repro.runtime.memory import Segment, SegmentAllocator, SimulatedMemory
 from repro.runtime.packets import PACKET_BYTES, AqlDispatchPacket
@@ -143,7 +143,7 @@ def build_trivial():
     kb = KernelBuilder("triv", [("p", DType.U64)])
     tid = kb.wi_abs_id()
     kb.store(Segment.GLOBAL, kb.kernarg("p") + kb.cvt(tid, DType.U64) * 4, tid)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 class TestLoader:

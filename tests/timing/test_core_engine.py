@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import DeadlockError
-from repro.core import compile_dual, run_dispatch_functional
+from repro.core import Session, run_dispatch_functional
 from repro.core.api import DualKernel
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
@@ -31,8 +31,8 @@ class TestDualKernel:
                      kb.kernarg("p") + kb.cvt(tid, DType.U64) * 4, tid * 3)
             return kb.finish()
 
-        a = compile_dual(build())
-        b = compile_dual(build())
+        a = Session().compile(build())
+        b = Session().compile(build())
         assert [repr(i) for i in a.gcn3.instrs] == [repr(i) for i in b.gcn3.instrs]
         assert [repr(i) for i in a.hsail.instrs] == [repr(i) for i in b.hsail.instrs]
 
@@ -45,7 +45,7 @@ class TestFuncsimLimits:
             kb.assign(i, i + 1)
             loop.continue_if(kb.ge(i, 0))  # never exits (u32 always >= 0)
         kb.store(Segment.GLOBAL, kb.kernarg("p"), i)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
         proc = GpuProcess("gcn3")
         out = proc.alloc_buffer(64)
         proc.dispatch(dual.gcn3, grid=64, wg=64, kernargs=[out])

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.config import small_config
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -35,7 +35,7 @@ def build_gather(stride_name="stride"):
     v = kb.load(Segment.GLOBAL,
                 kb.kernarg("src") + kb.cvt(idx, DType.U64) * 4, DType.U32)
     kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4, v)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 class TestCoalescing:

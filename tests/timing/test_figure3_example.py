@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.common.config import small_config
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -38,7 +38,7 @@ def build_figure3():
                 with inner.Else():
                     kb.assign(result, 84)
     kb.store(Segment.GLOBAL, kb.kernarg("out") + off, result)
-    return compile_dual(kb.finish())
+    return Session().compile(kb.finish())
 
 
 @pytest.fixture(scope="module")

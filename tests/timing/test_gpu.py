@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.config import small_config, paper_config
-from repro.core import compile_dual
+from repro.core import Session
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.runtime.memory import Segment
@@ -142,7 +142,7 @@ class TestOccupancy:
             kb.assign(acc, acc + v)
         tid = kb.wi_abs_id()
         kb.store(Segment.GLOBAL, p + kb.cvt(tid, DType.U64) * 4, acc)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
 
         # HSAIL wants >100 VRF slots per WF; a 2048-entry VRF then holds
         # at most ~20 wavefronts, below the 40 WF slots.
@@ -168,7 +168,7 @@ class TestBarriers:
         v = kb.load(Segment.GROUP, lds + partner * 4, DType.U32)
         tid = kb.wi_abs_id()
         kb.store(Segment.GLOBAL, kb.kernarg("out") + kb.cvt(tid, DType.U64) * 4, v)
-        dual = compile_dual(kb.finish())
+        dual = Session().compile(kb.finish())
 
         for isa in ("hsail", "gcn3"):
             proc = GpuProcess(isa)
