@@ -20,8 +20,21 @@ figures [--scale S] [--only figNN,...] [--output FILE] [--jobs N]
     Regenerate the paper's evaluation figures/tables.  ``--jobs N`` fans
     the simulation matrix out over N worker processes (0 = all cores);
     results persist in the on-disk cache unless ``--no-cache`` is given.
-cache [--cache-dir DIR] [--clear]
-    Inspect or clear the persistent result cache (.repro_cache/).
+sweep --axis PATH=V1,V2,... [--axis ...] [--mode grid|ofat]
+      [--workloads W1,W2] [--scale S] [--seed N] [--cus N] [--jobs N]
+      [--resume [ID]] [--dry-run] [--report points|curve|tornado|all]
+      [--response ratio:METRIC] [--threshold-factor F]
+      [--format text|csv|json|markdown] [--output FILE]
+    Design-space exploration: enumerate config variants along the given
+    axes, simulate every (point x workload x ISA) cell through the pool
+    and disk cache, journal completed points under
+    ``.repro_cache/sweeps/<id>/`` (resumable with ``--resume``), and
+    print sensitivity reports (tornado tables, per-axis response curves,
+    capacity-threshold detection).
+cache [--cache-dir DIR] [--clear] [--prune-older-than DAYS]
+    Inspect, prune, or clear the persistent result cache
+    (.repro_cache/); the listing breaks disk usage down per config
+    fingerprint.
 disasm --workload W [--kernel K] [--isa hsail|gcn3|both]
     Print kernel listings (both abstraction levels by default).
 """
@@ -213,6 +226,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.directory}")
         return 0
+    if args.prune_older_than is not None:
+        removed, freed = cache.prune_older_than(args.prune_older_than)
+        print(f"pruned {removed} entrie(s) older than "
+              f"{args.prune_older_than:g} day(s) from {cache.directory} "
+              f"({freed} bytes freed)")
+        return 0
     try:
         entries = sorted(cache.directory.glob("*.json"))
     except OSError:
@@ -222,7 +241,106 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"entries:      {len(entries)}")
     print(f"size:         {total_bytes} bytes")
     print(f"source stamp: {source_tree_stamp()}")
+    breakdown = cache.breakdown()
+    if breakdown:
+        rows = [[config, usage["entries"], usage["bytes"]]
+                for config, usage in sorted(
+                    breakdown.items(),
+                    key=lambda kv: (-kv[1]["bytes"], kv[0]))]
+        print()
+        print(render_table(["Config fingerprint", "Entries", "Bytes"], rows,
+                           title="Per-config usage (sweeps multiply this)"))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .common.errors import ConfigError
+    from .core import Session
+    from .explore import analyze
+    from .explore.space import Axis, build_space
+    from .explore.sweep import sweep_fingerprint
+    from .harness.runner import ISAS
+    from .workloads import all_workloads
+
+    try:
+        axes = [Axis.parse(spec) for spec in args.axis]
+        space = build_space(axes, args.mode)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    workloads = (args.workloads.split(",") if args.workloads
+                 else [w.name for w in all_workloads()])
+
+    points = space.points(config)
+    invalid = [p for p in points if not p.valid]
+    if args.dry_run:
+        rows = [[p.point_id, p.fingerprint() or "-",
+                 "ok" if p.valid else f"INVALID: {p.error}"]
+                for p in points]
+        print(render_table(
+            ["Point", "Config fingerprint", "Validation"], rows,
+            title=f"Dry run: {len(points)} point(s) x "
+                  f"{len(workloads)} workload(s) x {len(ISAS)} ISAs = "
+                  f"{len(points) * len(workloads) * len(ISAS)} cell(s)"))
+        sweep_id = sweep_fingerprint(config, axes, args.mode,
+                                     tuple(workloads), ISAS, args.scale,
+                                     args.seed)
+        print(f"\nsweep id: {sweep_id} (no cells simulated)")
+        if invalid:
+            print(f"{len(invalid)} invalid point(s)", file=sys.stderr)
+        return 1 if invalid else 0
+
+    results = Session(config).sweep(
+        axes, mode=args.mode, workloads=workloads, scale=args.scale,
+        seed=args.seed, jobs=args.jobs,
+        use_disk_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir, job_timeout=args.job_timeout,
+        progress=None if args.quiet else _progress_printer,
+        resume=args.resume if args.resume is not None else False,
+    )
+    print(f"sweep {results.sweep_id}: {len(results.points)} point(s), "
+          f"{results.replayed()} from journal, "
+          f"{len(results.failed_points)} failed "
+          f"(journal: {results.journal_path})", file=sys.stderr)
+    for pr in results.failed_points:
+        print(f"FAILED {pr.point.point_id}: {pr.error}", file=sys.stderr)
+
+    try:
+        reports = []
+        if args.report in ("points", "all"):
+            reports.append(analyze.points_report(results, args.response))
+        if args.report in ("curve", "all"):
+            reports += [analyze.curve_report(results, axis, args.response)
+                        for axis in results.axes]
+        if args.report in ("tornado", "all"):
+            reports.append(analyze.tornado(results, args.response))
+
+        out = args.output if args.output else sys.stdout
+        if args.format == "csv":
+            analyze.write_csv(results, out, args.response)
+        elif args.format == "json":
+            analyze.write_json(results, out, args.response)
+        elif args.format == "markdown":
+            analyze.write_markdown(results, out, args.response,
+                                   reports=reports)
+        else:
+            analyze.write_text(results, out, args.response, reports=reports)
+        if args.output:
+            print(f"wrote {args.output}")
+
+        for axis in results.axes:
+            for w in workloads:
+                wall = analyze.threshold(results, axis, w, args.response,
+                                         factor=args.threshold_factor)
+                if wall is not None:
+                    print(f"threshold: {w} {args.response} exceeds "
+                          f"{args.threshold_factor:g}x its value at max "
+                          f"{axis.path} for {axis.path} <= {wall}")
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1 if results.failed_points else 0
 
 
 def _cmd_per_kernel(args: argparse.Namespace) -> int:
@@ -317,12 +435,62 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--quiet", "-q", action="store_true",
                        help="suppress per-job progress lines on stderr")
 
+    sweep_p = sub.add_parser(
+        "sweep", help="design-space sweep over config axes")
+    sweep_p.add_argument("--axis", "-a", action="append", required=True,
+                         metavar="PATH=V1,V2,...",
+                         help="swept config path and values, e.g. "
+                              "l1i.size_bytes=8k,16k,32k (repeatable)")
+    sweep_p.add_argument("--mode", choices=["grid", "ofat"], default="grid",
+                         help="grid = cartesian product; ofat = base + "
+                              "one factor at a time")
+    sweep_p.add_argument("--workloads", "-w",
+                         help="comma-separated workload names (default all)")
+    sweep_p.add_argument("--scale", "-s", type=float, default=0.5)
+    sweep_p.add_argument("--seed", type=int, default=7)
+    sweep_p.add_argument("--cus", type=int, default=8,
+                         help="base machine CU count (8 = paper config)")
+    sweep_p.add_argument("--jobs", "-j", type=int, default=1,
+                         help="worker processes (0 = one per core)")
+    sweep_p.add_argument("--resume", nargs="?", const=True, default=None,
+                         metavar="ID",
+                         help="resume a journaled sweep: bare --resume "
+                              "re-derives the id from the spec, or give "
+                              "the id printed by the previous run")
+    sweep_p.add_argument("--dry-run", action="store_true",
+                         help="enumerate and validate points only")
+    sweep_p.add_argument("--report", choices=["points", "curve", "tornado",
+                                              "all"],
+                         default="all", help="which sensitivity report(s)")
+    sweep_p.add_argument("--response", default="ratio:ifetch_misses",
+                         help="response spec: ratio:<metric> (GCN3/HSAIL), "
+                              "inv_ratio:<metric>, hsail:<metric>, "
+                              "gcn3:<metric>")
+    sweep_p.add_argument("--threshold-factor", type=float, default=2.0,
+                         help="explosion factor for threshold detection")
+    sweep_p.add_argument("--format", "-f",
+                         choices=["text", "csv", "json", "markdown"],
+                         default="text")
+    sweep_p.add_argument("--output", "-o", help="write the report to a file")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="skip the per-cell on-disk result cache")
+    sweep_p.add_argument("--cache-dir",
+                         help="result cache directory (default "
+                              ".repro_cache/ or $REPRO_CACHE_DIR)")
+    sweep_p.add_argument("--job-timeout", type=float,
+                         help="per-cell wall-clock limit in seconds "
+                              "(parallel runs only)")
+    sweep_p.add_argument("--quiet", "-q", action="store_true",
+                         help="suppress per-cell progress lines on stderr")
+
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("--cache-dir",
                          help="cache directory (default .repro_cache/ "
                               "or $REPRO_CACHE_DIR)")
     cache_p.add_argument("--clear", action="store_true",
                          help="delete every cached result")
+    cache_p.add_argument("--prune-older-than", type=float, metavar="DAYS",
+                         help="delete entries older than this many days")
 
     diff_p = sub.add_parser("diff", help="compare two --json exports")
     diff_p.add_argument("before")
@@ -354,6 +522,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "per-kernel": _cmd_per_kernel,
         "cache": _cmd_cache,
+        "sweep": _cmd_sweep,
     }[args.command]
     return handler(args)
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Mapping
 
 from .errors import ConfigError
 
@@ -125,6 +126,26 @@ class GpuConfig:
         """Return a copy with top-level fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
 
+    def with_overrides(self, overrides: "Mapping[str, object]") -> "GpuConfig":
+        """Return a copy with dotted-path fields replaced.
+
+        Paths name nested dataclass fields (``"cu.vrf_banks"``,
+        ``"l1i.size_bytes"``, or top-level ``"num_cus"``); every nested
+        ``replace`` re-runs the sub-config's ``__post_init__``, so an
+        invalid geometry surfaces here as a :class:`ConfigError` naming
+        the offending path — not later inside the timing model.
+
+        >>> paper_config().with_overrides({"cu.vrf_banks": 8,
+        ...                                "l1i.size_bytes": 65536})
+        """
+        config = self
+        for path, value in overrides.items():
+            parts = path.split(".")
+            if not all(parts):
+                raise ConfigError(f"malformed config path {path!r}")
+            config = _replace_path(config, parts, value, path)
+        return config
+
     def to_dict(self) -> "dict[str, object]":
         """The full nested configuration as plain JSON-friendly values."""
         return asdict(self)
@@ -139,6 +160,30 @@ class GpuConfig:
         """
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _replace_path(obj: object, parts: "list[str]", value: object,
+                  full_path: str) -> object:
+    """Rebuild ``obj`` with the field at ``parts`` replaced by ``value``,
+    re-validating every dataclass level on the way back up."""
+    name = parts[0]
+    if not is_dataclass(obj) or name not in {f.name for f in fields(obj)}:
+        kind = type(obj).__name__
+        known = sorted(f.name for f in fields(obj)) if is_dataclass(obj) else []
+        hint = f"; {kind} fields: {', '.join(known)}" if known else ""
+        raise ConfigError(
+            f"unknown config path {full_path!r}: {kind} has no field "
+            f"{name!r}{hint}"
+        )
+    if len(parts) == 1:
+        new_value = value
+    else:
+        new_value = _replace_path(getattr(obj, name), parts[1:], value,
+                                  full_path)
+    try:
+        return replace(obj, **{name: new_value})
+    except ConfigError as exc:
+        raise ConfigError(f"invalid override {full_path}={value!r}: {exc}") from exc
 
 
 def paper_config() -> GpuConfig:

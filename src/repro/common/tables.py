@@ -7,6 +7,7 @@ directly comparable against the paper's figures.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 
@@ -14,6 +15,8 @@ def format_value(value: object, precision: int = 3) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
         if value == 0:
             return "0"
         if abs(value) >= 1000:

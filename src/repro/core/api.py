@@ -37,7 +37,11 @@ from ..hsail.isa import HsailKernel
 from ..kernels.ir import KernelIR
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from typing import Union
+
     from ..common.config import GpuConfig
+    from ..explore.space import Axis
+    from ..explore.sweep import SweepResults
     from ..harness.parallel import ProgressFn
     from ..harness.runner import SuiteResults, WorkloadRun
     from ..obs.trace import TraceConfig
@@ -144,6 +148,45 @@ class Session:
             use_cache=use_cache, jobs=jobs, use_disk_cache=use_disk_cache,
             cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
             trace=trace,
+        )
+
+    def sweep(self, axes: "Sequence[Axis | str]", *, mode: str = "grid",
+              workloads: Optional[Sequence[str]] = None,
+              isas: Optional[Sequence[str]] = None,
+              scale: float = 0.5, seed: int = 7, jobs: int = 1,
+              use_disk_cache: Optional[bool] = None,
+              cache_dir: Optional[str] = None,
+              job_timeout: Optional[float] = None,
+              progress: "Optional[ProgressFn]" = None,
+              resume: "Union[bool, str]" = False,
+              sweeps_dir: Optional[str] = None) -> "SweepResults":
+        """Design-space sweep around this session's config.
+
+        ``axes`` are :class:`repro.explore.Axis` objects or their CLI
+        spellings (``"l1i.size_bytes=8k,16k,32k"``); ``mode`` is
+        ``"grid"`` or ``"ofat"``.  Points fan out through the same
+        process pool and disk cache as :meth:`suite`, journaled under
+        ``.repro_cache/sweeps/<sweep-id>/`` so a killed sweep resumes
+        (``resume=True`` or an explicit sweep id) without re-simulating
+        completed points.  Sensitivity reports live in
+        :mod:`repro.explore.analyze`::
+
+            results = Session().sweep(["l1i.size_bytes=2k,4k,8k,16k"],
+                                      workloads=["lulesh"], jobs=4)
+            table = tornado(results, "ratio:ifetch_misses")
+        """
+        from ..explore.space import Axis as _Axis
+        from ..explore.sweep import run_sweep
+        from ..harness.runner import ISAS
+
+        parsed = [axis if isinstance(axis, _Axis) else _Axis.parse(axis)
+                  for axis in axes]
+        return run_sweep(
+            parsed, base=self.config, mode=mode, workloads=workloads,
+            isas=tuple(isas) if isas is not None else ISAS, scale=scale,
+            seed=seed, jobs=jobs, use_disk_cache=use_disk_cache,
+            cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
+            resume=resume, sweeps_dir=sweeps_dir,
         )
 
 

@@ -1,0 +1,68 @@
+"""Design-space exploration: declarative sweeps over ``GpuConfig`` axes.
+
+The paper's claims are sensitivity statements evaluated at a single
+Table 4 point; this package turns the parallel, cached runner into a
+design-space machine:
+
+* :mod:`~repro.explore.space` — :class:`Axis` / :class:`Grid` /
+  :class:`OneFactorAtATime` enumerate frozen, eagerly-validated config
+  variants (deduplicated by fingerprint);
+* :mod:`~repro.explore.sweep` — :func:`run_sweep` fans points x
+  workloads x ISAs through the process pool and disk cache behind a
+  resumable JSONL journal with per-point failure isolation;
+* :mod:`~repro.explore.analyze` — tornado tables, response curves,
+  threshold detection, and CSV/JSON/markdown export.
+
+Entry points: ``Session.sweep(...)`` and the ``repro sweep`` CLI.
+"""
+
+from .analyze import (
+    DEFAULT_RESPONSE,
+    curve,
+    curve_report,
+    monotonicity,
+    points_report,
+    response_value,
+    threshold,
+    tornado,
+    write_csv,
+    write_json,
+    write_markdown,
+    write_text,
+)
+from .space import Axis, Grid, OneFactorAtATime, SweepPoint, build_space, parse_value
+from .sweep import (
+    PointResult,
+    SweepJournal,
+    SweepResults,
+    default_sweeps_dir,
+    run_sweep,
+    sweep_fingerprint,
+)
+
+__all__ = [
+    "Axis",
+    "DEFAULT_RESPONSE",
+    "Grid",
+    "OneFactorAtATime",
+    "PointResult",
+    "SweepJournal",
+    "SweepPoint",
+    "SweepResults",
+    "build_space",
+    "curve",
+    "curve_report",
+    "default_sweeps_dir",
+    "monotonicity",
+    "parse_value",
+    "points_report",
+    "response_value",
+    "run_sweep",
+    "sweep_fingerprint",
+    "threshold",
+    "tornado",
+    "write_csv",
+    "write_json",
+    "write_markdown",
+    "write_text",
+]

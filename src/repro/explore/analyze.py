@@ -1,0 +1,317 @@
+"""Sensitivity reports over sweep results.
+
+Three report families, all driven by a *response* — a scalar extracted
+from one (point, workload) cell pair:
+
+* **curves** — the response per axis value (marginalized over any other
+  axes), the claim-4 view: LULESH's GCN3/HSAIL fetch-miss ratio as a
+  function of L1I size instead of a single Table 4 point;
+* **tornado tables** — per axis, the low/high/swing of the response, the
+  one-glance answer to "which parameter moves this metric most";
+* **threshold detection** — the largest axis value at which the response
+  still exceeds ``factor`` x its value at the axis maximum, i.e. the
+  capacity wall where LULESH fetch misses explode.
+
+Response specs are strings: ``"ratio:<metric>"`` is GCN3/HSAIL for that
+metric, ``"inv_ratio:<metric>"`` is HSAIL/GCN3, and ``"<isa>:<metric>"``
+is the raw per-ISA value.  ``<metric>`` is any
+:meth:`~repro.harness.runner.WorkloadRun.stat` name (``ifetch_misses``,
+``cycles``, ``ipc``, ...).  A failed cell yields ``nan`` — rendered
+``n/a``, excluded from aggregation — never a fabricated number.
+
+Exports (text/CSV/JSON/markdown) follow the :mod:`repro.obs.export`
+convention of accepting a path or an open stream.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import ConfigError
+from ..common.tables import format_value as _fmt_cell
+from ..common.tables import geomean, render_table
+from ..obs.export import TextSink, open_text_sink
+from .space import Axis, format_value
+from .sweep import PointResult, SweepResults
+
+#: the claim-4 default: how much worse the machine ISA misses the L1I
+#: than the IL approximation.
+DEFAULT_RESPONSE = "ratio:ifetch_misses"
+
+ReportData = Tuple[str, List[str], List[List[object]]]
+
+
+def response_value(pr: PointResult, workload: str, response: str) -> float:
+    """The response for one (point, workload); ``nan`` when unavailable."""
+    kind, sep, metric = response.partition(":")
+    if not sep or not metric:
+        raise ConfigError(
+            f"bad response spec {response!r} (expected ratio:<metric>, "
+            f"inv_ratio:<metric>, hsail:<metric>, or gcn3:<metric>)"
+        )
+
+    def stat(isa: str) -> float:
+        run = pr.runs.get((workload, isa))
+        if run is None or run.failed:
+            return float("nan")
+        try:
+            return float(run.stat(metric))
+        except KeyError:
+            raise ConfigError(f"unknown response metric {metric!r}") from None
+
+    if kind in ("hsail", "gcn3"):
+        return stat(kind)
+    if kind in ("ratio", "inv_ratio"):
+        num, den = (("gcn3", "hsail") if kind == "ratio"
+                    else ("hsail", "gcn3"))
+        n, d = stat(num), stat(den)
+        if math.isnan(n) or math.isnan(d) or d == 0:
+            return float("nan")
+        return n / d
+    raise ConfigError(f"unknown response kind {kind!r} in {response!r}")
+
+
+def _mean(values: Sequence[float]) -> float:
+    clean = [v for v in values if not math.isnan(v)]
+    return sum(clean) / len(clean) if clean else float("nan")
+
+
+def _base_value(results: SweepResults, path: str) -> object:
+    """The base config's value at a dotted path (for points that leave
+    the axis unvaried, e.g. one-factor-at-a-time)."""
+    obj: object = results.base
+    for part in path.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _axis_value(pr: PointResult, axis: Axis,
+                results: SweepResults) -> object:
+    """The axis's value at this point (its base value when unvaried)."""
+    for path, value in pr.point.overrides:
+        if path == axis.path:
+            return value
+    return _base_value(results, axis.path)
+
+
+def monotonicity(values: Sequence[float]) -> str:
+    """``decreasing`` / ``increasing`` / ``flat`` / ``mixed`` (non-strict,
+    ``nan`` entries ignored)."""
+    clean = [v for v in values if not math.isnan(v)]
+    if len(clean) < 2:
+        return "flat"
+    diffs = [b - a for a, b in zip(clean, clean[1:])]
+    if all(d == 0 for d in diffs):
+        return "flat"
+    if all(d <= 0 for d in diffs):
+        return "decreasing"
+    if all(d >= 0 for d in diffs):
+        return "increasing"
+    return "mixed"
+
+
+def curve(results: SweepResults, axis: Axis, workload: str,
+          response: str = DEFAULT_RESPONSE) -> List[Tuple[object, float]]:
+    """``(axis value, response)`` sorted by value, marginalized (mean)
+    over any other axes; only successful points contribute."""
+    by_value: Dict[object, List[float]] = {}
+    for pr in results.points:
+        value = _axis_value(pr, axis, results)
+        by_value.setdefault(value, []).append(
+            response_value(pr, workload, response))
+    return [(v, _mean(by_value[v]))
+            for v in sorted(by_value, key=lambda x: (str(type(x)), x))]
+
+
+def curve_report(results: SweepResults, axis: Axis,
+                 response: str = DEFAULT_RESPONSE) -> ReportData:
+    """Per-workload response curves along one axis, one row per value."""
+    headers = [axis.path] + [w for w in results.workloads]
+    per_workload = {w: dict(curve(results, axis, w, response))
+                    for w in results.workloads}
+    values = sorted({v for c in per_workload.values() for v in c},
+                    key=lambda x: (str(type(x)), x))
+    rows: List[List[object]] = []
+    for value in values:
+        rows.append([format_value(value)]
+                    + [per_workload[w].get(value, float("nan"))
+                       for w in results.workloads])
+    rows.append(["(monotone)"]
+                + [monotonicity([per_workload[w].get(v, float("nan"))
+                                 for v in values])
+                   for w in results.workloads])
+    return (f"Sensitivity curve: {response} vs {axis.path}", headers, rows)
+
+
+def tornado(results: SweepResults,
+            response: str = DEFAULT_RESPONSE) -> ReportData:
+    """The tornado table: per axis, the swing of the response.
+
+    The response is aggregated across workloads by geomean (the paper's
+    cross-workload convention) at each axis value, then the row reports
+    the min, max, swing (max - min), and monotonicity over the axis.
+    Rows are sorted by swing, largest first — the axis that moves the
+    metric most sits on top.
+    """
+    headers = ["Axis", "low", "high", "min resp", "max resp", "swing",
+               "shape"]
+    rows: List[List[object]] = []
+    for axis in results.axes:
+        curves = {w: dict(curve(results, axis, w, response))
+                  for w in results.workloads}
+        agg: List[Tuple[object, float]] = []
+        for value in sorted(axis.values, key=lambda x: (str(type(x)), x)):
+            per_w = [curves[w].get(value, float("nan"))
+                     for w in results.workloads]
+            clean = [v for v in per_w if not math.isnan(v)]
+            agg.append((value, geomean(clean) if clean else float("nan")))
+        resp = [r for _v, r in agg]
+        clean = [r for r in resp if not math.isnan(r)]
+        if clean:
+            lo_v = min(agg, key=lambda vr: vr[1] if not math.isnan(vr[1])
+                       else float("inf"))
+            hi_v = max(agg, key=lambda vr: vr[1] if not math.isnan(vr[1])
+                       else float("-inf"))
+            swing = max(clean) - min(clean)
+        else:
+            lo_v = hi_v = (None, float("nan"))
+            swing = float("nan")
+        rows.append([
+            axis.path,
+            format_value(lo_v[0]) if lo_v[0] is not None else "n/a",
+            format_value(hi_v[0]) if hi_v[0] is not None else "n/a",
+            min(clean) if clean else float("nan"),
+            max(clean) if clean else float("nan"),
+            swing,
+            monotonicity(resp),
+        ])
+    rows.sort(key=lambda r: (-(r[5] if isinstance(r[5], (int, float))
+                               and not math.isnan(r[5]) else -1.0), r[0]))
+    return (f"Tornado: swing of {response} per axis "
+            f"(geomean over {', '.join(results.workloads)})",
+            headers, rows)
+
+
+def threshold(results: SweepResults, axis: Axis, workload: str,
+              response: str = DEFAULT_RESPONSE,
+              factor: float = 2.0) -> Optional[object]:
+    """The largest axis value whose response exceeds ``factor`` x the
+    response at the axis *maximum* (the resourced-enough baseline).
+
+    For the claim-4 sweep this is the capacity wall: the largest L1I at
+    which LULESH's GCN3/HSAIL fetch-miss ratio is still blown up relative
+    to a cache both footprints fit in.  ``None`` means the response never
+    exceeds the factor — no wall inside the swept range.
+    """
+    points = curve(results, axis, workload, response)
+    clean = [(v, r) for v, r in points if not math.isnan(r)]
+    if len(clean) < 2:
+        return None
+    baseline = clean[-1][1]
+    if math.isnan(baseline) or baseline == 0:
+        return None
+    wall = None
+    for value, resp in clean[:-1]:
+        if resp > factor * baseline:
+            wall = value
+    return wall
+
+
+def points_report(results: SweepResults,
+                  response: str = DEFAULT_RESPONSE) -> ReportData:
+    """The raw per-point table: overrides, status, response per workload."""
+    headers = ["Point", "status"] + list(results.workloads)
+    rows: List[List[object]] = []
+    for pr in results.points:
+        rows.append([pr.point.point_id, pr.status]
+                    + [response_value(pr, w, response)
+                       for w in results.workloads])
+    return (f"Sweep points: {response}", headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# Exports
+# ---------------------------------------------------------------------------
+
+
+def _report_set(results: SweepResults,
+                response: str) -> List[ReportData]:
+    reports = [points_report(results, response)]
+    reports += [curve_report(results, axis, response)
+                for axis in results.axes]
+    reports.append(tornado(results, response))
+    return reports
+
+
+def write_text(results: SweepResults, out: TextSink,
+               response: str = DEFAULT_RESPONSE,
+               reports: Optional[Sequence[ReportData]] = None) -> None:
+    """Aligned monospace tables (the ``repro sweep`` default)."""
+    with open_text_sink(out) as f:
+        for title, headers, rows in (reports or _report_set(results,
+                                                            response)):
+            f.write(render_table(headers, rows, title=title))
+            f.write("\n\n")
+
+
+def write_markdown(results: SweepResults, out: TextSink,
+                   response: str = DEFAULT_RESPONSE,
+                   reports: Optional[Sequence[ReportData]] = None) -> None:
+    """GitHub-flavored markdown tables (for EXPERIMENTS.md-style docs)."""
+    with open_text_sink(out) as f:
+        for title, headers, rows in (reports or _report_set(results,
+                                                            response)):
+            f.write(f"### {title}\n\n")
+            f.write("| " + " | ".join(headers) + " |\n")
+            f.write("|" + "|".join("---" for _ in headers) + "|\n")
+            for row in rows:
+                f.write("| " + " | ".join(_fmt_cell(c) for c in row)
+                        + " |\n")
+            f.write("\n")
+
+
+def write_csv(results: SweepResults, out: TextSink,
+              response: str = DEFAULT_RESPONSE) -> None:
+    """One flat row per (point, workload): overrides, status, responses."""
+    axis_paths = [axis.path for axis in results.axes]
+    with open_text_sink(out) as f:
+        writer = csv.writer(f, lineterminator="\n")
+        writer.writerow(["point_id", "workload", "status"]
+                        + axis_paths + [response])
+        for pr in results.points:
+            overrides = dict(pr.point.overrides)
+            for w in results.workloads:
+                value = response_value(pr, w, response)
+                writer.writerow(
+                    [pr.point.point_id, w, pr.status]
+                    + [overrides.get(p, "") for p in axis_paths]
+                    + ["n/a" if math.isnan(value) else repr(value)]
+                )
+
+
+def write_json(results: SweepResults, out: TextSink,
+               response: str = DEFAULT_RESPONSE) -> None:
+    """The full result matrix plus the computed sensitivity reports."""
+    def encode(value: float) -> object:
+        return None if isinstance(value, float) and math.isnan(value) \
+            else value
+
+    doc = json.loads(results.to_json())
+    doc["response"] = response
+    doc["tornado"] = [
+        [encode(c) for c in row] for row in tornado(results, response)[2]
+    ]
+    doc["curves"] = {
+        axis.path: {
+            w: [[encode(v), encode(r)]
+                for v, r in curve(results, axis, w, response)]
+            for w in results.workloads
+        }
+        for axis in results.axes
+    }
+    with open_text_sink(out) as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,487 @@
+"""Sweep scheduler: fan sweep points out through the harness pool, with a
+resumable on-disk journal.
+
+One sweep = (base config, space, workloads, ISAs, scale, seed).  Its
+identity is a content hash of exactly those inputs, so the journal
+directory (``.repro_cache/sweeps/<sweep-id>/``) is found again by simply
+re-issuing the same command with ``--resume``.  The journal is JSONL —
+a header line followed by one line per *completed point* (all of its
+workload x ISA cells), appended and flushed the moment the point's last
+cell resolves.  A killed or crashed sweep therefore restarts from the
+last completed point: resumed points are served straight from the
+journal (zero re-simulation), and only the tail runs.
+
+Failure isolation is per point: an invalid geometry (caught at
+enumeration by ``with_overrides``) or a diverging simulation marks that
+point failed in the journal and the sweep moves on — one bad corner of
+the design space never aborts the exploration.  Individual cells
+additionally ride the existing per-cell disk cache, so a *fresh* sweep
+over configs that earlier suites already simulated is warm from the
+start.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..common.config import GpuConfig, paper_config
+from ..harness.cache import (
+    ResultCache,
+    default_cache_dir,
+    job_fingerprint,
+    resolve_cache,
+    source_tree_stamp,
+)
+from ..harness.parallel import (
+    Job,
+    JobEvent,
+    ProgressFn,
+    resolve_jobs,
+    run_job_inline,
+    run_jobs,
+)
+from ..harness.runner import ISAS, SuiteResults, WorkloadRun
+from ..workloads import all_workloads
+from .space import Axis, SweepPoint, build_space
+
+#: bump when the journal line shape changes; older journals then re-run
+#: instead of deserializing garbage.
+JOURNAL_FORMAT_VERSION = 1
+
+
+@dataclass
+class PointResult:
+    """Everything one sweep point produced."""
+
+    point: SweepPoint
+    runs: Dict[Tuple[str, str], WorkloadRun] = field(default_factory=dict)
+    #: True when the point was replayed from the journal, not simulated.
+    from_journal: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return (self.point.error is not None
+                or any(r.failed for r in self.runs.values()))
+
+    @property
+    def status(self) -> str:
+        return "failed" if self.failed else "ok"
+
+    @property
+    def error(self) -> Optional[str]:
+        if self.point.error is not None:
+            return self.point.error
+        for (w, isa), run in sorted(self.runs.items()):
+            if run.error:
+                return f"{w}/{isa}: {run.error}"
+        return None
+
+    def suite(self, scale: float) -> SuiteResults:
+        """This point's matrix as a :class:`SuiteResults`, so every
+        existing figure/report generator works per sweep point."""
+        results = SuiteResults(scale=scale)
+        results.runs.update(self.runs)
+        return results
+
+    def to_journal_line(self) -> "Dict[str, object]":
+        return {
+            "type": "point",
+            "point": self.point.to_dict(),
+            "status": self.status,
+            "error": self.error,
+            "runs": [run.to_payload()
+                     for _key, run in sorted(self.runs.items())],
+        }
+
+
+@dataclass
+class SweepResults:
+    """All points of one sweep, in enumeration order."""
+
+    sweep_id: str
+    base: GpuConfig
+    axes: Tuple[Axis, ...]
+    mode: str
+    workloads: Tuple[str, ...]
+    isas: Tuple[str, ...]
+    scale: float
+    seed: int
+    points: List[PointResult] = field(default_factory=list)
+    journal_path: Optional[str] = None
+
+    def find(self, point_id: str) -> PointResult:
+        for pr in self.points:
+            if pr.point.point_id == point_id:
+                return pr
+        raise KeyError(f"no sweep point {point_id!r}")
+
+    @property
+    def ok_points(self) -> List[PointResult]:
+        return [pr for pr in self.points if not pr.failed]
+
+    @property
+    def failed_points(self) -> List[PointResult]:
+        return [pr for pr in self.points if pr.failed]
+
+    def replayed(self) -> int:
+        """How many points were served from the journal."""
+        return sum(1 for pr in self.points if pr.from_journal)
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "sweep_id": self.sweep_id,
+            "base_config": self.base.fingerprint(),
+            "axes": [axis.describe() for axis in self.axes],
+            "mode": self.mode,
+            "workloads": list(self.workloads),
+            "isas": list(self.isas),
+            "scale": self.scale,
+            "seed": self.seed,
+            "points": [
+                {
+                    **pr.point.to_dict(),
+                    "status": pr.status,
+                    "from_journal": pr.from_journal,
+                    "runs": [run.to_dict()
+                             for _key, run in sorted(pr.runs.items())],
+                }
+                for pr in self.points
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def sweep_fingerprint(base: GpuConfig, axes: Sequence[Axis], mode: str,
+                      workloads: Sequence[str], isas: Sequence[str],
+                      scale: float, seed: int) -> str:
+    """Deterministic sweep id: same spec -> same id -> same journal dir."""
+    canonical = json.dumps(
+        {
+            "base": base.fingerprint(),
+            "axes": [axis.describe() for axis in axes],
+            "mode": mode,
+            "workloads": list(workloads),
+            "isas": list(isas),
+            "scale": scale,
+            "seed": seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def default_sweeps_dir() -> str:
+    return os.environ.get(
+        "REPRO_SWEEPS_DIR", os.path.join(default_cache_dir(), "sweeps")
+    )
+
+
+class SweepJournal:
+    """The JSONL journal of one sweep directory.
+
+    Append-only and best-effort like the result cache: an unwritable
+    directory degrades to a non-resumable (but still correct) sweep, a
+    truncated tail line — the signature of a kill mid-write — is ignored,
+    and a journal written against different simulator sources is treated
+    as empty rather than replaying stale statistics.
+    """
+
+    def __init__(self, directory: Union[str, Path], sweep_id: str) -> None:
+        self.directory = Path(directory) / sweep_id
+        self.sweep_id = sweep_id
+        self.path = self.directory / "journal.jsonl"
+        self._file = None
+
+    # -- replay ----------------------------------------------------------------
+
+    def load(self) -> "Dict[str, Tuple[PointResult, Optional[str]]]":
+        """Completed points keyed by point id, each carrying the config
+        fingerprint it was journaled under (empty on any problem)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as f:
+                lines = f.read().splitlines()
+        except OSError:
+            return {}
+        out: Dict[str, Tuple[PointResult, Optional[str]]] = {}
+        header_ok = False
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # truncated tail from a mid-write kill
+            if not isinstance(entry, dict):
+                continue
+            if entry.get("type") == "header":
+                if (entry.get("format") == JOURNAL_FORMAT_VERSION
+                        and entry.get("source") == source_tree_stamp()):
+                    header_ok = True
+                else:
+                    warnings.warn(
+                        f"sweep journal {self.path} was written by a "
+                        f"different source tree or format; re-simulating",
+                        stacklevel=2,
+                    )
+                    return {}
+                continue
+            if not header_ok or entry.get("type") != "point":
+                continue
+            parsed = self._parse_point(entry)
+            if parsed is not None:
+                out[parsed[0].point.point_id] = parsed
+        return out
+
+    @staticmethod
+    def _parse_point(
+        entry: "Dict[str, object]",
+    ) -> "Optional[Tuple[PointResult, Optional[str]]]":
+        try:
+            raw = entry["point"]
+            # Insertion order survives the JSON round-trip, and point ids
+            # are order-sensitive — do not sort.
+            overrides = tuple(raw["overrides"].items())  # type: ignore[union-attr,index]
+            point = SweepPoint(
+                overrides=overrides,
+                config=None,
+                error=raw.get("error"),  # type: ignore[union-attr]
+            )
+            runs = {}
+            for payload in entry.get("runs", ()):  # type: ignore[union-attr]
+                run = WorkloadRun.from_payload(payload)  # type: ignore[arg-type]
+                runs[(run.workload, run.isa)] = run
+            journal_fp = raw.get("config_fingerprint")  # type: ignore[union-attr]
+            return (PointResult(point=point, runs=runs, from_journal=True),
+                    journal_fp)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+
+    # -- append ----------------------------------------------------------------
+
+    def open(self, header: "Dict[str, object]", resume: bool) -> None:
+        """Start (or reopen) the journal; a fresh sweep truncates."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            mode = "a" if resume and self.path.exists() else "w"
+            self._file = open(self.path, mode, encoding="utf-8")
+            if mode == "w":
+                self._append(header)
+        except OSError:
+            self._file = None  # journalling off; the sweep still runs
+
+    def append_point(self, result: PointResult) -> None:
+        self._append(result.to_journal_line())
+
+    def _append(self, entry: "Dict[str, object]") -> None:
+        if self._file is None:
+            return
+        try:
+            self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except (OSError, ValueError):
+            self._file = None
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+
+def run_sweep(
+    axes: Sequence[Axis],
+    base: Optional[GpuConfig] = None,
+    mode: str = "grid",
+    workloads: Optional[Sequence[str]] = None,
+    isas: Sequence[str] = ISAS,
+    scale: float = 0.5,
+    seed: int = 7,
+    jobs: int = 1,
+    use_disk_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+    resume: Union[bool, str] = False,
+    sweeps_dir: Optional[str] = None,
+    execute: Optional[Callable[[Job], "Dict[str, object]"]] = None,
+) -> SweepResults:
+    """Run (or resume) one design-space sweep; see the module docstring.
+
+    :param axes: swept parameters (:class:`repro.explore.Axis`).
+    :param mode: ``"grid"`` (cartesian product) or ``"ofat"``
+        (base + one factor at a time).
+    :param resume: ``True`` resumes the deterministic sweep id for this
+        spec; a string resumes that explicit id.  ``False`` starts fresh
+        (truncating any previous journal for the same spec).
+    :param progress: per-cell :class:`JobEvent` callback; replayed points
+        emit one event per cell with status ``"journal"``.
+    :param execute: test hook — replaces the per-cell worker entry point
+        (same contract as :func:`repro.harness.parallel.run_jobs`).
+    """
+    base = base or paper_config()
+    names: Tuple[str, ...] = tuple(
+        workloads if workloads is not None
+        else [w.name for w in all_workloads()]
+    )
+    isas = tuple(isas)
+    space = build_space(list(axes), mode)
+    points = space.points(base)
+
+    sweep_id = (resume if isinstance(resume, str) else
+                sweep_fingerprint(base, space.axes, mode, names, isas,
+                                  scale, seed))
+    journal = SweepJournal(sweeps_dir or default_sweeps_dir(), sweep_id)
+    replayed = journal.load() if resume else {}
+
+    results = SweepResults(
+        sweep_id=sweep_id, base=base, axes=space.axes, mode=mode,
+        workloads=names, isas=isas, scale=scale, seed=seed,
+        journal_path=str(journal.path),
+    )
+
+    journal.open(
+        {
+            "type": "header",
+            "format": JOURNAL_FORMAT_VERSION,
+            "sweep_id": sweep_id,
+            "source": source_tree_stamp(),
+            "base_config": base.fingerprint(),
+            "axes": [axis.describe() for axis in space.axes],
+            "mode": mode,
+            "workloads": list(names),
+            "isas": list(isas),
+            "scale": scale,
+            "seed": seed,
+            "created": time.time(),
+        },
+        # A resume against an empty, stale, or unreadable journal starts
+        # over with a fresh header rather than appending after one that
+        # load() will reject next time.
+        resume=bool(resume) and bool(replayed),
+    )
+
+    disk: Optional[ResultCache] = resolve_cache(use_disk_cache, cache_dir)
+    total = len(points) * len(names) * len(isas)
+    index = 0
+
+    try:
+        # Pass 1: resolve what every point needs.  Replayed/invalid points
+        # complete immediately; live points collect their cache misses.
+        point_results: Dict[str, PointResult] = {}
+        pending: "Dict[str, Dict[Tuple[str, str], WorkloadRun]]" = {}
+        cells: List[Job] = []
+        remaining: Dict[str, int] = {}
+
+        def emit(point_id: str, workload: str, isa: str, status: str,
+                 wall: float) -> None:
+            nonlocal index
+            index += 1
+            if progress is not None:
+                progress(JobEvent(workload=workload, isa=isa, status=status,
+                                  wall_seconds=wall, index=index, total=total,
+                                  point=point_id))
+
+        def finish_point(point: SweepPoint,
+                         runs: "Dict[Tuple[str, str], WorkloadRun]",
+                         from_journal: bool = False) -> None:
+            pr = PointResult(point=point, runs=runs,
+                             from_journal=from_journal)
+            point_results[point.point_id] = pr
+            if not from_journal:
+                journal.append_point(pr)
+
+        for point in points:
+            pid = point.point_id
+            parsed = replayed.get(pid)
+            if parsed is not None:
+                prior, journal_fp = parsed
+                # Replay only if the journaled entry covers this exact
+                # config and cell set; anything else re-simulates.
+                if (journal_fp == point.fingerprint()
+                        and (point.error is not None
+                             or set(prior.runs) == {(w, i) for w in names
+                                                    for i in isas})):
+                    prior.point = point
+                    for (w, isa), run in sorted(prior.runs.items()):
+                        emit(pid, w, isa, "journal", run.wall_seconds)
+                    if point.error is not None and not prior.runs:
+                        for w in names:
+                            for isa in isas:
+                                emit(pid, w, isa, "journal", 0.0)
+                    point_results[pid] = prior
+                    continue
+            if point.error is not None:
+                # Invalid geometry: journal as failed, never simulate.
+                for w in names:
+                    for isa in isas:
+                        emit(pid, w, isa, "failed", 0.0)
+                finish_point(point, {})
+                continue
+            runs: Dict[Tuple[str, str], WorkloadRun] = {}
+            misses: List[Job] = []
+            for w in names:
+                for isa in isas:
+                    job = Job(w, isa, scale, seed, point.config, point=pid)
+                    cached = (disk.get(_job_fp(job)) if disk is not None
+                              else None)
+                    if cached is not None:
+                        runs[(w, isa)] = cached
+                        emit(pid, w, isa, "hit", cached.wall_seconds)
+                    else:
+                        misses.append(job)
+            if not misses:
+                finish_point(point, runs)
+                continue
+            pending[pid] = runs
+            remaining[pid] = len(misses)
+            cells.extend(misses)
+
+        # Pass 2: simulate the misses.  ``on_result`` lands in submission
+        # order, so each point is journaled the moment its last cell
+        # resolves — a kill between points loses only the in-flight tail.
+        points_by_id = {p.point_id: p for p in points}
+
+        def on_result(job: Job, run: WorkloadRun) -> None:
+            pid = job.point
+            pending[pid][(job.workload, job.isa)] = run
+            if disk is not None and run.error is None:
+                disk.put(_job_fp(job), run,
+                         config_fingerprint=job.config.fingerprint())
+            remaining[pid] -= 1
+            if remaining[pid] == 0:
+                finish_point(points_by_id[pid], pending.pop(pid))
+
+        if cells:
+            pool_size = min(resolve_jobs(jobs), len(cells))
+            if pool_size > 1:
+                run_jobs(cells, max_workers=pool_size, timeout=job_timeout,
+                         execute=execute, progress=progress,
+                         progress_offset=index, progress_total=total,
+                         on_result=on_result)
+                index += len(cells)
+            else:
+                for job in cells:
+                    run = run_job_inline(job, execute)
+                    on_result(job, run)
+                    emit(job.point, job.workload, job.isa,
+                         "failed" if run.error else "ok", run.wall_seconds)
+
+        results.points = [point_results[p.point_id] for p in points
+                          if p.point_id in point_results]
+    finally:
+        journal.close()
+    return results
+
+
+def _job_fp(job: Job) -> str:
+    return job_fingerprint(job.config, job.workload, job.isa, job.scale,
+                           job.seed)

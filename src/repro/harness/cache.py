@@ -27,7 +27,7 @@ import os
 import tempfile
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..common.config import GpuConfig
 
@@ -136,13 +136,21 @@ class ResultCache:
         self.hits += 1
         return run
 
-    def put(self, fingerprint: str, run: "WorkloadRun") -> bool:
-        """Persist ``run``; returns False (and stays silent) on failure."""
+    def put(self, fingerprint: str, run: "WorkloadRun",
+            config_fingerprint: Optional[str] = None) -> bool:
+        """Persist ``run``; returns False (and stays silent) on failure.
+
+        ``config_fingerprint`` (the :meth:`GpuConfig.fingerprint` the run
+        was simulated under) is stored alongside the payload so
+        :meth:`breakdown` can attribute disk usage per configuration —
+        sweeps multiply entries across many configs.
+        """
         entry = {
             "format": CACHE_FORMAT_VERSION,
             "fingerprint": fingerprint,
             "workload": run.workload,
             "isa": run.isa,
+            "config": config_fingerprint,
             "run": run.to_payload(),
         }
         try:
@@ -187,6 +195,60 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def prune_older_than(self, days: float) -> "Tuple[int, int]":
+        """Delete entries whose mtime is older than ``days`` days.
+
+        Returns ``(entries_removed, bytes_freed)``.  Sweeps multiply
+        cache growth across config fingerprints; age-based pruning is
+        always safe because every entry is a pure content-addressed
+        memoization — at worst a pruned cell is re-simulated.
+        """
+        import time
+
+        cutoff = time.time() - days * 86400.0
+        removed = 0
+        freed = 0
+        try:
+            entries = list(self.directory.glob("*.json"))
+        except OSError:
+            return (0, 0)
+        for path in entries:
+            try:
+                stat = path.stat()
+                if stat.st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += stat.st_size
+        return (removed, freed)
+
+    def breakdown(self) -> "Dict[str, Dict[str, int]]":
+        """Per-config-fingerprint usage: ``{config: {entries, bytes}}``.
+
+        Entries written before the config fingerprint was recorded (or
+        unreadable ones) are grouped under ``"(unknown)"``.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        try:
+            entries = list(self.directory.glob("*.json"))
+        except OSError:
+            return out
+        for path in entries:
+            config = "(unknown)"
+            size = 0
+            try:
+                size = path.stat().st_size
+                with open(path, "r", encoding="utf-8") as f:
+                    config = json.load(f).get("config") or "(unknown)"
+            except (OSError, ValueError):
+                pass
+            bucket = out.setdefault(str(config), {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return out
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}

@@ -37,8 +37,19 @@ def _ordered(results: SuiteResults) -> List[str]:
     ]
 
 
-def _ratio(num: float, den: float) -> float:
+def _ratio(num: float, den: float, failed: bool = False) -> float:
+    """``num/den`` with honest edge cases: a ratio involving a *failed*
+    run is ``nan`` (rendered ``n/a``, ignored by :func:`geomean`), never a
+    fabricated 0.0 — sweep reports would otherwise silently average in
+    points whose HSAIL or GCN3 cell crashed.  A zero denominator on a
+    *successful* run (e.g. a flush-free workload) still reads 0.0."""
+    if failed:
+        return float("nan")
     return num / den if den else 0.0
+
+
+def _pair_failed(hs: object, g3: object) -> bool:
+    return bool(getattr(hs, "failed", False) or getattr(g3, "failed", False))
 
 
 def figure05_dynamic_instructions(results: SuiteResults) -> FigureData:
@@ -50,7 +61,9 @@ def figure05_dynamic_instructions(results: SuiteResults) -> FigureData:
     ratios = []
     for w in _ordered(results):
         hs, g3 = results.pair(w)
-        ratio = _ratio(g3.dynamic_instructions, hs.dynamic_instructions)
+        failed = _pair_failed(hs, g3)
+        ratio = _ratio(g3.dynamic_instructions, hs.dynamic_instructions,
+                       failed=failed)
         ratios.append(ratio)
         row: List[object] = [DISPLAY.get(w, w), hs.dynamic_instructions,
                              g3.dynamic_instructions, ratio]
@@ -71,7 +84,7 @@ def figure06_vrf_bank_conflicts(results: SuiteResults) -> FigureData:
         hs, g3 = results.pair(w)
         h = hs.stat("vrf_bank_conflicts")
         g = g3.stat("vrf_bank_conflicts")
-        ratio = _ratio(h, g)
+        ratio = _ratio(h, g, failed=_pair_failed(hs, g3))
         ratios.append(ratio)
         rows.append([DISPLAY.get(w, w), int(h), int(g), ratio])
     rows.append(["GEOMEAN", "", "", geomean(ratios)])
@@ -86,7 +99,7 @@ def figure07_reuse_distance(results: SuiteResults) -> FigureData:
         hs, g3 = results.pair(w)
         h = hs.total.reuse_distance.median
         g = g3.total.reuse_distance.median
-        ratio = _ratio(g, h)
+        ratio = _ratio(g, h, failed=_pair_failed(hs, g3))
         ratios.append(ratio)
         rows.append([DISPLAY.get(w, w), h, g, ratio])
     rows.append(["GEOMEAN", "", "", geomean(ratios)])
@@ -100,7 +113,8 @@ def figure08_instruction_footprint(results: SuiteResults) -> FigureData:
     ratios = []
     for w in _ordered(results):
         hs, g3 = results.pair(w)
-        ratio = _ratio(g3.instr_footprint_bytes, hs.instr_footprint_bytes)
+        ratio = _ratio(g3.instr_footprint_bytes, hs.instr_footprint_bytes,
+                       failed=_pair_failed(hs, g3))
         ratios.append(ratio)
         rows.append([
             DISPLAY.get(w, w),
@@ -122,8 +136,9 @@ def figure09_ib_flushes(results: SuiteResults) -> FigureData:
         hs, g3 = results.pair(w)
         h = hs.stat("ib_flushes")
         g = g3.stat("ib_flushes")
-        ratio = _ratio(g, h) if h else 0.0
-        if h:
+        failed = _pair_failed(hs, g3)
+        ratio = _ratio(g, h, failed=failed) if h or failed else 0.0
+        if h and not failed:
             ratios.append(ratio)
         rows.append([DISPLAY.get(w, w), int(h), int(g), ratio])
     rows.append(["GEOMEAN", "", "", geomean(ratios)])
@@ -152,7 +167,8 @@ def figure11_ipc(results: SuiteResults) -> FigureData:
     ratios = []
     for w in _ordered(results):
         hs, g3 = results.pair(w)
-        ratio = _ratio(g3.total.ipc, hs.total.ipc)
+        ratio = _ratio(g3.total.ipc, hs.total.ipc,
+                       failed=_pair_failed(hs, g3))
         ratios.append(ratio)
         rows.append([DISPLAY.get(w, w), hs.total.ipc, g3.total.ipc, ratio])
     rows.append(["GEOMEAN", "", "", geomean(ratios)])
@@ -165,7 +181,7 @@ def figure12_runtime(results: SuiteResults) -> FigureData:
     ratios = []
     for w in _ordered(results):
         hs, g3 = results.pair(w)
-        ratio = _ratio(hs.cycles, g3.cycles)
+        ratio = _ratio(hs.cycles, g3.cycles, failed=_pair_failed(hs, g3))
         ratios.append(ratio)
         rows.append([DISPLAY.get(w, w), hs.cycles, g3.cycles, ratio])
     rows.append(["GEOMEAN", "", "", geomean(ratios)])
@@ -183,7 +199,8 @@ def table06_footprint_and_simd(results: SuiteResults) -> FigureData:
             DISPLAY.get(w, w),
             hs.data_footprint_bytes,
             g3.data_footprint_bytes,
-            _ratio(hs.data_footprint_bytes, g3.data_footprint_bytes),
+            _ratio(hs.data_footprint_bytes, g3.data_footprint_bytes,
+                   failed=_pair_failed(hs, g3)),
             100.0 * hs.total.simd_utilization.value,
             100.0 * g3.total.simd_utilization.value,
         ])
@@ -204,6 +221,10 @@ def figure01_summary(results: SuiteResults) -> FigureData:
     }
     for w in results.workloads:
         hs, g3 = results.pair(w)
+        if _pair_failed(hs, g3):
+            # A failed cell would contribute fabricated 0/∞ ratios to
+            # every geomean; skip the pair entirely.
+            continue
         stats["dynamic instructions (GCN3/HSAIL)"].append(
             _ratio(g3.dynamic_instructions, hs.dynamic_instructions))
         stats["GPU cycles (HSAIL/GCN3)"].append(_ratio(hs.cycles, g3.cycles))

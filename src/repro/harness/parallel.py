@@ -48,13 +48,22 @@ class Job:
     #: trace settings; rides across the process boundary (TraceConfig is
     #: frozen and picklable) so workers record events too.
     trace: Optional[TraceConfig] = None
+    #: sweep-point tag.  Empty for plain suites (the key stays the
+    #: two-tuple the serial reduce expects); a sweep sets it to the point
+    #: id so cells of *different* configs for the same (workload, isa)
+    #: stop colliding in the result mapping.
+    point: str = ""
 
     @property
-    def key(self) -> Tuple[str, str]:
+    def key(self) -> "Tuple[str, ...]":
+        if self.point:
+            return (self.point, self.workload, self.isa)
         return (self.workload, self.isa)
 
     def describe(self) -> str:
-        return f"{self.workload}/{self.isa} scale={self.scale:g} seed={self.seed}"
+        prefix = f"[{self.point}] " if self.point else ""
+        return (f"{prefix}{self.workload}/{self.isa} "
+                f"scale={self.scale:g} seed={self.seed}")
 
 
 @dataclass(frozen=True)
@@ -63,19 +72,27 @@ class JobEvent:
 
     workload: str
     isa: str
-    status: str          # "hit" | "ok" | "failed" | "timeout"
+    status: str          # "hit" | "ok" | "failed" | "timeout" | "journal"
     wall_seconds: float
     index: int           # 1-based position in the suite
     total: int
+    #: sweep-point id; empty outside sweeps.
+    point: str = ""
 
     def format(self) -> str:
+        where = (f"{self.point}:{self.workload}/{self.isa}" if self.point
+                 else f"{self.workload}/{self.isa}")
         return (
-            f"[{self.index}/{self.total}] {self.workload}/{self.isa} "
+            f"[{self.index}/{self.total}] {where} "
             f"{self.status} {self.wall_seconds:.2f}s"
         )
 
 
 ProgressFn = Callable[[JobEvent], None]
+
+#: called with (job, run) as each result lands, in submission order —
+#: the sweep journal appends a point the moment its last cell resolves.
+ResultFn = Callable[[Job, object], None]
 
 
 def execute_job(job: Job) -> "Dict[str, object]":
@@ -154,18 +171,21 @@ def run_jobs(
     progress: Optional[ProgressFn] = None,
     progress_offset: int = 0,
     progress_total: Optional[int] = None,
-) -> "Dict[Tuple[str, str], object]":
+    on_result: Optional[ResultFn] = None,
+) -> "Dict[Tuple[str, ...], object]":
     """Fan ``jobs`` out over ``max_workers`` processes.
 
-    Returns ``{(workload, isa): WorkloadRun}`` with keys inserted in
-    submission order regardless of completion order, so downstream
-    consumers observe exactly the ordering the serial path produces.
+    Returns ``{job.key: WorkloadRun}`` with keys inserted in submission
+    order regardless of completion order, so downstream consumers observe
+    exactly the ordering the serial path produces.  ``on_result`` fires
+    per job as its result lands (also in submission order), before the
+    corresponding ``progress`` event.
     """
     from .runner import WorkloadRun
 
     execute = execute or execute_job
     total = progress_total if progress_total is not None else len(jobs)
-    results: "Dict[Tuple[str, str], object]" = {}
+    results: "Dict[Tuple[str, ...], object]" = {}
     if not jobs:
         return results
 
@@ -212,6 +232,8 @@ def run_jobs(
                         time.monotonic() - start,
                     )
             results[job.key] = run
+            if on_result is not None:
+                on_result(job, run)
             if progress is not None:
                 progress(JobEvent(
                     workload=job.workload,
@@ -220,6 +242,7 @@ def run_jobs(
                     wall_seconds=getattr(run, "wall_seconds", 0.0),
                     index=progress_offset + index + 1,
                     total=total,
+                    point=job.point,
                 ))
     finally:
         if timed_out:

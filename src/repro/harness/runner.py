@@ -394,7 +394,8 @@ def _run_suite(
             for cell in misses:
                 run = runs[cell.key]
                 if run.error is None:
-                    disk.put(_cell_fingerprint(cell), run)
+                    disk.put(_cell_fingerprint(cell), run,
+                             config_fingerprint=cell.config.fingerprint())
 
     # Deterministic reduce: insertion order matches the serial loop
     # exactly, whatever order the pool completed in.

@@ -13,6 +13,7 @@ metric catalogue.
 
 from .export import (
     chrome_trace_dict,
+    open_text_sink,
     parse_chrome_trace,
     read_jsonl,
     text_report,
@@ -34,6 +35,7 @@ __all__ = [
     "TraceData",
     "TraceEvent",
     "chrome_trace_dict",
+    "open_text_sink",
     "parse_chrome_trace",
     "read_jsonl",
     "text_report",

@@ -15,10 +15,29 @@ to the viewer.
 from __future__ import annotations
 
 import json
-from typing import Dict, IO, Iterable, List, Optional, Union
+from contextlib import contextmanager
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Union
 
 from ..common.stats import StatSet
 from .trace import TraceData, TraceEvent
+
+#: every exporter in this package (and ``repro.explore.analyze``) accepts
+#: either a filesystem path or an already-open text stream.
+TextSink = Union[str, IO[str]]
+
+
+@contextmanager
+def open_text_sink(out: TextSink) -> Iterator[IO[str]]:
+    """Yield a writable text stream for a path *or* an open file.
+
+    Paths are opened (and closed) here; streams are passed through
+    untouched so callers can write to ``sys.stdout`` or ``StringIO``.
+    """
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8") as f:
+            yield f
+    else:
+        yield out
 
 #: Chrome pid used for device-scope events (cu == -1).
 DEVICE_PID = 0
@@ -72,17 +91,13 @@ def chrome_trace_dict(trace: TraceData,
     }
 
 
-def write_chrome_trace(trace: TraceData, out: Union[str, IO[str]],
+def write_chrome_trace(trace: TraceData, out: TextSink,
                        metadata: Optional[Dict[str, object]] = None) -> None:
     """Write the Chrome trace JSON to a path or open file."""
     doc = chrome_trace_dict(trace, metadata)
-    if isinstance(out, str):
-        with open(out, "w") as f:
-            json.dump(doc, f)
-            f.write("\n")
-    else:
-        json.dump(doc, out)
-        out.write("\n")
+    with open_text_sink(out) as f:
+        json.dump(doc, f)
+        f.write("\n")
 
 
 def parse_chrome_trace(source: Union[str, Dict[str, object]]) -> TraceData:
@@ -119,10 +134,9 @@ def parse_chrome_trace(source: Union[str, Dict[str, object]]) -> TraceData:
     )
 
 
-def write_jsonl(trace: TraceData, out: Union[str, IO[str]]) -> None:
+def write_jsonl(trace: TraceData, out: TextSink) -> None:
     """One JSON object per line: cheap to stream, grep, and tail."""
-
-    def _write(f: IO[str]) -> None:
+    with open_text_sink(out) as f:
         for event in trace.events:
             f.write(json.dumps({
                 "ts": event.ts, "dur": event.dur, "cat": event.cat,
@@ -130,12 +144,6 @@ def write_jsonl(trace: TraceData, out: Union[str, IO[str]]) -> None:
                 "args": event.args or {},
             }, sort_keys=True))
             f.write("\n")
-
-    if isinstance(out, str):
-        with open(out, "w") as f:
-            _write(f)
-    else:
-        _write(out)
 
 
 def read_jsonl(lines: Iterable[str]) -> TraceData:

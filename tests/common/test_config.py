@@ -96,3 +96,53 @@ class TestValidation:
         cfg = paper_config().scaled(num_cus=4)
         assert cfg.num_cus == 4
         assert cfg.cu.vrf_entries == 2048
+
+
+class TestWithOverrides:
+    def test_nested_replace(self):
+        cfg = paper_config().with_overrides(
+            {"cu.vrf_banks": 8, "l1i.size_bytes": 65536})
+        assert cfg.cu.vrf_banks == 8
+        assert cfg.l1i.size_bytes == 65536
+        # Everything else is untouched, including sibling nested fields.
+        assert cfg.cu.vrf_entries == paper_config().cu.vrf_entries
+        assert cfg.l1i.associativity == paper_config().l1i.associativity
+
+    def test_top_level_path(self):
+        assert paper_config().with_overrides({"num_cus": 4}).num_cus == 4
+
+    def test_original_untouched(self):
+        base = paper_config()
+        base.with_overrides({"cu.vrf_banks": 16})
+        assert base.cu.vrf_banks != 16 or \
+            base.cu.vrf_banks == CuConfig().vrf_banks
+
+    def test_empty_overrides_is_identity(self):
+        base = paper_config()
+        assert base.with_overrides({}).fingerprint() == base.fingerprint()
+
+    def test_fingerprint_changes(self):
+        base = paper_config()
+        assert base.with_overrides({"cu.vrf_banks": 16}).fingerprint() \
+            != base.fingerprint()
+
+    def test_unknown_field_names_path(self):
+        with pytest.raises(ConfigError, match=r"cu\.nope"):
+            paper_config().with_overrides({"cu.nope": 1})
+
+    def test_unknown_field_hints_candidates(self):
+        with pytest.raises(ConfigError, match="vrf_banks"):
+            paper_config().with_overrides({"cu.vrf_bank": 8})
+
+    def test_non_dataclass_leaf_rejected(self):
+        with pytest.raises(ConfigError, match=r"num_cus\.x"):
+            paper_config().with_overrides({"num_cus.x": 1})
+
+    def test_validation_reruns_and_names_path(self):
+        # 100 B violates the line-size invariant deep in CacheConfig.
+        with pytest.raises(ConfigError, match=r"l1i\.size_bytes"):
+            paper_config().with_overrides({"l1i.size_bytes": 100})
+
+    def test_top_level_validation_reruns(self):
+        with pytest.raises(ConfigError):
+            paper_config().with_overrides({"num_cus": 0})

@@ -1,0 +1,253 @@
+"""Sensitivity analysis: responses, curves, tornado, thresholds, exports."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.common.config import small_config
+from repro.common.errors import ConfigError
+from repro.common.stats import StatSet
+from repro.explore.analyze import (
+    curve,
+    curve_report,
+    monotonicity,
+    points_report,
+    response_value,
+    threshold,
+    tornado,
+    write_csv,
+    write_json,
+    write_markdown,
+    write_text,
+)
+from repro.explore.space import Axis, SweepPoint
+from repro.explore.sweep import PointResult, SweepResults
+from repro.harness.runner import WorkloadRun
+
+
+def _run(workload, isa, misses, cycles=1000, error=None):
+    total = StatSet()
+    total.bump("ifetch_misses", misses)
+    total.bump("cycles", cycles)
+    return WorkloadRun(
+        workload=workload, isa=isa, verified=error is None, total=total,
+        per_dispatch=[], dispatch_kernel_names=[], data_footprint_bytes=0,
+        instr_footprint_bytes=0, static_instructions=0, kernel_code_bytes={},
+        wall_seconds=0.0, error=error,
+    )
+
+
+def _point(axis_value, hsail_misses, gcn3_misses, workload="lulesh",
+           path="l1i.size_bytes", failed=False):
+    config = small_config(2).with_overrides({path: axis_value})
+    point = SweepPoint(overrides=((path, axis_value),), config=config)
+    runs = {
+        (workload, "hsail"): _run(workload, "hsail", hsail_misses),
+        (workload, "gcn3"): _run(
+            workload, "gcn3", gcn3_misses,
+            error="boom" if failed else None),
+    }
+    return PointResult(point=point, runs=runs)
+
+
+def _results(points, axis, workloads=("lulesh",)):
+    return SweepResults(
+        sweep_id="test", base=small_config(2), axes=(axis,), mode="grid",
+        workloads=tuple(workloads), isas=("hsail", "gcn3"), scale=0.5,
+        seed=7, points=points,
+    )
+
+
+#: a synthetic claim-4 shape: the ratio explodes below 8k then flattens.
+AXIS = Axis("l1i.size_bytes", (2048, 4096, 8192, 16384))
+POINTS = [
+    _point(2048, 100, 500),    # ratio 5.0
+    _point(4096, 100, 400),    # ratio 4.0
+    _point(8192, 100, 150),    # ratio 1.5
+    _point(16384, 100, 150),   # ratio 1.5
+]
+
+
+class TestResponseValue:
+    def test_ratio_is_gcn3_over_hsail(self):
+        assert response_value(POINTS[0], "lulesh",
+                              "ratio:ifetch_misses") == 5.0
+
+    def test_inv_ratio(self):
+        assert response_value(POINTS[0], "lulesh",
+                              "inv_ratio:ifetch_misses") == pytest.approx(0.2)
+
+    def test_raw_isa_values(self):
+        assert response_value(POINTS[0], "lulesh",
+                              "hsail:ifetch_misses") == 100.0
+        assert response_value(POINTS[0], "lulesh",
+                              "gcn3:ifetch_misses") == 500.0
+
+    def test_failed_cell_is_nan(self):
+        pr = _point(2048, 100, 500, failed=True)
+        assert math.isnan(response_value(pr, "lulesh",
+                                         "ratio:ifetch_misses"))
+        assert math.isnan(response_value(pr, "lulesh",
+                                         "gcn3:ifetch_misses"))
+        # The surviving half of the pair still reads out.
+        assert response_value(pr, "lulesh", "hsail:ifetch_misses") == 100.0
+
+    def test_missing_workload_is_nan(self):
+        assert math.isnan(response_value(POINTS[0], "fft",
+                                         "ratio:ifetch_misses"))
+
+    def test_zero_denominator_is_nan(self):
+        pr = _point(2048, 0, 500)
+        assert math.isnan(response_value(pr, "lulesh",
+                                         "ratio:ifetch_misses"))
+
+    def test_bad_specs_rejected(self):
+        for bad in ("ifetch_misses", "ratio:", "sideways:ifetch_misses"):
+            with pytest.raises(ConfigError):
+                response_value(POINTS[0], "lulesh", bad)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigError, match="unknown response metric"):
+            response_value(POINTS[0], "lulesh", "ratio:ifetch_missses")
+
+
+class TestMonotonicity:
+    def test_shapes(self):
+        assert monotonicity([5.0, 4.0, 1.5, 1.5]) == "decreasing"
+        assert monotonicity([1.0, 2.0, 2.0, 3.0]) == "increasing"
+        assert monotonicity([2.0, 2.0]) == "flat"
+        assert monotonicity([1.0, 3.0, 2.0]) == "mixed"
+
+    def test_nan_ignored(self):
+        assert monotonicity([5.0, float("nan"), 4.0]) == "decreasing"
+        assert monotonicity([float("nan")]) == "flat"
+
+
+class TestCurve:
+    def test_sorted_by_axis_value(self):
+        results = _results(list(reversed(POINTS)), AXIS)
+        pts = curve(results, AXIS, "lulesh")
+        assert [v for v, _ in pts] == [2048, 4096, 8192, 16384]
+        assert [r for _, r in pts] == [5.0, 4.0, 1.5, 1.5]
+
+    def test_unvaried_axis_falls_back_to_base(self):
+        # An OFAT base point has no override for the axis; its response
+        # must land on the base config's value, not vanish.
+        base_pr = PointResult(
+            point=SweepPoint(overrides=(), config=small_config(2)),
+            runs=POINTS[0].runs,
+        )
+        axis = Axis("l1i.size_bytes", (4096,))
+        results = _results([base_pr, _point(4096, 100, 400)], axis)
+        pts = dict(curve(results, axis, "lulesh"))
+        assert pts[small_config(2).l1i.size_bytes] == 5.0
+        assert pts[4096] == 4.0
+
+    def test_curve_report_monotone_row(self):
+        results = _results(POINTS, AXIS)
+        _title, headers, rows = curve_report(results, AXIS)
+        assert headers == ["l1i.size_bytes", "lulesh"]
+        assert rows[-1] == ["(monotone)", "decreasing"]
+
+
+class TestTornado:
+    def test_swing_and_shape(self):
+        results = _results(POINTS, AXIS)
+        _title, headers, rows = tornado(results)
+        assert headers[0] == "Axis"
+        (row,) = rows
+        assert row[0] == "l1i.size_bytes"
+        assert row[3] == pytest.approx(1.5)    # min response
+        assert row[4] == pytest.approx(5.0)    # max response
+        assert row[5] == pytest.approx(3.5)    # swing
+        assert row[6] == "decreasing"
+
+    def test_sorted_by_swing(self):
+        flat_axis = Axis("cu.vrf_banks", (2, 4))
+        flat_points = [
+            _point(2, 100, 200, path="cu.vrf_banks"),
+            _point(4, 100, 200, path="cu.vrf_banks"),
+        ]
+        results = SweepResults(
+            sweep_id="t", base=small_config(2), axes=(AXIS, flat_axis),
+            mode="grid", workloads=("lulesh",), isas=("hsail", "gcn3"),
+            scale=0.5, seed=7, points=POINTS + flat_points,
+        )
+        rows = tornado(results)[2]
+        assert rows[0][0] == "l1i.size_bytes"   # biggest swing on top
+        assert rows[1][0] == "cu.vrf_banks"
+
+    def test_all_failed_axis_is_nan_row(self):
+        points = [_point(2048, 1, 1, failed=True),
+                  _point(4096, 1, 1, failed=True)]
+        axis = Axis("l1i.size_bytes", (2048, 4096))
+        (row,) = tornado(_results(points, axis))[2]
+        assert math.isnan(row[5])
+
+
+class TestThreshold:
+    def test_capacity_wall_found(self):
+        results = _results(POINTS, AXIS)
+        # 5.0 and 4.0 both exceed 2 x 1.5; the wall is the largest such.
+        assert threshold(results, AXIS, "lulesh", factor=2.0) == 4096
+
+    def test_no_wall_inside_range(self):
+        results = _results(POINTS[2:], Axis("l1i.size_bytes",
+                                            (8192, 16384)))
+        assert threshold(results, AXIS, "lulesh", factor=2.0) is None
+
+    def test_factor_moves_the_wall(self):
+        results = _results(POINTS, AXIS)
+        assert threshold(results, AXIS, "lulesh", factor=3.0) == 2048
+
+
+class TestExports:
+    @pytest.fixture()
+    def results(self):
+        return _results(POINTS + [_point(32768, 1, 1, failed=True)],
+                        Axis("l1i.size_bytes",
+                             (2048, 4096, 8192, 16384, 32768)))
+
+    def test_text_renders_na_for_failed(self, results):
+        out = io.StringIO()
+        write_text(results, out)
+        text = out.getvalue()
+        assert "Tornado" in text and "Sensitivity curve" in text
+        assert "n/a" in text
+        assert "nan" not in text.lower()
+
+    def test_markdown_tables(self, results):
+        out = io.StringIO()
+        write_markdown(results, out)
+        text = out.getvalue()
+        assert text.count("### ") >= 3
+        assert "| Axis |" in text
+
+    def test_csv_one_row_per_point_workload(self, results):
+        out = io.StringIO()
+        write_csv(results, out)
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 1 + len(results.points)
+        assert lines[0].startswith("point_id,workload,status")
+        assert any(",n/a" in l for l in lines[1:])
+
+    def test_json_is_valid_with_null_for_nan(self, results):
+        out = io.StringIO()
+        write_json(results, out)
+        doc = json.loads(out.getvalue())
+        assert doc["response"] == "ratio:ifetch_misses"
+        assert doc["sweep_id"] == "test"
+        curve_pts = doc["curves"]["l1i.size_bytes"]["lulesh"]
+        assert [None, None] in [p for p in curve_pts] or \
+            any(p[1] is None for p in curve_pts)
+
+    def test_path_sink(self, results, tmp_path):
+        target = tmp_path / "report.md"
+        write_markdown(results, str(target))
+        assert target.read_text().startswith("### ")
+
+    def test_points_report_statuses(self, results):
+        rows = points_report(results)[2]
+        assert [r[1] for r in rows] == ["ok"] * 4 + ["failed"]

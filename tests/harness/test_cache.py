@@ -142,3 +142,53 @@ class TestResolveCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
         cache = resolve_cache(True, None)
         assert cache.directory == tmp_path / "elsewhere"
+
+
+class TestPruneAndBreakdown:
+    def _fill(self, tmp_path, tiny_run, n=3):
+        cache = ResultCache(tmp_path / "cache")
+        keys = [job_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, s)
+                for s in range(n)]
+        for key in keys:
+            cache.put(key, tiny_run,
+                      config_fingerprint=small_config(2).fingerprint())
+        return cache, keys
+
+    def test_prune_nothing_when_young(self, tmp_path, tiny_run):
+        cache, keys = self._fill(tmp_path, tiny_run)
+        assert cache.prune_older_than(1.0) == (0, 0)
+        assert all(cache.get(k) is not None for k in keys)
+
+    def test_prune_removes_old_entries(self, tmp_path, tiny_run):
+        import os
+        cache, keys = self._fill(tmp_path, tiny_run)
+        old = cache._path(keys[0])
+        stale = old.stat().st_mtime - 10 * 86400
+        os.utime(old, (stale, stale))
+        removed, freed = cache.prune_older_than(5.0)
+        assert removed == 1
+        assert freed > 0
+        assert cache.get(keys[0]) is None
+        assert all(cache.get(k) is not None for k in keys[1:])
+
+    def test_prune_empty_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "void").prune_older_than(0.0) == (0, 0)
+
+    def test_breakdown_groups_by_config(self, tmp_path, tiny_run):
+        cache, _keys = self._fill(tmp_path, tiny_run)
+        other = job_fingerprint(small_config(4), "arraybw", "gcn3", 0.1, 7)
+        cache.put(other, tiny_run,
+                  config_fingerprint=small_config(4).fingerprint())
+        usage = cache.breakdown()
+        assert usage[small_config(2).fingerprint()]["entries"] == 3
+        assert usage[small_config(4).fingerprint()]["entries"] == 1
+        assert all(b["bytes"] > 0 for b in usage.values())
+
+    def test_breakdown_legacy_entries_unknown(self, tmp_path, tiny_run):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        cache.put(key, tiny_run)   # no config fingerprint recorded
+        assert cache.breakdown() == {
+            "(unknown)": {"entries": 1,
+                          "bytes": cache._path(key).stat().st_size}
+        }

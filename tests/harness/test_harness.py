@@ -102,3 +102,72 @@ class TestHardwareProxy:
         title, headers, rows = table07_rows(mini_suite)
         assert "Table 7" in title
         assert rows[0][0] == "HSAIL" and rows[1][0] == "GCN3"
+
+
+class TestFailedPairFigures:
+    """A failed run must surface as n/a, never a fabricated ratio."""
+
+    @pytest.fixture(scope="class")
+    def wounded_suite(self):
+        """arraybw intact; comd's GCN3 cell marked failed."""
+        from repro.harness.parallel import Job, _failed_run
+        from repro.harness.runner import SuiteResults
+
+        good = Session(small_config(2)).suite(scale=0.1,
+                                              workloads=["arraybw", "comd"])
+        suite = SuiteResults(scale=0.1)
+        suite.runs.update(good.runs)
+        job = Job("comd", "gcn3", 0.1, 7, small_config(2))
+        suite.runs[("comd", "gcn3")] = _failed_run(job, "injected crash",
+                                                   0.0)
+        return suite
+
+    def test_ratio_nan_on_failed_pair(self):
+        import math
+
+        from repro.harness.figures import _ratio
+
+        assert math.isnan(_ratio(1.0, 2.0, failed=True))
+        assert _ratio(1.0, 2.0) == 0.5
+        assert _ratio(1.0, 0.0) == 0.0   # zero denominator, healthy run
+
+    def test_figures_render_na_not_zero(self, wounded_suite):
+        import math
+
+        from repro.harness.figures import figure05_dynamic_instructions
+
+        _t, _h, rows = figure05_dynamic_instructions(wounded_suite)
+        by_name = {r[0]: r for r in rows}
+        assert math.isnan(by_name[DISPLAY.get("comd", "comd")][3])
+        assert not math.isnan(by_name[DISPLAY.get("arraybw", "arraybw")][3])
+
+    def test_geomean_row_excludes_failed(self, wounded_suite):
+        import math
+
+        from repro.harness.figures import figure05_dynamic_instructions
+
+        clean = Session(small_config(2)).suite(scale=0.1,
+                                               workloads=["arraybw"])
+        wounded_geo = figure05_dynamic_instructions(wounded_suite)[2][-1][3]
+        clean_geo = figure05_dynamic_instructions(clean)[2][-1][3]
+        assert not math.isnan(wounded_geo)
+        assert wounded_geo == pytest.approx(clean_geo)
+
+    def test_summary_skips_failed_pairs(self, wounded_suite):
+        from repro.harness.figures import figure01_summary
+
+        rows = figure01_summary(wounded_suite)[2]
+        # Ratios equal the arraybw-only summary: comd contributed nothing.
+        clean = Session(small_config(2)).suite(scale=0.1,
+                                               workloads=["arraybw"])
+        clean_rows = figure01_summary(clean)[2]
+        assert [r[1] for r in rows] == [r[1] for r in clean_rows]
+
+    def test_all_figures_survive_failed_pair(self, wounded_suite):
+        for fn in ALL_FIGURES.values():
+            fn(wounded_suite)   # must not raise
+
+    def test_na_rendering(self):
+        from repro.common.tables import format_value
+
+        assert format_value(float("nan")) == "n/a"

@@ -117,3 +117,92 @@ class TestJsonExport:
         assert code == 0
         payload = json.loads(out)
         assert payload["scale"] == 0.1
+
+
+class TestSweepCli:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "-a", "l1i.size_bytes=8k,16k,32k", "-w", "lulesh",
+             "-j", "4"])
+        assert args.axis == ["l1i.size_bytes=8k,16k,32k"]
+        assert args.mode == "grid"
+        assert args.report == "all"
+        assert args.response == "ratio:ifetch_misses"
+        assert args.resume is None
+
+    def test_parser_resume_forms(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["sweep", "-a", "x=1", "--resume"]).resume is True
+        assert parser.parse_args(
+            ["sweep", "-a", "x=1", "--resume", "abc123def456"]
+        ).resume == "abc123def456"
+
+    def test_dry_run_lists_points(self, capsys):
+        code = main(["sweep", "-a", "l1i.size_bytes=8k,16k", "--cus", "2",
+                     "-w", "lulesh", "--dry-run"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "l1i.size_bytes=8192" in out
+        assert "l1i.size_bytes=16384" in out
+        assert "sweep id:" in out
+        assert "no cells simulated" in out
+
+    def test_dry_run_flags_invalid_points(self, capsys):
+        code = main(["sweep", "-a", "l1i.size_bytes=8k,100", "--cus", "2",
+                     "--dry-run"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "INVALID" in captured.out
+
+    def test_bad_axis_spec_is_an_error(self, capsys):
+        code = main(["sweep", "-a", "no_equals_sign", "--dry-run"])
+        assert code == 2
+        assert "bad axis spec" in capsys.readouterr().err
+
+    def test_tiny_sweep_end_to_end(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_SWEEPS_DIR", raising=False)
+        argv = ["sweep", "-a", "cu.vrf_banks=2,4", "--cus", "2",
+                "-w", "arraybw", "-s", "0.1", "--quiet"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "2 point(s), 0 from journal, 0 failed" in captured.err
+        assert "Tornado" in captured.out
+        # Same command with --resume replays everything from the journal.
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "2 from journal" in captured.err
+
+    def test_sweep_csv_output_file(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_SWEEPS_DIR", raising=False)
+        target = tmp_path / "sweep.csv"
+        assert main(["sweep", "-a", "cu.vrf_banks=2,4", "--cus", "2",
+                     "-w", "arraybw", "-s", "0.1", "--quiet",
+                     "-f", "csv", "-o", str(target)]) == 0
+        capsys.readouterr()
+        lines = target.read_text().strip().splitlines()
+        assert lines[0].startswith("point_id,workload,status")
+        assert len(lines) == 3
+
+
+class TestCachePruneCli:
+    def test_prune_flag(self, tmp_path, capsys):
+        code = main(["cache", "--cache-dir", str(tmp_path),
+                     "--prune-older-than", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pruned 0 entrie(s)" in out
+
+    def test_breakdown_listed(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_SWEEPS_DIR", raising=False)
+        assert main(["sweep", "-a", "cu.vrf_banks=2,4", "--cus", "2",
+                     "-w", "arraybw", "-s", "0.1", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-config usage" in out
+        assert "entries:" in out
