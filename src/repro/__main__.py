@@ -31,6 +31,15 @@ sweep --axis PATH=V1,V2,... [--axis ...] [--mode grid|ofat]
     ``.repro_cache/sweeps/<id>/`` (resumable with ``--resume``), and
     print sensitivity reports (tornado tables, per-axis response curves,
     capacity-threshold detection).
+bench [--workloads W1,W2] [--scale S] [--seed N] [--cus N]
+      [--repeats N] [--label L] [--baseline FILE] [--threshold F]
+      [--output FILE]
+    Time the tier-1 suite cell by cell (wall seconds, simulated
+    cycles/sec, peak RSS) with every cache layer bypassed, and write a
+    machine-readable BENCH_*.json perf-trajectory point.  With
+    ``--baseline`` the report embeds per-cell and geomean speedups vs a
+    prior BENCH_*.json and exits non-zero on any cell more than
+    ``--threshold`` (fractional) slower.
 cache [--cache-dir DIR] [--clear] [--prune-older-than DAYS]
     Inspect, prune, or clear the persistent result cache
     (.repro_cache/); the listing breaks disk usage down per config
@@ -343,6 +352,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if results.failed_points else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import perfbench
+
+    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    workloads = args.workloads.split(",") if args.workloads else None
+    report = perfbench.run_bench(
+        workloads=workloads,
+        scale=args.scale,
+        seed=args.seed,
+        config=config,
+        repeats=args.repeats,
+        label=args.label,
+        progress=None if args.quiet
+        else (lambda msg: print(msg, file=sys.stderr)),
+    )
+    regressions: List[str] = []
+    if args.baseline:
+        try:
+            baseline = perfbench.load_report(args.baseline)
+        except perfbench.BenchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _, regressions = perfbench.compare(
+            report, baseline, args.baseline, threshold=args.threshold)
+    perfbench.write_report(report, args.output)
+    print(perfbench.render_text(report))
+    print(f"wrote {args.output}")
+    for line in regressions:
+        print(f"REGRESSION {line}", file=sys.stderr)
+    if not all(c.verified for c in report.cells):
+        return 1
+    return 1 if regressions else 0
+
+
 def _cmd_per_kernel(args: argparse.Namespace) -> int:
     from .harness.runner import run_workload
 
@@ -483,6 +526,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--quiet", "-q", action="store_true",
                          help="suppress per-cell progress lines on stderr")
 
+    bench_p = sub.add_parser(
+        "bench", help="time the suite and write a BENCH_*.json perf point")
+    bench_p.add_argument("--workloads", "-w",
+                         help="comma-separated workload names (default all)")
+    bench_p.add_argument("--scale", "-s", type=float, default=0.5)
+    bench_p.add_argument("--seed", type=int, default=7)
+    bench_p.add_argument("--cus", type=int, default=8,
+                         help="CU count (8 = paper config)")
+    bench_p.add_argument("--repeats", "-r", type=int, default=1,
+                         help="runs per cell; best-of is reported")
+    bench_p.add_argument("--label", "-l", default="PR4",
+                         help="trajectory label stored in the report")
+    bench_p.add_argument("--baseline", "-b",
+                         help="prior BENCH_*.json to compare against")
+    bench_p.add_argument("--threshold", "-t", type=float, default=0.25,
+                         help="fractional slowdown that counts as a "
+                              "regression (default 0.25 = 25%%)")
+    bench_p.add_argument("--output", "-o", default="BENCH_PR4.json",
+                         help="report path (default BENCH_PR4.json)")
+    bench_p.add_argument("--quiet", "-q", action="store_true",
+                         help="suppress per-cell progress on stderr")
+
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("--cache-dir",
                          help="cache directory (default .repro_cache/ "
@@ -521,6 +586,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "disasm": _cmd_disasm,
         "diff": _cmd_diff,
         "per-kernel": _cmd_per_kernel,
+        "bench": _cmd_bench,
         "cache": _cmd_cache,
         "sweep": _cmd_sweep,
     }[args.command]

@@ -23,6 +23,8 @@ EventCallback = Callable[[], None]
 class EventQueue:
     """A monotonic, deterministic event queue keyed by cycle."""
 
+    __slots__ = ("_heap", "_seq", "_now")
+
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, EventCallback]] = []
         self._seq = 0

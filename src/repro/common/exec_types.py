@@ -112,7 +112,7 @@ class MemKind:
     LDS_ACCESS = "lds"
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecResult:
     """Functional side effects of executing one instruction on one WF."""
 

@@ -23,17 +23,25 @@ class Distribution:
     losing the median.
     """
 
+    __slots__ = ("_buckets", "_count", "_total", "_sorted_keys")
+
     def __init__(self) -> None:
         self._buckets: Dict[int, int] = defaultdict(int)
         self._count = 0
         self._total = 0
+        #: Cached ``sorted(self._buckets)``; invalidated whenever the
+        #: bucket set may change (add/merge) so :meth:`percentile` can
+        #: skip the O(n log n) sort on repeated queries.
+        self._sorted_keys: "List[int] | None" = None
 
     def add(self, value: int, count: int = 1) -> None:
         if count <= 0:
             raise ValueError("count must be positive")
-        self._buckets[int(value)] += count
+        value = int(value)
+        self._buckets[value] += count
         self._count += count
-        self._total += int(value) * count
+        self._total += value * count
+        self._sorted_keys = None
 
     @property
     def count(self) -> int:
@@ -54,12 +62,15 @@ class Distribution:
         if not self._count:
             return 0.0
         target = max(1, round(p / 100.0 * self._count))
+        keys = self._sorted_keys
+        if keys is None:
+            keys = self._sorted_keys = sorted(self._buckets)
         seen = 0
-        for value in sorted(self._buckets):
+        for value in keys:
             seen += self._buckets[value]
             if seen >= target:
                 return float(value)
-        return float(max(self._buckets))
+        return float(keys[-1])
 
     @property
     def median(self) -> float:
@@ -70,6 +81,7 @@ class Distribution:
             self._buckets[value] += count
         self._count += other._count
         self._total += other._total
+        self._sorted_keys = None
 
     def as_dict(self) -> Dict[int, int]:
         return dict(self._buckets)
@@ -88,6 +100,8 @@ class Distribution:
 
 class RatioProbe:
     """Accumulates numerator/denominator pairs (e.g. unique lanes / lanes)."""
+
+    __slots__ = ("numerator", "denominator")
 
     def __init__(self) -> None:
         self.numerator = 0

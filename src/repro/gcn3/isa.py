@@ -236,6 +236,13 @@ def imm_is_inline(imm: SImm) -> bool:
     return -16 <= value <= 64
 
 
+def is_long_valu(opcode: str) -> bool:
+    """Double-precision and transcendental VALU ops occupy the SIMD for
+    twice the normal issue window (paper Table 4).  ISA-owned so the
+    timing model's predecode table and any analysis tool agree."""
+    return opcode.endswith("_f64") or opcode.startswith(("v_rcp", "v_sqrt", "v_div"))
+
+
 def _categorize(opcode: str) -> InstrCategory:
     if opcode.startswith("v_"):
         return InstrCategory.VALU

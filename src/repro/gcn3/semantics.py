@@ -38,6 +38,10 @@ from .isa import EXEC, Gcn3Instr, Gcn3Kernel, SImm, SReg, SpecialReg, VCC, VReg
 
 _LANES32 = np.arange(WF_SIZE, dtype=np.uint32)
 
+#: v_cvt destination dtypes, resolved once at import time.
+_CVT_DST = {"u32": np.uint32, "i32": np.int32,
+            "f32": np.float32, "f64": np.float64}
+
 
 @dataclass
 class Gcn3WfState:
@@ -52,6 +56,8 @@ class Gcn3WfState:
     scc: int = 0
     pc: int = 0  # instruction index
     done: bool = False
+    #: (mask value, bool lanes) memo behind :meth:`exec_bool`
+    _exec_cache: Optional[tuple] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         dims = getattr(self.kernel, "abi_dims", 1)
@@ -124,6 +130,15 @@ class Gcn3WfState:
     def read_v32(self, op: object) -> np.ndarray:
         if isinstance(op, VReg):
             return self.vgpr[op.index]
+        if isinstance(op, SImm):
+            # Immediates are static: splat once, reuse the (read-only by
+            # convention, like the vgpr rows above) broadcast array.
+            vec = getattr(op, "_vec32", None)
+            if vec is None:
+                vec = np.full(WF_SIZE, np.uint32(op.pattern & 0xFFFFFFFF),
+                              dtype=np.uint32)
+                object.__setattr__(op, "_vec32", vec)
+            return vec
         return np.full(WF_SIZE, np.uint32(self.read_s32(op)), dtype=np.uint32)
 
     def read_v64(self, op: object) -> np.ndarray:
@@ -131,18 +146,44 @@ class Gcn3WfState:
             lo = self.vgpr[op.index].astype(np.uint64)
             hi = self.vgpr[op.index + 1].astype(np.uint64)
             return lo | (hi << np.uint64(32))
+        if isinstance(op, SImm):
+            vec = getattr(op, "_vec64", None)
+            if vec is None:
+                vec = np.full(WF_SIZE,
+                              np.uint64(op.pattern & 0xFFFFFFFFFFFFFFFF),
+                              dtype=np.uint64)
+                object.__setattr__(op, "_vec64", vec)
+            return vec
         return np.full(WF_SIZE, np.uint64(self.read_s64(op)), dtype=np.uint64)
+
+    def _mask_is_full(self, mask: np.ndarray) -> bool:
+        """True when every lane of ``mask`` is set.
+
+        When ``mask`` is the memoized EXEC array this is one integer
+        compare; only foreign masks pay the numpy reduction.
+        """
+        cached = self._exec_cache
+        if cached is not None and mask is cached[1]:
+            return (cached[0] & FULL_MASK) == FULL_MASK
+        return bool(mask.all())
 
     def write_v32(self, op: VReg, values: np.ndarray, mask: np.ndarray) -> None:
         raw = np.ascontiguousarray(values).view(np.uint32).reshape(-1)
-        self.vgpr[op.index][mask] = raw[mask]
+        if self._mask_is_full(mask):
+            self.vgpr[op.index][:] = raw
+        else:
+            self.vgpr[op.index][mask] = raw[mask]
 
     def write_v64(self, op: VReg, values: np.ndarray, mask: np.ndarray) -> None:
         raw = np.ascontiguousarray(values).view(np.uint64).reshape(-1)
         lo = (raw & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         hi = (raw >> np.uint64(32)).astype(np.uint32)
-        self.vgpr[op.index][mask] = lo[mask]
-        self.vgpr[op.index + 1][mask] = hi[mask]
+        if self._mask_is_full(mask):
+            self.vgpr[op.index][:] = lo
+            self.vgpr[op.index + 1][:] = hi
+        else:
+            self.vgpr[op.index][mask] = lo[mask]
+            self.vgpr[op.index + 1][mask] = hi[mask]
 
     def mask_operand(self, op: object) -> np.ndarray:
         """A 64-bit mask operand (VCC or an SGPR pair) as bool lanes."""
@@ -150,7 +191,7 @@ class Gcn3WfState:
 
     def exec_bool(self) -> np.ndarray:
         """EXEC as bool lanes, cached per mask value (the hot path)."""
-        cached = getattr(self, "_exec_cache", None)
+        cached = self._exec_cache
         if cached is not None and cached[0] == self.exec_mask:
             return cached[1]
         arr = mask_to_bool(self.exec_mask)
@@ -170,8 +211,26 @@ class Gcn3Executor:
     def execute(self, wf: Gcn3WfState) -> ExecResult:
         instr = wf.kernel.instrs[wf.pc]
         opcode = instr.opcode
-        mask = wf.exec_bool()
-        result = ExecResult(active_lanes=int(mask.sum()))
+        # popcount of EXEC == mask.sum(), without a numpy reduction.
+        result = ExecResult(
+            active_lanes=(wf.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count())
+
+        # Dispatch on the opcode's first character: the vector families
+        # are by far the most frequent, and the scalar path never needs
+        # the lane mask materialized at all.
+        lead = opcode[0]
+        if lead == "v":  # v_*
+            self._valu(wf, instr, wf.exec_bool())
+            wf.pc += 1
+            return result
+        if lead == "f":  # flat_*
+            self._vmem(wf, instr, wf.exec_bool(), result)
+            wf.pc += 1
+            return result
+        if lead == "d":  # ds_*
+            self._ds(wf, instr, wf.exec_bool(), result)
+            wf.pc += 1
+            return result
 
         if opcode.startswith("s_cbranch") or opcode == "s_branch":
             self._branch(wf, instr, result)
@@ -199,12 +258,8 @@ class Gcn3Executor:
             self._smem(wf, instr, result)
         elif opcode.startswith("s_"):
             self._salu(wf, instr)
-        elif opcode.startswith("flat_") or opcode.startswith("scratch_"):
-            self._vmem(wf, instr, mask, result)
-        elif opcode.startswith("ds_"):
-            self._ds(wf, instr, mask, result)
-        elif opcode.startswith("v_"):
-            self._valu(wf, instr, mask)
+        elif opcode.startswith("scratch_"):
+            self._vmem(wf, instr, wf.exec_bool(), result)
         else:
             raise ExecutionError(f"cannot execute {opcode!r}")
         wf.pc += 1
@@ -484,25 +539,35 @@ class Gcn3Executor:
         else:
             a = wf.read_v32(instr.srcs[0])
             b = wf.read_v32(instr.srcs[1])
-        table = {
-            "eq": a == b, "ne": a != b, "lt": a < b,
-            "le": a <= b, "gt": a > b, "ge": a >= b,
-        }
-        bits = bool_to_mask(table[cond] & mask)
+        if cond == "eq":
+            pred = a == b
+        elif cond == "ne":
+            pred = a != b
+        elif cond == "lt":
+            pred = a < b
+        elif cond == "le":
+            pred = a <= b
+        elif cond == "gt":
+            pred = a > b
+        else:  # ge
+            pred = a >= b
+        bits = bool_to_mask(pred & mask)
         dest = instr.dest if instr.dest is not None else VCC
         wf.write_s64(dest, bits)
 
     def _v_cvt(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
         op = instr.opcode  # v_cvt_<dst>_<src>
         _, _, dst, src = op.split("_")
-        readers = {
-            "u32": lambda o: wf.read_v32(o),
-            "i32": lambda o: wf.read_v32(o).view(np.int32),
-            "f32": lambda o: wf.read_v32(o).view(np.float32),
-            "f64": lambda o: wf.read_v64(o).view(np.float64),
-        }
-        a = readers[src](instr.srcs[0])
-        np_dst = {"u32": np.uint32, "i32": np.int32, "f32": np.float32, "f64": np.float64}[dst]
+        operand = instr.srcs[0]
+        if src == "u32":
+            a = wf.read_v32(operand)
+        elif src == "i32":
+            a = wf.read_v32(operand).view(np.int32)
+        elif src == "f32":
+            a = wf.read_v32(operand).view(np.float32)
+        else:  # f64
+            a = wf.read_v64(operand).view(np.float64)
+        np_dst = _CVT_DST[dst]
         with np.errstate(all="ignore"):
             values = a.astype(np_dst)
         if dst in ("u32", "i32", "f32"):

@@ -1,0 +1,380 @@
+"""Perf-trajectory bench harness: time the tier-1 suite, emit JSON.
+
+The cycle model is the repo's hot path: every figure, sweep cell, and
+trace comes out of it, so simulator wall-clock *is* a first-class
+deliverable.  This module measures it reproducibly:
+
+* :func:`run_bench` times every (workload x ISA) cell of the tier-1
+  suite in-process — wall seconds, simulated cycles, simulated cycles
+  per wall second, dynamic instructions, and the process peak RSS —
+  always bypassing every cache layer (a cached result would time JSON
+  deserialization, not the simulator).
+* :func:`write_report` emits a machine-readable ``BENCH_*.json``
+  (schema ``repro-bench/1``, see below) at the repo root; each PR that
+  touches the hot path records a new file, establishing a perf
+  trajectory reviewers can diff.
+* :func:`compare` folds a prior ``BENCH_*.json`` in as the baseline:
+  per-cell and geomean speedups are embedded in the new report, and
+  cells slower than ``baseline * (1 + threshold)`` are flagged as
+  regressions (the CI smoke gate).
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "label": "PR4",                  # free-form trajectory label
+      "created_unix": 1754000000,      # seconds since the epoch
+      "host": {"python": "3.11.7", "platform": "linux", "machine": "x86_64"},
+      "scale": 0.5, "seed": 7, "repeats": 1,
+      "config_fingerprint": "…",       # GpuConfig identity
+      "cells": [                       # one per workload x ISA
+        {"workload": "fft", "isa": "gcn3", "verified": true,
+         "wall_seconds": 1.93,         # best of `repeats` runs
+         "cycles": 193121, "dynamic_instructions": 20256,
+         "cycles_per_second": 100062.7, "peak_rss_kb": 123456}
+      ],
+      "totals": {"wall_seconds": 9.7, "geomean_wall_seconds": 0.41,
+                 "cycles_per_second": …},
+      "baseline": {                    # only when compared against one
+        "path": "BENCH_BASELINE.json", "label": "pre-PR4",
+        "created_unix": …, "config_fingerprint": "…",
+        "cells": [{"workload": …, "isa": …, "wall_seconds": …,
+                   "speedup": 1.8, "regression": false}],
+        "geomean_speedup": 1.83, "regressions": []
+      }
+    }
+
+Geomeans are taken over per-cell wall seconds (resp. speedups), the
+standard summary for a suite whose cells span two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import GpuConfig, paper_config
+from ..common.errors import ReproError
+
+SCHEMA = "repro-bench/1"
+
+#: Default output name for this PR's trajectory point.
+DEFAULT_OUTPUT = "BENCH_PR4.json"
+
+
+class BenchError(ReproError):
+    """A bench report could not be produced or compared."""
+
+
+@dataclass
+class BenchCell:
+    """Timing of one (workload, isa) simulation."""
+
+    workload: str
+    isa: str
+    verified: bool
+    wall_seconds: float
+    cycles: int
+    dynamic_instructions: int
+    peak_rss_kb: int
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.cycles / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "isa": self.isa,
+            "verified": self.verified,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "cycles": self.cycles,
+            "dynamic_instructions": self.dynamic_instructions,
+            "cycles_per_second": round(self.cycles_per_second, 1),
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+@dataclass
+class BenchReport:
+    """A full bench run plus (optionally) its baseline comparison."""
+
+    label: str
+    scale: float
+    seed: int
+    repeats: int
+    config_fingerprint: str
+    cells: List[BenchCell] = field(default_factory=list)
+    baseline: Optional[Dict[str, object]] = None
+    created_unix: int = 0
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(c.wall_seconds for c in self.cells)
+
+    @property
+    def geomean_wall_seconds(self) -> float:
+        return _geomean([c.wall_seconds for c in self.cells])
+
+    def cell(self, workload: str, isa: str) -> Optional[BenchCell]:
+        for c in self.cells:
+            if c.workload == workload and c.isa == isa:
+                return c
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "schema": SCHEMA,
+            "label": self.label,
+            "created_unix": self.created_unix,
+            "host": {
+                "python": platform.python_version(),
+                "platform": sys.platform,
+                "machine": platform.machine(),
+            },
+            "scale": self.scale,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "config_fingerprint": self.config_fingerprint,
+            "cells": [c.to_dict() for c in self.cells],
+            "totals": {
+                "wall_seconds": round(self.total_wall_seconds, 4),
+                "geomean_wall_seconds": round(self.geomean_wall_seconds, 4),
+                "cycles_per_second": round(
+                    sum(c.cycles for c in self.cells)
+                    / max(self.total_wall_seconds, 1e-9), 1),
+            },
+        }
+        if self.baseline is not None:
+            doc["baseline"] = self.baseline
+        return doc
+
+
+def _geomean(values: Sequence[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KB (ru_maxrss is KB on Linux, bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+ProgressFn = Optional[object]  # Callable[[str], None], kept loose for the CLI
+
+
+def run_bench(
+    workloads: Optional[Sequence[str]] = None,
+    scale: float = 0.5,
+    seed: int = 7,
+    config: Optional[GpuConfig] = None,
+    repeats: int = 1,
+    label: str = "PR4",
+    progress=None,
+) -> BenchReport:
+    """Time every (workload x ISA) cell; best-of-``repeats`` per cell.
+
+    Caches are bypassed unconditionally — the point is to time the
+    simulator, and a warm disk cache would short-circuit it.
+    """
+    from ..workloads import all_workloads
+    from .runner import ISAS, run_workload
+
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    config = config or paper_config()
+    names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    report = BenchReport(
+        label=label, scale=scale, seed=seed, repeats=repeats,
+        config_fingerprint=config.fingerprint(),
+        created_unix=int(time.time()),
+    )
+    for name in names:
+        for isa in ISAS:
+            best = None
+            for _ in range(repeats):
+                run = run_workload(name, isa, scale=scale, config=config,
+                                   seed=seed)
+                if best is None or run.wall_seconds < best.wall_seconds:
+                    best = run
+            assert best is not None
+            cell = BenchCell(
+                workload=name,
+                isa=isa,
+                verified=best.verified,
+                wall_seconds=best.wall_seconds,
+                cycles=best.cycles,
+                dynamic_instructions=best.dynamic_instructions,
+                peak_rss_kb=_peak_rss_kb(),
+            )
+            report.cells.append(cell)
+            if progress is not None:
+                progress(f"bench {name}/{isa}: {cell.wall_seconds:.2f}s "
+                         f"({cell.cycles_per_second:,.0f} sim cycles/s)")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Load and schema-check a ``BENCH_*.json`` document."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchError(f"cannot read bench report {path}: {exc}") from exc
+    validate_schema(doc, source=path)
+    return doc
+
+
+def validate_schema(doc: object, source: str = "<doc>") -> None:
+    """Raise BenchError unless ``doc`` is a well-formed bench report."""
+    if not isinstance(doc, dict):
+        raise BenchError(f"{source}: bench report must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise BenchError(
+            f"{source}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise BenchError(f"{source}: bench report has no cells")
+    for cell in cells:
+        for key in ("workload", "isa", "wall_seconds", "cycles"):
+            if key not in cell:
+                raise BenchError(f"{source}: cell missing {key!r}: {cell}")
+        if cell["wall_seconds"] <= 0:
+            raise BenchError(
+                f"{source}: non-positive wall_seconds in "
+                f"{cell['workload']}/{cell['isa']}")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict) or "geomean_wall_seconds" not in totals:
+        raise BenchError(f"{source}: bench report missing totals.geomean_wall_seconds")
+
+
+def compare(
+    report: BenchReport,
+    baseline_doc: Dict[str, object],
+    baseline_path: str,
+    threshold: float = 0.25,
+) -> Tuple[float, List[str]]:
+    """Fold a baseline into ``report``; returns (geomean_speedup, regressions).
+
+    ``speedup`` per cell is ``baseline_wall / current_wall`` (>1 = this
+    tree is faster).  A cell regresses when its wall exceeds the
+    baseline's by more than ``threshold`` (fractional, e.g. 0.25 = 25%).
+    Cells present on only one side are reported but never regress.
+    Simulated-cycle drift is flagged loudly: a "speedup" that changed
+    the statistics is a broken model, not a faster one.
+    """
+    base_cells = {
+        (c["workload"], c["isa"]): c
+        for c in baseline_doc["cells"]  # type: ignore[index,union-attr]
+    }
+    compared: List[Dict[str, object]] = []
+    speedups: List[float] = []
+    regressions: List[str] = []
+    cycle_drift: List[str] = []
+    for cell in report.cells:
+        base = base_cells.pop((cell.workload, cell.isa), None)
+        if base is None:
+            compared.append({"workload": cell.workload, "isa": cell.isa,
+                             "wall_seconds": None, "speedup": None,
+                             "regression": False, "note": "new cell"})
+            continue
+        speedup = float(base["wall_seconds"]) / cell.wall_seconds
+        regressed = cell.wall_seconds > float(base["wall_seconds"]) * (1.0 + threshold)
+        entry: Dict[str, object] = {
+            "workload": cell.workload, "isa": cell.isa,
+            "wall_seconds": base["wall_seconds"],
+            "speedup": round(speedup, 3),
+            "regression": regressed,
+        }
+        if int(base.get("cycles", cell.cycles)) != cell.cycles:
+            entry["cycle_drift"] = {"baseline": base.get("cycles"),
+                                    "current": cell.cycles}
+            cycle_drift.append(f"{cell.workload}/{cell.isa}")
+        compared.append(entry)
+        speedups.append(speedup)
+        if regressed:
+            regressions.append(
+                f"{cell.workload}/{cell.isa}: {cell.wall_seconds:.3f}s vs "
+                f"baseline {float(base['wall_seconds']):.3f}s "
+                f"(> {threshold:.0%} slower)")
+    for (workload, isa) in sorted(base_cells):
+        compared.append({"workload": workload, "isa": isa,
+                         "wall_seconds": base_cells[(workload, isa)]["wall_seconds"],
+                         "speedup": None, "regression": False,
+                         "note": "cell missing from current run"})
+    geomean_speedup = _geomean(speedups)
+    report.baseline = {
+        "path": os.path.basename(baseline_path),
+        "label": baseline_doc.get("label"),
+        "created_unix": baseline_doc.get("created_unix"),
+        "config_fingerprint": baseline_doc.get("config_fingerprint"),
+        "threshold": threshold,
+        "cells": compared,
+        "geomean_speedup": round(geomean_speedup, 3),
+        "regressions": regressions,
+        "cycle_drift": cycle_drift,
+    }
+    return geomean_speedup, regressions
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def render_text(report: BenchReport) -> str:
+    """Human-readable summary table for the CLI."""
+    from ..common.tables import render_table
+
+    base_cells: Dict[Tuple[str, str], Dict[str, object]] = {}
+    if report.baseline is not None:
+        base_cells = {
+            (c["workload"], c["isa"]): c
+            for c in report.baseline["cells"]  # type: ignore[index,union-attr]
+        }
+    rows = []
+    for cell in report.cells:
+        base = base_cells.get((cell.workload, cell.isa), {})
+        speedup = base.get("speedup")
+        rows.append([
+            cell.workload, cell.isa,
+            f"{cell.wall_seconds:.3f}",
+            f"{cell.cycles_per_second:,.0f}",
+            cell.cycles,
+            f"{speedup:.2f}x" if speedup else "-",
+            "REGRESSED" if base.get("regression") else
+            ("yes" if cell.verified else "NO"),
+        ])
+    text = render_table(
+        ["Workload", "ISA", "wall s", "sim cyc/s", "cycles", "speedup", "ok"],
+        rows,
+        title=f"repro bench [{report.label}] scale={report.scale:g} "
+              f"repeats={report.repeats}",
+    )
+    lines = [text,
+             f"total wall: {report.total_wall_seconds:.2f}s | "
+             f"geomean cell: {report.geomean_wall_seconds:.3f}s"]
+    if report.baseline is not None:
+        lines.append(
+            f"vs {report.baseline['path']}: geomean speedup "
+            f"{report.baseline['geomean_speedup']}x, "
+            f"{len(report.baseline['regressions'])} regression(s)")  # type: ignore[arg-type]
+    return "\n".join(lines)

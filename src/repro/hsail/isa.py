@@ -94,6 +94,17 @@ _MISC_OPS = frozenset({"barrier", "ret", "nop"})
 KNOWN_OPCODES = _ALU_OPS | _DISPATCH_OPS | _MEM_OPS | _BRANCH_OPS | _MISC_OPS
 
 
+#: ALU opcodes that are long-latency at any precision.
+_LONG_OPS = frozenset({"div", "rcp", "sqrt"})
+
+
+def is_long_valu(instr: "HsailInstr") -> bool:
+    """Long-occupancy VALU classification for the timing model: division
+    is always long, and every F64 op (plus rcp/sqrt) doubles the SIMD
+    issue window (paper Table 4)."""
+    return instr.opcode in _LONG_OPS or instr.dtype == DType.F64
+
+
 def _categorize(opcode: str, segment: Optional[Segment]) -> InstrCategory:
     if opcode in _ALU_OPS or opcode in _DISPATCH_OPS:
         # Every HSAIL ALU instruction is a vector instruction (paper §V.A).

@@ -28,6 +28,9 @@ from ..runtime.memory import Segment, SimulatedMemory
 from .isa import HReg, HsailInstr, HsailKernel, Imm
 
 WF_SIZE = 64
+
+#: Lane indices 0..63, splatted once (read-only).
+_LANES = np.arange(WF_SIZE, dtype=np.uint32)
 _FULL_MASK = (1 << WF_SIZE) - 1
 
 
@@ -52,6 +55,8 @@ class HsailWfState:
     exec_mask: int = _FULL_MASK
     rs: List[RsEntry] = field(default_factory=list)
     done: bool = False
+    #: (mask value, bool lanes) memo behind :meth:`mask_array`
+    _mask_cache: Optional[tuple] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.regs is None:
@@ -62,7 +67,7 @@ class HsailWfState:
     # -- lane helpers -----------------------------------------------------
 
     def mask_array(self) -> np.ndarray:
-        cached = getattr(self, "_mask_cache", None)
+        cached = self._mask_cache
         if cached is not None and cached[0] == self.exec_mask:
             return cached[1]
         bits = np.uint64(self.exec_mask & _FULL_MASK)
@@ -71,14 +76,36 @@ class HsailWfState:
         self._mask_cache = (self.exec_mask, arr)
         return arr
 
+    def _mask_is_full(self, mask: np.ndarray) -> bool:
+        """True when every lane of ``mask`` is set.
+
+        One integer compare when ``mask`` is the memoized EXEC array;
+        only foreign masks pay the numpy reduction.
+        """
+        cached = self._mask_cache
+        if cached is not None and mask is cached[1]:
+            return (cached[0] & _FULL_MASK) == _FULL_MASK
+        return bool(mask.all())
+
     def read_u32(self, op: "HReg | Imm") -> np.ndarray:
         if isinstance(op, Imm):
-            return np.full(WF_SIZE, np.uint32(op.pattern & 0xFFFFFFFF), dtype=np.uint32)
+            # Immediates are static: splat once and reuse the broadcast
+            # array (read-only by convention, like the register rows).
+            vec = getattr(op, "_vec32", None)
+            if vec is None:
+                vec = np.full(WF_SIZE, np.uint32(op.pattern & 0xFFFFFFFF),
+                              dtype=np.uint32)
+                object.__setattr__(op, "_vec32", vec)
+            return vec
         return self.regs[op.index]
 
     def read_u64(self, op: "HReg | Imm") -> np.ndarray:
         if isinstance(op, Imm):
-            return np.full(WF_SIZE, np.uint64(op.pattern), dtype=np.uint64)
+            vec = getattr(op, "_vec64", None)
+            if vec is None:
+                vec = np.full(WF_SIZE, np.uint64(op.pattern), dtype=np.uint64)
+                object.__setattr__(op, "_vec64", vec)
+            return vec
         lo = self.regs[op.index].astype(np.uint64)
         hi = self.regs[op.index + 1].astype(np.uint64)
         return lo | (hi << np.uint64(32))
@@ -97,15 +124,23 @@ class HsailWfState:
         raise ExecutionError(f"cannot read type {dtype}")
 
     def write_typed(self, reg: HReg, dtype: DType, values: np.ndarray, mask: np.ndarray) -> None:
+        full = self._mask_is_full(mask)
         if dtype in (DType.U32, DType.B1, DType.S32, DType.F32):
             raw = np.ascontiguousarray(values).view(np.uint32).reshape(-1)
-            self.regs[reg.index][mask] = raw[mask]
+            if full:
+                self.regs[reg.index][:] = raw
+            else:
+                self.regs[reg.index][mask] = raw[mask]
             return
         raw64 = np.ascontiguousarray(values).view(np.uint64).reshape(-1)
         lo = (raw64 & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         hi = (raw64 >> np.uint64(32)).astype(np.uint32)
-        self.regs[reg.index][mask] = lo[mask]
-        self.regs[reg.index + 1][mask] = hi[mask]
+        if full:
+            self.regs[reg.index][:] = lo
+            self.regs[reg.index + 1][:] = hi
+        else:
+            self.regs[reg.index][mask] = lo[mask]
+            self.regs[reg.index + 1][mask] = hi[mask]
 
 
 # ---------------------------------------------------------------------------
@@ -192,7 +227,8 @@ class HsailExecutor:
         """Execute the instruction at ``wf.pc`` and advance it."""
         instr = wf.kernel.instrs[wf.pc]
         mask = wf.mask_array()
-        result = ExecResult(active_lanes=int(mask.sum()))
+        # popcount of the mask integer == mask.sum(), without numpy.
+        result = ExecResult(active_lanes=(wf.exec_mask & _FULL_MASK).bit_count())
         opcode = instr.opcode
 
         if opcode in ("br", "cbr"):
@@ -229,11 +265,10 @@ class HsailExecutor:
     def _dispatch_query(self, wf: HsailWfState, instr: HsailInstr, mask: np.ndarray) -> None:
         ctx = wf.ctx
         dim = int(instr.attrs.get("dim", 0))
-        lanes = np.arange(WF_SIZE, dtype=np.uint32)
         if instr.opcode == "workitemabsid":
             values = ctx.absolute_ids()[dim]
         elif instr.opcode == "workitemflatabsid":
-            values = np.uint32(ctx.workitem_base()) + lanes
+            values = np.uint32(ctx.workitem_base()) + _LANES
         elif instr.opcode == "workitemid":
             values = ctx.local_ids()[dim]
         elif instr.opcode == "workgroupid":

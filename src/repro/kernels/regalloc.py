@@ -68,20 +68,39 @@ def build_intervals(
 ) -> List[LiveInterval]:
     """Collapse liveness into one conservative interval per register."""
     live_in = compute_live_in(num_vregs, uses, defs, succs)
-    start = [len(uses)] * num_vregs
+    n = len(uses)
+    start = [n] * num_vregs
     end = [-1] * num_vregs
-    for i in range(len(uses)):
-        mask = live_in[i]
-        while mask:
-            v = (mask & -mask).bit_length() - 1
-            mask &= mask - 1
-            start[v] = min(start[v], i)
-            end[v] = max(end[v], i)
+    for i in range(n):
         for v in defs[i]:
-            start[v] = min(start[v], i)
-            end[v] = max(end[v], i)
+            if i < start[v]:
+                start[v] = i
+            if i > end[v]:
+                end[v] = i
         for v in uses[i]:
-            end[v] = max(end[v], i)
+            if i > end[v]:
+                end[v] = i
+    # Fold the live-in masks in a single ascending and a single
+    # descending sweep, visiting each register's bit only at its first
+    # (= min) and last (= max) live instruction instead of every one.
+    seen = 0
+    for i in range(n):
+        new = live_in[i] & ~seen
+        while new:
+            v = (new & -new).bit_length() - 1
+            new &= new - 1
+            if i < start[v]:
+                start[v] = i
+        seen |= live_in[i]
+    seen = 0
+    for i in range(n - 1, -1, -1):
+        new = live_in[i] & ~seen
+        while new:
+            v = (new & -new).bit_length() - 1
+            new &= new - 1
+            if i > end[v]:
+                end[v] = i
+        seen |= live_in[i]
     out: List[LiveInterval] = []
     for v in range(num_vregs):
         if end[v] >= 0:

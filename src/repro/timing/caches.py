@@ -31,11 +31,18 @@ from ..obs.trace import TraceBus
 class Cache:
     """A set-associative (or fully-associative) LRU cache of line tags."""
 
+    __slots__ = (
+        "name", "config", "num_sets", "assoc", "hit_latency", "_sets",
+        "hits", "misses", "next_free", "occupancy",
+        "hits_counter", "misses_counter",
+    )
+
     def __init__(self, name: str, config: CacheConfig) -> None:
         self.name = name
         self.config = config
         self.num_sets = config.num_sets
         self.assoc = config.associativity or config.num_lines
+        self.hit_latency = config.hit_latency  # hoisted off the hot path
         # One OrderedDict per set: line -> True, in LRU order.
         self._sets: List["OrderedDict[int, bool]"] = [OrderedDict() for _ in range(self.num_sets)]
         self.hits = 0
@@ -90,18 +97,25 @@ class Cache:
 class Dram:
     """Channel-parallel fixed-latency DRAM."""
 
+    __slots__ = ("config", "channels", "cycles_per_burst", "base_latency",
+                 "channel_next_free", "accesses")
+
     def __init__(self, config: DramConfig) -> None:
         self.config = config
+        self.channels = config.channels
+        self.cycles_per_burst = config.cycles_per_burst
+        self.base_latency = config.base_latency_cycles
         self.channel_next_free = [0] * config.channels
         self.accesses = 0
 
     def access(self, line: int, now: int) -> int:
         """Completion cycle for one line access."""
-        channel = line % self.config.channels
-        start = max(now, self.channel_next_free[channel])
-        self.channel_next_free[channel] = start + self.config.cycles_per_burst
+        channel = line % self.channels
+        nf = self.channel_next_free[channel]
+        start = nf if nf > now else now
+        self.channel_next_free[channel] = start + self.cycles_per_burst
         self.accesses += 1
-        return start + self.config.base_latency_cycles
+        return start + self.base_latency
 
 
 class MemorySystem:
@@ -138,24 +152,43 @@ class MemorySystem:
 
     def _through_l2(self, cluster: int, line: int, now: int, is_write: bool,
                     cu: int = -1) -> int:
-        """Completion cycle of a request that reached the L2."""
+        """Completion cycle of a request that reached the L2.
+
+        The port/LRU/DRAM bookkeeping is inlined (rather than going through
+        ``Cache.port_delay``/``lookup``/``fill``) because this runs once per
+        line of every L1 miss and every write-through; the inlined form
+        evolves exactly the same reservation and LRU state.
+        """
         l2 = self.l2[cluster]
-        start = now + l2.port_delay(now)
+        nf = l2.next_free
+        start = nf if nf > now else now
+        l2.next_free = start + l2.occupancy
         tracing = self.trace is not None and self.trace.wants_cache
+        lru = l2._sets[line % l2.num_sets]
         if is_write:
             # Write-through: latency hidden from the requester; charge DRAM
             # channel occupancy for bandwidth accounting only.
-            l2.fill(line)
+            if line in lru:
+                lru.move_to_end(line)
+            else:
+                if len(lru) >= l2.assoc:
+                    lru.popitem(last=False)
+                lru[line] = True
             self.dram.access(line, start)
             if tracing:
                 self._note(l2, "fill", line, start, cu, is_write=True)
-            return start + l2.config.hit_latency
-        if l2.lookup(line):
+            return start + l2.hit_latency
+        if line in lru:
+            lru.move_to_end(line)
+            l2.hits += 1
             if tracing:
                 self._note(l2, "hit", line, start, cu)
-            return start + l2.config.hit_latency
-        done = self.dram.access(line, start + l2.config.hit_latency)
-        l2.fill(line)
+            return start + l2.hit_latency
+        l2.misses += 1
+        done = self.dram.access(line, start + l2.hit_latency)
+        if len(lru) >= l2.assoc:
+            lru.popitem(last=False)
+        lru[line] = True
         if tracing:
             self._note(l2, "miss", line, start, cu)
             self._note(l2, "fill", line, done, cu)
@@ -166,28 +199,65 @@ class MemorySystem:
         l1 = self.l1d[cu_id]
         cluster = self._cluster(cu_id)
         tracing = self.trace is not None and self.trace.wants_cache
-        worst = now + l1.config.hit_latency
-        for i, line in enumerate(lines):
-            start = now + l1.port_delay(now)  # one line per port slot
+        hit_latency = l1.hit_latency
+        occupancy = l1.occupancy
+        sets = l1._sets
+        num_sets = l1.num_sets
+        l2 = self.l2[cluster]
+        dram = self.dram
+        worst = now + hit_latency
+        for line in lines:
+            nf = l1.next_free  # one line per port slot
+            start = nf if nf > now else now
+            l1.next_free = start + occupancy
+            lru = sets[line % num_sets]
             if is_write:
                 # Write-through, no-write-allocate (update on presence).
-                if l1.contains(line):
-                    l1.lookup(line)
+                if line in lru:
+                    lru.move_to_end(line)
+                    l1.hits += 1
                     if tracing:
                         self._note(l1, "hit", line, start, cu_id, is_write=True)
-                done = self._through_l2(cluster, line, start, True, cu_id)
-            elif l1.lookup(line):
+                # Inline of _through_l2(is_write=True) + Dram.access —
+                # every store line takes this path, so the call overhead
+                # is worth eliding; the state evolution is identical.
+                nf2 = l2.next_free
+                start2 = nf2 if nf2 > start else start
+                l2.next_free = start2 + l2.occupancy
+                lru2 = l2._sets[line % l2.num_sets]
+                if line in lru2:
+                    lru2.move_to_end(line)
+                else:
+                    if len(lru2) >= l2.assoc:
+                        lru2.popitem(last=False)
+                    lru2[line] = True
+                channel = line % dram.channels
+                cnf = dram.channel_next_free[channel]
+                dstart = cnf if cnf > start2 else start2
+                dram.channel_next_free[channel] = dstart + dram.cycles_per_burst
+                dram.accesses += 1
+                if tracing:
+                    self._note(l2, "fill", line, start2, cu_id, is_write=True)
+                done = start2 + l2.hit_latency
+            elif line in lru:
+                lru.move_to_end(line)
+                l1.hits += 1
                 if tracing:
                     self._note(l1, "hit", line, start, cu_id)
-                done = start + l1.config.hit_latency
+                done = start + hit_latency
             else:
+                l1.misses += 1
                 if tracing:
                     self._note(l1, "miss", line, start, cu_id)
-                done = self._through_l2(cluster, line, start + l1.config.hit_latency, False, cu_id)
-                l1.fill(line)
+                done = self._through_l2(cluster, line, start + hit_latency, False, cu_id)
+                if line not in lru:
+                    if len(lru) >= l1.assoc:
+                        lru.popitem(last=False)
+                    lru[line] = True
                 if tracing:
                     self._note(l1, "fill", line, done, cu_id)
-            worst = max(worst, done)
+            if done > worst:
+                worst = done
         self.stats.bump(VMEM_REQUESTS)
         self.stats.bump(VMEM_LINES, len(lines))
         return worst
@@ -197,21 +267,31 @@ class MemorySystem:
         cluster = self._cluster(cu_id)
         cache = self.scalar[cluster]
         tracing = self.trace is not None and self.trace.wants_cache
-        worst = now + cache.config.hit_latency
+        hit_latency = cache.hit_latency
+        worst = now + hit_latency
         for line in lines:
-            start = now + cache.port_delay(now)
-            if cache.lookup(line):
+            nf = cache.next_free
+            start = nf if nf > now else now
+            cache.next_free = start + cache.occupancy
+            lru = cache._sets[line % cache.num_sets]
+            if line in lru:
+                lru.move_to_end(line)
+                cache.hits += 1
                 if tracing:
                     self._note(cache, "hit", line, start, cu_id)
-                done = start + cache.config.hit_latency
+                done = start + hit_latency
             else:
+                cache.misses += 1
                 if tracing:
                     self._note(cache, "miss", line, start, cu_id)
-                done = self._through_l2(cluster, line, start + cache.config.hit_latency, False, cu_id)
-                cache.fill(line)
+                done = self._through_l2(cluster, line, start + hit_latency, False, cu_id)
+                if len(lru) >= cache.assoc:
+                    lru.popitem(last=False)
+                lru[line] = True
                 if tracing:
                     self._note(cache, "fill", line, done, cu_id)
-            worst = max(worst, done)
+            if done > worst:
+                worst = done
         self.stats.bump(SMEM_REQUESTS)
         return worst
 
@@ -220,17 +300,25 @@ class MemorySystem:
         cluster = self._cluster(cu_id)
         cache = self.l1i[cluster]
         tracing = self.trace is not None and self.trace.wants_cache
-        start = now + cache.port_delay(now)
+        nf = cache.next_free
+        start = nf if nf > now else now
+        cache.next_free = start + cache.occupancy
         self.stats.bump(IFETCH_REQUESTS)
-        if cache.lookup(line):
+        lru = cache._sets[line % cache.num_sets]
+        if line in lru:
+            lru.move_to_end(line)
+            cache.hits += 1
             if tracing:
                 self._note(cache, "hit", line, start, cu_id)
-            return start + cache.config.hit_latency
+            return start + cache.hit_latency
+        cache.misses += 1
         self.stats.bump(IFETCH_MISSES)
         if tracing:
             self._note(cache, "miss", line, start, cu_id)
-        done = self._through_l2(cluster, line, start + cache.config.hit_latency, False, cu_id)
-        cache.fill(line)
+        done = self._through_l2(cluster, line, start + cache.hit_latency, False, cu_id)
+        if len(lru) >= cache.assoc:
+            lru.popitem(last=False)
+        lru[line] = True
         if tracing:
             self._note(cache, "fill", line, done, cu_id)
         return done

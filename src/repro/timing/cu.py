@@ -14,6 +14,17 @@ paper's:
 * **GCN3** — scalar/branch work on the scalar unit, dependency stalls only
   at explicit ``s_waitcnt``, divergence via EXEC masking (no jumps unless
   a whole path is bypassed).
+
+Hot-path structure: all static per-instruction facts come from the
+kernel's predecoded :class:`~repro.timing.predecode.IssueDesc` table
+(no string dispatch per dynamic instruction), and the CU maintains
+*ready accounting* so idle work is skipped instead of rescanned —
+``simd_ready[s]`` counts schedulable wavefronts per SIMD (not done,
+not parked, not at a barrier), ``fetch_ready`` counts fetch candidates,
+and ``next_wake`` is the earliest cycle this CU could possibly act
+(``NEVER_WAKE`` = only an event can wake it).  Every transition keeps the
+counts exact, so the scheduling *decisions* — and therefore every
+statistic — are bit-identical to the exhaustive scan.
 """
 
 from __future__ import annotations
@@ -21,22 +32,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from ..common.categories import InstrCategory
 from ..common.exec_types import ExecResult, MemKind
-from ..common.lanes import mask_to_bool
-from ..gcn3.semantics import Gcn3Executor, Gcn3WfState
-from ..hsail.semantics import HsailExecutor
 from ..obs.metrics import BARRIERS, IB_FLUSHES, LDS_ACCESSES
 from ..obs.trace import TraceBus
+from .predecode import (
+    UNIT_BRANCH,
+    UNIT_LDS,
+    UNIT_SCALAR,
+    UNIT_SIMD,
+    UNIT_VMEM,
+    IssueDesc,
+)
 from .wavefront import TimingWavefront
 
-_LONG_VALU = ("_f64", "v_rcp", "v_sqrt", "v_div")
-
-
-def _is_long_valu(opcode: str) -> bool:
-    return opcode.endswith("_f64") or opcode.startswith(("v_rcp", "v_sqrt", "v_div"))
+#: ``next_wake`` sentinel: nothing to do until an event handler resets it.
+NEVER_WAKE = 1 << 62
 
 
 @dataclass
@@ -62,8 +72,11 @@ class ComputeUnit:
     def __init__(self, cu_id: int, gpu: "object") -> None:
         self.cu_id = cu_id
         self.gpu = gpu
+        self.events = gpu.events    # hot-path alias
+        self.memsys = gpu.memsys    # hot-path alias
         config = gpu.config.cu
         self.config = config
+        self.num_simds = config.num_simds
         self.workgroups: Dict[Tuple[int, int], WorkgroupRecord] = {}
         self.simd_wfs: List[List[TimingWavefront]] = [[] for _ in range(config.num_simds)]
         self.simd_free = [0] * config.num_simds
@@ -73,6 +86,15 @@ class ComputeUnit:
         self.lds_free = 0
         self.fetch_rr = 0
         self._all_wfs: List[TimingWavefront] = []
+        # Ready accounting (see module docstring): schedulable wavefronts
+        # per SIMD, fetch candidates, and the CU-level wake cycle the
+        # dispatcher uses to skip provably idle CUs.
+        self.simd_ready = [0] * config.num_simds
+        self.fetch_ready = 0
+        self.next_wake = 0
+        #: Per-dispatch VrfModel, installed by ``Gpu.run_dispatch`` so the
+        #: per-cycle and per-issue paths skip the gpu.vrf_models[...] hop.
+        self.vrf: "object" = None
         # Occupancy accounting for the dispatcher.
         self.wf_slots_used = 0
         self.vrf_slots_used = 0
@@ -106,8 +128,12 @@ class ComputeUnit:
         for wf in record.wavefronts:
             wf.simd_id = self._next_simd
             self.simd_wfs[self._next_simd].append(wf)
-            self._next_simd = (self._next_simd + 1) % self.config.num_simds
+            self.simd_ready[self._next_simd] += 1  # fresh WFs are schedulable
+            if wf.fetch_want:
+                self.fetch_ready += 1
+            self._next_simd = (self._next_simd + 1) % self.num_simds
         self._all_wfs = [wf for group in self.simd_wfs for wf in group]
+        self.next_wake = 0
         self._trace_wg("wg_place", record)
 
     def _retire_workgroup(self, record: WorkgroupRecord) -> None:
@@ -116,8 +142,9 @@ class ComputeUnit:
         self.vrf_slots_used -= record.reg_slots
         self.srf_slots_used -= record.sgpr_slots
         self.lds_bytes_used -= record.lds_bytes
-        for wf in record.wavefronts:
-            self.simd_wfs[wf.simd_id].remove(wf)
+        wg_key = record.wg_key
+        for simd, group in enumerate(self.simd_wfs):
+            self.simd_wfs[simd] = [wf for wf in group if wf.wg_key != wg_key]
         self._all_wfs = [wf for group in self.simd_wfs for wf in group]
         self._trace_wg("wg_retire", record)
         if record.on_complete is not None:
@@ -139,6 +166,35 @@ class ComputeUnit:
         return bool(self.workgroups)
 
     # ------------------------------------------------------------------
+    # Ready accounting helpers
+    # ------------------------------------------------------------------
+
+    def _park(self, wf: TimingWavefront) -> None:
+        """Park a wavefront the issue scan just visited (so it was
+        schedulable); it leaves the ready set until an event unparks it."""
+        wf.parked = True
+        self.simd_ready[wf.simd_id] -= 1
+
+    def _unpark(self, wf: TimingWavefront) -> None:
+        if wf.parked:
+            wf.parked = False
+            self.simd_ready[wf.simd_id] += 1
+
+    def _sync_fetch(self, wf: TimingWavefront) -> None:
+        """Recompute the wavefront's fetch-candidate flag after any
+        fetch/IB/done transition and keep the CU count exact.
+        (``wants_fetch`` is inlined: this runs at every transition.)"""
+        want = (
+            not wf.state.done
+            and not wf.fetch_inflight
+            and wf.fetch_index < wf.num_instrs
+            and len(wf.ib) < wf.ib_capacity
+        )
+        if want != wf.fetch_want:
+            wf.fetch_want = want
+            self.fetch_ready += 1 if want else -1
+
+    # ------------------------------------------------------------------
     # Per-cycle work
     # ------------------------------------------------------------------
 
@@ -146,29 +202,39 @@ class ComputeUnit:
         """One cycle of fetch + issue.  Returns (did_work, wake_hint)."""
         did = False
         hint: Optional[int] = None
-        vrf = self.gpu.vrf_models[self.cu_id]
-        vrf.collect(now)
+        vrf = self.vrf
+        # Untraced runs count conflicts at note_access time instead.
+        if vrf.emits_vrf and vrf._min_cycle < now:
+            vrf.collect(now)
         # One attribute fetch per cycle; every instrumentation point below
         # is a plain ``is not None`` check when tracing is off.
         trace: Optional[TraceBus] = self.gpu.trace
 
-        if self._start_fetch(now):
+        if self.fetch_ready and self._start_fetch(now):
             did = True
 
-        for simd in range(self.config.num_simds):
-            if self.simd_free[simd] > now:
-                hint = _min_hint(hint, self.simd_free[simd])
+        simd_free = self.simd_free
+        simd_ready = self.simd_ready
+        simd_wfs = self.simd_wfs
+        for simd in range(self.num_simds):
+            free = simd_free[simd]
+            if free > now:
+                if hint is None or free < hint:
+                    hint = free
                 if trace is not None and trace.wants_stall:
                     trace.stall("simd_busy", now, self.cu_id)
                 continue
-            for wf in self.simd_wfs[simd]:
-                if wf.done or wf.at_barrier or wf.parked:
+            if not simd_ready[simd]:
+                continue
+            for wf in simd_wfs[simd]:
+                if wf.parked or wf.at_barrier or wf.state.done:
                     continue
                 issued, wf_hint = self._try_issue(wf, simd, now, trace)
                 if issued:
                     did = True
                     break
-                hint = _min_hint(hint, wf_hint)
+                if wf_hint is not None and (hint is None or wf_hint < hint):
+                    hint = wf_hint
         return did, hint
 
     # -- fetch ------------------------------------------------------------
@@ -180,15 +246,16 @@ class ComputeUnit:
         n = len(wfs)
         for k in range(n):
             wf = wfs[(self.fetch_rr + k) % n]
-            if not wf.wants_fetch():
+            if not wf.fetch_want:
                 continue
             self.fetch_rr = (self.fetch_rr + k + 1) % n
             wf.fetch_inflight = True
+            self._sync_fetch(wf)
             epoch = wf.fetch_epoch
             addr = wf.instr_address(wf.fetch_index)
             line = addr >> 6
-            done_cycle = self.gpu.memsys.ifetch(self.cu_id, line, now)
-            self.gpu.events.schedule_at(
+            done_cycle = self.memsys.ifetch(self.cu_id, line, now)
+            self.events.schedule_at(
                 max(done_cycle, now + 1), lambda w=wf, e=epoch: self._finish_fetch(w, e)
             )
             trace: Optional[TraceBus] = self.gpu.trace
@@ -203,17 +270,21 @@ class ComputeUnit:
         if epoch != wf.fetch_epoch:
             return  # flushed while in flight
         wf.fetch_inflight = False
-        wf.parked = False
+        self._unpark(wf)
         budget = self.config.fetch_width_bytes
+        ib = wf.ib
+        descs = wf.descs
         while (
             budget > 0
-            and len(wf.ib) < wf.ib_capacity
+            and len(ib) < wf.ib_capacity
             and wf.fetch_index < wf.num_instrs
         ):
-            size = wf.instr_size(wf.fetch_index)
-            wf.ib.append((wf.fetch_index, size))
+            size = descs[wf.fetch_index].size_bytes
+            ib.append((wf.fetch_index, size))
             wf.fetch_index += 1
             budget -= size
+        self._sync_fetch(wf)
+        self.next_wake = 0
         self.gpu.notify_progress()
 
     # -- issue ------------------------------------------------------------
@@ -224,84 +295,89 @@ class ComputeUnit:
             return False, wf.next_issue_cycle
 
         state = wf.state
-        record = self.workgroups[wf.wg_key]
-        executor = record.executor
 
         # HSAIL reconvergence-stack handling: a pending-path switch is a
         # simulator-initiated jump that flushes the instruction buffer.
+        # The stack-top test is inlined so the workgroup/executor lookup
+        # only happens when the PC actually sits on an RPC.
         if not wf.is_gcn3:
-            new_pc = executor.check_reconvergence(state)  # type: ignore[attr-defined]
-            if new_pc is not None:
-                self._flush(wf, new_pc)
-                # The refetch starts next cycle; keep the clock moving.
-                return False, self.gpu.events.now + 1
+            rs = state.rs
+            if rs and state.pc == rs[-1].rpc:
+                executor = self.workgroups[wf.wg_key].executor
+                new_pc = executor.check_reconvergence(state)  # type: ignore[attr-defined]
+                if new_pc is not None:
+                    self._flush(wf, new_pc)
+                    # The refetch starts next cycle; keep the clock moving.
+                    return False, self.events.now + 1
 
-        head = wf.ib_head()
-        if head is None:
-            wf.parked = True  # woken by the fetch fill
+        ib = wf.ib
+        if not ib:
+            self._park(wf)  # woken by the fetch fill
             if trace is not None and trace.wants_stall:
                 trace.stall("fetch_wait", now, self.cu_id, wf.wf_id)
             return False, None
-        if head != state.pc:
+        pc = state.pc
+        if ib[0][0] != pc:
             # Stale buffer (a flush raced with an already-checked fetch
             # stage); resynchronize and wake next cycle for the refetch.
-            wf.flush_ib(state.pc)
+            wf.flush_ib(pc)
+            self._sync_fetch(wf)
             if trace is not None and trace.wants_stall:
                 trace.stall("ib_resync", now, self.cu_id, wf.wf_id)
-            return False, self.gpu.events.now + 1
+            return False, self.events.now + 1
 
-        instr = wf.instr_at(state.pc)
-        category = instr.category
+        desc = wf.descs[pc]
 
-        blocked, hint = self._dependencies_block(wf, instr, now, trace)
+        blocked, hint = self._dependencies_block(wf, desc, now, trace)
         if blocked:
             return False, hint
 
-        unit_hint = self._unit_busy(wf, instr, category, now)
+        unit_hint = self._unit_busy(wf, desc, now)
         if unit_hint is not None:
             if trace is not None and trace.wants_stall:
-                trace.stall(_unit_stall_reason(wf, category), now,
+                trace.stall(_UNIT_STALL_REASON[desc.unit], now,
                             self.cu_id, wf.wf_id)
             return False, unit_hint
 
-        self._issue(wf, instr, category, simd, now, trace)
+        self._issue(wf, desc, simd, now, trace)
         return True, None
 
-    def _dependencies_block(self, wf: TimingWavefront, instr, now: int,
+    def _dependencies_block(self, wf: TimingWavefront, desc: IssueDesc, now: int,
                             trace: Optional[TraceBus] = None) -> Tuple[bool, Optional[int]]:
         if wf.is_gcn3:
-            if instr.opcode == "s_waitcnt":
-                vm = instr.attrs.get("vmcnt")
-                lgkm = instr.attrs.get("lgkmcnt")
-                if vm is not None and wf.pending_vmem > int(vm):
-                    wf.parked = True  # woken by a memory completion
+            if desc.is_waitcnt:
+                vm = desc.wait_vm
+                lgkm = desc.wait_lgkm
+                if vm is not None and wf.pending_vmem > vm:
+                    self._park(wf)  # woken by a memory completion
                     self._trace_wait(trace, wf, "waitcnt_vm", now, vm, lgkm)
                     return True, None
-                if lgkm is not None and wf.pending_lgkm > int(lgkm):
-                    wf.parked = True
+                if lgkm is not None and wf.pending_lgkm > lgkm:
+                    self._park(wf)
                     self._trace_wait(trace, wf, "waitcnt_lgkm", now, vm, lgkm)
                     return True, None
             return False, None
         # HSAIL scoreboard: every source and destination slot must be free.
-        slots = instr.vrf_slots_read() + instr.vrf_slots_written()
+        slots = desc.rw_slots
         if not wf.slots_ready(slots, now):
             hint = wf.slots_ready_hint(slots, now)
             if hint is None:
-                wf.parked = True  # blocked on in-flight memory
+                self._park(wf)  # blocked on in-flight memory
             if trace is not None and trace.wants_stall:
                 trace.stall(
                     "scoreboard_mem" if hint is None else "scoreboard",
                     now, self.cu_id, wf.wf_id)
             return True, hint
-        if instr.category.is_memory and wf.pending_vmem >= self.config.max_outstanding_vmem:
-            wf.parked = True
+        if desc.is_memory and wf.pending_vmem >= self.config.max_outstanding_vmem:
+            self._park(wf)
             if trace is not None and trace.wants_stall:
                 trace.stall("vmem_capacity", now, self.cu_id, wf.wf_id)
             return True, None
         return False, None
 
     def _trace_wait(self, trace: Optional[TraceBus], wf: TimingWavefront,
-                    reason: str, now: int, vm, lgkm) -> None:
+                    reason: str, now: int, vm: Optional[int],
+                    lgkm: Optional[int]) -> None:
         """An ``s_waitcnt`` that parked the wavefront (GCN3's one explicit
         dependency-stall point, paper §III.B.2)."""
         if trace is None:
@@ -311,30 +387,29 @@ class ComputeUnit:
         if trace.wants_wait:
             trace.emit("wait", "s_waitcnt", now, cu=self.cu_id, wf=wf.wf_id,
                        args={"reason": reason,
-                             "vmcnt": None if vm is None else int(vm),
-                             "lgkmcnt": None if lgkm is None else int(lgkm),
+                             "vmcnt": vm,
+                             "lgkmcnt": lgkm,
                              "pending_vmem": wf.pending_vmem,
                              "pending_lgkm": wf.pending_lgkm})
 
-    def _unit_busy(self, wf: TimingWavefront, instr, category: InstrCategory, now: int) -> Optional[int]:
+    def _unit_busy(self, wf: TimingWavefront, desc: IssueDesc, now: int) -> Optional[int]:
         """None if the needed unit is free, else a wake hint."""
-        if category == InstrCategory.VALU:
+        unit = desc.unit
+        if unit == UNIT_SIMD:
             return None  # the SIMD itself was checked by the caller
-        if category in (InstrCategory.SALU, InstrCategory.SMEM):
+        if unit == UNIT_SCALAR:
             return self.scalar_free if self.scalar_free > now else None
-        if category == InstrCategory.BRANCH or category == InstrCategory.MISC:
-            if wf.is_gcn3:
-                return self.scalar_free if self.scalar_free > now else None
-            return self.branch_free if self.branch_free > now else None
-        if category == InstrCategory.VMEM:
+        if unit == UNIT_VMEM:
             if wf.pending_vmem >= self.config.max_outstanding_vmem:
                 return None  # event-driven
             return self.vmem_free if self.vmem_free > now else None
-        if category == InstrCategory.LDS:
+        if unit == UNIT_LDS:
             return self.lds_free if self.lds_free > now else None
+        if unit == UNIT_BRANCH:
+            return self.branch_free if self.branch_free > now else None
         return None
 
-    def _issue(self, wf: TimingWavefront, instr, category: InstrCategory,
+    def _issue(self, wf: TimingWavefront, desc: IssueDesc,
                simd: int, now: int, trace: Optional[TraceBus] = None) -> None:
         gpu = self.gpu
         stats = gpu.stats
@@ -343,68 +418,80 @@ class ComputeUnit:
         pc = state.pc
 
         wf.instr_counter += 1
-        stats.record_instruction(category)
+        stats.record_instruction(desc.category)
 
         # --- VRF probes (reads before execution) ---
-        read_slots, write_slots = _vrf_slots(wf, instr)
-        mask = _active_mask(state)
-        vrf = gpu.vrf_models[self.cu_id]
+        read_slots = desc.read_slots
+        write_slots = desc.write_slots
+        vrf = self.vrf
         # Only source reads contend for the operand-gather ports; writes
         # drain through the separate writeback port.  Each operand's bank
         # stays busy for the instruction's full gather window.
-        if category == InstrCategory.VALU:
-            duration = self.config.valu_issue_cycles * (
-                2 if _is_long_valu_instr(wf, instr) else 1
-            )
+        if desc.unit == UNIT_SIMD:
+            duration = self.config.valu_issue_cycles * desc.valu_mult
         else:
             duration = 2
         vrf.note_access(read_slots, now, duration)
         if trace is not None and trace.wants_vrf and read_slots:
             trace.emit("vrf", "gather", now, dur=duration, cu=self.cu_id,
                        wf=wf.wf_id, args={"slots": list(read_slots)})
-        vrf.record_reuse(wf.reuse_tracker, wf.instr_counter, read_slots + write_slots)
-        # The uniqueness probe samples one instruction in four: np.unique
-        # per slot is the probe's cost, and the ratio converges quickly.
+        vrf.record_reuse(wf.reuse_tracker, wf.instr_counter, desc.rw_slots)
+        # The uniqueness probe samples one instruction in four: the unique
+        # count per slot is the probe's cost, and the ratio converges
+        # quickly.  The mask is captured before execution for both probes.
         sample = (wf.instr_counter & 3) == 0
+        if sample and (read_slots or write_slots):
+            mask = state.exec_bool() if wf.is_gcn3 else state.mask_array()
+            active = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+        else:
+            mask = None
+            active = 0
         if sample and read_slots:
-            vrf.probe_uniqueness(_regs(state), read_slots, mask, is_write=False)
+            vrf.probe_uniqueness(wf.regs, read_slots, mask, is_write=False,
+                                 active=active)
 
         # --- functional execution (execute-at-issue) ---
         result: ExecResult = record.executor.execute(state)  # type: ignore[attr-defined]
 
         if sample and write_slots:
-            vrf.probe_uniqueness(_regs(state), write_slots, mask, is_write=True)
+            vrf.probe_uniqueness(wf.regs, write_slots, mask, is_write=True,
+                                 active=active)
 
-        if category == InstrCategory.VALU:
+        if desc.unit == UNIT_SIMD:
             stats.simd_utilization.add(result.active_lanes, 64)
 
         # --- timing costs ---
-        issue_cost = self._charge_units(wf, instr, category, simd, now)
+        issue_cost = self._charge_units(wf, desc, simd, now)
         wf.next_issue_cycle = now + 1
 
         if trace is not None and trace.wants_issue:
-            trace.emit("issue", instr.opcode, now, dur=issue_cost,
+            trace.emit("issue", desc.opcode, now, dur=issue_cost,
                        cu=self.cu_id, wf=wf.wf_id,
-                       args={"pc": pc, "cat": category.value,
+                       args={"pc": pc, "cat": desc.category.value,
                              "active": result.active_lanes})
 
         # --- memory completions ---
-        self._handle_memory(wf, instr, category, result, now, issue_cost, trace)
+        self._handle_memory(wf, desc, result, now, issue_cost, trace)
 
         # --- control flow / IB maintenance ---
         wf.ib_pop()
         if result.branch_taken and result.next_pc is not None:
             self._flush(wf, result.next_pc)
+        else:
+            self._sync_fetch(wf)
         if result.is_barrier:
             self._arrive_barrier(wf, record)
         if result.ends_wavefront:
+            self.simd_ready[wf.simd_id] -= 1  # done WFs leave the ready set
+            self._sync_fetch(wf)
             self._maybe_retire(record)
 
-    def _charge_units(self, wf: TimingWavefront, instr, category: InstrCategory,
+    def _charge_units(self, wf: TimingWavefront, desc: IssueDesc,
                       simd: int, now: int) -> int:
         cfg = self.config
-        if category == InstrCategory.VALU:
-            cycles = cfg.valu_issue_cycles * (2 if _is_long_valu_instr(wf, instr) else 1)
+        unit = desc.unit
+        if unit == UNIT_SIMD:
+            cycles = cfg.valu_issue_cycles * desc.valu_mult
             self.simd_free[simd] = now + cycles
             if not wf.is_gcn3:
                 # Scoreboard release at writeback: the simulated pipeline
@@ -412,36 +499,36 @@ class ComputeUnit:
                 # finalizer scheduling instead), so dependents wait out
                 # the full depth (paper §III.B.2).
                 latency = cycles + 2 * cfg.valu_issue_cycles
-                wf.mark_busy(instr.vrf_slots_written(), now + latency)
+                wf.mark_busy(desc.write_slots, now + latency)
             return cycles
-        if category in (InstrCategory.SALU, InstrCategory.SMEM):
+        if unit == UNIT_SCALAR:
             self.scalar_free = now + cfg.salu_latency
             return cfg.salu_latency
-        if category in (InstrCategory.BRANCH, InstrCategory.MISC):
-            if wf.is_gcn3:
-                self.scalar_free = now + cfg.salu_latency
-            else:
-                self.branch_free = now + cfg.salu_latency
+        if unit == UNIT_BRANCH:
+            self.branch_free = now + cfg.salu_latency
             return cfg.salu_latency
-        if category == InstrCategory.VMEM:
+        if unit == UNIT_VMEM:
             self.vmem_free = now + cfg.valu_issue_cycles  # address/coalesce time
             return cfg.valu_issue_cycles
-        if category == InstrCategory.LDS:
+        if unit == UNIT_LDS:
             self.lds_free = now + cfg.valu_issue_cycles
             return cfg.valu_issue_cycles
         return 1
 
-    def _handle_memory(self, wf: TimingWavefront, instr, category: InstrCategory,
+    def _handle_memory(self, wf: TimingWavefront, desc: IssueDesc,
                        result: ExecResult, now: int, issue_cost: int,
                        trace: Optional[TraceBus] = None) -> None:
         gpu = self.gpu
-        if result.mem_kind in (MemKind.GLOBAL_LOAD, MemKind.GLOBAL_STORE):
+        mem_kind = result.mem_kind
+        if mem_kind == MemKind.NONE:
+            return
+        if mem_kind in (MemKind.GLOBAL_LOAD, MemKind.GLOBAL_STORE):
             lines = result.mem_lines or [0]
             done = gpu.memsys.vector_access(
-                self.cu_id, lines, result.mem_kind == MemKind.GLOBAL_STORE, now + issue_cost
+                self.cu_id, lines, mem_kind == MemKind.GLOBAL_STORE, now + issue_cost
             )
             wf.pending_vmem += 1
-            written = instr.vrf_slots_written() if not wf.is_gcn3 else []
+            written = desc.write_slots if not wf.is_gcn3 else ()
             if written:
                 wf.mark_mem_busy(written)
             gpu.events.schedule_at(
@@ -449,22 +536,22 @@ class ComputeUnit:
                 lambda w=wf, s=written: self._finish_vmem(w, s),
             )
             if trace is not None and trace.wants_mem:
-                trace.emit("mem", instr.opcode, now, dur=max(done - now, 1),
+                trace.emit("mem", desc.opcode, now, dur=max(done - now, 1),
                            cu=self.cu_id, wf=wf.wf_id,
-                           args={"kind": result.mem_kind, "lines": len(lines)})
-        elif result.mem_kind == MemKind.SCALAR_LOAD:
+                           args={"kind": mem_kind, "lines": len(lines)})
+        elif mem_kind == MemKind.SCALAR_LOAD:
             lines = result.mem_lines or [0]
             done = gpu.memsys.scalar_access(self.cu_id, lines, now + issue_cost)
             wf.pending_lgkm += 1
             gpu.events.schedule_at(max(done, now + 1), lambda w=wf: self._finish_lgkm(w))
             if trace is not None and trace.wants_mem:
-                trace.emit("mem", instr.opcode, now, dur=max(done - now, 1),
+                trace.emit("mem", desc.opcode, now, dur=max(done - now, 1),
                            cu=self.cu_id, wf=wf.wf_id,
                            args={"kind": "scalar_load", "lines": len(lines)})
-        elif result.mem_kind == MemKind.LDS_ACCESS:
+        elif mem_kind == MemKind.LDS_ACCESS:
             done = now + issue_cost + self.config.lds_latency
             wf.pending_lgkm += 1
-            written = instr.vrf_slots_written() if not wf.is_gcn3 else []
+            written = desc.write_slots if not wf.is_gcn3 else ()
             if written:
                 wf.mark_mem_busy(written)
             gpu.events.schedule_at(
@@ -473,31 +560,35 @@ class ComputeUnit:
             )
             gpu.stats.bump(LDS_ACCESSES)
             if trace is not None and trace.wants_mem:
-                trace.emit("mem", instr.opcode, now, dur=max(done - now, 1),
+                trace.emit("mem", desc.opcode, now, dur=max(done - now, 1),
                            cu=self.cu_id, wf=wf.wf_id,
                            args={"kind": "lds", "lines": 0})
 
-    def _finish_vmem(self, wf: TimingWavefront, slots: List[int]) -> None:
+    def _finish_vmem(self, wf: TimingWavefront, slots: Tuple[int, ...]) -> None:
         wf.pending_vmem -= 1
         if slots:
             wf.release_mem_busy(slots)
-        wf.parked = False
+        self._unpark(wf)
+        self.next_wake = 0
         self.gpu.notify_progress()
 
     def _finish_lgkm(self, wf: TimingWavefront) -> None:
         wf.pending_lgkm -= 1
-        wf.parked = False
+        self._unpark(wf)
+        self.next_wake = 0
         self.gpu.notify_progress()
 
-    def _finish_lds(self, wf: TimingWavefront, slots: List[int]) -> None:
+    def _finish_lds(self, wf: TimingWavefront, slots: Tuple[int, ...]) -> None:
         wf.pending_lgkm -= 1
         if slots:
             wf.release_mem_busy(slots)
-        wf.parked = False
+        self._unpark(wf)
+        self.next_wake = 0
         self.gpu.notify_progress()
 
     def _flush(self, wf: TimingWavefront, new_pc: int) -> None:
         wf.flush_ib(new_pc)
+        self._sync_fetch(wf)
         self.gpu.stats.bump(IB_FLUSHES)
         trace: Optional[TraceBus] = self.gpu.trace
         if trace is not None and trace.wants_flush:
@@ -506,11 +597,15 @@ class ComputeUnit:
 
     def _arrive_barrier(self, wf: TimingWavefront, record: WorkgroupRecord) -> None:
         wf.at_barrier = True
+        self.simd_ready[wf.simd_id] -= 1
         record.barrier_arrivals += 1
         if record.barrier_arrivals >= record.alive():
             record.barrier_arrivals = 0
+            simd_ready = self.simd_ready
             for other in record.wavefronts:
-                other.at_barrier = False
+                if other.at_barrier:
+                    other.at_barrier = False
+                    simd_ready[other.simd_id] += 1
             self.gpu.stats.bump(BARRIERS)
             self.gpu.notify_progress()
 
@@ -524,51 +619,12 @@ class ComputeUnit:
 # Helpers
 # ---------------------------------------------------------------------------
 
-
-def _unit_stall_reason(wf: TimingWavefront, category: InstrCategory) -> str:
-    """Stall-trace label for an instruction blocked on a busy unit."""
-    if category in (InstrCategory.SALU, InstrCategory.SMEM):
-        return "scalar_busy"
-    if category in (InstrCategory.BRANCH, InstrCategory.MISC):
-        return "scalar_busy" if wf.is_gcn3 else "branch_busy"
-    if category == InstrCategory.VMEM:
-        return "vmem_busy"
-    if category == InstrCategory.LDS:
-        return "lds_busy"
-    return "unit_busy"
-
-
-def _min_hint(a: Optional[int], b: Optional[int]) -> Optional[int]:
-    if a is None:
-        return b
-    if b is None:
-        return a
-    return min(a, b)
-
-
-def _is_long_valu_instr(wf: TimingWavefront, instr) -> bool:
-    if wf.is_gcn3:
-        return _is_long_valu(instr.opcode)
-    from ..kernels.types import DType
-
-    if instr.opcode == "div":
-        return True
-    return instr.dtype == DType.F64 or instr.opcode in ("rcp", "sqrt")
-
-
-def _vrf_slots(wf: TimingWavefront, instr) -> Tuple[List[int], List[int]]:
-    if wf.is_gcn3:
-        return instr.vgpr_reads(), instr.vgpr_writes()
-    return instr.vrf_slots_read(), instr.vrf_slots_written()
-
-
-def _active_mask(state) -> np.ndarray:
-    if isinstance(state, Gcn3WfState):
-        return mask_to_bool(state.exec_mask)
-    return state.mask_array()
-
-
-def _regs(state) -> np.ndarray:
-    if isinstance(state, Gcn3WfState):
-        return state.vgpr
-    return state.regs
+#: Stall-trace label for an instruction blocked on a busy unit, by
+#: predecoded unit id (BRANCH/MISC already resolved per ISA).
+_UNIT_STALL_REASON = {
+    UNIT_SIMD: "unit_busy",
+    UNIT_SCALAR: "scalar_busy",
+    UNIT_BRANCH: "branch_busy",
+    UNIT_VMEM: "vmem_busy",
+    UNIT_LDS: "lds_busy",
+}

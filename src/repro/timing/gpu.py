@@ -13,6 +13,7 @@ probes, cache counters) land in one :class:`StatSet` per kernel launch.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -28,7 +29,7 @@ from ..obs.metrics import CYCLES, WORKGROUPS_DISPATCHED
 from ..obs.trace import TraceBus
 from ..runtime.process import Dispatch, GpuProcess
 from .caches import MemorySystem
-from .cu import ComputeUnit, WorkgroupRecord
+from .cu import NEVER_WAKE, ComputeUnit, WorkgroupRecord
 from .registerfile import VrfModel
 from .wavefront import TimingWavefront
 
@@ -88,32 +89,50 @@ class Gpu:
             VrfModel(self.config.cu.vrf_banks, stats, trace=self.trace, cu_id=cu)
             for cu in range(self.config.num_cus)
         ]
+        for cu, vrf in zip(self.cus, self.vrf_models):
+            cu.vrf = vrf
 
         start_cycle = self.events.now
         self.events.advance_to(start_cycle + DISPATCH_LATENCY)
         self._last_progress_cycle = self.events.now
 
         num_wgs = dispatch.num_workgroups
-        pending = list(range(num_wgs))
+        pending = deque(range(num_wgs))
         self._outstanding_wgs = num_wgs
         dispatch_id = self._dispatch_counter
         self._dispatch_counter += 1
 
+        # With tracing on, every busy CU is cycled every cycle so the
+        # per-cycle stall accounting stays exhaustive; untraced runs skip
+        # CUs whose ``next_wake`` proves they cannot act yet (the skip
+        # changes which no-op scans run, never a scheduling decision, so
+        # statistics are bit-identical — see tests/timing/test_determinism).
+        traced = self.trace is not None
+        cus = self.cus
         while self._outstanding_wgs > 0:
             now = self.events.now
             did_work = False
             # Command processor: place at most one workgroup per cycle.
             if pending and self._try_place(dispatch, dispatch_id, pending[0]):
-                pending.pop(0)
+                pending.popleft()
                 did_work = True
             wake: Optional[int] = None
-            for cu in self.cus:
-                if not cu.busy:
+            for cu in cus:
+                if not cu.workgroups:  # inline of the ``busy`` property
+                    continue
+                nw = cu.next_wake
+                if nw > now and not traced:
+                    if nw != NEVER_WAKE and (wake is None or nw < wake):
+                        wake = nw
                     continue
                 cu_did, cu_hint = cu.cycle(now)
-                did_work = did_work or cu_did
-                if cu_hint is not None:
-                    wake = cu_hint if wake is None else min(wake, cu_hint)
+                if cu_did:
+                    did_work = True
+                    cu.next_wake = now + 1
+                else:
+                    cu.next_wake = cu_hint if cu_hint is not None else NEVER_WAKE
+                if cu_hint is not None and (wake is None or cu_hint < wake):
+                    wake = cu_hint
             if self._outstanding_wgs == 0:
                 break
             if did_work:

@@ -30,14 +30,35 @@ from ..obs.trace import TraceBus
 class VrfModel:
     """Per-CU VRF probe state; wavefront-local trackers live on the WF."""
 
+    __slots__ = ("num_banks", "stats", "trace", "cu_id", "_pending",
+                 "_min_cycle", "emits_vrf", "_banks_cache", "_bank_end")
+
     def __init__(self, num_banks: int, stats: StatSet,
                  trace: Optional[TraceBus] = None, cu_id: int = -1) -> None:
         self.num_banks = num_banks
         self.stats = stats
         self.trace = trace
         self.cu_id = cu_id
-        #: cycle -> {bank -> reads} of not-yet-finalized operand gathers
-        self._pending: Dict[int, Dict[int, int]] = {}
+        #: Not-yet-finalized operand gathers.  Traced runs key it
+        #: cycle -> {bank -> reads}; the untraced fast path keys it flat
+        #: (cycle * num_banks + bank) -> reads.
+        self._pending: Dict[int, object] = {}
+        #: earliest pending cycle, so :meth:`collect` (called every CU
+        #: cycle when tracing) can early-out without walking the map.
+        self._min_cycle = 1 << 62
+        #: With per-cycle trace emission off, conflicts are counted
+        #: incrementally in :meth:`note_access` (the total is a sum over
+        #: cycles, so accumulation order cannot change it) and the CU
+        #: skips the per-cycle :meth:`collect` sweep entirely.
+        self.emits_vrf = trace is not None and trace.wants_vrf
+        #: slot-tuple -> bank set; the slot tuples come from the frozen
+        #: predecoded descriptors, so the mapping is static per kernel.
+        self._banks_cache: Dict[tuple, frozenset] = {}
+        #: Untraced fast path: per-bank end of the covered gather window.
+        #: Issue times are monotonic per CU, so the union of all gather
+        #: windows at or beyond ``now`` is one contiguous interval per
+        #: bank — a single integer replaces the per-cycle map.
+        self._bank_end = [0] * num_banks
 
     # -- bank conflicts ----------------------------------------------------
     #
@@ -58,30 +79,77 @@ class VrfModel:
         if not slots:
             return
         counts = self._pending
-        duration = max(1, duration)
-        banks = {slot % self.num_banks for slot in slots}
-        for cycle in range(now, now + duration):
-            per_cycle = counts.setdefault(cycle, {})
-            for bank in banks:
-                per_cycle[bank] = per_cycle.get(bank, 0) + 1
+        if duration < 1:
+            duration = 1
+        # Predecoded descriptors hand in frozen slot tuples, so the
+        # slot -> bank-set reduction is memoized per static operand list.
+        if slots.__class__ is tuple:
+            banks = self._banks_cache.get(slots)
+            if banks is None:
+                nb = self.num_banks
+                banks = frozenset(slot % nb for slot in slots)
+                self._banks_cache[slots] = banks
+        else:
+            banks = {slot % self.num_banks for slot in slots}
+        if self.emits_vrf:
+            # Exact per-cycle bookkeeping; collect() emits trace events.
+            if now < self._min_cycle:
+                self._min_cycle = now
+            for cycle in range(now, now + duration):
+                per_cycle = counts.setdefault(cycle, {})
+                for bank in banks:
+                    per_cycle[bank] = per_cycle.get(bank, 0) + 1
+            return
+        # Fast path: issue times are monotonic per CU, so the union of
+        # earlier gather windows restricted to ``[now, inf)`` is one
+        # contiguous interval per bank (every earlier window starts at or
+        # before ``now``).  A cycle conflicts exactly when it was already
+        # covered before this gather — its per-cycle count goes from
+        # ``n >= 1`` to ``n + 1``, adding one conflict, the same
+        # (count-1)-per-cycle total collect() would produce — so the
+        # overlap with ``[now, bank_end)`` IS the conflict count and one
+        # end marker per bank replaces the whole per-cycle map.
+        ends = self._bank_end
+        end = now + duration
+        conflicts = 0
+        for bank in banks:
+            covered = ends[bank]
+            if covered > now:
+                conflicts += (covered if covered < end else end) - now
+            if end > covered:
+                ends[bank] = end
+        if conflicts:
+            self.stats.counters[VRF_BANK_CONFLICTS.name] += conflicts
 
     def collect(self, now: int) -> None:
-        """Fold finished cycles into the conflict counter."""
-        if not self._pending:
+        """Fold finished cycles into the conflict counter (tracing path).
+
+        With trace emission off the counting already happened in
+        :meth:`note_access`, so this only prunes the finished cycles.
+        """
+        if self._min_cycle >= now:
             return
-        done = [c for c in self._pending if c < now]
+        pending = self._pending
+        if not self.emits_vrf:
+            return  # fast path keeps no per-cycle state to fold
+        done = [c for c in pending if c < now]
         trace = self.trace
         for cycle in done:
-            per_cycle = self._pending.pop(cycle)
+            per_cycle = pending.pop(cycle)
             conflicts = sum(n - 1 for n in per_cycle.values() if n > 1)
             if conflicts:
                 self.stats.bump(VRF_BANK_CONFLICTS, conflicts)
                 if trace is not None and trace.wants_vrf:
                     trace.emit("vrf", "bank_conflict", cycle, cu=self.cu_id,
                                args={"conflicts": conflicts})
+        self._min_cycle = min(pending) if pending else 1 << 62
 
     def flush(self) -> None:
-        self.collect(1 << 62)
+        if self.emits_vrf:
+            self.collect(1 << 62)
+        else:
+            self._bank_end = [0] * self.num_banks
+            self._min_cycle = 1 << 62
 
     # -- reuse distance -------------------------------------------------------
 
@@ -91,11 +159,21 @@ class VrfModel:
         instr_counter: int,
         slots: Iterable[int],
     ) -> None:
-        """Update a wavefront's slot->last-access map and the distribution."""
+        """Update a wavefront's slot->last-access map and the distribution.
+
+        The ``Distribution.add`` accumulation is inlined: this runs for
+        every operand slot of every dynamic instruction.
+        """
+        dist = self.stats.reuse_distance
+        buckets = dist._buckets
         for slot in slots:
             last = tracker.get(slot)
             if last is not None:
-                self.stats.reuse_distance.add(instr_counter - last)
+                distance = instr_counter - last
+                buckets[distance] += 1
+                dist._count += 1
+                dist._total += distance
+                dist._sorted_keys = None
             tracker[slot] = instr_counter
 
     # -- value uniqueness -------------------------------------------------------
@@ -106,13 +184,24 @@ class VrfModel:
         slots: List[int],
         mask: np.ndarray,
         is_write: bool,
+        active: Optional[int] = None,
     ) -> None:
-        """Record |unique|/|active| for each accessed VRF slot."""
-        active = int(mask.sum())
+        """Record |unique|/|active| for each accessed VRF slot.
+
+        ``active`` may be supplied by callers that already know the
+        popcount of ``mask`` (the CU passes the EXEC popcount).
+        """
+        if active is None:
+            active = int(mask.sum())
         if active == 0 or not slots:
             return
         probe = self.stats.write_uniqueness if is_write else self.stats.read_uniqueness
+        full = active == mask.shape[0]
         for slot in slots:
-            values = regs[slot][mask]
-            unique = len(np.unique(values))
+            # With every lane active the boolean gather is the identity;
+            # skip the fancy-index copy and read the row directly.
+            values = regs[slot] if full else regs[slot][mask]
+            # len(set(...)) over the Python values matches np.unique's
+            # count (same ==-based dedup) without the O(n log n) sort.
+            unique = len(set(values.tolist()))
             probe.add(unique, active)

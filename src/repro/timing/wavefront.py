@@ -1,22 +1,30 @@
 """Timing-side wavefront state: instruction buffer, dependency state,
 and fetch bookkeeping around the functional register state.
+
+This object is touched on every simulated cycle, so it is deliberately
+lean: ``slots=True`` (no per-instance ``__dict__``), the static
+facts of its kernel predecoded once into ``descs``
+(:mod:`repro.timing.predecode`), and a maintained ``fetch_want`` flag so
+the CU's fetch arbiter counts candidates instead of re-deriving
+``wants_fetch`` per wavefront per cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..gcn3.isa import Gcn3Instr, Gcn3Kernel
 from ..gcn3.semantics import Gcn3WfState
 from ..hsail.isa import HSAIL_INSTR_BYTES, HsailInstr, HsailKernel
 from ..hsail.semantics import HsailWfState
+from .predecode import IssueDesc, predecode_kernel
 
 AnyState = Union[HsailWfState, Gcn3WfState]
 AnyInstr = Union[HsailInstr, Gcn3Instr]
 
 
-@dataclass
+@dataclass(slots=True)
 class TimingWavefront:
     """One wavefront as the CU pipeline sees it."""
 
@@ -47,8 +55,24 @@ class TimingWavefront:
     instr_counter: int = 0          # dynamic instructions, for reuse distance
     reuse_tracker: Dict[int, int] = field(default_factory=dict)
 
+    # Derived, filled in by __post_init__ (static for the WF's lifetime
+    # except fetch_want, which the owning CU keeps in sync).
+    is_gcn3: bool = field(init=False, default=False)
+    descs: Tuple[IssueDesc, ...] = field(init=False, default=())
+    num_instrs: int = field(init=False, default=0)
+    regs: object = field(init=False, default=None)  # VRF array view
+    #: True iff :meth:`wants_fetch` — maintained by the CU via
+    #: ``_sync_fetch`` at every fetch/IB/done transition so the fetch
+    #: arbiter can early-out on a per-CU candidate count.
+    fetch_want: bool = field(init=False, default=False)
+
     def __post_init__(self) -> None:
         self.is_gcn3 = isinstance(self.state, Gcn3WfState)
+        kernel = self.state.kernel
+        self.descs = predecode_kernel(kernel)
+        self.num_instrs = len(kernel.instrs)
+        self.regs = self.state.vgpr if self.is_gcn3 else self.state.regs
+        self.fetch_want = self.wants_fetch()
 
     @property
     def kernel(self) -> Union[HsailKernel, Gcn3Kernel]:
@@ -58,21 +82,15 @@ class TimingWavefront:
     def done(self) -> bool:
         return self.state.done
 
-    @property
-    def num_instrs(self) -> int:
-        return len(self.kernel.instrs)
-
     def instr_at(self, index: int) -> AnyInstr:
-        return self.kernel.instrs[index]
+        return self.state.kernel.instrs[index]
 
     def instr_size(self, index: int) -> int:
-        if self.is_gcn3:
-            return self.kernel.instrs[index].size_bytes  # type: ignore[union-attr]
-        return HSAIL_INSTR_BYTES
+        return self.descs[index].size_bytes
 
     def instr_address(self, index: int) -> int:
         if self.is_gcn3:
-            kernel = self.kernel
+            kernel = self.state.kernel
             return self.code_base + kernel.pc_of_index[index]  # type: ignore[union-attr]
         return self.code_base + HSAIL_INSTR_BYTES * index
 
@@ -94,40 +112,48 @@ class TimingWavefront:
 
     def wants_fetch(self) -> bool:
         return (
-            not self.done
+            not self.state.done
             and not self.fetch_inflight
-            and len(self.ib) < self.ib_capacity
             and self.fetch_index < self.num_instrs
+            and len(self.ib) < self.ib_capacity
         )
 
     # -- HSAIL scoreboard -----------------------------------------------------
 
-    def slots_ready(self, slots: List[int], now: int) -> bool:
+    def slots_ready(self, slots: Sequence[int], now: int) -> bool:
+        busy = self.busy_slots
+        mem_busy = self.mem_busy_slots
+        if not busy and not mem_busy:
+            return True
         for slot in slots:
-            if self.busy_slots.get(slot, 0) > now:
+            if busy.get(slot, 0) > now:
                 return False
-            if self.mem_busy_slots.get(slot, 0) > 0:
+            if slot in mem_busy:
                 return False
         return True
 
-    def slots_ready_hint(self, slots: List[int], now: int) -> Optional[int]:
+    def slots_ready_hint(self, slots: Sequence[int], now: int) -> Optional[int]:
         """Earliest cycle the time-based part of the scoreboard clears."""
         worst = None
+        busy = self.busy_slots
         for slot in slots:
-            release = self.busy_slots.get(slot, 0)
+            release = busy.get(slot, 0)
             if release > now:
                 worst = release if worst is None else max(worst, release)
         return worst
 
-    def mark_busy(self, slots: List[int], until: int) -> None:
+    def mark_busy(self, slots: Sequence[int], until: int) -> None:
+        busy = self.busy_slots
         for slot in slots:
-            self.busy_slots[slot] = max(self.busy_slots.get(slot, 0), until)
+            prev = busy.get(slot, 0)
+            if until > prev:
+                busy[slot] = until
 
-    def mark_mem_busy(self, slots: List[int]) -> None:
+    def mark_mem_busy(self, slots: Sequence[int]) -> None:
         for slot in slots:
             self.mem_busy_slots[slot] = self.mem_busy_slots.get(slot, 0) + 1
 
-    def release_mem_busy(self, slots: List[int]) -> None:
+    def release_mem_busy(self, slots: Sequence[int]) -> None:
         for slot in slots:
             count = self.mem_busy_slots.get(slot, 0) - 1
             if count <= 0:

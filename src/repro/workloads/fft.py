@@ -101,11 +101,17 @@ class Fft(Workload):
 
     @staticmethod
     def reference_fft(block: np.ndarray, direction: int) -> np.ndarray:
-        """Structurally identical float32 reference (same op order)."""
-        re = block[0::2].copy()
-        im = block[1::2].copy()
+        """Structurally identical float32 reference (same op order).
+
+        Accepts one interleaved block ``(64,)`` or a batch ``(n, 64)``;
+        every element sees the exact op sequence of the scalar version
+        (pure elementwise float32 arithmetic), so batching work-items
+        changes nothing but wall time.
+        """
+        re = block[..., 0::2].copy()
+        im = block[..., 1::2].copy()
         order = [_bit_reverse(j, _LOG_N) for j in range(N_POINT)]
-        re, im = re[order], im[order]
+        re, im = re[..., order], im[..., order]
         sign = np.float32(1.0 if direction == 0 else -1.0)
         for stage in range(_LOG_N):
             half = 1 << stage
@@ -115,15 +121,15 @@ class Fft(Workload):
                     wr = np.float32(math.cos(angle))
                     wi = np.float32(np.float32(math.sin(angle)) * sign)
                     a, b = group + k, group + k + half
-                    tr = np.float32(re[b] * wr - im[b] * wi)
-                    ti = np.float32(re[b] * wi + im[b] * wr)
-                    re[b] = np.float32(re[a] - tr)
-                    im[b] = np.float32(im[a] - ti)
-                    re[a] = np.float32(re[a] + tr)
-                    im[a] = np.float32(im[a] + ti)
-        out = np.empty(2 * N_POINT, dtype=np.float32)
-        out[0::2] = re
-        out[1::2] = im
+                    tr = re[..., b] * wr - im[..., b] * wi
+                    ti = re[..., b] * wi + im[..., b] * wr
+                    re[..., b] = re[..., a] - tr
+                    im[..., b] = im[..., a] - ti
+                    re[..., a] = re[..., a] + tr
+                    im[..., a] = im[..., a] + ti
+        out = np.empty(block.shape, dtype=np.float32)
+        out[..., 0::2] = re
+        out[..., 1::2] = im
         return out
 
     def stage(self, process: GpuProcess, isa: str) -> None:
@@ -144,9 +150,7 @@ class Fft(Workload):
     def verify(self, process: GpuProcess) -> bool:
         out = process.download(self.dst, np.float32, self.data.size)
         blocks = self.data.reshape(self.n_threads, 2 * N_POINT)
-        expected = np.empty_like(blocks)
-        for i in range(self.n_threads):
-            forward = self.reference_fft(blocks[i], 0)
-            expected[i] = self.reference_fft(forward, 1)
+        forward = self.reference_fft(blocks, 0)
+        expected = self.reference_fft(forward, 1)
         return bool(np.allclose(out.reshape(expected.shape), expected,
                                 rtol=1e-4, atol=1e-4))

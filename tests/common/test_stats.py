@@ -60,6 +60,38 @@ class TestDistribution:
         for p in (0, 1, 50, 99, 100):
             assert d.percentile(p) == 42
 
+    def test_percentile_key_cache_invalidated_by_add(self):
+        """The sorted-key memo must never serve stale keys after add()."""
+        d = Distribution()
+        d.add(10)
+        assert d.percentile(100) == 10   # primes the sorted-key cache
+        d.add(5)                         # new smaller bucket
+        assert d.percentile(0) == 5
+        d.add(20)                        # new larger bucket
+        assert d.percentile(100) == 20
+
+    def test_percentile_key_cache_invalidated_by_merge(self):
+        d = Distribution()
+        d.add(10)
+        assert d.percentile(50) == 10    # primes the sorted-key cache
+        other = Distribution()
+        other.add(1, count=10)
+        d.merge(other)
+        assert d.percentile(0) == 1
+        assert d.percentile(50) == 1     # 10 of 11 samples sit at 1
+
+    def test_percentile_cache_reuse_matches_fresh_distribution(self):
+        """Repeated queries through the memo equal a cold computation."""
+        d = Distribution()
+        for v in (4, 9, 2, 9, 7):
+            d.add(v)
+        warm = [d.percentile(p) for p in (0, 25, 50, 75, 100)]
+        fresh = Distribution()
+        for v in (4, 9, 2, 9, 7):
+            fresh.add(v)
+        cold = [fresh.percentile(p) for p in (0, 25, 50, 75, 100)]
+        assert warm == cold
+
     def test_percentile_on_merged_buckets(self):
         """Percentiles must respect counts accumulated into one bucket
         across merges, not just distinct values."""

@@ -1,0 +1,148 @@
+"""Perf-bench harness tests: schema, comparison math, report round-trip.
+
+These run no simulations — they exercise the report/baseline machinery
+on synthetic cells so CI can gate on them cheaply.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.perfbench import (
+    BenchCell,
+    BenchError,
+    BenchReport,
+    compare,
+    load_report,
+    run_bench,
+    validate_schema,
+    write_report,
+)
+
+
+def make_cell(workload="fft", isa="gcn3", wall=2.0, cycles=1000):
+    return BenchCell(workload=workload, isa=isa, verified=True,
+                     wall_seconds=wall, cycles=cycles,
+                     dynamic_instructions=500, peak_rss_kb=1)
+
+
+def make_report(cells):
+    return BenchReport(label="test", scale=0.5, seed=7, repeats=1,
+                       config_fingerprint="fp", cells=cells,
+                       created_unix=1_700_000_000)
+
+
+class TestSchema:
+    def test_roundtrip_through_disk(self, tmp_path):
+        report = make_report([make_cell()])
+        path = str(tmp_path / "BENCH_test.json")
+        write_report(report, path)
+        doc = load_report(path)  # validates on load
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["cells"][0]["workload"] == "fft"
+        assert doc["totals"]["geomean_wall_seconds"] == 2.0
+
+    def test_rejects_wrong_schema(self):
+        doc = make_report([make_cell()]).to_dict()
+        doc["schema"] = "repro-bench/999"
+        with pytest.raises(BenchError, match="schema"):
+            validate_schema(doc)
+
+    def test_rejects_missing_cells(self):
+        doc = make_report([make_cell()]).to_dict()
+        doc["cells"] = []
+        with pytest.raises(BenchError, match="no cells"):
+            validate_schema(doc)
+
+    def test_rejects_cell_missing_field(self):
+        doc = make_report([make_cell()]).to_dict()
+        del doc["cells"][0]["wall_seconds"]
+        with pytest.raises(BenchError, match="wall_seconds"):
+            validate_schema(doc)
+
+    def test_rejects_nonpositive_wall(self):
+        doc = make_report([make_cell()]).to_dict()
+        doc["cells"][0]["wall_seconds"] = 0
+        with pytest.raises(BenchError, match="non-positive"):
+            validate_schema(doc)
+
+    def test_rejects_missing_totals(self):
+        doc = make_report([make_cell()]).to_dict()
+        del doc["totals"]
+        with pytest.raises(BenchError, match="totals"):
+            validate_schema(doc)
+
+    def test_load_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError, match="cannot read"):
+            load_report(str(path))
+
+
+class TestCompare:
+    def test_speedup_and_geomean(self):
+        report = make_report([make_cell(wall=1.0),
+                              make_cell(isa="hsail", wall=2.0)])
+        baseline = make_report([make_cell(wall=2.0),
+                                make_cell(isa="hsail", wall=4.0)]).to_dict()
+        geomean, regressions = compare(report, baseline, "BENCH_BASE.json")
+        assert geomean == pytest.approx(2.0)
+        assert regressions == []
+        folded = report.baseline
+        assert folded["geomean_speedup"] == 2.0
+        assert all(c["speedup"] == 2.0 for c in folded["cells"])
+
+    def test_regression_flagged_beyond_threshold(self):
+        report = make_report([make_cell(wall=2.0)])
+        baseline = make_report([make_cell(wall=1.0)]).to_dict()
+        _, regressions = compare(report, baseline, "b.json", threshold=0.25)
+        assert len(regressions) == 1
+        assert report.baseline["cells"][0]["regression"] is True
+
+    def test_slower_within_threshold_is_not_a_regression(self):
+        report = make_report([make_cell(wall=1.2)])
+        baseline = make_report([make_cell(wall=1.0)]).to_dict()
+        _, regressions = compare(report, baseline, "b.json", threshold=0.25)
+        assert regressions == []
+
+    def test_new_and_missing_cells_never_regress(self):
+        report = make_report([make_cell(workload="new")])
+        baseline = make_report([make_cell(workload="old")]).to_dict()
+        _, regressions = compare(report, baseline, "b.json")
+        assert regressions == []
+        notes = {c.get("note") for c in report.baseline["cells"]}
+        assert "new cell" in notes
+        assert "cell missing from current run" in notes
+
+    def test_cycle_drift_is_flagged(self):
+        report = make_report([make_cell(cycles=1001)])
+        baseline = make_report([make_cell(cycles=1000)]).to_dict()
+        compare(report, baseline, "b.json")
+        assert report.baseline["cycle_drift"] == ["fft/gcn3"]
+        assert report.baseline["cells"][0]["cycle_drift"] == {
+            "baseline": 1000, "current": 1001}
+
+    def test_identical_cycles_report_no_drift(self):
+        report = make_report([make_cell()])
+        baseline = make_report([make_cell(wall=3.0)]).to_dict()
+        compare(report, baseline, "b.json")
+        assert report.baseline["cycle_drift"] == []
+
+
+class TestRunBench:
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(BenchError, match="repeats"):
+            run_bench(repeats=0)
+
+    def test_tiny_cell_produces_valid_report(self, tmp_path):
+        from repro.common.config import small_config
+        report = run_bench(workloads=["arraybw"], scale=0.1,
+                           config=small_config(2), repeats=1, label="smoke")
+        doc = report.to_dict()
+        validate_schema(doc)
+        assert {(c.workload, c.isa) for c in report.cells} == {
+            ("arraybw", "hsail"), ("arraybw", "gcn3")}
+        assert all(c.verified for c in report.cells)
+        path = str(tmp_path / "BENCH_smoke.json")
+        write_report(report, path)
+        assert load_report(path)["label"] == "smoke"

@@ -1,0 +1,60 @@
+"""Determinism suite for the accelerated cycle model.
+
+The hot-path work (predecoded descriptors, ready-set scheduling, eager
+VRF conflict accounting, masked-write fast paths) is only admissible if
+it changes *nothing* observable: the same simulation must produce
+bit-identical statistics run over run, and the traced engine — which
+keeps the original per-cycle bookkeeping so it can emit events — must
+agree with the untraced fast paths exactly.
+
+``tests/harness/test_golden.py`` additionally pins the absolute values
+against ``tests/golden/suite_small.json``; this file proves the
+internal equivalences.
+"""
+
+import pytest
+
+from repro.common.config import small_config
+from repro.harness.runner import run_workload
+from repro.obs.trace import TraceConfig
+
+SCALE = 0.1
+SEED = 7
+CASES = [("bitonic", "hsail"), ("bitonic", "gcn3"),
+         ("comd", "hsail"), ("comd", "gcn3")]
+
+
+def _stats_payload(run):
+    """Everything statistical about a run (wall clock and trace excluded)."""
+    payload = run.to_payload()
+    payload.pop("wall_seconds")
+    payload.pop("trace", None)
+    return payload
+
+
+@pytest.mark.parametrize("workload,isa", CASES)
+def test_run_twice_is_bit_identical(workload, isa):
+    config = small_config(2)
+    first = run_workload(workload, isa, scale=SCALE, config=config, seed=SEED)
+    second = run_workload(workload, isa, scale=SCALE, config=config, seed=SEED)
+    assert first.verified and second.verified
+    assert _stats_payload(first) == _stats_payload(second)
+
+
+@pytest.mark.parametrize("workload,isa", CASES)
+def test_traced_and_untraced_statistics_agree(workload, isa):
+    """The per-cycle (traced) and fast (untraced) paths are equivalent.
+
+    Tracing every category forces the exact per-cycle VRF fold, the
+    per-event cache notes, and per-issue emission — the original code
+    paths — while the untraced run takes every fast path.  Statistics
+    must not differ by a single count.
+    """
+    config = small_config(2)
+    untraced = run_workload(workload, isa, scale=SCALE, config=config,
+                            seed=SEED)
+    traced = run_workload(workload, isa, scale=SCALE, config=config,
+                          seed=SEED, trace=TraceConfig())
+    assert untraced.verified and traced.verified
+    assert traced.trace is not None and traced.trace.events
+    assert _stats_payload(untraced) == _stats_payload(traced)

@@ -1,0 +1,98 @@
+"""Predecode equivalence: descriptors vs the raw instruction stream.
+
+The issue stage trusts :mod:`repro.timing.predecode` completely — it
+never looks at the raw instruction again.  These tests walk every
+kernel of every registered workload, in both ISAs, and check each
+:class:`IssueDesc` field against an independent recomputation from the
+raw instruction, so a predecode bug cannot hide behind the cache.
+"""
+
+import pytest
+
+from repro.common.categories import InstrCategory
+from repro.gcn3 import isa as gcn3_isa
+from repro.gcn3.isa import Gcn3Kernel
+from repro.hsail import isa as hsail_isa
+from repro.hsail.isa import HSAIL_INSTR_BYTES
+from repro.timing.predecode import (
+    UNIT_BRANCH,
+    UNIT_LDS,
+    UNIT_SCALAR,
+    UNIT_SIMD,
+    UNIT_VMEM,
+    predecode_kernel,
+)
+from repro.workloads import create, workload_names
+
+SCALE = 0.1
+SEED = 7
+
+#: Independent unit-routing expectation (paper Fig. 2): HSAIL has a
+#: dedicated branch unit, GCN3 folds branches into the scalar unit.
+def expected_unit(category, is_gcn3):
+    return {
+        InstrCategory.VALU: UNIT_SIMD,
+        InstrCategory.SALU: UNIT_SCALAR,
+        InstrCategory.SMEM: UNIT_SCALAR,
+        InstrCategory.BRANCH: UNIT_SCALAR if is_gcn3 else UNIT_BRANCH,
+        InstrCategory.MISC: UNIT_SCALAR if is_gcn3 else UNIT_BRANCH,
+        InstrCategory.VMEM: UNIT_VMEM,
+        InstrCategory.LDS: UNIT_LDS,
+    }[category]
+
+
+def iter_kernels(isa):
+    for name in workload_names():
+        workload = create(name, scale=SCALE, seed=SEED)
+        for kname, dual in workload.kernels().items():
+            yield f"{name}/{kname}", dual.for_isa(isa)
+
+
+@pytest.mark.parametrize("isa", ["hsail", "gcn3"])
+def test_every_descriptor_matches_its_raw_instruction(isa):
+    checked = 0
+    for label, kernel in iter_kernels(isa):
+        descs = predecode_kernel(kernel)
+        assert len(descs) == len(kernel.instrs), label
+        is_gcn3 = isinstance(kernel, Gcn3Kernel)
+        for pc, (desc, instr) in enumerate(zip(descs, kernel.instrs)):
+            where = f"{label}@{pc} {instr.opcode}"
+            assert desc.opcode == instr.opcode, where
+            assert desc.category == instr.category, where
+            assert desc.unit == expected_unit(instr.category, is_gcn3), where
+            assert desc.is_memory == instr.category.is_memory, where
+            if is_gcn3:
+                reads = tuple(instr.vgpr_reads())
+                writes = tuple(instr.vgpr_writes())
+                long_valu = (instr.category == InstrCategory.VALU
+                             and gcn3_isa.is_long_valu(instr.opcode))
+                assert desc.size_bytes == instr.size_bytes, where
+            else:
+                reads = tuple(instr.vrf_slots_read())
+                writes = tuple(instr.vrf_slots_written())
+                long_valu = (instr.category == InstrCategory.VALU
+                             and hsail_isa.is_long_valu(instr))
+                assert desc.size_bytes == HSAIL_INSTR_BYTES, where
+            assert desc.read_slots == reads, where
+            assert desc.write_slots == writes, where
+            assert desc.rw_slots == reads + writes, where
+            assert desc.valu_mult == (2 if long_valu else 1), where
+            if is_gcn3 and instr.opcode == "s_waitcnt":
+                assert desc.is_waitcnt, where
+                vm = instr.attrs.get("vmcnt")
+                lgkm = instr.attrs.get("lgkmcnt")
+                assert desc.wait_vm == (None if vm is None else int(vm)), where
+                assert desc.wait_lgkm == (
+                    None if lgkm is None else int(lgkm)), where
+            else:
+                assert not desc.is_waitcnt, where
+                assert desc.wait_vm is None and desc.wait_lgkm is None, where
+            checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("isa", ["hsail", "gcn3"])
+def test_table_is_cached_per_kernel_object(isa):
+    name = workload_names()[0]
+    kernel = next(iter_kernels(isa))[1]
+    assert predecode_kernel(kernel) is predecode_kernel(kernel), name

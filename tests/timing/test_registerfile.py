@@ -47,14 +47,29 @@ class TestBankConflicts:
         vrf.flush()
         assert stats["vrf_bank_conflicts"] == 2  # cycles 2 and 3
 
-    def test_collect_only_finalizes_past_cycles(self):
+    def test_untraced_counts_eagerly_and_collect_never_double_counts(self):
+        # Without per-cycle trace emission the model counts each conflict
+        # the moment the overlapping gather is recorded (the per-cycle
+        # totals are order-independent), so both overlap cycles are
+        # visible immediately and collect()/flush() add nothing.
         vrf, stats = make_vrf()
         vrf.note_access([0], now=0, duration=2)
         vrf.note_access([4], now=0, duration=2)
-        vrf.collect(1)  # only cycle 0 finished
-        assert stats["vrf_bank_conflicts"] == 1
-        vrf.collect(10)
         assert stats["vrf_bank_conflicts"] == 2
+        vrf.collect(1)
+        vrf.collect(10)
+        vrf.flush()
+        assert stats["vrf_bank_conflicts"] == 2
+
+    def test_expired_windows_never_conflict_with_later_issues(self):
+        vrf, stats = make_vrf()
+        vrf.note_access([0], now=0, duration=2)   # bank 0, window [0, 2)
+        vrf.note_access([4], now=5, duration=2)   # bank 0, but [0,2) ended
+        assert stats["vrf_bank_conflicts"] == 0
+        vrf.note_access([8], now=5, duration=2)   # overlaps the live window
+        assert stats["vrf_bank_conflicts"] == 2
+        # the untraced fast path keeps no per-cycle state at all
+        assert vrf._pending == {}
 
     def test_empty_slots_noop(self):
         vrf, stats = make_vrf()
