@@ -25,21 +25,32 @@ sweep --axis PATH=V1,V2,... [--axis ...] [--mode grid|ofat]
       [--resume [ID]] [--dry-run] [--report points|curve|tornado|all]
       [--response ratio:METRIC] [--threshold-factor F]
       [--format text|csv|json|markdown] [--output FILE]
+      [--execution auto|execute|replay] [--trace-dir DIR]
+      [--no-verify-replay]
     Design-space exploration: enumerate config variants along the given
     axes, simulate every (point x workload x ISA) cell through the pool
     and disk cache, journal completed points under
     ``.repro_cache/sweeps/<id>/`` (resumable with ``--resume``), and
     print sensitivity reports (tornado tables, per-axis response curves,
-    capacity-threshold detection).
+    capacity-threshold detection).  With the default
+    ``--execution auto``, each workload x ISA x functional-fingerprint
+    group executes semantics once (capturing a trace) and every other
+    point replays it through the timing model — bit-identical
+    statistics, guarded by a sampled re-execution.
 bench [--workloads W1,W2] [--scale S] [--seed N] [--cus N]
       [--repeats N] [--label L] [--baseline FILE] [--threshold F]
-      [--output FILE]
+      [--output FILE] [--profile DIR] [--sweep-axis PATH=V1,V2,...]
+      [--sweep-workloads W1,W2] [--sweep-isas I1,I2] [--sweep-jobs N]
+      [--sweep-repeats N]
     Time the tier-1 suite cell by cell (wall seconds, simulated
     cycles/sec, peak RSS) with every cache layer bypassed, and write a
     machine-readable BENCH_*.json perf-trajectory point.  With
     ``--baseline`` the report embeds per-cell and geomean speedups vs a
     prior BENCH_*.json and exits non-zero on any cell more than
-    ``--threshold`` (fractional) slower.
+    ``--threshold`` (fractional) slower.  ``--profile DIR`` dumps
+    per-cell cProfile stats; ``--sweep-axis`` additionally times one
+    timing-only sweep twice (execute-at-issue vs trace replay) and
+    embeds the speedup as the report's ``sweep`` section.
 cache [--cache-dir DIR] [--clear] [--prune-older-than DAYS]
     Inspect, prune, or clear the persistent result cache
     (.repro_cache/); the listing breaks disk usage down per config
@@ -307,11 +318,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir, job_timeout=args.job_timeout,
         progress=None if args.quiet else _progress_printer,
         resume=args.resume if args.resume is not None else False,
+        execution=args.execution, trace_dir=args.trace_dir,
+        verify_replay=not args.no_verify_replay,
     )
     print(f"sweep {results.sweep_id}: {len(results.points)} point(s), "
           f"{results.replayed()} from journal, "
           f"{len(results.failed_points)} failed "
           f"(journal: {results.journal_path})", file=sys.stderr)
+    if results.execution != "execute":
+        verified = (f", guard re-executed {results.verified_cell}"
+                    if results.verified_cell else "")
+        print(f"trace replay: {results.captures} capture(s), "
+              f"{results.replays} replay(s), "
+              f"drift={results.replay_drift}{verified}", file=sys.stderr)
+        if results.replay_drift:
+            print("REPLAY DRIFT: replayed statistics disagree with "
+                  "functional re-execution; clear the trace store",
+                  file=sys.stderr)
     for pr in results.failed_points:
         print(f"FAILED {pr.point.point_id}: {pr.error}", file=sys.stderr)
 
@@ -349,7 +372,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 1 if results.failed_points else 0
+    return 1 if (results.failed_points or results.replay_drift) else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -366,7 +389,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         label=args.label,
         progress=None if args.quiet
         else (lambda msg: print(msg, file=sys.stderr)),
+        profile_dir=args.profile,
     )
+    if args.sweep_axis:
+        sweep_workloads = (args.sweep_workloads.split(",")
+                           if args.sweep_workloads
+                           else ["lulesh", "comd", "hpgmg"])
+        try:
+            report.sweep = perfbench.bench_sweep(
+                args.sweep_axis, sweep_workloads,
+                isas=(args.sweep_isas.split(",")
+                      if args.sweep_isas else None),
+                scale=args.scale, seed=args.seed, config=config,
+                jobs=args.sweep_jobs, repeats=args.sweep_repeats,
+                progress=None if args.quiet else _progress_printer,
+            )
+        except perfbench.BenchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     regressions: List[str] = []
     if args.baseline:
         try:
@@ -382,6 +422,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for line in regressions:
         print(f"REGRESSION {line}", file=sys.stderr)
     if not all(c.verified for c in report.cells):
+        return 1
+    if report.sweep is not None and (report.sweep["replay_drift"]
+                                     or not report.sweep["cells_identical"]):
+        print("REPLAY DRIFT in sweep bench", file=sys.stderr)
         return 1
     return 1 if regressions else 0
 
@@ -523,6 +567,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--job-timeout", type=float,
                          help="per-cell wall-clock limit in seconds "
                               "(parallel runs only)")
+    sweep_p.add_argument("--execution",
+                         choices=["auto", "execute", "replay"],
+                         default="auto",
+                         help="auto = execute semantics once per "
+                              "workload x ISA x functional fingerprint and "
+                              "replay the trace elsewhere; execute = "
+                              "pre-replay behaviour; replay = require "
+                              "every trace to already exist")
+    sweep_p.add_argument("--trace-dir",
+                         help="trace store directory (default "
+                              "<cache-dir>/traces)")
+    sweep_p.add_argument("--no-verify-replay", action="store_true",
+                         help="skip the drift guard's sampled "
+                              "re-execution of one replayed cell")
     sweep_p.add_argument("--quiet", "-q", action="store_true",
                          help="suppress per-cell progress lines on stderr")
 
@@ -536,15 +594,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CU count (8 = paper config)")
     bench_p.add_argument("--repeats", "-r", type=int, default=1,
                          help="runs per cell; best-of is reported")
-    bench_p.add_argument("--label", "-l", default="PR4",
+    bench_p.add_argument("--label", "-l", default="PR5",
                          help="trajectory label stored in the report")
     bench_p.add_argument("--baseline", "-b",
                          help="prior BENCH_*.json to compare against")
     bench_p.add_argument("--threshold", "-t", type=float, default=0.25,
                          help="fractional slowdown that counts as a "
                               "regression (default 0.25 = 25%%)")
-    bench_p.add_argument("--output", "-o", default="BENCH_PR4.json",
-                         help="report path (default BENCH_PR4.json)")
+    bench_p.add_argument("--output", "-o", default="BENCH_PR5.json",
+                         help="report path (default BENCH_PR5.json)")
+    bench_p.add_argument("--profile", metavar="DIR",
+                         help="dump per-cell cProfile stats to "
+                              "DIR/<workload>_<isa>.prof (skews wall "
+                              "numbers; never commit a profiled report)")
+    bench_p.add_argument("--sweep-axis", metavar="PATH=V1,V2,...",
+                         help="also time this timing-only sweep twice "
+                              "(execute vs trace replay) and embed the "
+                              "speedup as the report's 'sweep' section")
+    bench_p.add_argument("--sweep-workloads",
+                         help="workloads for --sweep-axis "
+                              "(default lulesh,comd,hpgmg)")
+    bench_p.add_argument("--sweep-isas",
+                         help="ISAs for --sweep-axis, e.g. gcn3 "
+                              "(default both)")
+    bench_p.add_argument("--sweep-repeats", type=int, default=1,
+                         help="run the execute/replay pass pair N times "
+                              "and report best-of walls (default 1)")
+    bench_p.add_argument("--sweep-jobs", type=int, default=1,
+                         help="worker processes for --sweep-axis passes")
     bench_p.add_argument("--quiet", "-q", action="store_true",
                          help="suppress per-cell progress on stderr")
 

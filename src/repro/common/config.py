@@ -157,9 +157,62 @@ class GpuConfig:
         CU, and DRAM sub-configs) is equal, so the fingerprint is safe to
         use as a cache key component: any parameter change — CU count,
         cache geometry, DRAM timing — yields a different fingerprint.
+
+        Memoized on the (frozen) instance: disk-cache lookups and sweep
+        point dedup recompute it constantly, and the fields can never
+        change under the memo.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = _config_hash(self.to_dict())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def functional_fingerprint(self) -> str:
+        """Hash of the config fields the *functional* layer can observe.
+
+        The dynamic instruction stream — which instructions execute, the
+        EXEC masks, memory addresses, branch targets — depends on the
+        program, its input, and the lane geometry, but **not** on the
+        timing axes (cache sizes, bank counts, latencies, CU count:
+        workgroups are placed strictly in order, so even wavefront
+        numbering is timing-invariant).  Two configs with equal
+        functional fingerprints therefore produce identical streams, and
+        a trace captured under one replays exactly under the other.
+        This is the trace store's key half.
+        """
+        cached = self.__dict__.get("_functional_fingerprint")
+        if cached is None:
+            cached = _config_hash({
+                "cu.wavefront_size": self.cu.wavefront_size,
+                "cu.simd_width": self.cu.simd_width,
+            })
+            object.__setattr__(self, "_functional_fingerprint", cached)
+        return cached
+
+    def timing_fingerprint(self) -> str:
+        """Hash of everything :meth:`functional_fingerprint` excludes.
+
+        Complement of the functional half: two configs that differ only
+        in timing fingerprint share one functional trace but are distinct
+        timing experiments (the interesting case for sweeps — capture
+        once, replay per timing point).
+        """
+        cached = self.__dict__.get("_timing_fingerprint")
+        if cached is None:
+            timing_only = self.to_dict()
+            cu = dict(timing_only["cu"])  # type: ignore[arg-type]
+            cu.pop("wavefront_size", None)
+            cu.pop("simd_width", None)
+            timing_only["cu"] = cu
+            cached = _config_hash(timing_only)
+            object.__setattr__(self, "_timing_fingerprint", cached)
+        return cached
+
+
+def _config_hash(payload: "dict[str, object]") -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def _replace_path(obj: object, parts: "list[str]", value: object,

@@ -121,13 +121,24 @@ class Session:
 
     def run(self, workload: str, isa: str, *, scale: float = 1.0,
             seed: int = 7,
-            trace: "Optional[TraceConfig]" = None) -> "WorkloadRun":
+            trace: "Optional[TraceConfig]" = None,
+            execution: str = "execute",
+            trace_dir: Optional[str] = None) -> "WorkloadRun":
         """Simulate one workload under one ISA; with ``trace`` set, the
-        returned run carries a :class:`repro.obs.TraceData` in ``.trace``."""
+        returned run carries a :class:`repro.obs.TraceData` in ``.trace``.
+
+        ``execution`` selects how the instruction stream is obtained
+        (``"execute"`` | ``"capture"`` | ``"replay"`` | ``"auto"``; see
+        :data:`repro.harness.runner.EXECUTION_MODES`); non-default modes
+        use the trace store under ``trace_dir`` (default
+        ``<cache-dir>/traces``)."""
+        from ..harness.cache import resolve_trace_store
         from ..harness.runner import run_workload
 
+        store = resolve_trace_store(trace_dir) if execution != "execute" else None
         return run_workload(workload, isa, scale=scale, config=self.config,
-                            seed=seed, trace=trace)
+                            seed=seed, trace=trace,
+                            execution=execution, trace_store=store)
 
     def suite(self, *, scale: float = 1.0,
               workloads: Optional[Sequence[str]] = None, seed: int = 7,
@@ -136,18 +147,20 @@ class Session:
               cache_dir: Optional[str] = None,
               job_timeout: Optional[float] = None,
               progress: "Optional[ProgressFn]" = None,
-              trace: "Optional[TraceConfig]" = None) -> "SuiteResults":
+              trace: "Optional[TraceConfig]" = None,
+              execution: str = "execute",
+              trace_dir: Optional[str] = None) -> "SuiteResults":
         """Run every workload under both ISAs (the paper's evaluation
-        matrix); same knobs as the old ``run_suite``, plus ``trace``.
-        Traced suites bypass both cache layers — a cached result has no
-        events to replay."""
+        matrix); same knobs as the old ``run_suite``, plus ``trace`` and
+        the trace-replay ``execution`` mode.  Traced suites bypass both
+        cache layers — a cached result has no events to replay."""
         from ..harness.runner import _run_suite
 
         return _run_suite(
             scale=scale, config=self.config, workloads=workloads, seed=seed,
             use_cache=use_cache, jobs=jobs, use_disk_cache=use_disk_cache,
             cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
-            trace=trace,
+            trace=trace, execution=execution, trace_dir=trace_dir,
         )
 
     def sweep(self, axes: "Sequence[Axis | str]", *, mode: str = "grid",
@@ -159,7 +172,10 @@ class Session:
               job_timeout: Optional[float] = None,
               progress: "Optional[ProgressFn]" = None,
               resume: "Union[bool, str]" = False,
-              sweeps_dir: Optional[str] = None) -> "SweepResults":
+              sweeps_dir: Optional[str] = None,
+              execution: str = "auto",
+              trace_dir: Optional[str] = None,
+              verify_replay: bool = True) -> "SweepResults":
         """Design-space sweep around this session's config.
 
         ``axes`` are :class:`repro.explore.Axis` objects or their CLI
@@ -168,7 +184,11 @@ class Session:
         process pool and disk cache as :meth:`suite`, journaled under
         ``.repro_cache/sweeps/<sweep-id>/`` so a killed sweep resumes
         (``resume=True`` or an explicit sweep id) without re-simulating
-        completed points.  Sensitivity reports live in
+        completed points.  With the default ``execution="auto"``, each
+        workload x ISA x functional-fingerprint group executes semantics
+        once (capturing a trace) and every other point replays the trace
+        through the timing model — bit-identical statistics, guarded by
+        ``verify_replay``.  Sensitivity reports live in
         :mod:`repro.explore.analyze`::
 
             results = Session().sweep(["l1i.size_bytes=2k,4k,8k,16k"],
@@ -186,7 +206,8 @@ class Session:
             isas=tuple(isas) if isas is not None else ISAS, scale=scale,
             seed=seed, jobs=jobs, use_disk_cache=use_disk_cache,
             cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
-            resume=resume, sweeps_dir=sweeps_dir,
+            resume=resume, sweeps_dir=sweeps_dir, execution=execution,
+            trace_dir=trace_dir, verify_replay=verify_replay,
         )
 
 

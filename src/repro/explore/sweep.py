@@ -27,17 +27,21 @@ import json
 import os
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..common.config import GpuConfig, paper_config
+from ..common.errors import ReproError
 from ..harness.cache import (
     ResultCache,
+    TraceStore,
     default_cache_dir,
     job_fingerprint,
     resolve_cache,
+    resolve_trace_store,
     source_tree_stamp,
+    trace_fingerprint,
 )
 from ..harness.parallel import (
     Job,
@@ -115,6 +119,16 @@ class SweepResults:
     seed: int
     points: List[PointResult] = field(default_factory=list)
     journal_path: Optional[str] = None
+    #: requested execution mode ("auto" | "execute" | "replay").
+    execution: str = "execute"
+    #: cells functionally executed while recording a trace, this run.
+    captures: int = 0
+    #: cells driven from a stored trace instead of executing, this run.
+    replays: int = 0
+    #: the replayed cell re-executed by the fidelity guard ("" = none).
+    verified_cell: str = ""
+    #: 1 if the guard's re-execution disagreed with the replay, else 0.
+    replay_drift: int = 0
 
     def find(self, point_id: str) -> PointResult:
         for pr in self.points:
@@ -144,6 +158,11 @@ class SweepResults:
             "isas": list(self.isas),
             "scale": self.scale,
             "seed": self.seed,
+            "execution": self.execution,
+            "captures": self.captures,
+            "replays": self.replays,
+            "verified_cell": self.verified_cell,
+            "replay_drift": self.replay_drift,
             "points": [
                 {
                     **pr.point.to_dict(),
@@ -313,6 +332,9 @@ def run_sweep(
     resume: Union[bool, str] = False,
     sweeps_dir: Optional[str] = None,
     execute: Optional[Callable[[Job], "Dict[str, object]"]] = None,
+    execution: str = "auto",
+    trace_dir: Optional[str] = None,
+    verify_replay: bool = True,
 ) -> SweepResults:
     """Run (or resume) one design-space sweep; see the module docstring.
 
@@ -325,8 +347,27 @@ def run_sweep(
     :param progress: per-cell :class:`JobEvent` callback; replayed points
         emit one event per cell with status ``"journal"``.
     :param execute: test hook — replaces the per-cell worker entry point
-        (same contract as :func:`repro.harness.parallel.run_jobs`).
+        (same contract as :func:`repro.harness.parallel.run_jobs`); forces
+        ``execution="execute"`` since the hook bypasses the trace store.
+    :param execution: ``"auto"`` (default) captures one trace per
+        workload x ISA x functional fingerprint and replays every other
+        point; ``"execute"`` reproduces the pre-replay behaviour exactly;
+        ``"replay"`` requires every trace to already exist (a missing one
+        fails that cell instead of silently executing).
+    :param trace_dir: trace-store directory (default ``<cache-dir>/traces``;
+        an explicit directory keeps replay active even with
+        ``use_disk_cache=False``, which otherwise disables the store).
+    :param verify_replay: re-execute the cheapest replayed cell after the
+        sweep and flag ``replay_drift`` if its statistics differ — the
+        cycle-drift-style fidelity guard for trace replay.
     """
+    if execution not in ("auto", "execute", "replay"):
+        raise ReproError(
+            f"unknown sweep execution mode {execution!r}; "
+            "expected 'auto', 'execute', or 'replay'"
+        )
+    if execute is not None:
+        execution = "execute"
     base = base or paper_config()
     names: Tuple[str, ...] = tuple(
         workloads if workloads is not None
@@ -342,10 +383,33 @@ def run_sweep(
     journal = SweepJournal(sweeps_dir or default_sweeps_dir(), sweep_id)
     replayed = journal.load() if resume else {}
 
+    # Trace store for capture/replay.  "auto" degrades to plain execution
+    # when the store is unavailable: caching disabled by REPRO_NO_CACHE or
+    # use_disk_cache=False with no explicit directory — "no caching" means
+    # no persistent trace artifacts either, and it keeps pre-replay cell
+    # ordering (point-major, so a killed sweep journals whole points) for
+    # cache-bypassing callers.  Strict "replay" refuses instead of
+    # silently executing.
+    store: Optional[TraceStore] = None
+    cell_mode = "execute"
+    if execution != "execute":
+        if trace_dir is None and use_disk_cache is False:
+            store = None
+        else:
+            store = resolve_trace_store(trace_dir)
+        if store is not None:
+            cell_mode = execution
+        elif execution == "replay":
+            raise ReproError(
+                "sweep execution='replay' needs a trace store, but caching "
+                "is disabled (REPRO_NO_CACHE or use_disk_cache=False); "
+                "pass trace_dir= explicitly"
+            )
+
     results = SweepResults(
         sweep_id=sweep_id, base=base, axes=space.axes, mode=mode,
         workloads=names, isas=isas, scale=scale, seed=seed,
-        journal_path=str(journal.path),
+        journal_path=str(journal.path), execution=cell_mode,
     )
 
     journal.open(
@@ -430,7 +494,8 @@ def run_sweep(
             misses: List[Job] = []
             for w in names:
                 for isa in isas:
-                    job = Job(w, isa, scale, seed, point.config, point=pid)
+                    job = Job(w, isa, scale, seed, point.config, point=pid,
+                              execution=cell_mode, trace_dir=trace_dir)
                     cached = (disk.get(_job_fp(job)) if disk is not None
                               else None)
                     if cached is not None:
@@ -449,10 +514,17 @@ def run_sweep(
         # order, so each point is journaled the moment its last cell
         # resolves — a kill between points loses only the in-flight tail.
         points_by_id = {p.point_id: p for p in points}
+        replay_runs: List[Tuple[Job, WorkloadRun]] = []
 
         def on_result(job: Job, run: WorkloadRun) -> None:
             pid = job.point
             pending[pid][(job.workload, job.isa)] = run
+            if run.error is None:
+                if run.execution == "capture":
+                    results.captures += 1
+                elif run.execution == "replay":
+                    results.replays += 1
+                    replay_runs.append((job, run))
             if disk is not None and run.error is None:
                 disk.put(_job_fp(job), run,
                          config_fingerprint=job.config.fingerprint())
@@ -461,19 +533,53 @@ def run_sweep(
                 finish_point(points_by_id[pid], pending.pop(pid))
 
         if cells:
-            pool_size = min(resolve_jobs(jobs), len(cells))
-            if pool_size > 1:
-                run_jobs(cells, max_workers=pool_size, timeout=job_timeout,
-                         execute=execute, progress=progress,
-                         progress_offset=index, progress_total=total,
-                         on_result=on_result)
-                index += len(cells)
+            # "auto" runs in two phases: first one capture per
+            # workload x ISA x functional fingerprint whose trace is
+            # missing, then (barrier) everything else — which now replays.
+            # The barrier is what turns an N-point sweep into 1 functional
+            # execution + N replays instead of a pool-race of captures;
+            # phase 2 cells still run as "auto", so if a capture failed
+            # they self-heal by capturing rather than erroring out.
+            if cell_mode == "auto":
+                batches = _plan_trace_phases(cells, store)
             else:
-                for job in cells:
-                    run = run_job_inline(job, execute)
-                    on_result(job, run)
-                    emit(job.point, job.workload, job.isa,
-                         "failed" if run.error else "ok", run.wall_seconds)
+                batches = [cells]
+            for batch in batches:
+                if not batch:
+                    continue
+                pool_size = min(resolve_jobs(jobs), len(batch))
+                if pool_size > 1:
+                    run_jobs(batch, max_workers=pool_size,
+                             timeout=job_timeout,
+                             execute=execute, progress=progress,
+                             progress_offset=index, progress_total=total,
+                             on_result=on_result)
+                    index += len(batch)
+                else:
+                    for job in batch:
+                        run = run_job_inline(job, execute)
+                        on_result(job, run)
+                        emit(job.point, job.workload, job.isa,
+                             "failed" if run.error else "ok",
+                             run.wall_seconds)
+
+        # Fidelity guard: re-execute the cheapest replayed cell with full
+        # functional semantics and compare statistics.  Replay is
+        # bit-identical by construction; this catches the construction
+        # being wrong (stale store contents, a semantics change that
+        # escaped the source stamp, trace corruption past the magic).
+        if verify_replay and replay_runs:
+            job, run = min(replay_runs, key=lambda jr: jr[1].wall_seconds)
+            results.verified_cell = f"{job.point}:{job.workload}/{job.isa}"
+            check = run_job_inline(replace(job, execution="execute"))
+            if _replay_differs(run, check):
+                results.replay_drift = 1
+                warnings.warn(
+                    f"trace replay drift at {results.verified_cell}: "
+                    "replayed statistics disagree with functional "
+                    "re-execution; clear the trace store",
+                    stacklevel=2,
+                )
 
         results.points = [point_results[p.point_id] for p in points
                           if p.point_id in point_results]
@@ -485,3 +591,47 @@ def run_sweep(
 def _job_fp(job: Job) -> str:
     return job_fingerprint(job.config, job.workload, job.isa, job.scale,
                            job.seed)
+
+
+def _plan_trace_phases(cells: Sequence[Job],
+                       store: TraceStore) -> "List[List[Job]]":
+    """Split sweep cells into (captures, remainder) around the trace store.
+
+    Cells sharing a (workload, isa, functional fingerprint) share one
+    dynamic instruction stream; for each such group without a stored
+    trace, exactly one cell goes into the capture batch and the rest wait
+    behind the barrier so they replay it.
+    """
+    groups: "Dict[str, List[Job]]" = {}
+    order: List[str] = []
+    for job in cells:
+        fp = trace_fingerprint(job.config, job.workload, job.isa,
+                               job.scale, job.seed)
+        if fp not in groups:
+            groups[fp] = []
+            order.append(fp)
+        groups[fp].append(job)
+    captures: List[Job] = []
+    rest: List[Job] = []
+    for fp in order:
+        members = groups[fp]
+        if store.has(fp):
+            rest.extend(members)
+        else:
+            captures.append(members[0])
+            rest.extend(members[1:])
+    return [captures, rest]
+
+
+def _replay_differs(replayed: WorkloadRun, executed: "object") -> bool:
+    """True when a replayed run's results diverge from re-execution."""
+    if getattr(executed, "error", None):
+        return True
+    return not (
+        replayed.verified == executed.verified  # type: ignore[attr-defined]
+        and replayed.total.to_payload() == executed.total.to_payload()  # type: ignore[attr-defined]
+        and [s.to_payload() for s in replayed.per_dispatch]
+        == [s.to_payload() for s in executed.per_dispatch]  # type: ignore[attr-defined]
+        and replayed.data_footprint_bytes
+        == executed.data_footprint_bytes  # type: ignore[attr-defined]
+    )

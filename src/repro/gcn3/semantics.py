@@ -47,6 +47,12 @@ _CVT_DST = {"u32": np.uint32, "i32": np.int32,
 class Gcn3WfState:
     """Architectural state of one GCN3 wavefront."""
 
+    #: ISA discriminator shared with HsailWfState and ReplayCursor (see
+    #: there); the ExecResult fields filled by Gcn3Executor — EXEC
+    #: popcounts, s_branch targets, coalesced memory lines — are the
+    #: trace-capture contract of timing/replay.py.
+    is_gcn3 = True
+
     kernel: Gcn3Kernel
     ctx: DispatchContext
     vgpr: np.ndarray = field(default=None)  # type: ignore[assignment]

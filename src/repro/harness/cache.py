@@ -88,6 +88,39 @@ def job_fingerprint(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def trace_fingerprint(
+    config: GpuConfig,
+    workload: str,
+    isa: str,
+    scale: float,
+    seed: int,
+) -> str:
+    """The trace-store key for one workload's dynamic instruction stream.
+
+    Unlike :func:`job_fingerprint` this folds in only the *functional*
+    half of the configuration: every timing-only config (cache geometry,
+    VRF banks, latencies, CU count) produces the same stream and therefore
+    shares one captured trace — which is exactly what lets a timing sweep
+    capture once and replay everywhere.
+    """
+    from ..timing.replay import TRACE_FORMAT_VERSION
+
+    canonical = json.dumps(
+        {
+            "functional": config.functional_fingerprint(),
+            "workload": workload,
+            "isa": isa,
+            "scale": scale,
+            "seed": seed,
+            "source": source_tree_stamp(),
+            "format": TRACE_FORMAT_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def cache_disabled_by_env() -> bool:
     return bool(os.environ.get("REPRO_NO_CACHE"))
 
@@ -252,6 +285,115 @@ class ResultCache:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}
+
+
+class TraceStore:
+    """One directory of ``<fingerprint>.trace`` execution-trace blobs.
+
+    The store holds :class:`~repro.timing.replay.ExecTrace` captures keyed
+    by :func:`trace_fingerprint` and shares :class:`ResultCache`'s
+    best-effort contract: corrupt or truncated entries read as misses and
+    are discarded so the next capture rewrites them, and write failures
+    degrade to "re-capture next time", never to an error.  Pool workers
+    of a sweep all point at the same directory, so whichever worker
+    captures first publishes the trace for every other point.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = (
+            Path(directory) if directory else Path(default_cache_dir()) / "traces"
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.trace"
+
+    def has(self, fingerprint: str) -> bool:
+        """Cheap existence probe (no parse) for sweep capture planning."""
+        try:
+            return self._path(fingerprint).is_file()
+        except OSError:
+            return False
+
+    def get(self, fingerprint: str) -> "Optional[object]":
+        """The stored trace, or ``None`` on any miss (corrupt → discard)."""
+        from ..timing.replay import ExecTrace, TraceError
+
+        path = self._path(fingerprint)
+        try:
+            blob = path.read_bytes()
+            trace = ExecTrace.from_bytes(blob)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, TraceError, ValueError) as exc:
+            self.misses += 1
+            self._discard(path, reason=f"{type(exc).__name__}: {exc}")
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, fingerprint: str, trace: "object") -> bool:
+        """Persist ``trace``; returns False (and stays silent) on failure."""
+        try:
+            blob = trace.to_bytes()  # type: ignore[attr-defined]
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".trace", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp_name, self._path(fingerprint))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def _discard(self, path: Path, reason: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every trace; returns how many files were removed."""
+        removed = 0
+        try:
+            entries = list(self.directory.glob("*.trace"))
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def resolve_trace_store(trace_dir: Optional[str]) -> Optional[TraceStore]:
+    """The trace store replay should use, honouring env overrides.
+
+    An explicit ``trace_dir`` always wins; with none given the store lives
+    under the result-cache directory (``<cache-dir>/traces``) and is
+    disabled together with it by ``REPRO_NO_CACHE`` — replay degrades to
+    plain execution rather than failing.
+    """
+    if trace_dir is not None:
+        return TraceStore(trace_dir)
+    if cache_disabled_by_env():
+        return None
+    return TraceStore()
 
 
 def resolve_cache(

@@ -53,6 +53,12 @@ class Job:
     #: id so cells of *different* configs for the same (workload, isa)
     #: stop colliding in the result mapping.
     point: str = ""
+    #: execution mode (see :data:`repro.harness.runner.EXECUTION_MODES`);
+    #: "execute" reproduces the pre-replay behaviour exactly.
+    execution: str = "execute"
+    #: trace-store directory for capture/replay modes; ``None`` uses the
+    #: default store under the cache directory.
+    trace_dir: Optional[str] = None
 
     @property
     def key(self) -> "Tuple[str, ...]":
@@ -102,11 +108,16 @@ def execute_job(job: Job) -> "Dict[str, object]":
     lazily to keep worker start-up (and the parallel<->runner import
     cycle) cheap.
     """
+    from .cache import resolve_trace_store
     from .runner import run_workload
 
+    store = (
+        resolve_trace_store(job.trace_dir) if job.execution != "execute" else None
+    )
     run = run_workload(
         job.workload, job.isa, scale=job.scale, config=job.config,
         seed=job.seed, trace=job.trace,
+        execution=job.execution, trace_store=store,
     )
     return run.to_payload()
 

@@ -41,11 +41,21 @@ Schema (``repro-bench/1``)::
         "cells": [{"workload": …, "isa": …, "wall_seconds": …,
                    "speedup": 1.8, "regression": false}],
         "geomean_speedup": 1.83, "regressions": []
+      },
+      "sweep": {                       # only with a trace-replay sweep bench
+        "axis": "l1d.size_bytes=8k,…", "points": 16, "repeats": 2,
+        "execute_wall_seconds": 120.0, "replay_wall_seconds": 45.0,
+        "speedup": 2.67, "captures": 6, "replays": 90,
+        "replay_drift": 0, "cells_identical": true
       }
     }
 
 Geomeans are taken over per-cell wall seconds (resp. speedups), the
 standard summary for a suite whose cells span two orders of magnitude.
+The ``sweep`` section (:func:`bench_sweep`) times the *same* timing-only
+sweep twice — execute-at-issue vs trace replay — so the headline
+perf-opt number of the replay subsystem is reproducible from one
+command.
 """
 
 from __future__ import annotations
@@ -66,7 +76,7 @@ from ..common.errors import ReproError
 SCHEMA = "repro-bench/1"
 
 #: Default output name for this PR's trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR4.json"
+DEFAULT_OUTPUT = "BENCH_PR5.json"
 
 
 class BenchError(ReproError):
@@ -114,6 +124,8 @@ class BenchReport:
     cells: List[BenchCell] = field(default_factory=list)
     baseline: Optional[Dict[str, object]] = None
     created_unix: int = 0
+    #: optional trace-replay sweep comparison (see :func:`bench_sweep`).
+    sweep: Optional[Dict[str, object]] = None
 
     @property
     def total_wall_seconds(self) -> float:
@@ -154,6 +166,8 @@ class BenchReport:
         }
         if self.baseline is not None:
             doc["baseline"] = self.baseline
+        if self.sweep is not None:
+            doc["sweep"] = self.sweep
         return doc
 
 
@@ -164,12 +178,23 @@ def _geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in positives) / len(positives))
 
 
+def normalize_rss_kb(raw_maxrss: int, platform_name: str) -> int:
+    """Normalize a raw ``ru_maxrss`` reading to KiB.
+
+    POSIX leaves the unit unspecified and the big two disagree: Linux
+    (and the BSDs other than macOS) report KiB, macOS reports *bytes*.
+    Pure so both branches are testable off-platform.
+    """
+    if platform_name == "darwin":
+        return int(raw_maxrss) // 1024
+    return int(raw_maxrss)
+
+
 def _peak_rss_kb() -> int:
-    """Process peak RSS in KB (ru_maxrss is KB on Linux, bytes on macOS)."""
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":
-        peak //= 1024
-    return int(peak)
+    """This process's peak RSS in KiB, platform-normalized."""
+    return normalize_rss_kb(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss, sys.platform
+    )
 
 
 ProgressFn = Optional[object]  # Callable[[str], None], kept loose for the CLI
@@ -181,13 +206,21 @@ def run_bench(
     seed: int = 7,
     config: Optional[GpuConfig] = None,
     repeats: int = 1,
-    label: str = "PR4",
+    label: str = "PR5",
     progress=None,
+    profile_dir: Optional[str] = None,
 ) -> BenchReport:
     """Time every (workload x ISA) cell; best-of-``repeats`` per cell.
 
     Caches are bypassed unconditionally — the point is to time the
     simulator, and a warm disk cache would short-circuit it.
+
+    With ``profile_dir`` set, every repeat runs under :mod:`cProfile`
+    and the last repeat's stats are dumped to
+    ``<profile_dir>/<workload>_<isa>.prof`` (loadable with
+    :mod:`pstats` or snakeviz).  Profiling adds interpreter overhead, so
+    a profiled report's wall numbers are for relative reading only —
+    never commit one as a trajectory point.
     """
     from ..workloads import all_workloads
     from .runner import ISAS, run_workload
@@ -196,6 +229,8 @@ def run_bench(
         raise BenchError(f"repeats must be >= 1, got {repeats}")
     config = config or paper_config()
     names = list(workloads) if workloads else [w.name for w in all_workloads()]
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
     report = BenchReport(
         label=label, scale=scale, seed=seed, repeats=repeats,
         config_fingerprint=config.fingerprint(),
@@ -205,8 +240,21 @@ def run_bench(
         for isa in ISAS:
             best = None
             for _ in range(repeats):
-                run = run_workload(name, isa, scale=scale, config=config,
-                                   seed=seed)
+                if profile_dir is not None:
+                    import cProfile
+
+                    profiler = cProfile.Profile()
+                    profiler.enable()
+                    try:
+                        run = run_workload(name, isa, scale=scale,
+                                           config=config, seed=seed)
+                    finally:
+                        profiler.disable()
+                    profiler.dump_stats(
+                        os.path.join(profile_dir, f"{name}_{isa}.prof"))
+                else:
+                    run = run_workload(name, isa, scale=scale, config=config,
+                                       seed=seed)
                 if best is None or run.wall_seconds < best.wall_seconds:
                     best = run
             assert best is not None
@@ -224,6 +272,125 @@ def run_bench(
                 progress(f"bench {name}/{isa}: {cell.wall_seconds:.2f}s "
                          f"({cell.cycles_per_second:,.0f} sim cycles/s)")
     return report
+
+
+def bench_sweep(
+    axis_spec: str,
+    workloads: Sequence[str],
+    isas: Optional[Sequence[str]] = None,
+    scale: float = 0.5,
+    seed: int = 7,
+    config: Optional[GpuConfig] = None,
+    jobs: int = 1,
+    repeats: int = 1,
+    progress=None,
+) -> Dict[str, object]:
+    """Time one timing-only sweep twice — execute-at-issue versus trace
+    replay — and return the comparison as a report ``"sweep"`` section.
+
+    Both passes run the identical sweep spec with the result disk cache
+    off and throwaway journal directories, so each pass simulates every
+    cell.  The replay pass starts from an *empty* trace store: its wall
+    time includes the one functional execution per workload x ISA that
+    seeds the store, which is the honest end-to-end cost a user pays on
+    a cold sweep.  The replay pass keeps ``verify_replay`` on, so the
+    reported speedup also pays for the drift guard's re-execution.
+
+    With ``repeats`` > 1, the execute/replay pass pair runs that many
+    times and each side reports its *minimum* wall time (the standard
+    best-of noise discipline; every replay repeat starts from a fresh
+    cold store, so no repeat gets a warm-store advantage).  The
+    statistical guards — per-cell identity and the in-sweep drift
+    check — must hold on every repeat, not just the fastest one.
+    """
+    import shutil
+    import tempfile
+
+    from ..explore.space import Axis
+    from ..explore.sweep import run_sweep
+    from .runner import ISAS, clear_suite_cache
+
+    if repeats < 1:
+        raise BenchError(f"sweep repeats must be >= 1, got {repeats}")
+    config = config or paper_config()
+    axis = Axis.parse(axis_spec)
+    isa_list = tuple(isas) if isas else ISAS
+    names = list(workloads)
+    execute_wall = replay_wall = float("inf")
+    replayed = None
+    drifted = False
+    drift_count = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        for rep in range(repeats):
+            common = dict(
+                base=config, workloads=names, isas=isa_list, scale=scale,
+                seed=seed, jobs=jobs, use_disk_cache=False,
+                sweeps_dir=os.path.join(tmp, f"sweeps{rep}"),
+                progress=progress,
+            )
+            trace_dir = os.path.join(tmp, f"traces{rep}")
+            clear_suite_cache()
+            start = time.monotonic()
+            executed = run_sweep([axis], execution="execute", **common)
+            execute_wall = min(execute_wall, time.monotonic() - start)
+            clear_suite_cache()
+            start = time.monotonic()
+            rep_res = run_sweep([axis], execution="auto",
+                                trace_dir=trace_dir,
+                                verify_replay=True, **common)
+            wall = time.monotonic() - start
+            for label, res in (("execute", executed), ("replay", rep_res)):
+                if res.failed_points:
+                    first = res.failed_points[0]
+                    raise BenchError(
+                        f"sweep bench {label} pass failed at point "
+                        f"{first.point.point_id}: {first.error}")
+            drifted = drifted or _sweep_stats_differ(executed, rep_res)
+            drift_count += rep_res.replay_drift
+            if replayed is None or wall < replay_wall:
+                replay_wall, replayed = wall, rep_res
+            shutil.rmtree(trace_dir, ignore_errors=True)
+    return {
+        "axis": axis.describe(),
+        "points": len(replayed.points),
+        "workloads": names,
+        "isas": list(isa_list),
+        "scale": scale,
+        "seed": seed,
+        "jobs": jobs,
+        "repeats": repeats,
+        "execute_wall_seconds": round(execute_wall, 4),
+        "replay_wall_seconds": round(replay_wall, 4),
+        "speedup": round(execute_wall / max(replay_wall, 1e-9), 3),
+        "captures": replayed.captures,
+        "replays": replayed.replays,
+        "verified_cell": replayed.verified_cell,
+        "replay_drift": drift_count,
+        "cells_identical": not drifted,
+    }
+
+
+def _sweep_stats_differ(executed: object, replayed: object) -> bool:
+    """True when the two passes' statistics differ anywhere.
+
+    Belt and braces on top of the in-sweep drift guard: compares every
+    cell of both sweeps, not one sampled cell.
+    """
+    exec_points = executed.points  # type: ignore[attr-defined]
+    replay_points = replayed.points  # type: ignore[attr-defined]
+    if len(exec_points) != len(replay_points):
+        return True
+    for ep, rp in zip(exec_points, replay_points):
+        if set(ep.runs) != set(rp.runs):
+            return True
+        for key, erun in ep.runs.items():
+            rrun = rp.runs[key]
+            if (erun.verified != rrun.verified
+                    or erun.total.to_payload() != rrun.total.to_payload()
+                    or [s.to_payload() for s in erun.per_dispatch]
+                    != [s.to_payload() for s in rrun.per_dispatch]):
+                return True
+    return False
 
 
 # ---------------------------------------------------------------------------
@@ -377,4 +544,12 @@ def render_text(report: BenchReport) -> str:
             f"vs {report.baseline['path']}: geomean speedup "
             f"{report.baseline['geomean_speedup']}x, "
             f"{len(report.baseline['regressions'])} regression(s)")  # type: ignore[arg-type]
+    if report.sweep is not None:
+        sw = report.sweep
+        lines.append(
+            f"sweep replay [{sw['axis']}]: {sw['points']} points, "
+            f"execute {sw['execute_wall_seconds']}s vs replay "
+            f"{sw['replay_wall_seconds']}s = {sw['speedup']}x "
+            f"({sw['captures']} capture(s), {sw['replays']} replay(s), "
+            f"drift={sw['replay_drift']})")
     return "\n".join(lines)

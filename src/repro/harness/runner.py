@@ -19,15 +19,31 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.config import GpuConfig, paper_config
+from ..common.errors import ReproError
 from ..common.stats import StatSet, merge_all
 from ..obs.trace import TraceBus, TraceConfig, TraceData
 from ..runtime.process import GpuProcess
 from ..timing.gpu import Gpu
+from ..timing.replay import ExecTrace, TraceRecorder
 from ..workloads import all_workloads, create
-from .cache import ResultCache, job_fingerprint, resolve_cache
+from .cache import (
+    ResultCache,
+    TraceStore,
+    job_fingerprint,
+    resolve_cache,
+    trace_fingerprint,
+)
 from .parallel import Job, JobEvent, ProgressFn, resolve_jobs, run_job_inline, run_jobs
 
 ISAS = ("hsail", "gcn3")
+
+#: How a cell obtains its dynamic instruction stream:
+#: ``execute`` runs full functional semantics at issue (the default),
+#: ``capture`` executes *and* records an :class:`ExecTrace`,
+#: ``replay`` drives the timing model from a stored trace,
+#: ``auto`` replays when the trace store has a capture and captures
+#: otherwise.
+EXECUTION_MODES = ("auto", "execute", "capture", "replay")
 
 
 @dataclass
@@ -52,6 +68,9 @@ class WorkloadRun:
     #: cycle-level event trace; only present when the run was requested
     #: with a :class:`repro.obs.TraceConfig`.
     trace: Optional[TraceData] = None
+    #: how this run's instruction stream was obtained — "execute",
+    #: "capture" (executed while recording a trace), or "replay".
+    execution: str = "execute"
 
     @property
     def failed(self) -> bool:
@@ -106,6 +125,7 @@ class WorkloadRun:
             "dispatches": len(self.per_dispatch),
             "wall_seconds": round(self.wall_seconds, 3),
             "error": self.error,
+            **({"execution": self.execution} if self.execution != "execute" else {}),
         }
 
     def to_payload(self) -> "Dict[str, object]":
@@ -130,9 +150,12 @@ class WorkloadRun:
             "error": self.error,
         }
         # Untraced payloads must stay byte-identical to the pre-trace
-        # format (the golden-stats files and disk cache depend on it).
+        # format (the golden-stats files and disk cache depend on it);
+        # same rule for plain executed runs and the execution key.
         if self.trace is not None:
             payload["trace"] = self.trace.to_payload()
+        if self.execution != "execute":
+            payload["execution"] = self.execution
         return payload
 
     @classmethod
@@ -161,6 +184,7 @@ class WorkloadRun:
                 if payload.get("trace") is not None
                 else None
             ),
+            execution=str(payload.get("execution", "execute")),
         )
 
 
@@ -211,20 +235,82 @@ def run_workload(
     config: Optional[GpuConfig] = None,
     seed: int = 7,
     trace: Optional[TraceConfig] = None,
+    execution: str = "execute",
+    trace_store: Optional[TraceStore] = None,
 ) -> WorkloadRun:
     """Simulate one workload under one ISA and collect all statistics.
 
     With ``trace`` set, a :class:`~repro.obs.TraceBus` rides along with
     the GPU and the returned run carries the recorded
     :class:`~repro.obs.TraceData`.
+
+    ``execution`` selects one of :data:`EXECUTION_MODES`.  ``capture``
+    executes normally while recording the dynamic instruction stream into
+    ``trace_store``; ``replay`` drives the timing model from the stored
+    stream instead of executing semantics — statistically bit-identical
+    and considerably faster, because functional execution, register
+    uniqueness probes, and result verification are all skipped (the
+    verification verdict and footprint metadata travel inside the trace).
+    ``auto`` replays when a trace exists and captures otherwise.
     """
+    if execution not in EXECUTION_MODES:
+        raise ReproError(
+            f"unknown execution mode {execution!r}; expected one of {EXECUTION_MODES}"
+        )
     config = config or paper_config()
+
+    mode = execution
+    exec_trace: Optional[ExecTrace] = None
+    fingerprint: Optional[str] = None
+    if mode != "execute" and trace_store is not None:
+        fingerprint = trace_fingerprint(config, name, isa, scale, seed)
+    if mode in ("auto", "replay"):
+        if fingerprint is not None:
+            exec_trace = trace_store.get(fingerprint)  # type: ignore[union-attr]
+        if exec_trace is not None:
+            mode = "replay"
+        elif mode == "replay":
+            raise ReproError(
+                f"no captured trace for {name}/{isa} scale={scale:g} seed={seed} "
+                f"(functional fingerprint {config.functional_fingerprint()}); "
+                "run with execution='capture' or 'auto' first"
+            )
+        else:
+            mode = "capture" if trace_store is not None else "execute"
+
+    bus = TraceBus(trace) if trace is not None else None
+
+    if mode == "replay":
+        process = _replay_process(name, isa, scale, seed)
+        start = time.time()
+        gpu = Gpu(config, process, trace=bus, replay=exec_trace)
+        per_dispatch = gpu.run_all()
+        wall = time.time() - start
+        meta = exec_trace.meta  # type: ignore[union-attr]
+        kernel_bytes = {str(k): int(v)
+                        for k, v in meta["kernel_code_bytes"].items()}
+        return WorkloadRun(
+            workload=name,
+            isa=isa,
+            verified=bool(meta["verified"]),
+            total=merge_all(per_dispatch),
+            per_dispatch=per_dispatch,
+            dispatch_kernel_names=[d.kernel.name for d in process.dispatches],
+            data_footprint_bytes=int(meta["data_footprint_bytes"]),
+            instr_footprint_bytes=sum(kernel_bytes.values()),
+            static_instructions=int(meta["static_instructions"]),
+            kernel_code_bytes=kernel_bytes,
+            wall_seconds=wall,
+            trace=bus.data() if bus is not None else None,
+            execution="replay",
+        )
+
+    recorder = TraceRecorder() if mode == "capture" else None
     workload = create(name, scale=scale, seed=seed)
     process = GpuProcess(isa, memory_capacity=1 << 25)
-    bus = TraceBus(trace) if trace is not None else None
     start = time.time()
     workload.stage(process, isa)
-    gpu = Gpu(config, process, trace=bus)
+    gpu = Gpu(config, process, trace=bus, recorder=recorder)
     per_dispatch = gpu.run_all()
     verified = workload.verify(process)
     wall = time.time() - start
@@ -236,6 +322,21 @@ def run_workload(
         kernel = dual.for_isa(isa)
         kernel_bytes[kname] = kernel.code_bytes
         static_instrs += kernel.static_instructions
+    data_footprint = process.data_footprint_bytes
+    if recorder is not None:
+        captured = recorder.finish({
+            "workload": name,
+            "isa": isa,
+            "scale": scale,
+            "seed": seed,
+            "functional_fingerprint": config.functional_fingerprint(),
+            "verified": verified,
+            "data_footprint_bytes": data_footprint,
+            "static_instructions": static_instrs,
+            "kernel_code_bytes": dict(kernel_bytes),
+        })
+        if trace_store is not None and fingerprint is not None:
+            trace_store.put(fingerprint, captured)
     return WorkloadRun(
         workload=name,
         isa=isa,
@@ -243,13 +344,49 @@ def run_workload(
         total=total,
         per_dispatch=per_dispatch,
         dispatch_kernel_names=[d.kernel.name for d in process.dispatches],
-        data_footprint_bytes=process.data_footprint_bytes,
+        data_footprint_bytes=data_footprint,
         instr_footprint_bytes=sum(kernel_bytes.values()),
         static_instructions=static_instrs,
         kernel_code_bytes=kernel_bytes,
         wall_seconds=wall,
         trace=bus.data() if bus is not None else None,
+        execution=mode,
     )
+
+
+#: Staged processes reused across replay runs, keyed by
+#: (workload, isa, scale, seed).  Replay never writes simulated memory
+#: (there is no functional execution), so the expensive part of a cell —
+#: input generation, code loading, dispatch staging — can be paid once
+#: per worker process and re-armed for every timing config replayed
+#: after it.  The backing numpy buffer is lazily committed, so an entry
+#: costs roughly its staged working set, not its address-space capacity.
+_REPLAY_STAGING: Dict[Tuple[str, str, float, int], GpuProcess] = {}
+
+
+def _replay_process(name: str, isa: str, scale: float, seed: int) -> GpuProcess:
+    key = (name, isa, scale, seed)
+    process = _REPLAY_STAGING.get(key)
+    if process is not None and _rearm(process):
+        return process
+    workload = create(name, scale=scale, seed=seed)
+    process = GpuProcess(isa, memory_capacity=1 << 25)
+    workload.stage(process, isa)
+    _REPLAY_STAGING[key] = process
+    return process
+
+
+def _rearm(process: GpuProcess) -> bool:
+    """Reset a consumed process's queue and signals for another replay."""
+    queue = process.queue
+    if queue.write_index > queue.capacity:
+        # The packet ring wrapped during staging; earlier packets were
+        # overwritten and cannot be re-consumed.  Stage fresh instead.
+        return False
+    queue.read_index = 0
+    for dispatch in process.dispatches:
+        dispatch.signal.set(1)
+    return True
 
 
 #: In-process memo of full suite results.  Keyed by the config
@@ -259,8 +396,10 @@ _SUITE_CACHE: Dict[Tuple[str, float, int, Tuple[str, ...]], SuiteResults] = {}
 
 
 def clear_suite_cache() -> None:
-    """Drop the in-process suite memo (test isolation helper)."""
+    """Drop the in-process memos — suite results *and* staged replay
+    processes (test isolation helper)."""
     _SUITE_CACHE.clear()
+    _REPLAY_STAGING.clear()
 
 
 def run_suite(
@@ -299,6 +438,8 @@ def _run_suite(
     job_timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
     trace: Optional[TraceConfig] = None,
+    execution: str = "execute",
+    trace_dir: Optional[str] = None,
 ) -> SuiteResults:
     """Run every workload under both ISAs.
 
@@ -322,12 +463,16 @@ def _run_suite(
         suites bypass both the in-process memo and the disk cache in both
         directions: a cached result carries no events, and traced results
         must not poison the cache for untraced callers.
+    :param execution: one of :data:`EXECUTION_MODES`; non-default modes
+        consult the trace store so cells replay captured instruction
+        streams instead of re-executing semantics.
+    :param trace_dir: trace-store directory (default ``<cache-dir>/traces``).
     """
     config = config or paper_config()
     names: Tuple[str, ...] = tuple(
         workloads if workloads is not None else [w.name for w in all_workloads()]
     )
-    mem_key = (config.fingerprint(), scale, seed, names)
+    mem_key = (config.fingerprint(), scale, seed, names, execution)
     if trace is not None:
         use_cache = False
         use_disk_cache = False
@@ -342,7 +487,8 @@ def _run_suite(
     )
 
     cells = [
-        Job(name, isa, scale, seed, config, trace=trace)
+        Job(name, isa, scale, seed, config, trace=trace,
+            execution=execution, trace_dir=trace_dir)
         for name in names for isa in ISAS
     ]
     total = len(cells)

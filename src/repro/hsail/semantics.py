@@ -48,6 +48,13 @@ class RsEntry:
 class HsailWfState:
     """Architectural state of one HSAIL wavefront."""
 
+    #: ISA discriminator shared with Gcn3WfState and ReplayCursor, so the
+    #: timing layer can branch without isinstance checks.  Every
+    #: ExecResult field the executor fills is part of the trace-capture
+    #: contract (timing/replay.py): reconvergence jumps, branch targets,
+    #: memory lines, active-lane counts must stay timing-invariant.
+    is_gcn3 = False
+
     kernel: HsailKernel
     ctx: DispatchContext
     regs: np.ndarray = field(default=None)  # type: ignore[assignment]

@@ -299,16 +299,29 @@ class ComputeUnit:
         # HSAIL reconvergence-stack handling: a pending-path switch is a
         # simulator-initiated jump that flushes the instruction buffer.
         # The stack-top test is inlined so the workgroup/executor lookup
-        # only happens when the PC actually sits on an RPC.
+        # only happens when the PC actually sits on an RPC.  Replay mode
+        # consumes the recorded jump instead (same firing point: first
+        # issue attempt after the previous instruction); capture mode
+        # records it before flushing.
         if not wf.is_gcn3:
-            rs = state.rs
-            if rs and state.pc == rs[-1].rpc:
-                executor = self.workgroups[wf.wg_key].executor
-                new_pc = executor.check_reconvergence(state)  # type: ignore[attr-defined]
+            cursor = wf.cursor
+            if cursor is not None:
+                new_pc = cursor.take_jump()
                 if new_pc is not None:
                     self._flush(wf, new_pc)
-                    # The refetch starts next cycle; keep the clock moving.
                     return False, self.events.now + 1
+            else:
+                rs = state.rs
+                if rs and state.pc == rs[-1].rpc:
+                    executor = self.workgroups[wf.wg_key].executor
+                    new_pc = executor.check_reconvergence(state)  # type: ignore[attr-defined]
+                    if new_pc is not None:
+                        if wf.capture is not None:
+                            wf.capture.jump(new_pc)
+                        self._flush(wf, new_pc)
+                        # The refetch starts next cycle; keep the clock
+                        # moving.
+                        return False, self.events.now + 1
 
         ib = wf.ib
         if not ib:
@@ -440,22 +453,38 @@ class ComputeUnit:
         # count per slot is the probe's cost, and the ratio converges
         # quickly.  The mask is captured before execution for both probes.
         sample = (wf.instr_counter & 3) == 0
-        if sample and (read_slots or write_slots):
-            mask = state.exec_bool() if wf.is_gcn3 else state.mask_array()
-            active = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+        cursor = wf.cursor
+        if cursor is not None:
+            # --- trace replay: the recorded outcome stands in for the
+            # functional execution (and for the register-reading probes,
+            # whose sampled counts were stored at capture time).
+            result: ExecResult = cursor.advance(pc, sample, read_slots,
+                                                write_slots, stats)
         else:
-            mask = None
-            active = 0
-        if sample and read_slots:
-            vrf.probe_uniqueness(wf.regs, read_slots, mask, is_write=False,
-                                 active=active)
+            if sample and (read_slots or write_slots):
+                mask = state.exec_bool() if wf.is_gcn3 else state.mask_array()
+                active = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+            else:
+                mask = None
+                active = 0
+            stream = wf.capture
+            read_uniques = write_uniques = None
+            if sample and read_slots:
+                read_uniques = vrf.probe_uniqueness(
+                    wf.regs, read_slots, mask, is_write=False, active=active,
+                    collect=stream is not None)
 
-        # --- functional execution (execute-at-issue) ---
-        result: ExecResult = record.executor.execute(state)  # type: ignore[attr-defined]
+            # --- functional execution (execute-at-issue) ---
+            result = record.executor.execute(state)  # type: ignore[attr-defined]
 
-        if sample and write_slots:
-            vrf.probe_uniqueness(wf.regs, write_slots, mask, is_write=True,
-                                 active=active)
+            if sample and write_slots:
+                write_uniques = vrf.probe_uniqueness(
+                    wf.regs, write_slots, mask, is_write=True, active=active,
+                    collect=stream is not None)
+            if stream is not None:
+                stream.record(pc, result,
+                              sample and bool(read_slots or write_slots),
+                              active, read_uniques, write_uniques)
 
         if desc.unit == UNIT_SIMD:
             stats.simd_utilization.add(result.active_lanes, 64)

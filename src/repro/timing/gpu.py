@@ -31,6 +31,7 @@ from ..runtime.process import Dispatch, GpuProcess
 from .caches import MemorySystem
 from .cu import NEVER_WAKE, ComputeUnit, WorkgroupRecord
 from .registerfile import VrfModel
+from .replay import ExecTrace, TraceRecorder
 from .wavefront import TimingWavefront
 
 #: Command-processor overhead before the first workgroup of a dispatch.
@@ -41,12 +42,22 @@ class Gpu:
     """A full GPU instance bound to one process."""
 
     def __init__(self, config: GpuConfig, process: GpuProcess,
-                 trace: Optional[TraceBus] = None) -> None:
+                 trace: Optional[TraceBus] = None,
+                 recorder: "Optional[TraceRecorder]" = None,
+                 replay: "Optional[ExecTrace]" = None) -> None:
+        if recorder is not None and replay is not None:
+            raise TimingError("cannot capture and replay in the same run")
         self.config = config
         self.process = process
         #: observability bus; ``None`` (the default) keeps every
         #: instrumentation point on the zero-overhead no-trace path.
         self.trace = trace
+        #: trace capture sink — execute-at-issue runs record each
+        #: wavefront's functional outcomes into it (see timing/replay.py).
+        self.recorder = recorder
+        #: recorded trace to replay — wavefronts get a ReplayCursor
+        #: instead of a functional state, and no executor is built.
+        self.replay = replay
         self.events = EventQueue()
         self.memsys = MemorySystem(config)
         self.memsys.trace = trace
@@ -212,20 +223,32 @@ class Gpu:
         sgprs: int,
         lds_bytes: int,
     ) -> None:
-        lds = np.zeros(max(lds_bytes, 4), dtype=np.uint8)
-        if dispatch.is_gcn3:
-            executor: object = Gcn3Executor(self.process.memory, lds)
+        replay = self.replay
+        recorder = self.recorder
+        if replay is not None:
+            # Replay never executes semantics: no LDS image, no executor,
+            # no functional register state — each wavefront walks its
+            # recorded stream through the same issue machinery.
+            executor: object = None
         else:
-            executor = HsailExecutor(self.process.memory, lds)
+            lds = np.zeros(max(lds_bytes, 4), dtype=np.uint8)
+            if dispatch.is_gcn3:
+                executor = Gcn3Executor(self.process.memory, lds)
+            else:
+                executor = HsailExecutor(self.process.memory, lds)
         wg_key = (dispatch_id, wg_index)
         wavefronts = []
         wg_id = dispatch.workgroup_id(wg_index)
         for wf_index in range(num_wfs):
-            ctx = dispatch.make_context(wg_id, wf_index, lds_base_offset=0)
-            if dispatch.is_gcn3:
-                state: object = Gcn3WfState(dispatch.kernel, ctx)
+            if replay is not None:
+                state: object = replay.cursor(
+                    self._wf_counter, dispatch.kernel, dispatch.is_gcn3)
             else:
-                state = HsailWfState(dispatch.kernel, ctx)
+                ctx = dispatch.make_context(wg_id, wf_index, lds_base_offset=0)
+                if dispatch.is_gcn3:
+                    state = Gcn3WfState(dispatch.kernel, ctx)
+                else:
+                    state = HsailWfState(dispatch.kernel, ctx)
             wf = TimingWavefront(
                 wf_id=self._wf_counter,
                 simd_id=0,
@@ -233,6 +256,8 @@ class Gpu:
                 state=state,  # type: ignore[arg-type]
                 code_base=dispatch.loaded.code_base,
                 ib_capacity=self.config.cu.ib_entries,
+                capture=(recorder.stream(self._wf_counter)
+                         if recorder is not None else None),
             )
             self._wf_counter += 1
             wavefronts.append(wf)

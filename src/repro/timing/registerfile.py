@@ -185,17 +185,22 @@ class VrfModel:
         mask: np.ndarray,
         is_write: bool,
         active: Optional[int] = None,
-    ) -> None:
+        collect: bool = False,
+    ) -> "Optional[List[int]]":
         """Record |unique|/|active| for each accessed VRF slot.
 
         ``active`` may be supplied by callers that already know the
-        popcount of ``mask`` (the CU passes the EXEC popcount).
+        popcount of ``mask`` (the CU passes the EXEC popcount).  With
+        ``collect`` set, the per-slot unique counts are also returned so
+        a trace capture can store them — the probe reads live register
+        values, which a replay cannot reconstruct.
         """
         if active is None:
             active = int(mask.sum())
         if active == 0 or not slots:
-            return
+            return [] if collect else None
         probe = self.stats.write_uniqueness if is_write else self.stats.read_uniqueness
+        out: Optional[List[int]] = [] if collect else None
         full = active == mask.shape[0]
         for slot in slots:
             # With every lane active the boolean gather is the identity;
@@ -205,3 +210,6 @@ class VrfModel:
             # count (same ==-based dedup) without the O(n log n) sort.
             unique = len(set(values.tolist()))
             probe.add(unique, active)
+            if out is not None:
+                out.append(unique)
+        return out

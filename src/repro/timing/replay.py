@@ -1,0 +1,433 @@
+"""Functional fast-forward: capture the dynamic instruction stream once,
+replay it under any timing-only configuration.
+
+The cycle model executes-at-issue: every dynamic instruction runs its
+full HSAIL/GCN3 semantics the moment the CU issues it.  But the *stream*
+— which instruction issues, which lanes are active, which memory lines it
+touches, where branches go — is a property of the program and its input,
+not of the timing axes (cache geometry, VRF banks, latencies, CU count)
+that :mod:`repro.explore` sweeps over.  This module separates the two:
+
+* :class:`TraceRecorder` rides along with an execute-at-issue run and
+  records, per wavefront, the minimal timing-relevant outcome of every
+  functional execution into compact :mod:`array`-backed streams.
+* :class:`ExecTrace` is the recorded artifact: per-wavefront streams plus
+  metadata, with a binary serialization for the on-disk trace store
+  (:class:`repro.harness.cache.TraceStore`).
+* :class:`ReplayCursor` stands in for a functional wavefront state: the
+  CU's issue machinery reads the next record instead of calling
+  ``executor.execute``, reproducing bit-identical statistics without
+  touching registers or memory.
+
+What must be recorded (everything else the timing model derives from the
+static predecoded :class:`~repro.timing.predecode.IssueDesc` tables):
+
+* the per-instruction :class:`~repro.common.exec_types.ExecResult`
+  fields the CU consumes — memory kind and line list, branch target,
+  wavefront end, barrier, active-lane count;
+* HSAIL reconvergence-stack *jumps* (simulator-initiated PC changes that
+  flush the instruction buffer **before** an issue);
+* the sampled VRF value-uniqueness probe outcomes, which read live
+  register values under the live EXEC mask and therefore cannot be
+  recomputed at replay time.
+
+Why wavefront identity is a safe stream key: the dispatcher places
+workgroups strictly in order (one per cycle from a FIFO) and numbers
+wavefronts with a global counter, so wavefront ``wf_id`` maps to the
+same (dispatch, workgroup, wavefront) triple under every timing
+configuration — only *where* and *when* it runs changes.
+
+Serialized traces are host-local cache artifacts (keyed by a source-tree
+stamp and the functional config fingerprint, see ``harness/cache.py``);
+the encoding uses native-endian :mod:`array` buffers and is not meant to
+move between machines.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import ReproError
+from ..common.exec_types import ExecResult, MemKind
+
+#: bump when the stream encoding changes; stored traces then read as
+#: misses instead of desynchronizing the replay.
+TRACE_FORMAT_VERSION = 1
+
+_MAGIC = b"RPROTRC1\n"
+
+# flag-byte layout of one instruction record
+_F_TAKEN = 1        # branch_taken was truthy
+_F_TARGET = 2       # control transferred: consume one entry of `targets`
+_F_ENDS = 4         # ends_wavefront
+_F_BARRIER = 8      # is_barrier
+_F_MEM_SHIFT = 4    # bits 4-6: MemKind index (0 = none)
+
+_MEM_KINDS: Tuple[str, ...] = (
+    MemKind.NONE,
+    MemKind.GLOBAL_LOAD,
+    MemKind.GLOBAL_STORE,
+    MemKind.SCALAR_LOAD,
+    MemKind.LDS_ACCESS,
+)
+_MEM_INDEX: Dict[str, int] = {kind: i for i, kind in enumerate(_MEM_KINDS)}
+
+#: (attribute name, array typecode) of every stream, in serialization order.
+_STREAM_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("code", "i"),          # pc of each instr record; jumps as -(pc + 1)
+    ("flags", "B"),         # one flag byte per *instruction* record
+    ("active", "B"),        # active-lane count per instruction record
+    ("targets", "i"),       # taken-branch / jump-free transfer targets
+    ("mem_counts", "H"),    # lines per memory access, in access order
+    ("mem_lines", "q"),     # flat 64B line addresses
+    ("probe_active", "B"),  # EXEC popcount per sampled probe point
+    ("probe_read", "B"),    # unique counts, one per sampled read slot
+    ("probe_write", "B"),   # unique counts, one per sampled write slot
+)
+
+
+class TraceError(ReproError):
+    """A trace could not be recorded, decoded, or replayed."""
+
+
+class WfStream:
+    """The recorded outcome streams of one wavefront.
+
+    ``code`` interleaves two record kinds: a value ``>= 0`` is an
+    instruction record (the PC it executed at) with one parallel entry
+    in ``flags``/``active``; a value ``< 0`` encodes a reconvergence
+    jump to PC ``-(value + 1)`` taken *before* the next instruction.
+    Variable-length payloads (branch targets, memory line lists, probe
+    outcomes) live in side streams consumed in order.
+    """
+
+    __slots__ = tuple(name for name, _tc in _STREAM_FIELDS)
+
+    def __init__(self) -> None:
+        for name, typecode in _STREAM_FIELDS:
+            setattr(self, name, array(typecode))
+
+    # -- capture -----------------------------------------------------------
+
+    def jump(self, new_pc: int) -> None:
+        """A simulator-initiated (HSAIL reconvergence) PC change."""
+        self.code.append(-(new_pc + 1))
+
+    def record(self, pc: int, result: ExecResult, probed: bool, active: int,
+               read_uniques: Optional[List[int]],
+               write_uniques: Optional[List[int]]) -> None:
+        """One issued instruction's functional outcome."""
+        flags = _MEM_INDEX[result.mem_kind] << _F_MEM_SHIFT
+        if result.branch_taken:
+            flags |= _F_TAKEN
+            if result.next_pc is not None:
+                flags |= _F_TARGET
+                self.targets.append(result.next_pc)
+        if result.ends_wavefront:
+            flags |= _F_ENDS
+        if result.is_barrier:
+            flags |= _F_BARRIER
+        self.code.append(pc)
+        self.flags.append(flags)
+        self.active.append(result.active_lanes)
+        if flags >> _F_MEM_SHIFT:
+            lines = result.mem_lines
+            self.mem_counts.append(len(lines))
+            self.mem_lines.extend(lines)
+        if probed:
+            self.probe_active.append(active)
+            if active:
+                if read_uniques:
+                    self.probe_read.extend(read_uniques)
+                if write_uniques:
+                    self.probe_write.extend(write_uniques)
+
+    def approx_bytes(self) -> int:
+        return sum(
+            len(getattr(self, name)) * getattr(self, name).itemsize
+            for name, _tc in _STREAM_FIELDS
+        )
+
+
+class TraceRecorder:
+    """Collects one :class:`WfStream` per wavefront during a capture run."""
+
+    def __init__(self) -> None:
+        self.streams: List[WfStream] = []
+
+    def stream(self, wf_id: int) -> WfStream:
+        """The stream for wavefront ``wf_id``.
+
+        Wavefront ids are assigned sequentially by the dispatcher, so
+        streams are created in id order; a gap means the recorder was
+        attached to the wrong GPU instance.
+        """
+        if wf_id != len(self.streams):
+            raise TraceError(
+                f"wavefront ids must be captured in order "
+                f"(got {wf_id}, expected {len(self.streams)})"
+            )
+        stream = WfStream()
+        self.streams.append(stream)
+        return stream
+
+    def finish(self, meta: "Dict[str, object]") -> "ExecTrace":
+        meta = dict(meta)
+        meta["format"] = TRACE_FORMAT_VERSION
+        meta["wavefronts"] = len(self.streams)
+        return ExecTrace(meta=meta, streams=self.streams)
+
+
+class ExecTrace:
+    """A captured functional trace: per-wavefront streams + metadata."""
+
+    __slots__ = ("meta", "streams")
+
+    def __init__(self, meta: "Dict[str, object]",
+                 streams: List[WfStream]) -> None:
+        self.meta = meta
+        self.streams = streams
+
+    @property
+    def verified(self) -> bool:
+        return bool(self.meta.get("verified"))
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(len(s.flags) for s in self.streams)
+
+    def approx_bytes(self) -> int:
+        return sum(s.approx_bytes() for s in self.streams)
+
+    def cursor(self, wf_id: int, kernel: object,
+               is_gcn3: bool) -> "ReplayCursor":
+        try:
+            stream = self.streams[wf_id]
+        except IndexError:
+            raise TraceError(
+                f"trace has {len(self.streams)} wavefronts, replay asked "
+                f"for wf {wf_id}: the capture ran a different dispatch "
+                f"sequence"
+            ) from None
+        return ReplayCursor(stream, kernel, is_gcn3)
+
+    # -- serialization -----------------------------------------------------
+    #
+    # Layout: MAGIC, 4-byte little-endian header length, JSON header
+    # ({"meta": ..., "streams": [[len per stream field ...], ...]}), then
+    # the raw array buffers of every stream in declaration order.
+
+    def to_bytes(self) -> bytes:
+        import json
+
+        header = {
+            "meta": self.meta,
+            "streams": [
+                [len(getattr(s, name)) for name, _tc in _STREAM_FIELDS]
+                for s in self.streams
+            ],
+        }
+        blob = json.dumps(header, sort_keys=True).encode("utf-8")
+        parts = [_MAGIC, len(blob).to_bytes(4, "little"), blob]
+        for stream in self.streams:
+            for name, _tc in _STREAM_FIELDS:
+                parts.append(getattr(stream, name).tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ExecTrace":
+        import json
+
+        if not data.startswith(_MAGIC):
+            raise TraceError("bad trace magic")
+        offset = len(_MAGIC)
+        if len(data) < offset + 4:
+            raise TraceError("truncated trace header length")
+        header_len = int.from_bytes(data[offset:offset + 4], "little")
+        offset += 4
+        try:
+            header = json.loads(data[offset:offset + header_len])
+        except ValueError as exc:
+            raise TraceError(f"corrupt trace header: {exc}") from exc
+        offset += header_len
+        meta = header.get("meta")
+        lengths = header.get("streams")
+        if not isinstance(meta, dict) or not isinstance(lengths, list):
+            raise TraceError("malformed trace header")
+        if meta.get("format") != TRACE_FORMAT_VERSION:
+            raise TraceError(f"trace format {meta.get('format')!r} != "
+                             f"{TRACE_FORMAT_VERSION}")
+        streams: List[WfStream] = []
+        for per_stream in lengths:
+            if (not isinstance(per_stream, list)
+                    or len(per_stream) != len(_STREAM_FIELDS)):
+                raise TraceError("malformed stream length table")
+            stream = WfStream()
+            for (name, typecode), count in zip(_STREAM_FIELDS, per_stream):
+                arr = array(typecode)
+                nbytes = int(count) * arr.itemsize
+                chunk = data[offset:offset + nbytes]
+                if len(chunk) != nbytes:
+                    raise TraceError(f"truncated trace stream {name!r}")
+                arr.frombytes(chunk)
+                offset += nbytes
+                setattr(stream, name, arr)
+            streams.append(stream)
+        if offset != len(data):
+            raise TraceError(f"{len(data) - offset} trailing bytes in trace")
+        return cls(meta=meta, streams=streams)
+
+
+class ReplayCursor:
+    """Drives one wavefront's issue path from a recorded stream.
+
+    A cursor stands where the functional :class:`HsailWfState` /
+    :class:`Gcn3WfState` normally sits on a :class:`TimingWavefront`: it
+    exposes the attributes the timing model reads (``pc``, ``done``,
+    ``kernel``) and advances them from the trace instead of executing.
+    The functional-only attributes are class-level ``None``/empty stand-
+    ins so the shared ``__post_init__``/scheduling code needs no special
+    cases beyond the capture/replay branch points in the CU.
+    """
+
+    __slots__ = (
+        "kernel", "pc", "done", "is_gcn3", "result",
+        "_code", "_flags", "_active", "_targets", "_mem_counts",
+        "_mem_lines", "_probe_active", "_probe_read", "_probe_write",
+        "_i_code", "_i_instr", "_i_target", "_i_mem", "_i_line",
+        "_i_probe", "_i_pread", "_i_pwrite",
+    )
+
+    # Functional state the timing model never touches on the replay
+    # branches; present so shared code paths stay attribute-safe.
+    rs = ()
+    regs = None
+    vgpr = None
+    exec_mask = 0
+
+    def __init__(self, stream: WfStream, kernel: object,
+                 is_gcn3: bool) -> None:
+        self.kernel = kernel
+        self.pc = 0
+        self.done = False
+        self.is_gcn3 = is_gcn3
+        #: one reusable result object; ``_issue`` consumes it synchronously.
+        self.result = ExecResult()
+        self._code = stream.code
+        self._flags = stream.flags
+        self._active = stream.active
+        self._targets = stream.targets
+        self._mem_counts = stream.mem_counts
+        self._mem_lines = stream.mem_lines
+        self._probe_active = stream.probe_active
+        self._probe_read = stream.probe_read
+        self._probe_write = stream.probe_write
+        self._i_code = 0
+        self._i_instr = 0
+        self._i_target = 0
+        self._i_mem = 0
+        self._i_line = 0
+        self._i_probe = 0
+        self._i_pread = 0
+        self._i_pwrite = 0
+
+    def take_jump(self) -> Optional[int]:
+        """Consume a pending reconvergence jump, if the next record is one.
+
+        Mirrors the execute-path ``check_reconvergence`` call site: the
+        jump fires on the wavefront's first issue attempt after the
+        preceding instruction, before any instruction-buffer checks.
+        """
+        i = self._i_code
+        code = self._code
+        if i < len(code) and code[i] < 0:
+            self._i_code = i + 1
+            new_pc = -code[i] - 1
+            self.pc = new_pc
+            return new_pc
+        return None
+
+    def advance(self, pc: int, sample: bool,
+                read_slots: Tuple[int, ...], write_slots: Tuple[int, ...],
+                stats: object) -> ExecResult:
+        """Consume the next instruction record; returns its ExecResult.
+
+        Replays the sampled uniqueness-probe outcomes straight into the
+        StatSet (the probes read live register values at capture time and
+        cannot be recomputed here), then reconstitutes the result fields
+        the CU consumes.  ``pc`` is the issue path's program counter —
+        a mismatch with the recorded stream means the trace belongs to a
+        different functional execution and the replay must abort rather
+        than produce silently wrong statistics.
+        """
+        i = self._i_code
+        try:
+            recorded_pc = self._code[i]
+        except IndexError:
+            raise TraceError(
+                f"replay ran past the end of a wavefront stream at pc {pc}"
+            ) from None
+        if recorded_pc != pc:
+            raise TraceError(
+                f"replay desynchronized: trace recorded pc {recorded_pc}, "
+                f"timing model issued pc {pc}"
+            )
+        self._i_code = i + 1
+        j = self._i_instr
+        self._i_instr = j + 1
+        flags = self._flags[j]
+
+        if sample and (read_slots or write_slots):
+            active = self._probe_active[self._i_probe]
+            self._i_probe += 1
+            if active:
+                if read_slots:
+                    probe = stats.read_uniqueness
+                    uniques = self._probe_read
+                    k = self._i_pread
+                    for _slot in read_slots:
+                        probe.add(uniques[k], active)
+                        k += 1
+                    self._i_pread = k
+                if write_slots:
+                    probe = stats.write_uniqueness
+                    uniques = self._probe_write
+                    k = self._i_pwrite
+                    for _slot in write_slots:
+                        probe.add(uniques[k], active)
+                        k += 1
+                    self._i_pwrite = k
+
+        result = self.result
+        result.active_lanes = self._active[j]
+        result.branch_taken = bool(flags & _F_TAKEN)
+        result.is_barrier = bool(flags & _F_BARRIER)
+
+        mem_index = flags >> _F_MEM_SHIFT
+        if mem_index:
+            result.mem_kind = _MEM_KINDS[mem_index]
+            count = self._mem_counts[self._i_mem]
+            self._i_mem += 1
+            start = self._i_line
+            self._i_line = start + count
+            result.mem_lines = self._mem_lines[start:self._i_line].tolist()
+        else:
+            result.mem_kind = MemKind.NONE
+            result.mem_lines = ()
+
+        if flags & _F_TARGET:
+            target = self._targets[self._i_target]
+            self._i_target += 1
+            result.next_pc = target
+            self.pc = target
+        else:
+            result.next_pc = None
+            self.pc = pc + 1
+
+        if flags & _F_ENDS:
+            result.ends_wavefront = True
+            self.done = True
+        else:
+            result.ends_wavefront = False
+        return result

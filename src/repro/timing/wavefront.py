@@ -19,8 +19,9 @@ from ..gcn3.semantics import Gcn3WfState
 from ..hsail.isa import HSAIL_INSTR_BYTES, HsailInstr, HsailKernel
 from ..hsail.semantics import HsailWfState
 from .predecode import IssueDesc, predecode_kernel
+from .replay import ReplayCursor, WfStream
 
-AnyState = Union[HsailWfState, Gcn3WfState]
+AnyState = Union[HsailWfState, Gcn3WfState, ReplayCursor]
 AnyInstr = Union[HsailInstr, Gcn3Instr]
 
 
@@ -55,23 +56,34 @@ class TimingWavefront:
     instr_counter: int = 0          # dynamic instructions, for reuse distance
     reuse_tracker: Dict[int, int] = field(default_factory=dict)
 
+    #: trace-capture stream (``None`` outside capture runs); the CU
+    #: appends one record per issued instruction / reconvergence jump.
+    capture: Optional[WfStream] = None
+
     # Derived, filled in by __post_init__ (static for the WF's lifetime
     # except fetch_want, which the owning CU keeps in sync).
     is_gcn3: bool = field(init=False, default=False)
     descs: Tuple[IssueDesc, ...] = field(init=False, default=())
     num_instrs: int = field(init=False, default=0)
     regs: object = field(init=False, default=None)  # VRF array view
+    #: the state as a :class:`ReplayCursor` when this wavefront replays a
+    #: recorded trace instead of executing; ``None`` in execute mode.
+    cursor: Optional[ReplayCursor] = field(init=False, default=None)
     #: True iff :meth:`wants_fetch` — maintained by the CU via
     #: ``_sync_fetch`` at every fetch/IB/done transition so the fetch
     #: arbiter can early-out on a per-CU candidate count.
     fetch_want: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
-        self.is_gcn3 = isinstance(self.state, Gcn3WfState)
-        kernel = self.state.kernel
+        state = self.state
+        self.is_gcn3 = state.is_gcn3
+        if isinstance(state, ReplayCursor):
+            self.cursor = state
+        else:
+            self.regs = state.vgpr if self.is_gcn3 else state.regs
+        kernel = state.kernel
         self.descs = predecode_kernel(kernel)
         self.num_instrs = len(kernel.instrs)
-        self.regs = self.state.vgpr if self.is_gcn3 else self.state.regs
         self.fetch_want = self.wants_fetch()
 
     @property

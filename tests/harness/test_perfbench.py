@@ -12,8 +12,11 @@ from repro.harness.perfbench import (
     BenchCell,
     BenchError,
     BenchReport,
+    bench_sweep,
     compare,
     load_report,
+    normalize_rss_kb,
+    render_text,
     run_bench,
     validate_schema,
     write_report,
@@ -129,6 +132,21 @@ class TestCompare:
         assert report.baseline["cycle_drift"] == []
 
 
+class TestNormalizeRss:
+    def test_linux_ru_maxrss_is_already_kib(self):
+        assert normalize_rss_kb(123_456, "linux") == 123_456
+
+    def test_darwin_ru_maxrss_is_bytes(self):
+        assert normalize_rss_kb(123_456 * 1024, "darwin") == 123_456
+        assert normalize_rss_kb(2047, "darwin") == 1  # floors, never rounds up
+
+    def test_other_platforms_pass_through(self):
+        assert normalize_rss_kb(42, "freebsd14") == 42
+
+    def test_accepts_non_int_raw(self):
+        assert normalize_rss_kb(1024.0, "linux") == 1024
+
+
 class TestRunBench:
     def test_rejects_bad_repeats(self):
         with pytest.raises(BenchError, match="repeats"):
@@ -146,3 +164,54 @@ class TestRunBench:
         path = str(tmp_path / "BENCH_smoke.json")
         write_report(report, path)
         assert load_report(path)["label"] == "smoke"
+
+    def test_profile_dir_dumps_per_cell_stats(self, tmp_path):
+        import pstats
+
+        from repro.common.config import small_config
+        profile_dir = tmp_path / "prof"
+        run_bench(workloads=["arraybw"], scale=0.1, config=small_config(2),
+                  label="prof", profile_dir=str(profile_dir))
+        dumps = sorted(p.name for p in profile_dir.glob("*.prof"))
+        assert dumps == ["arraybw_gcn3.prof", "arraybw_hsail.prof"]
+        stats = pstats.Stats(str(profile_dir / "arraybw_gcn3.prof"))
+        assert stats.total_calls > 0  # loadable, non-empty profile
+
+
+class TestBenchSweep:
+    def test_sweep_section_round_trips(self, tmp_path):
+        from repro.common.config import small_config
+        section = bench_sweep("l1d.size_bytes=8k,32k", ["arraybw"],
+                              scale=0.1, config=small_config(2))
+        # 2 points x 1 workload x 2 ISAs: one capture per ISA, rest replay
+        assert section["points"] == 2
+        assert section["captures"] == 2
+        assert section["replays"] == 2
+        assert section["replay_drift"] == 0
+        assert section["cells_identical"] is True
+        assert section["execute_wall_seconds"] > 0
+        assert section["replay_wall_seconds"] > 0
+        assert section["speedup"] > 0
+        report = make_report([make_cell()])
+        report.sweep = section
+        path = str(tmp_path / "BENCH_sweep.json")
+        write_report(report, path)
+        doc = load_report(path)
+        assert doc["sweep"]["captures"] == 2
+        assert "sweep replay" in render_text(report)
+
+    def test_best_of_repeats(self):
+        from repro.common.config import small_config
+        section = bench_sweep("l1d.size_bytes=8k,32k", ["arraybw"],
+                              isas=["gcn3"], scale=0.1,
+                              config=small_config(2), repeats=2)
+        # each repeat starts cold: one capture, one replay per pair
+        assert section["repeats"] == 2
+        assert section["captures"] == 1
+        assert section["replays"] == 1
+        assert section["replay_drift"] == 0
+        assert section["cells_identical"] is True
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(BenchError, match="repeats"):
+            bench_sweep("l1d.size_bytes=8k,32k", ["arraybw"], repeats=0)

@@ -1,0 +1,220 @@
+"""Trace store + capture/replay runner: fingerprints, recovery, identity."""
+
+import pytest
+
+from repro.common.config import small_config
+from repro.common.errors import ReproError
+from repro.harness.cache import (
+    TraceStore,
+    resolve_trace_store,
+    trace_fingerprint,
+)
+from repro.harness.runner import ISAS, clear_suite_cache, run_workload
+from repro.timing.replay import ExecTrace
+from repro.workloads import all_workloads
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TraceStore(tmp_path / "traces")
+
+
+def _capture(store, workload="arraybw", isa="gcn3", scale=0.1, config=None):
+    return run_workload(workload, isa, scale=scale,
+                        config=config or small_config(2),
+                        execution="capture", trace_store=store)
+
+
+def _strip(run):
+    """A run's payload minus the fields allowed to differ across modes."""
+    payload = run.to_payload()
+    payload.pop("wall_seconds", None)
+    payload.pop("execution", None)
+    return payload
+
+
+class TestTraceFingerprint:
+    def test_timing_only_axes_share_a_fingerprint(self):
+        base = small_config(2)
+        # cache geometry and VRF banking never change the dynamic stream
+        timing = base.with_overrides({"l1d.size_bytes": 1 << 17,
+                                      "cu.vrf_banks": 8})
+        a = trace_fingerprint(base, "arraybw", "gcn3", 0.1, 7)
+        b = trace_fingerprint(timing, "arraybw", "gcn3", 0.1, 7)
+        assert a == b
+
+    def test_functional_axes_split_fingerprints(self):
+        base = small_config(2)
+        narrow = base.with_overrides({"cu.simd_width": 8})
+        assert (trace_fingerprint(base, "arraybw", "gcn3", 0.1, 7)
+                != trace_fingerprint(narrow, "arraybw", "gcn3", 0.1, 7))
+
+    def test_workload_isa_scale_seed_all_matter(self):
+        cfg = small_config(2)
+        base = trace_fingerprint(cfg, "arraybw", "gcn3", 0.1, 7)
+        assert base != trace_fingerprint(cfg, "comd", "gcn3", 0.1, 7)
+        assert base != trace_fingerprint(cfg, "arraybw", "hsail", 0.1, 7)
+        assert base != trace_fingerprint(cfg, "arraybw", "gcn3", 0.2, 7)
+        assert base != trace_fingerprint(cfg, "arraybw", "gcn3", 0.1, 8)
+
+    def test_functional_vs_timing_fingerprint_split(self):
+        base = small_config(2)
+        timing = base.with_overrides({"l1d.size_bytes": 1 << 17})
+        assert base.functional_fingerprint() == timing.functional_fingerprint()
+        assert base.timing_fingerprint() != timing.timing_fingerprint()
+        assert base.fingerprint() != timing.fingerprint()
+
+    def test_fingerprint_is_memoized(self):
+        cfg = small_config(2)
+        assert cfg.fingerprint() is cfg.fingerprint()
+
+
+class TestTraceStore:
+    def test_roundtrip(self, store):
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        assert not store.has(fp)
+        assert store.get(fp) is None
+        _capture(store)
+        assert store.has(fp)
+        trace = store.get(fp)
+        assert isinstance(trace, ExecTrace)
+        assert trace.verified
+        assert trace.meta["workload"] == "arraybw"
+        assert store.stats()["hits"] == 1
+
+    def test_corrupt_trace_discarded_and_recaptured(self, store):
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        _capture(store)
+        path = store._path(fp)
+        path.write_bytes(b"not a trace at all")
+        assert store.get(fp) is None          # corrupt -> miss
+        assert not path.exists()              # and discarded
+        _capture(store)                       # self-heals
+        assert store.get(fp) is not None
+
+    def test_truncated_trace_is_a_miss(self, store):
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        _capture(store)
+        path = store._path(fp)
+        path.write_bytes(path.read_bytes()[:-16])   # torn write
+        assert store.get(fp) is None
+        assert not path.exists()
+
+    def test_clear(self, store):
+        _capture(store)
+        assert store.clear() == 1
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        assert not store.has(fp)
+
+    def test_unwritable_directory_degrades(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        broken = TraceStore(blocker / "traces")
+        run = _capture(broken)               # capture still succeeds
+        assert run.error is None and run.verified
+
+    def test_resolve_env_disable(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert resolve_trace_store(None) is None
+        # an explicit directory always wins over the env kill-switch
+        explicit = resolve_trace_store(str(tmp_path / "traces"))
+        assert isinstance(explicit, TraceStore)
+
+
+class TestCaptureReplayIdentity:
+    def test_full_matrix_bit_identity(self, store):
+        """Replay must be bit-identical to execute-at-issue on every
+        workload x ISA cell — every counter, ratio, and distribution."""
+        cfg = small_config(2)
+        clear_suite_cache()
+        for wl in all_workloads():
+            for isa in ISAS:
+                cap = run_workload(wl.name, isa, scale=0.1, config=cfg,
+                                   execution="capture", trace_store=store)
+                rep = run_workload(wl.name, isa, scale=0.1, config=cfg,
+                                   execution="replay", trace_store=store)
+                assert cap.execution == "capture"
+                assert rep.execution == "replay"
+                assert _strip(cap) == _strip(rep), f"{wl.name}/{isa}"
+
+    def test_distributions_survive_replay(self, store):
+        cap = _capture(store, workload="fft")
+        rep = run_workload("fft", "gcn3", scale=0.1, config=small_config(2),
+                           execution="replay", trace_store=store)
+        snap_c, snap_r = cap.total.snapshot(), rep.total.snapshot()
+        assert snap_c == snap_r
+        # the sampled VRF probes are replayed, not recomputed
+        assert (rep.total.read_uniqueness.numerator
+                == cap.total.read_uniqueness.numerator)
+
+    def test_replay_preserves_run_metadata(self, store):
+        cap = _capture(store)
+        rep = run_workload("arraybw", "gcn3", scale=0.1,
+                           config=small_config(2),
+                           execution="replay", trace_store=store)
+        assert rep.data_footprint_bytes == cap.data_footprint_bytes
+        assert rep.static_instructions == cap.static_instructions
+        assert rep.kernel_code_bytes == cap.kernel_code_bytes
+        assert rep.verified == cap.verified
+
+    def test_replay_across_timing_config(self, store):
+        """A trace captured under one timing config replays under another
+        (same functional fingerprint) and matches that config's own
+        execute-at-issue statistics."""
+        base = small_config(2)
+        timing = base.with_overrides({"l1d.size_bytes": 1 << 17})
+        _capture(store, config=base)
+        rep = run_workload("arraybw", "gcn3", scale=0.1, config=timing,
+                           execution="replay", trace_store=store)
+        ref = run_workload("arraybw", "gcn3", scale=0.1, config=timing)
+        assert _strip(rep) == _strip(ref)
+
+    def test_replay_twice_hits_the_staging_memo(self, store):
+        _capture(store)
+        first = run_workload("arraybw", "gcn3", scale=0.1,
+                             config=small_config(2),
+                             execution="replay", trace_store=store)
+        second = run_workload("arraybw", "gcn3", scale=0.1,
+                              config=small_config(2),
+                              execution="replay", trace_store=store)
+        assert _strip(first) == _strip(second)
+
+
+class TestExecutionModes:
+    def test_strict_replay_missing_trace_raises(self, store):
+        with pytest.raises(ReproError, match="no captured trace"):
+            run_workload("arraybw", "gcn3", scale=0.1,
+                         config=small_config(2),
+                         execution="replay", trace_store=store)
+
+    def test_auto_captures_then_replays(self, store):
+        first = run_workload("arraybw", "gcn3", scale=0.1,
+                             config=small_config(2),
+                             execution="auto", trace_store=store)
+        second = run_workload("arraybw", "gcn3", scale=0.1,
+                              config=small_config(2),
+                              execution="auto", trace_store=store)
+        assert first.execution == "capture"
+        assert second.execution == "replay"
+        assert _strip(first) == _strip(second)
+
+    def test_auto_without_store_degrades_to_execute(self):
+        run = run_workload("arraybw", "gcn3", scale=0.1,
+                           config=small_config(2), execution="auto",
+                           trace_store=None)
+        assert run.execution == "execute"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError, match="execution mode"):
+            run_workload("arraybw", "gcn3", scale=0.1,
+                         config=small_config(2), execution="warp")
+
+    def test_payload_byte_compat(self, store):
+        """Executed runs serialize exactly as before the replay subsystem
+        (golden files and the disk cache depend on it)."""
+        run = run_workload("arraybw", "gcn3", scale=0.1,
+                           config=small_config(2))
+        assert "execution" not in run.to_payload()
+        assert "execution" not in run.to_dict()
+        rep_payload = _capture(store).to_payload()
+        assert rep_payload["execution"] == "capture"

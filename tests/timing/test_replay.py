@@ -1,0 +1,152 @@
+"""Unit tests for the functional trace: streams, serialization, cursor."""
+
+import pytest
+
+from repro.common.exec_types import ExecResult, MemKind
+from repro.common.stats import StatSet
+from repro.timing.replay import (
+    TRACE_FORMAT_VERSION,
+    ExecTrace,
+    ReplayCursor,
+    TraceError,
+    TraceRecorder,
+    WfStream,
+)
+
+
+def _result(**kw) -> ExecResult:
+    r = ExecResult()
+    for key, value in kw.items():
+        setattr(r, key, value)
+    return r
+
+
+def _sample_trace() -> ExecTrace:
+    """A tiny hand-built two-wavefront trace exercising every stream."""
+    rec = TraceRecorder()
+    s0 = rec.stream(0)
+    s0.record(0, _result(active_lanes=4), False, 4, None, None)
+    s0.record(1, _result(active_lanes=4, mem_kind=MemKind.GLOBAL_LOAD,
+                         mem_lines=[64, 128]), True, 4, [2], [1])
+    s0.record(2, _result(active_lanes=2, branch_taken=True, next_pc=7),
+              False, 2, None, None)
+    s0.jump(9)
+    s0.record(9, _result(active_lanes=4, ends_wavefront=True),
+              False, 4, None, None)
+    s1 = rec.stream(1)
+    s1.record(0, _result(active_lanes=1, is_barrier=True), False, 1,
+              None, None)
+    s1.record(1, _result(active_lanes=1, ends_wavefront=True), False, 1,
+              None, None)
+    return rec.finish({"verified": True, "workload": "unit", "isa": "gcn3"})
+
+
+class TestRecorder:
+    def test_streams_must_be_created_in_order(self):
+        rec = TraceRecorder()
+        rec.stream(0)
+        with pytest.raises(TraceError):
+            rec.stream(2)
+
+    def test_finish_stamps_format_and_counts(self):
+        trace = _sample_trace()
+        assert trace.meta["format"] == TRACE_FORMAT_VERSION
+        assert trace.meta["wavefronts"] == 2
+        assert trace.verified
+        assert trace.dynamic_instructions == 6  # jumps are not instructions
+        assert trace.approx_bytes() > 0
+
+
+class TestSerialization:
+    def test_roundtrip_is_exact(self):
+        trace = _sample_trace()
+        loaded = ExecTrace.from_bytes(trace.to_bytes())
+        assert loaded.meta == trace.meta
+        assert len(loaded.streams) == len(trace.streams)
+        for a, b in zip(loaded.streams, trace.streams):
+            for name in WfStream.__slots__:
+                assert getattr(a, name) == getattr(b, name), name
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceError, match="magic"):
+            ExecTrace.from_bytes(b"definitely not a trace")
+
+    def test_truncated_header(self):
+        blob = _sample_trace().to_bytes()
+        with pytest.raises(TraceError):
+            ExecTrace.from_bytes(blob[:10])
+
+    def test_truncated_stream_payload(self):
+        blob = _sample_trace().to_bytes()
+        with pytest.raises(TraceError, match="truncated"):
+            ExecTrace.from_bytes(blob[:-3])
+
+    def test_trailing_garbage(self):
+        blob = _sample_trace().to_bytes()
+        with pytest.raises(TraceError, match="trailing"):
+            ExecTrace.from_bytes(blob + b"xx")
+
+    def test_stale_format_version(self):
+        trace = _sample_trace()
+        trace.meta["format"] = TRACE_FORMAT_VERSION + 1
+        with pytest.raises(TraceError, match="format"):
+            ExecTrace.from_bytes(trace.to_bytes())
+
+
+class TestReplayCursor:
+    def test_replays_the_recorded_outcomes(self):
+        trace = _sample_trace()
+        cur = trace.cursor(0, kernel=None, is_gcn3=True)
+        stats = StatSet()
+
+        assert cur.take_jump() is None
+        r = cur.advance(0, False, (), (), stats)
+        assert (r.active_lanes, r.mem_kind) == (4, MemKind.NONE)
+        assert cur.pc == 1 and not cur.done
+
+        r = cur.advance(1, True, (3,), (5,), stats)
+        assert r.mem_kind == MemKind.GLOBAL_LOAD
+        assert list(r.mem_lines) == [64, 128]
+        # the probe outcome lands in the StatSet, not in the result
+        assert (stats.read_uniqueness.numerator,
+                stats.read_uniqueness.denominator) == (2, 4)
+        assert (stats.write_uniqueness.numerator,
+                stats.write_uniqueness.denominator) == (1, 4)
+
+        r = cur.advance(2, False, (), (), stats)
+        assert r.branch_taken and r.next_pc == 7
+        assert cur.pc == 7
+
+        assert cur.take_jump() == 9          # reconvergence overrides pc
+        assert cur.pc == 9
+        r = cur.advance(9, False, (), (), stats)
+        assert r.ends_wavefront and cur.done
+
+    def test_second_wavefront_is_independent(self):
+        trace = _sample_trace()
+        cur = trace.cursor(1, kernel=None, is_gcn3=False)
+        r = cur.advance(0, False, (), (), StatSet())
+        assert r.is_barrier and r.active_lanes == 1
+
+    def test_pc_desync_aborts(self):
+        cur = _sample_trace().cursor(0, kernel=None, is_gcn3=True)
+        with pytest.raises(TraceError, match="desynchronized"):
+            cur.advance(5, False, (), (), StatSet())
+
+    def test_overrun_aborts(self):
+        trace = _sample_trace()
+        cur = trace.cursor(1, kernel=None, is_gcn3=False)
+        stats = StatSet()
+        cur.advance(0, False, (), (), stats)
+        cur.advance(1, False, (), (), stats)
+        with pytest.raises(TraceError, match="past the end"):
+            cur.advance(2, False, (), (), stats)
+
+    def test_unknown_wavefront_aborts(self):
+        with pytest.raises(TraceError, match="wavefronts"):
+            _sample_trace().cursor(7, kernel=None, is_gcn3=True)
+
+    def test_functional_standins_are_inert(self):
+        cur = _sample_trace().cursor(0, kernel=None, is_gcn3=True)
+        assert cur.rs == () and cur.regs is None and cur.vgpr is None
+        assert ReplayCursor.exec_mask == 0
