@@ -320,6 +320,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume if args.resume is not None else False,
         execution=args.execution, trace_dir=args.trace_dir,
         verify_replay=not args.no_verify_replay,
+        engine=args.engine,
     )
     print(f"sweep {results.sweep_id}: {len(results.points)} point(s), "
           f"{results.replayed()} from journal, "
@@ -380,17 +381,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     config = paper_config() if args.cus == 8 else small_config(args.cus)
     workloads = args.workloads.split(",") if args.workloads else None
-    report = perfbench.run_bench(
-        workloads=workloads,
-        scale=args.scale,
-        seed=args.seed,
-        config=config,
-        repeats=args.repeats,
-        label=args.label,
-        progress=None if args.quiet
-        else (lambda msg: print(msg, file=sys.stderr)),
-        profile_dir=args.profile,
-    )
+    try:
+        report = perfbench.run_bench(
+            workloads=workloads,
+            scale=args.scale,
+            seed=args.seed,
+            config=config,
+            repeats=args.repeats,
+            label=args.label,
+            progress=None if args.quiet
+            else (lambda msg: print(msg, file=sys.stderr)),
+            profile_dir=args.profile,
+            engines=[e.strip() for e in args.engines.split(",") if e.strip()],
+        )
+    except perfbench.BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.sweep_axis:
         sweep_workloads = (args.sweep_workloads.split(",")
                            if args.sweep_workloads
@@ -403,6 +409,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 scale=args.scale, seed=args.seed, config=config,
                 jobs=args.sweep_jobs, repeats=args.sweep_repeats,
                 progress=None if args.quiet else _progress_printer,
+                engine=args.sweep_engine,
             )
         except perfbench.BenchError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -578,6 +585,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--trace-dir",
                          help="trace store directory (default "
                               "<cache-dir>/traces)")
+    sweep_p.add_argument("--engine",
+                         choices=["auto", "scalar", "vector"],
+                         default="auto",
+                         help="cycle engine for every cell: auto "
+                              "(default) batch-decodes replayed cells "
+                              "with the vector engine when numpy is "
+                              "importable; scalar pins the per-issue "
+                              "reference path; vector forces batching "
+                              "on replayed cells (execute cells always "
+                              "run the reference path)")
     sweep_p.add_argument("--no-verify-replay", action="store_true",
                          help="skip the drift guard's sampled "
                               "re-execution of one replayed cell")
@@ -594,15 +611,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CU count (8 = paper config)")
     bench_p.add_argument("--repeats", "-r", type=int, default=1,
                          help="runs per cell; best-of is reported")
-    bench_p.add_argument("--label", "-l", default="PR5",
+    bench_p.add_argument("--label", "-l", default="PR6",
                          help="trajectory label stored in the report")
+    bench_p.add_argument("--engines", default="scalar,vector",
+                         help="comma-separated cycle engines to time "
+                              "(scalar = execute-at-issue reference; "
+                              "vector = warm-store trace replay; "
+                              "default scalar,vector)")
     bench_p.add_argument("--baseline", "-b",
                          help="prior BENCH_*.json to compare against")
     bench_p.add_argument("--threshold", "-t", type=float, default=0.25,
                          help="fractional slowdown that counts as a "
                               "regression (default 0.25 = 25%%)")
-    bench_p.add_argument("--output", "-o", default="BENCH_PR5.json",
-                         help="report path (default BENCH_PR5.json)")
+    bench_p.add_argument("--output", "-o", default="BENCH_PR6.json",
+                         help="report path (default BENCH_PR6.json)")
     bench_p.add_argument("--profile", metavar="DIR",
                          help="dump per-cell cProfile stats to "
                               "DIR/<workload>_<isa>.prof (skews wall "
@@ -617,6 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--sweep-isas",
                          help="ISAs for --sweep-axis, e.g. gcn3 "
                               "(default both)")
+    bench_p.add_argument("--sweep-engine",
+                         choices=["auto", "scalar", "vector"],
+                         default="auto",
+                         help="cycle engine for the --sweep-axis replay "
+                              "pass (default auto = vector when numpy "
+                              "is importable)")
     bench_p.add_argument("--sweep-repeats", type=int, default=1,
                          help="run the execute/replay pass pair N times "
                               "and report best-of walls (default 1)")

@@ -111,12 +111,17 @@ class GpuConfig:
     )
     dram: DramConfig = field(default_factory=DramConfig)
     deadlock_cycles: int = 4_000_000   # abort if no retirement for this long
+    engine: str = "auto"               # replay cycle engine: scalar|vector|auto
 
     def __post_init__(self) -> None:
         if self.num_cus <= 0:
             raise ConfigError("need at least one CU")
         if self.num_cus % self.cus_per_cluster and self.num_cus > self.cus_per_cluster:
             raise ConfigError("CU count must be a multiple of the cluster size")
+        if self.engine not in ("auto", "scalar", "vector"):
+            raise ConfigError(
+                f"unknown engine {self.engine!r}: pick auto, scalar, or vector"
+            )
 
     @property
     def num_clusters(self) -> int:
@@ -179,7 +184,9 @@ class GpuConfig:
         numbering is timing-invariant).  Two configs with equal
         functional fingerprints therefore produce identical streams, and
         a trace captured under one replays exactly under the other.
-        This is the trace store's key half.
+        This is the trace store's key half.  The replay ``engine`` is a
+        pure consumer-side choice, so it lives on the timing side and a
+        single captured trace serves both the scalar and vector engines.
         """
         cached = self.__dict__.get("_functional_fingerprint")
         if cached is None:

@@ -21,19 +21,19 @@ EventCallback = Callable[[], None]
 
 
 class EventQueue:
-    """A monotonic, deterministic event queue keyed by cycle."""
+    """A monotonic, deterministic event queue keyed by cycle.
 
-    __slots__ = ("_heap", "_seq", "_now")
+    ``now`` is a plain attribute (read-mostly, on every hot path of the
+    timing model); only this class's methods may write it.
+    """
+
+    __slots__ = ("_heap", "_seq", "now")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, EventCallback]] = []
         self._seq = 0
-        self._now = 0
-
-    @property
-    def now(self) -> int:
-        """Current simulated cycle."""
-        return self._now
+        #: current simulated cycle
+        self.now = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -42,13 +42,13 @@ class EventQueue:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
         if delay < 0:
             raise TimingError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
         self._seq += 1
 
     def schedule_at(self, cycle: int, callback: EventCallback) -> None:
         """Schedule ``callback`` at an absolute cycle."""
-        if cycle < self._now:
-            raise TimingError(f"cannot schedule at {cycle}, now is {self._now}")
+        if cycle < self.now:
+            raise TimingError(f"cannot schedule at {cycle}, now is {self.now}")
         heapq.heappush(self._heap, (cycle, self._seq, callback))
         self._seq += 1
 
@@ -62,17 +62,23 @@ class EventQueue:
         Events scheduled *during* processing at or before ``cycle`` also
         fire, in deterministic order.
         """
-        if cycle < self._now:
-            raise TimingError(f"clock cannot run backwards ({cycle} < {self._now})")
-        while self._heap and self._heap[0][0] <= cycle:
-            when, _seq, callback = heapq.heappop(self._heap)
-            self._now = when
+        if cycle < self.now:
+            raise TimingError(f"clock cannot run backwards ({cycle} < {self.now})")
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            when, _seq, callback = heapq.heappop(heap)
+            self.now = when
             callback()
-        self._now = cycle
+        self.now = cycle
 
     def tick(self) -> None:
         """Advance the clock by exactly one cycle."""
-        self.advance_to(self._now + 1)
+        cycle = self.now + 1
+        heap = self._heap
+        if heap and heap[0][0] <= cycle:
+            self.advance_to(cycle)
+        else:
+            self.now = cycle
 
     def fast_forward(self) -> bool:
         """Jump straight to the next pending event.

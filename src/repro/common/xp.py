@@ -1,0 +1,216 @@
+"""Array-module seam for the vectorized replay engine.
+
+The vector engine (:mod:`repro.timing.vector`) is written against a small,
+numpy-shaped vocabulary of array operations — ``asarray``, ``compress``,
+``cumsum``, ``repeat``, ``bincount``, a stable ``argsort`` and elementwise
+arithmetic — obtained through :func:`get_array_module` rather than by
+importing numpy directly.  This is the ``get_array_module`` pattern from
+sailfish-style solvers: the caller asks the seam for "the array module"
+and gets numpy when it is available, or a pure-Python stand-in
+(:class:`PyArrayModule`) with identical call signatures when it is not.
+
+Backend selection, in priority order:
+
+1. an explicit ``prefer=`` argument to :func:`get_array_module`;
+2. the ``REPRO_XP`` environment variable (``numpy`` | ``python`` |
+   ``auto``);
+3. ``auto``: numpy if importable, else the pure-Python fallback.
+
+The fallback trades speed for portability — it exists so the engine (and
+the differential test suite) still runs, bit-identically, on a machine
+without numpy.  Results are plain Python lists; the vector engine only
+ever consumes them through ``tolist``-style normalization, so the two
+backends are interchangeable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from .errors import ConfigError
+
+try:  # numpy is the preferred backend but must remain optional
+    import numpy as _numpy
+except Exception:  # pragma: no cover - exercised via REPRO_XP=python in CI
+    _numpy = None
+
+HAVE_NUMPY = _numpy is not None
+
+_BACKENDS = ("auto", "numpy", "python")
+
+
+class PyArrayModule:
+    """Pure-Python stand-in for the numpy subset the vector engine uses.
+
+    Arrays are plain lists; every function mirrors the numpy call it
+    replaces (same name, argument order, and integer semantics) so
+    :mod:`repro.timing.vector` can be written once against either
+    backend.  ``dtype`` arguments are accepted and ignored — Python ints
+    are exact, so the uint64 EXEC-mask bitsets and cumulative offsets
+    that numpy handles with fixed-width types need no care here.
+    """
+
+    name = "python"
+
+    # -- construction -------------------------------------------------
+    @staticmethod
+    def asarray(seq: Sequence, dtype: object = None) -> list:
+        return list(seq)
+
+    @staticmethod
+    def arange(n: int, dtype: object = None) -> list:
+        return list(range(n))
+
+    @staticmethod
+    def zeros(n: int, dtype: object = None) -> list:
+        return [0] * n
+
+    # -- elementwise --------------------------------------------------
+    @staticmethod
+    def bitwise_and(a: Sequence, b: int) -> list:
+        return [x & b for x in a]
+
+    @staticmethod
+    def right_shift(a: Sequence, b: int) -> list:
+        return [x >> b for x in a]
+
+    @staticmethod
+    def add(a: Sequence, b) -> list:
+        if isinstance(b, (int, float)):
+            return [x + b for x in a]
+        return [x + y for x, y in zip(a, b)]
+
+    @staticmethod
+    def subtract(a: Sequence, b) -> list:
+        if isinstance(b, (int, float)):
+            return [x - b for x in a]
+        return [x - y for x, y in zip(a, b)]
+
+    @staticmethod
+    def multiply(a: Sequence, b) -> list:
+        if isinstance(b, (int, float)):
+            return [x * b for x in a]
+        return [x * y for x, y in zip(a, b)]
+
+    @staticmethod
+    def equal(a: Sequence, b) -> list:
+        if isinstance(b, (int, float)):
+            return [x == b for x in a]
+        return [x == y for x, y in zip(a, b)]
+
+    @staticmethod
+    def not_equal(a: Sequence, b) -> list:
+        if isinstance(b, (int, float)):
+            return [x != b for x in a]
+        return [x != y for x, y in zip(a, b)]
+
+    @staticmethod
+    def greater(a: Sequence, b) -> list:
+        if isinstance(b, (int, float)):
+            return [x > b for x in a]
+        return [x > y for x, y in zip(a, b)]
+
+    @staticmethod
+    def greater_equal(a: Sequence, b) -> list:
+        if isinstance(b, (int, float)):
+            return [x >= b for x in a]
+        return [x >= y for x, y in zip(a, b)]
+
+    @staticmethod
+    def logical_and(a: Sequence, b: Sequence) -> list:
+        return [bool(x) and bool(y) for x, y in zip(a, b)]
+
+    # -- gather / filter ----------------------------------------------
+    @staticmethod
+    def take(a: Sequence, idx: Sequence) -> list:
+        return [a[i] for i in idx]
+
+    @staticmethod
+    def compress(cond: Sequence, a: Sequence) -> list:
+        return [x for keep, x in zip(cond, a) if keep]
+
+    @staticmethod
+    def flatnonzero(a: Sequence) -> list:
+        return [i for i, x in enumerate(a) if x]
+
+    @staticmethod
+    def repeat(a: Sequence, repeats) -> list:
+        if isinstance(repeats, int):
+            out = []
+            for x in a:
+                out.extend([x] * repeats)
+            return out
+        out = []
+        for x, r in zip(a, repeats):
+            out.extend([x] * r)
+        return out
+
+    # -- reductions / scans -------------------------------------------
+    @staticmethod
+    def sum(a: Sequence):
+        return sum(a)
+
+    @staticmethod
+    def count_nonzero(a: Sequence) -> int:
+        return sum(1 for x in a if x)
+
+    @staticmethod
+    def cumsum(a: Sequence) -> list:
+        out, total = [], 0
+        for x in a:
+            total += x
+            out.append(total)
+        return out
+
+    @staticmethod
+    def bincount(a: Sequence, minlength: int = 0) -> list:
+        size = max(max(a) + 1 if a else 0, minlength)
+        out = [0] * size
+        for x in a:
+            out[x] += 1
+        return out
+
+    @staticmethod
+    def argsort(a: Sequence, kind: str = "stable") -> list:
+        # Python's sort is always stable; ``kind`` mirrors numpy's API.
+        return sorted(range(len(a)), key=a.__getitem__)
+
+
+_PY_MODULE = PyArrayModule()
+
+
+def backend_name(prefer: Optional[str] = None) -> str:
+    """The backend :func:`get_array_module` would resolve: numpy|python."""
+    choice = prefer if prefer is not None else os.environ.get("REPRO_XP", "auto")
+    if choice not in _BACKENDS:
+        raise ConfigError(
+            f"unknown REPRO_XP backend {choice!r}: pick auto, numpy, or python"
+        )
+    if choice == "numpy":
+        if not HAVE_NUMPY:
+            raise ConfigError("REPRO_XP=numpy requested but numpy is not importable")
+        return "numpy"
+    if choice == "python":
+        return "python"
+    return "numpy" if HAVE_NUMPY else "python"
+
+
+def get_array_module(prefer: Optional[str] = None):
+    """Resolve the active array backend (numpy, or the Python fallback).
+
+    ``prefer`` overrides the ``REPRO_XP`` environment variable; both
+    accept ``"auto"`` (default), ``"numpy"``, or ``"python"``.
+    """
+    if backend_name(prefer) == "numpy":
+        return _numpy
+    return _PY_MODULE
+
+
+def tolist(a) -> list:
+    """Normalize either backend's array to a plain Python list."""
+    if isinstance(a, list):
+        return a
+    if hasattr(a, "tolist"):
+        return a.tolist()
+    return list(a)

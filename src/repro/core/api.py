@@ -108,6 +108,13 @@ class Session:
         config = "paper" if self._config is None else self._config.fingerprint()
         return f"Session(config={config})"
 
+    def _engine_config(self, engine: Optional[str]) -> "GpuConfig":
+        """The session config with a per-call cycle-engine override."""
+        config = self.config
+        if engine is not None and engine != config.engine:
+            config = config.with_overrides({"engine": engine})
+        return config
+
     # -- compilation -----------------------------------------------------------
 
     def compile(self, ir: KernelIR,
@@ -123,7 +130,8 @@ class Session:
             seed: int = 7,
             trace: "Optional[TraceConfig]" = None,
             execution: str = "execute",
-            trace_dir: Optional[str] = None) -> "WorkloadRun":
+            trace_dir: Optional[str] = None,
+            engine: Optional[str] = None) -> "WorkloadRun":
         """Simulate one workload under one ISA; with ``trace`` set, the
         returned run carries a :class:`repro.obs.TraceData` in ``.trace``.
 
@@ -131,12 +139,16 @@ class Session:
         (``"execute"`` | ``"capture"`` | ``"replay"`` | ``"auto"``; see
         :data:`repro.harness.runner.EXECUTION_MODES`); non-default modes
         use the trace store under ``trace_dir`` (default
-        ``<cache-dir>/traces``)."""
+        ``<cache-dir>/traces``).  ``engine`` overrides the session
+        config's cycle-engine knob for this run only (``"auto"`` |
+        ``"scalar"`` | ``"vector"``; see
+        :func:`repro.timing.vector.resolve_engine`)."""
         from ..harness.cache import resolve_trace_store
         from ..harness.runner import run_workload
 
         store = resolve_trace_store(trace_dir) if execution != "execute" else None
-        return run_workload(workload, isa, scale=scale, config=self.config,
+        return run_workload(workload, isa, scale=scale,
+                            config=self._engine_config(engine),
                             seed=seed, trace=trace,
                             execution=execution, trace_store=store)
 
@@ -149,15 +161,18 @@ class Session:
               progress: "Optional[ProgressFn]" = None,
               trace: "Optional[TraceConfig]" = None,
               execution: str = "execute",
-              trace_dir: Optional[str] = None) -> "SuiteResults":
+              trace_dir: Optional[str] = None,
+              engine: Optional[str] = None) -> "SuiteResults":
         """Run every workload under both ISAs (the paper's evaluation
-        matrix); same knobs as the old ``run_suite``, plus ``trace`` and
-        the trace-replay ``execution`` mode.  Traced suites bypass both
-        cache layers — a cached result has no events to replay."""
+        matrix); same knobs as the old ``run_suite``, plus ``trace``, the
+        trace-replay ``execution`` mode, and the per-call cycle-``engine``
+        override.  Traced suites bypass both cache layers — a cached
+        result has no events to replay."""
         from ..harness.runner import _run_suite
 
         return _run_suite(
-            scale=scale, config=self.config, workloads=workloads, seed=seed,
+            scale=scale, config=self._engine_config(engine),
+            workloads=workloads, seed=seed,
             use_cache=use_cache, jobs=jobs, use_disk_cache=use_disk_cache,
             cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
             trace=trace, execution=execution, trace_dir=trace_dir,
@@ -175,7 +190,8 @@ class Session:
               sweeps_dir: Optional[str] = None,
               execution: str = "auto",
               trace_dir: Optional[str] = None,
-              verify_replay: bool = True) -> "SweepResults":
+              verify_replay: bool = True,
+              engine: Optional[str] = None) -> "SweepResults":
         """Design-space sweep around this session's config.
 
         ``axes`` are :class:`repro.explore.Axis` objects or their CLI
@@ -208,6 +224,7 @@ class Session:
             cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
             resume=resume, sweeps_dir=sweeps_dir, execution=execution,
             trace_dir=trace_dir, verify_replay=verify_replay,
+            engine=engine,
         )
 
 

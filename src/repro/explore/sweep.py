@@ -335,6 +335,7 @@ def run_sweep(
     execution: str = "auto",
     trace_dir: Optional[str] = None,
     verify_replay: bool = True,
+    engine: Optional[str] = None,
 ) -> SweepResults:
     """Run (or resume) one design-space sweep; see the module docstring.
 
@@ -360,6 +361,11 @@ def run_sweep(
     :param verify_replay: re-execute the cheapest replayed cell after the
         sweep and flag ``replay_drift`` if its statistics differ — the
         cycle-drift-style fidelity guard for trace replay.
+    :param engine: cycle-engine override for every cell (``"auto"`` |
+        ``"scalar"`` | ``"vector"``); ``None`` keeps ``base.engine``.
+        Folded into the base config before the sweep id and cache
+        fingerprints are computed, so cells run under different engines
+        never share cache entries or journals.
     """
     if execution not in ("auto", "execute", "replay"):
         raise ReproError(
@@ -369,6 +375,8 @@ def run_sweep(
     if execute is not None:
         execution = "execute"
     base = base or paper_config()
+    if engine is not None and engine != base.engine:
+        base = base.with_overrides({"engine": engine})
     names: Tuple[str, ...] = tuple(
         workloads if workloads is not None
         else [w.name for w in all_workloads()]
@@ -495,7 +503,8 @@ def run_sweep(
             for w in names:
                 for isa in isas:
                     job = Job(w, isa, scale, seed, point.config, point=pid,
-                              execution=cell_mode, trace_dir=trace_dir)
+                              execution=cell_mode, trace_dir=trace_dir,
+                              engine=point.config.engine)
                     cached = (disk.get(_job_fp(job)) if disk is not None
                               else None)
                     if cached is not None:

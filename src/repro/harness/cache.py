@@ -287,6 +287,20 @@ class ResultCache:
         return {"hits": self.hits, "misses": self.misses}
 
 
+#: In-process memo of parsed traces keyed by file path, validated by
+#: (mtime_ns, size).  Every sweep cell replaying the same capture then
+#: shares one parsed :class:`ExecTrace` — and the vector engine's
+#: per-wavefront decode memo attached to it — instead of re-reading and
+#: re-parsing the blob per cell.  ``put`` goes through ``os.replace``,
+#: which bumps the mtime, so a re-captured trace invalidates naturally.
+_LOADED_TRACES: Dict[str, Tuple[int, int, object]] = {}
+
+
+def clear_trace_memo() -> None:
+    """Drop the in-process parsed-trace memo (test isolation helper)."""
+    _LOADED_TRACES.clear()
+
+
 class TraceStore:
     """One directory of ``<fingerprint>.trace`` execution-trace blobs.
 
@@ -321,6 +335,18 @@ class TraceStore:
         from ..timing.replay import ExecTrace, TraceError
 
         path = self._path(fingerprint)
+        key = str(path)
+        try:
+            st = path.stat()
+        except OSError:
+            self.misses += 1
+            _LOADED_TRACES.pop(key, None)
+            return None
+        memo = _LOADED_TRACES.get(key)
+        if (memo is not None and memo[0] == st.st_mtime_ns
+                and memo[1] == st.st_size):
+            self.hits += 1
+            return memo[2]
         try:
             blob = path.read_bytes()
             trace = ExecTrace.from_bytes(blob)
@@ -331,6 +357,7 @@ class TraceStore:
             self.misses += 1
             self._discard(path, reason=f"{type(exc).__name__}: {exc}")
             return None
+        _LOADED_TRACES[key] = (st.st_mtime_ns, st.st_size, trace)
         self.hits += 1
         return trace
 

@@ -59,6 +59,11 @@ class Job:
     #: trace-store directory for capture/replay modes; ``None`` uses the
     #: default store under the cache directory.
     trace_dir: Optional[str] = None
+    #: cycle-engine request ("auto" | "scalar" | "vector"); the empty
+    #: string keeps whatever ``config.engine`` already says.  Folded into
+    #: the config *before* fingerprinting callers build jobs, so cache
+    #: keys see the resolved knob (see timing/vector.resolve_engine).
+    engine: str = ""
 
     @property
     def key(self) -> "Tuple[str, ...]":
@@ -114,8 +119,11 @@ def execute_job(job: Job) -> "Dict[str, object]":
     store = (
         resolve_trace_store(job.trace_dir) if job.execution != "execute" else None
     )
+    config = job.config
+    if job.engine and job.engine != config.engine:
+        config = config.with_overrides({"engine": job.engine})
     run = run_workload(
-        job.workload, job.isa, scale=job.scale, config=job.config,
+        job.workload, job.isa, scale=job.scale, config=config,
         seed=job.seed, trace=job.trace,
         execution=job.execution, trace_store=store,
     )

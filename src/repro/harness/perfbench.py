@@ -27,8 +27,9 @@ Schema (``repro-bench/1``)::
       "host": {"python": "3.11.7", "platform": "linux", "machine": "x86_64"},
       "scale": 0.5, "seed": 7, "repeats": 1,
       "config_fingerprint": "…",       # GpuConfig identity
-      "cells": [                       # one per workload x ISA
-        {"workload": "fft", "isa": "gcn3", "verified": true,
+      "cells": [                       # one per workload x ISA x engine
+        {"workload": "fft", "isa": "gcn3", "engine": "scalar",
+         "verified": true,
          "wall_seconds": 1.93,         # best of `repeats` runs
          "cycles": 193121, "dynamic_instructions": 20256,
          "cycles_per_second": 100062.7, "peak_rss_kb": 123456}
@@ -44,6 +45,7 @@ Schema (``repro-bench/1``)::
       },
       "sweep": {                       # only with a trace-replay sweep bench
         "axis": "l1d.size_bytes=8k,…", "points": 16, "repeats": 2,
+        "engine": "auto",              # replay-pass cycle-engine request
         "execute_wall_seconds": 120.0, "replay_wall_seconds": 45.0,
         "speedup": 2.67, "captures": 6, "replays": 90,
         "replay_drift": 0, "cells_identical": true
@@ -76,7 +78,7 @@ from ..common.errors import ReproError
 SCHEMA = "repro-bench/1"
 
 #: Default output name for this PR's trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR5.json"
+DEFAULT_OUTPUT = "BENCH_PR6.json"
 
 
 class BenchError(ReproError):
@@ -85,7 +87,15 @@ class BenchError(ReproError):
 
 @dataclass
 class BenchCell:
-    """Timing of one (workload, isa) simulation."""
+    """Timing of one (workload, isa, engine) simulation.
+
+    ``engine`` records which cycle engine produced the number:
+    ``"scalar"`` rows time the execute-at-issue reference path;
+    ``"vector"`` rows time a warm-store trace replay under the batch
+    engine (its operating regime — the one-off capture is not timed).
+    Reports written before the engine knob existed carry no ``engine``
+    key; readers default it to ``"scalar"``.
+    """
 
     workload: str
     isa: str
@@ -94,6 +104,7 @@ class BenchCell:
     cycles: int
     dynamic_instructions: int
     peak_rss_kb: int
+    engine: str = "scalar"
 
     @property
     def cycles_per_second(self) -> float:
@@ -103,6 +114,7 @@ class BenchCell:
         return {
             "workload": self.workload,
             "isa": self.isa,
+            "engine": self.engine,
             "verified": self.verified,
             "wall_seconds": round(self.wall_seconds, 4),
             "cycles": self.cycles,
@@ -135,9 +147,11 @@ class BenchReport:
     def geomean_wall_seconds(self) -> float:
         return _geomean([c.wall_seconds for c in self.cells])
 
-    def cell(self, workload: str, isa: str) -> Optional[BenchCell]:
+    def cell(self, workload: str, isa: str,
+             engine: Optional[str] = None) -> Optional[BenchCell]:
         for c in self.cells:
-            if c.workload == workload and c.isa == isa:
+            if (c.workload == workload and c.isa == isa
+                    and (engine is None or c.engine == engine)):
                 return c
         return None
 
@@ -200,33 +214,60 @@ def _peak_rss_kb() -> int:
 ProgressFn = Optional[object]  # Callable[[str], None], kept loose for the CLI
 
 
+#: Engines :func:`run_bench` knows how to time.
+BENCH_ENGINES = ("scalar", "vector")
+
+
 def run_bench(
     workloads: Optional[Sequence[str]] = None,
     scale: float = 0.5,
     seed: int = 7,
     config: Optional[GpuConfig] = None,
     repeats: int = 1,
-    label: str = "PR5",
+    label: str = "PR6",
     progress=None,
     profile_dir: Optional[str] = None,
+    engines: Sequence[str] = ("scalar",),
 ) -> BenchReport:
-    """Time every (workload x ISA) cell; best-of-``repeats`` per cell.
+    """Time every (workload x ISA x engine) cell; best-of-``repeats``.
 
     Caches are bypassed unconditionally — the point is to time the
     simulator, and a warm disk cache would short-circuit it.
 
-    With ``profile_dir`` set, every repeat runs under :mod:`cProfile`
-    and the last repeat's stats are dumped to
+    ``engines`` selects which cycle engines get rows.  ``"scalar"``
+    times the execute-at-issue reference path (the pre-engine-knob
+    behaviour, and the default).  ``"vector"`` times the batch replay
+    engine in its operating regime: each cell first captures a trace
+    into a throwaway store (untimed — a sweep pays that cost once, not
+    per cell), then times ``repeats`` warm-store replays with
+    ``engine="vector"`` and reports the best.  Vector rows inherit
+    ``verified`` from the capture run's functional check.
+
+    With ``profile_dir`` set, every scalar repeat runs under
+    :mod:`cProfile` and the last repeat's stats are dumped to
     ``<profile_dir>/<workload>_<isa>.prof`` (loadable with
     :mod:`pstats` or snakeviz).  Profiling adds interpreter overhead, so
     a profiled report's wall numbers are for relative reading only —
-    never commit one as a trajectory point.
+    never commit one as a trajectory point.  Vector rows are never
+    profiled.
     """
+    import shutil
+    import tempfile
+
     from ..workloads import all_workloads
+    from .cache import resolve_trace_store
     from .runner import ISAS, run_workload
 
     if repeats < 1:
         raise BenchError(f"repeats must be >= 1, got {repeats}")
+    engines = tuple(engines)
+    for eng in engines:
+        if eng not in BENCH_ENGINES:
+            raise BenchError(
+                f"unknown bench engine {eng!r}; expected one of "
+                f"{', '.join(BENCH_ENGINES)}")
+    if not engines:
+        raise BenchError("run_bench needs at least one engine")
     config = config or paper_config()
     names = list(workloads) if workloads else [w.name for w in all_workloads()]
     if profile_dir is not None:
@@ -236,41 +277,68 @@ def run_bench(
         config_fingerprint=config.fingerprint(),
         created_unix=int(time.time()),
     )
-    for name in names:
-        for isa in ISAS:
-            best = None
-            for _ in range(repeats):
-                if profile_dir is not None:
-                    import cProfile
+    for engine in engines:
+        if engine == "vector":
+            tmp = tempfile.mkdtemp(prefix="repro-bench-vec-")
+            store = resolve_trace_store(tmp)
+            run_config = config.with_overrides({"engine": "vector"})
+        else:
+            tmp = store = None
+            run_config = config
+        try:
+            for name in names:
+                for isa in ISAS:
+                    if store is not None:
+                        # Seed the store; the capture is not timed.
+                        run_workload(name, isa, scale=scale, config=config,
+                                     seed=seed, execution="capture",
+                                     trace_store=store)
+                    best = None
+                    for _ in range(repeats):
+                        if store is not None:
+                            run = run_workload(
+                                name, isa, scale=scale, config=run_config,
+                                seed=seed, execution="replay",
+                                trace_store=store)
+                        elif profile_dir is not None:
+                            import cProfile
 
-                    profiler = cProfile.Profile()
-                    profiler.enable()
-                    try:
-                        run = run_workload(name, isa, scale=scale,
-                                           config=config, seed=seed)
-                    finally:
-                        profiler.disable()
-                    profiler.dump_stats(
-                        os.path.join(profile_dir, f"{name}_{isa}.prof"))
-                else:
-                    run = run_workload(name, isa, scale=scale, config=config,
-                                       seed=seed)
-                if best is None or run.wall_seconds < best.wall_seconds:
-                    best = run
-            assert best is not None
-            cell = BenchCell(
-                workload=name,
-                isa=isa,
-                verified=best.verified,
-                wall_seconds=best.wall_seconds,
-                cycles=best.cycles,
-                dynamic_instructions=best.dynamic_instructions,
-                peak_rss_kb=_peak_rss_kb(),
-            )
-            report.cells.append(cell)
-            if progress is not None:
-                progress(f"bench {name}/{isa}: {cell.wall_seconds:.2f}s "
-                         f"({cell.cycles_per_second:,.0f} sim cycles/s)")
+                            profiler = cProfile.Profile()
+                            profiler.enable()
+                            try:
+                                run = run_workload(name, isa, scale=scale,
+                                                   config=run_config,
+                                                   seed=seed)
+                            finally:
+                                profiler.disable()
+                            profiler.dump_stats(
+                                os.path.join(profile_dir,
+                                             f"{name}_{isa}.prof"))
+                        else:
+                            run = run_workload(name, isa, scale=scale,
+                                               config=run_config, seed=seed)
+                        if best is None or run.wall_seconds < best.wall_seconds:
+                            best = run
+                    assert best is not None
+                    cell = BenchCell(
+                        workload=name,
+                        isa=isa,
+                        verified=best.verified,
+                        wall_seconds=best.wall_seconds,
+                        cycles=best.cycles,
+                        dynamic_instructions=best.dynamic_instructions,
+                        peak_rss_kb=_peak_rss_kb(),
+                        engine=engine,
+                    )
+                    report.cells.append(cell)
+                    if progress is not None:
+                        progress(
+                            f"bench {name}/{isa}[{engine}]: "
+                            f"{cell.wall_seconds:.2f}s "
+                            f"({cell.cycles_per_second:,.0f} sim cycles/s)")
+        finally:
+            if tmp is not None:
+                shutil.rmtree(tmp, ignore_errors=True)
     return report
 
 
@@ -284,9 +352,17 @@ def bench_sweep(
     jobs: int = 1,
     repeats: int = 1,
     progress=None,
+    engine: str = "auto",
 ) -> Dict[str, object]:
     """Time one timing-only sweep twice — execute-at-issue versus trace
     replay — and return the comparison as a report ``"sweep"`` section.
+
+    ``engine`` is the cycle-engine request for the *replay* pass
+    (``"auto"`` — the default — picks the vector engine on replayed
+    cells whenever numpy is importable; ``"scalar"`` pins the reference
+    path, which times the pre-vector replay subsystem).  The execute
+    pass always runs the scalar reference engine, whatever is requested
+    — that is the baseline being beaten.
 
     Both passes run the identical sweep spec with the result disk cache
     off and throwaway journal directories, so each pass simulates every
@@ -336,7 +412,7 @@ def bench_sweep(
             clear_suite_cache()
             start = time.monotonic()
             rep_res = run_sweep([axis], execution="auto",
-                                trace_dir=trace_dir,
+                                trace_dir=trace_dir, engine=engine,
                                 verify_replay=True, **common)
             wall = time.monotonic() - start
             for label, res in (("execute", executed), ("replay", rep_res)):
@@ -359,6 +435,7 @@ def bench_sweep(
         "seed": seed,
         "jobs": jobs,
         "repeats": repeats,
+        "engine": engine,
         "execute_wall_seconds": round(execute_wall, 4),
         "replay_wall_seconds": round(replay_wall, 4),
         "speedup": round(execute_wall / max(replay_wall, 1e-9), 3),
@@ -444,11 +521,15 @@ def compare(
     tree is faster).  A cell regresses when its wall exceeds the
     baseline's by more than ``threshold`` (fractional, e.g. 0.25 = 25%).
     Cells present on only one side are reported but never regress.
+    Cells are matched on (workload, isa, engine); baselines written
+    before the engine knob existed default to ``"scalar"``, so old
+    reports keep comparing against the reference path and engine rows
+    new in this run are reported as new cells.
     Simulated-cycle drift is flagged loudly: a "speedup" that changed
     the statistics is a broken model, not a faster one.
     """
     base_cells = {
-        (c["workload"], c["isa"]): c
+        (c["workload"], c["isa"], c.get("engine", "scalar")): c
         for c in baseline_doc["cells"]  # type: ignore[index,union-attr]
     }
     compared: List[Dict[str, object]] = []
@@ -456,9 +537,10 @@ def compare(
     regressions: List[str] = []
     cycle_drift: List[str] = []
     for cell in report.cells:
-        base = base_cells.pop((cell.workload, cell.isa), None)
+        base = base_cells.pop((cell.workload, cell.isa, cell.engine), None)
         if base is None:
             compared.append({"workload": cell.workload, "isa": cell.isa,
+                             "engine": cell.engine,
                              "wall_seconds": None, "speedup": None,
                              "regression": False, "note": "new cell"})
             continue
@@ -466,6 +548,7 @@ def compare(
         regressed = cell.wall_seconds > float(base["wall_seconds"]) * (1.0 + threshold)
         entry: Dict[str, object] = {
             "workload": cell.workload, "isa": cell.isa,
+            "engine": cell.engine,
             "wall_seconds": base["wall_seconds"],
             "speedup": round(speedup, 3),
             "regression": regressed,
@@ -473,17 +556,19 @@ def compare(
         if int(base.get("cycles", cell.cycles)) != cell.cycles:
             entry["cycle_drift"] = {"baseline": base.get("cycles"),
                                     "current": cell.cycles}
-            cycle_drift.append(f"{cell.workload}/{cell.isa}")
+            cycle_drift.append(f"{cell.workload}/{cell.isa}[{cell.engine}]")
         compared.append(entry)
         speedups.append(speedup)
         if regressed:
             regressions.append(
-                f"{cell.workload}/{cell.isa}: {cell.wall_seconds:.3f}s vs "
+                f"{cell.workload}/{cell.isa}[{cell.engine}]: "
+                f"{cell.wall_seconds:.3f}s vs "
                 f"baseline {float(base['wall_seconds']):.3f}s "
                 f"(> {threshold:.0%} slower)")
-    for (workload, isa) in sorted(base_cells):
-        compared.append({"workload": workload, "isa": isa,
-                         "wall_seconds": base_cells[(workload, isa)]["wall_seconds"],
+    for (workload, isa, engine) in sorted(base_cells):
+        base = base_cells[(workload, isa, engine)]
+        compared.append({"workload": workload, "isa": isa, "engine": engine,
+                         "wall_seconds": base["wall_seconds"],
                          "speedup": None, "regression": False,
                          "note": "cell missing from current run"})
     geomean_speedup = _geomean(speedups)
@@ -511,18 +596,18 @@ def render_text(report: BenchReport) -> str:
     """Human-readable summary table for the CLI."""
     from ..common.tables import render_table
 
-    base_cells: Dict[Tuple[str, str], Dict[str, object]] = {}
+    base_cells: Dict[Tuple[str, str, str], Dict[str, object]] = {}
     if report.baseline is not None:
         base_cells = {
-            (c["workload"], c["isa"]): c
+            (c["workload"], c["isa"], c.get("engine", "scalar")): c
             for c in report.baseline["cells"]  # type: ignore[index,union-attr]
         }
     rows = []
     for cell in report.cells:
-        base = base_cells.get((cell.workload, cell.isa), {})
+        base = base_cells.get((cell.workload, cell.isa, cell.engine), {})
         speedup = base.get("speedup")
         rows.append([
-            cell.workload, cell.isa,
+            cell.workload, cell.isa, cell.engine,
             f"{cell.wall_seconds:.3f}",
             f"{cell.cycles_per_second:,.0f}",
             cell.cycles,
@@ -531,7 +616,8 @@ def render_text(report: BenchReport) -> str:
             ("yes" if cell.verified else "NO"),
         ])
     text = render_table(
-        ["Workload", "ISA", "wall s", "sim cyc/s", "cycles", "speedup", "ok"],
+        ["Workload", "ISA", "engine", "wall s", "sim cyc/s", "cycles",
+         "speedup", "ok"],
         rows,
         title=f"repro bench [{report.label}] scale={report.scale:g} "
               f"repeats={report.repeats}",

@@ -396,10 +396,13 @@ _SUITE_CACHE: Dict[Tuple[str, float, int, Tuple[str, ...]], SuiteResults] = {}
 
 
 def clear_suite_cache() -> None:
-    """Drop the in-process memos — suite results *and* staged replay
-    processes (test isolation helper)."""
+    """Drop the in-process memos — suite results, staged replay
+    processes, and parsed traces (test isolation helper)."""
+    from .cache import clear_trace_memo
+
     _SUITE_CACHE.clear()
     _REPLAY_STAGING.clear()
+    clear_trace_memo()
 
 
 def run_suite(

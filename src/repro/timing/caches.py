@@ -138,9 +138,15 @@ class MemorySystem:
         for l2 in self.l2:
             l2.occupancy = 2
         self.dram = Dram(gpu_config.dram)
+        # CU -> cluster is fixed at construction; every memory access
+        # resolves it, so one list index replaces the div/min per call.
+        self._cluster_of: List[int] = [
+            min(cu // gpu_config.cus_per_cluster, n_clusters - 1)
+            for cu in range(gpu_config.num_cus)
+        ]
 
     def _cluster(self, cu_id: int) -> int:
-        return min(cu_id // self.config.cus_per_cluster, self.config.num_clusters - 1)
+        return self._cluster_of[cu_id]
 
     def _note(self, cache: Cache, op: str, line: int, now: int, cu: int,
               is_write: bool = False) -> None:
@@ -197,7 +203,7 @@ class MemorySystem:
     def vector_access(self, cu_id: int, lines: List[int], is_write: bool, now: int) -> int:
         """Completion cycle for a coalesced vector memory request."""
         l1 = self.l1d[cu_id]
-        cluster = self._cluster(cu_id)
+        cluster = self._cluster_of[cu_id]
         tracing = self.trace is not None and self.trace.wants_cache
         hit_latency = l1.hit_latency
         occupancy = l1.occupancy
@@ -264,7 +270,7 @@ class MemorySystem:
 
     def scalar_access(self, cu_id: int, lines: List[int], now: int) -> int:
         """Completion cycle for an s_load through the scalar cache."""
-        cluster = self._cluster(cu_id)
+        cluster = self._cluster_of[cu_id]
         cache = self.scalar[cluster]
         tracing = self.trace is not None and self.trace.wants_cache
         hit_latency = cache.hit_latency
@@ -297,7 +303,7 @@ class MemorySystem:
 
     def ifetch(self, cu_id: int, line: int, now: int) -> int:
         """Completion cycle for an instruction fetch."""
-        cluster = self._cluster(cu_id)
+        cluster = self._cluster_of[cu_id]
         cache = self.l1i[cluster]
         tracing = self.trace is not None and self.trace.wants_cache
         nf = cache.next_free

@@ -74,6 +74,7 @@ class ComputeUnit:
         self.gpu = gpu
         self.events = gpu.events    # hot-path alias
         self.memsys = gpu.memsys    # hot-path alias
+        self.trace = gpu.trace      # hot-path alias (fixed per Gpu run)
         config = gpu.config.cu
         self.config = config
         self.num_simds = config.num_simds
@@ -120,6 +121,12 @@ class ComputeUnit:
         return True
 
     def add_workgroup(self, record: WorkgroupRecord) -> None:
+        if not self.workgroups:
+            # Becoming busy: join the dispatcher's scan list, kept in
+            # cu_id order so the cycle order matches a full-array scan.
+            busy = self.gpu.busy_cus
+            busy.append(self)
+            busy.sort(key=lambda cu: cu.cu_id)
         self.workgroups[record.wg_key] = record
         self.wf_slots_used += len(record.wavefronts)
         self.vrf_slots_used += record.reg_slots
@@ -138,6 +145,8 @@ class ComputeUnit:
 
     def _retire_workgroup(self, record: WorkgroupRecord) -> None:
         del self.workgroups[record.wg_key]
+        if not self.workgroups:
+            self.gpu.busy_cus.remove(self)
         self.wf_slots_used -= len(record.wavefronts)
         self.vrf_slots_used -= record.reg_slots
         self.srf_slots_used -= record.sgpr_slots
@@ -208,7 +217,7 @@ class ComputeUnit:
             vrf.collect(now)
         # One attribute fetch per cycle; every instrumentation point below
         # is a plain ``is not None`` check when tracing is off.
-        trace: Optional[TraceBus] = self.gpu.trace
+        trace: Optional[TraceBus] = self.trace
 
         if self.fetch_ready and self._start_fetch(now):
             did = True
@@ -258,7 +267,7 @@ class ComputeUnit:
             self.events.schedule_at(
                 max(done_cycle, now + 1), lambda w=wf, e=epoch: self._finish_fetch(w, e)
             )
-            trace: Optional[TraceBus] = self.gpu.trace
+            trace: Optional[TraceBus] = self.trace
             if trace is not None and trace.wants_fetch:
                 trace.emit("fetch", "ifetch", now,
                            dur=max(done_cycle - now, 1), cu=self.cu_id,
@@ -285,7 +294,7 @@ class ComputeUnit:
             budget -= size
         self._sync_fetch(wf)
         self.next_wake = 0
-        self.gpu.notify_progress()
+        self.gpu._last_progress_cycle = self.events.now  # inline notify
 
     # -- issue ------------------------------------------------------------
 
@@ -341,11 +350,18 @@ class ComputeUnit:
 
         desc = wf.descs[pc]
 
-        blocked, hint = self._dependencies_block(wf, desc, now, trace)
-        if blocked:
-            return False, hint
+        # GCN3 stalls on dependencies only at explicit s_waitcnt, so the
+        # common case skips the call entirely; HSAIL always consults its
+        # scoreboard.  Same decisions as unconditionally calling through.
+        if desc.is_waitcnt or not wf.is_gcn3:
+            blocked, hint = self._dependencies_block(wf, desc, now, trace)
+            if blocked:
+                return False, hint
 
-        unit_hint = self._unit_busy(wf, desc, now)
+        # The SIMD itself was checked by the caller; only off-SIMD units
+        # need the structural-hazard probe.
+        unit_hint = (None if desc.unit == UNIT_SIMD
+                     else self._unit_busy(wf, desc, now))
         if unit_hint is not None:
             if trace is not None and trace.wants_stall:
                 trace.stall(_UNIT_STALL_REASON[desc.unit], now,
@@ -424,70 +440,81 @@ class ComputeUnit:
 
     def _issue(self, wf: TimingWavefront, desc: IssueDesc,
                simd: int, now: int, trace: Optional[TraceBus] = None) -> None:
-        gpu = self.gpu
-        stats = gpu.stats
         state = wf.state
-        record = self.workgroups[wf.wg_key]
+        record: Optional[WorkgroupRecord] = None
         pc = state.pc
 
-        wf.instr_counter += 1
-        stats.record_instruction(desc.category)
-
-        # --- VRF probes (reads before execution) ---
+        # --- VRF gather window (bank-conflict timing) ---
         read_slots = desc.read_slots
-        write_slots = desc.write_slots
         vrf = self.vrf
         # Only source reads contend for the operand-gather ports; writes
         # drain through the separate writeback port.  Each operand's bank
         # stays busy for the instruction's full gather window.
-        if desc.unit == UNIT_SIMD:
-            duration = self.config.valu_issue_cycles * desc.valu_mult
-        else:
-            duration = 2
-        vrf.note_access(read_slots, now, duration)
-        if trace is not None and trace.wants_vrf and read_slots:
-            trace.emit("vrf", "gather", now, dur=duration, cu=self.cu_id,
-                       wf=wf.wf_id, args={"slots": list(read_slots)})
-        vrf.record_reuse(wf.reuse_tracker, wf.instr_counter, desc.rw_slots)
-        # The uniqueness probe samples one instruction in four: the unique
-        # count per slot is the probe's cost, and the ratio converges
-        # quickly.  The mask is captured before execution for both probes.
-        sample = (wf.instr_counter & 3) == 0
-        cursor = wf.cursor
-        if cursor is not None:
-            # --- trace replay: the recorded outcome stands in for the
-            # functional execution (and for the register-reading probes,
-            # whose sampled counts were stored at capture time).
-            result: ExecResult = cursor.advance(pc, sample, read_slots,
-                                                write_slots, stats)
-        else:
-            if sample and (read_slots or write_slots):
-                mask = state.exec_bool() if wf.is_gcn3 else state.mask_array()
-                active = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+        # (note_access is a no-op without slots; the gate skips the call.)
+        if read_slots:
+            if desc.unit == UNIT_SIMD:
+                duration = self.config.valu_issue_cycles * desc.valu_mult
             else:
-                mask = None
-                active = 0
-            stream = wf.capture
-            read_uniques = write_uniques = None
-            if sample and read_slots:
-                read_uniques = vrf.probe_uniqueness(
-                    wf.regs, read_slots, mask, is_write=False, active=active,
-                    collect=stream is not None)
+                duration = 2
+            vrf.note_access(read_slots, now, duration)
 
-            # --- functional execution (execute-at-issue) ---
-            result = record.executor.execute(state)  # type: ignore[attr-defined]
+        cursor = wf.cursor
+        if cursor is not None and cursor.vectorized:
+            # --- vector replay: the batch-decoded outcome stands in for
+            # the functional execution; every per-issue statistic below
+            # (instruction mix, reuse distance, probes, utilization) was
+            # folded into the StatSet at placement, so only the timing
+            # state advances here.  Vector runs are never event-traced.
+            result: ExecResult = cursor.advance(pc)
+        else:
+            stats = self.gpu.stats
+            wf.instr_counter += 1
+            stats.record_instruction(desc.category)
+            write_slots = desc.write_slots
+            if trace is not None and trace.wants_vrf and read_slots:
+                trace.emit("vrf", "gather", now, dur=duration, cu=self.cu_id,
+                           wf=wf.wf_id, args={"slots": list(read_slots)})
+            vrf.record_reuse(wf.reuse_tracker, wf.instr_counter, desc.rw_slots)
+            # The uniqueness probe samples one instruction in four: the
+            # unique count per slot is the probe's cost, and the ratio
+            # converges quickly.  The mask is captured before execution
+            # for both probes.
+            sample = (wf.instr_counter & 3) == 0
+            if cursor is not None:
+                # --- trace replay: the recorded outcome stands in for the
+                # functional execution (and for the register-reading probes,
+                # whose sampled counts were stored at capture time).
+                result = cursor.advance(pc, sample, read_slots,
+                                        write_slots, stats)
+            else:
+                record = self.workgroups[wf.wg_key]
+                if sample and (read_slots or write_slots):
+                    mask = state.exec_bool() if wf.is_gcn3 else state.mask_array()
+                    active = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+                else:
+                    mask = None
+                    active = 0
+                stream = wf.capture
+                read_uniques = write_uniques = None
+                if sample and read_slots:
+                    read_uniques = vrf.probe_uniqueness(
+                        wf.regs, read_slots, mask, is_write=False, active=active,
+                        collect=stream is not None)
 
-            if sample and write_slots:
-                write_uniques = vrf.probe_uniqueness(
-                    wf.regs, write_slots, mask, is_write=True, active=active,
-                    collect=stream is not None)
-            if stream is not None:
-                stream.record(pc, result,
-                              sample and bool(read_slots or write_slots),
-                              active, read_uniques, write_uniques)
+                # --- functional execution (execute-at-issue) ---
+                result = record.executor.execute(state)  # type: ignore[attr-defined]
 
-        if desc.unit == UNIT_SIMD:
-            stats.simd_utilization.add(result.active_lanes, 64)
+                if sample and write_slots:
+                    write_uniques = vrf.probe_uniqueness(
+                        wf.regs, write_slots, mask, is_write=True, active=active,
+                        collect=stream is not None)
+                if stream is not None:
+                    stream.record(pc, result,
+                                  sample and bool(read_slots or write_slots),
+                                  active, read_uniques, write_uniques)
+
+            if desc.unit == UNIT_SIMD:
+                stats.simd_utilization.add(result.active_lanes, 64)
 
         # --- timing costs ---
         issue_cost = self._charge_units(wf, desc, simd, now)
@@ -500,19 +527,26 @@ class ComputeUnit:
                              "active": result.active_lanes})
 
         # --- memory completions ---
-        self._handle_memory(wf, desc, result, now, issue_cost, trace)
+        if result.mem_kind != MemKind.NONE:
+            self._handle_memory(wf, desc, result, now, issue_cost, trace)
 
         # --- control flow / IB maintenance ---
-        wf.ib_pop()
+        ib = wf.ib
+        if ib:  # inline of ib_pop
+            ib.pop(0)
         if result.branch_taken and result.next_pc is not None:
             self._flush(wf, result.next_pc)
         else:
             self._sync_fetch(wf)
         if result.is_barrier:
+            if record is None:  # replay defers the workgroup lookup
+                record = self.workgroups[wf.wg_key]
             self._arrive_barrier(wf, record)
         if result.ends_wavefront:
             self.simd_ready[wf.simd_id] -= 1  # done WFs leave the ready set
             self._sync_fetch(wf)
+            if record is None:
+                record = self.workgroups[wf.wg_key]
             self._maybe_retire(record)
 
     def _charge_units(self, wf: TimingWavefront, desc: IssueDesc,
@@ -599,13 +633,13 @@ class ComputeUnit:
             wf.release_mem_busy(slots)
         self._unpark(wf)
         self.next_wake = 0
-        self.gpu.notify_progress()
+        self.gpu._last_progress_cycle = self.events.now  # inline notify
 
     def _finish_lgkm(self, wf: TimingWavefront) -> None:
         wf.pending_lgkm -= 1
         self._unpark(wf)
         self.next_wake = 0
-        self.gpu.notify_progress()
+        self.gpu._last_progress_cycle = self.events.now  # inline notify
 
     def _finish_lds(self, wf: TimingWavefront, slots: Tuple[int, ...]) -> None:
         wf.pending_lgkm -= 1
@@ -613,7 +647,7 @@ class ComputeUnit:
             wf.release_mem_busy(slots)
         self._unpark(wf)
         self.next_wake = 0
-        self.gpu.notify_progress()
+        self.gpu._last_progress_cycle = self.events.now  # inline notify
 
     def _flush(self, wf: TimingWavefront, new_pc: int) -> None:
         wf.flush_ib(new_pc)

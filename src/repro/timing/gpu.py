@@ -20,6 +20,7 @@ import numpy as np
 
 from ..common.config import GpuConfig
 from ..common.errors import DeadlockError, TimingError
+from ..common.xp import get_array_module
 from ..common.events import EventQueue
 from ..common.stats import StatSet
 from ..gcn3.isa import Gcn3Kernel
@@ -32,6 +33,7 @@ from .caches import MemorySystem
 from .cu import NEVER_WAKE, ComputeUnit, WorkgroupRecord
 from .registerfile import VrfModel
 from .replay import ExecTrace, TraceRecorder
+from .vector import resolve_engine, vector_cursor
 from .wavefront import TimingWavefront
 
 #: Command-processor overhead before the first workgroup of a dispatch.
@@ -58,10 +60,22 @@ class Gpu:
         #: recorded trace to replay — wavefronts get a ReplayCursor
         #: instead of a functional state, and no executor is built.
         self.replay = replay
+        #: the resolved cycle engine for this run: "vector" batch-decodes
+        #: each wavefront's stream at placement (untraced replay only);
+        #: "scalar" is the per-issue reference path.  See timing/vector.py.
+        self.engine = resolve_engine(config.engine,
+                                     replay=replay is not None,
+                                     traced=trace is not None)
+        self._xp = get_array_module() if self.engine == "vector" else None
         self.events = EventQueue()
         self.memsys = MemorySystem(config)
         self.memsys.trace = trace
         self.cus = [ComputeUnit(i, self) for i in range(config.num_cus)]
+        #: CUs with at least one resident workgroup, in cu_id order —
+        #: maintained by add_workgroup/_retire_workgroup so the per-cycle
+        #: scan visits exactly the busy CUs (same order as scanning
+        #: ``cus`` and skipping idle ones, so decisions are unchanged).
+        self.busy_cus: List[ComputeUnit] = []
         self.vrf_models: List[VrfModel] = []
         self.stats = StatSet()
         self._wf_counter = 0
@@ -119,18 +133,19 @@ class Gpu:
         # changes which no-op scans run, never a scheduling decision, so
         # statistics are bit-identical — see tests/timing/test_determinism).
         traced = self.trace is not None
-        cus = self.cus
+        busy_cus = self.busy_cus
+        events = self.events
+        deadlock_cycles = self.config.deadlock_cycles
         while self._outstanding_wgs > 0:
-            now = self.events.now
+            now = events.now
             did_work = False
             # Command processor: place at most one workgroup per cycle.
             if pending and self._try_place(dispatch, dispatch_id, pending[0]):
                 pending.popleft()
                 did_work = True
             wake: Optional[int] = None
-            for cu in cus:
-                if not cu.workgroups:  # inline of the ``busy`` property
-                    continue
+            # Snapshot: a retiring workgroup removes its CU mid-scan.
+            for cu in tuple(busy_cus):
                 nw = cu.next_wake
                 if nw > now and not traced:
                     if nw != NEVER_WAKE and (wake is None or nw < wake):
@@ -147,13 +162,13 @@ class Gpu:
             if self._outstanding_wgs == 0:
                 break
             if did_work:
-                self.events.tick()
-                self.notify_progress()
+                events.tick()
+                self._last_progress_cycle = events.now  # inline notify_progress
             else:
                 self._idle_advance(wake, bool(pending))
-            if self.events.now - self._last_progress_cycle > self.config.deadlock_cycles:
+            if events.now - self._last_progress_cycle > deadlock_cycles:
                 raise DeadlockError(
-                    f"no progress for {self.config.deadlock_cycles} cycles "
+                    f"no progress for {deadlock_cycles} cycles "
                     f"running {dispatch.kernel.name}"
                 )
 
@@ -241,8 +256,16 @@ class Gpu:
         wg_id = dispatch.workgroup_id(wg_index)
         for wf_index in range(num_wfs):
             if replay is not None:
-                state: object = replay.cursor(
-                    self._wf_counter, dispatch.kernel, dispatch.is_gcn3)
+                if self._xp is not None:
+                    # Vector engine: decode the whole stream now and fold
+                    # its order-independent statistics into the dispatch
+                    # StatSet; the issue path then reads plain lists.
+                    state: object = vector_cursor(
+                        replay, self._wf_counter, dispatch.kernel,
+                        dispatch.is_gcn3, self.stats, self._xp)
+                else:
+                    state = replay.cursor(
+                        self._wf_counter, dispatch.kernel, dispatch.is_gcn3)
             else:
                 ctx = dispatch.make_context(wg_id, wf_index, lds_base_offset=0)
                 if dispatch.is_gcn3:

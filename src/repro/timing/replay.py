@@ -182,12 +182,16 @@ class TraceRecorder:
 class ExecTrace:
     """A captured functional trace: per-wavefront streams + metadata."""
 
-    __slots__ = ("meta", "streams")
+    __slots__ = ("meta", "streams", "_decode_cache")
 
     def __init__(self, meta: "Dict[str, object]",
                  streams: List[WfStream]) -> None:
         self.meta = meta
         self.streams = streams
+        #: per-wavefront batch decodes (timing/vector.py), memoized here
+        #: because the decode depends only on the stream contents — every
+        #: sweep cell replaying this trace shares one decode pass.
+        self._decode_cache: "Dict[int, object]" = {}
 
     @property
     def verified(self) -> bool:
@@ -305,6 +309,10 @@ class ReplayCursor:
     regs = None
     vgpr = None
     exec_mask = 0
+    #: the issue path branches on this instead of the cursor type: the
+    #: vectorized subclass (timing/vector.py) pre-folds all per-issue
+    #: statistics and takes a narrower ``advance(pc)`` call.
+    vectorized = False
 
     def __init__(self, stream: WfStream, kernel: object,
                  is_gcn3: bool) -> None:

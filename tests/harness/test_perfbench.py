@@ -121,7 +121,7 @@ class TestCompare:
         report = make_report([make_cell(cycles=1001)])
         baseline = make_report([make_cell(cycles=1000)]).to_dict()
         compare(report, baseline, "b.json")
-        assert report.baseline["cycle_drift"] == ["fft/gcn3"]
+        assert report.baseline["cycle_drift"] == ["fft/gcn3[scalar]"]
         assert report.baseline["cells"][0]["cycle_drift"] == {
             "baseline": 1000, "current": 1001}
 
@@ -215,3 +215,90 @@ class TestBenchSweep:
     def test_rejects_bad_repeats(self):
         with pytest.raises(BenchError, match="repeats"):
             bench_sweep("l1d.size_bytes=8k,32k", ["arraybw"], repeats=0)
+
+
+class TestEngineRows:
+    def test_schema_carries_engine_per_cell(self):
+        """Every cell a bench emits names the engine that produced it,
+        so regressions are attributable."""
+        report = make_report([make_cell(),
+                              make_cell(isa="hsail")])
+        doc = report.to_dict()
+        validate_schema(doc)
+        assert all("engine" in c for c in doc["cells"])
+        assert {c["engine"] for c in doc["cells"]} == {"scalar"}
+
+    def test_cell_lookup_can_filter_by_engine(self):
+        scalar = make_cell(wall=2.0)
+        vector = make_cell(wall=0.5)
+        vector.engine = "vector"
+        report = make_report([scalar, vector])
+        assert report.cell("fft", "gcn3", "vector") is vector
+        assert report.cell("fft", "gcn3", "scalar") is scalar
+        assert report.cell("fft", "gcn3") is scalar  # first match
+
+    def test_compare_matches_on_engine(self):
+        """Scalar and vector rows of the same cell never cross-compare."""
+        cur_s, cur_v = make_cell(wall=1.0), make_cell(wall=0.25)
+        cur_v.engine = "vector"
+        base_s, base_v = make_cell(wall=2.0), make_cell(wall=1.0)
+        base_v.engine = "vector"
+        report = make_report([cur_s, cur_v])
+        baseline = make_report([base_s, base_v]).to_dict()
+        geomean, regressions = compare(report, baseline, "b.json")
+        assert regressions == []
+        by_engine = {c["engine"]: c for c in report.baseline["cells"]}
+        assert by_engine["scalar"]["speedup"] == 2.0
+        assert by_engine["vector"]["speedup"] == 4.0
+
+    def test_engineless_baseline_defaults_to_scalar(self):
+        """Reports written before the engine knob compare against scalar
+        rows; vector rows are new cells, never regressions."""
+        cur_s, cur_v = make_cell(wall=1.0), make_cell(wall=9.0)
+        cur_v.engine = "vector"
+        report = make_report([cur_s, cur_v])
+        baseline = make_report([make_cell(wall=2.0)]).to_dict()
+        for cell in baseline["cells"]:
+            del cell["engine"]  # a pre-engine-knob report
+        validate_schema(baseline)  # engine stays optional on read
+        _, regressions = compare(report, baseline, "b.json")
+        assert regressions == []
+        cells = report.baseline["cells"]
+        assert [c.get("note") for c in cells] == [None, "new cell"]
+        assert cells[0]["speedup"] == 2.0
+
+    def test_run_bench_vector_rows(self):
+        """engines=("scalar","vector") produces one row per engine with
+        identical simulated cycles (the bit-identity invariant) and
+        carries the engine through the emitted schema."""
+        from repro.common.config import small_config
+
+        report = run_bench(workloads=["arraybw"], scale=0.1,
+                           config=small_config(2), repeats=1, label="eng",
+                           engines=("scalar", "vector"))
+        assert {(c.isa, c.engine) for c in report.cells} == {
+            ("hsail", "scalar"), ("gcn3", "scalar"),
+            ("hsail", "vector"), ("gcn3", "vector")}
+        for isa in ("hsail", "gcn3"):
+            scalar = report.cell("arraybw", isa, "scalar")
+            vector = report.cell("arraybw", isa, "vector")
+            assert scalar.cycles == vector.cycles
+            assert scalar.dynamic_instructions == vector.dynamic_instructions
+            assert vector.verified  # inherited from the capture run
+        doc = report.to_dict()
+        validate_schema(doc)
+        assert all("engine" in c for c in doc["cells"])
+
+    def test_run_bench_rejects_unknown_engine(self):
+        with pytest.raises(BenchError, match="unknown bench engine"):
+            run_bench(workloads=["arraybw"], engines=("warp",))
+
+    def test_bench_sweep_records_engine(self):
+        from repro.common.config import small_config
+
+        section = bench_sweep("l1d.size_bytes=8k,32k", ["arraybw"],
+                              isas=["gcn3"], scale=0.1,
+                              config=small_config(2), engine="scalar")
+        assert section["engine"] == "scalar"
+        assert section["replay_drift"] == 0
+        assert section["cells_identical"] is True

@@ -15,13 +15,19 @@ internal equivalences.
 import pytest
 
 from repro.common.config import small_config
+from repro.harness.cache import TraceStore
 from repro.harness.runner import run_workload
 from repro.obs.trace import TraceConfig
+from repro.timing.vector import resolve_engine
 
 SCALE = 0.1
 SEED = 7
 CASES = [("bitonic", "hsail"), ("bitonic", "gcn3"),
          ("comd", "hsail"), ("comd", "gcn3")]
+
+#: replay engines the run-twice / traced-vs-untraced equivalences must
+#: also hold for (scalar = reference walk, vector = batch decode).
+ENGINES = ["scalar", "vector"]
 
 
 def _stats_payload(run):
@@ -29,7 +35,17 @@ def _stats_payload(run):
     payload = run.to_payload()
     payload.pop("wall_seconds")
     payload.pop("trace", None)
+    payload.pop("execution", None)
     return payload
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    store = TraceStore(tmp_path_factory.mktemp("determinism-traces"))
+    for workload, isa in CASES:
+        run_workload(workload, isa, scale=SCALE, config=small_config(2),
+                     seed=SEED, execution="capture", trace_store=store)
+    return store
 
 
 @pytest.mark.parametrize("workload,isa", CASES)
@@ -38,6 +54,21 @@ def test_run_twice_is_bit_identical(workload, isa):
     first = run_workload(workload, isa, scale=SCALE, config=config, seed=SEED)
     second = run_workload(workload, isa, scale=SCALE, config=config, seed=SEED)
     assert first.verified and second.verified
+    assert _stats_payload(first) == _stats_payload(second)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("workload,isa", CASES)
+def test_replay_twice_is_bit_identical(store, workload, isa, engine):
+    """Run-twice determinism must survive trace replay under both
+    engines — the vector path's decode memo in particular must not make
+    the second replay of a trace differ from the first."""
+    config = small_config(2).with_overrides({"engine": engine})
+    first = run_workload(workload, isa, scale=SCALE, config=config,
+                         seed=SEED, execution="replay", trace_store=store)
+    second = run_workload(workload, isa, scale=SCALE, config=config,
+                          seed=SEED, execution="replay", trace_store=store)
+    assert first.execution == second.execution == "replay"
     assert _stats_payload(first) == _stats_payload(second)
 
 
@@ -56,5 +87,27 @@ def test_traced_and_untraced_statistics_agree(workload, isa):
     traced = run_workload(workload, isa, scale=SCALE, config=config,
                           seed=SEED, trace=TraceConfig())
     assert untraced.verified and traced.verified
+    assert traced.trace is not None and traced.trace.events
+    assert _stats_payload(untraced) == _stats_payload(traced)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("workload,isa", CASES)
+def test_traced_and_untraced_replay_agree(store, workload, isa, engine):
+    """Traced-vs-untraced equivalence extended to replay mode.
+
+    An event-traced replay always falls back to the scalar engine (its
+    per-issue emission is exhaustive by construction; see
+    ``resolve_engine``) — so this also proves the vector engine's
+    untraced fast path agrees with the fully-instrumented walk of the
+    same recorded stream.
+    """
+    config = small_config(2).with_overrides({"engine": engine})
+    untraced = run_workload(workload, isa, scale=SCALE, config=config,
+                            seed=SEED, execution="replay", trace_store=store)
+    traced = run_workload(workload, isa, scale=SCALE, config=config,
+                          seed=SEED, execution="replay", trace_store=store,
+                          trace=TraceConfig())
+    assert resolve_engine(engine, replay=True, traced=True) == "scalar"
     assert traced.trace is not None and traced.trace.events
     assert _stats_payload(untraced) == _stats_payload(traced)
