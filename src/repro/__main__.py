@@ -6,7 +6,20 @@ Commands
 list
     Show the workload registry (the paper's Table 5).
 run --workload W [--isa hsail|gcn3|both] [--scale S] [--cus N]
-    Simulate one workload and print its statistics.
+    [--seed N] [--override PATH=VALUE ...] [--execution MODE]
+    [--trace-dir DIR] [--engine auto|scalar|vector]
+    Simulate one workload and print its statistics.  Each cell is one
+    :class:`repro.core.requests.RunRequest` — the CLI builds the exact
+    request object ``Session.run`` would and executes it through the
+    same entry point.
+serve [--host H] [--port P] [--trace-dir DIR] [--rate-limit R/S]
+      [--job-timeout SEC] [--max-queue N]
+    Long-lived simulation daemon: POST run/suite/sweep request JSON to
+    ``/v1/run|suite|sweep``, poll ``/v1/jobs/<id>``, read daemon
+    counters at ``/v1/metrics``.  Queued run cells that share a trace
+    fingerprint are batched — one capture, N replays — over a shared
+    in-process trace store, so a burst of timing-only variants pays for
+    functional semantics once.
 trace W [--isa hsail|gcn3] [--out FILE] [--format chrome|jsonl]
         [--categories issue,cache,...] [--sample N] [--max-events N]
     Simulate one workload with the cycle-level trace bus enabled and
@@ -81,15 +94,96 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from .core import Session
+# ---- request builders -------------------------------------------------------
+# The CLI never calls the harness directly: each command assembles the
+# same frozen request object Session would build for the same knobs and
+# hands it to execute_request().  Public so tests can assert the
+# CLI-built request equals the Session-built one flag for flag.
 
+def parse_override_specs(specs) -> dict:
+    """Repeated ``--override path=value`` flags as a with_overrides
+    mapping (values take the axis shorthand: ``8k``, ``2.5``, ``true``)."""
+    from .common.errors import ConfigError
+    from .explore.space import parse_value
+
+    overrides = {}
+    for spec in specs or []:
+        path, sep, raw = spec.partition("=")
+        if not sep or not path.strip() or not raw.strip():
+            raise ConfigError(
+                f"bad override {spec!r}: expected path=value "
+                f"(e.g. -O l1d.size_bytes=32k)"
+            )
+        overrides[path.strip()] = parse_value(raw.strip())
+    return overrides
+
+
+def config_from_args(args: argparse.Namespace):
+    """The GpuConfig the CLI flags describe: --cus picks the base
+    machine, repeated --override edits dotted paths on top."""
     config = paper_config() if args.cus == 8 else small_config(args.cus)
-    session = Session(config)
+    overrides = parse_override_specs(getattr(args, "override", None))
+    if overrides:
+        config = config.with_overrides(overrides)
+    return config
+
+
+def run_request_from_args(args: argparse.Namespace, isa: Optional[str] = None):
+    """The RunRequest ``repro run`` executes (one per requested ISA) —
+    field-identical to ``Session(config).build_run_request(...)``."""
+    from .core.requests import RunRequest
+
+    return RunRequest(
+        workload=args.workload, isa=isa if isa is not None else args.isa,
+        scale=args.scale, seed=args.seed, config=config_from_args(args),
+        execution=args.execution, trace_dir=args.trace_dir,
+        engine=args.engine or "")
+
+
+def suite_request_from_args(args: argparse.Namespace):
+    """The SuiteRequest ``repro figures`` executes."""
+    from .core.requests import SuiteRequest
+
+    return SuiteRequest(
+        scale=args.scale, config=paper_config(), jobs=args.jobs,
+        use_disk_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir, job_timeout=args.job_timeout)
+
+
+def sweep_request_from_args(args: argparse.Namespace):
+    """The SweepRequest ``repro sweep`` executes (raises ConfigError /
+    RequestError on malformed axes)."""
+    from .core.requests import SweepRequest
+    from .explore.space import Axis
+    from .workloads import all_workloads
+
+    axes = tuple(Axis.parse(spec) for spec in args.axis)
+    workloads = tuple(args.workloads.split(",") if args.workloads
+                      else (w.name for w in all_workloads()))
+    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    return SweepRequest(
+        axes=axes, mode=args.mode, workloads=workloads, scale=args.scale,
+        seed=args.seed, config=config, jobs=args.jobs,
+        use_disk_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir, job_timeout=args.job_timeout,
+        resume=args.resume if args.resume is not None else False,
+        execution=args.execution, trace_dir=args.trace_dir,
+        verify_replay=not args.no_verify_replay,
+        engine=args.engine)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .common.errors import ConfigError
+    from .core.requests import RequestError, execute_request
+
     isas = ["hsail", "gcn3"] if args.isa == "both" else [args.isa]
     rows = []
     for isa in isas:
-        run = session.run(args.workload, isa, scale=args.scale)
+        try:
+            run = execute_request(run_request_from_args(args, isa))
+        except (ConfigError, RequestError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         snap = run.total.snapshot()
         rows.append([
             isa.upper(),
@@ -170,18 +264,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from .core import Session
     from .harness.report import write_report
 
     keys = args.only.split(",") if args.only else None
-    results = Session(paper_config()).suite(
-        scale=args.scale,
-        jobs=args.jobs,
-        use_disk_cache=False if args.no_cache else None,
-        cache_dir=args.cache_dir,
-        job_timeout=args.job_timeout,
-        progress=None if args.quiet else _progress_printer,
-    )
+    results = suite_request_from_args(args).execute(
+        progress=None if args.quiet else _progress_printer)
     for workload, isa, error in results.failures():
         print(f"FAILED {workload}/{isa}: {error}", file=sys.stderr)
     if args.json:
@@ -275,24 +362,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .common.errors import ConfigError
-    from .core import Session
+    from .core.requests import RequestError
     from .explore import analyze
-    from .explore.space import Axis, build_space
+    from .explore.space import build_space
     from .explore.sweep import sweep_fingerprint
-    from .harness.runner import ISAS
-    from .workloads import all_workloads
 
     try:
-        axes = [Axis.parse(spec) for spec in args.axis]
-        space = build_space(axes, args.mode)
-    except ConfigError as exc:
+        request = sweep_request_from_args(args)
+        space = build_space(request.axes, request.mode)
+    except (ConfigError, RequestError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    config = paper_config() if args.cus == 8 else small_config(args.cus)
-    workloads = (args.workloads.split(",") if args.workloads
-                 else [w.name for w in all_workloads()])
+    workloads = list(request.workloads)
 
-    points = space.points(config)
+    points = space.points(request.config)
     invalid = [p for p in points if not p.valid]
     if args.dry_run:
         rows = [[p.point_id, p.fingerprint() or "-",
@@ -301,27 +384,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(render_table(
             ["Point", "Config fingerprint", "Validation"], rows,
             title=f"Dry run: {len(points)} point(s) x "
-                  f"{len(workloads)} workload(s) x {len(ISAS)} ISAs = "
-                  f"{len(points) * len(workloads) * len(ISAS)} cell(s)"))
-        sweep_id = sweep_fingerprint(config, axes, args.mode,
-                                     tuple(workloads), ISAS, args.scale,
-                                     args.seed)
+                  f"{len(workloads)} workload(s) x {len(request.isas)} "
+                  f"ISAs = "
+                  f"{len(points) * len(workloads) * len(request.isas)} "
+                  f"cell(s)"))
+        sweep_id = sweep_fingerprint(request.config, request.axes,
+                                     request.mode, request.workloads,
+                                     request.isas, request.scale,
+                                     request.seed)
         print(f"\nsweep id: {sweep_id} (no cells simulated)")
         if invalid:
             print(f"{len(invalid)} invalid point(s)", file=sys.stderr)
         return 1 if invalid else 0
 
-    results = Session(config).sweep(
-        axes, mode=args.mode, workloads=workloads, scale=args.scale,
-        seed=args.seed, jobs=args.jobs,
-        use_disk_cache=False if args.no_cache else None,
-        cache_dir=args.cache_dir, job_timeout=args.job_timeout,
-        progress=None if args.quiet else _progress_printer,
-        resume=args.resume if args.resume is not None else False,
-        execution=args.execution, trace_dir=args.trace_dir,
-        verify_replay=not args.no_verify_replay,
-        engine=args.engine,
-    )
+    results = request.execute(
+        progress=None if args.quiet else _progress_printer)
     print(f"sweep {results.sweep_id}: {len(results.points)} point(s), "
           f"{results.replayed()} from journal, "
           f"{len(results.failed_points)} failed "
@@ -478,6 +555,28 @@ def build_parser() -> argparse.ArgumentParser:
                        default="both")
     run_p.add_argument("--scale", "-s", type=float, default=0.5)
     run_p.add_argument("--cus", type=int, default=8)
+    run_p.add_argument("--seed", type=int, default=7)
+    run_p.add_argument("--override", "-O", action="append",
+                       metavar="PATH=VALUE",
+                       help="edit one dotted config path on top of the "
+                            "base machine, e.g. -O l1d.size_bytes=32k "
+                            "(repeatable; axis value shorthand applies)")
+    run_p.add_argument("--execution",
+                       choices=["auto", "execute", "capture", "replay"],
+                       default="execute",
+                       help="how the instruction stream is obtained: "
+                            "execute = full semantics at issue (default); "
+                            "capture = execute and store a trace; replay "
+                            "= drive the timing model from a stored "
+                            "trace; auto = replay when the store has one, "
+                            "capture otherwise")
+    run_p.add_argument("--trace-dir",
+                       help="trace store directory (default "
+                            "<cache-dir>/traces)")
+    run_p.add_argument("--engine",
+                       choices=["auto", "scalar", "vector"], default=None,
+                       help="cycle-engine override for this run "
+                            "(default: keep the config's engine)")
 
     trace_p = sub.add_parser(
         "trace", help="simulate one workload with cycle-level tracing")
@@ -677,7 +776,39 @@ def build_parser() -> argparse.ArgumentParser:
     dis_p.add_argument("--isa", "-i", choices=["hsail", "gcn3", "both"],
                        default="both")
     dis_p.add_argument("--scale", "-s", type=float, default=0.25)
+
+    serve_p = sub.add_parser(
+        "serve", help="resident simulation daemon (HTTP, batched "
+                      "scheduling over the shared trace store)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", "-p", type=int, default=8642,
+                         help="listen port (0 = pick an ephemeral port "
+                              "and print it)")
+    serve_p.add_argument("--trace-dir",
+                         help="shared trace store directory (default "
+                              "<cache-dir>/traces)")
+    serve_p.add_argument("--cache-dir",
+                         help="result cache directory (default "
+                              ".repro_cache/ or $REPRO_CACHE_DIR)")
+    serve_p.add_argument("--job-timeout", type=float,
+                         help="per-job wall-clock limit in seconds "
+                              "(enforced through the process pool)")
+    serve_p.add_argument("--rate-limit", type=float, default=0.0,
+                         help="sustained requests/second allowed per "
+                              "client before 429 (0 = unlimited)")
+    serve_p.add_argument("--rate-burst", type=float, default=10.0,
+                         help="token-bucket burst size per client")
+    serve_p.add_argument("--max-queue", type=int, default=256,
+                         help="queued jobs before new submissions get 503")
+    serve_p.add_argument("--quiet", "-q", action="store_true",
+                         help="suppress per-job log lines on stderr")
     return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.daemon import serve_main
+
+    return serve_main(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -694,6 +825,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "cache": _cmd_cache,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -155,6 +155,41 @@ class GpuConfig:
         """The full nested configuration as plain JSON-friendly values."""
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: "Mapping[str, object]") -> "GpuConfig":
+        """Rebuild a config from :meth:`to_dict` output (wire inverse).
+
+        Every nested dataclass re-runs its ``__post_init__``, so a
+        hand-edited or hostile payload fails with a :class:`ConfigError`
+        naming the problem instead of reaching the timing model.  Unknown
+        keys are rejected — a misspelled field must not silently fall
+        back to its default.
+        """
+        nested = {
+            "cu": CuConfig,
+            "l1d": CacheConfig,
+            "l1i": CacheConfig,
+            "scalar_cache": CacheConfig,
+            "l2": CacheConfig,
+            "dram": DramConfig,
+        }
+        kwargs: "dict[str, object]" = {}
+        for key, value in payload.items():
+            sub = nested.get(key)
+            if sub is not None:
+                if not isinstance(value, Mapping):
+                    raise ConfigError(
+                        f"config field {key!r} must be an object, "
+                        f"got {type(value).__name__}"
+                    )
+                kwargs[key] = _build_sub(sub, key, value)
+            else:
+                kwargs[key] = value
+        try:
+            return cls(**kwargs)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ConfigError(f"bad config payload: {exc}") from exc
+
     def fingerprint(self) -> str:
         """A short, stable content hash of every configuration field.
 
@@ -215,6 +250,13 @@ class GpuConfig:
             cached = _config_hash(timing_only)
             object.__setattr__(self, "_timing_fingerprint", cached)
         return cached
+
+
+def _build_sub(kind: type, name: str, payload: "Mapping[str, object]") -> object:
+    try:
+        return kind(**payload)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ConfigError(f"bad config field {name!r}: {exc}") from exc
 
 
 def _config_hash(payload: "dict[str, object]") -> str:

@@ -6,10 +6,35 @@ model.  :class:`Session` is the front door: ``Session().compile(ir)``
 produces the HSAIL and GCN3 forms of a kernel, ``.run()``/``.suite()``
 simulate them cycle by cycle (optionally recording a
 :class:`repro.obs.TraceData`); :mod:`repro.core.funcsim` executes either
-ISA functionally.  :func:`compile_dual` remains as a deprecated shim.
+ISA functionally.  Every execution surface — the Session methods, the
+CLI, the parallel pool, and the ``repro serve`` daemon — goes through
+the frozen, JSON-round-trippable request objects in
+:mod:`repro.core.requests`.
 """
 
-from .api import DualKernel, Session, compile_dual
+from .api import DualKernel, Session
 from .funcsim import run_dispatch_functional
+from .requests import (
+    API_VERSION,
+    RequestError,
+    RunRequest,
+    SuiteRequest,
+    SweepRequest,
+    execute_request,
+    parse_request,
+    parse_request_json,
+)
 
-__all__ = ["DualKernel", "Session", "compile_dual", "run_dispatch_functional"]
+__all__ = [
+    "API_VERSION",
+    "DualKernel",
+    "RequestError",
+    "RunRequest",
+    "Session",
+    "SuiteRequest",
+    "SweepRequest",
+    "execute_request",
+    "parse_request",
+    "parse_request_json",
+    "run_dispatch_functional",
+]

@@ -12,9 +12,15 @@ settings — and exposes the three things users do:
 * :meth:`Session.suite` — the paper's full (workload x ISA) matrix with
   caching and process-pool fan-out.
 
-The older free functions ``compile_dual`` and ``run_suite`` survive as
-thin deprecated shims; new code (and everything in this repository)
-goes through a session::
+Since the request-object redesign, ``Session.run/.suite/.sweep`` are
+thin *builders*: each assembles a frozen, JSON-round-trippable request
+object (:class:`repro.core.requests.RunRequest` /
+:class:`~repro.core.requests.SuiteRequest` /
+:class:`~repro.core.requests.SweepRequest`) and hands it to the single
+execution entry point (:func:`repro.core.requests.execute_request`) —
+the exact same path the CLI, the parallel pool, and the ``repro serve``
+daemon take.  ``session.build_run_request(...)`` et al. expose the
+request without executing it (e.g. to POST it to a daemon)::
 
     from repro.core import Session
 
@@ -22,11 +28,11 @@ goes through a session::
     dual = session.compile(build_saxpy())
     run = session.run("bitonic", "gcn3", trace=TraceConfig())
     results = session.suite(scale=0.5, jobs=4)
+    request = session.build_run_request("bitonic", "gcn3")  # -> wire JSON
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -35,6 +41,7 @@ from ..gcn3.isa import Gcn3Kernel
 from ..hsail.codegen import compile_hsail
 from ..hsail.isa import HsailKernel
 from ..kernels.ir import KernelIR
+from .requests import RunRequest, SuiteRequest, SweepRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from typing import Union
@@ -76,8 +83,8 @@ class DualKernel:
 def _compile_dual(ir: KernelIR,
                   options: Optional[FinalizeOptions] = None) -> DualKernel:
     """The full two-phase flow: frontend -> HSAIL (BRIG-ready) ->
-    finalizer -> GCN3.  Internal; the public doors are
-    :meth:`Session.compile` and the deprecated :func:`compile_dual`."""
+    finalizer -> GCN3.  Internal; the public door is
+    :meth:`Session.compile`."""
     hsail = compile_hsail(ir)
     gcn3 = finalize(hsail, options)
     return DualKernel(ir=ir, hsail=hsail, gcn3=gcn3)
@@ -108,13 +115,6 @@ class Session:
         config = "paper" if self._config is None else self._config.fingerprint()
         return f"Session(config={config})"
 
-    def _engine_config(self, engine: Optional[str]) -> "GpuConfig":
-        """The session config with a per-call cycle-engine override."""
-        config = self.config
-        if engine is not None and engine != config.engine:
-            config = config.with_overrides({"engine": engine})
-        return config
-
     # -- compilation -----------------------------------------------------------
 
     def compile(self, ir: KernelIR,
@@ -123,6 +123,71 @@ class Session:
         session-level finalizer options for this kernel only)."""
         return _compile_dual(ir, options if options is not None
                              else self.finalize_options)
+
+    # -- request builders ------------------------------------------------------
+
+    def build_run_request(self, workload: str, isa: str, *,
+                          scale: float = 1.0, seed: int = 7,
+                          trace: "Optional[TraceConfig]" = None,
+                          execution: str = "execute",
+                          trace_dir: Optional[str] = None,
+                          engine: Optional[str] = None) -> RunRequest:
+        """The :class:`RunRequest` that :meth:`run` would execute — build
+        it here to serialize it (``request.to_json()``) or POST it to a
+        ``repro serve`` daemon instead of executing in-process."""
+        return RunRequest(workload=workload, isa=isa, scale=scale,
+                          seed=seed, config=self.config, trace=trace,
+                          execution=execution, trace_dir=trace_dir,
+                          engine=engine or "")
+
+    def build_suite_request(self, *, scale: float = 1.0,
+                            workloads: Optional[Sequence[str]] = None,
+                            seed: int = 7, use_cache: bool = True,
+                            jobs: int = 1,
+                            use_disk_cache: Optional[bool] = None,
+                            cache_dir: Optional[str] = None,
+                            job_timeout: Optional[float] = None,
+                            trace: "Optional[TraceConfig]" = None,
+                            execution: str = "execute",
+                            trace_dir: Optional[str] = None,
+                            engine: Optional[str] = None) -> SuiteRequest:
+        """The :class:`SuiteRequest` that :meth:`suite` would execute."""
+        return SuiteRequest(
+            workloads=tuple(workloads) if workloads is not None else None,
+            scale=scale, seed=seed, config=self.config, use_cache=use_cache,
+            jobs=jobs, use_disk_cache=use_disk_cache, cache_dir=cache_dir,
+            job_timeout=job_timeout, trace=trace, execution=execution,
+            trace_dir=trace_dir, engine=engine or "")
+
+    def build_sweep_request(self, axes: "Sequence[Axis | str]", *,
+                            mode: str = "grid",
+                            workloads: Optional[Sequence[str]] = None,
+                            isas: Optional[Sequence[str]] = None,
+                            scale: float = 0.5, seed: int = 7, jobs: int = 1,
+                            use_disk_cache: Optional[bool] = None,
+                            cache_dir: Optional[str] = None,
+                            job_timeout: Optional[float] = None,
+                            resume: "Union[bool, str]" = False,
+                            sweeps_dir: Optional[str] = None,
+                            execution: str = "auto",
+                            trace_dir: Optional[str] = None,
+                            verify_replay: bool = True,
+                            engine: Optional[str] = None) -> SweepRequest:
+        """The :class:`SweepRequest` that :meth:`sweep` would execute."""
+        from ..explore.space import Axis as _Axis
+        from .requests import ISAS
+
+        parsed = tuple(axis if isinstance(axis, _Axis) else _Axis.parse(axis)
+                       for axis in axes)
+        return SweepRequest(
+            axes=parsed, mode=mode,
+            workloads=tuple(workloads) if workloads is not None else None,
+            isas=tuple(isas) if isas is not None else ISAS, scale=scale,
+            seed=seed, config=self.config, jobs=jobs,
+            use_disk_cache=use_disk_cache, cache_dir=cache_dir,
+            job_timeout=job_timeout, resume=resume, sweeps_dir=sweeps_dir,
+            execution=execution, trace_dir=trace_dir,
+            verify_replay=verify_replay, engine=engine or "")
 
     # -- simulation ------------------------------------------------------------
 
@@ -137,20 +202,16 @@ class Session:
 
         ``execution`` selects how the instruction stream is obtained
         (``"execute"`` | ``"capture"`` | ``"replay"`` | ``"auto"``; see
-        :data:`repro.harness.runner.EXECUTION_MODES`); non-default modes
+        :data:`repro.core.requests.EXECUTION_MODES`); non-default modes
         use the trace store under ``trace_dir`` (default
         ``<cache-dir>/traces``).  ``engine`` overrides the session
         config's cycle-engine knob for this run only (``"auto"`` |
         ``"scalar"`` | ``"vector"``; see
         :func:`repro.timing.vector.resolve_engine`)."""
-        from ..harness.cache import resolve_trace_store
-        from ..harness.runner import run_workload
-
-        store = resolve_trace_store(trace_dir) if execution != "execute" else None
-        return run_workload(workload, isa, scale=scale,
-                            config=self._engine_config(engine),
-                            seed=seed, trace=trace,
-                            execution=execution, trace_store=store)
+        return self.build_run_request(
+            workload, isa, scale=scale, seed=seed, trace=trace,
+            execution=execution, trace_dir=trace_dir, engine=engine,
+        ).execute()
 
     def suite(self, *, scale: float = 1.0,
               workloads: Optional[Sequence[str]] = None, seed: int = 7,
@@ -164,19 +225,16 @@ class Session:
               trace_dir: Optional[str] = None,
               engine: Optional[str] = None) -> "SuiteResults":
         """Run every workload under both ISAs (the paper's evaluation
-        matrix); same knobs as the old ``run_suite``, plus ``trace``, the
-        trace-replay ``execution`` mode, and the per-call cycle-``engine``
-        override.  Traced suites bypass both cache layers — a cached
-        result has no events to replay."""
-        from ..harness.runner import _run_suite
-
-        return _run_suite(
-            scale=scale, config=self._engine_config(engine),
-            workloads=workloads, seed=seed,
-            use_cache=use_cache, jobs=jobs, use_disk_cache=use_disk_cache,
-            cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
-            trace=trace, execution=execution, trace_dir=trace_dir,
-        )
+        matrix), with caching, process-pool fan-out, the trace-replay
+        ``execution`` mode, and the per-call cycle-``engine`` override.
+        Traced suites bypass both cache layers — a cached result has no
+        events to replay."""
+        return self.build_suite_request(
+            scale=scale, workloads=workloads, seed=seed, use_cache=use_cache,
+            jobs=jobs, use_disk_cache=use_disk_cache, cache_dir=cache_dir,
+            job_timeout=job_timeout, trace=trace, execution=execution,
+            trace_dir=trace_dir, engine=engine,
+        ).execute(progress=progress)
 
     def sweep(self, axes: "Sequence[Axis | str]", *, mode: str = "grid",
               workloads: Optional[Sequence[str]] = None,
@@ -211,28 +269,10 @@ class Session:
                                       workloads=["lulesh"], jobs=4)
             table = tornado(results, "ratio:ifetch_misses")
         """
-        from ..explore.space import Axis as _Axis
-        from ..explore.sweep import run_sweep
-        from ..harness.runner import ISAS
-
-        parsed = [axis if isinstance(axis, _Axis) else _Axis.parse(axis)
-                  for axis in axes]
-        return run_sweep(
-            parsed, base=self.config, mode=mode, workloads=workloads,
-            isas=tuple(isas) if isas is not None else ISAS, scale=scale,
+        return self.build_sweep_request(
+            axes, mode=mode, workloads=workloads, isas=isas, scale=scale,
             seed=seed, jobs=jobs, use_disk_cache=use_disk_cache,
-            cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
-            resume=resume, sweeps_dir=sweeps_dir, execution=execution,
-            trace_dir=trace_dir, verify_replay=verify_replay,
-            engine=engine,
-        )
-
-
-def compile_dual(ir: KernelIR,
-                 options: Optional[FinalizeOptions] = None) -> DualKernel:
-    """Deprecated: use ``Session().compile(ir)`` instead."""
-    warnings.warn(
-        "compile_dual() is deprecated; use repro.core.Session().compile()",
-        DeprecationWarning, stacklevel=2,
-    )
-    return _compile_dual(ir, options)
+            cache_dir=cache_dir, job_timeout=job_timeout, resume=resume,
+            sweeps_dir=sweeps_dir, execution=execution, trace_dir=trace_dir,
+            verify_replay=verify_replay, engine=engine,
+        ).execute(progress=progress)

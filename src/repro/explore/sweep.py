@@ -29,7 +29,19 @@ import time
 import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.requests import SweepRequest
 
 from ..common.config import GpuConfig, paper_config
 from ..common.errors import ReproError
@@ -502,9 +514,10 @@ def run_sweep(
             misses: List[Job] = []
             for w in names:
                 for isa in isas:
-                    job = Job(w, isa, scale, seed, point.config, point=pid,
-                              execution=cell_mode, trace_dir=trace_dir,
-                              engine=point.config.engine)
+                    job = Job.build(w, isa, scale, seed, point.config,
+                                    point=pid, execution=cell_mode,
+                                    trace_dir=trace_dir,
+                                    engine=point.config.engine)
                     cached = (disk.get(_job_fp(job)) if disk is not None
                               else None)
                     if cached is not None:
@@ -580,7 +593,8 @@ def run_sweep(
         if verify_replay and replay_runs:
             job, run = min(replay_runs, key=lambda jr: jr[1].wall_seconds)
             results.verified_cell = f"{job.point}:{job.workload}/{job.isa}"
-            check = run_job_inline(replace(job, execution="execute"))
+            check = run_job_inline(replace(
+                job, request=replace(job.request, execution="execute")))
             if _replay_differs(run, check):
                 results.replay_drift = 1
                 warnings.warn(
@@ -595,6 +609,40 @@ def run_sweep(
     finally:
         journal.close()
     return results
+
+
+def execute_sweep_request(
+    request: "SweepRequest",
+    progress: Optional[ProgressFn] = None,
+    execute: Optional[Callable[[Job], "Dict[str, object]"]] = None,
+) -> SweepResults:
+    """Execute one :class:`~repro.core.requests.SweepRequest` — THE
+    sweep entry point shared by ``Session.sweep``, the ``repro sweep``
+    CLI, and the daemon's ``POST /v1/sweep``.  ``progress`` and
+    ``execute`` (the test hook) are execution-side arguments: callables
+    cannot ride the wire."""
+    return run_sweep(
+        list(request.axes),
+        base=request.config,
+        mode=request.mode,
+        workloads=(list(request.workloads)
+                   if request.workloads is not None else None),
+        isas=request.isas,
+        scale=request.scale,
+        seed=request.seed,
+        jobs=request.jobs,
+        use_disk_cache=request.use_disk_cache,
+        cache_dir=request.cache_dir,
+        job_timeout=request.job_timeout,
+        progress=progress,
+        resume=request.resume,
+        sweeps_dir=request.sweeps_dir,
+        execute=execute,
+        execution=request.execution,
+        trace_dir=request.trace_dir,
+        verify_replay=request.verify_replay,
+        engine=request.engine or None,
+    )
 
 
 def _job_fp(job: Job) -> str:

@@ -9,7 +9,8 @@ from .runner import (
     SuiteResults,
     WorkloadRun,
     clear_suite_cache,
-    run_suite,  # deprecated shim; new code uses repro.core.Session.suite
+    execute_run_request,
+    execute_suite_request,
     run_workload,
 )
 
@@ -22,10 +23,11 @@ __all__ = [
     "WorkloadRun",
     "clear_suite_cache",
     "correlate",
+    "execute_run_request",
+    "execute_suite_request",
     "hardware_cycles",
     "job_fingerprint",
     "run_jobs",
-    "run_suite",
     "run_workload",
     "source_tree_stamp",
     "table07_rows",

@@ -12,7 +12,7 @@ Knobs
 -----
 
 ``REPRO_CACHE_DIR``
-    Override the cache directory (same as ``run_suite(cache_dir=...)`` or
+    Override the cache directory (same as ``Session.suite(cache_dir=...)`` or
     the ``--cache-dir`` CLI flag).
 ``REPRO_NO_CACHE``
     Any non-empty value disables reads *and* writes (same as the

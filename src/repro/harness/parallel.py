@@ -33,37 +33,80 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..common.config import GpuConfig
+from ..core.requests import RunRequest
 from ..obs.trace import TraceConfig
 
 
 @dataclass(frozen=True)
 class Job:
-    """One cell of the simulation matrix."""
+    """One cell of the simulation matrix.
 
-    workload: str
-    isa: str
-    scale: float
-    seed: int
-    config: GpuConfig
-    #: trace settings; rides across the process boundary (TraceConfig is
-    #: frozen and picklable) so workers record events too.
-    trace: Optional[TraceConfig] = None
+    Since the request-object redesign a job *is* a serializable
+    :class:`~repro.core.requests.RunRequest` plus pool bookkeeping: the
+    request rides across the process boundary (frozen, picklable) and is
+    the exact same object the CLI, ``Session``, and the ``repro serve``
+    daemon execute — one schema, one code path.
+    """
+
+    request: RunRequest
     #: sweep-point tag.  Empty for plain suites (the key stays the
     #: two-tuple the serial reduce expects); a sweep sets it to the point
     #: id so cells of *different* configs for the same (workload, isa)
     #: stop colliding in the result mapping.
     point: str = ""
-    #: execution mode (see :data:`repro.harness.runner.EXECUTION_MODES`);
-    #: "execute" reproduces the pre-replay behaviour exactly.
-    execution: str = "execute"
-    #: trace-store directory for capture/replay modes; ``None`` uses the
-    #: default store under the cache directory.
-    trace_dir: Optional[str] = None
-    #: cycle-engine request ("auto" | "scalar" | "vector"); the empty
-    #: string keeps whatever ``config.engine`` already says.  Folded into
-    #: the config *before* fingerprinting callers build jobs, so cache
-    #: keys see the resolved knob (see timing/vector.resolve_engine).
-    engine: str = ""
+
+    @classmethod
+    def build(cls, workload: str, isa: str, scale: float, seed: int,
+              config: GpuConfig, *, trace: Optional[TraceConfig] = None,
+              point: str = "", execution: str = "execute",
+              trace_dir: Optional[str] = None, engine: str = "") -> "Job":
+        """Convenience constructor matching the pre-request field list."""
+        return cls(
+            request=RunRequest(
+                workload=workload, isa=isa, scale=scale, seed=seed,
+                config=config, trace=trace, execution=execution,
+                trace_dir=trace_dir, engine=engine,
+            ),
+            point=point,
+        )
+
+    # -- request field views (the request is the source of truth) -------------
+
+    @property
+    def workload(self) -> str:
+        return self.request.workload
+
+    @property
+    def isa(self) -> str:
+        return self.request.isa
+
+    @property
+    def scale(self) -> float:
+        return self.request.scale
+
+    @property
+    def seed(self) -> int:
+        return self.request.seed
+
+    @property
+    def config(self) -> GpuConfig:
+        return self.request.config
+
+    @property
+    def trace(self) -> Optional[TraceConfig]:
+        return self.request.trace
+
+    @property
+    def execution(self) -> str:
+        return self.request.execution
+
+    @property
+    def trace_dir(self) -> Optional[str]:
+        return self.request.trace_dir
+
+    @property
+    def engine(self) -> str:
+        return self.request.engine
 
     @property
     def key(self) -> "Tuple[str, ...]":
@@ -73,8 +116,7 @@ class Job:
 
     def describe(self) -> str:
         prefix = f"[{self.point}] " if self.point else ""
-        return (f"{prefix}{self.workload}/{self.isa} "
-                f"scale={self.scale:g} seed={self.seed}")
+        return f"{prefix}{self.request.describe()}"
 
 
 @dataclass(frozen=True)
@@ -111,23 +153,13 @@ def execute_job(job: Job) -> "Dict[str, object]":
 
     Must stay a module-level function so the pool can pickle it; imports
     lazily to keep worker start-up (and the parallel<->runner import
-    cycle) cheap.
+    cycle) cheap.  Executes the job's request through the same
+    :func:`~repro.harness.runner.execute_run_request` path as every
+    other surface.
     """
-    from .cache import resolve_trace_store
-    from .runner import run_workload
+    from .runner import execute_run_request
 
-    store = (
-        resolve_trace_store(job.trace_dir) if job.execution != "execute" else None
-    )
-    config = job.config
-    if job.engine and job.engine != config.engine:
-        config = config.with_overrides({"engine": job.engine})
-    run = run_workload(
-        job.workload, job.isa, scale=job.scale, config=config,
-        seed=job.seed, trace=job.trace,
-        execution=job.execution, trace_store=store,
-    )
-    return run.to_payload()
+    return execute_run_request(job.request).to_payload()
 
 
 def _failed_run(job: Job, message: str, wall: float) -> "object":

@@ -4,7 +4,7 @@ One :class:`WorkloadRun` captures everything the paper's figures need for
 one workload under one ISA: aggregate and per-dispatch statistics, the
 static instruction footprint, the device data footprint, and functional
 verification.  :meth:`repro.core.Session.suite` runs the full matrix
-once (via :func:`_run_suite` here), caches it
+once (via :func:`execute_suite_request` here), caches it
 in-process *and* persistently on disk (see :mod:`repro.harness.cache`),
 and can fan the matrix out across worker processes (``jobs=N``, see
 :mod:`repro.harness.parallel`) — the parallel path reduces back into the
@@ -14,13 +14,18 @@ exact ordering and statistics the serial path produces.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import GpuConfig, paper_config
 from ..common.errors import ReproError
 from ..common.stats import StatSet, merge_all
+from ..core.requests import (  # re-exported: canonical home is requests
+    EXECUTION_MODES,
+    ISAS,
+    RunRequest,
+    SuiteRequest,
+)
 from ..obs.trace import TraceBus, TraceConfig, TraceData
 from ..runtime.process import GpuProcess
 from ..timing.gpu import Gpu
@@ -31,19 +36,10 @@ from .cache import (
     TraceStore,
     job_fingerprint,
     resolve_cache,
+    resolve_trace_store,
     trace_fingerprint,
 )
 from .parallel import Job, JobEvent, ProgressFn, resolve_jobs, run_job_inline, run_jobs
-
-ISAS = ("hsail", "gcn3")
-
-#: How a cell obtains its dynamic instruction stream:
-#: ``execute`` runs full functional semantics at issue (the default),
-#: ``capture`` executes *and* records an :class:`ExecTrace`,
-#: ``replay`` drives the timing model from a stored trace,
-#: ``auto`` replays when the trace store has a capture and captures
-#: otherwise.
-EXECUTION_MODES = ("auto", "execute", "capture", "replay")
 
 
 @dataclass
@@ -405,46 +401,40 @@ def clear_suite_cache() -> None:
     clear_trace_memo()
 
 
-def run_suite(
-    scale: float = 1.0,
-    config: Optional[GpuConfig] = None,
-    workloads: Optional[Sequence[str]] = None,
-    seed: int = 7,
-    use_cache: bool = True,
-    jobs: int = 1,
-    use_disk_cache: Optional[bool] = None,
-    cache_dir: Optional[str] = None,
-    job_timeout: Optional[float] = None,
-    progress: Optional[ProgressFn] = None,
-) -> SuiteResults:
-    """Deprecated: use ``Session(config).suite(...)`` instead."""
-    warnings.warn(
-        "run_suite() is deprecated; use repro.core.Session(config).suite()",
-        DeprecationWarning, stacklevel=2,
-    )
-    return _run_suite(
-        scale=scale, config=config, workloads=workloads, seed=seed,
-        use_cache=use_cache, jobs=jobs, use_disk_cache=use_disk_cache,
-        cache_dir=cache_dir, job_timeout=job_timeout, progress=progress,
+def execute_run_request(
+    request: RunRequest,
+    trace_store: Optional[TraceStore] = None,
+) -> WorkloadRun:
+    """Execute one :class:`~repro.core.requests.RunRequest` — THE entry
+    point for single cells: ``Session.run``, the CLI, pool workers, and
+    the ``repro serve`` scheduler all land here, so the engine fold,
+    trace-store resolution, and execution-mode handling can never drift
+    between surfaces.
+
+    ``trace_store`` lets a resident caller (the daemon) pass one shared
+    store whose hit/miss counters accumulate across requests; by default
+    the store is resolved from the request's ``trace_dir``.
+    """
+    if trace_store is None and request.execution != "execute":
+        trace_store = resolve_trace_store(request.trace_dir)
+    return run_workload(
+        request.workload,
+        request.isa,
+        scale=request.scale,
+        config=request.resolved_config(),
+        seed=request.seed,
+        trace=request.trace,
+        execution=request.execution,
+        trace_store=trace_store if request.execution != "execute" else None,
     )
 
 
-def _run_suite(
-    scale: float = 1.0,
-    config: Optional[GpuConfig] = None,
-    workloads: Optional[Sequence[str]] = None,
-    seed: int = 7,
-    use_cache: bool = True,
-    jobs: int = 1,
-    use_disk_cache: Optional[bool] = None,
-    cache_dir: Optional[str] = None,
-    job_timeout: Optional[float] = None,
+def execute_suite_request(
+    request: SuiteRequest,
     progress: Optional[ProgressFn] = None,
-    trace: Optional[TraceConfig] = None,
-    execution: str = "execute",
-    trace_dir: Optional[str] = None,
 ) -> SuiteResults:
-    """Run every workload under both ISAs.
+    """Execute one :class:`~repro.core.requests.SuiteRequest`: every
+    workload under both ISAs.
 
     Results are memoized in-process and persisted in the on-disk result
     cache, so a warm rerun (same config/scale/seed/source tree) costs
@@ -452,31 +442,23 @@ def _run_suite(
     process pool; the reduce step is deterministic, so the result matrix
     is stat-identical to the serial path.
 
-    :param jobs: worker processes for cache misses; 1 = serial in-process,
-        0 or negative = one per CPU core.
-    :param use_disk_cache: tri-state — ``None`` follows ``use_cache`` and
-        the ``REPRO_NO_CACHE`` environment knob; True/False force it.
-    :param cache_dir: on-disk cache directory (default ``.repro_cache/``
-        or ``$REPRO_CACHE_DIR``).
-    :param job_timeout: per-job wall-clock limit in seconds (parallel path
-        only); an overrunning job is recorded as failed, not waited on.
-    :param progress: callback receiving one :class:`JobEvent` per cell
-        (cache hit or simulated), for long-run observability.
-    :param trace: record a cycle-level trace for every cell.  Traced
-        suites bypass both the in-process memo and the disk cache in both
-        directions: a cached result carries no events, and traced results
-        must not poison the cache for untraced callers.
-    :param execution: one of :data:`EXECUTION_MODES`; non-default modes
-        consult the trace store so cells replay captured instruction
-        streams instead of re-executing semantics.
-    :param trace_dir: trace-store directory (default ``<cache-dir>/traces``).
+    ``progress`` is execution-side (a live callback cannot ride the
+    wire): one :class:`JobEvent` per cell, cache hit or simulated.
+
+    Traced suites bypass both the in-process memo and the disk cache in
+    both directions: a cached result carries no events, and traced
+    results must not poison the cache for untraced callers.
     """
-    config = config or paper_config()
+    config = request.resolved_config()
+    scale, seed = request.scale, request.seed
     names: Tuple[str, ...] = tuple(
-        workloads if workloads is not None else [w.name for w in all_workloads()]
+        request.workloads if request.workloads is not None
+        else [w.name for w in all_workloads()]
     )
-    mem_key = (config.fingerprint(), scale, seed, names, execution)
-    if trace is not None:
+    use_cache = request.use_cache
+    use_disk_cache = request.use_disk_cache
+    mem_key = (config.fingerprint(), scale, seed, names, request.execution)
+    if request.trace is not None:
         use_cache = False
         use_disk_cache = False
     if use_cache and mem_key in _SUITE_CACHE:
@@ -486,12 +468,12 @@ def _run_suite(
     # explicitly re-enables the disk layer.
     disk: Optional[ResultCache] = resolve_cache(
         use_disk_cache if use_cache or use_disk_cache is not None else False,
-        cache_dir,
+        request.cache_dir,
     )
 
     cells = [
-        Job(name, isa, scale, seed, config, trace=trace,
-            execution=execution, trace_dir=trace_dir)
+        Job.build(name, isa, scale, seed, config, trace=request.trace,
+                  execution=request.execution, trace_dir=request.trace_dir)
         for name in names for isa in ISAS
     ]
     total = len(cells)
@@ -517,11 +499,11 @@ def _run_suite(
                 ))
 
     if misses:
-        if resolve_jobs(jobs) > 1 and len(misses) > 1:
+        if resolve_jobs(request.jobs) > 1 and len(misses) > 1:
             executed = run_jobs(
                 misses,
-                max_workers=resolve_jobs(jobs),
-                timeout=job_timeout,
+                max_workers=resolve_jobs(request.jobs),
+                timeout=request.job_timeout,
                 progress=progress,
                 progress_offset=index,
                 progress_total=total,

@@ -86,6 +86,22 @@ class TraceConfig:
         return cls(categories=tuple(categories), sample_every=sample_every,
                    max_events=max_events)
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-friendly form (wire inverse of :meth:`from_payload`)."""
+        return {
+            "categories": list(self.categories),
+            "sample_every": self.sample_every,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "TraceConfig":
+        return cls(
+            categories=tuple(payload.get("categories", CATEGORIES)),  # type: ignore[arg-type]
+            sample_every=int(payload.get("sample_every", 1)),  # type: ignore[arg-type]
+            max_events=int(payload.get("max_events", 1_000_000)),  # type: ignore[arg-type]
+        )
+
 
 class TraceEvent:
     """One structured event.  ``cu``/``wf`` are -1 for device-scope events."""

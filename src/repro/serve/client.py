@@ -1,0 +1,132 @@
+"""Blocking convenience client for a ``repro serve`` daemon.
+
+Pure ``http.client`` — no new dependencies — and symmetric with the
+daemon: requests go out as :meth:`to_json` of the shared request
+objects, responses come back through
+:func:`repro.serve.protocol.parse_response`, so a schema change breaks
+loudly on both ends at the same version gate.
+
+    from repro.core import Session
+    from repro.serve import DaemonClient
+
+    client = DaemonClient("127.0.0.1", 8642)
+    job = client.submit(Session().build_run_request("bitonic", "gcn3"))
+    status = client.wait(job.job_id)
+    print(status.result["total"]["cycles"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional
+
+from ..common.errors import ReproError
+from ..core.requests import AnyRequest
+from .protocol import ErrorInfo, JobStatus, MetricsSnapshot, parse_response
+
+
+class DaemonError(ReproError):
+    """A non-2xx daemon reply (carries the HTTP status and, when the
+    daemon sent one, the parsed :class:`ErrorInfo`)."""
+
+    def __init__(self, status: int, message: str,
+                 info: Optional[ErrorInfo] = None,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.info = info
+        self.retry_after = retry_after
+
+
+class DaemonClient:
+    """One daemon endpoint; connections are per-call (the daemon keeps
+    its own state, the client stays trivially reentrant)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 client_id: str = "", timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- HTTP ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: Optional[str] = None,
+              headers: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            all_headers = {"Content-Type": "application/json"}
+            if self.client_id:
+                all_headers["X-Repro-Client"] = self.client_id
+            all_headers.update(headers or {})
+            conn.request(method, path, body=body, headers=all_headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except ValueError:
+                payload = {}
+            if response.status >= 400:
+                info = None
+                if isinstance(payload, dict) and payload.get("kind") == "error":
+                    info = ErrorInfo.from_payload(payload)
+                retry_after = response.headers.get("Retry-After")
+                raise DaemonError(
+                    response.status,
+                    info.message if info else raw.decode(errors="replace"),
+                    info=info,
+                    retry_after=(float(retry_after)
+                                 if retry_after is not None else None))
+            if not isinstance(payload, dict):
+                raise DaemonError(response.status, "non-object response")
+            return payload
+        finally:
+            conn.close()
+
+    # -- API -------------------------------------------------------------------
+
+    def submit(self, request: AnyRequest, *,
+               priority: int = 0) -> JobStatus:
+        """POST one request object; returns the accepted job's status."""
+        headers = {}
+        if priority:
+            headers["X-Repro-Priority"] = str(priority)
+        payload = self._call("POST", f"/v1/{request.kind}",
+                             body=request.to_json(), headers=headers)
+        return JobStatus.from_payload(payload)
+
+    def job(self, job_id: str) -> JobStatus:
+        return JobStatus.from_payload(self._call("GET", f"/v1/jobs/{job_id}"))
+
+    def jobs(self) -> list:
+        payload = self._call("GET", "/v1/jobs")
+        return [JobStatus.from_payload(entry)
+                for entry in payload.get("jobs", ())]
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> JobStatus:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status.finished:
+                return status
+            if time.monotonic() >= deadline:
+                raise DaemonError(408, f"job {job_id} still {status.state} "
+                                       f"after {timeout:g}s")
+            time.sleep(poll)
+
+    def metrics(self) -> MetricsSnapshot:
+        response = parse_response(self._call("GET", "/v1/metrics"))
+        assert isinstance(response, MetricsSnapshot)
+        return response
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit (same path as SIGTERM)."""
+        self._call("POST", "/v1/shutdown")
+
+
+__all__ = ["DaemonClient", "DaemonError"]

@@ -1,0 +1,280 @@
+"""The HTTP/1.1 front end of ``repro serve`` (stdlib asyncio only).
+
+Routes (all payloads are versioned ``repro-api/1`` envelopes)::
+
+    POST /v1/run      submit a RunRequest        -> 202 JobStatus
+    POST /v1/suite    submit a SuiteRequest      -> 202 JobStatus
+    POST /v1/sweep    submit a SweepRequest      -> 202 JobStatus
+    GET  /v1/jobs/<id>  poll one job             -> 200 JobStatus
+    GET  /v1/jobs       list all jobs            -> 200 {jobs: [...]}
+    GET  /v1/metrics    scheduler counters       -> 200 MetricsSnapshot
+    POST /v1/shutdown   graceful drain + exit    -> 202 {draining: true}
+
+Submission metadata that is *not* part of the request schema travels in
+headers: ``X-Repro-Priority`` (int, higher runs first) and
+``X-Repro-Client`` (rate-limit bucket key; defaults to the peer
+address).  Failures map onto statuses through the scheduler exception
+types: malformed payload 400, unknown job 404, rate limit 429 (with
+``Retry-After``), queue full / draining 503.
+
+SIGTERM and SIGINT trigger the same graceful drain as
+``POST /v1/shutdown``: in-flight and already-queued jobs finish, new
+submissions get 503, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Dict, Optional, Tuple
+
+from ..core.requests import RequestError, parse_request_json
+from .protocol import ErrorInfo
+from .scheduler import Scheduler, SchedulerError, UnknownJob
+
+_MAX_BODY = 16 * 1024 * 1024
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+class Daemon:
+    """One asyncio server bound to a :class:`Scheduler`."""
+
+    def __init__(self, scheduler: Scheduler, host: str = "127.0.0.1",
+                 port: int = 8642) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port          # 0 = ephemeral; real port set by start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.scheduler.start()
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown.wait()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- HTTP plumbing ---------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request_line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not request_line or not request_line.strip():
+                    break
+                try:
+                    method, path, headers, body = await self._read_request(
+                        reader, request_line)
+                except _HttpError as exc:
+                    await self._respond_error(writer, exc)
+                    break
+                keep_alive = (headers.get("connection", "").lower()
+                              != "close")
+                try:
+                    status, payload, extra = self._route(
+                        method, path, headers, body, writer)
+                except _HttpError as exc:
+                    await self._respond_error(writer, exc)
+                    if exc.status in (400, 413):
+                        break
+                    continue
+                await self._respond(writer, status, payload, extra,
+                                    keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            request_line: bytes
+                            ) -> Tuple[str, str, Dict[str, str], bytes]:
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise _HttpError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise _HttpError(400, "truncated headers")
+            line = line.strip()
+            if not line:
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body exceeds {_MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    def _route(self, method: str, path: str, headers: Dict[str, str],
+               body: bytes, writer: asyncio.StreamWriter
+               ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        if path in ("/v1/run", "/v1/suite", "/v1/sweep"):
+            if method != "POST":
+                raise _HttpError(405, f"{path} takes POST")
+            return self._submit(path.rsplit("/", 1)[1], headers, body,
+                                writer)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, f"{path} takes GET")
+            job_id = path[len("/v1/jobs/"):]
+            try:
+                job = self.scheduler.get(job_id)
+            except UnknownJob as exc:
+                raise _HttpError(404, str(exc)) from None
+            return 200, job.status().to_payload(), {}
+        if path == "/v1/jobs":
+            if method != "GET":
+                raise _HttpError(405, f"{path} takes GET")
+            return 200, {"jobs": [job.status().to_payload()
+                                  for job in self.scheduler.jobs()]}, {}
+        if path == "/v1/metrics":
+            if method != "GET":
+                raise _HttpError(405, f"{path} takes GET")
+            return 200, self.scheduler.metrics().to_payload(), {}
+        if path == "/v1/shutdown":
+            if method != "POST":
+                raise _HttpError(405, f"{path} takes POST")
+            self.request_shutdown()
+            return 202, {"draining": True}, {}
+        raise _HttpError(404, f"no route {method} {path}")
+
+    def _submit(self, expect_kind: str, headers: Dict[str, str],
+                body: bytes, writer: asyncio.StreamWriter
+                ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        try:
+            request = parse_request_json(body, expect_kind=expect_kind)
+        except RequestError as exc:
+            raise _HttpError(400, str(exc)) from None
+        priority = 0
+        if "x-repro-priority" in headers:
+            try:
+                priority = int(headers["x-repro-priority"])
+            except ValueError:
+                raise _HttpError(400, "X-Repro-Priority must be an integer"
+                                 ) from None
+        client = headers.get("x-repro-client", "")
+        if not client:
+            peer = writer.get_extra_info("peername")
+            client = peer[0] if peer else "unknown"
+        try:
+            job = self.scheduler.submit(request, client=client,
+                                        priority=priority)
+        except SchedulerError as exc:
+            extra = {}
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                extra["Retry-After"] = f"{max(retry_after, 0.001):.3f}"
+            raise _HttpError(exc.status, str(exc), extra) from None
+        return 202, job.status().to_payload(), {}
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Dict[str, object],
+                       extra: Optional[Dict[str, str]] = None, *,
+                       keep_alive: bool = True) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        reason = _REASONS.get(status, "")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _respond_error(self, writer: asyncio.StreamWriter,
+                             exc: _HttpError) -> None:
+        await self._respond(
+            writer, exc.status,
+            ErrorInfo(status=exc.status, message=str(exc)).to_payload(),
+            exc.headers, keep_alive=False)
+
+
+async def _serve(scheduler: Scheduler, host: str, port: int,
+                 log) -> int:
+    daemon = Daemon(scheduler, host, port)
+    await daemon.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, daemon.request_shutdown)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    # Parsable by scripts scraping an ephemeral port; keep the format.
+    print(f"repro-serve listening on http://{host}:{daemon.port}",
+          flush=True)
+    log(f"trace store: {scheduler.store.directory}")
+    await daemon.wait_shutdown()
+    log("draining: rejecting new jobs, finishing accepted work")
+    await daemon.close()
+    drained = await asyncio.get_running_loop().run_in_executor(
+        None, scheduler.stop)
+    log("drained" if drained else "drain timed out")
+    return 0 if drained else 1
+
+
+def serve_main(args) -> int:
+    """Entry point of ``repro serve`` (takes the parsed CLI namespace)."""
+    log = ((lambda message: None) if args.quiet
+           else (lambda message: print(message, file=sys.stderr)))
+    scheduler = Scheduler(
+        trace_dir=args.trace_dir,
+        cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_queue=args.max_queue,
+        log=log,
+    )
+    try:
+        return asyncio.run(_serve(scheduler, args.host, args.port, log))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        scheduler.stop()
+        return 0
+
+
+__all__ = ["Daemon", "serve_main"]

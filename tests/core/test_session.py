@@ -1,12 +1,12 @@
 """Session facade tests: compile/run/suite, trace threading through the
-serial and parallel harness paths, deprecated-shim behavior, and the
-typo-proof WorkloadRun.stat lookup."""
+serial and parallel harness paths, removal of the PR 2 deprecated
+shims, and the typo-proof WorkloadRun.stat lookup."""
 
 import pytest
 
 from repro.common.config import small_config
-from repro.core import DualKernel, Session, compile_dual
-from repro.harness.runner import WorkloadRun, clear_suite_cache, run_suite
+from repro.core import DualKernel, Session
+from repro.harness.runner import WorkloadRun, clear_suite_cache
 from repro.kernels.dsl import KernelBuilder
 from repro.kernels.types import DType
 from repro.obs import TraceConfig
@@ -135,17 +135,23 @@ class TestSessionSuite:
         assert "trace" not in run.to_payload()
 
 
-class TestDeprecatedShims:
-    def test_compile_dual_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="Session"):
-            dual = compile_dual(_vec_add_ir())
-        assert isinstance(dual, DualKernel)
+class TestShimsRemoved:
+    """The PR 2 DeprecationWarning shims are gone: Session (and the
+    request objects behind it) are the only doors."""
 
-    def test_run_suite_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="Session"):
-            results = run_suite(scale=0.1, config=small_config(2),
-                                workloads=["arraybw"])
-        assert results.all_verified()
+    def test_compile_dual_shim_is_gone(self):
+        import repro.core
+        import repro.core.api
+
+        assert not hasattr(repro.core, "compile_dual")
+        assert not hasattr(repro.core.api, "compile_dual")
+
+    def test_run_suite_shim_is_gone(self):
+        import repro.harness
+        import repro.harness.runner
+
+        assert not hasattr(repro.harness, "run_suite")
+        assert not hasattr(repro.harness.runner, "run_suite")
 
     def test_session_paths_do_not_warn(self):
         import warnings

@@ -18,7 +18,8 @@ SEED = 7
 
 def _jobs(workloads=WORKLOADS, isas=("hsail", "gcn3"), config=None):
     config = config or small_config(2)
-    return [Job(w, isa, SCALE, SEED, config) for w in workloads for isa in isas]
+    return [Job.build(w, isa, SCALE, SEED, config)
+            for w in workloads for isa in isas]
 
 
 # ---- failure-injection worker functions ------------------------------------
@@ -151,8 +152,8 @@ class TestFailureIsolation:
             assert run.verified
 
     def test_inline_capture_never_raises(self):
-        run = run_job_inline(Job("no-such-workload", "gcn3", SCALE, SEED,
-                                 small_config(2)))
+        run = run_job_inline(Job.build("no-such-workload", "gcn3", SCALE,
+                                       SEED, small_config(2)))
         assert run.error is not None
         assert not run.verified
         assert run.per_dispatch == []

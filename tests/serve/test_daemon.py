@@ -1,0 +1,201 @@
+"""End-to-end daemon tests: a real ``repro serve`` subprocess on an
+ephemeral port, driven over HTTP with :class:`DaemonClient`.  Asserts
+the daemon path is bit-identical to in-process execution, that a burst
+sharing one functional fingerprint shares one capture, and that
+SIGTERM drains gracefully (in-flight finishes, new work gets 503,
+clean exit)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import small_config
+from repro.core import Session
+from repro.serve import DaemonClient, DaemonError
+
+SCALE = 0.1
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _start_daemon(tmp_dir, *extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--trace-dir", str(tmp_dir / "traces"),
+         "--cache-dir", str(tmp_dir / "cache"), *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=env, cwd=str(tmp_dir), text=True)
+    deadline = time.monotonic() + 60
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if "listening on" in line:
+            break
+        if process.poll() is not None:
+            raise RuntimeError(f"daemon died at startup: {line!r}")
+    else:
+        process.kill()
+        raise RuntimeError("daemon never announced its port")
+    port = int(line.rsplit(":", 1)[1])
+    return process, port
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    tmp_dir = tmp_path_factory.mktemp("serve")
+    process, port = _start_daemon(tmp_dir)
+    try:
+        yield DaemonClient("127.0.0.1", port, client_id="pytest")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+def _run_request(l1d=None, seed=7, execution="auto"):
+    config = small_config(2)
+    if l1d is not None:
+        config = config.with_overrides({"l1d.size_bytes": l1d})
+    return Session(config).build_run_request(
+        "arraybw", "gcn3", scale=SCALE, seed=seed, execution=execution)
+
+
+def _stats(payload):
+    cleaned = dict(payload)
+    cleaned.pop("wall_seconds", None)
+    cleaned.pop("execution", None)
+    return cleaned
+
+
+class TestDaemonExecution:
+    def test_run_bit_identical_to_in_process(self, daemon):
+        status = daemon.wait(daemon.submit(_run_request(seed=20)).job_id)
+        assert status.state == "done", status.error
+        direct = _run_request(seed=20, execution="execute").execute()
+        assert _stats(status.result) == _stats(direct.to_payload())
+
+    def test_burst_shares_one_capture(self, daemon):
+        """The tentpole scenario over the wire: N timing-only variants
+        of one functional group cost one capture, the rest replay."""
+        before = daemon.metrics()
+        jobs = [daemon.submit(_run_request(l1d=size, seed=21))
+                for size in (8192, 16384, 32768, 65536)]
+        statuses = [daemon.wait(job.job_id) for job in jobs]
+        for status in statuses:
+            assert status.state == "done", status.error
+        executions = [status.execution for status in statuses]
+        after = daemon.metrics()
+        assert executions.count("capture") == 1
+        assert executions.count("replay") == 3
+        assert after.captures - before.captures == 1
+        assert after.replays - before.replays == 3
+        assert after.batches > before.batches
+
+    def test_suite_over_http(self, daemon):
+        request = Session(small_config(2)).build_suite_request(
+            workloads=["arraybw"], scale=SCALE, use_cache=False)
+        status = daemon.wait(daemon.submit(request).job_id)
+        assert status.state == "done", status.error
+        assert status.request_kind == "suite"
+        assert len(status.result["runs"]) == 2       # both ISAs
+        assert status.progress                       # streamed lines
+
+    def test_metrics_shape(self, daemon):
+        metrics = daemon.metrics()
+        assert metrics.submitted >= 1
+        assert metrics.uptime_seconds > 0
+        assert not metrics.draining
+
+    def test_jobs_listing(self, daemon):
+        listed = daemon.jobs()
+        assert listed
+        assert all(job.job_id.startswith("j") for job in listed)
+
+
+class TestDaemonErrors:
+    def test_unknown_field_is_400_with_suggestion(self, daemon):
+        body = json.dumps({"api": "repro-api/1", "kind": "run",
+                           "workload": "arraybw", "isa": "gcn3",
+                           "scal": 0.5})
+        with pytest.raises(DaemonError) as excinfo:
+            daemon._call("POST", "/v1/run", body=body)
+        assert excinfo.value.status == 400
+        assert "did you mean scale" in str(excinfo.value)
+
+    def test_version_gate_is_400(self, daemon):
+        body = json.dumps({"api": "repro-api/2", "kind": "run",
+                           "workload": "arraybw", "isa": "gcn3"})
+        with pytest.raises(DaemonError) as excinfo:
+            daemon._call("POST", "/v1/run", body=body)
+        assert excinfo.value.status == 400
+
+    def test_kind_endpoint_mismatch_is_400(self, daemon):
+        with pytest.raises(DaemonError) as excinfo:
+            daemon._call("POST", "/v1/suite", body=_run_request().to_json())
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, daemon):
+        with pytest.raises(DaemonError) as excinfo:
+            daemon.job("j424242")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, daemon):
+        with pytest.raises(DaemonError) as excinfo:
+            daemon._call("GET", "/v2/run")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, daemon):
+        with pytest.raises(DaemonError) as excinfo:
+            daemon._call("GET", "/v1/run")
+        assert excinfo.value.status == 405
+
+
+class TestRateLimitOverHttp:
+    def test_429_with_retry_after(self, tmp_path):
+        process, port = _start_daemon(tmp_path, "--rate-limit", "0.1",
+                                      "--rate-burst", "2")
+        client = DaemonClient("127.0.0.1", port, client_id="ratelimited")
+        try:
+            client.submit(_run_request(seed=30))
+            client.submit(_run_request(seed=31))
+            with pytest.raises(DaemonError) as excinfo:
+                client.submit(_run_request(seed=32))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after > 0
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=60)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_clean(self, tmp_path):
+        process, port = _start_daemon(tmp_path)
+        client = DaemonClient("127.0.0.1", port, client_id="drainer")
+        jobs = [client.submit(_run_request(l1d=size, seed=40))
+                for size in (8192, 16384)]
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=120) == 0
+        # In-flight work finished before exit: the traces directory has
+        # the captured group's trace on disk.
+        traces = list((tmp_path / "traces").glob("*.trace"))
+        assert traces, "accepted work was dropped on SIGTERM"
+        assert len(jobs) == 2
+
+    def test_shutdown_endpoint_drains(self, tmp_path):
+        process, port = _start_daemon(tmp_path)
+        client = DaemonClient("127.0.0.1", port, client_id="stopper")
+        status = daemon_status = client.submit(_run_request(seed=41))
+        client.shutdown()
+        assert process.wait(timeout=120) == 0
+        assert daemon_status.job_id == status.job_id
