@@ -45,8 +45,11 @@ sweep --axis PATH=V1,V2,... [--axis ...] [--mode grid|ofat]
     and disk cache, journal completed points under
     ``.repro_cache/sweeps/<id>/`` (resumable with ``--resume``), and
     print sensitivity reports (tornado tables, per-axis response curves,
-    capacity-threshold detection).  With the default
-    ``--execution auto``, each workload x ISA x functional-fingerprint
+    capacity-threshold detection).  ``--workers N`` distributes the
+    sweep over N auto-spawned local workers (``--worker-url`` adds
+    remote ``repro serve`` daemons) behind a fault-tolerant coordinator
+    that journals exactly what the single-host path would.  With the
+    default ``--execution auto``, each workload x ISA x functional-fingerprint
     group executes semantics once (capturing a trace) and every other
     point replays it through the timing model — bit-identical
     statistics, guarded by a sampled re-execution.
@@ -64,10 +67,18 @@ bench [--workloads W1,W2] [--scale S] [--seed N] [--cus N]
     per-cell cProfile stats; ``--sweep-axis`` additionally times one
     timing-only sweep twice (execute-at-issue vs trace replay) and
     embeds the speedup as the report's ``sweep`` section.
-cache [--cache-dir DIR] [--clear] [--prune-older-than DAYS]
+cache [--cache-dir DIR] [--trace-dir DIR] [--clear]
+      [--prune-older-than DAYS]
     Inspect, prune, or clear the persistent result cache
-    (.repro_cache/); the listing breaks disk usage down per config
-    fingerprint.
+    (.repro_cache/) and the trace store; the listing breaks disk usage
+    down per config fingerprint and per stored functional trace.
+dist worker --coordinator URL [--worker-id ID] [--daemon-url URL]
+            [--trace-dir DIR] [--job-timeout SEC] [--poll SEC]
+    Pull-based distributed-sweep worker: lease content-addressed shards
+    from a ``repro sweep --workers`` coordinator, simulate their cells
+    (in-process, or forwarded to a ``repro serve`` daemon with
+    ``--daemon-url``), stream per-cell results back under a heartbeat
+    lease.
 disasm --workload W [--kernel K] [--isa hsail|gcn3|both]
     Print kernel listings (both abstraction levels by default).
 """
@@ -326,18 +337,28 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from .harness.cache import ResultCache, source_tree_stamp
+    import os
+
+    from .harness.cache import ResultCache, TraceStore, source_tree_stamp
 
     cache = ResultCache(args.cache_dir)
+    trace_dir = args.trace_dir or os.path.join(str(cache.directory),
+                                               "traces")
+    store = TraceStore(trace_dir)
     if args.clear:
         removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.directory}")
+        traces = store.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory} "
+              f"and {traces} trace(s) from {store.directory}")
         return 0
     if args.prune_older_than is not None:
         removed, freed = cache.prune_older_than(args.prune_older_than)
+        t_removed, t_freed = store.prune_older_than(args.prune_older_than)
         print(f"pruned {removed} entrie(s) older than "
               f"{args.prune_older_than:g} day(s) from {cache.directory} "
               f"({freed} bytes freed)")
+        print(f"pruned {t_removed} trace(s) from {store.directory} "
+              f"({t_freed} bytes freed)")
         return 0
     try:
         entries = sorted(cache.directory.glob("*.json"))
@@ -357,6 +378,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print()
         print(render_table(["Config fingerprint", "Entries", "Bytes"], rows,
                            title="Per-config usage (sweeps multiply this)"))
+    traces = store.breakdown()
+    trace_bytes = sum(usage["bytes"] for usage in traces.values())
+    print()
+    print(f"trace store:  {store.directory}")
+    print(f"traces:       {len(traces)}")
+    print(f"trace bytes:  {trace_bytes}")
+    if traces:
+        rows = [[fp, usage["bytes"]]
+                for fp, usage in sorted(traces.items(),
+                                        key=lambda kv: (-kv[1]["bytes"],
+                                                        kv[0]))]
+        print()
+        print(render_table(
+            ["Functional fingerprint", "Bytes"], rows,
+            title="Stored traces (one per workload x ISA x functional "
+                  "config)"))
     return 0
 
 
@@ -397,8 +434,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"{len(invalid)} invalid point(s)", file=sys.stderr)
         return 1 if invalid else 0
 
-    results = request.execute(
-        progress=None if args.quiet else _progress_printer)
+    if args.workers or args.worker_url:
+        from .dist import run_dist_sweep
+
+        results = run_dist_sweep(
+            request,
+            workers=args.workers,
+            worker_urls=args.worker_url or (),
+            lease_ttl=args.lease_ttl,
+            steal=not args.no_steal,
+            max_shard_cells=args.max_shard_cells,
+            progress=None if args.quiet else _progress_printer,
+            log=(None if args.quiet
+                 else (lambda message: print(message, file=sys.stderr))),
+        )
+        dist = results.dist_payload()
+        print(f"dist: {len(dist['workers'])} worker(s), "
+              f"{dist['shards']} shard(s), {dist['steals']} steal(s), "
+              f"{dist['expiries']} lease expiry(ies), "
+              f"{dist['retries']} retry(ies), "
+              f"{dist['duplicate_reports']} duplicate report(s)",
+              file=sys.stderr)
+        if args.dist_output:
+            with open(args.dist_output, "w") as f:
+                f.write(results.to_json() + "\n")
+            print(f"wrote {args.dist_output}")
+    else:
+        results = request.execute(
+            progress=None if args.quiet else _progress_printer)
     print(f"sweep {results.sweep_id}: {len(results.points)} point(s), "
           f"{results.replayed()} from journal, "
           f"{len(results.failed_points)} failed "
@@ -697,6 +760,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-verify-replay", action="store_true",
                          help="skip the drift guard's sampled "
                               "re-execution of one replayed cell")
+    sweep_p.add_argument("--workers", type=int, default=0,
+                         help="distribute the sweep: auto-spawn N local "
+                              "'repro dist worker' subprocesses against "
+                              "an ephemeral coordinator (0 = run "
+                              "single-host)")
+    sweep_p.add_argument("--worker-url", action="append", default=[],
+                         metavar="URL",
+                         help="also use the 'repro serve' daemon at URL "
+                              "as a sweep worker (repeatable; composable "
+                              "with --workers)")
+    sweep_p.add_argument("--lease-ttl", type=float, default=30.0,
+                         help="seconds a worker may go without renewing "
+                              "before its shard is requeued (default 30)")
+    sweep_p.add_argument("--max-shard-cells", type=int, default=None,
+                         help="split shards larger than this many cells "
+                              "(default: one shard per trace "
+                              "fingerprint)")
+    sweep_p.add_argument("--no-steal", action="store_true",
+                         help="disable work-stealing (idle workers wait "
+                              "instead of splitting the largest lease)")
+    sweep_p.add_argument("--dist-output", metavar="FILE",
+                         help="write the DistSweepResults JSON (per-"
+                              "worker cells, steals, expiries, retries)")
     sweep_p.add_argument("--quiet", "-q", action="store_true",
                          help="suppress per-cell progress lines on stderr")
 
@@ -756,10 +842,44 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("--cache-dir",
                          help="cache directory (default .repro_cache/ "
                               "or $REPRO_CACHE_DIR)")
+    cache_p.add_argument("--trace-dir",
+                         help="trace store directory (default "
+                              "<cache-dir>/traces)")
     cache_p.add_argument("--clear", action="store_true",
-                         help="delete every cached result")
+                         help="delete every cached result and stored trace")
     cache_p.add_argument("--prune-older-than", type=float, metavar="DAYS",
-                         help="delete entries older than this many days")
+                         help="delete results and traces older than this "
+                              "many days")
+
+    dist_p = sub.add_parser(
+        "dist", help="distributed-sweep worker processes")
+    dist_sub = dist_p.add_subparsers(dest="dist_command", required=True)
+    worker_p = dist_sub.add_parser(
+        "worker", help="pull-based sweep worker: lease shards from a "
+                       "coordinator, stream per-cell results back")
+    worker_p.add_argument("--coordinator", required=True, metavar="URL",
+                          help="coordinator daemon, e.g. "
+                               "http://127.0.0.1:8650 (printed by "
+                               "'repro sweep --workers')")
+    worker_p.add_argument("--worker-id", default="",
+                          help="stable identity in the coordinator's "
+                               "report (default worker-<pid>)")
+    worker_p.add_argument("--daemon-url", metavar="URL",
+                          help="forward cells to the 'repro serve' "
+                               "daemon at URL instead of simulating "
+                               "in-process")
+    worker_p.add_argument("--trace-dir",
+                          help="trace store for the embedded scheduler "
+                               "(default <cache-dir>/traces)")
+    worker_p.add_argument("--job-timeout", type=float,
+                          help="per-cell wall-clock limit in seconds")
+    worker_p.add_argument("--poll", type=float, default=0.5,
+                          help="idle poll interval in seconds")
+    worker_p.add_argument("--connect-timeout", type=float, default=10.0,
+                          help="seconds to wait for the coordinator to "
+                               "answer /v1/healthz before giving up")
+    worker_p.add_argument("--quiet", "-q", action="store_true",
+                          help="suppress per-shard log lines on stderr")
 
     diff_p = sub.add_parser("diff", help="compare two --json exports")
     diff_p.add_argument("before")
@@ -811,6 +931,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_main(args)
 
 
+def _cmd_dist(args: argparse.Namespace) -> int:
+    import os
+
+    from .dist.worker import worker_main
+
+    if not args.worker_id:
+        args.worker_id = f"worker-{os.getpid()}"
+    return worker_main(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -826,6 +956,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
+        "dist": _cmd_dist,
     }[args.command]
     return handler(args)
 

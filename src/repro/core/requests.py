@@ -544,6 +544,221 @@ class SweepRequest(_RequestBase):
                                      execute=execute_hook)
 
 
+@dataclass(frozen=True)
+class ShardCell:
+    """One (point x workload x ISA) cell inside a shard.
+
+    The overrides are the sweep point's dotted-path edits on the shard's
+    base config — order-preserving, because point ids are order-sensitive
+    — so a worker rebuilds the exact :class:`GpuConfig` the coordinator
+    enumerated without shipping a full config per cell.
+    """
+
+    point: str
+    workload: str
+    isa: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    _FIELDS = ("point", "workload", "isa", "overrides")
+
+    def __post_init__(self) -> None:
+        if not self.point or not self.workload:
+            raise RequestError("shard cell needs point and workload names")
+        if self.isa not in ISAS:
+            raise RequestError(
+                f"unknown ISA {self.isa!r}; expected one of {ISAS}"
+            )
+        object.__setattr__(self, "overrides", tuple(
+            (str(path), value) for path, value in self.overrides))
+
+    @property
+    def key(self) -> str:
+        """The coordinator-wide cell identity (``point:workload/isa``)."""
+        return f"{self.point}:{self.workload}/{self.isa}"
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "point": self.point,
+            "workload": self.workload,
+            "isa": self.isa,
+            # JSON objects preserve insertion order across the round trip.
+            "overrides": {path: value for path, value in self.overrides},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ShardCell":
+        if not isinstance(payload, Mapping):
+            raise RequestError("shard cell must be a JSON object")
+        _reject_unknown(payload, cls._FIELDS, "shard cell")
+        overrides = payload.get("overrides") or {}
+        if not isinstance(overrides, Mapping):
+            raise RequestError("shard cell overrides must be an object")
+        return cls(
+            point=_require_str(payload, "point", "shard cell"),
+            workload=_require_str(payload, "workload", "shard cell"),
+            isa=_require_str(payload, "isa", "shard cell"),
+            overrides=tuple(overrides.items()),
+        )
+
+
+@dataclass(frozen=True)
+class ShardRequest(_RequestBase):
+    """One leased unit of a distributed sweep: cells sharing a functional
+    trace fingerprint, so a worker keeps the capture-once-replay-
+    everywhere economics of a single-host sweep within the shard.
+
+    Not an executable request kind (it never rides ``POST /v1/run``-style
+    endpoints or :func:`parse_request`); it travels inside the
+    coordinator's lease protocol (``/v1/dist/*``) under the same
+    ``repro-api/1`` envelope discipline.
+    """
+
+    shard_id: str = ""
+    sweep_id: str = ""
+    trace_fp: str = ""
+    cells: Tuple[ShardCell, ...] = ()
+    scale: float = 0.5
+    seed: int = 7
+    config: GpuConfig = field(default_factory=paper_config)
+    execution: str = "auto"
+    engine: str = ""
+
+    kind = "shard"
+    _FIELDS = ("api", "kind", "shard_id", "sweep_id", "trace_fp", "cells",
+               "scale", "seed", "config", "config_overrides", "execution",
+               "engine")
+
+    def __post_init__(self) -> None:
+        if not self.shard_id or not self.sweep_id:
+            raise RequestError("shard request needs shard_id and sweep_id")
+        object.__setattr__(self, "cells", tuple(self.cells))
+        if not self.cells:
+            raise RequestError("shard request needs at least one cell")
+        self._validate_common()
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = self._envelope()
+        payload.update({
+            "shard_id": self.shard_id,
+            "sweep_id": self.sweep_id,
+            "trace_fp": self.trace_fp,
+            "cells": [cell.to_payload() for cell in self.cells],
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "execution": self.execution,
+            "engine": self.engine,
+        })
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ShardRequest":
+        check_api_version(payload)
+        _reject_unknown(payload, cls._FIELDS, "shard")
+        raw_cells = payload.get("cells")
+        if not isinstance(raw_cells, (list, tuple)):
+            raise RequestError("shard request needs a 'cells' list")
+        return cls(
+            shard_id=_require_str(payload, "shard_id", "shard"),
+            sweep_id=_require_str(payload, "sweep_id", "shard"),
+            trace_fp=str(payload.get("trace_fp", "")),
+            cells=tuple(ShardCell.from_payload(c) for c in raw_cells),
+            scale=float(payload.get("scale", 0.5)),  # type: ignore[arg-type]
+            seed=int(payload.get("seed", 7)),  # type: ignore[arg-type]
+            config=_config_from_payload(payload, "shard"),
+            execution=str(payload.get("execution", "auto")),
+            engine=str(payload.get("engine", "")),
+        )
+
+    def describe(self) -> str:
+        return (f"shard {self.shard_id} of sweep {self.sweep_id}: "
+                f"{len(self.cells)} cell(s)")
+
+    def cell_config(self, cell: ShardCell) -> GpuConfig:
+        """The cell's full config: shard base + the point's overrides
+        (raises ``ConfigError`` on an impossible geometry, but the
+        coordinator only shards valid points)."""
+        if not cell.overrides:
+            return self.config
+        return self.config.with_overrides(dict(cell.overrides))
+
+    def run_request(self, cell: ShardCell,
+                    trace_dir: Optional[str] = None) -> RunRequest:
+        """The :class:`RunRequest` a worker executes for one cell —
+        field-identical to what a single-host sweep would build, so
+        statistics cannot drift between distributed and serial runs."""
+        return RunRequest(
+            workload=cell.workload, isa=cell.isa, scale=self.scale,
+            seed=self.seed, config=self.cell_config(cell),
+            execution=self.execution, trace_dir=trace_dir,
+            engine=self.engine)
+
+
+#: Lease grant states: a shard to work on, back off and re-poll, or the
+#: sweep is complete and the worker should exit.
+LEASE_STATES = ("granted", "wait", "done")
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """The coordinator's reply to a worker's lease poll."""
+
+    state: str
+    lease_id: str = ""
+    ttl: float = 0.0
+    retry_after: float = 0.0
+    shard: Optional[ShardRequest] = None
+    #: the coordinator's trace store already holds this shard's trace, so
+    #: the worker should sync it in and replay instead of recapturing.
+    trace_available: bool = False
+    #: the shard was split off another worker's outstanding lease.
+    stolen: bool = False
+
+    kind = "lease"
+    _FIELDS = ("api", "kind", "state", "lease_id", "ttl", "retry_after",
+               "shard", "trace_available", "stolen")
+
+    def __post_init__(self) -> None:
+        if self.state not in LEASE_STATES:
+            raise RequestError(
+                f"unknown lease state {self.state!r}; expected one of "
+                f"{LEASE_STATES}"
+            )
+        if self.state == "granted" and self.shard is None:
+            raise RequestError("a granted lease needs a shard")
+
+    def to_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "api": API_VERSION,
+            "kind": self.kind,
+            "state": self.state,
+            "lease_id": self.lease_id,
+            "ttl": self.ttl,
+            "retry_after": self.retry_after,
+            "trace_available": self.trace_available,
+            "stolen": self.stolen,
+        }
+        if self.shard is not None:
+            payload["shard"] = self.shard.to_payload()
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "LeaseGrant":
+        check_api_version(payload, where="lease")
+        _reject_unknown(payload, cls._FIELDS, "lease")
+        raw_shard = payload.get("shard")
+        return cls(
+            state=_require_str(payload, "state", "lease"),
+            lease_id=str(payload.get("lease_id", "")),
+            ttl=float(payload.get("ttl", 0.0)),  # type: ignore[arg-type]
+            retry_after=float(payload.get("retry_after", 0.0)),  # type: ignore[arg-type]
+            shard=(ShardRequest.from_payload(raw_shard)  # type: ignore[arg-type]
+                   if raw_shard is not None else None),
+            trace_available=bool(payload.get("trace_available", False)),
+            stolen=bool(payload.get("stolen", False)),
+        )
+
+
 #: Request kinds the wire accepts, mapped to their classes.
 REQUEST_KINDS: Dict[str, type] = {
     "run": RunRequest,
@@ -610,9 +825,13 @@ __all__ = [
     "EXECUTION_MODES",
     "ISAS",
     "AnyRequest",
+    "LEASE_STATES",
+    "LeaseGrant",
     "REQUEST_KINDS",
     "RequestError",
     "RunRequest",
+    "ShardCell",
+    "ShardRequest",
     "SuiteRequest",
     "SweepRequest",
     "check_api_version",

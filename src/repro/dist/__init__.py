@@ -1,0 +1,61 @@
+"""repro.dist — distributed sweep sharding over pull-based workers.
+
+A :class:`~repro.core.requests.SweepRequest` decomposes into
+content-addressed shards of (point x workload x ISA) cells grouped by
+functional trace fingerprint (:mod:`repro.dist.shard`); a coordinator
+(:mod:`repro.dist.coordinator`) leases shards to workers under
+heartbeat leases (:mod:`repro.dist.lease`), merges streamed per-cell
+results as the *single writer* of the ordinary sweep journal, requeues
+expired leases with completed cells subtracted (zero resimulation), and
+lets idle workers steal from the largest outstanding lease.  Workers
+(:mod:`repro.dist.worker`) are either embedded serve schedulers or
+remote ``repro serve`` daemons.
+
+The distributed journal is bit-identical (modulo wall-clock fields) to
+the one ``run_sweep`` writes for the same spec — checkable with
+:func:`journal_digest`::
+
+    from repro.dist import run_dist_sweep
+
+    results = run_dist_sweep(request, workers=4)
+    print(results.to_json())          # includes the "dist" ledger
+"""
+
+from .coordinator import (
+    Coordinator,
+    DistSweep,
+    DistSweepResults,
+    WorkerStats,
+    journal_digest,
+    run_dist_sweep,
+)
+from .lease import LeaseState, LeaseTable
+from .shard import ShardPlan, ShardState, group_shards, plan_shards, shard_id_for
+from .worker import (
+    DaemonBackend,
+    EmbeddedBackend,
+    HttpTransport,
+    LocalTransport,
+    Worker,
+)
+
+__all__ = [
+    "Coordinator",
+    "DaemonBackend",
+    "DistSweep",
+    "DistSweepResults",
+    "EmbeddedBackend",
+    "HttpTransport",
+    "LeaseState",
+    "LeaseTable",
+    "LocalTransport",
+    "ShardPlan",
+    "ShardState",
+    "Worker",
+    "WorkerStats",
+    "group_shards",
+    "journal_digest",
+    "plan_shards",
+    "run_dist_sweep",
+    "shard_id_for",
+]

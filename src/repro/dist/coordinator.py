@@ -1,0 +1,767 @@
+"""The distributed sweep coordinator: single journal writer, lease
+server, and merge point.
+
+The coordinator owns everything a :func:`~repro.explore.sweep.run_sweep`
+would own for the same spec — the deterministic sweep id, the journal
+(same header, same per-point lines, same directory), the per-cell disk
+cache, and the trace store — and replaces only the execution engine:
+instead of a local process pool, pull-based workers lease
+content-addressed shards, stream per-cell results back, and renew
+heartbeat leases.  Because the request resolution, point enumeration,
+and journal format are shared code, a distributed journal is
+*bit-identical* (modulo wall-clock fields) to the single-host one:
+:func:`journal_digest` makes that property checkable.
+
+Fault tolerance: a worker that stops renewing (SIGKILL, hang,
+partition) loses its lease; the shard goes back on the queue with every
+already-reported cell subtracted, so nothing journaled is ever
+resimulated.  Work-stealing: an idle worker splits the tail off the
+largest outstanding lease; the victim learns which cells left via its
+next renewal.  Double reports (a stale worker racing its replacement)
+resolve first-wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import ReproError
+from ..core.requests import LeaseGrant, ShardCell, SweepRequest
+from ..explore.space import SweepPoint
+from ..explore.sweep import (
+    PointResult,
+    SweepJournal,
+    SweepResults,
+    _job_fp,
+    _replay_differs,
+    default_sweeps_dir,
+    journal_header,
+    resolve_sweep_execution,
+    sweep_fingerprint,
+)
+from ..harness.cache import ResultCache, TraceStore, resolve_cache
+from ..harness.parallel import Job, JobEvent, ProgressFn, run_job_inline
+from ..harness.runner import WorkloadRun
+from .lease import LeaseTable
+from .shard import ShardState, group_shards, resolve_sweep_space
+
+#: A lease that dies this many times marks its remaining cells failed
+#: instead of requeueing forever (poison-shard guard).
+MAX_SHARD_ATTEMPTS = 5
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting for the :class:`DistSweepResults` report."""
+
+    worker_id: str
+    leases: int = 0
+    cells: int = 0
+    steals: int = 0
+    expiries: int = 0
+
+    def to_payload(self) -> Dict[str, int]:
+        return {"leases": self.leases, "cells": self.cells,
+                "steals": self.steals, "expiries": self.expiries}
+
+
+@dataclass
+class DistSweepResults(SweepResults):
+    """A sweep result plus the distribution ledger: who simulated what,
+    and how often the fault-tolerance machinery fired."""
+
+    workers: Dict[str, WorkerStats] = field(default_factory=dict)
+    shards: int = 0
+    steals: int = 0
+    expiries: int = 0
+    #: shards re-queued after a lease expiry (the resume counter the
+    #: chaos test asserts on).
+    retries: int = 0
+    duplicate_reports: int = 0
+
+    def dist_payload(self) -> Dict[str, object]:
+        return {
+            "workers": {wid: stats.to_payload()
+                        for wid, stats in sorted(self.workers.items())},
+            "shards": self.shards,
+            "steals": self.steals,
+            "expiries": self.expiries,
+            "retries": self.retries,
+            "duplicate_reports": self.duplicate_reports,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = json.loads(super().to_json(indent=indent))
+        payload["dist"] = self.dist_payload()
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def journal_digest(path) -> str:
+    """Content digest of a sweep journal with volatile fields stripped.
+
+    Wall-clock fields (per-run ``wall_seconds``, the header's
+    ``created``) and the capture-vs-replay ``execution`` tag differ
+    between hosts and runs; the simulated statistics must not.  Points
+    are keyed by id, not line order, because a distributed sweep
+    journals points in completion order.  Two journals with equal
+    digests carry bit-identical sweep statistics.
+    """
+    header: Dict[str, object] = {}
+    points: Dict[str, object] = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            if entry.get("type") == "header":
+                header = dict(entry)
+                header.pop("created", None)
+            elif entry.get("type") == "point":
+                entry = json.loads(json.dumps(entry))  # private copy
+                for run in entry.get("runs", ()):
+                    if isinstance(run, dict):
+                        run.pop("wall_seconds", None)
+                        run.pop("execution", None)
+                pid = str(entry.get("point", {}).get("point_id", ""))
+                points[pid] = entry
+    canonical = json.dumps({"header": header, "points": points},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class Coordinator:
+    """Lease server + single journal writer for one distributed sweep.
+
+    Thread-safe: every public method may be called from the HTTP
+    daemon's event loop, in-process worker threads, and the driver
+    concurrently.
+    """
+
+    def __init__(self, request: SweepRequest, *,
+                 lease_ttl: float = 30.0,
+                 steal: bool = True,
+                 max_shard_cells: Optional[int] = None,
+                 max_attempts: int = MAX_SHARD_ATTEMPTS,
+                 clock: Callable[[], float] = time.monotonic,
+                 progress: Optional[ProgressFn] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.request = request
+        self.steal_enabled = steal
+        self._clock = clock
+        self._max_attempts = max_attempts
+        self._progress = progress
+        self._log = log or (lambda message: None)
+        self._lock = threading.RLock()
+
+        base, names, isas, space, points = resolve_sweep_space(request)
+        self.cell_mode, self.store = resolve_sweep_execution(
+            request.execution, request.use_disk_cache, request.trace_dir)
+        self.sweep_id = (request.resume
+                         if isinstance(request.resume, str) else
+                         sweep_fingerprint(base, space.axes, request.mode,
+                                           names, isas, request.scale,
+                                           request.seed))
+        self._points: List[SweepPoint] = list(points)
+        self._names = names
+        self._isas = isas
+        self._disk: Optional[ResultCache] = resolve_cache(
+            request.use_disk_cache, request.cache_dir)
+
+        self.journal = SweepJournal(
+            request.sweeps_dir or default_sweeps_dir(), self.sweep_id)
+        replayed = self.journal.load() if request.resume else {}
+        self.journal.open(
+            journal_header(self.sweep_id, base, space.axes, request.mode,
+                           names, isas, request.scale, request.seed),
+            resume=bool(request.resume) and bool(replayed),
+        )
+
+        self.results = DistSweepResults(
+            sweep_id=self.sweep_id, base=base, axes=space.axes,
+            mode=request.mode, workloads=names, isas=isas,
+            scale=request.scale, seed=request.seed,
+            journal_path=str(self.journal.path), execution=self.cell_mode,
+        )
+
+        # -- pass 1, exactly like run_sweep: journal replays and invalid
+        # points complete immediately, cache hits pre-complete cells, and
+        # only the misses get sharded.
+        self._total = len(points) * len(names) * len(isas)
+        self._index = 0
+        self._point_results: Dict[str, PointResult] = {}
+        self._runs: Dict[str, Dict[Tuple[str, str], WorkloadRun]] = {}
+        self._remaining_cells: Dict[str, int] = {}
+        self._points_by_id = {p.point_id: p for p in points}
+        self._replay_sample: Optional[Tuple[float, WorkloadRun, Job]] = None
+
+        live_cells: List[Tuple[SweepPoint, str, str]] = []
+        for point in points:
+            pid = point.point_id
+            parsed = replayed.get(pid)
+            if parsed is not None:
+                prior, journal_fp = parsed
+                if (journal_fp == point.fingerprint()
+                        and (point.error is not None
+                             or set(prior.runs) == {(w, i) for w in names
+                                                    for i in isas})):
+                    prior.point = point
+                    for (w, isa), run in sorted(prior.runs.items()):
+                        self._emit(pid, w, isa, "journal", run.wall_seconds)
+                    if point.error is not None and not prior.runs:
+                        for w in names:
+                            for isa in isas:
+                                self._emit(pid, w, isa, "journal", 0.0)
+                    self._point_results[pid] = prior
+                    continue
+            if point.error is not None:
+                for w in names:
+                    for isa in isas:
+                        self._emit(pid, w, isa, "failed", 0.0)
+                self._finish_point(point, {})
+                continue
+            runs: Dict[Tuple[str, str], WorkloadRun] = {}
+            misses: List[Tuple[str, str]] = []
+            for w in names:
+                for isa in isas:
+                    job = Job.build(w, isa, request.scale, request.seed,
+                                    point.config, point=pid,
+                                    execution=self.cell_mode,
+                                    trace_dir=request.trace_dir,
+                                    engine=point.config.engine)
+                    cached = (self._disk.get(_job_fp(job))
+                              if self._disk is not None else None)
+                    if cached is not None:
+                        runs[(w, isa)] = cached
+                        self._emit(pid, w, isa, "hit", cached.wall_seconds)
+                    else:
+                        misses.append((w, isa))
+            if not misses:
+                self._finish_point(point, runs)
+                continue
+            self._runs[pid] = runs
+            self._remaining_cells[pid] = len(misses)
+            live_cells.extend((point, w, isa) for w, isa in misses)
+
+        shards = group_shards(self.sweep_id, base, live_cells,
+                              request.scale, request.seed, self.cell_mode,
+                              max_shard_cells)
+        self._pending: List[ShardState] = [ShardState.from_request(s)
+                                           for s in shards]
+        self._cell_home: Dict[str, ShardState] = {}
+        self._cell_point: Dict[str, Tuple[str, str, str]] = {}
+        self._accepted: Dict[str, int] = {}
+        for state in self._pending:
+            for key, cell in state.remaining.items():
+                self._cell_home[key] = state
+                self._cell_point[key] = (cell.point, cell.workload,
+                                         cell.isa)
+        self._leases = LeaseTable(lease_ttl, clock)
+        self.results.shards = len(shards)
+        self._log(f"sweep {self.sweep_id}: {len(shards)} shard(s), "
+                  f"{len(live_cells)} live cell(s) of {self._total}")
+
+    # -- progress / completion -------------------------------------------------
+
+    def _emit(self, point_id: str, workload: str, isa: str, status: str,
+              wall: float) -> None:
+        self._index += 1
+        if self._progress is not None:
+            self._progress(JobEvent(workload=workload, isa=isa,
+                                    status=status, wall_seconds=wall,
+                                    index=self._index, total=self._total,
+                                    point=point_id))
+
+    def _finish_point(self, point: SweepPoint,
+                      runs: Dict[Tuple[str, str], WorkloadRun]) -> None:
+        pr = PointResult(point=point, runs=runs)
+        self._point_results[point.point_id] = pr
+        self.journal.append_point(pr)
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return len(self._point_results) == len(self._points)
+
+    # -- worker protocol -------------------------------------------------------
+
+    def _worker(self, worker_id: str) -> WorkerStats:
+        stats = self.results.workers.get(worker_id)
+        if stats is None:
+            stats = WorkerStats(worker_id=worker_id)
+            self.results.workers[worker_id] = stats
+        return stats
+
+    def _expire_stale(self) -> None:
+        for lease in self._leases.expire():
+            self.results.expiries += 1
+            self._worker(lease.worker_id).expiries += 1
+            shard = lease.shard
+            if not shard.remaining:
+                continue
+            shard.attempts += 1
+            if shard.attempts >= self._max_attempts:
+                self._log(f"shard {shard.shard_id} abandoned after "
+                          f"{shard.attempts} dead leases; failing "
+                          f"{len(shard.remaining)} cell(s)")
+                self._fail_shard(shard,
+                                 f"shard {shard.shard_id} failed after "
+                                 f"{shard.attempts} lease expiries")
+                continue
+            self.results.retries += 1
+            self._pending.append(shard)
+            self._log(f"lease {lease.lease_id} ({lease.worker_id}) "
+                      f"expired; requeued shard {shard.shard_id} with "
+                      f"{len(shard.remaining)} cell(s) left")
+
+    def _fail_shard(self, shard: ShardState, message: str) -> None:
+        for key, cell in list(shard.remaining.items()):
+            job = Job(request=shard.request.run_request(cell),
+                      point=cell.point)
+            from ..harness.parallel import _failed_run
+
+            self._accept(key, _failed_run(job, message, 0.0),
+                         worker_id="(coordinator)")
+
+    def lease(self, worker_id: str) -> LeaseGrant:
+        """One worker's pull: a shard grant, a back-off, or done."""
+        with self._lock:
+            self._expire_stale()
+            while self._pending:
+                shard = self._pending.pop(0)
+                if not shard.remaining:
+                    continue  # every cell landed as a late report
+                return self._grant(worker_id, shard, stolen=False)
+            if self.steal_enabled:
+                victim = self._leases.largest()
+                if victim is not None:
+                    shard = self._split(victim)
+                    if shard is not None:
+                        self.results.steals += 1
+                        self._worker(worker_id).steals += 1
+                        self._log(
+                            f"{worker_id} stole {len(shard.remaining)} "
+                            f"cell(s) from lease {victim.lease_id} "
+                            f"({victim.worker_id}) as shard "
+                            f"{shard.shard_id}")
+                        return self._grant(worker_id, shard, stolen=True)
+            if self.done:
+                return LeaseGrant(state="done")
+            return LeaseGrant(state="wait",
+                              retry_after=min(1.0, self._leases.ttl / 4))
+
+    def _grant(self, worker_id: str, shard: ShardState,
+               stolen: bool) -> LeaseGrant:
+        lease = self._leases.grant(worker_id, shard)
+        stats = self._worker(worker_id)
+        stats.leases += 1
+        available = (self.store is not None
+                     and self.store.has(shard.trace_fp))
+        return LeaseGrant(
+            state="granted",
+            lease_id=lease.lease_id,
+            ttl=self._leases.ttl,
+            shard=shard.granted_request(),
+            trace_available=available,
+            stolen=stolen,
+        )
+
+    def _split(self, victim) -> Optional[ShardState]:
+        """Move the tail half of the victim's outstanding cells into a
+        fresh content-addressed shard (the victim keeps working its head
+        and learns about the theft on its next renewal)."""
+        from .shard import shard_id_for
+
+        keys = list(victim.shard.remaining)
+        take = len(keys) // 2
+        if take < 1:
+            return None
+        taken = keys[len(keys) - take:]
+        cells: Dict[str, ShardCell] = {}
+        for key in taken:
+            cells[key] = victim.shard.remaining.pop(key)
+            victim.stolen_pending.append(key)
+            victim.stolen_total += 1
+        request = replace(
+            victim.shard.request,
+            shard_id=shard_id_for(victim.shard.request.sweep_id,
+                                  victim.shard.trace_fp,
+                                  list(cells.values())),
+            cells=tuple(cells.values()),
+        )
+        shard = ShardState(request=request, remaining=cells)
+        shard.attempts = victim.shard.attempts
+        for key in cells:
+            self._cell_home[key] = shard
+        return shard
+
+    def renew(self, worker_id: str, lease_id: str) -> Dict[str, object]:
+        """Heartbeat: extend the lease, hand back any stolen cell keys."""
+        with self._lock:
+            self._expire_stale()
+            lease = self._leases.renew(lease_id)
+            if lease is None or lease.worker_id != worker_id:
+                return {"ok": False, "ttl": 0.0, "stolen": []}
+            stolen = list(lease.stolen_pending)
+            lease.stolen_pending.clear()
+            return {"ok": True, "ttl": self._leases.ttl, "stolen": stolen}
+
+    def report(self, worker_id: str, lease_id: str, cell_key: str,
+               run_payload: Dict[str, object]) -> Dict[str, object]:
+        """One finished cell streaming back.  First report wins; a
+        duplicate (stale worker racing its replacement) is counted and
+        dropped.  A report from an expired lease is still accepted when
+        the cell is outstanding — the work is done and deterministic, so
+        discarding it would only buy a resimulation."""
+        try:
+            run = WorkloadRun.from_payload(run_payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(
+                f"malformed run payload for cell {cell_key!r}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        with self._lock:
+            self._expire_stale()
+            if cell_key not in self._cell_point:
+                raise ReproError(f"unknown cell {cell_key!r}")
+            if cell_key in self._accepted:
+                self.results.duplicate_reports += 1
+                return {"accepted": False, "duplicate": True,
+                        "done": self.done}
+            lease = self._leases.get(lease_id)
+            accepted = self._accept(cell_key, run, worker_id=worker_id)
+            if lease is not None and not lease.shard.remaining:
+                self._leases.release(lease_id)
+            return {"accepted": accepted, "duplicate": False,
+                    "done": self.done}
+
+    def _accept(self, cell_key: str, run: WorkloadRun, *,
+                worker_id: str) -> bool:
+        pid, workload, isa = self._cell_point[cell_key]
+        self._accepted[cell_key] = self._accepted.get(cell_key, 0) + 1
+        home = self._cell_home.pop(cell_key, None)
+        if home is not None:
+            home.remaining.pop(cell_key, None)
+        self._worker(worker_id).cells += 1
+        self._runs[pid][(workload, isa)] = run
+        if run.error is None:
+            if run.execution == "capture":
+                self.results.captures += 1
+            elif run.execution == "replay":
+                self.results.replays += 1
+                sample = self._replay_sample
+                if sample is None or run.wall_seconds < sample[0]:
+                    point = self._points_by_id[pid]
+                    job = Job.build(workload, isa, self.request.scale,
+                                    self.request.seed, point.config,
+                                    point=pid, execution="execute",
+                                    engine=point.config.engine)
+                    self._replay_sample = (run.wall_seconds, run, job)
+            if self._disk is not None:
+                job = Job.build(workload, isa, self.request.scale,
+                                self.request.seed,
+                                self._points_by_id[pid].config, point=pid)
+                self._disk.put(_job_fp(job), run,
+                               config_fingerprint=job.config.fingerprint())
+        self._emit(pid, workload, isa,
+                   "failed" if run.error else "ok", run.wall_seconds)
+        self._remaining_cells[pid] -= 1
+        if self._remaining_cells[pid] == 0:
+            self._finish_point(self._points_by_id[pid],
+                               self._runs.pop(pid))
+        return True
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            outstanding = sum(len(s.remaining) for s in self._pending)
+            outstanding += sum(lease.outstanding()
+                               for lease in self._leases.active())
+            return {
+                "sweep_id": self.sweep_id,
+                "total_points": len(self._points),
+                "points_done": len(self._point_results),
+                "total_cells": self._total,
+                "cells_accepted": len(self._accepted),
+                "outstanding_cells": outstanding,
+                "pending_shards": len(self._pending),
+                "active_leases": len(self._leases),
+                "steals": self.results.steals,
+                "expiries": self.results.expiries,
+                "retries": self.results.retries,
+                "duplicate_reports": self.results.duplicate_reports,
+                "done": self.done,
+            }
+
+    # -- teardown --------------------------------------------------------------
+
+    def abort(self, message: str) -> None:
+        """Mark every outstanding cell failed so :meth:`finish` can
+        produce a complete (but failed) result — the timeout path."""
+        with self._lock:
+            self._expire_stale()
+            for lease in list(self._leases.active()):
+                self._leases.release(lease.lease_id)
+                if lease.shard.remaining:
+                    self._pending.append(lease.shard)
+            while self._pending:
+                shard = self._pending.pop(0)
+                if shard.remaining:
+                    self._fail_shard(shard, message)
+
+    def finish(self, verify_replay: Optional[bool] = None) -> DistSweepResults:
+        """Close the journal and assemble the final results (call once,
+        after :attr:`done`).  Runs the same replay-drift fidelity guard
+        as ``run_sweep``: the cheapest replayed cell is re-executed with
+        full functional semantics and compared."""
+        import warnings
+
+        if verify_replay is None:
+            verify_replay = self.request.verify_replay
+        with self._lock:
+            self.results.points = [
+                self._point_results[p.point_id] for p in self._points
+                if p.point_id in self._point_results
+            ]
+            sample = self._replay_sample
+        if verify_replay and sample is not None:
+            _wall, run, job = sample
+            self.results.verified_cell = (
+                f"{job.point}:{job.workload}/{job.isa}")
+            check = run_job_inline(job)
+            if _replay_differs(run, check):
+                self.results.replay_drift = 1
+                warnings.warn(
+                    f"trace replay drift at {self.results.verified_cell}: "
+                    "replayed statistics disagree with functional "
+                    "re-execution; clear the trace store",
+                    stacklevel=2,
+                )
+        self.journal.close()
+        return self.results
+
+
+class _CoordinatorServer:
+    """The coordinator's HTTP face: a scheduler-less serve daemon on a
+    background event-loop thread, so subprocess workers reach lease/
+    renew/report/trace routes over localhost."""
+
+    def __init__(self, coordinator: Coordinator, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        from ..serve.daemon import Daemon
+
+        self.daemon = Daemon(None, host, port, coordinator=coordinator)
+        self._loop = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> str:
+        import asyncio
+
+        started = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.daemon.start())
+            started.set()
+            loop.run_forever()
+            loop.run_until_complete(self.daemon.close())
+            loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="repro-dist-coordinator")
+        self._thread.start()
+        if not started.wait(10.0):
+            raise ReproError("coordinator HTTP server failed to start")
+        return f"http://{self.daemon.host}:{self.daemon.port}"
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._loop = None
+        self._thread = None
+
+
+class DistSweep:
+    """One distributed sweep run: coordinator + its worker fleet.
+
+    Split into :meth:`start` / :meth:`wait` (rather than one function)
+    so callers — the chaos test in particular — can reach
+    :attr:`processes` mid-flight and SIGKILL a worker.
+    """
+
+    def __init__(self, request: SweepRequest, *,
+                 workers: int = 0,
+                 worker_urls: Sequence[str] = (),
+                 lease_ttl: float = 30.0,
+                 steal: bool = True,
+                 max_shard_cells: Optional[int] = None,
+                 progress: Optional[ProgressFn] = None,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.request = request
+        self.workers = max(0, int(workers))
+        self.worker_urls = tuple(worker_urls)
+        self.host = host
+        self.port = port
+        self._log = log or (lambda message: None)
+        self.coordinator = Coordinator(
+            request, lease_ttl=lease_ttl, steal=steal,
+            max_shard_cells=max_shard_cells, progress=progress, log=log)
+        self.server: Optional[_CoordinatorServer] = None
+        self.url = ""
+        #: auto-spawned ``repro dist worker`` subprocesses.
+        self.processes: List[subprocess.Popen] = []
+        self._threads: List[threading.Thread] = []
+
+    def start(self) -> "DistSweep":
+        if self.coordinator.done:
+            return self  # fully replayed/cached; nothing to distribute
+        if self.workers > 0:
+            self.server = _CoordinatorServer(self.coordinator, self.host,
+                                             self.port)
+            self.url = self.server.start()
+            self._log(f"coordinator listening on {self.url}")
+            for i in range(self.workers):
+                self.processes.append(self._spawn(f"local-{i}"))
+        for i, url in enumerate(self.worker_urls):
+            thread = threading.Thread(
+                target=self._url_worker, args=(f"daemon-{i}", url),
+                name=f"repro-dist-{url}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _spawn(self, worker_id: str) -> subprocess.Popen:
+        import repro
+
+        cmd = [sys.executable, "-m", "repro", "dist", "worker",
+               "--coordinator", self.url, "--worker-id", worker_id,
+               "--poll", "0.1", "--quiet"]
+        if self.coordinator.store is not None:
+            # Local workers share the coordinator's store directory, so
+            # trace sync degenerates to the filesystem (like the pool).
+            cmd += ["--trace-dir", str(self.coordinator.store.directory)]
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(cmd, env=env, stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+
+    def _url_worker(self, worker_id: str, url: str) -> None:
+        """A remote ``repro serve`` daemon as a worker: the loop runs
+        here (in-process transport), each cell executes over there."""
+        from ..serve.client import DaemonClient
+        from .worker import (DaemonBackend, LocalTransport, Worker,
+                             _parse_url)
+
+        d_host, d_port = _parse_url(url)
+        backend = DaemonBackend(DaemonClient(d_host, d_port,
+                                             client_id=worker_id))
+        Worker(worker_id, LocalTransport(self.coordinator), backend,
+               poll=0.1, log=self._log).run()
+
+    def alive_workers(self) -> int:
+        return (sum(1 for p in self.processes if p.poll() is None)
+                + sum(1 for t in self._threads if t.is_alive()))
+
+    def _run_inline(self) -> None:
+        """Safety net (and the workers=0 path): an embedded worker in
+        this process finishes whatever is left."""
+        from .worker import EmbeddedBackend, LocalTransport, Worker
+
+        trace_dir = (str(self.coordinator.store.directory)
+                     if self.coordinator.store is not None else None)
+        backend = EmbeddedBackend(trace_dir=trace_dir,
+                                  job_timeout=self.request.job_timeout)
+        Worker("inline", LocalTransport(self.coordinator), backend,
+               poll=0.05, log=self._log).run()
+
+    def wait(self, timeout: Optional[float] = None) -> DistSweepResults:
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        try:
+            while not self.coordinator.done:
+                if deadline is not None and time.monotonic() >= deadline:
+                    self.coordinator.abort(
+                        f"distributed sweep timed out after {timeout:g}s")
+                    break
+                if ((self.workers or self.worker_urls)
+                        and self.alive_workers() > 0):
+                    time.sleep(0.05)
+                    continue
+                self._run_inline()
+        finally:
+            try:
+                results = self.coordinator.finish()
+            finally:
+                self.stop()
+        return results
+
+    def stop(self) -> None:
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=5.0)
+            except (subprocess.TimeoutExpired, OSError):
+                proc.kill()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+
+
+def run_dist_sweep(request: SweepRequest, *,
+                   workers: int = 0,
+                   worker_urls: Sequence[str] = (),
+                   lease_ttl: float = 30.0,
+                   steal: bool = True,
+                   max_shard_cells: Optional[int] = None,
+                   progress: Optional[ProgressFn] = None,
+                   host: str = "127.0.0.1",
+                   port: int = 0,
+                   timeout: Optional[float] = None,
+                   log: Optional[Callable[[str], None]] = None
+                   ) -> DistSweepResults:
+    """Run one sweep request across a worker fleet; see the module doc.
+
+    ``workers`` auto-spawns that many local ``repro dist worker``
+    subprocesses against an ephemeral coordinator daemon;
+    ``worker_urls`` adds one in-process worker per remote ``repro
+    serve`` daemon; with neither, an embedded worker runs the whole
+    sweep inline (useful as a serial cross-check of the dist path).
+    """
+    sweep = DistSweep(request, workers=workers, worker_urls=worker_urls,
+                      lease_ttl=lease_ttl, steal=steal,
+                      max_shard_cells=max_shard_cells, progress=progress,
+                      host=host, port=port, log=log)
+    sweep.start()
+    return sweep.wait(timeout=timeout)
+
+
+__all__ = [
+    "Coordinator",
+    "DistSweep",
+    "DistSweepResults",
+    "MAX_SHARD_ATTEMPTS",
+    "WorkerStats",
+    "journal_digest",
+    "run_dist_sweep",
+]

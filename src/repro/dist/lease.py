@@ -1,0 +1,109 @@
+"""Heartbeat leases over shards.
+
+A lease is one worker's exclusive claim on a shard's outstanding cells,
+valid for ``ttl`` seconds and extended by renewals.  The table is pure
+bookkeeping — no threads, no sockets, an injectable monotonic clock —
+so lease expiry, renewal, and work-stealing are all unit-testable by
+advancing a fake clock.
+
+Expiry is the fault-tolerance primitive: a SIGKILL'd, hung, or
+partitioned worker simply stops renewing, the coordinator pops the
+expired lease, and the shard (minus every cell the worker reported
+before dying) goes back on the queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .shard import ShardState
+
+
+@dataclass
+class LeaseState:
+    """One live lease (coordinator-private)."""
+
+    lease_id: str
+    worker_id: str
+    shard: ShardState
+    deadline: float
+    renewals: int = 0
+    #: cell keys stolen from this lease since its last renewal; drained
+    #: into the renew reply so the victim stops working on them.
+    stolen_pending: List[str] = field(default_factory=list)
+    stolen_total: int = 0
+
+    def outstanding(self) -> int:
+        return len(self.shard.remaining)
+
+
+class LeaseTable:
+    """All live leases, keyed by lease id; see the module docstring."""
+
+    def __init__(self, ttl: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.ttl = ttl
+        self._clock = clock
+        self._leases: Dict[str, LeaseState] = {}
+        self._seq = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def active(self) -> List[LeaseState]:
+        return list(self._leases.values())
+
+    def get(self, lease_id: str) -> Optional[LeaseState]:
+        return self._leases.get(lease_id)
+
+    def grant(self, worker_id: str, shard: ShardState) -> LeaseState:
+        lease = LeaseState(
+            lease_id=f"L{next(self._seq):05d}",
+            worker_id=worker_id,
+            shard=shard,
+            deadline=self._clock() + self.ttl,
+        )
+        self._leases[lease.lease_id] = lease
+        return lease
+
+    def renew(self, lease_id: str) -> Optional[LeaseState]:
+        """Extend one lease; ``None`` if it already expired or finished
+        (the worker must abandon the shard — it may be re-leased)."""
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return None
+        lease.deadline = self._clock() + self.ttl
+        lease.renewals += 1
+        return lease
+
+    def release(self, lease_id: str) -> Optional[LeaseState]:
+        return self._leases.pop(lease_id, None)
+
+    def expire(self) -> List[LeaseState]:
+        """Pop and return every lease past its deadline."""
+        now = self._clock()
+        expired = [lease for lease in self._leases.values()
+                   if lease.deadline <= now]
+        for lease in expired:
+            del self._leases[lease.lease_id]
+        return expired
+
+    def largest(self) -> Optional[LeaseState]:
+        """The active lease with the most outstanding cells (the
+        work-stealing victim); ``None`` when every lease is down to one
+        cell — splitting those buys nothing."""
+        best: Optional[LeaseState] = None
+        for lease in self._leases.values():
+            if lease.outstanding() < 2:
+                continue
+            if best is None or lease.outstanding() > best.outstanding():
+                best = lease
+        return best
+
+
+__all__ = ["LeaseState", "LeaseTable"]

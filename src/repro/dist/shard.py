@@ -1,0 +1,193 @@
+"""Shard planning: a :class:`SweepRequest` decomposed into
+content-addressed units of distributable work.
+
+A shard is a group of (point x workload x ISA) cells that share one
+:func:`~repro.harness.cache.trace_fingerprint` — the same grouping the
+single-host sweep and the daemon's batch scheduler exploit — so each
+shard keeps the capture-once-replay-everywhere economics of PR 5
+*within itself*: whichever worker leases it captures the functional
+trace once and replays every other cell, and a stolen or re-leased
+shard replays a synced trace instead of recapturing.
+
+Shard ids are content hashes over (sweep id, trace fingerprint, cell
+keys), so the same spec shards identically on every coordinator and a
+shard split off by work-stealing gets its own honest identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import GpuConfig
+from ..core.requests import ShardCell, ShardRequest, SweepRequest
+from ..explore.space import SweepPoint, build_space
+from ..explore.sweep import sweep_fingerprint
+from ..harness.cache import trace_fingerprint
+from ..workloads import all_workloads
+
+
+def shard_id_for(sweep_id: str, trace_fp: str,
+                 cells: Sequence[ShardCell]) -> str:
+    """Deterministic shard identity: same sweep + same cell set -> same id."""
+    canonical = json.dumps(
+        {
+            "sweep": sweep_id,
+            "trace": trace_fp,
+            "cells": [cell.key for cell in cells],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class ShardState:
+    """Coordinator-private mutable view of one shard: the frozen wire
+    request plus which cells are still outstanding and how many leases
+    have already died under it."""
+
+    request: ShardRequest
+    #: cell key -> cell, insertion-ordered; report/steal remove entries.
+    remaining: "Dict[str, ShardCell]" = field(default_factory=dict)
+    attempts: int = 0
+
+    @classmethod
+    def from_request(cls, request: ShardRequest) -> "ShardState":
+        return cls(request=request,
+                   remaining={cell.key: cell for cell in request.cells})
+
+    @property
+    def shard_id(self) -> str:
+        return self.request.shard_id
+
+    @property
+    def trace_fp(self) -> str:
+        return self.request.trace_fp
+
+    def granted_request(self) -> ShardRequest:
+        """The wire request covering only the outstanding cells (already
+        completed cells are subtracted, so a re-lease after an expiry
+        never resimulates journaled work)."""
+        from dataclasses import replace
+
+        cells = tuple(self.remaining.values())
+        if len(cells) == len(self.request.cells):
+            return self.request
+        return replace(self.request, cells=cells)
+
+
+@dataclass
+class ShardPlan:
+    """Everything the coordinator needs from one planning pass."""
+
+    sweep_id: str
+    base: GpuConfig
+    points: List[SweepPoint]
+    workloads: Tuple[str, ...]
+    isas: Tuple[str, ...]
+    shards: List[ShardRequest]
+
+    @property
+    def cell_count(self) -> int:
+        return sum(len(shard.cells) for shard in self.shards)
+
+
+def resolve_sweep_space(request: SweepRequest):
+    """(base config, workload names, space, points) for one sweep request
+    — exactly the resolution :func:`~repro.explore.sweep.run_sweep`
+    performs, factored so the coordinator's sweep id, journal header, and
+    point enumeration are bit-identical to the single-host path."""
+    base = request.resolved_config()
+    names: Tuple[str, ...] = tuple(
+        request.workloads if request.workloads is not None
+        else [w.name for w in all_workloads()]
+    )
+    isas = tuple(request.isas)
+    space = build_space(list(request.axes), request.mode)
+    points = space.points(base)
+    return base, names, isas, space, points
+
+
+def group_shards(
+    sweep_id: str,
+    base: GpuConfig,
+    cells: Sequence[Tuple[SweepPoint, str, str]],
+    scale: float,
+    seed: int,
+    execution: str,
+    max_shard_cells: Optional[int] = None,
+) -> List[ShardRequest]:
+    """Cells grouped by trace fingerprint into :class:`ShardRequest`\\ s.
+
+    ``cells`` is (point, workload, isa) triples of *valid* points only.
+    ``max_shard_cells`` caps shard size (a capped group splits into
+    consecutive chunks that still share the fingerprint, so every chunk
+    after the first replays the first chunk's capture via the store).
+    """
+    groups: "Dict[str, List[ShardCell]]" = {}
+    order: List[str] = []
+    fp_memo: "Dict[Tuple[str, str, str], str]" = {}
+    for point, workload, isa in cells:
+        assert point.config is not None
+        memo_key = (point.point_id, workload, isa)
+        fp = fp_memo.get(memo_key)
+        if fp is None:
+            fp = trace_fingerprint(point.config, workload, isa, scale, seed)
+            fp_memo[memo_key] = fp
+        if fp not in groups:
+            groups[fp] = []
+            order.append(fp)
+        groups[fp].append(ShardCell(point=point.point_id, workload=workload,
+                                    isa=isa, overrides=point.overrides))
+    shards: List[ShardRequest] = []
+    for fp in order:
+        members = groups[fp]
+        chunk = (max_shard_cells if max_shard_cells and max_shard_cells > 0
+                 else len(members))
+        for start in range(0, len(members), chunk):
+            part = tuple(members[start:start + chunk])
+            shards.append(ShardRequest(
+                shard_id=shard_id_for(sweep_id, fp, part),
+                sweep_id=sweep_id,
+                trace_fp=fp,
+                cells=part,
+                scale=scale,
+                seed=seed,
+                config=base,
+                execution=execution,
+            ))
+    return shards
+
+
+def plan_shards(request: SweepRequest,
+                max_shard_cells: Optional[int] = None,
+                execution: Optional[str] = None) -> ShardPlan:
+    """The full decomposition of one sweep request (valid points only;
+    invalid points are the coordinator's to journal as failed)."""
+    base, names, isas, space, points = resolve_sweep_space(request)
+    sweep_id = sweep_fingerprint(base, space.axes, request.mode, names,
+                                 isas, request.scale, request.seed)
+    cells = [(point, workload, isa)
+             for point in points if point.valid
+             for workload in names for isa in isas]
+    shards = group_shards(sweep_id, base, cells, request.scale,
+                          request.seed,
+                          execution if execution is not None
+                          else request.execution,
+                          max_shard_cells)
+    return ShardPlan(sweep_id=sweep_id, base=base, points=list(points),
+                     workloads=names, isas=isas, shards=shards)
+
+
+__all__ = [
+    "ShardPlan",
+    "ShardState",
+    "group_shards",
+    "plan_shards",
+    "resolve_sweep_space",
+    "shard_id_for",
+]

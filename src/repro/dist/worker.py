@@ -1,0 +1,387 @@
+"""Pull-based sweep workers.
+
+A worker is a loop around three verbs against a coordinator — lease,
+report, renew — with the actual simulation delegated to a *backend*:
+
+* :class:`EmbeddedBackend` runs cells through an in-process
+  ``repro serve`` :class:`~repro.serve.scheduler.Scheduler` (no HTTP,
+  no thread — the worker pumps it synchronously), so a standalone
+  ``repro dist worker`` gets the daemon's trace store, job-timeout, and
+  execution plumbing for free.
+* :class:`DaemonBackend` forwards each cell to a remote ``repro serve``
+  daemon through :class:`~repro.serve.DaemonClient` — an already-warm
+  daemon farm becomes a sweep fleet without restarting anything.
+
+Transports mirror the split on the coordinator side:
+:class:`HttpTransport` speaks the ``/v1/dist/*`` routes;
+:class:`LocalTransport` calls a :class:`~repro.dist.Coordinator` in the
+same process (the auto-spawned-worker fallback and the unit tests).
+
+Trace sync: a granted shard names its functional trace fingerprint.
+When the coordinator already holds that trace
+(``grant.trace_available``) the worker pulls the blob into its backend
+before simulating, so every cell replays; after the shard, a freshly
+captured trace is pushed back so re-leases and thieves replay instead
+of recapturing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Set
+from urllib.parse import urlsplit
+
+from ..common.errors import ReproError
+from ..core.requests import LeaseGrant, RunRequest
+from ..harness.parallel import Job, _failed_run
+from ..serve.client import DaemonClient, DaemonError
+
+#: transient transport failures tolerated back to back before a worker
+#: abandons its shard (the lease then expires and the work requeues).
+TRANSPORT_RETRIES = 3
+
+
+def _parse_url(url: str):
+    """(host, port) from 'http://host:port', 'host:port', or 'host'."""
+    if "//" not in url:
+        url = "http://" + url
+    parts = urlsplit(url)
+    if not parts.hostname:
+        raise ReproError(f"bad coordinator/daemon URL {url!r}")
+    return parts.hostname, parts.port or 8642
+
+
+# -- transports ----------------------------------------------------------------
+
+
+class LocalTransport:
+    """Direct in-process calls against a coordinator (no sockets)."""
+
+    def __init__(self, coordinator) -> None:
+        self.coordinator = coordinator
+
+    def lease(self, worker_id: str) -> LeaseGrant:
+        return self.coordinator.lease(worker_id)
+
+    def renew(self, worker_id: str, lease_id: str) -> Dict[str, object]:
+        return self.coordinator.renew(worker_id, lease_id)
+
+    def report(self, worker_id: str, lease_id: str, cell: str,
+               run: Dict[str, object]) -> Dict[str, object]:
+        return self.coordinator.report(worker_id, lease_id, cell, run)
+
+    def get_trace(self, fingerprint: str) -> Optional[bytes]:
+        store = self.coordinator.store
+        return store.read_blob(fingerprint) if store is not None else None
+
+    def put_trace(self, fingerprint: str, blob: bytes) -> bool:
+        store = self.coordinator.store
+        return (store.write_blob(fingerprint, blob)
+                if store is not None else False)
+
+
+class HttpTransport:
+    """The ``/v1/dist/*`` + ``/v1/traces/*`` routes of a coordinator
+    daemon, through the retrying :class:`DaemonClient`."""
+
+    def __init__(self, client: DaemonClient) -> None:
+        self.client = client
+
+    def lease(self, worker_id: str) -> LeaseGrant:
+        return self.client.dist_lease(worker_id)
+
+    def renew(self, worker_id: str, lease_id: str) -> Dict[str, object]:
+        return self.client.dist_renew(worker_id, lease_id)
+
+    def report(self, worker_id: str, lease_id: str, cell: str,
+               run: Dict[str, object]) -> Dict[str, object]:
+        return self.client.dist_report(worker_id, lease_id, cell, run)
+
+    def get_trace(self, fingerprint: str) -> Optional[bytes]:
+        return self.client.get_trace(fingerprint)
+
+    def put_trace(self, fingerprint: str, blob: bytes) -> bool:
+        try:
+            return self.client.put_trace(fingerprint, blob)
+        except DaemonError:
+            return False  # coordinator without a store; sync is optional
+
+
+# -- backends ------------------------------------------------------------------
+
+
+class EmbeddedBackend:
+    """Cells execute through an in-process serve scheduler, pumped
+    synchronously (``submit`` + ``run_until_idle`` — no worker thread,
+    no rate limit, no queue pressure)."""
+
+    def __init__(self, *, trace_dir: Optional[str] = None,
+                 job_timeout: Optional[float] = None) -> None:
+        from ..serve.scheduler import Scheduler
+
+        self.scheduler = Scheduler(trace_dir=trace_dir,
+                                   job_timeout=job_timeout)
+
+    def run(self, request: RunRequest) -> Dict[str, object]:
+        job = self.scheduler.submit(request, client="dist-worker")
+        self.scheduler.run_until_idle()
+        job = self.scheduler.get(job.job_id)
+        if job.result is not None:
+            return job.result
+        return _failed_run(Job(request=request),
+                           job.error or "scheduler produced no result",
+                           job.wall_seconds or 0.0).to_payload()
+
+    def has_blob(self, fingerprint: str) -> bool:
+        store = self.scheduler.store
+        return store is not None and store.has(fingerprint)
+
+    def get_blob(self, fingerprint: str) -> Optional[bytes]:
+        store = self.scheduler.store
+        return store.read_blob(fingerprint) if store is not None else None
+
+    def put_blob(self, fingerprint: str, blob: bytes) -> bool:
+        store = self.scheduler.store
+        return (store.write_blob(fingerprint, blob)
+                if store is not None else False)
+
+
+class DaemonBackend:
+    """Cells execute on a remote ``repro serve`` daemon; the daemon's
+    own trace store is the backend store, synced over ``/v1/traces``."""
+
+    def __init__(self, client: DaemonClient, *,
+                 wait_timeout: float = 600.0) -> None:
+        self.client = client
+        self.wait_timeout = wait_timeout
+
+    def run(self, request: RunRequest) -> Dict[str, object]:
+        job = self.client.submit(request)
+        status = self.client.wait(job.job_id, timeout=self.wait_timeout)
+        if status.result is not None:
+            return status.result
+        return _failed_run(Job(request=request),
+                           status.error or "daemon produced no result",
+                           status.wall_seconds or 0.0).to_payload()
+
+    def has_blob(self, fingerprint: str) -> bool:
+        return self.get_blob(fingerprint) is not None
+
+    def get_blob(self, fingerprint: str) -> Optional[bytes]:
+        try:
+            return self.client.get_trace(fingerprint)
+        except DaemonError:
+            return None
+
+    def put_blob(self, fingerprint: str, blob: bytes) -> bool:
+        try:
+            return self.client.put_trace(fingerprint, blob)
+        except DaemonError:
+            return False
+
+
+# -- the worker loop -----------------------------------------------------------
+
+
+class Worker:
+    """Lease shards, simulate their cells, stream results back, renew.
+
+    One background thread per held lease renews at ttl/3 and learns
+    which cells were stolen; everything else is synchronous.  The worker
+    never retries a failed *cell* (failure isolation is per point, the
+    coordinator journals the failed run) but does retry a failed
+    *transport call*, and abandons the shard when the coordinator stays
+    unreachable — the lease expires and the work requeues elsewhere.
+    """
+
+    def __init__(self, worker_id: str, transport, backend, *,
+                 poll: float = 0.5,
+                 log: Optional[Callable[[str], None]] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.worker_id = worker_id
+        self.transport = transport
+        self.backend = backend
+        self.poll = poll
+        self.cells_done = 0
+        self.shards_done = 0
+        self._log = log or (lambda message: None)
+        self._sleep = sleep
+
+    def _rpc(self, fn, *args):
+        """A transport call with bounded retry; None when the
+        coordinator stays unreachable."""
+        for attempt in range(TRANSPORT_RETRIES):
+            try:
+                return fn(*args)
+            except ReproError as exc:
+                self._log(f"{self.worker_id}: transport error "
+                          f"({attempt + 1}/{TRANSPORT_RETRIES}): {exc}")
+            except OSError as exc:
+                self._log(f"{self.worker_id}: transport error "
+                          f"({attempt + 1}/{TRANSPORT_RETRIES}): {exc}")
+            self._sleep(0.2 * (attempt + 1))
+        return None
+
+    def run(self) -> int:
+        """Work until the coordinator says done; returns cells run."""
+        while True:
+            grant = self._rpc(self.transport.lease, self.worker_id)
+            if grant is None:
+                self._log(f"{self.worker_id}: coordinator unreachable; "
+                          f"exiting")
+                return self.cells_done
+            if grant.state == "done":
+                self._log(f"{self.worker_id}: sweep done "
+                          f"({self.cells_done} cell(s), "
+                          f"{self.shards_done} shard(s))")
+                return self.cells_done
+            if grant.state == "wait":
+                self._sleep(grant.retry_after or self.poll)
+                continue
+            self._run_shard(grant)
+
+    def _run_shard(self, grant: LeaseGrant) -> None:
+        shard = grant.shard
+        assert shard is not None
+        lost = threading.Event()
+        stop = threading.Event()
+        stolen: Set[str] = set()
+        renewer = threading.Thread(
+            target=self._renew_loop,
+            args=(grant, lost, stop, stolen),
+            name=f"renew-{grant.lease_id}", daemon=True)
+        renewer.start()
+        had_trace = self._sync_in(grant)
+        completed = 0
+        try:
+            for cell in shard.cells:
+                if lost.is_set():
+                    self._log(f"{self.worker_id}: lease {grant.lease_id} "
+                              f"lost; abandoning shard {shard.shard_id}")
+                    break
+                if cell.key in stolen:
+                    continue
+                payload = self._run_cell(shard.run_request(cell))
+                reply = self._rpc(self.transport.report, self.worker_id,
+                                  grant.lease_id, cell.key, payload)
+                if reply is None:
+                    break  # unreachable; let the lease expire
+                completed += 1
+                self.cells_done += 1
+        finally:
+            stop.set()
+            renewer.join(timeout=2.0)
+        if completed and not had_trace:
+            self._sync_out(grant)
+        if completed:
+            self.shards_done += 1
+
+    def _run_cell(self, request: RunRequest) -> Dict[str, object]:
+        start = time.monotonic()
+        try:
+            return self.backend.run(request)
+        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+            return _failed_run(
+                Job(request=request),
+                f"{type(exc).__name__}: {exc}",
+                time.monotonic() - start,
+            ).to_payload()
+
+    def _renew_loop(self, grant: LeaseGrant, lost: threading.Event,
+                    stop: threading.Event, stolen: Set[str]) -> None:
+        interval = max(0.05, (grant.ttl or 1.0) / 3.0)
+        misses = 0
+        while not stop.wait(interval):
+            try:
+                reply = self.transport.renew(self.worker_id, grant.lease_id)
+            except (ReproError, OSError):
+                misses += 1
+                if misses >= TRANSPORT_RETRIES:
+                    lost.set()
+                    return
+                continue
+            misses = 0
+            if not reply.get("ok"):
+                lost.set()
+                return
+            for key in reply.get("stolen", ()):
+                stolen.add(str(key))
+
+    def _sync_in(self, grant: LeaseGrant) -> bool:
+        """Warm the backend's store with the shard's trace; True when
+        the backend already has (or just received) it."""
+        shard = grant.shard
+        assert shard is not None
+        if not shard.trace_fp or shard.execution == "execute":
+            return True
+        if self.backend.has_blob(shard.trace_fp):
+            return True
+        if not grant.trace_available:
+            return False
+        blob = self._rpc(self.transport.get_trace, shard.trace_fp)
+        if blob and self.backend.put_blob(shard.trace_fp, blob):
+            self._log(f"{self.worker_id}: synced trace "
+                      f"{shard.trace_fp[:12]} in ({len(blob)} bytes)")
+            return True
+        return False
+
+    def _sync_out(self, grant: LeaseGrant) -> None:
+        """Push a freshly captured trace back to the coordinator."""
+        shard = grant.shard
+        assert shard is not None
+        if not shard.trace_fp or shard.execution == "execute":
+            return
+        blob = self.backend.get_blob(shard.trace_fp)
+        if blob and self._rpc(self.transport.put_trace, shard.trace_fp,
+                              blob):
+            self._log(f"{self.worker_id}: synced trace "
+                      f"{shard.trace_fp[:12]} out ({len(blob)} bytes)")
+
+
+# -- CLI entry point -----------------------------------------------------------
+
+
+def worker_main(args) -> int:
+    """Entry point of ``repro dist worker`` (parsed CLI namespace)."""
+    import sys
+
+    log = ((lambda message: None) if args.quiet
+           else (lambda message: print(message, file=sys.stderr, flush=True)))
+    host, port = _parse_url(args.coordinator)
+    client = DaemonClient(host, port, client_id=args.worker_id)
+    deadline = time.monotonic() + args.connect_timeout
+    while True:
+        try:
+            client.healthz()
+            break
+        except (ReproError, OSError) as exc:
+            if time.monotonic() >= deadline:
+                print(f"error: coordinator {args.coordinator} unreachable: "
+                      f"{exc}", file=sys.stderr)
+                return 1
+            time.sleep(0.1)
+    transport = HttpTransport(client)
+    if args.daemon_url:
+        d_host, d_port = _parse_url(args.daemon_url)
+        backend = DaemonBackend(
+            DaemonClient(d_host, d_port, client_id=args.worker_id))
+        log(f"{args.worker_id}: forwarding cells to daemon "
+            f"{d_host}:{d_port}")
+    else:
+        backend = EmbeddedBackend(trace_dir=args.trace_dir,
+                                  job_timeout=args.job_timeout)
+    worker = Worker(args.worker_id, transport, backend,
+                    poll=args.poll, log=log)
+    worker.run()
+    return 0
+
+
+__all__ = [
+    "DaemonBackend",
+    "EmbeddedBackend",
+    "HttpTransport",
+    "LocalTransport",
+    "Worker",
+    "worker_main",
+]

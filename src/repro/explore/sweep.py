@@ -22,11 +22,18 @@ start.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
+import socket
 import time
 import warnings
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -223,13 +230,23 @@ class SweepJournal:
     truncated tail line — the signature of a kill mid-write — is ignored,
     and a journal written against different simulator sources is treated
     as empty rather than replaying stale statistics.
+
+    One exception to best-effort: :meth:`open` takes an exclusive
+    advisory lock (``fcntl.flock``) on a ``journal.lock`` sidecar, so two
+    processes can never interleave writes to one journal — the second
+    opener gets a :class:`ReproError` naming the holder instead of
+    silently corrupting the first sweep's resume state.  This is what
+    makes the distributed coordinator's single-writer contract safe to
+    rely on.
     """
 
     def __init__(self, directory: Union[str, Path], sweep_id: str) -> None:
         self.directory = Path(directory) / sweep_id
         self.sweep_id = sweep_id
         self.path = self.directory / "journal.jsonl"
+        self.lock_path = self.directory / "journal.lock"
         self._file = None
+        self._lock_file = None
 
     # -- replay ----------------------------------------------------------------
 
@@ -296,15 +313,65 @@ class SweepJournal:
     # -- append ----------------------------------------------------------------
 
     def open(self, header: "Dict[str, object]", resume: bool) -> None:
-        """Start (or reopen) the journal; a fresh sweep truncates."""
+        """Start (or reopen) the journal; a fresh sweep truncates.
+
+        Raises :class:`ReproError` when another live process holds this
+        journal's lock (anything else stays best-effort)."""
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self._file = None  # journalling off; the sweep still runs
+            return
+        self._acquire_lock()
+        try:
             mode = "a" if resume and self.path.exists() else "w"
             self._file = open(self.path, mode, encoding="utf-8")
             if mode == "w":
                 self._append(header)
         except OSError:
-            self._file = None  # journalling off; the sweep still runs
+            self._file = None
+
+    def _acquire_lock(self) -> None:
+        """Exclusive advisory lock on the journal's sidecar; the lock
+        file records pid/host so the refusal can name the holder."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return
+        try:
+            lock_file = open(self.lock_path, "a+", encoding="utf-8")
+        except OSError:
+            return  # lock unavailable -> stay best-effort, like the journal
+        try:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            if exc.errno in (errno.EACCES, errno.EAGAIN):
+                holder = "another process"
+                try:
+                    lock_file.seek(0)
+                    info = json.loads(lock_file.read() or "{}")
+                    holder = (f"pid {info.get('pid', '?')} on "
+                              f"{info.get('host', '?')}")
+                except (OSError, ValueError):
+                    pass
+                lock_file.close()
+                raise ReproError(
+                    f"sweep journal {self.path} is locked by {holder}; "
+                    f"wait for that sweep to finish or use a different "
+                    f"sweeps dir"
+                ) from None
+            lock_file.close()
+            return
+        try:
+            lock_file.seek(0)
+            lock_file.truncate()
+            lock_file.write(json.dumps({
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "started": time.time(),
+            }))
+            lock_file.flush()
+        except (OSError, ValueError):
+            pass
+        self._lock_file = lock_file
 
     def append_point(self, result: PointResult) -> None:
         self._append(result.to_journal_line())
@@ -326,6 +393,69 @@ class SweepJournal:
             except OSError:
                 pass
             self._file = None
+        if self._lock_file is not None:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(self._lock_file.fileno(), fcntl.LOCK_UN)
+                self._lock_file.close()
+            except OSError:
+                pass
+            self._lock_file = None
+
+
+def journal_header(sweep_id: str, base: GpuConfig, axes: Sequence[Axis],
+                   mode: str, workloads: Sequence[str],
+                   isas: Sequence[str], scale: float,
+                   seed: int) -> "Dict[str, object]":
+    """The journal's header line — shared by :func:`run_sweep` and the
+    distributed coordinator so their journals are interchangeable."""
+    return {
+        "type": "header",
+        "format": JOURNAL_FORMAT_VERSION,
+        "sweep_id": sweep_id,
+        "source": source_tree_stamp(),
+        "base_config": base.fingerprint(),
+        "axes": [axis.describe() for axis in axes],
+        "mode": mode,
+        "workloads": list(workloads),
+        "isas": list(isas),
+        "scale": scale,
+        "seed": seed,
+        "created": time.time(),
+    }
+
+
+def resolve_sweep_execution(
+    execution: str,
+    use_disk_cache: Optional[bool],
+    trace_dir: Optional[str],
+) -> "Tuple[str, Optional[TraceStore]]":
+    """The (per-cell execution mode, trace store) a sweep runs under —
+    shared by :func:`run_sweep` and the distributed coordinator so the
+    two paths can never resolve the same request differently.
+
+    "auto" degrades to plain execution when the store is unavailable:
+    caching disabled by ``REPRO_NO_CACHE`` or ``use_disk_cache=False``
+    with no explicit directory — "no caching" means no persistent trace
+    artifacts either.  Strict "replay" refuses instead of silently
+    executing.
+    """
+    store: Optional[TraceStore] = None
+    cell_mode = "execute"
+    if execution != "execute":
+        if trace_dir is None and use_disk_cache is False:
+            store = None
+        else:
+            store = resolve_trace_store(trace_dir)
+        if store is not None:
+            cell_mode = execution
+        elif execution == "replay":
+            raise ReproError(
+                "sweep execution='replay' needs a trace store, but caching "
+                "is disabled (REPRO_NO_CACHE or use_disk_cache=False); "
+                "pass trace_dir= explicitly"
+            )
+    return cell_mode, store
 
 
 def run_sweep(
@@ -403,28 +533,8 @@ def run_sweep(
     journal = SweepJournal(sweeps_dir or default_sweeps_dir(), sweep_id)
     replayed = journal.load() if resume else {}
 
-    # Trace store for capture/replay.  "auto" degrades to plain execution
-    # when the store is unavailable: caching disabled by REPRO_NO_CACHE or
-    # use_disk_cache=False with no explicit directory — "no caching" means
-    # no persistent trace artifacts either, and it keeps pre-replay cell
-    # ordering (point-major, so a killed sweep journals whole points) for
-    # cache-bypassing callers.  Strict "replay" refuses instead of
-    # silently executing.
-    store: Optional[TraceStore] = None
-    cell_mode = "execute"
-    if execution != "execute":
-        if trace_dir is None and use_disk_cache is False:
-            store = None
-        else:
-            store = resolve_trace_store(trace_dir)
-        if store is not None:
-            cell_mode = execution
-        elif execution == "replay":
-            raise ReproError(
-                "sweep execution='replay' needs a trace store, but caching "
-                "is disabled (REPRO_NO_CACHE or use_disk_cache=False); "
-                "pass trace_dir= explicitly"
-            )
+    cell_mode, store = resolve_sweep_execution(execution, use_disk_cache,
+                                               trace_dir)
 
     results = SweepResults(
         sweep_id=sweep_id, base=base, axes=space.axes, mode=mode,
@@ -433,20 +543,8 @@ def run_sweep(
     )
 
     journal.open(
-        {
-            "type": "header",
-            "format": JOURNAL_FORMAT_VERSION,
-            "sweep_id": sweep_id,
-            "source": source_tree_stamp(),
-            "base_config": base.fingerprint(),
-            "axes": [axis.describe() for axis in space.axes],
-            "mode": mode,
-            "workloads": list(names),
-            "isas": list(isas),
-            "scale": scale,
-            "seed": seed,
-            "created": time.time(),
-        },
+        journal_header(sweep_id, base, space.axes, mode, names, isas,
+                       scale, seed),
         # A resume against an empty, stale, or unreadable journal starts
         # over with a fresh header rather than appending after one that
         # load() will reject next time.

@@ -383,6 +383,46 @@ class TraceStore:
             return False
         return True
 
+    def read_blob(self, fingerprint: str) -> Optional[bytes]:
+        """The raw serialized trace bytes (no parse) — the unit workers
+        of a distributed sweep sync between stores by fingerprint."""
+        try:
+            return self._path(fingerprint).read_bytes()
+        except OSError:
+            return None
+
+    def write_blob(self, fingerprint: str, blob: bytes) -> bool:
+        """Store raw trace bytes received from another store.
+
+        The blob is parsed before it lands so a truncated or corrupt
+        transfer can never poison the store: an unparseable blob is
+        refused (returns False) instead of written.
+        """
+        from ..timing.replay import ExecTrace, TraceError
+
+        try:
+            ExecTrace.from_bytes(blob)
+        except (TraceError, ValueError):
+            return False
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".trace", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp_name, self._path(fingerprint))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
     def _discard(self, path: Path, reason: str) -> None:
         try:
             path.unlink()
@@ -403,6 +443,53 @@ class TraceStore:
             except OSError:
                 pass
         return removed
+
+    def prune_older_than(self, days: float) -> "Tuple[int, int]":
+        """Delete traces whose mtime is older than ``days`` days.
+
+        Returns ``(traces_removed, bytes_freed)``.  Safe for the same
+        reason result-cache pruning is: a pruned trace is re-captured by
+        the next sweep that needs it.
+        """
+        import time
+
+        cutoff = time.time() - days * 86400.0
+        removed = 0
+        freed = 0
+        try:
+            entries = list(self.directory.glob("*.trace"))
+        except OSError:
+            return (0, 0)
+        for path in entries:
+            try:
+                stat = path.stat()
+                if stat.st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            _LOADED_TRACES.pop(str(path), None)
+            removed += 1
+            freed += stat.st_size
+        return (removed, freed)
+
+    def breakdown(self) -> "Dict[str, Dict[str, int]]":
+        """Per-functional-fingerprint usage: ``{fingerprint: {entries,
+        bytes}}`` (the file stem *is* the trace fingerprint)."""
+        out: Dict[str, Dict[str, int]] = {}
+        try:
+            entries = list(self.directory.glob("*.trace"))
+        except OSError:
+            return out
+        for path in entries:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            bucket = out.setdefault(path.stem, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return out
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}

@@ -6,6 +6,11 @@ objects, responses come back through
 :func:`repro.serve.protocol.parse_response`, so a schema change breaks
 loudly on both ends at the same version gate.
 
+A 429 (rate-limited) reply is retried with bounded exponential backoff:
+the daemon's ``Retry-After`` hint is the floor, ``backoff * 2**attempt``
+(capped) the curve, plus a little jitter so a herd of workers doesn't
+re-synchronize.  ``max_retries=0`` restores raise-on-429.
+
     from repro.core import Session
     from repro.serve import DaemonClient
 
@@ -19,11 +24,12 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from ..common.errors import ReproError
-from ..core.requests import AnyRequest
+from ..core.requests import AnyRequest, LeaseGrant
 from .protocol import ErrorInfo, JobStatus, MetricsSnapshot, parse_response
 
 
@@ -42,19 +48,55 @@ class DaemonError(ReproError):
 
 class DaemonClient:
     """One daemon endpoint; connections are per-call (the daemon keeps
-    its own state, the client stays trivially reentrant)."""
+    its own state, the client stays trivially reentrant).
+
+    :param max_retries: how many times a 429 is retried before the
+        :class:`DaemonError` propagates (0 = never retry).
+    :param backoff: base of the exponential backoff curve, seconds.
+    :param sleep: injectable sleeper (tests pass a recorder).
+    """
+
+    #: backoff delays never exceed this many seconds per attempt.
+    BACKOFF_CAP = 5.0
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
-                 client_id: str = "", timeout: float = 60.0) -> None:
+                 client_id: str = "", timeout: float = 60.0,
+                 max_retries: int = 3, backoff: float = 0.25,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._sleep = sleep
+        self._jitter = random.Random()
 
     # -- HTTP ------------------------------------------------------------------
 
-    def _call(self, method: str, path: str, body: Optional[str] = None,
-              headers: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+    def _call(self, method: str, path: str,
+              body: Optional[Union[str, bytes]] = None,
+              headers: Optional[Dict[str, str]] = None, *,
+              raw: bool = False):
+        """One request with bounded-backoff retry on 429."""
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(method, path, body, headers, raw=raw)
+            except DaemonError as exc:
+                if exc.status != 429 or attempt >= self.max_retries:
+                    raise
+                delay = min(self.BACKOFF_CAP,
+                            max(exc.retry_after or 0.0,
+                                self.backoff * (2 ** attempt)))
+                delay += self._jitter.uniform(0.0, self.backoff / 2)
+                self._sleep(delay)
+                attempt += 1
+
+    def _call_once(self, method: str, path: str,
+                   body: Optional[Union[str, bytes]] = None,
+                   headers: Optional[Dict[str, str]] = None, *,
+                   raw: bool = False):
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -64,22 +106,28 @@ class DaemonClient:
             all_headers.update(headers or {})
             conn.request(method, path, body=body, headers=all_headers)
             response = conn.getresponse()
-            raw = response.read()
-            try:
-                payload = json.loads(raw) if raw else {}
-            except ValueError:
-                payload = {}
+            data = response.read()
             if response.status >= 400:
+                try:
+                    payload = json.loads(data) if data else {}
+                except ValueError:
+                    payload = {}
                 info = None
                 if isinstance(payload, dict) and payload.get("kind") == "error":
                     info = ErrorInfo.from_payload(payload)
                 retry_after = response.headers.get("Retry-After")
                 raise DaemonError(
                     response.status,
-                    info.message if info else raw.decode(errors="replace"),
+                    info.message if info else data.decode(errors="replace"),
                     info=info,
                     retry_after=(float(retry_after)
                                  if retry_after is not None else None))
+            if raw:
+                return data
+            try:
+                payload = json.loads(data) if data else {}
+            except ValueError:
+                payload = {}
             if not isinstance(payload, dict):
                 raise DaemonError(response.status, "non-object response")
             return payload
@@ -124,9 +172,55 @@ class DaemonClient:
         assert isinstance(response, MetricsSnapshot)
         return response
 
+    def healthz(self) -> Dict[str, object]:
+        """Liveness probe; raises :class:`DaemonError` when unhealthy."""
+        return self._call("GET", "/v1/healthz")
+
     def shutdown(self) -> None:
         """Ask the daemon to drain and exit (same path as SIGTERM)."""
         self._call("POST", "/v1/shutdown")
+
+    # -- trace-blob sync -------------------------------------------------------
+
+    def get_trace(self, fingerprint: str) -> Optional[bytes]:
+        """Fetch one functional trace blob (None when the daemon has no
+        trace for that fingerprint)."""
+        try:
+            return self._call("GET", f"/v1/traces/{fingerprint}", raw=True)
+        except DaemonError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def put_trace(self, fingerprint: str, blob: bytes) -> bool:
+        """Upload one trace blob; False when the daemon refused it
+        (corrupt blob) or has no store."""
+        payload = self._call(
+            "PUT", f"/v1/traces/{fingerprint}", body=blob,
+            headers={"Content-Type": "application/octet-stream"})
+        return bool(payload.get("stored"))
+
+    # -- distributed-sweep worker protocol -------------------------------------
+
+    def dist_lease(self, worker_id: str) -> LeaseGrant:
+        payload = self._call("POST", "/v1/dist/lease",
+                             body=json.dumps({"worker_id": worker_id}))
+        return LeaseGrant.from_payload(payload)
+
+    def dist_renew(self, worker_id: str, lease_id: str) -> Dict[str, object]:
+        return self._call("POST", "/v1/dist/renew",
+                          body=json.dumps({"worker_id": worker_id,
+                                           "lease_id": lease_id}))
+
+    def dist_report(self, worker_id: str, lease_id: str, cell: str,
+                    run: Dict[str, object]) -> Dict[str, object]:
+        return self._call("POST", "/v1/dist/report",
+                          body=json.dumps({"worker_id": worker_id,
+                                           "lease_id": lease_id,
+                                           "cell": cell, "run": run}))
+
+    def dist_status(self) -> Dict[str, object]:
+        return self._call("GET", "/v1/dist/status")
 
 
 __all__ = ["DaemonClient", "DaemonError"]

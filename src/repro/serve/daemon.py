@@ -8,7 +8,19 @@ Routes (all payloads are versioned ``repro-api/1`` envelopes)::
     GET  /v1/jobs/<id>  poll one job             -> 200 JobStatus
     GET  /v1/jobs       list all jobs            -> 200 {jobs: [...]}
     GET  /v1/metrics    scheduler counters       -> 200 MetricsSnapshot
+    GET  /v1/healthz    liveness probe           -> 200 {ok: true, ...}
     POST /v1/shutdown   graceful drain + exit    -> 202 {draining: true}
+    GET  /v1/traces/<fp>  fetch a trace blob     -> 200 octet-stream
+    PUT  /v1/traces/<fp>  store a trace blob     -> 200 {stored: bool}
+
+When the daemon fronts a distributed-sweep coordinator
+(:class:`repro.dist.Coordinator`) instead of — or alongside — a
+scheduler, four more routes serve the pull-based worker protocol::
+
+    POST /v1/dist/lease   {worker_id}                 -> 200 LeaseGrant
+    POST /v1/dist/renew   {worker_id, lease_id}       -> 200 {ok, ttl, stolen}
+    POST /v1/dist/report  {worker_id, lease_id, cell, run} -> 200 {accepted,..}
+    GET  /v1/dist/status  coordinator progress        -> 200 {...}
 
 Submission metadata that is *not* part of the request schema travels in
 headers: ``X-Repro-Priority`` (int, higher runs first) and
@@ -50,11 +62,15 @@ class _HttpError(Exception):
 
 
 class Daemon:
-    """One asyncio server bound to a :class:`Scheduler`."""
+    """One asyncio server bound to a :class:`Scheduler`, a distributed
+    coordinator, or both (``repro sweep --workers`` runs a
+    coordinator-only daemon; ``repro serve`` a scheduler-only one)."""
 
-    def __init__(self, scheduler: Scheduler, host: str = "127.0.0.1",
-                 port: int = 8642) -> None:
+    def __init__(self, scheduler: Optional[Scheduler],
+                 host: str = "127.0.0.1", port: int = 8642, *,
+                 coordinator=None) -> None:
         self.scheduler = scheduler
+        self.coordinator = coordinator
         self.host = host
         self.port = port          # 0 = ephemeral; real port set by start()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -64,7 +80,8 @@ class Daemon:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
-        self.scheduler.start()
+        if self.scheduler is not None:
+            self.scheduler.start()
 
     async def wait_shutdown(self) -> None:
         await self._shutdown.wait()
@@ -146,12 +163,30 @@ class Daemon:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
+    def _need_scheduler(self) -> Scheduler:
+        if self.scheduler is None:
+            raise _HttpError(
+                503, "this daemon fronts a sweep coordinator, not a "
+                     "job scheduler")
+        return self.scheduler
+
+    def _trace_store(self):
+        store = None
+        if self.scheduler is not None:
+            store = self.scheduler.store
+        elif self.coordinator is not None:
+            store = self.coordinator.store
+        if store is None:
+            raise _HttpError(503, "no trace store on this daemon")
+        return store
+
     def _route(self, method: str, path: str, headers: Dict[str, str],
                body: bytes, writer: asyncio.StreamWriter
-               ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+               ) -> Tuple[int, object, Dict[str, str]]:
         if path in ("/v1/run", "/v1/suite", "/v1/sweep"):
             if method != "POST":
                 raise _HttpError(405, f"{path} takes POST")
+            self._need_scheduler()
             return self._submit(path.rsplit("/", 1)[1], headers, body,
                                 writer)
         if path.startswith("/v1/jobs/"):
@@ -159,7 +194,7 @@ class Daemon:
                 raise _HttpError(405, f"{path} takes GET")
             job_id = path[len("/v1/jobs/"):]
             try:
-                job = self.scheduler.get(job_id)
+                job = self._need_scheduler().get(job_id)
             except UnknownJob as exc:
                 raise _HttpError(404, str(exc)) from None
             return 200, job.status().to_payload(), {}
@@ -167,17 +202,94 @@ class Daemon:
             if method != "GET":
                 raise _HttpError(405, f"{path} takes GET")
             return 200, {"jobs": [job.status().to_payload()
-                                  for job in self.scheduler.jobs()]}, {}
+                                  for job in self._need_scheduler().jobs()]
+                         }, {}
         if path == "/v1/metrics":
             if method != "GET":
                 raise _HttpError(405, f"{path} takes GET")
-            return 200, self.scheduler.metrics().to_payload(), {}
+            return 200, self._need_scheduler().metrics().to_payload(), {}
+        if path == "/v1/healthz":
+            if method != "GET":
+                raise _HttpError(405, f"{path} takes GET")
+            return 200, self._healthz(), {}
+        if path.startswith("/v1/traces/"):
+            return self._traces(method, path[len("/v1/traces/"):], body)
+        if path.startswith("/v1/dist/"):
+            return self._dist(method, path[len("/v1/dist/"):], body)
         if path == "/v1/shutdown":
             if method != "POST":
                 raise _HttpError(405, f"{path} takes POST")
             self.request_shutdown()
             return 202, {"draining": True}, {}
         raise _HttpError(404, f"no route {method} {path}")
+
+    def _healthz(self) -> Dict[str, object]:
+        role = []
+        draining = False
+        if self.scheduler is not None:
+            role.append("scheduler")
+            draining = self.scheduler.draining
+        if self.coordinator is not None:
+            role.append("coordinator")
+        return {"ok": True, "draining": draining,
+                "role": "+".join(role) or "idle"}
+
+    # -- trace-blob sync (workers warm their stores over HTTP) -----------------
+
+    def _traces(self, method: str, fingerprint: str, body: bytes
+                ) -> Tuple[int, object, Dict[str, str]]:
+        if not fingerprint or "/" in fingerprint:
+            raise _HttpError(400, "bad trace fingerprint")
+        store = self._trace_store()
+        if method == "GET":
+            blob = store.read_blob(fingerprint)
+            if blob is None:
+                raise _HttpError(404, f"no trace {fingerprint}")
+            return 200, blob, {}
+        if method == "PUT":
+            # write_blob parses before writing, so a corrupt transfer is
+            # refused instead of poisoning the store.
+            return 200, {"stored": store.write_blob(fingerprint, body)}, {}
+        raise _HttpError(405, "/v1/traces/<fp> takes GET or PUT")
+
+    # -- distributed-sweep worker protocol -------------------------------------
+
+    def _dist(self, method: str, action: str, body: bytes
+              ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        if self.coordinator is None:
+            raise _HttpError(404, "this daemon is not a sweep coordinator")
+        if action == "status":
+            if method != "GET":
+                raise _HttpError(405, "/v1/dist/status takes GET")
+            return 200, self.coordinator.status(), {}
+        if action not in ("lease", "renew", "report"):
+            raise _HttpError(404, f"no dist action {action!r}")
+        if method != "POST":
+            raise _HttpError(405, f"/v1/dist/{action} takes POST")
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError:
+            raise _HttpError(400, "body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        worker_id = str(payload.get("worker_id", "")) or "anonymous"
+        try:
+            if action == "lease":
+                return 200, self.coordinator.lease(worker_id).to_payload(), {}
+            lease_id = str(payload.get("lease_id", ""))
+            if action == "renew":
+                return 200, self.coordinator.renew(worker_id, lease_id), {}
+            cell = payload.get("cell")
+            run = payload.get("run")
+            if not isinstance(cell, str) or not isinstance(run, dict):
+                raise _HttpError(
+                    400, "report needs 'cell' (string) and 'run' (object)")
+            return 200, self.coordinator.report(worker_id, lease_id,
+                                                cell, run), {}
+        except _HttpError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - protocol errors -> 400
+            raise _HttpError(400, f"{type(exc).__name__}: {exc}") from None
 
     def _submit(self, expect_kind: str, headers: Dict[str, str],
                 body: bytes, writer: asyncio.StreamWriter
@@ -209,13 +321,18 @@ class Daemon:
         return 202, job.status().to_payload(), {}
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: Dict[str, object],
+                       payload: object,
                        extra: Optional[Dict[str, str]] = None, *,
                        keep_alive: bool = True) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+            content_type = "application/octet-stream"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+            content_type = "application/json"
         reason = _REASONS.get(status, "")
         lines = [f"HTTP/1.1 {status} {reason}",
-                 "Content-Type: application/json",
+                 f"Content-Type: {content_type}",
                  f"Content-Length: {len(body)}",
                  f"Connection: {'keep-alive' if keep_alive else 'close'}"]
         for name, value in (extra or {}).items():

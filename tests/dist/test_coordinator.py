@@ -1,0 +1,241 @@
+"""Coordinator protocol semantics under a fake clock: leases, expiry
+requeue with journaled cells subtracted, work-stealing, first-wins
+reports, and the poison-shard guard.  Reports are synthesized — no
+simulation runs here."""
+
+import pytest
+
+from repro.common.config import small_config
+from repro.common.errors import ReproError
+from repro.common.stats import StatSet
+from repro.core.requests import SweepRequest
+from repro.dist import Coordinator
+from repro.explore.space import Axis
+from repro.harness.runner import WorkloadRun
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _coordinator(tmp_path, clock, *, banks=(2, 4), axes=None, **kw):
+    if axes is None:
+        axes = (Axis("cu.vrf_banks", banks),)
+    request = SweepRequest(
+        axes=axes, workloads=("spmv",), isas=("gcn3",), scale=0.1, seed=7,
+        config=small_config(2), use_disk_cache=False,
+        sweeps_dir=str(tmp_path / "sweeps"), execution="execute",
+        verify_replay=False)
+    return Coordinator(request, lease_ttl=10.0, clock=clock, **kw)
+
+
+def _run_payload(cell_key, wall=0.01):
+    point, rest = cell_key.split(":", 1)
+    workload, isa = rest.split("/")
+    return WorkloadRun(workload=workload, isa=isa, verified=True,
+                       total=StatSet(), per_dispatch=[],
+                       dispatch_kernel_names=[], data_footprint_bytes=0,
+                       instr_footprint_bytes=0, static_instructions=0,
+                       kernel_code_bytes={}, wall_seconds=wall).to_payload()
+
+
+def _keys(grant):
+    return [cell.key for cell in grant.shard.cells]
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestLeaseReportCycle:
+    def test_full_cycle(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock)
+        grant = co.lease("w1")
+        assert grant.state == "granted"
+        assert grant.ttl == 10.0
+        keys = _keys(grant)
+        assert len(keys) == 2
+        assert not co.done
+        first = co.report("w1", grant.lease_id, keys[0],
+                          _run_payload(keys[0]))
+        assert first["accepted"] and not first["duplicate"]
+        assert not first["done"]
+        last = co.report("w1", grant.lease_id, keys[1],
+                         _run_payload(keys[1]))
+        assert last["done"] and co.done
+        assert co.status()["active_leases"] == 0   # released on last cell
+        results = co.finish()
+        assert len(results.points) == 2
+        assert results.workers["w1"].cells == 2
+        assert results.workers["w1"].leases == 1
+        assert results.retries == results.expiries == results.steals == 0
+        assert (tmp_path / "sweeps").exists()
+
+    def test_done_grant_after_completion(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock)
+        grant = co.lease("w1")
+        for key in _keys(grant):
+            co.report("w1", grant.lease_id, key, _run_payload(key))
+        assert co.lease("w2").state == "done"
+        co.finish()
+
+    def test_second_worker_waits_without_steal(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock, steal=False)
+        co.lease("w1")
+        grant = co.lease("w2")
+        assert grant.state == "wait"
+        assert 0 < grant.retry_after <= 2.5
+        co.journal.close()
+
+
+class TestExpiry:
+    def test_expired_lease_requeues_minus_reported(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock)
+        grant = co.lease("w1")
+        keys = _keys(grant)
+        co.report("w1", grant.lease_id, keys[0], _run_payload(keys[0]))
+        clock.advance(11.0)
+        regrant = co.lease("w2")
+        assert regrant.state == "granted"
+        # the journaled cell was subtracted: zero resimulation.
+        assert _keys(regrant) == [keys[1]]
+        status = co.status()
+        assert status["expiries"] == 1 and status["retries"] == 1
+        # the dead lease cannot renew; the victim learns to abandon it.
+        assert co.renew("w1", grant.lease_id)["ok"] is False
+        co.report("w2", regrant.lease_id, keys[1], _run_payload(keys[1]))
+        results = co.finish()
+        assert results.workers["w1"].expiries == 1
+        assert len(results.points) == 2
+
+    def test_late_report_from_dead_lease_is_accepted(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock)
+        grant = co.lease("w1")
+        keys = _keys(grant)
+        clock.advance(11.0)
+        # the work is deterministic and done; discarding it would only
+        # buy a resimulation.
+        late = co.report("w1", grant.lease_id, keys[0],
+                         _run_payload(keys[0]))
+        assert late["accepted"] and not late["duplicate"]
+        regrant = co.lease("w2")
+        assert _keys(regrant) == [keys[1]]
+        co.report("w2", regrant.lease_id, keys[1], _run_payload(keys[1]))
+        co.finish()
+
+    def test_poison_shard_fails_after_max_attempts(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock, max_attempts=2)
+        co.lease("w1")
+        clock.advance(11.0)
+        second = co.lease("w2")            # requeue (attempt 1) + regrant
+        assert second.state == "granted"
+        clock.advance(11.0)
+        final = co.lease("w3")             # attempt 2 -> poisoned
+        assert final.state == "done"
+        results = co.finish()
+        assert results.expiries == 2 and results.retries == 1
+        assert len(results.points) == 2
+        for pr in results.points:
+            for run in pr.runs.values():
+                assert run.error is not None
+                assert "lease expiries" in run.error
+
+
+class TestSteal:
+    def test_steal_splits_largest_lease(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock, banks=(2, 4, 8, 16))
+        victim = co.lease("w1")
+        assert len(_keys(victim)) == 4
+        stolen = co.lease("w2")
+        assert stolen.state == "granted" and stolen.stolen
+        stolen_keys = _keys(stolen)
+        assert len(stolen_keys) == 2       # tail half
+        assert set(stolen_keys).isdisjoint(_keys(victim)[:2])
+        # the victim learns which cells left on its next heartbeat.
+        reply = co.renew("w1", victim.lease_id)
+        assert reply["ok"] is True
+        assert sorted(reply["stolen"]) == sorted(stolen_keys)
+        status = co.status()
+        assert status["steals"] == 1
+        assert status["outstanding_cells"] == 4
+        for key in _keys(victim)[:2]:
+            co.report("w1", victim.lease_id, key, _run_payload(key))
+        for key in stolen_keys:
+            co.report("w2", stolen.lease_id, key, _run_payload(key))
+        results = co.finish()
+        assert results.steals == 1
+        assert results.workers["w2"].steals == 1
+        assert results.workers["w1"].cells == 2
+        assert results.workers["w2"].cells == 2
+
+    def test_stolen_cell_reported_by_victim_is_duplicate_safe(
+            self, tmp_path, clock):
+        """A victim that raced past its renewal keeps simulating stolen
+        cells; whoever reports first wins, the loser is counted."""
+        co = _coordinator(tmp_path, clock, banks=(2, 4, 8, 16))
+        victim = co.lease("w1")
+        stolen = co.lease("w2")
+        contested = _keys(stolen)[0]
+        first = co.report("w1", victim.lease_id, contested,
+                          _run_payload(contested))
+        assert first["accepted"]
+        second = co.report("w2", stolen.lease_id, contested,
+                           _run_payload(contested))
+        assert second["duplicate"] and not second["accepted"]
+        assert co.status()["duplicate_reports"] == 1
+        assert co._accepted[contested] == 1
+        co.journal.close()
+
+
+class TestReportValidation:
+    def test_unknown_cell_raises(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock)
+        grant = co.lease("w1")
+        with pytest.raises(ReproError, match="unknown cell"):
+            co.report("w1", grant.lease_id, "nope:spmv/gcn3",
+                      _run_payload("nope:spmv/gcn3"))
+        co.journal.close()
+
+    def test_malformed_payload_raises(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock)
+        grant = co.lease("w1")
+        key = _keys(grant)[0]
+        with pytest.raises(ReproError, match="malformed run payload"):
+            co.report("w1", grant.lease_id, key, {"workload": "spmv"})
+        co.journal.close()
+
+
+class TestEdges:
+    def test_invalid_points_complete_without_workers(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock,
+                          axes=(Axis("l1i.size_bytes", (8192, 100)),))
+        # only the valid point's cell is distributable.
+        grant = co.lease("w1")
+        keys = _keys(grant)
+        assert len(keys) == 1
+        co.report("w1", grant.lease_id, keys[0], _run_payload(keys[0]))
+        results = co.finish()
+        assert len(results.points) == 2
+        assert sum(1 for pr in results.points
+                   if pr.point.error is not None) == 1
+
+    def test_abort_fails_outstanding_cells(self, tmp_path, clock):
+        co = _coordinator(tmp_path, clock)
+        grant = co.lease("w1")
+        keys = _keys(grant)
+        co.report("w1", grant.lease_id, keys[0], _run_payload(keys[0]))
+        co.abort("sweep timed out")
+        assert co.done
+        results = co.finish()
+        failed = [run for pr in results.points
+                  for run in pr.runs.values() if run.error]
+        assert len(failed) == 1
+        assert "timed out" in failed[0].error

@@ -1,0 +1,78 @@
+"""End-to-end distributed sweeps, in-process: the embedded inline
+worker path is bit-identical to ``run_sweep``, chunked shards keep the
+capture-once economics, resume replays the journal without work, and
+the results JSON carries the distribution ledger."""
+
+import json
+
+from repro.common.config import small_config
+from repro.core.requests import SweepRequest
+from repro.dist import journal_digest, run_dist_sweep
+from repro.explore.space import Axis
+from repro.explore.sweep import run_sweep
+
+AXES = (Axis("cu.vrf_banks", (2, 4)),)
+SCALE = 0.1
+
+
+def _request(tmp_path, name, **kw):
+    spec = dict(axes=AXES, workloads=("spmv",), isas=("gcn3",),
+                scale=SCALE, seed=7, config=small_config(2),
+                use_disk_cache=False,
+                sweeps_dir=str(tmp_path / name / "sweeps"),
+                trace_dir=str(tmp_path / name / "traces"),
+                verify_replay=False)
+    spec.update(kw)
+    return SweepRequest(**spec)
+
+
+def _serial(tmp_path, name):
+    return run_sweep(list(AXES), base=small_config(2), workloads=["spmv"],
+                     isas=("gcn3",), scale=SCALE, seed=7,
+                     use_disk_cache=False,
+                     sweeps_dir=str(tmp_path / name / "sweeps"),
+                     trace_dir=str(tmp_path / name / "traces"),
+                     verify_replay=False)
+
+
+class TestInlineDistSweep:
+    def test_bit_identical_to_run_sweep(self, tmp_path):
+        dist = run_dist_sweep(_request(tmp_path, "dist"))
+        serial = _serial(tmp_path, "serial")
+        assert (journal_digest(dist.journal_path)
+                == journal_digest(serial.journal_path))
+        assert len(dist.points) == 2
+        # one shard, capture-once-replay-everywhere inside it.
+        assert dist.shards == 1
+        assert dist.captures == 1 and dist.replays == 1
+        assert dist.workers["inline"].cells == 2
+        assert dist.retries == dist.expiries == dist.steals == 0
+
+    def test_chunked_shards_still_capture_once(self, tmp_path):
+        dist = run_dist_sweep(_request(tmp_path, "chunked"),
+                              max_shard_cells=1)
+        # the chunks share a trace fingerprint; the second replays the
+        # first chunk's capture out of the coordinator's store.
+        assert dist.shards == 2
+        assert dist.captures == 1 and dist.replays == 1
+
+    def test_json_carries_dist_ledger(self, tmp_path):
+        dist = run_dist_sweep(_request(tmp_path, "ledger"))
+        payload = json.loads(dist.to_json())
+        ledger = payload["dist"]
+        assert ledger["shards"] == 1
+        assert ledger["workers"]["inline"]["cells"] == 2
+        assert ledger["steals"] == 0
+        assert ledger["duplicate_reports"] == 0
+        # the ordinary sweep payload is still all there.
+        assert payload["sweep_id"] == dist.sweep_id
+        assert len(payload["points"]) == 2
+
+    def test_resume_replays_journal_without_new_work(self, tmp_path):
+        first = run_dist_sweep(_request(tmp_path, "again"))
+        resumed = run_dist_sweep(_request(tmp_path, "again", resume=True))
+        assert len(resumed.points) == 2
+        assert resumed.shards == 0         # nothing left to distribute
+        assert resumed.workers == {}
+        assert (journal_digest(resumed.journal_path)
+                == journal_digest(first.journal_path))

@@ -1,0 +1,155 @@
+"""Shard planning: content-addressed ids, trace-fingerprint grouping,
+size caps, and wire round-trips."""
+
+import pytest
+
+from repro.common.config import small_config
+from repro.core.requests import (
+    LeaseGrant,
+    RequestError,
+    ShardCell,
+    ShardRequest,
+    SweepRequest,
+)
+from repro.dist import ShardState, plan_shards, shard_id_for
+from repro.explore.space import Axis
+
+SCALE = 0.1
+
+
+def _request(**kw):
+    spec = dict(axes=(Axis("cu.vrf_banks", (2, 4)),), workloads=("spmv",),
+                isas=("gcn3",), scale=SCALE, seed=7, config=small_config(2),
+                use_disk_cache=False, verify_replay=False)
+    spec.update(kw)
+    return SweepRequest(**spec)
+
+
+def _cells(n=2):
+    return tuple(ShardCell(point=f"p{i:02d}", workload="spmv", isa="gcn3")
+                 for i in range(n))
+
+
+class TestShardId:
+    def test_deterministic(self):
+        cells = _cells()
+        assert (shard_id_for("abc", "fp1", cells)
+                == shard_id_for("abc", "fp1", cells))
+
+    def test_every_component_matters(self):
+        cells = _cells()
+        base = shard_id_for("abc", "fp1", cells)
+        assert base != shard_id_for("abd", "fp1", cells)
+        assert base != shard_id_for("abc", "fp2", cells)
+        assert base != shard_id_for("abc", "fp1", cells[:1])
+
+    def test_shape(self):
+        shard_id = shard_id_for("abc", "fp1", _cells())
+        assert len(shard_id) == 12
+        int(shard_id, 16)
+
+
+class TestPlanShards:
+    def test_timing_axis_groups_into_one_shard(self):
+        # cu.vrf_banks never changes the dynamic instruction stream, so
+        # both points share one trace fingerprint -> one shard.
+        plan = plan_shards(_request())
+        assert len(plan.shards) == 1
+        assert plan.cell_count == 2
+        shard = plan.shards[0]
+        assert shard.trace_fp
+        assert len({cell.point for cell in shard.cells}) == 2
+
+    def test_workloads_get_their_own_shards(self):
+        plan = plan_shards(_request(workloads=("spmv", "bitonic")))
+        assert len(plan.shards) == 2
+        assert len({shard.trace_fp for shard in plan.shards}) == 2
+        for shard in plan.shards:
+            assert len({cell.workload for cell in shard.cells}) == 1
+
+    def test_functional_axis_splits_shards(self):
+        # simd_width changes the dynamic stream -> one shard per point.
+        plan = plan_shards(_request(axes=(Axis("cu.simd_width", (8, 16)),)))
+        assert len(plan.shards) == 2
+        assert len({shard.trace_fp for shard in plan.shards}) == 2
+
+    def test_max_shard_cells_chunks_within_a_fingerprint(self):
+        plan = plan_shards(_request(), max_shard_cells=1)
+        assert len(plan.shards) == 2
+        assert len({shard.shard_id for shard in plan.shards}) == 2
+        # chunks still share the fingerprint: the second replays the
+        # first chunk's capture via the store.
+        assert len({shard.trace_fp for shard in plan.shards}) == 1
+
+    def test_same_spec_plans_identically(self):
+        a = plan_shards(_request())
+        b = plan_shards(_request())
+        assert [s.shard_id for s in a.shards] == [s.shard_id
+                                                 for s in b.shards]
+        assert a.sweep_id == b.sweep_id
+
+    def test_invalid_points_are_excluded(self):
+        plan = plan_shards(_request(
+            axes=(Axis("l1i.size_bytes", (8192, 100)),)))
+        # the 100-byte point is invalid; only the valid point shards.
+        assert plan.cell_count == 1
+        assert sum(1 for p in plan.points if p.error is not None) == 1
+
+
+class TestShardState:
+    def test_granted_request_subtracts_completed_cells(self):
+        plan = plan_shards(_request())
+        state = ShardState.from_request(plan.shards[0])
+        full = state.granted_request()
+        assert full is state.request
+        done_key = next(iter(state.remaining))
+        state.remaining.pop(done_key)
+        granted = state.granted_request()
+        assert len(granted.cells) == 1
+        assert all(cell.key != done_key for cell in granted.cells)
+        # identity is preserved: it is the same shard, minus done work.
+        assert granted.shard_id == state.request.shard_id
+
+    def test_cell_config_rebuilds_point_config(self):
+        plan = plan_shards(_request())
+        shard = plan.shards[0]
+        for cell, point in zip(shard.cells, (p for p in plan.points
+                                             if p.valid)):
+            assert shard.cell_config(cell).fingerprint() == \
+                point.config.fingerprint()
+
+
+class TestWireRoundTrips:
+    def test_shard_cell_round_trip(self):
+        cell = ShardCell(point="p00", workload="spmv", isa="gcn3",
+                         overrides=(("cu.vrf_banks", 4),
+                                    ("l1d.hit_latency", 8)))
+        again = ShardCell.from_payload(cell.to_payload())
+        assert again == cell
+        assert again.overrides == cell.overrides   # order preserved
+
+    def test_shard_request_round_trip(self):
+        shard = plan_shards(_request()).shards[0]
+        again = ShardRequest.from_payload(shard.to_payload())
+        assert again.shard_id == shard.shard_id
+        assert again.cells == shard.cells
+        assert again.config.fingerprint() == shard.config.fingerprint()
+
+    def test_lease_grant_round_trip(self):
+        shard = plan_shards(_request()).shards[0]
+        grant = LeaseGrant(state="granted", lease_id="L00001", ttl=30.0,
+                           shard=shard, trace_available=True, stolen=True)
+        again = LeaseGrant.from_payload(grant.to_payload())
+        assert again.state == "granted"
+        assert again.lease_id == "L00001"
+        assert again.trace_available and again.stolen
+        assert again.shard is not None
+        assert again.shard.shard_id == shard.shard_id
+
+    def test_granted_lease_needs_a_shard(self):
+        with pytest.raises(RequestError, match="needs a shard"):
+            LeaseGrant(state="granted")
+
+    def test_unknown_lease_state_rejected(self):
+        with pytest.raises(RequestError, match="lease state"):
+            LeaseGrant(state="maybe")

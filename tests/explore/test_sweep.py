@@ -278,3 +278,37 @@ class TestSessionSweep:
             for key in a.runs:
                 assert a.runs[key].total.snapshot() == \
                     b.runs[key].total.snapshot()
+
+
+class TestJournalLock:
+    def test_second_writer_is_refused_naming_the_holder(self, tmp_path):
+        import os
+
+        from repro.common.errors import ReproError
+        from repro.explore.sweep import SweepJournal, journal_header
+
+        header = journal_header("cafe12345678", small_config(2), AXES,
+                                "grid", WORKLOADS, ("gcn3",), SCALE, 7)
+        first = SweepJournal(str(tmp_path), "cafe12345678")
+        first.open(header, resume=False)
+        try:
+            second = SweepJournal(str(tmp_path), "cafe12345678")
+            with pytest.raises(ReproError) as excinfo:
+                second.open(header, resume=False)
+            message = str(excinfo.value)
+            assert "locked by" in message
+            assert f"pid {os.getpid()}" in message
+        finally:
+            first.close()
+
+    def test_lock_released_on_close(self, tmp_path):
+        from repro.explore.sweep import SweepJournal, journal_header
+
+        header = journal_header("cafe12345678", small_config(2), AXES,
+                                "grid", WORKLOADS, ("gcn3",), SCALE, 7)
+        first = SweepJournal(str(tmp_path), "cafe12345678")
+        first.open(header, resume=False)
+        first.close()
+        second = SweepJournal(str(tmp_path), "cafe12345678")
+        second.open(header, resume=False)          # no longer contended
+        second.close()

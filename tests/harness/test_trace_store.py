@@ -121,6 +121,62 @@ class TestTraceStore:
         assert isinstance(explicit, TraceStore)
 
 
+class TestBlobSyncAndMaintenance:
+    """The raw-bytes surface distributed workers sync over, plus the
+    ``repro cache`` maintenance entry points."""
+
+    def test_blob_round_trip_between_stores(self, store, tmp_path):
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        _capture(store)
+        blob = store.read_blob(fp)
+        assert blob is not None and blob.startswith(b"RPROTRC1")
+        other = TraceStore(tmp_path / "other")
+        assert other.write_blob(fp, blob) is True
+        assert other.has(fp)
+        assert isinstance(other.get(fp), ExecTrace)
+
+    def test_read_blob_miss_is_none(self, store):
+        assert store.read_blob("0" * 16) is None
+
+    def test_corrupt_blob_refused_never_poisons(self, store):
+        assert store.write_blob("deadbeef", b"not a trace") is False
+        assert not store.has("deadbeef")
+
+    def test_truncated_blob_refused(self, store):
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        _capture(store)
+        blob = store.read_blob(fp)
+        assert store.write_blob("feedface", blob[:-16]) is False
+        assert not store.has("feedface")
+
+    def test_prune_older_than_removes_stale_traces(self, store):
+        import os
+        import time
+
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        _capture(store)
+        path = store._path(fp)
+        stale = time.time() - 10 * 86400
+        os.utime(path, (stale, stale))
+        removed, freed = store.prune_older_than(5.0)
+        assert removed == 1 and freed > 0
+        assert not store.has(fp)
+
+    def test_prune_keeps_young_traces(self, store):
+        _capture(store)
+        assert store.prune_older_than(1.0) == (0, 0)
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        assert store.has(fp)
+
+    def test_breakdown_keys_by_fingerprint(self, store):
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        _capture(store)
+        usage = store.breakdown()
+        assert fp in usage
+        assert usage[fp]["entries"] == 1
+        assert usage[fp]["bytes"] > 0
+
+
 class TestCaptureReplayIdentity:
     def test_full_matrix_bit_identity(self, store):
         """Replay must be bit-identical to execute-at-issue on every

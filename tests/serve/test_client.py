@@ -1,0 +1,93 @@
+"""DaemonClient retry policy, no sockets: 429s retried with bounded
+exponential backoff honoring Retry-After, everything else raised."""
+
+import pytest
+
+from repro.serve.client import DaemonClient, DaemonError
+
+
+class _NoJitter:
+    def uniform(self, low, high):
+        return 0.0
+
+
+def _client(max_retries=3, backoff=0.25, jitter=None):
+    sleeps = []
+    client = DaemonClient("127.0.0.1", 1, max_retries=max_retries,
+                          backoff=backoff, sleep=sleeps.append)
+    client._jitter = jitter or _NoJitter()
+    return client, sleeps
+
+
+def _failing(client, statuses, retry_after=None):
+    """Make the client's transport fail with each status in turn, then
+    succeed; returns the call-count recorder."""
+    calls = {"n": 0}
+
+    def fake_call_once(method, path, body=None, headers=None, *,
+                       raw=False):
+        calls["n"] += 1
+        if calls["n"] <= len(statuses):
+            raise DaemonError(statuses[calls["n"] - 1], "synthetic",
+                              retry_after=retry_after)
+        return {"ok": True}
+
+    client._call_once = fake_call_once
+    return calls
+
+
+class TestBackoff:
+    def test_429_retried_with_exponential_backoff(self):
+        client, sleeps = _client()
+        calls = _failing(client, [429, 429])
+        assert client._call("GET", "/v1/healthz") == {"ok": True}
+        assert calls["n"] == 3
+        assert sleeps == [0.25, 0.5]
+
+    def test_retry_after_is_the_floor(self):
+        client, sleeps = _client()
+        _failing(client, [429], retry_after=2.0)
+        client._call("GET", "/v1/healthz")
+        assert sleeps == [2.0]
+
+    def test_delay_is_capped(self):
+        client, sleeps = _client(backoff=0.25)
+        _failing(client, [429], retry_after=99.0)
+        client._call("GET", "/v1/healthz")
+        assert sleeps == [DaemonClient.BACKOFF_CAP]
+
+    def test_jitter_is_bounded(self):
+        import random
+
+        client, sleeps = _client(jitter=random.Random(1234))
+        _failing(client, [429])
+        client._call("GET", "/v1/healthz")
+        assert len(sleeps) == 1
+        assert 0.25 <= sleeps[0] <= 0.25 + 0.125
+
+    def test_max_retries_zero_raises_immediately(self):
+        client, sleeps = _client(max_retries=0)
+        calls = _failing(client, [429])
+        with pytest.raises(DaemonError) as excinfo:
+            client._call("GET", "/v1/healthz")
+        assert excinfo.value.status == 429
+        assert calls["n"] == 1
+        assert sleeps == []
+
+    def test_retries_exhausted_raises(self):
+        client, sleeps = _client(max_retries=2)
+        calls = _failing(client, [429] * 10)
+        with pytest.raises(DaemonError) as excinfo:
+            client._call("GET", "/v1/healthz")
+        assert excinfo.value.status == 429
+        assert calls["n"] == 3             # initial try + 2 retries
+        assert len(sleeps) == 2
+
+    def test_non_429_is_never_retried(self):
+        client, sleeps = _client()
+        calls = _failing(client, [503, 503])
+        with pytest.raises(DaemonError) as excinfo:
+            client._call("GET", "/v1/healthz")
+        assert excinfo.value.status == 503
+        assert calls["n"] == 1
+        assert sleeps == []

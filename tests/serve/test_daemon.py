@@ -160,11 +160,66 @@ class TestDaemonErrors:
         assert excinfo.value.status == 405
 
 
+class TestHealthz:
+    def test_healthz_ok(self, daemon):
+        payload = daemon.healthz()
+        assert payload["ok"] is True
+        assert payload["draining"] is False
+        assert payload["role"] == "scheduler"
+
+    def test_healthz_is_get_only(self, daemon):
+        with pytest.raises(DaemonError) as excinfo:
+            daemon._call("POST", "/v1/healthz")
+        assert excinfo.value.status == 405
+
+
+class TestTraceBlobRoutes:
+    def test_round_trip_over_http(self, daemon):
+        # The burst tests above captured at least one trace; fetch its
+        # fingerprint straight off the daemon's store via a fresh run.
+        status = daemon.wait(daemon.submit(_run_request(seed=50)).job_id)
+        assert status.state == "done", status.error
+        from repro.harness.cache import trace_fingerprint
+
+        config = small_config(2)
+        fp = trace_fingerprint(config, "arraybw", "gcn3", SCALE, 50)
+        blob = daemon.get_trace(fp)
+        assert blob is not None and blob.startswith(b"RPROTRC1")
+        # Re-uploading the same (valid) blob is accepted.
+        assert daemon.put_trace(fp, blob) is True
+
+    def test_missing_trace_is_none(self, daemon):
+        assert daemon.get_trace("0" * 16) is None
+
+    def test_corrupt_blob_is_refused(self, daemon):
+        assert daemon.put_trace("deadbeef", b"not a trace") is False
+
+    def test_bad_fingerprint_is_400(self, daemon):
+        with pytest.raises(DaemonError) as excinfo:
+            daemon._call("GET", "/v1/traces/", raw=True)
+        assert excinfo.value.status in (400, 404)
+
+
+class TestDistRoutesWithoutCoordinator:
+    def test_dist_routes_404_on_plain_daemon(self, daemon):
+        for method, path in [("POST", "/v1/dist/lease"),
+                             ("POST", "/v1/dist/renew"),
+                             ("POST", "/v1/dist/report"),
+                             ("GET", "/v1/dist/status")]:
+            with pytest.raises(DaemonError) as excinfo:
+                daemon._call(method, path, body="{}")
+            assert excinfo.value.status == 404
+            assert "not a sweep coordinator" in str(excinfo.value)
+
+
 class TestRateLimitOverHttp:
     def test_429_with_retry_after(self, tmp_path):
         process, port = _start_daemon(tmp_path, "--rate-limit", "0.1",
                                       "--rate-burst", "2")
-        client = DaemonClient("127.0.0.1", port, client_id="ratelimited")
+        # max_retries=0: this test asserts the raw 429, not the
+        # client-side backoff (tests/serve/test_client.py covers that).
+        client = DaemonClient("127.0.0.1", port, client_id="ratelimited",
+                              max_retries=0)
         try:
             client.submit(_run_request(seed=30))
             client.submit(_run_request(seed=31))
