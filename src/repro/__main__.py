@@ -796,7 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CU count (8 = paper config)")
     bench_p.add_argument("--repeats", "-r", type=int, default=1,
                          help="runs per cell; best-of is reported")
-    bench_p.add_argument("--label", "-l", default="PR6",
+    bench_p.add_argument("--label", "-l", default="PR9",
                          help="trajectory label stored in the report")
     bench_p.add_argument("--engines", default="scalar,vector",
                          help="comma-separated cycle engines to time "
@@ -808,8 +808,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--threshold", "-t", type=float, default=0.25,
                          help="fractional slowdown that counts as a "
                               "regression (default 0.25 = 25%%)")
-    bench_p.add_argument("--output", "-o", default="BENCH_PR6.json",
-                         help="report path (default BENCH_PR6.json)")
+    bench_p.add_argument("--output", "-o", default="BENCH_PR9.json",
+                         help="report path (default BENCH_PR9.json)")
     bench_p.add_argument("--profile", metavar="DIR",
                          help="dump per-cell cProfile stats to "
                               "DIR/<workload>_<isa>.prof (skews wall "

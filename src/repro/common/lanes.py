@@ -7,6 +7,7 @@ from typing import List
 import numpy as np
 
 from .errors import ExecutionError
+from .xp import pack_mask, unique_lines
 
 WF_SIZE = 64
 FULL_MASK = (1 << WF_SIZE) - 1
@@ -21,10 +22,7 @@ def mask_to_bool(bits: int) -> np.ndarray:
 
 def bool_to_mask(mask: np.ndarray) -> int:
     """bool[64] -> 64-bit execution mask."""
-    bits = 0
-    for lane in np.flatnonzero(mask):
-        bits |= 1 << int(lane)
-    return bits
+    return pack_mask(mask)
 
 
 def touched_lines(addrs: np.ndarray, mask: np.ndarray, size: int) -> List[int]:
@@ -32,10 +30,64 @@ def touched_lines(addrs: np.ndarray, mask: np.ndarray, size: int) -> List[int]:
     active = addrs[mask]
     if active.size == 0:
         return []
-    lines = set((active >> np.uint64(6)).tolist())
     if size > 4:
+        # Wide accesses may straddle a line; dedup both endpoints in one
+        # set instead of paying a concatenate for the common case.
+        lines = set((active >> np.uint64(6)).tolist())
         lines.update(((active + np.uint64(size - 1)) >> np.uint64(6)).tolist())
-    return sorted(lines)
+        return sorted(lines)
+    return unique_lines(active >> np.uint64(6))
+
+
+def serialized_atomic_add(memory, addrs: np.ndarray, values: np.ndarray,
+                          mask: np.ndarray) -> np.ndarray:
+    """Batched 32-bit atomic add; lanes serialize in ascending order.
+
+    Returns the per-lane *old* values (inactive lanes read 0).  The
+    batched body computes, per address segment, an exclusive prefix sum
+    of the colliding lanes' addends — modular addition is associative,
+    so each lane's old value is exactly what the one-lane-at-a-time loop
+    would have loaded, and the final stored value (later lanes win in
+    :meth:`scatter_u32`) is the initial word plus the segment total.
+    Unaligned lanes fall back to the serial loop: 4-byte accesses that
+    straddle words can partially overlap, and only byte-accurate
+    load/store sequencing reproduces that.
+    """
+    old = np.zeros(WF_SIZE, dtype=np.uint32)
+    act = np.flatnonzero(mask)
+    if act.size == 0:
+        return old
+    a = addrs[mask].astype(np.uint64)
+    if np.any(a & np.uint64(3)):
+        for lane in act:
+            addr = int(addrs[lane])
+            prev = memory.load_scalar(addr, 4)
+            memory.store_scalar(addr, (prev + int(values[lane])) & 0xFFFFFFFF, 4)
+            old[lane] = prev
+        return old
+    v = values[mask].astype(np.uint64)
+    initial = memory.gather_u32(addrs, mask)[mask].astype(np.uint64)
+    order = np.argsort(a, kind="stable")
+    a_s = a[order]
+    v_s = v[order]
+    csum = np.cumsum(v_s)  # < 64 * 2^32, exact in uint64
+    excl = csum - v_s
+    seg_start = np.empty(a_s.size, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = a_s[1:] != a_s[:-1]
+    seg_id = np.cumsum(seg_start) - 1
+    within = excl - excl[seg_start][seg_id]
+    old_sorted = (initial[order] + within) & np.uint64(0xFFFFFFFF)
+    new_sorted = (old_sorted + v_s) & np.uint64(0xFFFFFFFF)
+    old_act = np.empty(a.size, dtype=np.uint64)
+    old_act[order] = old_sorted
+    old[act] = old_act.astype(np.uint32)
+    new_full = np.zeros(WF_SIZE, dtype=np.uint32)
+    new_act = np.empty(a.size, dtype=np.uint64)
+    new_act[order] = new_sorted
+    new_full[act] = new_act.astype(np.uint32)
+    memory.scatter_u32(addrs, new_full, mask)
+    return old
 
 
 def lds_gather_u32(lds: np.ndarray, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:

@@ -1,0 +1,169 @@
+"""Block-compiled *superop* chains: the capture/execute fast path.
+
+PR 4 predecoded the timing-side attributes of every static instruction
+into frozen ``IssueDesc`` tables; this module applies the same trick to
+the *functional* side.  Each static kernel is compiled once per process
+into per-basic-block chains of handler closures ("superops") bound to
+their instruction operands, so a straight-line run executes without
+per-instruction opcode lookup, operand re-parsing, or attribute
+chasing.  The timing layer (:mod:`repro.timing.cu`) executes a whole
+chain functionally at the chain's first issue and then consumes the
+precomputed outcomes one issue at a time — every cycle-level decision
+(dependences, unit occupancy, IB refill, flushes) still happens per
+instruction, so statistics and captured traces are bit-identical to the
+raw interpreter.
+
+Chain boundaries are the basic-block leaders of
+:func:`repro.kernels.cfg.basic_block_leaders` plus every pc the timing
+model can redirect control to mid-kernel: successors of unfusable
+instructions (memory ops, barriers, kernel end) and HSAIL reconvergence
+points.  A branch may appear only as a chain's *terminal* op, so a
+fused chain always runs to completion — there is no partial-chain
+replay state to reconcile.
+
+``REPRO_SEMANTICS=raw`` is the escape hatch: it disables block
+compilation process-wide and runs the reference interpreter unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..kernels.cfg import basic_block_leaders
+from .errors import ConfigError
+
+SEMANTICS_MODES = ("block", "raw")
+
+
+def resolve_semantics() -> str:
+    """Active semantics engine: ``block`` (default) or ``raw``.
+
+    Read fresh on every call so tests can flip ``REPRO_SEMANTICS``
+    without re-importing anything.
+    """
+    choice = os.environ.get("REPRO_SEMANTICS", "block")
+    if choice not in SEMANTICS_MODES:
+        raise ConfigError(
+            f"unknown REPRO_SEMANTICS {choice!r}: pick block or raw"
+        )
+    return choice
+
+
+class SuperOp:
+    """One fused instruction: a pre-bound handler plus the per-issue
+    attributes the timing layer folds (category, VRF probe slots)."""
+
+    __slots__ = ("pc", "run", "is_branch", "is_simd", "category",
+                 "read_slots", "write_slots", "rw_slots", "has_probe_slots",
+                 "writes_exec", "fresh_lanes")
+
+    def __init__(self, pc: int, run: Callable, is_branch: bool,
+                 writes_exec: bool, desc, simd_unit: int) -> None:
+        self.pc = pc
+        self.run = run
+        self.is_branch = is_branch
+        self.is_simd = desc.unit == simd_unit
+        self.category = desc.category
+        self.read_slots = desc.read_slots
+        self.write_slots = desc.write_slots
+        self.rw_slots = desc.rw_slots
+        self.has_probe_slots = bool(desc.read_slots or desc.write_slots)
+        #: this op can change the execution mask (GCN3 saveexec or an
+        #: EXEC-destination scalar op); the op *after* it must re-read
+        #: the lane popcount.
+        self.writes_exec = writes_exec
+        #: recompute the active-lane popcount before this op (set by
+        #: :func:`build_table`: True iff the previous chain op writes
+        #: EXEC — the chain entry popcount covers everything else).
+        self.fresh_lanes = False
+
+
+class SuperChain:
+    """A maximal fusable run starting at one basic-block leader.
+
+    ``cat_counts``/``simd_count`` are the statistics contributions that
+    do not depend on dynamic state, folded once at compile time.
+    """
+
+    __slots__ = ("ops", "cat_counts", "simd_count")
+
+    def __init__(self, ops: List[SuperOp]) -> None:
+        self.ops = ops
+        counts: Dict[str, int] = {}
+        for op in ops:
+            counts[op.category] = counts.get(op.category, 0) + 1
+        self.cat_counts = list(counts.items())
+        self.simd_count = sum(1 for op in ops if op.is_simd)
+
+
+def build_table(kernel, descs: Sequence, handler_for: Callable,
+                simd_unit: int) -> "Dict[int, SuperChain]":
+    """Compile one kernel into chains keyed by their start pc.
+
+    ``handler_for(kernel, pc, instr)`` returns ``(closure, is_branch,
+    writes_exec)`` for a fusable instruction and ``None`` otherwise;
+    unfusable pcs (and any pc without a chain) fall back to the raw
+    interpreter at issue time, so a partially-fusable kernel still runs
+    correctly.
+    """
+    instrs = kernel.instrs
+    n = len(instrs)
+    handlers = [handler_for(kernel, pc, instr)
+                for pc, instr in enumerate(instrs)]
+    branches: List[Tuple[int, Optional[int]]] = []
+    extra: List[int] = []
+    for pc, handler in enumerate(handlers):
+        if handler is None:
+            extra.append(pc + 1)
+        elif handler[1]:
+            branches.append((pc, getattr(instrs[pc], "target", None)))
+    rpc_table = getattr(kernel, "rpc_table", None)
+    if rpc_table:
+        extra.extend(rpc_table.values())
+    leaders = basic_block_leaders(n, branches, extra)
+    chains: Dict[int, SuperChain] = {}
+    for start in sorted(leaders):
+        ops: List[SuperOp] = []
+        pc = start
+        while pc < n:
+            handler = handlers[pc]
+            if handler is None or (pc != start and pc in leaders):
+                break
+            run, is_branch, writes_exec = handler
+            op = SuperOp(pc, run, is_branch, writes_exec, descs[pc],
+                         simd_unit)
+            if ops and ops[-1].writes_exec:
+                op.fresh_lanes = True
+            ops.append(op)
+            pc += 1
+            if is_branch:
+                break
+        if ops:
+            chains[start] = SuperChain(ops)
+    return chains
+
+
+def compile_kernel(kernel, is_gcn3: bool, descs: Sequence,
+                   simd_unit: int) -> "Dict[int, SuperChain]":
+    """The kernel's superop table, compiled once and cached beside the
+    ``IssueDesc`` table on the kernel object itself."""
+    table = getattr(kernel, "_superops", None)
+    if table is None:
+        if is_gcn3:
+            from ..gcn3.superops import handler_for
+        else:
+            from ..hsail.superops import handler_for
+        table = build_table(kernel, descs, handler_for, simd_unit)
+        kernel._superops = table
+    return table
+
+
+__all__ = [
+    "SEMANTICS_MODES",
+    "SuperChain",
+    "SuperOp",
+    "build_table",
+    "compile_kernel",
+    "resolve_semantics",
+]

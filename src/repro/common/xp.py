@@ -214,3 +214,39 @@ def tolist(a) -> list:
     if hasattr(a, "tolist"):
         return a.tolist()
     return list(a)
+
+
+# -- whole-wavefront mask/line kernels --------------------------------
+#
+# The functional models call these on every memory instruction; each has
+# a batched numpy body and a pure-Python twin with identical results, so
+# the semantics engines keep working when numpy is unavailable.
+
+if HAVE_NUMPY:
+
+    def pack_mask(mask) -> int:
+        """bool[64] lane vector -> 64-bit execution mask."""
+        return int.from_bytes(
+            _numpy.packbits(mask, bitorder="little").tobytes(), "little"
+        )
+
+    def unique_lines(lines) -> list:
+        """Sorted unique line addresses, as plain Python ints.
+
+        A ``set`` over the ``tolist`` view beats ``np.unique`` at
+        wavefront width (64 elements): the hash dedup is O(n) against
+        the sort's O(n log n), and both stay in C.
+        """
+        return sorted(set(lines.tolist()))
+
+else:  # pragma: no cover - exercised via REPRO_XP=python in CI
+
+    def pack_mask(mask) -> int:
+        bits = 0
+        for lane, on in enumerate(mask):
+            if on:
+                bits |= 1 << lane
+        return bits
+
+    def unique_lines(lines) -> list:
+        return sorted(set(tolist(lines)))

@@ -127,6 +127,15 @@ def group_shards(
     ``max_shard_cells`` caps shard size (a capped group splits into
     consecutive chunks that still share the fingerprint, so every chunk
     after the first replays the first chunk's capture via the store).
+
+    Capture-bearing shards (each fingerprint's first chunk) are handed
+    out before every replay-only chunk: workers pulling from the front
+    of the queue then seed the trace store as early as possible, so
+    replay-only shards leased later find their capture already synced
+    instead of stalling on a same-fingerprint capture still in flight.
+    Shard ids are content hashes over (sweep, fingerprint, cells), so
+    the reordering changes lease order only — identities, journal
+    entries, and merge results are untouched.
     """
     groups: "Dict[str, List[ShardCell]]" = {}
     order: List[str] = []
@@ -143,14 +152,15 @@ def group_shards(
             order.append(fp)
         groups[fp].append(ShardCell(point=point.point_id, workload=workload,
                                     isa=isa, overrides=point.overrides))
-    shards: List[ShardRequest] = []
+    capture_shards: List[ShardRequest] = []
+    replay_shards: List[ShardRequest] = []
     for fp in order:
         members = groups[fp]
         chunk = (max_shard_cells if max_shard_cells and max_shard_cells > 0
                  else len(members))
         for start in range(0, len(members), chunk):
             part = tuple(members[start:start + chunk])
-            shards.append(ShardRequest(
+            request = ShardRequest(
                 shard_id=shard_id_for(sweep_id, fp, part),
                 sweep_id=sweep_id,
                 trace_fp=fp,
@@ -159,8 +169,9 @@ def group_shards(
                 seed=seed,
                 config=base,
                 execution=execution,
-            ))
-    return shards
+            )
+            (capture_shards if start == 0 else replay_shards).append(request)
+    return capture_shards + replay_shards
 
 
 def plan_shards(request: SweepRequest,

@@ -30,6 +30,7 @@ from ..common.lanes import (
     lds_gather_u32,
     lds_scatter_u32,
     mask_to_bool,
+    serialized_atomic_add,
     touched_lines,
 )
 from ..runtime.memory import SimulatedMemory
@@ -686,12 +687,7 @@ class Gcn3Executor:
         HSAIL model so cross-ISA results are bit-identical)."""
         addrs = wf.read_v64(instr.srcs[0])
         values = wf.read_v32(instr.srcs[1])
-        old = np.zeros(WF_SIZE, dtype=np.uint32)
-        for lane in np.flatnonzero(mask):
-            addr = int(addrs[lane])
-            prev = self.memory.load_scalar(addr, 4)
-            self.memory.store_scalar(addr, (prev + int(values[lane])) & 0xFFFFFFFF, 4)
-            old[lane] = prev
+        old = serialized_atomic_add(self.memory, addrs, values, mask)
         if instr.dest is not None:
             wf.write_v32(instr.dest, old, mask)  # type: ignore[arg-type]
         result.mem_kind = MemKind.GLOBAL_STORE

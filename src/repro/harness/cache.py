@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
@@ -293,7 +294,27 @@ class ResultCache:
 #: per-wavefront decode memo attached to it — instead of re-reading and
 #: re-parsing the blob per cell.  ``put`` goes through ``os.replace``,
 #: which bumps the mtime, so a re-captured trace invalidates naturally.
-_LOADED_TRACES: Dict[str, Tuple[int, int, object]] = {}
+#:
+#: The memo is LRU-bounded: a long-lived ``repro serve`` daemon (or a
+#: dist worker pulling shards from many suites) touches an unbounded set
+#: of functional fingerprints over its lifetime, and parsed traces are
+#: the largest in-process objects by far.  :func:`_trace_memo_cap`
+#: reads ``REPRO_TRACE_MEMO`` fresh per insert so tests (and operators)
+#: can retune a running process; 0 disables memoization entirely.
+_LOADED_TRACES: "OrderedDict[str, Tuple[int, int, object]]" = OrderedDict()
+
+#: Default bound on distinct parsed traces held in process.  A sweep
+#: over one suite touches ~20 fingerprints; 64 leaves headroom for a
+#: few concurrent suites without letting a daemon grow monotonically.
+DEFAULT_TRACE_MEMO = 64
+
+
+def _trace_memo_cap() -> int:
+    raw = os.environ.get("REPRO_TRACE_MEMO", "")
+    try:
+        return int(raw) if raw else DEFAULT_TRACE_MEMO
+    except ValueError:
+        return DEFAULT_TRACE_MEMO
 
 
 def clear_trace_memo() -> None:
@@ -345,6 +366,7 @@ class TraceStore:
         memo = _LOADED_TRACES.get(key)
         if (memo is not None and memo[0] == st.st_mtime_ns
                 and memo[1] == st.st_size):
+            _LOADED_TRACES.move_to_end(key)  # LRU touch
             self.hits += 1
             return memo[2]
         try:
@@ -357,7 +379,12 @@ class TraceStore:
             self.misses += 1
             self._discard(path, reason=f"{type(exc).__name__}: {exc}")
             return None
-        _LOADED_TRACES[key] = (st.st_mtime_ns, st.st_size, trace)
+        cap = _trace_memo_cap()
+        if cap > 0:
+            _LOADED_TRACES[key] = (st.st_mtime_ns, st.st_size, trace)
+            _LOADED_TRACES.move_to_end(key)
+            while len(_LOADED_TRACES) > cap:
+                _LOADED_TRACES.popitem(last=False)
         self.hits += 1
         return trace
 

@@ -31,6 +31,8 @@ Schema (``repro-bench/1``)::
         {"workload": "fft", "isa": "gcn3", "engine": "scalar",
          "verified": true,
          "wall_seconds": 1.93,         # best of `repeats` runs
+         "capture_wall_seconds": null, # vector rows: one-off capture cost
+         "replay_wall_seconds": null,  # vector rows: best warm replay
          "cycles": 193121, "dynamic_instructions": 20256,
          "cycles_per_second": 100062.7, "peak_rss_kb": 123456}
       ],
@@ -78,7 +80,7 @@ from ..common.errors import ReproError
 SCHEMA = "repro-bench/1"
 
 #: Default output name for this PR's trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR6.json"
+DEFAULT_OUTPUT = "BENCH_PR9.json"
 
 
 class BenchError(ReproError):
@@ -92,9 +94,15 @@ class BenchCell:
     ``engine`` records which cycle engine produced the number:
     ``"scalar"`` rows time the execute-at-issue reference path;
     ``"vector"`` rows time a warm-store trace replay under the batch
-    engine (its operating regime — the one-off capture is not timed).
-    Reports written before the engine knob existed carry no ``engine``
-    key; readers default it to ``"scalar"``.
+    engine (its operating regime — the one-off capture does not count
+    toward ``wall_seconds``).  Reports written before the engine knob
+    existed carry no ``engine`` key; readers default it to ``"scalar"``.
+
+    ``capture_wall_seconds``/``replay_wall_seconds`` break a vector
+    row's end-to-end cost apart: the one-off capture-mode run that
+    seeds the trace store versus the best timed warm-store replay
+    (which equals ``wall_seconds``).  Scalar rows never capture or
+    replay, so both are ``None`` there; older reports lack the keys.
     """
 
     workload: str
@@ -105,6 +113,8 @@ class BenchCell:
     dynamic_instructions: int
     peak_rss_kb: int
     engine: str = "scalar"
+    capture_wall_seconds: Optional[float] = None
+    replay_wall_seconds: Optional[float] = None
 
     @property
     def cycles_per_second(self) -> float:
@@ -117,6 +127,12 @@ class BenchCell:
             "engine": self.engine,
             "verified": self.verified,
             "wall_seconds": round(self.wall_seconds, 4),
+            "capture_wall_seconds": (
+                round(self.capture_wall_seconds, 4)
+                if self.capture_wall_seconds is not None else None),
+            "replay_wall_seconds": (
+                round(self.replay_wall_seconds, 4)
+                if self.replay_wall_seconds is not None else None),
             "cycles": self.cycles,
             "dynamic_instructions": self.dynamic_instructions,
             "cycles_per_second": round(self.cycles_per_second, 1),
@@ -224,7 +240,7 @@ def run_bench(
     seed: int = 7,
     config: Optional[GpuConfig] = None,
     repeats: int = 1,
-    label: str = "PR6",
+    label: str = "PR9",
     progress=None,
     profile_dir: Optional[str] = None,
     engines: Sequence[str] = ("scalar",),
@@ -288,11 +304,17 @@ def run_bench(
         try:
             for name in names:
                 for isa in ISAS:
+                    capture_wall = None
                     if store is not None:
-                        # Seed the store; the capture is not timed.
-                        run_workload(name, isa, scale=scale, config=config,
-                                     seed=seed, execution="capture",
-                                     trace_store=store)
+                        # Seed the store.  The capture's wall time is
+                        # recorded as the row's breakdown (a sweep pays
+                        # it once per fingerprint) but never counts
+                        # toward the headline wall_seconds.
+                        seeded = run_workload(name, isa, scale=scale,
+                                              config=config, seed=seed,
+                                              execution="capture",
+                                              trace_store=store)
+                        capture_wall = seeded.wall_seconds
                     best = None
                     for _ in range(repeats):
                         if store is not None:
@@ -329,6 +351,9 @@ def run_bench(
                         dynamic_instructions=best.dynamic_instructions,
                         peak_rss_kb=_peak_rss_kb(),
                         engine=engine,
+                        capture_wall_seconds=capture_wall,
+                        replay_wall_seconds=(best.wall_seconds
+                                             if store is not None else None),
                     )
                     report.cells.append(cell)
                     if progress is not None:
@@ -609,6 +634,10 @@ def render_text(report: BenchReport) -> str:
         rows.append([
             cell.workload, cell.isa, cell.engine,
             f"{cell.wall_seconds:.3f}",
+            (f"{cell.capture_wall_seconds:.3f}"
+             if cell.capture_wall_seconds is not None else "-"),
+            (f"{cell.replay_wall_seconds:.3f}"
+             if cell.replay_wall_seconds is not None else "-"),
             f"{cell.cycles_per_second:,.0f}",
             cell.cycles,
             f"{speedup:.2f}x" if speedup else "-",
@@ -616,8 +645,8 @@ def render_text(report: BenchReport) -> str:
             ("yes" if cell.verified else "NO"),
         ])
     text = render_table(
-        ["Workload", "ISA", "engine", "wall s", "sim cyc/s", "cycles",
-         "speedup", "ok"],
+        ["Workload", "ISA", "engine", "wall s", "capture s", "replay s",
+         "sim cyc/s", "cycles", "speedup", "ok"],
         rows,
         title=f"repro bench [{report.label}] scale={report.scale:g} "
               f"repeats={report.repeats}",

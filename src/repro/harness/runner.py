@@ -393,12 +393,15 @@ _SUITE_CACHE: Dict[Tuple[str, float, int, Tuple[str, ...]], SuiteResults] = {}
 
 def clear_suite_cache() -> None:
     """Drop the in-process memos — suite results, staged replay
-    processes, and parsed traces (test isolation helper)."""
+    processes, parsed traces, and compiled kernels (test isolation
+    helper)."""
+    from ..workloads.base import clear_kernel_memo
     from .cache import clear_trace_memo
 
     _SUITE_CACHE.clear()
     _REPLAY_STAGING.clear()
     clear_trace_memo()
+    clear_kernel_memo()
 
 
 def execute_run_request(

@@ -23,6 +23,13 @@ import numpy as np
 
 from ..common.errors import ExecutionError
 from ..common.exec_types import DispatchContext, ExecResult, MemKind
+from ..common.lanes import (
+    bool_to_mask,
+    lds_gather_u32,
+    lds_scatter_u32,
+    serialized_atomic_add,
+    touched_lines,
+)
 from ..kernels.types import DType
 from ..runtime.memory import Segment, SimulatedMemory
 from .isa import HReg, HsailInstr, HsailKernel, Imm
@@ -455,12 +462,7 @@ class HsailExecutor:
         """Atomic 32-bit add; lanes serialize in ascending order."""
         addrs = wf.read_u64(instr.srcs[0])
         values = wf.read_u32(instr.srcs[1])
-        old = np.zeros(WF_SIZE, dtype=np.uint32)
-        for lane in np.flatnonzero(mask):
-            addr = int(addrs[lane])
-            prev = self.memory.load_scalar(addr, 4)
-            self.memory.store_scalar(addr, (prev + int(values[lane])) & 0xFFFFFFFF, 4)
-            old[lane] = prev
+        old = serialized_atomic_add(self.memory, addrs, values, mask)
         assert instr.dest is not None
         wf.write_typed(instr.dest, DType.U32, old, mask)
         result.mem_kind = MemKind.GLOBAL_STORE
@@ -516,49 +518,9 @@ class HsailExecutor:
 # ---------------------------------------------------------------------------
 
 
-def _mask_bits(mask: np.ndarray) -> int:
-    """bool[64] -> int bitmask."""
-    bits = 0
-    for lane in np.flatnonzero(mask):
-        bits |= 1 << int(lane)
-    return bits
-
-
-def _lines(addrs: np.ndarray, mask: np.ndarray, size: int) -> "list[int]":
-    active = addrs[mask]
-    if active.size == 0:
-        return []
-    lines = set((active >> np.uint64(6)).tolist())
-    if size > 4:
-        lines.update(((active + np.uint64(size - 1)) >> np.uint64(6)).tolist())
-    return sorted(lines)
-
-
-def _lds_gather(lds: np.ndarray, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
-    out = np.zeros(WF_SIZE, dtype=np.uint32)
-    idx = addrs[mask].astype(np.int64)
-    if idx.size == 0:
-        return out
-    if idx.max() + 4 > lds.size:
-        raise ExecutionError("LDS access out of bounds")
-    vals = (
-        lds[idx].astype(np.uint32)
-        | (lds[idx + 1].astype(np.uint32) << 8)
-        | (lds[idx + 2].astype(np.uint32) << 16)
-        | (lds[idx + 3].astype(np.uint32) << 24)
-    )
-    out[mask] = vals
-    return out
-
-
-def _lds_scatter(lds: np.ndarray, addrs: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
-    idx = addrs[mask].astype(np.int64)
-    if idx.size == 0:
-        return
-    if idx.max() + 4 > lds.size:
-        raise ExecutionError("LDS access out of bounds")
-    vals = values[mask].astype(np.uint32)
-    lds[idx] = (vals & 0xFF).astype(np.uint8)
-    lds[idx + 1] = ((vals >> 8) & 0xFF).astype(np.uint8)
-    lds[idx + 2] = ((vals >> 16) & 0xFF).astype(np.uint8)
-    lds[idx + 3] = ((vals >> 24) & 0xFF).astype(np.uint8)
+# Shared whole-wavefront kernels (common/lanes.py), bound under the
+# historical local names so call sites and the capture contract stay put.
+_mask_bits = bool_to_mask
+_lines = touched_lines
+_lds_gather = lds_gather_u32
+_lds_scatter = lds_scatter_u32

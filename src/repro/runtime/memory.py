@@ -29,6 +29,10 @@ from ..common.errors import MemoryError_
 
 #: First mapped address. Everything below faults.
 HEAP_BASE = 0x1_0000
+#: The aligned gather/scatter fast path views the byte buffer as native
+#: uint32, which matches the little-endian byte-plane composition only
+#: on little-endian hosts; big-endian hosts keep the portable path.
+_LITTLE_ENDIAN = struct.pack("<I", 1) == struct.pack("=I", 1)
 #: Footprint granularity (cache line).
 LINE_BYTES = 64
 _LINE_SHIFT = 6
@@ -51,6 +55,9 @@ class SimulatedMemory:
 
     def __init__(self, capacity: int = 1 << 22) -> None:
         self._buf = np.zeros(capacity, dtype=np.uint8)
+        #: word-aligned uint32 view of ``_buf`` for the aligned
+        #: gather/scatter fast path; rebuilt whenever the buffer grows.
+        self._u32 = self._buf[: capacity // 4 * 4].view(np.uint32)
         self._limit = HEAP_BASE  # highest mapped address (exclusive)
         self._touched_lines: Set[int] = set()
         self.track_footprint = True
@@ -66,8 +73,12 @@ class SimulatedMemory:
         if addr < HEAP_BASE:
             raise MemoryError_(f"cannot map below heap base: {addr:#x}")
         end = addr + size
+        grew = False
         while end > len(self._buf):
             self._buf = np.concatenate([self._buf, np.zeros(len(self._buf), dtype=np.uint8)])
+            grew = True
+        if grew:
+            self._u32 = self._buf[: len(self._buf) // 4 * 4].view(np.uint32)
         if end > self._limit:
             self._limit = end
 
@@ -179,6 +190,11 @@ class SimulatedMemory:
         self._check(lo, hi - lo)
         self.touch_lanes(active, 4)
         idx = active.astype(np.int64)
+        if _LITTLE_ENDIAN and not (idx & 3).any():
+            # Word-aligned lanes: one fancy-index gather on the uint32
+            # view replaces four byte-plane gathers.
+            out[mask] = self._u32[idx >> 2]
+            return out
         b = self._buf
         vals = (
             b[idx].astype(np.uint32)
@@ -199,6 +215,11 @@ class SimulatedMemory:
         self._check(lo, hi - lo)
         self.touch_lanes(active, 4)
         idx = active.astype(np.int64)
+        if _LITTLE_ENDIAN and not (idx & 3).any():
+            # Word-aligned lanes: one fancy-index scatter keeps numpy's
+            # later-lanes-win collision order, same as the byte planes.
+            self._u32[idx >> 2] = vals
+            return
         b = self._buf
         b[idx] = (vals & 0xFF).astype(np.uint8)
         b[idx + 1] = ((vals >> 8) & 0xFF).astype(np.uint8)

@@ -212,6 +212,80 @@ class MemorySystem:
         l2 = self.l2[cluster]
         dram = self.dram
         worst = now + hit_latency
+        if not tracing:
+            # Untraced fast path (every bench/suite run).  The per-line
+            # port slot is ``start_k = max(next_free, now) + k*occupancy``
+            # — each slot starts at or after ``now``, so the max with
+            # ``now`` resolves once and the attribute round-trips hoist
+            # out of the loop.  State evolution is identical to the
+            # traced loop below.
+            nf = l1.next_free
+            start = nf if nf > now else now
+            hits = 0
+            if is_write:
+                # Write-through, no-write-allocate; the L2/DRAM
+                # bookkeeping of _through_l2(is_write=True) is inlined,
+                # with l2.next_free carried locally (nothing else
+                # touches it while this loop runs).
+                l2_sets = l2._sets
+                l2_num_sets = l2.num_sets
+                l2_assoc = l2.assoc
+                l2_occ = l2.occupancy
+                l2_hl = l2.hit_latency
+                l2_nf = l2.next_free
+                channels = dram.channels
+                channel_nf = dram.channel_next_free
+                burst = dram.cycles_per_burst
+                for line in lines:
+                    lru = sets[line % num_sets]
+                    if line in lru:
+                        lru.move_to_end(line)
+                        hits += 1
+                    start2 = l2_nf if l2_nf > start else start
+                    l2_nf = start2 + l2_occ
+                    lru2 = l2_sets[line % l2_num_sets]
+                    if line in lru2:
+                        lru2.move_to_end(line)
+                    else:
+                        if len(lru2) >= l2_assoc:
+                            lru2.popitem(last=False)
+                        lru2[line] = True
+                    channel = line % channels
+                    cnf = channel_nf[channel]
+                    channel_nf[channel] = (cnf if cnf > start2 else start2) + burst
+                    done = start2 + l2_hl
+                    if done > worst:
+                        worst = done
+                    start += occupancy
+                l2.next_free = l2_nf
+                dram.accesses += len(lines)
+                l1.hits += hits
+            else:
+                assoc = l1.assoc
+                misses = 0
+                for line in lines:
+                    lru = sets[line % num_sets]
+                    if line in lru:
+                        lru.move_to_end(line)
+                        hits += 1
+                        done = start + hit_latency
+                    else:
+                        misses += 1
+                        done = self._through_l2(
+                            cluster, line, start + hit_latency, False, cu_id)
+                        if len(lru) >= assoc:
+                            lru.popitem(last=False)
+                        lru[line] = True
+                    if done > worst:
+                        worst = done
+                    start += occupancy
+                l1.hits += hits
+                l1.misses += misses
+            if lines:
+                l1.next_free = start
+            self.stats.bump(VMEM_REQUESTS)
+            self.stats.bump(VMEM_LINES, len(lines))
+            return worst
         for line in lines:
             nf = l1.next_free  # one line per port slot
             start = nf if nf > now else now

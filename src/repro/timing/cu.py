@@ -466,6 +466,14 @@ class ComputeUnit:
             # folded into the StatSet at placement, so only the timing
             # state advances here.  Vector runs are never event-traced.
             result: ExecResult = cursor.advance(pc)
+        elif wf.fused_count or (wf.superops is not None
+                                and self._fuse_run(wf, pc)):
+            # --- block-compiled fast path: the superop chain covering
+            # this pc ran functionally at its first issue (_fuse_run
+            # folded statistics, probes, and capture records there); each
+            # subsequent issue consumes one precomputed outcome while the
+            # cycle model below stays per-instruction.
+            result = self._consume_fused(wf, pc)
         else:
             stats = self.gpu.stats
             wf.instr_counter += 1
@@ -548,6 +556,130 @@ class ComputeUnit:
             if record is None:
                 record = self.workgroups[wf.wg_key]
             self._maybe_retire(record)
+
+    def _fuse_run(self, wf: TimingWavefront, pc: int) -> bool:
+        """Execute the superop chain starting at ``pc`` functionally and
+        queue its outcomes for per-issue consumption.
+
+        Execute-at-issue makes this safe: every functional input of a
+        straight-line run is final before the run's first instruction
+        issues (memory ops, barriers, and kernel ends are unfusable, and
+        a branch only terminates a chain, so a queued chain always runs
+        to completion).  Statistics, VRF probes, and capture records are
+        folded here in exactly the order the raw path emits them.
+        """
+        chain = wf.superops.get(pc)
+        if chain is None:
+            return False
+        state = wf.state
+        stats = self.gpu.stats
+        vrf = self.vrf
+        regs = wf.regs
+        reuse = wf.reuse_tracker
+        stream = wf.capture
+        is_gcn3 = wf.is_gcn3
+        counter = wf.instr_counter
+        simd_active = 0
+        branch_out = None
+        # The chain-entry popcount covers every op until one that can
+        # write EXEC (op.fresh_lanes marks the successor of each such
+        # op, resolved at compile time); HSAIL chains never re-read it.
+        lanes = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+        if stream is None:
+            # Pure execute (the bench's execute-mode cells): no capture
+            # records, so the loop carries no probe-output plumbing.
+            for op in chain.ops:
+                if op.fresh_lanes:
+                    lanes = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+                if op.is_simd:
+                    simd_active += lanes
+                counter += 1
+                if op.rw_slots:
+                    vrf.record_reuse(reuse, counter, op.rw_slots)
+                if (counter & 3) == 0 and op.has_probe_slots:
+                    mask = state.exec_bool() if is_gcn3 else state.mask_array()
+                    if op.read_slots:
+                        vrf.probe_uniqueness(
+                            regs, op.read_slots, mask, is_write=False,
+                            active=lanes)
+                    if op.is_branch:
+                        branch_out = op.run(state)
+                    else:
+                        op.run(state)
+                    if op.write_slots:
+                        vrf.probe_uniqueness(
+                            regs, op.write_slots, mask, is_write=True,
+                            active=lanes)
+                elif op.is_branch:
+                    branch_out = op.run(state)
+                else:
+                    op.run(state)
+        else:
+            for op in chain.ops:
+                if op.fresh_lanes:
+                    lanes = (state.exec_mask & 0xFFFFFFFFFFFFFFFF).bit_count()
+                if op.is_simd:
+                    simd_active += lanes
+                counter += 1
+                if op.rw_slots:
+                    vrf.record_reuse(reuse, counter, op.rw_slots)
+                probed = (counter & 3) == 0 and op.has_probe_slots
+                read_uniques = write_uniques = None
+                if probed:
+                    mask = state.exec_bool() if is_gcn3 else state.mask_array()
+                    if op.read_slots:
+                        read_uniques = vrf.probe_uniqueness(
+                            regs, op.read_slots, mask, is_write=False,
+                            active=lanes, collect=True)
+                if op.is_branch:
+                    branch_out = op.run(state)
+                else:
+                    op.run(state)
+                if probed and op.write_slots:
+                    write_uniques = vrf.probe_uniqueness(
+                        regs, op.write_slots, mask, is_write=True,
+                        active=lanes, collect=True)
+                if op.is_branch:
+                    stream.record_branch(
+                        op.pc, lanes, probed, branch_out[0],
+                        state.pc if branch_out[0] else None,
+                        read_uniques, write_uniques)
+                else:
+                    stream.record_fused(op.pc, lanes, probed,
+                                        read_uniques, write_uniques)
+        wf.instr_counter = counter
+        for category, count in chain.cat_counts:
+            stats.record_instruction(category, count)
+        if chain.simd_count:
+            stats.simd_utilization.add(simd_active, 64 * chain.simd_count)
+        if branch_out is not None:
+            # _branch moved the architectural pc to the continuation;
+            # park it on the wavefront and restore, so the consume path
+            # walks the chain's pcs one issue at a time.
+            wf.fused_branch = (branch_out[0], state.pc)
+            state.pc = pc
+        wf.fused_count = len(chain.ops)
+        if wf.fused_result is None:
+            wf.fused_result = ExecResult()
+        return True
+
+    def _consume_fused(self, wf: TimingWavefront, pc: int) -> ExecResult:
+        """One queued fused outcome; advances the architectural pc the
+        way ``execute`` would have at this issue slot."""
+        wf.fused_count -= 1
+        result: ExecResult = wf.fused_result  # type: ignore[assignment]
+        state = wf.state
+        if wf.fused_count == 0 and wf.fused_branch is not None:
+            taken, cont_pc = wf.fused_branch
+            wf.fused_branch = None
+            result.branch_taken = taken
+            result.next_pc = cont_pc if taken else None
+            state.pc = cont_pc
+        else:
+            result.branch_taken = False
+            result.next_pc = None
+            state.pc = pc + 1
+        return result
 
     def _charge_units(self, wf: TimingWavefront, desc: IssueDesc,
                       simd: int, now: int) -> int:

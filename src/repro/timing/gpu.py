@@ -20,6 +20,7 @@ import numpy as np
 
 from ..common.config import GpuConfig
 from ..common.errors import DeadlockError, TimingError
+from ..common.superops import compile_kernel, resolve_semantics
 from ..common.xp import get_array_module
 from ..common.events import EventQueue
 from ..common.stats import StatSet
@@ -31,6 +32,7 @@ from ..obs.trace import TraceBus
 from ..runtime.process import Dispatch, GpuProcess
 from .caches import MemorySystem
 from .cu import NEVER_WAKE, ComputeUnit, WorkgroupRecord
+from .predecode import UNIT_SIMD, predecode_kernel
 from .registerfile import VrfModel
 from .replay import ExecTrace, TraceRecorder
 from .vector import resolve_engine, vector_cursor
@@ -67,6 +69,13 @@ class Gpu:
                                      replay=replay is not None,
                                      traced=trace is not None)
         self._xp = get_array_module() if self.engine == "vector" else None
+        #: block-compiled semantics (common/superops.py): execute and
+        #: capture runs fuse straight-line code into superop chains.
+        #: Replay never executes semantics, and event-traced runs need
+        #: per-issue ExecResults on the bus, so both stay raw;
+        #: REPRO_SEMANTICS=raw is the process-wide escape hatch.
+        self._superops_enabled = (replay is None and trace is None
+                                  and resolve_semantics() == "block")
         self.events = EventQueue()
         self.memsys = MemorySystem(config)
         self.memsys.trace = trace
@@ -251,6 +260,10 @@ class Gpu:
                 executor = Gcn3Executor(self.process.memory, lds)
             else:
                 executor = HsailExecutor(self.process.memory, lds)
+        superops = (compile_kernel(dispatch.kernel, dispatch.is_gcn3,
+                                   predecode_kernel(dispatch.kernel),
+                                   UNIT_SIMD)
+                    if replay is None and self._superops_enabled else None)
         wg_key = (dispatch_id, wg_index)
         wavefronts = []
         wg_id = dispatch.workgroup_id(wg_index)
@@ -281,6 +294,7 @@ class Gpu:
                 ib_capacity=self.config.cu.ib_entries,
                 capture=(recorder.stream(self._wf_counter)
                          if recorder is not None else None),
+                superops=superops,
             )
             self._wf_counter += 1
             wavefronts.append(wf)

@@ -143,6 +143,46 @@ class WfStream:
                 if write_uniques:
                     self.probe_write.extend(write_uniques)
 
+    def record_fused(self, pc: int, active: int, probed: bool,
+                     read_uniques: Optional[List[int]],
+                     write_uniques: Optional[List[int]]) -> None:
+        """One fused instruction's outcome — the block-compiled path's
+        :meth:`record`, specialized for ops whose result fields are
+        statically empty (no memory access, branch, barrier, or end)."""
+        self.code.append(pc)
+        self.flags.append(0)
+        self.active.append(active)
+        if probed:
+            self.probe_active.append(active)
+            if active:
+                if read_uniques:
+                    self.probe_read.extend(read_uniques)
+                if write_uniques:
+                    self.probe_write.extend(write_uniques)
+
+    def record_branch(self, pc: int, active: int, probed: bool,
+                      taken: bool, target: Optional[int],
+                      read_uniques: Optional[List[int]],
+                      write_uniques: Optional[List[int]]) -> None:
+        """A fused terminal branch's outcome (taken branches consume one
+        entry of ``targets``, exactly as :meth:`record` encodes them)."""
+        flags = 0
+        if taken:
+            flags = _F_TAKEN
+            if target is not None:
+                flags |= _F_TARGET
+                self.targets.append(target)
+        self.code.append(pc)
+        self.flags.append(flags)
+        self.active.append(active)
+        if probed:
+            self.probe_active.append(active)
+            if active:
+                if read_uniques:
+                    self.probe_read.extend(read_uniques)
+                if write_uniques:
+                    self.probe_write.extend(write_uniques)
+
     def approx_bytes(self) -> int:
         return sum(
             len(getattr(self, name)) * getattr(self, name).itemsize

@@ -60,6 +60,20 @@ class TimingWavefront:
     #: appends one record per issued instruction / reconvergence jump.
     capture: Optional[WfStream] = None
 
+    #: block-compiled superop chains (``None`` when REPRO_SEMANTICS=raw,
+    #: under replay, or while event-tracing); assigned at placement by
+    #: :meth:`repro.timing.gpu.Gpu._place_workgroup`.
+    superops: Optional[Dict[int, object]] = None
+    #: queued fused issues left from the chain executed at its first
+    #: issue; while > 0 the CU consumes precomputed outcomes.
+    fused_count: int = 0
+    #: (taken, continuation pc) of the chain's terminal branch, consumed
+    #: with the chain's final queued issue.
+    fused_branch: Optional[Tuple[bool, int]] = None
+    #: reusable ExecResult for the fused consume path (lazily created);
+    #: every field but the branch pair stays at its empty default.
+    fused_result: Optional[object] = None
+
     # Derived, filled in by __post_init__ (static for the WF's lifetime
     # except fetch_want, which the owning CU keeps in sync).
     is_gcn3: bool = field(init=False, default=False)

@@ -81,6 +81,22 @@ class TestPlanShards:
         # first chunk's capture via the store.
         assert len({shard.trace_fp for shard in plan.shards}) == 1
 
+    def test_capture_chunks_lease_before_replay_chunks(self):
+        # Two fingerprints, three cells each, chunked to one cell per
+        # shard: the queue must open with both capture-bearing chunks
+        # (each group's first) before any replay-only chunk, preserving
+        # relative group order within each half.
+        plan = plan_shards(
+            _request(workloads=("spmv", "bitonic"),
+                     axes=(Axis("cu.vrf_banks", (2, 4, 8)),)),
+            max_shard_cells=1)
+        assert len(plan.shards) == 6
+        fps = [s.trace_fp for s in plan.shards]
+        assert fps[:2] == sorted(set(fps), key=fps.index)  # one per group
+        assert len(set(fps[:2])) == 2
+        # the replay tail keeps each group's chunks in planning order
+        assert fps[2:] == [fps[0], fps[0], fps[1], fps[1]]
+
     def test_same_spec_plans_identically(self):
         a = plan_shards(_request())
         b = plan_shards(_request())

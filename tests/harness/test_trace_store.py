@@ -177,6 +177,64 @@ class TestBlobSyncAndMaintenance:
         assert usage[fp]["bytes"] > 0
 
 
+class TestTraceMemoLRU:
+    """The in-process parsed-trace memo is LRU-bounded so a long-lived
+    daemon crossing many fingerprints cannot grow without limit."""
+
+    def _seed(self, store, count):
+        from repro.harness import cache as cache_mod
+
+        fp = trace_fingerprint(small_config(2), "arraybw", "gcn3", 0.1, 7)
+        _capture(store)
+        blob = store.read_blob(fp)
+        fps = [f"f{i:015x}" for i in range(count)]
+        for fake in fps:
+            assert store.write_blob(fake, blob)
+        cache_mod.clear_trace_memo()
+        return fps
+
+    def test_memo_never_exceeds_the_bound(self, store, monkeypatch):
+        from repro.harness.cache import _LOADED_TRACES
+
+        monkeypatch.setenv("REPRO_TRACE_MEMO", "3")
+        fps = self._seed(store, 5)
+        for fp in fps:
+            assert isinstance(store.get(fp), ExecTrace)
+            assert len(_LOADED_TRACES) <= 3
+        # oldest entries were evicted, newest retained
+        kept = {key.rsplit("/", 1)[-1] for key in _LOADED_TRACES}
+        assert kept == {f"{fp}.trace" for fp in fps[-3:]}
+
+    def test_hit_refreshes_lru_position(self, store, monkeypatch):
+        from repro.harness.cache import _LOADED_TRACES
+
+        monkeypatch.setenv("REPRO_TRACE_MEMO", "2")
+        fps = self._seed(store, 3)
+        store.get(fps[0])
+        store.get(fps[1])
+        store.get(fps[0])            # refresh: fps[0] is now the newest
+        store.get(fps[2])            # evicts fps[1], not fps[0]
+        kept = {key.rsplit("/", 1)[-1] for key in _LOADED_TRACES}
+        assert kept == {f"{fps[0]}.trace", f"{fps[2]}.trace"}
+
+    def test_zero_cap_disables_memoization(self, store, monkeypatch):
+        from repro.harness.cache import _LOADED_TRACES
+
+        monkeypatch.setenv("REPRO_TRACE_MEMO", "0")
+        fps = self._seed(store, 1)
+        assert isinstance(store.get(fps[0]), ExecTrace)
+        assert not _LOADED_TRACES
+
+    def test_clear_suite_cache_evicts_the_memo(self, store):
+        from repro.harness.cache import _LOADED_TRACES
+
+        fps = self._seed(store, 1)
+        store.get(fps[0])
+        assert _LOADED_TRACES
+        clear_suite_cache()
+        assert not _LOADED_TRACES
+
+
 class TestCaptureReplayIdentity:
     def test_full_matrix_bit_identity(self, store):
         """Replay must be bit-identical to execute-at-issue on every
