@@ -54,19 +54,26 @@ sweep --axis PATH=V1,V2,... [--axis ...] [--mode grid|ofat]
     point replays it through the timing model — bit-identical
     statistics, guarded by a sampled re-execution.
 bench [--workloads W1,W2] [--scale S] [--seed N] [--cus N]
-      [--repeats N] [--label L] [--baseline FILE] [--threshold F]
-      [--output FILE] [--profile DIR] [--sweep-axis PATH=V1,V2,...]
-      [--sweep-workloads W1,W2] [--sweep-isas I1,I2] [--sweep-jobs N]
-      [--sweep-repeats N]
+      [--repeats N] [--label L] [--baseline FILE] [--wall-gate]
+      [--against TREE-ISH|DIR] [--rounds N] [--timing auto|warp|scan]
+      [--threshold F] [--output FILE] [--profile DIR]
+      [--sweep-axis PATH=V1,V2,...] [--sweep-workloads W1,W2]
+      [--sweep-isas I1,I2] [--sweep-jobs N] [--sweep-repeats N]
     Time the tier-1 suite cell by cell (wall seconds, simulated
     cycles/sec, peak RSS) with every cache layer bypassed, and write a
     machine-readable BENCH_*.json perf-trajectory point.  With
     ``--baseline`` the report embeds per-cell and geomean speedups vs a
-    prior BENCH_*.json and exits non-zero on any cell more than
-    ``--threshold`` (fractional) slower.  ``--profile DIR`` dumps
-    per-cell cProfile stats; ``--sweep-axis`` additionally times one
-    timing-only sweep twice (execute-at-issue vs trace replay) and
-    embeds the speedup as the report's ``sweep`` section.
+    prior BENCH_*.json; since a committed baseline was measured in a
+    different epoch, wall-clock regressions only *warn* unless
+    ``--wall-gate`` is given — cycle drift always exits non-zero.
+    ``--against`` is the honest wall-clock comparison: it checks the
+    named tree out into a scratch worktree and alternates current /
+    baseline bench subprocesses over ``--rounds`` interleaved rounds
+    (per-cell minima, same epoch for both sides), gating walls and
+    cycles.  ``--profile DIR`` dumps per-cell cProfile stats;
+    ``--sweep-axis`` additionally times one timing-only sweep twice
+    (execute-at-issue vs trace replay) and embeds the speedup as the
+    report's ``sweep`` section.
 cache [--cache-dir DIR] [--trace-dir DIR] [--clear]
       [--prune-older-than DAYS]
     Inspect, prune, or clear the persistent result cache
@@ -131,8 +138,12 @@ def parse_override_specs(specs) -> dict:
 
 def config_from_args(args: argparse.Namespace):
     """The GpuConfig the CLI flags describe: --cus picks the base
-    machine, repeated --override edits dotted paths on top."""
+    machine, --timing pins the scheduler, repeated --override edits
+    dotted paths on top."""
     config = paper_config() if args.cus == 8 else small_config(args.cus)
+    timing = getattr(args, "timing", None)
+    if timing:
+        config = config.with_overrides({"timing": timing})
     overrides = parse_override_specs(getattr(args, "override", None))
     if overrides:
         config = config.with_overrides(overrides)
@@ -171,7 +182,7 @@ def sweep_request_from_args(args: argparse.Namespace):
     axes = tuple(Axis.parse(spec) for spec in args.axis)
     workloads = tuple(args.workloads.split(",") if args.workloads
                       else (w.name for w in all_workloads()))
-    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    config = config_from_args(args)
     return SweepRequest(
         axes=axes, mode=args.mode, workloads=workloads, scale=args.scale,
         seed=args.seed, config=config, jobs=args.jobs,
@@ -226,7 +237,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .core import Session
     from .obs import TraceConfig, text_report, write_chrome_trace, write_jsonl
 
-    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    config = config_from_args(args)
     trace_config = TraceConfig.parse(
         args.categories, sample_every=args.sample, max_events=args.max_events
     )
@@ -519,62 +530,108 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .harness import perfbench
 
-    config = paper_config() if args.cus == 8 else small_config(args.cus)
+    progress = (None if args.quiet
+                else (lambda msg: print(msg, file=sys.stderr)))
     workloads = args.workloads.split(",") if args.workloads else None
-    try:
-        report = perfbench.run_bench(
-            workloads=workloads,
-            scale=args.scale,
-            seed=args.seed,
-            config=config,
-            repeats=args.repeats,
-            label=args.label,
-            progress=None if args.quiet
-            else (lambda msg: print(msg, file=sys.stderr)),
-            profile_dir=args.profile,
-            engines=[e.strip() for e in args.engines.split(",") if e.strip()],
-        )
-    except perfbench.BenchError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if args.sweep_axis:
-        sweep_workloads = (args.sweep_workloads.split(",")
-                           if args.sweep_workloads
-                           else ["lulesh", "comd", "hpgmg"])
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    regressions: List[str] = []
+    wall_gate = bool(args.wall_gate)
+    if args.against:
+        # Paired same-epoch run: both trees benched now, interleaved.
+        # The comparison is same-epoch by construction, so wall-clock
+        # regressions are enforceable.
+        if args.baseline or args.sweep_axis or args.profile:
+            print("error: --against is its own comparison; it cannot be "
+                  "combined with --baseline, --sweep-axis, or --profile",
+                  file=sys.stderr)
+            return 2
+        wall_gate = True
         try:
-            report.sweep = perfbench.bench_sweep(
-                args.sweep_axis, sweep_workloads,
-                isas=(args.sweep_isas.split(",")
-                      if args.sweep_isas else None),
-                scale=args.scale, seed=args.seed, config=config,
-                jobs=args.sweep_jobs, repeats=args.sweep_repeats,
-                progress=None if args.quiet else _progress_printer,
-                engine=args.sweep_engine,
+            report = perfbench.run_bench_against(
+                args.against,
+                rounds=args.rounds,
+                workloads=workloads,
+                scale=args.scale,
+                seed=args.seed,
+                cus=args.cus if args.cus != 8 else None,
+                label=args.label,
+                threshold=args.threshold,
+                engines=engines,
+                progress=progress,
             )
         except perfbench.BenchError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    regressions: List[str] = []
-    if args.baseline:
+        assert report.baseline is not None
+        regressions = list(report.baseline["regressions"])  # type: ignore[arg-type]
+    else:
+        config = config_from_args(args)
         try:
-            baseline = perfbench.load_report(args.baseline)
+            report = perfbench.run_bench(
+                workloads=workloads,
+                scale=args.scale,
+                seed=args.seed,
+                config=config,
+                repeats=args.repeats,
+                label=args.label,
+                progress=progress,
+                profile_dir=args.profile,
+                engines=engines,
+            )
         except perfbench.BenchError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        _, regressions = perfbench.compare(
-            report, baseline, args.baseline, threshold=args.threshold)
+        if args.sweep_axis:
+            sweep_workloads = (args.sweep_workloads.split(",")
+                               if args.sweep_workloads
+                               else ["lulesh", "comd", "hpgmg"])
+            try:
+                report.sweep = perfbench.bench_sweep(
+                    args.sweep_axis, sweep_workloads,
+                    isas=(args.sweep_isas.split(",")
+                          if args.sweep_isas else None),
+                    scale=args.scale, seed=args.seed, config=config,
+                    jobs=args.sweep_jobs, repeats=args.sweep_repeats,
+                    progress=None if args.quiet else _progress_printer,
+                    engine=args.sweep_engine,
+                )
+            except perfbench.BenchError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        if args.baseline:
+            try:
+                baseline = perfbench.load_report(args.baseline)
+            except perfbench.BenchError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            _, regressions = perfbench.compare(
+                report, baseline, args.baseline, threshold=args.threshold,
+                wall_gate=wall_gate)
     perfbench.write_report(report, args.output)
     print(perfbench.render_text(report))
     print(f"wrote {args.output}")
+    cycle_drift: List[str] = []
+    if report.baseline is not None:
+        cycle_drift = list(report.baseline.get("cycle_drift") or [])  # type: ignore[union-attr]
+    for cell in cycle_drift:
+        print(f"CYCLE DRIFT {cell}: simulated cycles changed vs the "
+              f"baseline — a model change, not a perf delta",
+              file=sys.stderr)
     for line in regressions:
-        print(f"REGRESSION {line}", file=sys.stderr)
+        # A committed baseline was measured in another epoch; its wall
+        # numbers drift with the host, so they only gate on request
+        # (or on an --against run, which is same-epoch by design).
+        tag = "REGRESSION" if wall_gate else "WARNING (wall, not gated)"
+        print(f"{tag} {line}", file=sys.stderr)
     if not all(c.verified for c in report.cells):
         return 1
     if report.sweep is not None and (report.sweep["replay_drift"]
                                      or not report.sweep["cells_identical"]):
         print("REPLAY DRIFT in sweep bench", file=sys.stderr)
         return 1
-    return 1 if regressions else 0
+    if cycle_drift:
+        return 1
+    return 1 if (regressions and wall_gate) else 0
 
 
 def _cmd_per_kernel(args: argparse.Namespace) -> int:
@@ -640,6 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["auto", "scalar", "vector"], default=None,
                        help="cycle-engine override for this run "
                             "(default: keep the config's engine)")
+    run_p.add_argument("--timing",
+                       choices=["auto", "warp", "scan"], default=None,
+                       help="timing scheduler: warp = time-warp engine "
+                            "(auto's default), scan = per-instruction "
+                            "reference walk; REPRO_TIMING overrides auto")
 
     trace_p = sub.add_parser(
         "trace", help="simulate one workload with cycle-level tracing")
@@ -667,6 +729,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hard cap on recorded events")
     trace_p.add_argument("--quiet", "-q", action="store_true",
                          help="skip the stall/occupancy text report")
+    trace_p.add_argument("--timing",
+                         choices=["auto", "warp", "scan"], default=None,
+                         help="timing scheduler (traced runs take the "
+                              "per-cycle walk either way; the knob is "
+                              "honored for reproducibility)")
 
     met_p = sub.add_parser("metrics", help="print the metric registry")
     met_p.add_argument("--match", "-m",
@@ -757,6 +824,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "reference path; vector forces batching "
                               "on replayed cells (execute cells always "
                               "run the reference path)")
+    sweep_p.add_argument("--timing",
+                         choices=["auto", "warp", "scan"], default=None,
+                         help="timing scheduler for every cell (warp = "
+                              "time-warp engine, scan = reference walk)")
     sweep_p.add_argument("--no-verify-replay", action="store_true",
                          help="skip the drift guard's sampled "
                               "re-execution of one replayed cell")
@@ -796,7 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CU count (8 = paper config)")
     bench_p.add_argument("--repeats", "-r", type=int, default=1,
                          help="runs per cell; best-of is reported")
-    bench_p.add_argument("--label", "-l", default="PR9",
+    bench_p.add_argument("--label", "-l", default="PR10",
                          help="trajectory label stored in the report")
     bench_p.add_argument("--engines", default="scalar,vector",
                          help="comma-separated cycle engines to time "
@@ -804,12 +875,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "vector = warm-store trace replay; "
                               "default scalar,vector)")
     bench_p.add_argument("--baseline", "-b",
-                         help="prior BENCH_*.json to compare against")
+                         help="prior BENCH_*.json to compare against "
+                              "(another epoch: wall deltas warn unless "
+                              "--wall-gate; cycle drift always fails)")
+    bench_p.add_argument("--against", metavar="TREE-ISH|DIR",
+                         help="paired same-epoch comparison: check this "
+                              "git tree-ish (or checkout dir) out and "
+                              "bench both trees interleaved, alternating "
+                              "order each round (per-cell best-of)")
+    bench_p.add_argument("--rounds", type=int, default=3,
+                         help="interleaved A/B rounds for --against "
+                              "(default 3)")
+    bench_p.add_argument("--wall-gate", action="store_true",
+                         help="exit non-zero on --baseline wall-clock "
+                              "regressions too (off by default: a "
+                              "committed baseline is another epoch's "
+                              "weather; --against gates walls always)")
     bench_p.add_argument("--threshold", "-t", type=float, default=0.25,
                          help="fractional slowdown that counts as a "
                               "regression (default 0.25 = 25%%)")
-    bench_p.add_argument("--output", "-o", default="BENCH_PR9.json",
-                         help="report path (default BENCH_PR9.json)")
+    bench_p.add_argument("--output", "-o", default="BENCH_PR10.json",
+                         help="report path (default BENCH_PR10.json)")
+    bench_p.add_argument("--timing",
+                         choices=["auto", "warp", "scan"], default=None,
+                         help="timing scheduler for every timed cell")
     bench_p.add_argument("--profile", metavar="DIR",
                          help="dump per-cell cProfile stats to "
                               "DIR/<workload>_<isa>.prof (skews wall "

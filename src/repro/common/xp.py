@@ -179,6 +179,26 @@ class PyArrayModule:
 
 _PY_MODULE = PyArrayModule()
 
+_QUIET_NUMERIC = False
+
+
+def ensure_quiet_numeric() -> None:
+    """Switch numpy's floating-point error state to ``ignore``, once.
+
+    The semantics engines intentionally divide by zero, overflow, and
+    produce NaN/Inf exactly the way the modeled hardware does, and they
+    do it on every ALU instruction.  Wrapping each helper in
+    ``np.errstate(all="ignore")`` costs two ``seterr`` round trips per
+    dynamic instruction — more than the guarded arithmetic itself — so
+    the executors flip the process-wide state here instead, at
+    construction.  Idempotent; a no-op without numpy.
+    """
+    global _QUIET_NUMERIC
+    if _QUIET_NUMERIC or not HAVE_NUMPY:
+        return
+    _numpy.seterr(all="ignore")
+    _QUIET_NUMERIC = True
+
 
 def backend_name(prefer: Optional[str] = None) -> str:
     """The backend :func:`get_array_module` would resolve: numpy|python."""

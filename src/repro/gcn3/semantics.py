@@ -23,6 +23,7 @@ import numpy as np
 from ..common.bits import unpack_bfe_operand
 from ..common.errors import ExecutionError
 from ..common.exec_types import DispatchContext, ExecResult, MemKind
+from ..common.xp import ensure_quiet_numeric
 from ..common.lanes import (
     FULL_MASK,
     WF_SIZE,
@@ -212,6 +213,9 @@ class Gcn3Executor:
     def __init__(self, memory: SimulatedMemory, lds: Optional[np.ndarray] = None) -> None:
         self.memory = memory
         self.lds = lds if lds is not None else np.zeros(64 * 1024, dtype=np.uint8)
+        # The VALU helpers run one numpy expression per dynamic
+        # instruction; a per-call errstate costs more than the math.
+        ensure_quiet_numeric()
 
     # -- entry -------------------------------------------------------------
 
@@ -511,21 +515,37 @@ class Gcn3Executor:
         raise ExecutionError(f"unhandled VALU op {op!r}")
 
     def _v_add(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
+        # Carry/borrow detection stays in uint32: for wrapped x = a + b,
+        # overflow iff x < a; for x = a - b, borrow iff a < b; the
+        # carry-in step composes the same way.  This avoids widening
+        # both operands to uint64 (two allocations per instruction) for
+        # the same bits.
         op = instr.opcode
-        a = wf.read_v32(instr.srcs[0]).astype(np.uint64)
-        b = wf.read_v32(instr.srcs[1]).astype(np.uint64)
+        a = wf.read_v32(instr.srcs[0])
+        b = wf.read_v32(instr.srcs[1])
         if op == "v_subrev_u32":
             a, b = b, a
-        carry_in = np.zeros(WF_SIZE, dtype=np.uint64)
         if op in ("v_addc_u32", "v_subb_u32"):
-            carry_in = mask_to_bool(wf.vcc).astype(np.uint64)
-        if op in ("v_add_u32", "v_addc_u32"):
-            total = a + b + carry_in
-            carry = total > np.uint64(0xFFFFFFFF)
+            carry_in = mask_to_bool(wf.vcc).astype(np.uint32)
         else:
-            total = a - b - carry_in
-            carry = a < (b + carry_in)  # borrow
-        wf.write_v32(instr.dest, (total & np.uint64(0xFFFFFFFF)).astype(np.uint32), mask)  # type: ignore[arg-type]
+            carry_in = None
+        if op in ("v_add_u32", "v_addc_u32"):
+            partial = a + b
+            carry = partial < a
+            if carry_in is not None:
+                total = partial + carry_in
+                carry = carry | (total < partial)
+            else:
+                total = partial
+        else:
+            partial = a - b
+            carry = a < b  # borrow
+            if carry_in is not None:
+                total = partial - carry_in
+                carry = carry | (partial < carry_in)
+            else:
+                total = partial
+        wf.write_v32(instr.dest, total, mask)  # type: ignore[arg-type]
         carry_bits = bool_to_mask(carry & mask)
         wf.vcc = (wf.vcc & ~wf.exec_mask) | carry_bits
 
@@ -575,8 +595,7 @@ class Gcn3Executor:
         else:  # f64
             a = wf.read_v64(operand).view(np.float64)
         np_dst = _CVT_DST[dst]
-        with np.errstate(all="ignore"):
-            values = a.astype(np_dst)
+        values = a.astype(np_dst)
         if dst in ("u32", "i32", "f32"):
             wf.write_v32(instr.dest, values.view(np.uint32), mask)  # type: ignore[arg-type]
         else:
@@ -585,45 +604,46 @@ class Gcn3Executor:
     def _v_float(self, wf: Gcn3WfState, instr: Gcn3Instr, mask: np.ndarray) -> None:
         op = instr.opcode
         wide = op.endswith("_f64")
-        read = (lambda o: wf.read_v64(o).view(np.float64)) if wide \
-            else (lambda o: wf.read_v32(o).view(np.float32))
-
-        def src(i: int) -> np.ndarray:
-            values = read(instr.srcs[i])
-            neg = instr.attrs.get("neg")
-            if neg and i < len(neg) and neg[i]:  # type: ignore[arg-type]
-                return -values
-            return values
-
-        with np.errstate(all="ignore"):
-            if "add" in op:
-                values = src(0) + src(1)
-            elif "sub" in op:
-                values = src(0) - src(1)
-            elif "mul" in op and "div" not in op:
-                values = src(0) * src(1)
-            elif "min" in op:
-                values = np.minimum(src(0), src(1))
-            elif "max" in op:
-                values = np.maximum(src(0), src(1))
-            elif "fma" in op and "div" not in op:
-                values = src(0) * src(1) + src(2)
-            elif "rcp" in op:
-                one = np.float64(1.0) if wide else np.float32(1.0)
-                values = one / src(0)
-            elif "sqrt" in op:
-                values = np.sqrt(src(0))
-            elif "div_scale" in op:
-                # Functional simplification: no scaling; VCC cleared.
-                values = src(0)
-                wf.vcc = 0
-            elif "div_fmas" in op:
-                values = src(0) * src(1) + src(2)
-            elif "div_fixup" in op:
-                # quotient fixup: exact num/den (srcs are q, den, num).
-                values = src(2) / src(1)
-            else:
-                raise ExecutionError(f"unhandled float op {op!r}")
+        # Operands are read eagerly (reads are pure: register views and
+        # memoized literal splats), which keeps this per-instruction
+        # path free of closure allocation.
+        if wide:
+            srcs = [wf.read_v64(o).view(np.float64) for o in instr.srcs]
+        else:
+            srcs = [wf.read_v32(o).view(np.float32) for o in instr.srcs]
+        neg = instr.attrs.get("neg")
+        if neg:
+            for i, flag in enumerate(neg):  # type: ignore[arg-type]
+                if flag and i < len(srcs):
+                    srcs[i] = -srcs[i]
+        if "add" in op:
+            values = srcs[0] + srcs[1]
+        elif "sub" in op:
+            values = srcs[0] - srcs[1]
+        elif "mul" in op and "div" not in op:
+            values = srcs[0] * srcs[1]
+        elif "min" in op:
+            values = np.minimum(srcs[0], srcs[1])
+        elif "max" in op:
+            values = np.maximum(srcs[0], srcs[1])
+        elif "fma" in op and "div" not in op:
+            values = srcs[0] * srcs[1] + srcs[2]
+        elif "rcp" in op:
+            one = np.float64(1.0) if wide else np.float32(1.0)
+            values = one / srcs[0]
+        elif "sqrt" in op:
+            values = np.sqrt(srcs[0])
+        elif "div_scale" in op:
+            # Functional simplification: no scaling; VCC cleared.
+            values = srcs[0]
+            wf.vcc = 0
+        elif "div_fmas" in op:
+            values = srcs[0] * srcs[1] + srcs[2]
+        elif "div_fixup" in op:
+            # quotient fixup: exact num/den (srcs are q, den, num).
+            values = srcs[2] / srcs[1]
+        else:
+            raise ExecutionError(f"unhandled float op {op!r}")
         if wide:
             wf.write_v64(instr.dest, values.view(np.uint64), mask)  # type: ignore[arg-type]
         else:

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..common.errors import ExecutionError
 from ..common.exec_types import DispatchContext, ExecResult, MemKind
+from ..common.xp import ensure_quiet_numeric
 from ..common.lanes import (
     bool_to_mask,
     lds_gather_u32,
@@ -167,29 +168,28 @@ def _shift_mask(dtype: DType) -> int:
 
 
 def _alu_binary(opcode: str, dtype: DType, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    with np.errstate(all="ignore"):
-        if opcode == "add":
-            return a + b
-        if opcode == "sub":
-            return a - b
-        if opcode == "mul":
-            return a * b
-        if opcode == "div":
-            return a / b
-        if opcode == "min":
-            return np.minimum(a, b)
-        if opcode == "max":
-            return np.maximum(a, b)
-        if opcode == "and":
-            return a & b
-        if opcode == "or":
-            return a | b
-        if opcode == "xor":
-            return a ^ b
-        if opcode == "mulhi":
-            wide = a.astype(np.int64) * b.astype(np.int64) if dtype == DType.S32 \
-                else a.astype(np.uint64) * b.astype(np.uint64)
-            return (wide >> 32).astype(a.dtype)
+    if opcode == "add":
+        return a + b
+    if opcode == "sub":
+        return a - b
+    if opcode == "mul":
+        return a * b
+    if opcode == "div":
+        return a / b
+    if opcode == "min":
+        return np.minimum(a, b)
+    if opcode == "max":
+        return np.maximum(a, b)
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "mulhi":
+        wide = a.astype(np.int64) * b.astype(np.int64) if dtype == DType.S32 \
+            else a.astype(np.uint64) * b.astype(np.uint64)
+        return (wide >> 32).astype(a.dtype)
     raise ExecutionError(f"unknown binary ALU op {opcode}")
 
 
@@ -214,6 +214,9 @@ class HsailExecutor:
     def __init__(self, memory: SimulatedMemory, lds: Optional[np.ndarray] = None) -> None:
         self.memory = memory
         self.lds = lds if lds is not None else np.zeros(64 * 1024, dtype=np.uint8)
+        # The ALU helpers run one numpy expression per dynamic
+        # instruction; a per-call errstate costs more than the math.
+        ensure_quiet_numeric()
 
     # -- reconvergence ----------------------------------------------------
 
@@ -330,17 +333,16 @@ class HsailExecutor:
             return
         if opcode in ("neg", "not", "abs", "rcp", "sqrt"):
             a = wf.read_typed(instr.srcs[0], dtype)
-            with np.errstate(all="ignore"):
-                if opcode == "neg":
-                    values = -a
-                elif opcode == "not":
-                    values = ~a
-                elif opcode == "abs":
-                    values = np.abs(a)
-                elif opcode == "rcp":
-                    values = (np.float32(1.0) if dtype == DType.F32 else 1.0) / a
-                else:
-                    values = np.sqrt(a)
+            if opcode == "neg":
+                values = -a
+            elif opcode == "not":
+                values = ~a
+            elif opcode == "abs":
+                values = np.abs(a)
+            elif opcode == "rcp":
+                values = (np.float32(1.0) if dtype == DType.F32 else 1.0) / a
+            else:
+                values = np.sqrt(a)
             wf.write_typed(dest, dtype, values.astype(a.dtype), mask)
             return
         if opcode in ("shl", "shr"):
@@ -363,8 +365,7 @@ class HsailExecutor:
         src_dtype: DType = instr.attrs["src_dtype"]  # type: ignore[assignment]
         dst_dtype = instr.dtype
         a = wf.read_typed(instr.srcs[0], src_dtype)
-        with np.errstate(all="ignore"):
-            values = a.astype(dst_dtype.np_dtype)
+        values = a.astype(dst_dtype.np_dtype)
         wf.write_typed(instr.dest, dst_dtype, values, mask)  # type: ignore[arg-type]
 
     # -- memory ----------------------------------------------------------------

@@ -1,0 +1,305 @@
+"""Warp-vs-scan bit-identity suite for the time-warp timing engine.
+
+``timing="warp"`` restructures the per-cycle control flow — per-CU
+completion queues, array-backed wake arbitration, closed-form superop
+chain bursts — and is only admissible if it changes *nothing*
+observable.  This file proves it against the per-instruction reference
+walk (``timing="scan"``) the hard way:
+
+* every workload x ISA cell of the tier-1 suite, in all three execution
+  modes (execute-at-issue, trace capture, trace replay): StatSet
+  payloads, cycle counts, and verification verdicts must match bit for
+  bit, and captured trace *blobs* must hash identically;
+* the stall/occupancy observability report of a fully traced run must
+  render to the same text under either engine;
+* run-twice determinism must hold per engine;
+* seeded hypothesis fuzz over waitcnt-heavy and bank-conflict-heavy
+  instruction mixes on both ISAs (derandomized, so CI failures
+  reproduce locally from the printed example).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import small_config
+from repro.common.errors import ConfigError
+from repro.core import Session
+from repro.harness.cache import TraceStore
+from repro.harness.runner import ISAS, run_workload
+from repro.kernels.dsl import KernelBuilder
+from repro.kernels.types import DType
+from repro.obs import text_report
+from repro.obs.trace import TraceConfig
+from repro.runtime.memory import Segment
+from repro.runtime.process import GpuProcess
+from repro.timing.gpu import Gpu
+from repro.timing.timewarp import resolve_timing
+from repro.workloads import all_workloads
+
+SCALE = 0.1
+SEED = 7
+TIMINGS = ("warp", "scan")
+
+#: every tier-1 cell — the full 20-cell matrix, not a sample.
+CELLS = [(w.name, isa) for w in all_workloads() for isa in ISAS]
+
+#: cells with enough waitcnt / scoreboard traffic to exercise the
+#: closed-form burst boundaries under tracing without running the whole
+#: matrix through the (slow) fully-instrumented path.
+TRACED_CELLS = [("fft", "gcn3"), ("comd", "hsail")]
+
+
+def _cfg(timing):
+    return small_config(2).with_overrides({"timing": timing})
+
+
+def _stats_payload(run):
+    """Everything statistical about a run (wall clock and trace excluded)."""
+    payload = run.to_payload()
+    payload.pop("wall_seconds")
+    payload.pop("trace", None)
+    payload.pop("execution", None)
+    return payload
+
+
+def _run(workload, isa, timing, **kw):
+    return run_workload(workload, isa, scale=SCALE, config=_cfg(timing),
+                        seed=SEED, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_timing(monkeypatch):
+    monkeypatch.delenv("REPRO_TIMING", raising=False)
+    assert resolve_timing("auto") == "warp"
+    assert resolve_timing("scan") == "scan"
+    monkeypatch.setenv("REPRO_TIMING", "scan")
+    assert resolve_timing("auto") == "scan"
+    # an explicit config choice always beats the environment
+    assert resolve_timing("warp") == "warp"
+    monkeypatch.setenv("REPRO_TIMING", "bogus")
+    with pytest.raises(ConfigError):
+        resolve_timing("auto")
+    with pytest.raises(ConfigError):
+        resolve_timing("bogus")
+
+
+# ---------------------------------------------------------------------------
+# Full-matrix identity: execute, capture, replay
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload,isa", CELLS)
+def test_execute_identity(workload, isa):
+    warp = _run(workload, isa, "warp")
+    scan = _run(workload, isa, "scan")
+    assert warp.verified and scan.verified
+    assert warp.cycles == scan.cycles
+    assert _stats_payload(warp) == _stats_payload(scan)
+
+
+@pytest.fixture(scope="module")
+def capture_stores(tmp_path_factory):
+    """Capture every cell once per engine; returns {timing: (store,
+    payloads)} so the capture- and replay-identity tests share the
+    simulation work."""
+    out = {}
+    for timing in TIMINGS:
+        store = TraceStore(tmp_path_factory.mktemp(f"warp-{timing}"))
+        payloads = {}
+        for workload, isa in CELLS:
+            run = _run(workload, isa, timing, execution="capture",
+                       trace_store=store)
+            assert run.verified, f"{workload}/{isa} capture unverified"
+            payloads[(workload, isa)] = _stats_payload(run)
+        out[timing] = (store, payloads)
+    return out
+
+
+@pytest.mark.parametrize("workload,isa", CELLS)
+def test_capture_identity(capture_stores, workload, isa):
+    _, warp = capture_stores["warp"]
+    _, scan = capture_stores["scan"]
+    assert warp[(workload, isa)] == scan[(workload, isa)]
+
+
+def test_capture_blobs_hash_identical(capture_stores):
+    """The stored trace bytes — not just the statistics — must agree:
+    a warp-captured trace is interchangeable with a scan-captured one."""
+    digests = {}
+    for timing in TIMINGS:
+        store, _ = capture_stores[timing]
+        digests[timing] = {
+            p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+            for p in sorted(store.directory.glob("*.trace"))
+        }
+    assert digests["warp"], "capture produced no trace blobs"
+    assert digests["warp"] == digests["scan"]
+
+
+@pytest.mark.parametrize("workload,isa", CELLS)
+def test_replay_identity(capture_stores, workload, isa):
+    store, _ = capture_stores["scan"]
+    warp = _run(workload, isa, "warp", execution="replay", trace_store=store)
+    scan = _run(workload, isa, "scan", execution="replay", trace_store=store)
+    assert warp.execution == scan.execution == "replay"
+    assert warp.cycles == scan.cycles
+    assert _stats_payload(warp) == _stats_payload(scan)
+
+
+# ---------------------------------------------------------------------------
+# Observability: traced runs and their stall/occupancy report
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload,isa", TRACED_CELLS)
+def test_traced_report_identity(workload, isa):
+    """Tracing forces the exhaustive per-cycle bookkeeping either way;
+    the rendered stall-reason / occupancy / cache report — the
+    user-facing observability surface — must be character-identical."""
+    warp = _run(workload, isa, "warp", trace=TraceConfig())
+    scan = _run(workload, isa, "scan", trace=TraceConfig())
+    assert warp.trace is not None and scan.trace is not None
+    assert warp.trace.stall_cycles == scan.trace.stall_cycles
+    assert _stats_payload(warp) == _stats_payload(scan)
+    title = f"{workload}/{isa}"
+    assert (text_report(warp.trace, stats=warp.total, title=title)
+            == text_report(scan.trace, stats=scan.total, title=title))
+
+
+# ---------------------------------------------------------------------------
+# Determinism per engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("timing", TIMINGS)
+@pytest.mark.parametrize("workload,isa",
+                         [("fft", "gcn3"), ("lulesh", "hsail")])
+def test_run_twice_is_bit_identical(workload, isa, timing):
+    first = _run(workload, isa, timing)
+    second = _run(workload, isa, timing)
+    assert first.verified and second.verified
+    assert _stats_payload(first) == _stats_payload(second)
+
+
+# ---------------------------------------------------------------------------
+# Seeded fuzz: warp vs scan on generated kernels
+# ---------------------------------------------------------------------------
+
+N = 128  # two wavefronts, so inter-wavefront arbitration is exercised
+
+_INT_BINOPS = ["add", "sub", "mul", "bit_and", "bit_or", "bit_xor",
+               "min", "max"]
+
+_FUZZ_SETTINGS = settings(max_examples=6, deadline=None, derandomize=True,
+                          suppress_health_check=[HealthCheck.too_slow])
+
+
+def _dispatch(dual, isa, data):
+    proc = GpuProcess(isa)
+    inp = proc.upload(data)
+    out = proc.alloc_buffer(4 * N)
+    proc.dispatch(dual.for_isa(isa), grid=N, wg=64, kernargs=[inp, out])
+    return proc
+
+
+def _assert_timings_identical(build, program, data_seed):
+    data = (np.random.default_rng(data_seed)
+            .integers(1, 2**16, N).astype(np.uint32))
+    dual = Session().compile(build(program))
+    for isa in ("hsail", "gcn3"):
+        results = {}
+        for timing in TIMINGS:
+            gpu = Gpu(_cfg(timing), _dispatch(dual, isa, data))
+            stats = [s.to_payload() for s in gpu.run_all()]
+            results[timing] = (gpu.events.now, stats)
+        assert results["warp"] == results["scan"], (
+            f"warp diverged from scan on {isa}")
+
+
+@st.composite
+def waitcnt_heavy_programs(draw):
+    """Load-then-immediately-consume chains: on GCN3 the finalizer has
+    to drop an ``s_waitcnt`` in front of nearly every consumer (and the
+    HSAIL scoreboard blocks the same way), so the generated stream is
+    dense with exactly the park/unpark boundaries the warp engine's
+    closed-form burst must refuse to cross."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=3, max_value=8))):
+        ops.append((
+            draw(st.integers(min_value=0, max_value=3)),   # address shear
+            draw(st.sampled_from(_INT_BINOPS)),            # consumer op
+            draw(st.integers(min_value=0, max_value=2)),   # ALU padding
+        ))
+    return ops
+
+
+def _build_waitcnt_heavy(ops):
+    kb = KernelBuilder("fuzz_waitcnt", [("inp", DType.U64),
+                                        ("out", DType.U64)])
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    inp = kb.kernarg("inp")
+    acc = kb.var(DType.U32, kb.load(Segment.GLOBAL, inp + off, DType.U32))
+    for shift, op, pad in ops:
+        addr = inp + kb.cvt(kb.bit_and(kb.shl(tid, shift), N - 1),
+                            DType.U64) * 4
+        loaded = kb.load(Segment.GLOBAL, addr, DType.U32)
+        # consume the load right away: forces a waitcnt/scoreboard stall
+        kb.assign(acc, getattr(kb, op)(acc, loaded))
+        for _ in range(pad):  # a little independent ALU between loads
+            kb.assign(acc, kb.add(acc, 1))
+    kb.store(Segment.GLOBAL, kb.kernarg("out") + off, acc)
+    return kb.finish()
+
+
+@given(waitcnt_heavy_programs(), st.integers(min_value=0, max_value=2**31))
+@_FUZZ_SETTINGS
+def test_fuzz_waitcnt_heavy(program, data_seed):
+    _assert_timings_identical(_build_waitcnt_heavy, program, data_seed)
+
+
+@st.composite
+def bank_conflict_programs(draw):
+    """Long operand chains over a rolling register window: VRF bank
+    conflicts stretch issue latencies unevenly, which is exactly what
+    the burst's per-issue ``nt`` arithmetic has to reproduce."""
+    picks = []
+    for _ in range(draw(st.integers(min_value=12, max_value=28))):
+        picks.append((
+            draw(st.sampled_from(_INT_BINOPS)),
+            draw(st.integers(min_value=0, max_value=5)),
+            draw(st.integers(min_value=0, max_value=5)),
+        ))
+    return picks
+
+
+def _build_bank_conflict(picks):
+    kb = KernelBuilder("fuzz_banks", [("inp", DType.U64), ("out", DType.U64)])
+    tid = kb.wi_abs_id()
+    off = kb.cvt(tid, DType.U64) * 4
+    loaded = kb.load(Segment.GLOBAL, kb.kernarg("inp") + off, DType.U32)
+    window = [tid, loaded, kb.add(tid, loaded), kb.bit_xor(tid, loaded),
+              kb.mul(loaded, 3), kb.shl(tid, 2)]
+    for op, a, b in picks:
+        window = window[1:] + [getattr(kb, op)(window[a], window[b])]
+    result = window[0]
+    for v in window[1:]:
+        result = kb.bit_xor(result, v)
+    kb.store(Segment.GLOBAL, kb.kernarg("out") + off, result)
+    return kb.finish()
+
+
+@given(bank_conflict_programs(), st.integers(min_value=0, max_value=2**31))
+@_FUZZ_SETTINGS
+def test_fuzz_bank_conflict_heavy(program, data_seed):
+    _assert_timings_identical(_build_bank_conflict, program, data_seed)
